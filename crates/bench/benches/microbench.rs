@@ -1,0 +1,120 @@
+//! Criterion micro-benchmarks backing Figures 3–5: per-call latency
+//! of each backend and bulk-transfer bandwidth, measured live over
+//! loopback. The `fig*` binaries print the paper-style tables; these
+//! benches give the statistically rigorous per-op numbers.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use chirp_proto::OpenFlags;
+use tss_bench::fixtures;
+use tss_core::fs::FileSystem;
+
+/// Figure 3: local syscall-shaped ops, direct vs through the adapter.
+fn bench_fig3_syscalls(c: &mut Criterion) {
+    let f = fixtures();
+    f.local.write_file("/f", &vec![0u8; 8192]).unwrap();
+    let adapter =
+        tss_core::adapter::Adapter::new(tss_core::adapter::AdapterConfig::default()).unwrap();
+    adapter.register("/direct", f.local.clone());
+
+    let mut g = c.benchmark_group("fig3_syscall_latency");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    g.bench_function("stat/direct", |b| b.iter(|| f.local.stat("/f").unwrap()));
+    g.bench_function("stat/adapter", |b| {
+        b.iter(|| adapter.stat("/direct/f").unwrap())
+    });
+    g.bench_function("open_close/direct", |b| {
+        b.iter(|| drop(f.local.open("/f", OpenFlags::READ, 0).unwrap()))
+    });
+    g.bench_function("open_close/adapter", |b| {
+        b.iter(|| drop(adapter.open("/direct/f", OpenFlags::READ, 0).unwrap()))
+    });
+    g.finish();
+}
+
+/// Figure 4: remote I/O call latency — CFS vs NFS vs DSFS.
+fn bench_fig4_io_latency(c: &mut Criterion) {
+    let f = fixtures();
+    let systems: Vec<(&str, std::sync::Arc<dyn FileSystem>)> = vec![
+        ("cfs", f.cfs.clone()),
+        ("nfs", f.nfs.clone()),
+        ("dsfs", f.dsfs.clone()),
+    ];
+    for (_, fs) in &systems {
+        fs.write_file("/f", &vec![7u8; 8192]).unwrap();
+    }
+    let mut g = c.benchmark_group("fig4_io_latency");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    for (name, fs) in &systems {
+        g.bench_with_input(BenchmarkId::new("stat", name), fs, |b, fs| {
+            b.iter(|| fs.stat("/f").unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("open_close", name), fs, |b, fs| {
+            b.iter(|| drop(fs.open("/f", OpenFlags::READ, 0).unwrap()))
+        });
+        let mut h = fs.open("/f", OpenFlags::read_write(), 0).unwrap();
+        let mut buf = vec![0u8; 8192];
+        g.bench_function(BenchmarkId::new("read8k", name), |b| {
+            b.iter(|| h.pread(&mut buf, 0).unwrap())
+        });
+        let data = vec![1u8; 8192];
+        g.bench_function(BenchmarkId::new("write8k", name), |b| {
+            b.iter(|| h.pwrite(&data, 0).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Figure 5: bulk write bandwidth per backend at a 64 KiB block size.
+fn bench_fig5_bandwidth(c: &mut Criterion) {
+    let f = fixtures();
+    let total = 4 << 20;
+    let block = 64 * 1024;
+    let systems: Vec<(&str, std::sync::Arc<dyn FileSystem>)> = vec![
+        ("unix", f.local.clone()),
+        ("cfs", f.cfs.clone()),
+        ("nfs", f.nfs.clone()),
+    ];
+    let mut g = c.benchmark_group("fig5_bandwidth_64k_blocks");
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    g.throughput(Throughput::Bytes(total as u64));
+    g.sample_size(10);
+    for (name, fs) in &systems {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                tss_bench::measure_write_bandwidth(fs.as_ref(), "/bw", block, total);
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figures 6–8: one representative simulated cluster point each, so
+/// regressions in the simulator's cost show up in `cargo bench`.
+fn bench_cluster_sim(c: &mut Criterion) {
+    let model = simnet::CostModel::default();
+    let mut g = c.benchmark_group("fig6_8_cluster_sim");
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+    g.bench_function("fig6_4srv_16cli", |b| {
+        b.iter(|| simnet::cluster::run(&model, simnet::cluster::ClusterParams::fig6(4, 16)))
+    });
+    g.bench_function("fig8_8srv_16cli", |b| {
+        b.iter(|| simnet::cluster::run(&model, simnet::cluster::ClusterParams::fig8(8, 16)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig3_syscalls,
+    bench_fig4_io_latency,
+    bench_fig5_bandwidth,
+    bench_cluster_sim
+);
+criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. control+data on one TCP stream (Chirp) vs FTP-style split
+//!    connections with per-file slow start;
+//! 2. the recursive-abstraction stub access path: one `GETFILE` RPC
+//!    vs an open/stat/read/close sequence (measured live);
+//! 3. per-server buffer cache size vs the Figure 7 crossover.
+
+use simnet::ablation::{access_skew_sweep, cache_sweep, chirp_batch, ftp_batch};
+use simnet::CostModel;
+use tss_bench::{fixtures, fmt_us, measure_latency, print_table};
+use tss_core::fs::FileSystem;
+
+fn main() {
+    let m = CostModel::default();
+
+    // -- 1: single-stream vs split control/data ------------------------
+    let mut rows = Vec::new();
+    for (files, bytes) in [
+        (1000u64, 16u64 << 10),
+        (1000, 64 << 10),
+        (100, 1 << 20),
+        (10, 64 << 20),
+    ] {
+        let chirp = chirp_batch(&m, files, bytes);
+        let ftp = ftp_batch(&m, files, bytes);
+        rows.push(vec![
+            format!("{files} x {}KB", bytes >> 10),
+            format!("{:.2}", chirp),
+            format!("{:.2}", ftp),
+            format!("{:.1}x", ftp / chirp),
+        ]);
+    }
+    print_table(
+        "Ablation 1 (modelled): batch transfer, one stream vs FTP-style, seconds",
+        &["workload", "chirp", "ftp-style", "ftp/chirp"],
+        &rows,
+    );
+    println!(
+        "  the paper's claim: splitting data from control re-pays TCP slow\n\
+         \x20 start per file; the penalty is largest for many small files."
+    );
+
+    // -- 2: recursive stub access, measured -----------------------------
+    let f = fixtures();
+    f.cfs.write_file("/stub", b"#tss-stub-v1\nh:1\n/x\n").unwrap();
+    let iters = 1500;
+    let single = measure_latency(
+        || {
+            f.cfs.read_file("/stub").unwrap();
+        },
+        50,
+        iters,
+    );
+    let multi = measure_latency(
+        || {
+            // The naive path: open, fstat, read, close — what the stub
+            // read would cost without the whole-file RPC.
+            let mut h = f.cfs.open("/stub", chirp_proto::OpenFlags::READ, 0).unwrap();
+            let size = h.fstat().unwrap().size as usize;
+            let mut buf = vec![0u8; size];
+            h.pread(&mut buf, 0).unwrap();
+        },
+        50,
+        iters,
+    );
+    print_table(
+        "Ablation 2 (measured): stub read via GETFILE vs open/stat/read/close, us",
+        &["path", "latency"],
+        &[
+            vec!["getfile (1 RPC)".into(), fmt_us(single.0)],
+            vec!["open/stat/read/close (4 RPCs)".into(), fmt_us(multi.0)],
+        ],
+    );
+    println!(
+        "  DSFS metadata ops ride the single-RPC path, which is what keeps\n\
+         \x20 them at ~2x CFS latency in Figure 4 instead of ~4x."
+    );
+
+    // -- 3: buffer cache sweep ------------------------------------------
+    let caches = [128u64 << 20, 256 << 20, 512 << 20, 1024 << 20];
+    let servers = [1usize, 2, 3, 4];
+    let rows: Vec<Vec<String>> = cache_sweep(&m, &caches, &servers)
+        .into_iter()
+        .map(|row| {
+            let mut cells = vec![format!("{} MB", row.cache >> 20)];
+            for (_, mbps) in row.throughput {
+                cells.push(format!("{mbps:.0}"));
+            }
+            cells
+        })
+        .collect();
+    print_table(
+        "Ablation 3 (simulated): Figure 7 throughput (MB/s) vs per-server cache",
+        &["cache", "1 srv", "2 srv", "3 srv", "4 srv"],
+        &rows,
+    );
+    println!(
+        "  the paper's 3-server crossover is a property of the 512 MB nodes:\n\
+         \x20 double the RAM and two servers suffice; halve it and four are needed."
+    );
+
+    // -- 3b: replication path, measured -----------------------------------
+    // THIRDPUT (server pushes to server) vs pull-push through the
+    // replicating client: same bytes, one network traversal instead of
+    // two plus a client copy.
+    {
+        use tss_bench::open_server;
+        let dir_a = chirp_proto::testutil::TempDir::new();
+        let dir_b = chirp_proto::testutil::TempDir::new();
+        let a_srv = open_server(dir_a.path());
+        let b_srv = open_server(dir_b.path());
+        let cfs_a = tss_core::Cfs::connect(&a_srv.endpoint(), tss_bench::auth());
+        let cfs_b = tss_core::Cfs::connect(&b_srv.endpoint(), tss_bench::auth());
+        let payload = vec![0x5au8; 8 << 20];
+        cfs_a.putfile("/src", 0o644, &payload).unwrap();
+        let (third, _) = tss_bench::measure_latency(
+            || {
+                cfs_a.thirdput("/src", &b_srv.endpoint(), "/dst-third").unwrap();
+            },
+            2,
+            10,
+        );
+        let (pullpush, _) = tss_bench::measure_latency(
+            || {
+                let data = cfs_a.getfile("/src").unwrap();
+                cfs_b.putfile("/dst-pp", 0o644, &data).unwrap();
+            },
+            2,
+            10,
+        );
+        print_table(
+            "Ablation 3b (measured): replicating 8 MiB between servers, ms",
+            &["path", "time"],
+            &[
+                vec!["thirdput (server-to-server)".into(), format!("{:.1}", third * 1e3)],
+                vec!["pull+push (via client)".into(), format!("{:.1}", pullpush * 1e3)],
+            ],
+        );
+        println!(
+            "  the GEMS replicator directs THIRDPUT so bulk repair traffic never\n\
+             \x20 visits the replicator host."
+        );
+    }
+
+    // -- 4: access skew vs server scaling --------------------------------
+    let rows: Vec<Vec<String>> = access_skew_sweep(&m, 2.0, &[1, 2, 4, 8])
+        .into_iter()
+        .map(|(s, uni, zipf)| {
+            vec![s.to_string(), format!("{uni:.0}"), format!("{zipf:.0}")]
+        })
+        .collect();
+    print_table(
+        "Ablation 4 (simulated): Figure 6 throughput (MB/s), uniform vs Zipf(2.0) access",
+        &["servers", "uniform", "zipf"],
+        &rows,
+    );
+    println!(
+        "  the paper's linear scaling assumes clients pick files uniformly; a\n\
+         \x20 hot-set workload pins load on whichever server holds the popular\n\
+         \x20 files, and adding servers stops helping."
+    );
+}

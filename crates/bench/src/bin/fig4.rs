@@ -1,0 +1,105 @@
+//! Figure 4 — I/O Call Latency over the network: Parrot+CFS vs
+//! Unix+NFS (no cache, async) vs Parrot+DSFS.
+//!
+//! Model view (calibrated to 1 GbE) plus a live loopback measurement
+//! of this library's real protocol stacks. The claims under test:
+//! CFS ≤ NFS on metadata (whole-path RPCs vs per-component lookups),
+//! DSFS ≈ 2× CFS on metadata (stub + data), data ops identical CFS vs
+//! DSFS, and everything dominated by round trips rather than by the
+//! adapter.
+
+use chirp_proto::OpenFlags;
+use simnet::micro::fig4_io_latency;
+use simnet::CostModel;
+use std::sync::Arc;
+use tss_bench::{fixtures, fmt_us, measure_latency, print_table};
+use tss_core::fs::FileSystem;
+
+fn main() {
+    let model = CostModel::default();
+    let rows: Vec<Vec<String>> = fig4_io_latency(&model)
+        .into_iter()
+        .map(|r| {
+            let mut row = vec![r.call.clone()];
+            for (_, v) in &r.systems {
+                row.push(fmt_us(*v));
+            }
+            row
+        })
+        .collect();
+    print_table(
+        "Figure 4 (modelled 1GbE testbed): I/O call latency, us",
+        &["call", "parrot+cfs", "unix+nfs", "parrot+dsfs"],
+        &rows,
+    );
+    println!("  paper: CFS beats NFS on stat/open (no lookups); DSFS pays 2x metadata");
+
+    // -- live loopback measurement ------------------------------------
+    let f = fixtures();
+    let deep = "/a/b/c";
+    for fs in [
+        f.cfs.clone() as Arc<dyn FileSystem>,
+        f.nfs.clone() as Arc<dyn FileSystem>,
+        f.dsfs.clone() as Arc<dyn FileSystem>,
+    ] {
+        fs.mkdir("/a", 0o755).unwrap();
+        fs.mkdir("/a/b", 0o755).unwrap();
+        fs.mkdir("/a/b/c", 0o755).unwrap();
+        fs.write_file("/a/b/c/f", &vec![7u8; 8192]).unwrap();
+    }
+    let path = format!("{deep}/f");
+    let iters = 1500;
+    let systems: Vec<(&str, Arc<dyn FileSystem>)> = vec![
+        ("cfs", f.cfs.clone()),
+        ("nfs", f.nfs.clone()),
+        ("dsfs", f.dsfs.clone()),
+    ];
+
+    let mut rows = Vec::new();
+    // stat
+    let mut row = vec!["stat".to_string()];
+    for (_, fs) in &systems {
+        let (mean, _) = measure_latency(|| {
+            fs.stat(&path).unwrap();
+        }, 50, iters);
+        row.push(fmt_us(mean));
+    }
+    rows.push(row);
+    // open/close
+    let mut row = vec!["open/close".to_string()];
+    for (_, fs) in &systems {
+        let (mean, _) = measure_latency(|| {
+            drop(fs.open(&path, OpenFlags::READ, 0).unwrap());
+        }, 50, iters);
+        row.push(fmt_us(mean));
+    }
+    rows.push(row);
+    // read 8kb / write 8kb on an open handle
+    let mut buf = vec![0u8; 8192];
+    let mut row_r = vec!["read 8kb".to_string()];
+    let mut row_w = vec!["write 8kb".to_string()];
+    for (_, fs) in &systems {
+        let mut h = fs.open(&path, OpenFlags::read_write(), 0).unwrap();
+        let (mean_r, _) = measure_latency(|| {
+            h.pread(&mut buf, 0).unwrap();
+        }, 50, iters);
+        row_r.push(fmt_us(mean_r));
+        let data = vec![1u8; 8192];
+        let (mean_w, _) = measure_latency(|| {
+            h.pwrite(&data, 0).unwrap();
+        }, 50, iters);
+        row_w.push(fmt_us(mean_w));
+    }
+    rows.push(row_r);
+    rows.push(row_w);
+
+    print_table(
+        "Figure 4 (measured, loopback TCP, 3-deep path): latency, us",
+        &["call", "parrot+cfs", "unix+nfs", "parrot+dsfs"],
+        &rows,
+    );
+    println!(
+        "  expected shape: cfs < nfs on stat/open (1 RPC vs per-component\n\
+         \x20 lookups); dsfs ~2x cfs on metadata; 8kb ops: nfs pays two 4KB RPCs."
+    );
+}

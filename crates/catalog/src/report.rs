@@ -1,0 +1,165 @@
+//! The server self-description record and its `key value` line codec.
+//!
+//! The format matches what `chirp-server`'s reporting thread emits:
+//! one lowercase key per line, the rest of the line is the value, with
+//! free-text values percent-escaped by the sender.
+
+use std::collections::BTreeMap;
+
+/// One file server's self-description as last reported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerReport {
+    /// Record type; always `chirp` for file servers.
+    pub kind: String,
+    /// Server name (unique key in the catalog).
+    pub name: String,
+    /// Human owner.
+    pub owner: String,
+    /// `host:port` clients should connect to.
+    pub address: String,
+    /// Protocol version.
+    pub version: u32,
+    /// Advertised capacity in bytes.
+    pub total: u64,
+    /// Free bytes at report time.
+    pub free: u64,
+    /// Rendered top-level ACL.
+    pub topacl: String,
+    /// Any additional keys the server sent, preserved verbatim.
+    pub extra: BTreeMap<String, String>,
+}
+
+impl ServerReport {
+    /// Parse one report packet. Unknown keys are preserved in
+    /// [`ServerReport::extra`] so old catalogs survive new servers.
+    pub fn parse(text: &str) -> Option<ServerReport> {
+        let mut fields: BTreeMap<String, String> = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line.split_once(' ').unwrap_or((line, ""));
+            fields.insert(key.to_string(), value.to_string());
+        }
+        let unescape = |s: &str| -> String {
+            chirp_proto::escape::unescape(s)
+                .and_then(|b| String::from_utf8(b).ok())
+                .unwrap_or_else(|| s.to_string())
+        };
+        let mut take = |k: &str| fields.remove(k);
+        let report = ServerReport {
+            kind: take("type")?,
+            name: unescape(&take("name")?),
+            owner: unescape(&take("owner")?),
+            address: take("address")?,
+            version: take("version")?.parse().ok()?,
+            total: take("total")?.parse().ok()?,
+            free: take("free")?.parse().ok()?,
+            topacl: unescape(&take("topacl").unwrap_or_default()),
+            extra: fields,
+        };
+        Some(report)
+    }
+
+    /// Render back to the packet format (inverse of [`parse`] up to
+    /// key order).
+    ///
+    /// [`parse`]: ServerReport::parse
+    pub fn render(&self) -> String {
+        let e = |s: &str| chirp_proto::escape::escape(s.as_bytes());
+        let mut out = String::new();
+        out.push_str(&format!("type {}\n", self.kind));
+        out.push_str(&format!("name {}\n", e(&self.name)));
+        out.push_str(&format!("owner {}\n", e(&self.owner)));
+        out.push_str(&format!("address {}\n", self.address));
+        out.push_str(&format!("version {}\n", self.version));
+        out.push_str(&format!("total {}\n", self.total));
+        out.push_str(&format!("free {}\n", self.free));
+        out.push_str(&format!("topacl {}\n", e(&self.topacl)));
+        for (k, v) in &self.extra {
+            out.push_str(&format!("{k} {v}\n"));
+        }
+        out
+    }
+
+    /// This record as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj: Vec<(String, crate::json::Value)> = vec![
+            ("type".into(), crate::json::Value::from(self.kind.as_str())),
+            ("name".into(), crate::json::Value::from(self.name.as_str())),
+            ("owner".into(), crate::json::Value::from(self.owner.as_str())),
+            (
+                "address".into(),
+                crate::json::Value::from(self.address.as_str()),
+            ),
+            ("version".into(), crate::json::Value::Number(self.version as f64)),
+            ("total".into(), crate::json::Value::Number(self.total as f64)),
+            ("free".into(), crate::json::Value::Number(self.free as f64)),
+            (
+                "topacl".into(),
+                crate::json::Value::from(self.topacl.as_str()),
+            ),
+        ];
+        for (k, v) in &self.extra {
+            obj.push((k.clone(), crate::json::Value::from(v.as_str())));
+        }
+        crate::json::Value::Object(obj).render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServerReport {
+        ServerReport {
+            kind: "chirp".into(),
+            name: "node05.cse.nd.edu:9094".into(),
+            owner: "doug thain".into(),
+            address: "10.0.0.5:9094".into(),
+            version: 1,
+            total: 250_000_000_000,
+            free: 100_000_000_000,
+            topacl: "hostname:*.cse.nd.edu rwl\n".into(),
+            extra: BTreeMap::from([("requests".to_string(), "42".to_string())]),
+        }
+    }
+
+    #[test]
+    fn parse_render_round_trip() {
+        let r = sample();
+        let again = ServerReport::parse(&r.render()).unwrap();
+        assert_eq!(r, again);
+    }
+
+    #[test]
+    fn parse_rejects_incomplete_reports() {
+        assert!(ServerReport::parse("type chirp\nname x\n").is_none());
+        assert!(ServerReport::parse("").is_none());
+    }
+
+    #[test]
+    fn parse_tolerates_unknown_keys() {
+        let mut text = sample().render();
+        text.push_str("futurefield something new\n");
+        let r = ServerReport::parse(&text).unwrap();
+        assert_eq!(r.extra.get("futurefield").unwrap(), "something new");
+    }
+
+    #[test]
+    fn escaped_values_survive() {
+        let mut r = sample();
+        r.owner = "owner with spaces\nand newline".into();
+        let again = ServerReport::parse(&r.render()).unwrap();
+        assert_eq!(again.owner, r.owner);
+    }
+
+    #[test]
+    fn json_contains_fields() {
+        let j = sample().to_json();
+        assert!(j.contains("\"name\""));
+        assert!(j.contains("node05.cse.nd.edu:9094"));
+        assert!(j.contains("\"free\""));
+    }
+}

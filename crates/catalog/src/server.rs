@@ -1,0 +1,320 @@
+//! The catalog service: UDP ingest, staleness expiry, TCP publication.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+
+use crate::report::ServerReport;
+
+/// Catalog configuration.
+#[derive(Debug, Clone)]
+pub struct CatalogConfig {
+    /// UDP address for report ingest; port 0 for ephemeral.
+    pub bind_udp: SocketAddr,
+    /// TCP address for queries; port 0 for ephemeral.
+    pub bind_tcp: SocketAddr,
+    /// Servers that have not reported within this window are dropped
+    /// from the listing.
+    pub expiry: Duration,
+}
+
+impl CatalogConfig {
+    /// Loopback config with ephemeral ports and the given expiry.
+    pub fn localhost(expiry: Duration) -> CatalogConfig {
+        CatalogConfig {
+            bind_udp: "127.0.0.1:0".parse().expect("valid literal"),
+            bind_tcp: "127.0.0.1:0".parse().expect("valid literal"),
+            expiry,
+        }
+    }
+}
+
+struct Entry {
+    report: ServerReport,
+    last_seen: Instant,
+}
+
+struct State {
+    entries: RwLock<HashMap<String, Entry>>,
+    expiry: Duration,
+    shutdown: AtomicBool,
+}
+
+/// A running catalog server.
+pub struct CatalogServer {
+    state: Arc<State>,
+    udp_addr: SocketAddr,
+    tcp_addr: SocketAddr,
+    udp_thread: Option<JoinHandle<()>>,
+    tcp_thread: Option<JoinHandle<()>>,
+}
+
+impl CatalogServer {
+    /// Start the catalog; returns once both sockets are bound.
+    pub fn start(config: CatalogConfig) -> std::io::Result<CatalogServer> {
+        let udp = UdpSocket::bind(config.bind_udp)?;
+        udp.set_read_timeout(Some(Duration::from_millis(50)))?;
+        let udp_addr = udp.local_addr()?;
+        let tcp = TcpListener::bind(config.bind_tcp)?;
+        let tcp_addr = tcp.local_addr()?;
+        let state = Arc::new(State {
+            entries: RwLock::new(HashMap::new()),
+            expiry: config.expiry,
+            shutdown: AtomicBool::new(false),
+        });
+        let udp_state = state.clone();
+        let udp_thread = std::thread::Builder::new()
+            .name("catalog-udp".into())
+            .spawn(move || ingest_loop(udp, udp_state))?;
+        let tcp_state = state.clone();
+        let tcp_thread = std::thread::Builder::new()
+            .name("catalog-tcp".into())
+            .spawn(move || query_loop(tcp, tcp_state))?;
+        Ok(CatalogServer {
+            state,
+            udp_addr,
+            tcp_addr,
+            udp_thread: Some(udp_thread),
+            tcp_thread: Some(tcp_thread),
+        })
+    }
+
+    /// Address file servers should report to.
+    pub fn udp_addr(&self) -> SocketAddr {
+        self.udp_addr
+    }
+
+    /// Address clients should query.
+    pub fn tcp_addr(&self) -> SocketAddr {
+        self.tcp_addr
+    }
+
+    /// Current non-expired listing, newest data first by name order.
+    pub fn listing(&self) -> Vec<ServerReport> {
+        let now = Instant::now();
+        let entries = self.state.entries.read();
+        let mut out: Vec<ServerReport> = entries
+            .values()
+            .filter(|e| now.duration_since(e.last_seen) < self.state.expiry)
+            .map(|e| e.report.clone())
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Directly ingest a report (used by tests and simulations; the
+    /// production path is UDP).
+    pub fn ingest(&self, report: ServerReport) {
+        ingest(&self.state, report);
+    }
+
+    /// Stop both service threads.
+    pub fn shutdown(&mut self) {
+        if self.state.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the TCP accept loop.
+        let _ = TcpStream::connect(self.tcp_addr);
+        if let Some(h) = self.udp_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.tcp_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for CatalogServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn ingest(state: &State, report: ServerReport) {
+    let mut entries = state.entries.write();
+    let now = Instant::now();
+    // Opportunistically purge the long-dead so the map stays bounded.
+    entries.retain(|_, e| now.duration_since(e.last_seen) < state.expiry * 4);
+    entries.insert(
+        report.name.clone(),
+        Entry {
+            report,
+            last_seen: now,
+        },
+    );
+}
+
+fn ingest_loop(udp: UdpSocket, state: Arc<State>) {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok((n, _peer)) = udp.recv_from(&mut buf) else {
+            continue; // read timeout: poll the shutdown flag
+        };
+        let Ok(text) = std::str::from_utf8(&buf[..n]) else {
+            continue;
+        };
+        if let Some(report) = ServerReport::parse(text) {
+            ingest(&state, report);
+        }
+    }
+}
+
+fn query_loop(tcp: TcpListener, state: Arc<State>) {
+    loop {
+        let Ok((stream, _)) = tcp.accept() else {
+            if state.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let state = state.clone();
+        let _ = std::thread::Builder::new()
+            .name("catalog-query".into())
+            .spawn(move || {
+                let _ = serve_query(stream, &state);
+            });
+    }
+}
+
+fn html_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Protocol: the client sends one line naming a format (`text`,
+/// `json`, or `html`), the catalog answers with the whole listing and
+/// closes.
+fn serve_query(stream: TcpStream, state: &State) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut format = String::new();
+    reader.read_line(&mut format)?;
+    let now = Instant::now();
+    let entries = state.entries.read();
+    let live: Vec<&ServerReport> = {
+        let mut v: Vec<&Entry> = entries
+            .values()
+            .filter(|e| now.duration_since(e.last_seen) < state.expiry)
+            .collect();
+        v.sort_by(|a, b| a.report.name.cmp(&b.report.name));
+        v.into_iter().map(|e| &e.report).collect()
+    };
+    match format.trim() {
+        "json" => {
+            let body: Vec<String> = live.iter().map(|r| r.to_json()).collect();
+            writeln!(writer, "[{}]", body.join(","))?;
+        }
+        "html" => {
+            // A browsable listing, as the deployed catalog published.
+            writeln!(
+                writer,
+                "<html><body><h1>Tactical Storage Catalog</h1><table border=1>\
+                 <tr><th>name</th><th>owner</th><th>address</th>\
+                 <th>total</th><th>free</th></tr>"
+            )?;
+            for r in &live {
+                writeln!(
+                    writer,
+                    "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+                    html_escape(&r.name),
+                    html_escape(&r.owner),
+                    html_escape(&r.address),
+                    r.total,
+                    r.free
+                )?;
+            }
+            writeln!(writer, "</table></body></html>")?;
+        }
+        _ => {
+            for r in &live {
+                writer.write_all(r.render().as_bytes())?;
+                writer.write_all(b"\n")?;
+            }
+        }
+    }
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn report(name: &str) -> ServerReport {
+        ServerReport {
+            kind: "chirp".into(),
+            name: name.into(),
+            owner: "o".into(),
+            address: format!("{name}:9094"),
+            version: 1,
+            total: 100,
+            free: 50,
+            topacl: String::new(),
+            extra: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn udp_report_appears_in_listing() {
+        let cat = CatalogServer::start(CatalogConfig::localhost(Duration::from_secs(5))).unwrap();
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        sock.send_to(report("n1").render().as_bytes(), cat.udp_addr())
+            .unwrap();
+        for _ in 0..100 {
+            if !cat.listing().is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let listing = cat.listing();
+        assert_eq!(listing.len(), 1);
+        assert_eq!(listing[0].name, "n1");
+    }
+
+    #[test]
+    fn reports_replace_by_name_and_expire() {
+        let cat = CatalogServer::start(CatalogConfig::localhost(Duration::from_millis(80))).unwrap();
+        cat.ingest(report("n1"));
+        let mut updated = report("n1");
+        updated.free = 10;
+        cat.ingest(updated);
+        let listing = cat.listing();
+        assert_eq!(listing.len(), 1, "same name replaces, not duplicates");
+        assert_eq!(listing[0].free, 10);
+        std::thread::sleep(Duration::from_millis(150));
+        assert!(cat.listing().is_empty(), "stale servers expire");
+    }
+
+    #[test]
+    fn malformed_packets_are_ignored() {
+        let cat = CatalogServer::start(CatalogConfig::localhost(Duration::from_secs(5))).unwrap();
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        sock.send_to(b"complete garbage \xff\xfe", cat.udp_addr()).unwrap();
+        sock.send_to(b"type chirp\n", cat.udp_addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(cat.listing().is_empty());
+    }
+
+    #[test]
+    fn multiple_catalogs_are_independent() {
+        let cat1 = CatalogServer::start(CatalogConfig::localhost(Duration::from_secs(5))).unwrap();
+        let cat2 = CatalogServer::start(CatalogConfig::localhost(Duration::from_secs(5))).unwrap();
+        cat1.ingest(report("only-in-1"));
+        assert_eq!(cat1.listing().len(), 1);
+        assert!(cat2.listing().is_empty());
+    }
+}

@@ -1,0 +1,524 @@
+//! The client connection: one TCP session, one subject, one RPC at a
+//! time, file data interleaved on the same stream as control.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use chirp_proto::escape::unescape;
+use chirp_proto::wire::{self, StatusLine};
+use chirp_proto::{ChirpError, ChirpResult, OpenFlags, Request, StatBuf, StatFs};
+
+/// An authentication method the client can offer, in the order given.
+/// The first method the server accepts fixes the session subject.
+#[derive(Debug, Clone)]
+pub enum AuthMethod {
+    /// Identify as the connecting host's name (server-resolved).
+    Hostname,
+    /// Filesystem challenge/response proving a shared local account
+    /// namespace; claims the identity `uid<N>` of the calling process.
+    Unix,
+    /// Shared-secret ticket under an arbitrary method label
+    /// (`globus`, `kerberos`, ...) carrying a free-form subject name.
+    Ticket {
+        /// Method label, e.g. `globus`.
+        method: String,
+        /// Registered subject name, e.g. an X.509 DN. May be empty to
+        /// accept whatever name the secret is registered under.
+        name: String,
+        /// The shared secret.
+        secret: String,
+    },
+}
+
+impl AuthMethod {
+    /// Convenience constructor for ticket credentials.
+    pub fn ticket(method: &str, name: &str, secret: &str) -> AuthMethod {
+        AuthMethod::Ticket {
+            method: method.to_string(),
+            name: name.to_string(),
+            secret: secret.to_string(),
+        }
+    }
+}
+
+/// A connection to one Chirp file server.
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    addr: SocketAddr,
+    subject: Option<String>,
+    /// Once a transport error occurs the stream framing is unknown;
+    /// every further call fails fast with `Disconnected`.
+    broken: bool,
+}
+
+impl Connection {
+    /// Connect to `addr` (anything resolvable, e.g. `"127.0.0.1:9094"`)
+    /// with `timeout` applied to the TCP connect and to every
+    /// subsequent read and write.
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> ChirpResult<Connection> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| ChirpError::from_io(&e))?
+            .next()
+            .ok_or(ChirpError::InvalidRequest)?;
+        let stream =
+            TcpStream::connect_timeout(&addr, timeout).map_err(|e| ChirpError::from_io(&e))?;
+        stream.set_nodelay(true).map_err(|e| ChirpError::from_io(&e))?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| ChirpError::from_io(&e))?;
+        stream
+            .set_write_timeout(Some(timeout))
+            .map_err(|e| ChirpError::from_io(&e))?;
+        let reader = BufReader::with_capacity(
+            256 * 1024,
+            stream.try_clone().map_err(|e| ChirpError::from_io(&e))?,
+        );
+        let writer = BufWriter::with_capacity(256 * 1024, stream);
+        Ok(Connection {
+            reader,
+            writer,
+            addr,
+            subject: None,
+            broken: false,
+        })
+    }
+
+    /// The server address this connection is bound to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The subject granted at authentication, if any.
+    pub fn subject(&self) -> Option<&str> {
+        self.subject.as_deref()
+    }
+
+    /// True once a transport failure has poisoned the connection.
+    pub fn is_broken(&self) -> bool {
+        self.broken
+    }
+
+    // ---- plumbing -------------------------------------------------------
+
+    fn check_usable(&self) -> ChirpResult<()> {
+        if self.broken {
+            Err(ChirpError::Disconnected)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn send(&mut self, req: &Request) -> ChirpResult<()> {
+        self.check_usable()?;
+        let line = req.encode();
+        let res = self
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|_| self.writer.flush());
+        if let Err(e) = res {
+            self.broken = true;
+            return Err(ChirpError::from_io(&e));
+        }
+        Ok(())
+    }
+
+    fn recv_status(&mut self) -> ChirpResult<StatusLine> {
+        match wire::read_status(&mut self.reader) {
+            Ok(s) => Ok(s),
+            Err(e) => {
+                if e.is_retryable() || e == ChirpError::Disconnected {
+                    self.broken = true;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// One round trip: send a request, read the status line.
+    fn rpc(&mut self, req: &Request) -> ChirpResult<StatusLine> {
+        self.send(req)?;
+        self.recv_status()
+    }
+
+    fn read_body(&mut self, len: u64) -> ChirpResult<Vec<u8>> {
+        match wire::read_payload(&mut self.reader, len) {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                self.broken = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn decode_word(words: &[String], idx: usize) -> ChirpResult<String> {
+        let raw = words.get(idx).ok_or(ChirpError::InvalidRequest)?;
+        let bytes = unescape(raw).ok_or(ChirpError::InvalidRequest)?;
+        String::from_utf8(bytes).map_err(|_| ChirpError::InvalidRequest)
+    }
+
+    // ---- authentication -------------------------------------------------
+
+    /// Try each method in order; the first success fixes the subject.
+    pub fn authenticate(&mut self, methods: &[AuthMethod]) -> ChirpResult<String> {
+        let mut last = ChirpError::AuthFailed;
+        for m in methods {
+            match self.try_method(m) {
+                Ok(subject) => return Ok(subject),
+                Err(e) if e.is_retryable() || e == ChirpError::Disconnected => return Err(e),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    fn try_method(&mut self, method: &AuthMethod) -> ChirpResult<String> {
+        match method {
+            AuthMethod::Hostname => self.auth_round("hostname", "", ""),
+            AuthMethod::Ticket {
+                method,
+                name,
+                secret,
+            } => self.auth_round(method, name, secret),
+            AuthMethod::Unix => self.auth_unix(),
+        }
+    }
+
+    fn auth_round(&mut self, method: &str, name: &str, credential: &str) -> ChirpResult<String> {
+        let st = self.rpc(&Request::Auth {
+            method: method.to_string(),
+            name: name.to_string(),
+            credential: credential.to_string(),
+        })?;
+        match st.value {
+            0 => {
+                let subject = Self::decode_word(&st.words, 0)?;
+                self.subject = Some(subject.clone());
+                Ok(subject)
+            }
+            _ => Err(ChirpError::AuthFailed),
+        }
+    }
+
+    /// The `unix` method: request a challenge path, create the file,
+    /// present the path back as the credential.
+    fn auth_unix(&mut self) -> ChirpResult<String> {
+        let name = format!("uid{}", current_uid()?);
+        let st = self.rpc(&Request::Auth {
+            method: "unix".to_string(),
+            name: name.clone(),
+            credential: String::new(),
+        })?;
+        if st.value != 1 {
+            return Err(ChirpError::AuthFailed);
+        }
+        let challenge = Self::decode_word(&st.words, 0)?;
+        std::fs::write(&challenge, b"").map_err(|_| ChirpError::AuthFailed)?;
+        self.auth_round("unix", &name, &challenge)
+    }
+
+    // ---- the RPC surface --------------------------------------------------
+
+    /// Ask the server which subject this session carries.
+    pub fn whoami(&mut self) -> ChirpResult<String> {
+        let st = self.rpc(&Request::Whoami)?;
+        Self::decode_word(&st.words, 0)
+    }
+
+    /// Open a file; the returned descriptor is valid until `close` or
+    /// disconnection.
+    pub fn open(&mut self, path: &str, flags: OpenFlags, mode: u32) -> ChirpResult<i32> {
+        let st = self.rpc(&Request::Open {
+            path: path.to_string(),
+            flags,
+            mode,
+        })?;
+        Ok(st.value as i32)
+    }
+
+    /// Close a descriptor.
+    pub fn close(&mut self, fd: i32) -> ChirpResult<()> {
+        self.rpc(&Request::Close { fd })?;
+        Ok(())
+    }
+
+    /// Positional read of up to `length` bytes at `offset`. Short
+    /// reads happen only at end of file.
+    pub fn pread(&mut self, fd: i32, length: u64, offset: u64) -> ChirpResult<Vec<u8>> {
+        let st = self.rpc(&Request::Pread { fd, length, offset })?;
+        self.read_body(st.value as u64)
+    }
+
+    /// Positional write of the whole buffer at `offset`.
+    pub fn pwrite(&mut self, fd: i32, data: &[u8], offset: u64) -> ChirpResult<u64> {
+        self.check_usable()?;
+        let req = Request::Pwrite {
+            fd,
+            length: data.len() as u64,
+            offset,
+        };
+        let line = req.encode();
+        let res = self
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|_| self.writer.write_all(data))
+            .and_then(|_| self.writer.flush());
+        if let Err(e) = res {
+            self.broken = true;
+            return Err(ChirpError::from_io(&e));
+        }
+        let st = self.recv_status()?;
+        Ok(st.value as u64)
+    }
+
+    /// `fstat` an open descriptor.
+    pub fn fstat(&mut self, fd: i32) -> ChirpResult<StatBuf> {
+        let st = self.rpc(&Request::Fstat { fd })?;
+        let words: Vec<&str> = st.words.iter().map(String::as_str).collect();
+        StatBuf::from_words(&words)
+    }
+
+    /// Flush a descriptor to stable storage.
+    pub fn fsync(&mut self, fd: i32) -> ChirpResult<()> {
+        self.rpc(&Request::Fsync { fd })?;
+        Ok(())
+    }
+
+    /// Truncate an open descriptor.
+    pub fn ftruncate(&mut self, fd: i32, size: u64) -> ChirpResult<()> {
+        self.rpc(&Request::Ftruncate { fd, size })?;
+        Ok(())
+    }
+
+    /// `stat` by path.
+    pub fn stat(&mut self, path: &str) -> ChirpResult<StatBuf> {
+        let st = self.rpc(&Request::Stat {
+            path: path.to_string(),
+        })?;
+        let words: Vec<&str> = st.words.iter().map(String::as_str).collect();
+        StatBuf::from_words(&words)
+    }
+
+    /// Remove a file.
+    pub fn unlink(&mut self, path: &str) -> ChirpResult<()> {
+        self.rpc(&Request::Unlink {
+            path: path.to_string(),
+        })?;
+        Ok(())
+    }
+
+    /// Atomic rename within the server.
+    pub fn rename(&mut self, from: &str, to: &str) -> ChirpResult<()> {
+        self.rpc(&Request::Rename {
+            from: from.to_string(),
+            to: to.to_string(),
+        })?;
+        Ok(())
+    }
+
+    /// Create a directory (ordinary or reserve-right semantics,
+    /// decided by the server from the caller's ACL rights).
+    pub fn mkdir(&mut self, path: &str, mode: u32) -> ChirpResult<()> {
+        self.rpc(&Request::Mkdir {
+            path: path.to_string(),
+            mode,
+        })?;
+        Ok(())
+    }
+
+    /// Remove an empty directory.
+    pub fn rmdir(&mut self, path: &str) -> ChirpResult<()> {
+        self.rpc(&Request::Rmdir {
+            path: path.to_string(),
+        })?;
+        Ok(())
+    }
+
+    /// List a directory.
+    pub fn getdir(&mut self, path: &str) -> ChirpResult<Vec<String>> {
+        let st = self.rpc(&Request::Getdir {
+            path: path.to_string(),
+        })?;
+        let body = self.read_body(st.value as u64)?;
+        let text = String::from_utf8(body).map_err(|_| ChirpError::InvalidRequest)?;
+        text.split('\n')
+            .filter(|s| !s.is_empty())
+            .map(|w| {
+                let bytes = unescape(w).ok_or(ChirpError::InvalidRequest)?;
+                String::from_utf8(bytes).map_err(|_| ChirpError::InvalidRequest)
+            })
+            .collect()
+    }
+
+    /// List a directory with attributes in one round trip.
+    pub fn getlongdir(&mut self, path: &str) -> ChirpResult<Vec<(String, StatBuf)>> {
+        let st = self.rpc(&Request::Getlongdir {
+            path: path.to_string(),
+        })?;
+        let body = self.read_body(st.value as u64)?;
+        let text = String::from_utf8(body).map_err(|_| ChirpError::InvalidRequest)?;
+        text.split('\n')
+            .filter(|s| !s.is_empty())
+            .map(|line| {
+                let mut words = line.split(' ');
+                let raw = words.next().ok_or(ChirpError::InvalidRequest)?;
+                let name = unescape(raw)
+                    .and_then(|b| String::from_utf8(b).ok())
+                    .ok_or(ChirpError::InvalidRequest)?;
+                let rest: Vec<&str> = words.collect();
+                Ok((name, StatBuf::from_words(&rest)?))
+            })
+            .collect()
+    }
+
+    /// Stream an entire file into `out`; returns the byte count.
+    pub fn getfile_to<W: Write>(&mut self, path: &str, out: &mut W) -> ChirpResult<u64> {
+        let st = self.rpc(&Request::Getfile {
+            path: path.to_string(),
+        })?;
+        let len = st.value as u64;
+        if let Err(e) = wire::copy_exact(&mut self.reader, out, len) {
+            self.broken = true;
+            return Err(ChirpError::from_io(&e));
+        }
+        Ok(len)
+    }
+
+    /// Fetch an entire file into memory.
+    pub fn getfile(&mut self, path: &str) -> ChirpResult<Vec<u8>> {
+        let mut out = Vec::new();
+        self.getfile_to(path, &mut out)?;
+        Ok(out)
+    }
+
+    /// Stream `length` bytes from `source` into a new file at `path`.
+    pub fn putfile_from<R: Read>(
+        &mut self,
+        path: &str,
+        mode: u32,
+        length: u64,
+        source: &mut R,
+    ) -> ChirpResult<()> {
+        self.check_usable()?;
+        let req = Request::Putfile {
+            path: path.to_string(),
+            mode,
+            length,
+        };
+        let line = req.encode();
+        let res = self
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|_| wire::copy_exact(source, &mut self.writer, length))
+            .and_then(|_| self.writer.flush());
+        if let Err(e) = res {
+            self.broken = true;
+            return Err(ChirpError::from_io(&e));
+        }
+        self.recv_status()?;
+        Ok(())
+    }
+
+    /// Store an in-memory buffer as a file.
+    pub fn putfile(&mut self, path: &str, mode: u32, data: &[u8]) -> ChirpResult<()> {
+        self.putfile_from(path, mode, data.len() as u64, &mut &data[..])
+    }
+
+    /// Fetch a directory's ACL as text.
+    pub fn getacl(&mut self, path: &str) -> ChirpResult<String> {
+        let st = self.rpc(&Request::Getacl {
+            path: path.to_string(),
+        })?;
+        let body = self.read_body(st.value as u64)?;
+        String::from_utf8(body).map_err(|_| ChirpError::InvalidRequest)
+    }
+
+    /// Add/replace/remove one subject's entry in a directory ACL.
+    pub fn setacl(&mut self, path: &str, subject: &str, rights: &str) -> ChirpResult<()> {
+        self.rpc(&Request::Setacl {
+            path: path.to_string(),
+            subject: subject.to_string(),
+            rights: rights.to_string(),
+        })?;
+        Ok(())
+    }
+
+    /// Server-side CRC-64 of a file.
+    pub fn checksum(&mut self, path: &str) -> ChirpResult<u64> {
+        let st = self.rpc(&Request::Checksum {
+            path: path.to_string(),
+        })?;
+        let word = st.words.first().ok_or(ChirpError::InvalidRequest)?;
+        u64::from_str_radix(word, 16).map_err(|_| ChirpError::InvalidRequest)
+    }
+
+    /// Storage totals for the server.
+    pub fn statfs(&mut self) -> ChirpResult<StatFs> {
+        let st = self.rpc(&Request::Statfs)?;
+        let words: Vec<&str> = st.words.iter().map(String::as_str).collect();
+        StatFs::from_words(&words)
+    }
+
+    /// Truncate by path.
+    pub fn truncate(&mut self, path: &str, size: u64) -> ChirpResult<()> {
+        self.rpc(&Request::Truncate {
+            path: path.to_string(),
+            size,
+        })?;
+        Ok(())
+    }
+
+    /// Set a file's modification time.
+    pub fn utime(&mut self, path: &str, mtime: u64) -> ChirpResult<()> {
+        self.rpc(&Request::Utime {
+            path: path.to_string(),
+            mtime,
+        })?;
+        Ok(())
+    }
+
+    /// Direct a third-party transfer: the server pushes `path` to
+    /// `target_path` on the server at `target`, and the data never
+    /// crosses this connection. Returns the bytes moved.
+    pub fn thirdput(&mut self, path: &str, target: &str, target_path: &str) -> ChirpResult<u64> {
+        let st = self.rpc(&Request::Thirdput {
+            path: path.to_string(),
+            target: target.to_string(),
+            target_path: target_path.to_string(),
+        })?;
+        Ok(st.value as u64)
+    }
+}
+
+impl std::fmt::Debug for Connection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Connection")
+            .field("addr", &self.addr)
+            .field("subject", &self.subject)
+            .field("broken", &self.broken)
+            .finish()
+    }
+}
+
+/// The calling process's uid, observed through file ownership so no
+/// libc binding is needed.
+fn current_uid() -> ChirpResult<u32> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::MetadataExt;
+        let meta = std::fs::metadata("/proc/self").or_else(|_| {
+            let p = std::env::temp_dir().join(format!("chirp-uid-probe-{}", std::process::id()));
+            std::fs::write(&p, b"")?;
+            let m = std::fs::metadata(&p);
+            let _ = std::fs::remove_file(&p);
+            m
+        });
+        meta.map(|m| m.uid()).map_err(|e| ChirpError::from_io(&e))
+    }
+    #[cfg(not(unix))]
+    {
+        Ok(0)
+    }
+}

@@ -1,0 +1,28 @@
+//! Blocking Chirp client library.
+//!
+//! Mirrors the RPC interface from §4 of the paper:
+//!
+//! ```text
+//! conn = chirp_connect( host, port, timeout );
+//! chirp_open   ( conn, path, flags, mode, timeout );
+//! chirp_pread  ( conn, fd, data, length, off, timeout );
+//! chirp_pwrite ( conn, fd, data, length, off, timeout );
+//! chirp_close  ( conn, fd, timeout );
+//! chirp_stat   ( conn, path, statbuf, timeout );
+//! chirp_unlink ( conn, path, timeout );
+//! chirp_rename ( conn, path, newpath, timeout );
+//! ```
+//!
+//! A [`Connection`] is a single authenticated TCP session. Descriptors
+//! are only valid for the life of the connection: if it drops, the
+//! server closes everything, and recovery (re-connect, re-open,
+//! inode verification) is the *adapter's* job in `tss-core`, not the
+//! client library's.
+
+#![warn(missing_docs)]
+
+pub mod conn;
+
+pub use conn::{AuthMethod, Connection};
+
+pub use chirp_proto::{ChirpError, ChirpResult, OpenFlags, StatBuf, StatFs};

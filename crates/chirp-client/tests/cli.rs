@@ -1,0 +1,142 @@
+//! The `chirp` command-line tool, driven as a real subprocess against
+//! a live file server.
+
+use std::process::Command;
+
+use chirp_proto::testutil::TempDir;
+use chirp_server::acl::Acl;
+use chirp_server::{FileServer, ServerConfig};
+
+fn chirp(addr: &str, args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_chirp"))
+        .arg(addr)
+        .args(args)
+        .output()
+        .expect("run chirp binary");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn open_server(root: &std::path::Path) -> FileServer {
+    FileServer::start(
+        ServerConfig::localhost(root, "cli-test")
+            .with_root_acl(Acl::single("hostname:*", "rwlda").unwrap()),
+    )
+    .unwrap()
+}
+
+#[test]
+fn cli_round_trip() {
+    let dir = TempDir::new();
+    let server = open_server(dir.path());
+    let addr = server.endpoint();
+    let work = TempDir::new();
+    let local = work.path().join("in.txt");
+    std::fs::write(&local, b"via the cli").unwrap();
+
+    let (ok, out, err) = chirp(&addr, &["whoami"]);
+    assert!(ok, "{err}");
+    assert_eq!(out.trim(), "hostname:localhost");
+
+    let (ok, _, err) = chirp(&addr, &["put", local.to_str().unwrap(), "/up.txt"]);
+    assert!(ok, "{err}");
+
+    let (ok, out, _) = chirp(&addr, &["ls"]);
+    assert!(ok);
+    assert_eq!(out.trim(), "up.txt");
+
+    let (ok, out, _) = chirp(&addr, &["cat", "/up.txt"]);
+    assert!(ok);
+    assert_eq!(out, "via the cli");
+
+    let (ok, out, _) = chirp(&addr, &["stat", "/up.txt"]);
+    assert!(ok);
+    assert!(out.contains("size 11"), "{out}");
+
+    let down = work.path().join("out.txt");
+    let (ok, _, _) = chirp(&addr, &["get", "/up.txt", down.to_str().unwrap()]);
+    assert!(ok);
+    assert_eq!(std::fs::read(&down).unwrap(), b"via the cli");
+
+    let (ok, _, _) = chirp(&addr, &["mkdir", "/d"]);
+    assert!(ok);
+    let (ok, _, _) = chirp(&addr, &["mv", "/up.txt", "/d/moved.txt"]);
+    assert!(ok);
+    let (ok, out, _) = chirp(&addr, &["ls", "/d"]);
+    assert!(ok);
+    assert_eq!(out.trim(), "moved.txt");
+
+    let (ok, _, _) = chirp(&addr, &["rm", "/d/moved.txt"]);
+    assert!(ok);
+    let (ok, _, _) = chirp(&addr, &["rmdir", "/d"]);
+    assert!(ok);
+}
+
+#[test]
+fn cli_acl_management_and_tickets() {
+    let dir = TempDir::new();
+    let server = FileServer::start(
+        ServerConfig::localhost(dir.path(), "cli-test")
+            .with_root_acl(Acl::single("admin:root", "rwlda").unwrap())
+            .with_ticket("admin", "root", "topsecret"),
+    )
+    .unwrap();
+    let addr = server.endpoint();
+
+    // Unauthorized subject is refused.
+    let (ok, _, err) = chirp(&addr, &["ls"]);
+    assert!(!ok);
+    assert!(err.contains("not authorized"), "{err}");
+
+    // Ticket auth works and can grant hostname visitors access.
+    let (ok, _, err) = chirp(
+        &addr,
+        &["--ticket", "admin:root:topsecret", "setacl", "/", "hostname:*", "rl"],
+    );
+    assert!(ok, "{err}");
+    let (ok, out, _) = chirp(
+        &addr,
+        &["--ticket", "admin:root:topsecret", "getacl", "/"],
+    );
+    assert!(ok);
+    assert!(out.contains("hostname:* rl"), "{out}");
+    // Now the plain visitor can list.
+    let (ok, _, _) = chirp(&addr, &["ls"]);
+    assert!(ok);
+}
+
+#[test]
+fn cli_thirdput_between_two_servers() {
+    let dir_a = TempDir::new();
+    let dir_b = TempDir::new();
+    let a = open_server(dir_a.path());
+    let b = open_server(dir_b.path());
+    let work = TempDir::new();
+    let local = work.path().join("payload");
+    std::fs::write(&local, vec![9u8; 5000]).unwrap();
+
+    let (ok, _, err) = chirp(&a.endpoint(), &["put", local.to_str().unwrap(), "/src"]);
+    assert!(ok, "{err}");
+    let (ok, out, err) = chirp(&a.endpoint(), &["thirdput", "/src", &b.endpoint(), "/dst"]);
+    assert!(ok, "{err}");
+    assert_eq!(out.trim(), "5000 bytes");
+    assert_eq!(
+        std::fs::read(dir_b.path().join("dst")).unwrap(),
+        vec![9u8; 5000]
+    );
+}
+
+#[test]
+fn cli_reports_errors_with_nonzero_exit() {
+    let dir = TempDir::new();
+    let server = open_server(dir.path());
+    let (ok, _, err) = chirp(&server.endpoint(), &["cat", "/missing"]);
+    assert!(!ok);
+    assert!(err.contains("not found"), "{err}");
+    let (ok, _, err) = chirp(&server.endpoint(), &["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"), "{err}");
+}

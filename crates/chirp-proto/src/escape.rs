@@ -1,0 +1,129 @@
+//! Word escaping for protocol lines.
+//!
+//! Request and response lines are sequences of space-separated words.
+//! Arbitrary bytes (paths may contain spaces, newlines, or non-UTF-8)
+//! are carried with a percent-encoding: every byte that would break
+//! tokenization (space, newline, carriage return, `%`, or a control
+//! byte) is written as `%XX`. The empty word is encoded as `%-` so a
+//! line never contains a zero-width token.
+
+/// Escape a word for inclusion in a protocol line.
+pub fn escape(word: &[u8]) -> String {
+    if word.is_empty() {
+        return "%-".to_string();
+    }
+    let mut out = String::with_capacity(word.len());
+    for &b in word {
+        if needs_escape(b) {
+            out.push('%');
+            out.push(hex_digit(b >> 4));
+            out.push(hex_digit(b & 0xf));
+        } else {
+            out.push(b as char);
+        }
+    }
+    out
+}
+
+/// Decode a word produced by [`escape`]. Returns `None` on malformed
+/// escape sequences.
+pub fn unescape(word: &str) -> Option<Vec<u8>> {
+    if word == "%-" {
+        return Some(Vec::new());
+    }
+    let bytes = word.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hi = from_hex(*bytes.get(i + 1)?)?;
+            let lo = from_hex(*bytes.get(i + 2)?)?;
+            out.push((hi << 4) | lo);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    Some(out)
+}
+
+/// Split a line into raw (still-escaped) words.
+pub fn split_words(line: &str) -> Vec<&str> {
+    line.split(' ').filter(|w| !w.is_empty()).collect()
+}
+
+fn needs_escape(b: u8) -> bool {
+    b <= b' ' || b == b'%' || b == 0x7f || b >= 0x80
+}
+
+fn hex_digit(nibble: u8) -> char {
+    char::from_digit(nibble as u32, 16).expect("nibble in range")
+}
+
+fn from_hex(b: u8) -> Option<u8> {
+    (b as char).to_digit(16).map(|d| d as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn plain_words_pass_through() {
+        assert_eq!(escape(b"/data/file.txt"), "/data/file.txt");
+        assert_eq!(unescape("/data/file.txt").unwrap(), b"/data/file.txt");
+    }
+
+    #[test]
+    fn spaces_and_newlines_are_escaped() {
+        assert_eq!(escape(b"a b"), "a%20b");
+        assert_eq!(escape(b"a\nb"), "a%0ab");
+        assert_eq!(unescape("a%20b").unwrap(), b"a b");
+    }
+
+    #[test]
+    fn empty_word_has_a_representation() {
+        let enc = escape(b"");
+        assert!(!enc.is_empty());
+        assert_eq!(unescape(&enc).unwrap(), b"");
+    }
+
+    #[test]
+    fn percent_is_escaped() {
+        let enc = escape(b"100%");
+        assert!(!enc.contains("% "));
+        assert_eq!(unescape(&enc).unwrap(), b"100%");
+    }
+
+    #[test]
+    fn malformed_escapes_rejected() {
+        assert!(unescape("%").is_none());
+        assert!(unescape("%2").is_none());
+        assert!(unescape("%zz").is_none());
+    }
+
+    #[test]
+    fn split_ignores_repeated_spaces() {
+        assert_eq!(split_words("a  b   c"), vec!["a", "b", "c"]);
+        assert_eq!(split_words(""), Vec::<&str>::new());
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_arbitrary_bytes(word in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let enc = escape(&word);
+            // Encoded form must tokenize as exactly one word.
+            prop_assert!(!enc.contains(' '));
+            prop_assert!(!enc.contains('\n'));
+            prop_assert!(!enc.is_empty());
+            prop_assert_eq!(unescape(&enc).unwrap(), word);
+        }
+
+        #[test]
+        fn encoded_form_is_ascii(word in proptest::collection::vec(any::<u8>(), 0..256)) {
+            prop_assert!(escape(&word).is_ascii());
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Open flags.
+//!
+//! A compact bitset mirroring the Unix `open(2)` flags the protocol
+//! needs. The numeric encoding is part of the wire format.
+
+/// Flags passed to the `OPEN` RPC.
+///
+/// The adapter's synchronous-write switch is implemented exactly as the
+/// paper describes: it transparently ORs [`OpenFlags::SYNC`] into every
+/// open — "another benefit of using recursive abstractions".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct OpenFlags(u32);
+
+impl OpenFlags {
+    /// Open for reading.
+    pub const READ: OpenFlags = OpenFlags(1 << 0);
+    /// Open for writing.
+    pub const WRITE: OpenFlags = OpenFlags(1 << 1);
+    /// Create the file if it does not exist.
+    pub const CREATE: OpenFlags = OpenFlags(1 << 2);
+    /// Truncate to zero length on open.
+    pub const TRUNCATE: OpenFlags = OpenFlags(1 << 3);
+    /// With `CREATE`: fail if the file already exists. This is the
+    /// "exclusive open" the DSFS create protocol relies on to detect
+    /// stub-name collisions.
+    pub const EXCLUSIVE: OpenFlags = OpenFlags(1 << 4);
+    /// Append on every write.
+    pub const APPEND: OpenFlags = OpenFlags(1 << 5);
+    /// Flush to stable storage before each write returns.
+    pub const SYNC: OpenFlags = OpenFlags(1 << 6);
+
+    /// The empty flag set.
+    pub fn empty() -> OpenFlags {
+        OpenFlags(0)
+    }
+
+    /// Read/write convenience combination.
+    pub fn read_write() -> OpenFlags {
+        OpenFlags::READ | OpenFlags::WRITE
+    }
+
+    /// Whether every bit of `other` is set in `self`.
+    pub fn contains(self, other: OpenFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// The raw wire encoding.
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Decode a wire value, rejecting unknown bits.
+    pub fn from_bits(bits: u32) -> Option<OpenFlags> {
+        if bits & !0x7f == 0 {
+            Some(OpenFlags(bits))
+        } else {
+            None
+        }
+    }
+
+    /// True if the flags request any form of mutation.
+    pub fn writes(self) -> bool {
+        self.contains(OpenFlags::WRITE)
+            || self.contains(OpenFlags::CREATE)
+            || self.contains(OpenFlags::TRUNCATE)
+            || self.contains(OpenFlags::APPEND)
+    }
+}
+
+impl std::ops::BitOr for OpenFlags {
+    type Output = OpenFlags;
+    fn bitor(self, rhs: OpenFlags) -> OpenFlags {
+        OpenFlags(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitOrAssign for OpenFlags {
+    fn bitor_assign(&mut self, rhs: OpenFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_round_trip() {
+        let f = OpenFlags::READ | OpenFlags::CREATE | OpenFlags::SYNC;
+        assert_eq!(OpenFlags::from_bits(f.bits()), Some(f));
+    }
+
+    #[test]
+    fn unknown_bits_rejected() {
+        assert_eq!(OpenFlags::from_bits(1 << 20), None);
+    }
+
+    #[test]
+    fn writes_classification() {
+        assert!(!OpenFlags::READ.writes());
+        assert!(OpenFlags::WRITE.writes());
+        assert!(OpenFlags::CREATE.writes());
+        assert!((OpenFlags::READ | OpenFlags::APPEND).writes());
+    }
+
+    #[test]
+    fn contains_checks_all_bits() {
+        let rw = OpenFlags::read_write();
+        assert!(rw.contains(OpenFlags::READ));
+        assert!(rw.contains(OpenFlags::WRITE));
+        assert!(!rw.contains(OpenFlags::READ | OpenFlags::SYNC));
+    }
+}

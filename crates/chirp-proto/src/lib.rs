@@ -1,0 +1,52 @@
+//! The Chirp wire protocol.
+//!
+//! Chirp is a Unix-like remote I/O protocol carried over a single TCP
+//! connection: the client authenticates, then issues remote procedure
+//! calls that correspond closely to Unix (`open`, `pread`, `pwrite`,
+//! `stat`, `rename`, ...). All file data travels on the same connection
+//! as control traffic so the TCP window stays open, in contrast to
+//! FTP-style split control/data designs.
+//!
+//! Each request is one escaped text line, optionally followed by a raw
+//! binary payload whose length is named on the line. Each response is a
+//! status line (a non-negative result value or a negative error code),
+//! optionally followed by result words or a raw payload.
+//!
+//! This crate contains only the protocol: message types, encoding and
+//! decoding, error codes, framing helpers, and the checksum used by the
+//! `CHECKSUM` RPC. The server lives in `chirp-server`, the client in
+//! `chirp-client`.
+
+#![warn(missing_docs)]
+
+pub mod checksum;
+pub mod error;
+pub mod escape;
+pub mod flags;
+pub mod message;
+pub mod stat;
+#[doc(hidden)]
+pub mod testutil;
+pub mod wire;
+
+pub use checksum::crc64;
+pub use error::{ChirpError, ChirpResult};
+pub use flags::OpenFlags;
+pub use message::Request;
+pub use stat::{StatBuf, StatFs};
+
+/// Maximum length of a single request or response line, in bytes.
+///
+/// Lines beyond this are a protocol violation; both sides drop the
+/// connection rather than buffer unboundedly.
+pub const MAX_LINE: usize = 64 * 1024;
+
+/// Maximum size of a single binary payload (one `pwrite`/`pread` body or
+/// one `putfile`/`getfile` stream chunk).
+pub const MAX_PAYLOAD: usize = 64 * 1024 * 1024;
+
+/// Protocol version announced in catalog reports.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Default TCP port for Chirp file servers (the historical default).
+pub const DEFAULT_PORT: u16 = 9094;

@@ -1,0 +1,604 @@
+//! Request messages and their line codec.
+//!
+//! A request is a single line `VERB arg arg ...\n`; arguments that are
+//! free text (paths, subjects, credentials) are escaped with
+//! [`crate::escape`]. Requests that carry data (`PWRITE`, `PUTFILE`)
+//! name the payload length on the line and ship the raw bytes
+//! immediately after it.
+
+use crate::error::ChirpError;
+use crate::escape::{escape, split_words, unescape};
+use crate::flags::OpenFlags;
+
+/// A single Chirp RPC request.
+///
+/// `PWRITE`/`PUTFILE` payloads are *not* part of this type: the framing
+/// layer transfers them separately so a server can stream large bodies
+/// straight to disk without an intermediate copy of the whole payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Authenticate with `method`, claiming identity `name`, proving it
+    /// with `credential` (method-specific).
+    Auth {
+        /// Authentication method name (`hostname`, `unix`, `ticket`).
+        method: String,
+        /// Claimed identity within the method's namespace.
+        name: String,
+        /// Method-specific proof.
+        credential: String,
+    },
+    /// Report the subject the server has assigned this connection.
+    Whoami,
+    /// Open `path`; returns a connection-scoped descriptor.
+    Open {
+        /// Server path.
+        path: String,
+        /// Open mode flags.
+        flags: OpenFlags,
+        /// Permission bits for newly created files.
+        mode: u32,
+    },
+    /// Close a descriptor.
+    Close {
+        /// Descriptor from a previous `Open`.
+        fd: i32,
+    },
+    /// Positional read; the response streams back up to `length` bytes.
+    Pread {
+        /// Descriptor.
+        fd: i32,
+        /// Maximum bytes to read.
+        length: u64,
+        /// Absolute file offset.
+        offset: u64,
+    },
+    /// Positional write; `length` payload bytes follow the line.
+    Pwrite {
+        /// Descriptor.
+        fd: i32,
+        /// Payload length that follows.
+        length: u64,
+        /// Absolute file offset.
+        offset: u64,
+    },
+    /// `fstat` on an open descriptor.
+    Fstat {
+        /// Descriptor.
+        fd: i32,
+    },
+    /// Flush an open descriptor to stable storage.
+    Fsync {
+        /// Descriptor.
+        fd: i32,
+    },
+    /// Truncate an open descriptor.
+    Ftruncate {
+        /// Descriptor.
+        fd: i32,
+        /// New size.
+        size: u64,
+    },
+    /// `stat` by path.
+    Stat {
+        /// Server path.
+        path: String,
+    },
+    /// Remove a file.
+    Unlink {
+        /// Server path.
+        path: String,
+    },
+    /// Atomically rename within the server.
+    Rename {
+        /// Existing path.
+        from: String,
+        /// New path.
+        to: String,
+    },
+    /// Create a directory. Subject to the reserve (`V`) right: in a
+    /// directory where the caller holds only `V`, the new directory is
+    /// initialized with an ACL granting the caller the rights listed in
+    /// the parent's `V(...)` grant.
+    Mkdir {
+        /// Server path.
+        path: String,
+        /// Permission bits.
+        mode: u32,
+    },
+    /// Remove an empty directory.
+    Rmdir {
+        /// Server path.
+        path: String,
+    },
+    /// List a directory; the response streams escaped names separated
+    /// by newlines.
+    Getdir {
+        /// Server path.
+        path: String,
+    },
+    /// List a directory with attributes: one `name statwords` line per
+    /// entry, saving a round trip per entry over `GETDIR` + `STAT`.
+    Getlongdir {
+        /// Server path.
+        path: String,
+    },
+    /// Stream an entire file to the client.
+    Getfile {
+        /// Server path.
+        path: String,
+    },
+    /// Stream an entire file from the client; `length` bytes follow.
+    Putfile {
+        /// Server path.
+        path: String,
+        /// Permission bits for the created file.
+        mode: u32,
+        /// Payload length that follows.
+        length: u64,
+    },
+    /// Fetch the ACL of a directory as text.
+    Getacl {
+        /// Server path.
+        path: String,
+    },
+    /// Add or replace one subject's entry in a directory ACL
+    /// (requires the `A` right). An empty rights string deletes the
+    /// entry.
+    Setacl {
+        /// Server path.
+        path: String,
+        /// Subject pattern, e.g. `hostname:*.cse.nd.edu`.
+        subject: String,
+        /// Rights string, e.g. `rwl` or `v(rwla)`.
+        rights: String,
+    },
+    /// CRC-64 of a whole file, for integrity audits.
+    Checksum {
+        /// Server path.
+        path: String,
+    },
+    /// Storage totals for the server root.
+    Statfs,
+    /// Truncate by path.
+    Truncate {
+        /// Server path.
+        path: String,
+        /// New size.
+        size: u64,
+    },
+    /// Set the modification time of a path (used by replication to
+    /// preserve timestamps).
+    Utime {
+        /// Server path.
+        path: String,
+        /// New mtime, seconds since the epoch.
+        mtime: u64,
+    },
+    /// Third-party transfer: this server pushes `path` directly to
+    /// another file server, so bulk replication never hauls data
+    /// through the directing client. The serving side authenticates
+    /// to the target with its own `hostname` identity.
+    Thirdput {
+        /// Local path to send.
+        path: String,
+        /// Target server endpoint, `host:port`.
+        target: String,
+        /// Path to create on the target.
+        target_path: String,
+    },
+}
+
+impl Request {
+    /// Number of payload bytes that follow this request line.
+    pub fn payload_len(&self) -> u64 {
+        match self {
+            Request::Pwrite { length, .. } | Request::Putfile { length, .. } => *length,
+            _ => 0,
+        }
+    }
+
+    /// True for requests that mutate server state; used by tests to
+    /// assert read-only subjects are confined.
+    pub fn is_mutation(&self) -> bool {
+        matches!(
+            self,
+            Request::Pwrite { .. }
+                | Request::Putfile { .. }
+                | Request::Unlink { .. }
+                | Request::Rename { .. }
+                | Request::Mkdir { .. }
+                | Request::Rmdir { .. }
+                | Request::Setacl { .. }
+                | Request::Truncate { .. }
+                | Request::Ftruncate { .. }
+                | Request::Utime { .. }
+        ) || matches!(self, Request::Open { flags, .. } if flags.writes())
+    }
+
+    /// Encode this request as one protocol line (including the trailing
+    /// newline).
+    pub fn encode(&self) -> String {
+        let e = |s: &str| escape(s.as_bytes());
+        match self {
+            Request::Auth {
+                method,
+                name,
+                credential,
+            } => format!("AUTH {} {} {}\n", e(method), e(name), e(credential)),
+            Request::Whoami => "WHOAMI\n".to_string(),
+            Request::Open { path, flags, mode } => {
+                format!("OPEN {} {} {}\n", e(path), flags.bits(), mode)
+            }
+            Request::Close { fd } => format!("CLOSE {fd}\n"),
+            Request::Pread { fd, length, offset } => format!("PREAD {fd} {length} {offset}\n"),
+            Request::Pwrite { fd, length, offset } => format!("PWRITE {fd} {length} {offset}\n"),
+            Request::Fstat { fd } => format!("FSTAT {fd}\n"),
+            Request::Fsync { fd } => format!("FSYNC {fd}\n"),
+            Request::Ftruncate { fd, size } => format!("FTRUNCATE {fd} {size}\n"),
+            Request::Stat { path } => format!("STAT {}\n", e(path)),
+            Request::Unlink { path } => format!("UNLINK {}\n", e(path)),
+            Request::Rename { from, to } => format!("RENAME {} {}\n", e(from), e(to)),
+            Request::Mkdir { path, mode } => format!("MKDIR {} {}\n", e(path), mode),
+            Request::Rmdir { path } => format!("RMDIR {}\n", e(path)),
+            Request::Getdir { path } => format!("GETDIR {}\n", e(path)),
+            Request::Getlongdir { path } => format!("GETLONGDIR {}\n", e(path)),
+            Request::Getfile { path } => format!("GETFILE {}\n", e(path)),
+            Request::Putfile { path, mode, length } => {
+                format!("PUTFILE {} {} {}\n", e(path), mode, length)
+            }
+            Request::Getacl { path } => format!("GETACL {}\n", e(path)),
+            Request::Setacl {
+                path,
+                subject,
+                rights,
+            } => format!("SETACL {} {} {}\n", e(path), e(subject), e(rights)),
+            Request::Checksum { path } => format!("CHECKSUM {}\n", e(path)),
+            Request::Statfs => "STATFS\n".to_string(),
+            Request::Truncate { path, size } => format!("TRUNCATE {} {}\n", e(path), size),
+            Request::Utime { path, mtime } => format!("UTIME {} {}\n", e(path), mtime),
+            Request::Thirdput {
+                path,
+                target,
+                target_path,
+            } => format!("THIRDPUT {} {} {}\n", e(path), e(target), e(target_path)),
+        }
+    }
+
+    /// Parse one request line (without the trailing newline).
+    pub fn parse(line: &str) -> Result<Request, ChirpError> {
+        let words = split_words(line);
+        let (&verb, args) = words.split_first().ok_or(ChirpError::InvalidRequest)?;
+        let text = |i: usize| -> Result<String, ChirpError> {
+            let raw = args.get(i).ok_or(ChirpError::InvalidRequest)?;
+            let bytes = unescape(raw).ok_or(ChirpError::InvalidRequest)?;
+            String::from_utf8(bytes).map_err(|_| ChirpError::InvalidRequest)
+        };
+        let num = |i: usize| -> Result<u64, ChirpError> {
+            args.get(i)
+                .and_then(|w| w.parse::<u64>().ok())
+                .ok_or(ChirpError::InvalidRequest)
+        };
+        let fd_arg = |i: usize| -> Result<i32, ChirpError> {
+            args.get(i)
+                .and_then(|w| w.parse::<i32>().ok())
+                .ok_or(ChirpError::InvalidRequest)
+        };
+        let arity = |n: usize| -> Result<(), ChirpError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(ChirpError::InvalidRequest)
+            }
+        };
+        let req = match verb {
+            "AUTH" => {
+                arity(3)?;
+                Request::Auth {
+                    method: text(0)?,
+                    name: text(1)?,
+                    credential: text(2)?,
+                }
+            }
+            "WHOAMI" => {
+                arity(0)?;
+                Request::Whoami
+            }
+            "OPEN" => {
+                arity(3)?;
+                Request::Open {
+                    path: text(0)?,
+                    flags: OpenFlags::from_bits(num(1)? as u32)
+                        .ok_or(ChirpError::InvalidRequest)?,
+                    mode: num(2)? as u32,
+                }
+            }
+            "CLOSE" => {
+                arity(1)?;
+                Request::Close { fd: fd_arg(0)? }
+            }
+            "PREAD" => {
+                arity(3)?;
+                Request::Pread {
+                    fd: fd_arg(0)?,
+                    length: num(1)?,
+                    offset: num(2)?,
+                }
+            }
+            "PWRITE" => {
+                arity(3)?;
+                Request::Pwrite {
+                    fd: fd_arg(0)?,
+                    length: num(1)?,
+                    offset: num(2)?,
+                }
+            }
+            "FSTAT" => {
+                arity(1)?;
+                Request::Fstat { fd: fd_arg(0)? }
+            }
+            "FSYNC" => {
+                arity(1)?;
+                Request::Fsync { fd: fd_arg(0)? }
+            }
+            "FTRUNCATE" => {
+                arity(2)?;
+                Request::Ftruncate {
+                    fd: fd_arg(0)?,
+                    size: num(1)?,
+                }
+            }
+            "STAT" => {
+                arity(1)?;
+                Request::Stat { path: text(0)? }
+            }
+            "UNLINK" => {
+                arity(1)?;
+                Request::Unlink { path: text(0)? }
+            }
+            "RENAME" => {
+                arity(2)?;
+                Request::Rename {
+                    from: text(0)?,
+                    to: text(1)?,
+                }
+            }
+            "MKDIR" => {
+                arity(2)?;
+                Request::Mkdir {
+                    path: text(0)?,
+                    mode: num(1)? as u32,
+                }
+            }
+            "RMDIR" => {
+                arity(1)?;
+                Request::Rmdir { path: text(0)? }
+            }
+            "GETDIR" => {
+                arity(1)?;
+                Request::Getdir { path: text(0)? }
+            }
+            "GETLONGDIR" => {
+                arity(1)?;
+                Request::Getlongdir { path: text(0)? }
+            }
+            "GETFILE" => {
+                arity(1)?;
+                Request::Getfile { path: text(0)? }
+            }
+            "PUTFILE" => {
+                arity(3)?;
+                Request::Putfile {
+                    path: text(0)?,
+                    mode: num(1)? as u32,
+                    length: num(2)?,
+                }
+            }
+            "GETACL" => {
+                arity(1)?;
+                Request::Getacl { path: text(0)? }
+            }
+            "SETACL" => {
+                arity(3)?;
+                Request::Setacl {
+                    path: text(0)?,
+                    subject: text(1)?,
+                    rights: text(2)?,
+                }
+            }
+            "CHECKSUM" => {
+                arity(1)?;
+                Request::Checksum { path: text(0)? }
+            }
+            "STATFS" => {
+                arity(0)?;
+                Request::Statfs
+            }
+            "TRUNCATE" => {
+                arity(2)?;
+                Request::Truncate {
+                    path: text(0)?,
+                    size: num(1)?,
+                }
+            }
+            "UTIME" => {
+                arity(2)?;
+                Request::Utime {
+                    path: text(0)?,
+                    mtime: num(1)?,
+                }
+            }
+            "THIRDPUT" => {
+                arity(3)?;
+                Request::Thirdput {
+                    path: text(0)?,
+                    target: text(1)?,
+                    target_path: text(2)?,
+                }
+            }
+            _ => return Err(ChirpError::InvalidRequest),
+        };
+        Ok(req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(req: Request) {
+        let line = req.encode();
+        assert!(line.ends_with('\n'));
+        let parsed = Request::parse(line.trim_end_matches('\n')).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        round_trip(Request::Auth {
+            method: "ticket".into(),
+            name: "/O=NotreDame/CN=alice".into(),
+            credential: "deadbeef".into(),
+        });
+        round_trip(Request::Whoami);
+        round_trip(Request::Open {
+            path: "/data/run 5/out.bin".into(),
+            flags: OpenFlags::READ | OpenFlags::CREATE,
+            mode: 0o644,
+        });
+        round_trip(Request::Close { fd: 7 });
+        round_trip(Request::Pread {
+            fd: 1,
+            length: 8192,
+            offset: 65536,
+        });
+        round_trip(Request::Pwrite {
+            fd: 1,
+            length: 8192,
+            offset: 0,
+        });
+        round_trip(Request::Fstat { fd: 3 });
+        round_trip(Request::Fsync { fd: 3 });
+        round_trip(Request::Ftruncate { fd: 3, size: 100 });
+        round_trip(Request::Stat {
+            path: "/paper.txt".into(),
+        });
+        round_trip(Request::Unlink {
+            path: "/tmp/x".into(),
+        });
+        round_trip(Request::Rename {
+            from: "/a".into(),
+            to: "/b".into(),
+        });
+        round_trip(Request::Mkdir {
+            path: "/backup".into(),
+            mode: 0o755,
+        });
+        round_trip(Request::Rmdir {
+            path: "/backup".into(),
+        });
+        round_trip(Request::Getdir { path: "/".into() });
+        round_trip(Request::Getlongdir { path: "/data".into() });
+        round_trip(Request::Getfile {
+            path: "/big.dat".into(),
+        });
+        round_trip(Request::Putfile {
+            path: "/big.dat".into(),
+            mode: 0o600,
+            length: 1 << 20,
+        });
+        round_trip(Request::Getacl { path: "/".into() });
+        round_trip(Request::Setacl {
+            path: "/".into(),
+            subject: "hostname:*.cse.nd.edu".into(),
+            rights: "v(rwla)".into(),
+        });
+        round_trip(Request::Checksum {
+            path: "/big.dat".into(),
+        });
+        round_trip(Request::Statfs);
+        round_trip(Request::Truncate {
+            path: "/f".into(),
+            size: 0,
+        });
+        round_trip(Request::Utime {
+            path: "/f".into(),
+            mtime: 1_120_000_000,
+        });
+        round_trip(Request::Thirdput {
+            path: "/big.dat".into(),
+            target: "host2:9094".into(),
+            target_path: "/mirror/big.dat".into(),
+        });
+    }
+
+    #[test]
+    fn payload_len_only_for_data_carrying_requests() {
+        assert_eq!(
+            Request::Pwrite {
+                fd: 0,
+                length: 42,
+                offset: 0
+            }
+            .payload_len(),
+            42
+        );
+        assert_eq!(
+            Request::Putfile {
+                path: "/x".into(),
+                mode: 0,
+                length: 9
+            }
+            .payload_len(),
+            9
+        );
+        assert_eq!(Request::Whoami.payload_len(), 0);
+        assert_eq!(Request::Statfs.payload_len(), 0);
+    }
+
+    #[test]
+    fn mutation_classification() {
+        assert!(Request::Unlink { path: "/x".into() }.is_mutation());
+        assert!(Request::Open {
+            path: "/x".into(),
+            flags: OpenFlags::WRITE,
+            mode: 0
+        }
+        .is_mutation());
+        assert!(!Request::Open {
+            path: "/x".into(),
+            flags: OpenFlags::READ,
+            mode: 0
+        }
+        .is_mutation());
+        assert!(!Request::Stat { path: "/x".into() }.is_mutation());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Request::parse("").is_err());
+        assert!(Request::parse("FROB /x").is_err());
+        assert!(Request::parse("OPEN /x").is_err());
+        assert!(Request::parse("OPEN /x notanumber 0").is_err());
+        assert!(Request::parse("CLOSE").is_err());
+        assert!(Request::parse("WHOAMI extra").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_open_flag_bits() {
+        assert!(Request::parse("OPEN /x 1048576 0").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_paths_round_trip(path in "[\\PC]{1,64}") {
+            round_trip(Request::Stat { path: path.clone() });
+            round_trip(Request::Rename { from: path.clone(), to: format!("{path}.new") });
+        }
+
+        #[test]
+        fn parse_never_panics(line in "\\PC{0,128}") {
+            let _ = Request::parse(&line);
+        }
+    }
+}

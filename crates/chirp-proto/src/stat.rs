@@ -1,0 +1,199 @@
+//! File attribute structures and their wire encodings.
+
+use crate::error::ChirpError;
+
+/// File type reported by `stat`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileType {
+    /// A regular file.
+    File,
+    /// A directory.
+    Dir,
+    /// Anything else (symlink, device, ...); the abstractions treat
+    /// these as opaque.
+    Other,
+}
+
+impl FileType {
+    fn as_word(self) -> &'static str {
+        match self {
+            FileType::File => "f",
+            FileType::Dir => "d",
+            FileType::Other => "o",
+        }
+    }
+
+    fn from_word(w: &str) -> Option<FileType> {
+        match w {
+            "f" => Some(FileType::File),
+            "d" => Some(FileType::Dir),
+            "o" => Some(FileType::Other),
+            _ => None,
+        }
+    }
+}
+
+/// The result of a `STAT`/`FSTAT` RPC.
+///
+/// The adapter uses `(device, inode)` identity to detect that a file
+/// was replaced while it was disconnected, turning the re-open into a
+/// "stale file handle" error exactly as NFS would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatBuf {
+    /// Server-local device number.
+    pub device: u64,
+    /// Server-local inode number.
+    pub inode: u64,
+    /// File type.
+    pub file_type: FileType,
+    /// Permission bits as stored on the server's backing filesystem.
+    pub mode: u32,
+    /// Link count.
+    pub nlink: u64,
+    /// Size in bytes.
+    pub size: u64,
+    /// Modification time, seconds since the epoch.
+    pub mtime: u64,
+}
+
+impl StatBuf {
+    /// True if this entry is a directory.
+    pub fn is_dir(&self) -> bool {
+        self.file_type == FileType::Dir
+    }
+
+    /// True if this entry is a regular file.
+    pub fn is_file(&self) -> bool {
+        self.file_type == FileType::File
+    }
+
+    /// Encode as response words (without the leading status code).
+    pub fn to_words(&self) -> String {
+        format!(
+            "{} {} {} {} {} {} {}",
+            self.device,
+            self.inode,
+            self.file_type.as_word(),
+            self.mode,
+            self.nlink,
+            self.size,
+            self.mtime
+        )
+    }
+
+    /// Decode from the words following a successful status code.
+    pub fn from_words(words: &[&str]) -> Result<StatBuf, ChirpError> {
+        if words.len() != 7 {
+            return Err(ChirpError::InvalidRequest);
+        }
+        let num = |w: &str| w.parse::<u64>().map_err(|_| ChirpError::InvalidRequest);
+        Ok(StatBuf {
+            device: num(words[0])?,
+            inode: num(words[1])?,
+            file_type: FileType::from_word(words[2]).ok_or(ChirpError::InvalidRequest)?,
+            mode: num(words[3])? as u32,
+            nlink: num(words[4])?,
+            size: num(words[5])?,
+            mtime: num(words[6])?,
+        })
+    }
+}
+
+/// The result of a `STATFS` RPC: storage totals for catalog reports and
+/// space-aware abstractions (the GEMS replicator budgets against this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatFs {
+    /// Total bytes of storage under the server root.
+    pub total_bytes: u64,
+    /// Bytes still free.
+    pub free_bytes: u64,
+}
+
+impl StatFs {
+    /// Encode as response words.
+    pub fn to_words(&self) -> String {
+        format!("{} {}", self.total_bytes, self.free_bytes)
+    }
+
+    /// Decode from response words.
+    pub fn from_words(words: &[&str]) -> Result<StatFs, ChirpError> {
+        if words.len() != 2 {
+            return Err(ChirpError::InvalidRequest);
+        }
+        let num = |w: &str| w.parse::<u64>().map_err(|_| ChirpError::InvalidRequest);
+        Ok(StatFs {
+            total_bytes: num(words[0])?,
+            free_bytes: num(words[1])?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn statbuf_round_trip() {
+        let s = StatBuf {
+            device: 3,
+            inode: 1234567,
+            file_type: FileType::File,
+            mode: 0o644,
+            nlink: 1,
+            size: 4096,
+            mtime: 1_120_000_000,
+        };
+        let words = s.to_words();
+        let parts: Vec<&str> = words.split(' ').collect();
+        assert_eq!(StatBuf::from_words(&parts).unwrap(), s);
+    }
+
+    #[test]
+    fn statbuf_rejects_short_input() {
+        assert!(StatBuf::from_words(&["1", "2", "f"]).is_err());
+    }
+
+    #[test]
+    fn statbuf_rejects_bad_type() {
+        let parts = ["1", "2", "x", "420", "1", "0", "0"];
+        assert!(StatBuf::from_words(&parts).is_err());
+    }
+
+    #[test]
+    fn statfs_round_trip() {
+        let s = StatFs {
+            total_bytes: 250_000_000_000,
+            free_bytes: 100_000_000_000,
+        };
+        let words = s.to_words();
+        let parts: Vec<&str> = words.split(' ').collect();
+        assert_eq!(StatFs::from_words(&parts).unwrap(), s);
+    }
+
+    proptest! {
+        #[test]
+        fn statbuf_round_trip_any(
+            device in any::<u64>(),
+            inode in any::<u64>(),
+            kind in 0..3u8,
+            mode in any::<u32>(),
+            nlink in any::<u64>(),
+            size in any::<u64>(),
+            mtime in any::<u64>(),
+        ) {
+            let s = StatBuf {
+                device,
+                inode,
+                file_type: match kind { 0 => FileType::File, 1 => FileType::Dir, _ => FileType::Other },
+                mode,
+                nlink,
+                size,
+                mtime,
+            };
+            let words = s.to_words();
+            let parts: Vec<&str> = words.split(' ').collect();
+            prop_assert_eq!(StatBuf::from_words(&parts).unwrap(), s);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Small test-support utilities shared by the workspace's test suites,
+//! examples, and benchmarks.
+//!
+//! Lives in the base crate so every other crate can reach it without a
+//! dependency cycle. Not part of the protocol API surface.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A self-cleaning unique temporary directory.
+///
+/// The workspace avoids external dev-dependencies for this; uniqueness
+/// comes from the process id plus a process-wide counter.
+#[derive(Debug)]
+pub struct TempDir(PathBuf);
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl TempDir {
+    /// Create a fresh directory under the system temp dir.
+    pub fn new() -> TempDir {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("tss-test-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir(path)
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.0
+    }
+
+    /// Create (and return the path of) a subdirectory.
+    pub fn subdir(&self, name: &str) -> PathBuf {
+        let p = self.0.join(name);
+        std::fs::create_dir_all(&p).expect("create subdir");
+        p
+    }
+}
+
+impl Default for TempDir {
+    fn default() -> TempDir {
+        TempDir::new()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tempdirs_are_unique_and_cleaned() {
+        let a = TempDir::new();
+        let b = TempDir::new();
+        assert_ne!(a.path(), b.path());
+        let kept = a.path().to_path_buf();
+        std::fs::write(a.path().join("f"), b"x").unwrap();
+        drop(a);
+        assert!(!kept.exists());
+    }
+}

@@ -1,0 +1,274 @@
+//! Framing helpers shared by the client and the server.
+//!
+//! Everything here works on plain `Read`/`Write` streams so the same
+//! code serves TCP sockets in production and in-memory pipes in tests.
+
+use std::io::{self, BufRead, Read, Write};
+
+use crate::error::ChirpError;
+use crate::MAX_LINE;
+
+/// Read one `\n`-terminated line, enforcing [`MAX_LINE`].
+///
+/// Returns `Ok(None)` on a clean EOF at a line boundary (the peer hung
+/// up between requests), `Err` on EOF mid-line or oversized lines.
+pub fn read_line<R: BufRead>(reader: &mut R) -> io::Result<Option<String>> {
+    let mut line = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return if line.is_empty() {
+                Ok(None)
+            } else {
+                Err(io::ErrorKind::UnexpectedEof.into())
+            };
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                line.extend_from_slice(&buf[..pos]);
+                reader.consume(pos + 1);
+                if line.len() > MAX_LINE {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "line too long"));
+                }
+                let text = String::from_utf8(line)
+                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 line"))?;
+                return Ok(Some(text));
+            }
+            None => {
+                let n = buf.len();
+                line.extend_from_slice(buf);
+                reader.consume(n);
+                if line.len() > MAX_LINE {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "line too long"));
+                }
+            }
+        }
+    }
+}
+
+/// Write a bare status line: `code\n`.
+pub fn write_status<W: Write>(writer: &mut W, code: i64) -> io::Result<()> {
+    writeln!(writer, "{code}")
+}
+
+/// Write a status line with trailing result words: `code words...\n`.
+pub fn write_status_words<W: Write>(writer: &mut W, code: i64, words: &str) -> io::Result<()> {
+    writeln!(writer, "{code} {words}")
+}
+
+/// Write an error status line.
+pub fn write_error<W: Write>(writer: &mut W, err: ChirpError) -> io::Result<()> {
+    write_status(writer, err.code())
+}
+
+/// A decoded response status line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatusLine {
+    /// The non-negative result value.
+    pub value: i64,
+    /// Result words after the status code, still escaped.
+    pub words: Vec<String>,
+}
+
+/// Read and decode a response status line; protocol errors become
+/// `Err(ChirpError)`, transport errors become `Err(Disconnected)` or
+/// `Err(Timeout)`.
+pub fn read_status<R: BufRead>(reader: &mut R) -> Result<StatusLine, ChirpError> {
+    let line = read_line(reader)
+        .map_err(|e| ChirpError::from_io(&e))?
+        .ok_or(ChirpError::Disconnected)?;
+    parse_status(&line)
+}
+
+/// Decode a status line that has already been read.
+pub fn parse_status(line: &str) -> Result<StatusLine, ChirpError> {
+    let mut words = line.split(' ').filter(|w| !w.is_empty());
+    let code: i64 = words
+        .next()
+        .and_then(|w| w.parse().ok())
+        .ok_or(ChirpError::InvalidRequest)?;
+    if code < 0 {
+        return Err(ChirpError::from_code(code));
+    }
+    Ok(StatusLine {
+        value: code,
+        words: words.map(str::to_string).collect(),
+    })
+}
+
+/// Copy exactly `len` bytes from `reader` to `writer` through a bounded
+/// buffer, so multi-megabyte `putfile`/`getfile` bodies never occupy
+/// more than one buffer of memory.
+pub fn copy_exact<R: Read, W: Write>(reader: &mut R, writer: &mut W, len: u64) -> io::Result<()> {
+    let mut buf = [0u8; 64 * 1024];
+    let mut remaining = len;
+    while remaining > 0 {
+        let want = buf.len().min(remaining as usize);
+        let got = reader.read(&mut buf[..want])?;
+        if got == 0 {
+            return Err(io::ErrorKind::UnexpectedEof.into());
+        }
+        writer.write_all(&buf[..got])?;
+        remaining -= got as u64;
+    }
+    Ok(())
+}
+
+/// Read exactly `len` bytes into a fresh buffer, enforcing
+/// [`crate::MAX_PAYLOAD`].
+pub fn read_payload<R: Read>(reader: &mut R, len: u64) -> Result<Vec<u8>, ChirpError> {
+    if len > crate::MAX_PAYLOAD as u64 {
+        return Err(ChirpError::TooBig);
+    }
+    let mut buf = vec![0u8; len as usize];
+    reader
+        .read_exact(&mut buf)
+        .map_err(|e| ChirpError::from_io(&e))?;
+    Ok(buf)
+}
+
+/// Discard exactly `len` bytes from `reader` (used by a server that must
+/// drain the payload of a request it is rejecting, to keep the stream
+/// framed).
+pub fn discard_exact<R: Read>(reader: &mut R, len: u64) -> io::Result<()> {
+    let mut sink = io::sink();
+    copy_exact(reader, &mut sink, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn read_line_splits_on_newline() {
+        let mut r = BufReader::new(&b"hello world\nsecond\n"[..]);
+        assert_eq!(read_line(&mut r).unwrap().unwrap(), "hello world");
+        assert_eq!(read_line(&mut r).unwrap().unwrap(), "second");
+        assert!(read_line(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn read_line_rejects_eof_mid_line() {
+        let mut r = BufReader::new(&b"partial"[..]);
+        assert!(read_line(&mut r).is_err());
+    }
+
+    #[test]
+    fn read_line_enforces_max() {
+        let big = vec![b'x'; MAX_LINE + 10];
+        let mut r = BufReader::new(&big[..]);
+        assert!(read_line(&mut r).is_err());
+    }
+
+    #[test]
+    fn status_round_trip() {
+        let mut buf = Vec::new();
+        write_status_words(&mut buf, 0, "1 2 f 420 1 99 0").unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        let st = read_status(&mut r).unwrap();
+        assert_eq!(st.value, 0);
+        assert_eq!(st.words.len(), 7);
+    }
+
+    #[test]
+    fn negative_status_becomes_error() {
+        let mut buf = Vec::new();
+        write_error(&mut buf, ChirpError::NotFound).unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        assert_eq!(read_status(&mut r).unwrap_err(), ChirpError::NotFound);
+    }
+
+    #[test]
+    fn eof_becomes_disconnected() {
+        let mut r = BufReader::new(&b""[..]);
+        assert_eq!(read_status(&mut r).unwrap_err(), ChirpError::Disconnected);
+    }
+
+    #[test]
+    fn copy_exact_moves_the_right_bytes() {
+        let src = (0..200_000u32).map(|i| i as u8).collect::<Vec<_>>();
+        let mut out = Vec::new();
+        copy_exact(&mut &src[..], &mut out, 150_000).unwrap();
+        assert_eq!(out, src[..150_000]);
+    }
+
+    #[test]
+    fn copy_exact_detects_short_source() {
+        let src = [0u8; 10];
+        let mut out = Vec::new();
+        assert!(copy_exact(&mut &src[..], &mut out, 20).is_err());
+    }
+
+    #[test]
+    fn read_payload_enforces_cap() {
+        let mut r = BufReader::new(&b""[..]);
+        assert_eq!(
+            read_payload(&mut r, crate::MAX_PAYLOAD as u64 + 1).unwrap_err(),
+            ChirpError::TooBig
+        );
+    }
+
+    #[test]
+    fn discard_exact_leaves_stream_framed() {
+        let mut r = BufReader::new(&b"0123456789rest\n"[..]);
+        discard_exact(&mut r, 10).unwrap();
+        assert_eq!(read_line(&mut r).unwrap().unwrap(), "rest");
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn status_words_round_trip(
+                value in 0i64..1_000_000,
+                words in proptest::collection::vec("[!-~]{1,12}", 0..6),
+            ) {
+                let mut buf = Vec::new();
+                let joined = words.join(" ");
+                if joined.is_empty() {
+                    write_status(&mut buf, value).unwrap();
+                } else {
+                    write_status_words(&mut buf, value, &joined).unwrap();
+                }
+                let mut r = BufReader::new(&buf[..]);
+                let st = read_status(&mut r).unwrap();
+                prop_assert_eq!(st.value, value);
+                prop_assert_eq!(st.words, words);
+            }
+
+            #[test]
+            fn copy_exact_is_identity(
+                data in proptest::collection::vec(any::<u8>(), 0..100_000),
+            ) {
+                let mut out = Vec::new();
+                copy_exact(&mut &data[..], &mut out, data.len() as u64).unwrap();
+                prop_assert_eq!(out, data);
+            }
+
+            #[test]
+            fn parse_status_never_panics(line in "\\PC{0,64}") {
+                let _ = parse_status(&line);
+            }
+
+            #[test]
+            fn interleaved_lines_and_payloads_stay_framed(
+                payload in proptest::collection::vec(any::<u8>(), 0..500),
+            ) {
+                // line, payload, line — the stream discipline every
+                // data-carrying RPC relies on.
+                let mut buf = Vec::new();
+                write_status(&mut buf, payload.len() as i64).unwrap();
+                buf.extend_from_slice(&payload);
+                write_status(&mut buf, 0).unwrap();
+                let mut r = BufReader::new(&buf[..]);
+                let st = read_status(&mut r).unwrap();
+                let body = read_payload(&mut r, st.value as u64).unwrap();
+                prop_assert_eq!(body, payload);
+                prop_assert_eq!(read_status(&mut r).unwrap().value, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Authentication: turning a connection into a virtual-user subject.
+//!
+//! A client may attempt any number of methods in any order; the first
+//! success fixes the connection's subject as `method:name` and further
+//! attempts are refused (one set of credentials per session, which the
+//! paper notes "simplifies troubleshooting and file ownership").
+//!
+//! Methods:
+//!
+//! * **hostname** — identity is the resolved name of the connecting
+//!   host (pluggable resolver; reverse DNS in the original system).
+//! * **unix** — a challenge/response through the local filesystem: the
+//!   server asks the client to create a server-chosen file in a shared
+//!   directory and infers the client's identity from the created
+//!   file's owner uid. Proves the peer holds a local account.
+//! * **ticket** — shared-secret credentials standing in for the GSI
+//!   (`globus`) and Kerberos methods of the original system; the
+//!   subject carries whatever free-form name (e.g. an X.509 DN) was
+//!   registered with the secret. See DESIGN.md §4 for why this
+//!   substitution preserves the property under test: free-form external
+//!   identities flowing into ACL checks.
+
+use std::net::IpAddr;
+use std::path::PathBuf;
+
+use chirp_proto::{ChirpError, ChirpResult};
+use rand::RngCore;
+
+use crate::config::ServerConfig;
+
+/// Result of one authentication attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthOutcome {
+    /// Authentication succeeded; the connection's subject is fixed.
+    Subject(String),
+    /// The `unix` method needs the client to create this file and
+    /// retry with the same path as its credential.
+    Challenge(String),
+}
+
+/// Per-connection authentication state machine.
+#[derive(Debug)]
+pub struct Authenticator {
+    peer_ip: IpAddr,
+    pending_unix: Option<PendingUnix>,
+}
+
+#[derive(Debug)]
+struct PendingUnix {
+    claimed_name: String,
+    challenge_path: PathBuf,
+}
+
+impl Authenticator {
+    /// A fresh authenticator for a connection from `peer_ip`.
+    pub fn new(peer_ip: IpAddr) -> Authenticator {
+        Authenticator {
+            peer_ip,
+            pending_unix: None,
+        }
+    }
+
+    /// Process one `AUTH` request.
+    pub fn attempt(
+        &mut self,
+        config: &ServerConfig,
+        method: &str,
+        name: &str,
+        credential: &str,
+    ) -> ChirpResult<AuthOutcome> {
+        match method {
+            "hostname" => {
+                let resolved = (config.hostname_resolver)(self.peer_ip);
+                Ok(AuthOutcome::Subject(format!("hostname:{resolved}")))
+            }
+            "unix" => self.attempt_unix(config, name, credential),
+            _ => self.attempt_ticket(config, method, name, credential),
+        }
+    }
+
+    fn attempt_unix(
+        &mut self,
+        config: &ServerConfig,
+        name: &str,
+        credential: &str,
+    ) -> ChirpResult<AuthOutcome> {
+        let dir = config
+            .unix_challenge_dir
+            .as_ref()
+            .ok_or(ChirpError::NotSupported)?;
+        if credential.is_empty() {
+            // Phase one: issue a challenge.
+            let mut rng = rand::thread_rng();
+            let token = format!("chirp-challenge-{:016x}", rng.next_u64());
+            let path = dir.join(&token);
+            self.pending_unix = Some(PendingUnix {
+                claimed_name: name.to_string(),
+                challenge_path: path.clone(),
+            });
+            return Ok(AuthOutcome::Challenge(path.to_string_lossy().into_owned()));
+        }
+        // Phase two: verify the touched file.
+        let pending = self.pending_unix.take().ok_or(ChirpError::AuthFailed)?;
+        if pending.claimed_name != name
+            || pending.challenge_path.to_string_lossy() != credential
+        {
+            return Err(ChirpError::AuthFailed);
+        }
+        let meta = std::fs::metadata(&pending.challenge_path).map_err(|_| ChirpError::AuthFailed);
+        let _ = std::fs::remove_file(&pending.challenge_path);
+        let meta = meta?;
+        let uid = file_owner_uid(&meta);
+        // Without root we cannot consult the password database, so the
+        // virtual identity is the uid itself unless the claimed name is
+        // the matching `uid<N>` form. Identity stays fully virtual
+        // either way.
+        let derived = format!("uid{uid}");
+        if name != derived && !name.is_empty() {
+            return Err(ChirpError::AuthFailed);
+        }
+        Ok(AuthOutcome::Subject(format!("unix:{derived}")))
+    }
+
+    fn attempt_ticket(
+        &mut self,
+        config: &ServerConfig,
+        method: &str,
+        name: &str,
+        credential: &str,
+    ) -> ChirpResult<AuthOutcome> {
+        for t in &config.tickets {
+            if t.method == method && constant_time_eq(t.secret.as_bytes(), credential.as_bytes()) {
+                if !name.is_empty() && name != t.subject_name {
+                    continue;
+                }
+                return Ok(AuthOutcome::Subject(format!("{}:{}", t.method, t.subject_name)));
+            }
+        }
+        Err(ChirpError::AuthFailed)
+    }
+}
+
+fn file_owner_uid(meta: &std::fs::Metadata) -> u32 {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::MetadataExt;
+        meta.uid()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = meta;
+        0
+    }
+}
+
+/// Compare secrets without early exit, so a listener on the loopback
+/// cannot time-probe ticket bytes.
+fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (&x, &y) in a.iter().zip(b) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chirp_proto::testutil::TempDir;
+
+    fn config() -> ServerConfig {
+        ServerConfig::localhost("/tmp/unused", "owner")
+            .with_ticket("globus", "/O=NotreDame/CN=alice", "s3cret")
+            .with_ticket("kerberos", "bob@ND.EDU", "hunter2")
+    }
+
+    fn auth() -> Authenticator {
+        Authenticator::new("127.0.0.1".parse().unwrap())
+    }
+
+    #[test]
+    fn hostname_uses_resolver_not_claim() {
+        let out = auth().attempt(&config(), "hostname", "spoofed.example.com", "").unwrap();
+        assert_eq!(out, AuthOutcome::Subject("hostname:localhost".into()));
+    }
+
+    #[test]
+    fn ticket_grants_registered_subject() {
+        let out = auth().attempt(&config(), "globus", "", "s3cret").unwrap();
+        assert_eq!(
+            out,
+            AuthOutcome::Subject("globus:/O=NotreDame/CN=alice".into())
+        );
+    }
+
+    #[test]
+    fn ticket_rejects_wrong_secret_and_method() {
+        assert_eq!(
+            auth().attempt(&config(), "globus", "", "wrong").unwrap_err(),
+            ChirpError::AuthFailed
+        );
+        assert_eq!(
+            auth().attempt(&config(), "kerberos", "", "s3cret").unwrap_err(),
+            ChirpError::AuthFailed
+        );
+    }
+
+    #[test]
+    fn ticket_rejects_mismatched_claimed_name() {
+        assert!(auth()
+            .attempt(&config(), "globus", "/O=Elsewhere/CN=eve", "s3cret")
+            .is_err());
+        // Matching claim is fine.
+        assert!(auth()
+            .attempt(&config(), "globus", "/O=NotreDame/CN=alice", "s3cret")
+            .is_ok());
+    }
+
+    #[test]
+    fn unix_requires_configured_dir() {
+        assert_eq!(
+            auth().attempt(&config(), "unix", "uid0", "").unwrap_err(),
+            ChirpError::NotSupported
+        );
+    }
+
+    #[test]
+    fn unix_challenge_round_trip() {
+        let dir = TempDir::new();
+        let mut cfg = config();
+        cfg.unix_challenge_dir = Some(dir.path().to_path_buf());
+        let mut a = auth();
+        let me = format!("uid{}", current_uid());
+        let challenge = match a.attempt(&cfg, "unix", &me, "").unwrap() {
+            AuthOutcome::Challenge(p) => p,
+            other => panic!("expected challenge, got {other:?}"),
+        };
+        std::fs::write(&challenge, b"").unwrap();
+        let out = a.attempt(&cfg, "unix", &me, &challenge).unwrap();
+        assert_eq!(out, AuthOutcome::Subject(format!("unix:{me}")));
+        // Challenge file is consumed.
+        assert!(!std::path::Path::new(&challenge).exists());
+    }
+
+    #[test]
+    fn unix_fails_without_touch() {
+        let dir = TempDir::new();
+        let mut cfg = config();
+        cfg.unix_challenge_dir = Some(dir.path().to_path_buf());
+        let mut a = auth();
+        let me = format!("uid{}", current_uid());
+        let challenge = match a.attempt(&cfg, "unix", &me, "").unwrap() {
+            AuthOutcome::Challenge(p) => p,
+            other => panic!("expected challenge, got {other:?}"),
+        };
+        assert_eq!(
+            a.attempt(&cfg, "unix", &me, &challenge).unwrap_err(),
+            ChirpError::AuthFailed
+        );
+    }
+
+    #[test]
+    fn unix_rejects_identity_mismatch() {
+        let dir = TempDir::new();
+        let mut cfg = config();
+        cfg.unix_challenge_dir = Some(dir.path().to_path_buf());
+        let mut a = auth();
+        let claim = "uid999999";
+        let challenge = match a.attempt(&cfg, "unix", claim, "").unwrap() {
+            AuthOutcome::Challenge(p) => p,
+            other => panic!("expected challenge, got {other:?}"),
+        };
+        std::fs::write(&challenge, b"").unwrap();
+        if current_uid() != 999_999 {
+            assert!(a.attempt(&cfg, "unix", claim, &challenge).is_err());
+        }
+    }
+
+    fn current_uid() -> u32 {
+        let dir = TempDir::new();
+        let probe = dir.path().join("probe");
+        std::fs::write(&probe, b"").unwrap();
+        file_owner_uid(&std::fs::metadata(&probe).unwrap())
+    }
+
+    #[test]
+    fn constant_time_eq_basics() {
+        assert!(constant_time_eq(b"abc", b"abc"));
+        assert!(!constant_time_eq(b"abc", b"abd"));
+        assert!(!constant_time_eq(b"abc", b"ab"));
+        assert!(constant_time_eq(b"", b""));
+    }
+}

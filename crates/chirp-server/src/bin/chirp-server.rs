@@ -1,0 +1,134 @@
+//! `chirp-server` — deploy a personal file server with one command.
+//!
+//! ```text
+//! chirp-server --root /data/export
+//! chirp-server --root . --port 9094 --owner alice \
+//!     --acl 'hostname:*.cse.nd.edu v(rwl)' \
+//!     --ticket globus:/O=ND/CN=alice:s3cret \
+//!     --superuser globus:/O=ND/CN=alice \
+//!     --catalog catalog.cse.nd.edu:9097 --report-interval 300
+//! ```
+//!
+//! No privileges, no kernel modules, no configuration files: the
+//! paper's rapid-deployment property as a binary.
+
+use std::time::Duration;
+
+use chirp_server::acl::Acl;
+use chirp_server::{FileServer, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: chirp-server --root DIR [options]\n\
+         \n\
+         options:\n\
+         \x20 --root DIR               directory to export (required)\n\
+         \x20 --port N                 TCP port (default {}; 0 = ephemeral)\n\
+         \x20 --owner NAME             owner string for catalog reports\n\
+         \x20 --acl 'SUBJECT RIGHTS'   root ACL entry (repeatable)\n\
+         \x20 --ticket M:SUBJECT:SECRET  register a shared-secret credential\n\
+         \x20 --superuser PATTERN      subject pattern with all rights (repeatable)\n\
+         \x20 --unix-challenge-dir DIR enable the unix auth method via DIR\n\
+         \x20 --catalog HOST:PORT      report to this catalog (repeatable)\n\
+         \x20 --report-interval SECS   seconds between reports (default 300)\n\
+         \x20 --capacity BYTES         advertised capacity (default 1 GiB)\n\
+         \x20 --name NAME              server name in catalog listings",
+        chirp_proto::DEFAULT_PORT
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<String> = None;
+    let mut port: u16 = chirp_proto::DEFAULT_PORT;
+    let mut owner = whoami();
+    let mut acl_entries: Vec<String> = Vec::new();
+    let mut config_mods: Vec<Box<dyn FnOnce(ServerConfig) -> ServerConfig>> = Vec::new();
+    let mut capacity: u64 = 1 << 30;
+    let mut report_interval = Duration::from_secs(300);
+    let mut catalogs: Vec<std::net::SocketAddr> = Vec::new();
+    let mut server_name: Option<String> = None;
+    let mut unix_dir: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = || it.next().cloned().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--root" => root = Some(val()),
+            "--port" => port = val().parse().unwrap_or_else(|_| usage()),
+            "--owner" => owner = val(),
+            "--acl" => acl_entries.push(val()),
+            "--ticket" => {
+                let spec = val();
+                let mut parts = spec.splitn(3, ':');
+                let (Some(m), Some(s), Some(secret)) =
+                    (parts.next(), parts.next(), parts.next())
+                else {
+                    usage()
+                };
+                let (m, s, secret) = (m.to_string(), s.to_string(), secret.to_string());
+                config_mods.push(Box::new(move |c| c.with_ticket(&m, &s, &secret)));
+            }
+            "--superuser" => {
+                let p = val();
+                config_mods.push(Box::new(move |c| c.with_superuser(&p)));
+            }
+            "--unix-challenge-dir" => unix_dir = Some(val()),
+            "--catalog" => {
+                catalogs.push(val().parse().unwrap_or_else(|_| usage()));
+            }
+            "--report-interval" => {
+                report_interval = Duration::from_secs(val().parse().unwrap_or_else(|_| usage()));
+            }
+            "--capacity" => capacity = val().parse().unwrap_or_else(|_| usage()),
+            "--name" => server_name = Some(val()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let Some(root) = root else { usage() };
+
+    let acl = if acl_entries.is_empty() {
+        // A server with no grants is only useful to superusers; warn.
+        eprintln!("note: no --acl entries; only --superuser subjects will have access");
+        Acl::new()
+    } else {
+        Acl::parse(&acl_entries.join("\n")).unwrap_or_else(|e| {
+            eprintln!("bad --acl entry: {e}");
+            std::process::exit(2);
+        })
+    };
+
+    let mut config = ServerConfig::localhost(&root, &owner).with_root_acl(acl);
+    config.bind = format!("0.0.0.0:{port}").parse().expect("valid bind");
+    config.capacity_bytes = capacity;
+    config.catalogs = catalogs;
+    config.report_interval = report_interval;
+    config.server_name = server_name;
+    config.unix_challenge_dir = unix_dir.map(Into::into);
+    for f in config_mods {
+        config = f(config);
+    }
+
+    match FileServer::start(config) {
+        Ok(server) => {
+            println!(
+                "chirp-server: exporting {root} at {} (owner {owner})",
+                server.addr()
+            );
+            // Serve until killed.
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+        Err(e) => {
+            eprintln!("chirp-server: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn whoami() -> String {
+    std::env::var("USER").unwrap_or_else(|_| "unknown".to_string())
+}

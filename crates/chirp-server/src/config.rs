@@ -1,0 +1,190 @@
+//! Server configuration.
+
+use std::net::{IpAddr, SocketAddr};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::acl::Acl;
+
+/// How the server turns a peer address into a `hostname:` identity.
+///
+/// The production system performed reverse DNS; the library takes a
+/// pluggable resolver so deployments and tests can control the mapping
+/// without a name service.
+pub type HostnameResolver = Arc<dyn Fn(IpAddr) -> String + Send + Sync>;
+
+/// A shared-secret credential standing in for an external
+/// authentication system (GSI certificates, Kerberos tickets).
+///
+/// Presenting `secret` yields the subject `method:subject_name`, e.g.
+/// `globus:/O=NotreDame/CN=alice` — the same free-form subject shape
+/// the paper's ACL examples use.
+#[derive(Debug, Clone)]
+pub struct Ticket {
+    /// Method label the subject is formed under (`globus`, `kerberos`).
+    pub method: String,
+    /// Identity granted on successful presentation.
+    pub subject_name: String,
+    /// The shared secret.
+    pub secret: String,
+}
+
+/// Configuration for a [`crate::FileServer`].
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Directory exported as the server root. Existing contents are
+    /// exported in place (recursive abstraction: no copies, no
+    /// transformation).
+    pub root: PathBuf,
+    /// Address to bind; use port 0 for an ephemeral port.
+    pub bind: SocketAddr,
+    /// Human name of the owner, published to catalogs.
+    pub owner: String,
+    /// Subject patterns with implicit full rights everywhere — the
+    /// owner "retains access to all data on that server".
+    pub superuser: Vec<String>,
+    /// ACL installed at the root directory on startup if none exists.
+    pub root_acl: Acl,
+    /// Registered shared-secret tickets (see [`Ticket`]).
+    pub tickets: Vec<Ticket>,
+    /// Maps peer IPs to hostnames for the `hostname` method.
+    pub hostname_resolver: HostnameResolver,
+    /// Directory for `unix` method challenge files; `None` disables the
+    /// method. Both client and server must see this directory (it
+    /// proves the client shares the local filesystem).
+    pub unix_challenge_dir: Option<PathBuf>,
+    /// Advertised storage capacity; `STATFS` reports
+    /// `free = capacity - bytes currently stored`.
+    pub capacity_bytes: u64,
+    /// Refuse writes that would exceed `capacity_bytes` with
+    /// `NoSpace`, instead of merely advertising the limit. Space-aware
+    /// abstractions (GEMS placement, DSFS pools) rely on servers
+    /// actually saying no — the Grid3 job failures the paper opens
+    /// with were exactly unadvertised full disks.
+    pub enforce_capacity: bool,
+    /// Maximum descriptors per connection.
+    pub max_open_per_connection: usize,
+    /// Maximum concurrent connections; further ones are refused.
+    pub max_connections: usize,
+    /// Drop connections idle longer than this; `None` keeps them
+    /// forever. Stuck or abandoned clients otherwise pin a connection
+    /// slot (and its thread) indefinitely.
+    pub idle_timeout: Option<Duration>,
+    /// Catalog addresses to report to (UDP), possibly several — a
+    /// server may report to multiple overlapping catalogs.
+    pub catalogs: Vec<SocketAddr>,
+    /// Interval between catalog reports.
+    pub report_interval: Duration,
+    /// Server name published to catalogs; defaults to `host:port`.
+    pub server_name: Option<String>,
+}
+
+impl ServerConfig {
+    /// A localhost configuration exporting `root` on an ephemeral port,
+    /// owned by `owner`, with a deny-all root ACL. Tests and examples
+    /// layer grants on top.
+    pub fn localhost(root: impl Into<PathBuf>, owner: &str) -> ServerConfig {
+        ServerConfig {
+            root: root.into(),
+            bind: "127.0.0.1:0".parse().expect("valid literal"),
+            owner: owner.to_string(),
+            superuser: Vec::new(),
+            root_acl: Acl::new(),
+            tickets: Vec::new(),
+            hostname_resolver: Arc::new(default_resolver),
+            unix_challenge_dir: None,
+            capacity_bytes: 1 << 30,
+            enforce_capacity: true,
+            max_open_per_connection: 256,
+            max_connections: 256,
+            idle_timeout: None,
+            catalogs: Vec::new(),
+            report_interval: Duration::from_secs(300),
+            server_name: None,
+        }
+    }
+
+    /// Set the root ACL installed at startup.
+    pub fn with_root_acl(mut self, acl: Acl) -> ServerConfig {
+        self.root_acl = acl;
+        self
+    }
+
+    /// Register a ticket credential.
+    pub fn with_ticket(mut self, method: &str, subject_name: &str, secret: &str) -> ServerConfig {
+        self.tickets.push(Ticket {
+            method: method.to_string(),
+            subject_name: subject_name.to_string(),
+            secret: secret.to_string(),
+        });
+        self
+    }
+
+    /// Grant a subject pattern implicit full rights (the owner role).
+    pub fn with_superuser(mut self, pattern: &str) -> ServerConfig {
+        self.superuser.push(pattern.to_string());
+        self
+    }
+
+    /// Report to a catalog at `addr` every `interval`.
+    pub fn with_catalog(mut self, addr: SocketAddr, interval: Duration) -> ServerConfig {
+        self.catalogs.push(addr);
+        self.report_interval = interval;
+        self
+    }
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("root", &self.root)
+            .field("bind", &self.bind)
+            .field("owner", &self.owner)
+            .field("capacity_bytes", &self.capacity_bytes)
+            .field("catalogs", &self.catalogs)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Default hostname resolver: loopback becomes `localhost`, everything
+/// else is named by its address.
+pub fn default_resolver(ip: IpAddr) -> String {
+    if ip.is_loopback() {
+        "localhost".to_string()
+    } else {
+        ip.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn localhost_defaults_are_sane() {
+        let cfg = ServerConfig::localhost("/tmp/x", "alice");
+        assert_eq!(cfg.owner, "alice");
+        assert_eq!(cfg.bind.port(), 0);
+        assert!(cfg.root_acl.entries().is_empty());
+        assert!(cfg.max_open_per_connection > 0);
+    }
+
+    #[test]
+    fn default_resolver_names_loopback() {
+        assert_eq!(default_resolver("127.0.0.1".parse().unwrap()), "localhost");
+        assert_eq!(default_resolver("10.1.2.3".parse().unwrap()), "10.1.2.3");
+    }
+
+    #[test]
+    fn builders_accumulate() {
+        let cfg = ServerConfig::localhost("/tmp/x", "o")
+            .with_ticket("globus", "/O=ND/CN=a", "s3cret")
+            .with_superuser("unix:owner")
+            .with_catalog("127.0.0.1:9097".parse().unwrap(), Duration::from_secs(5));
+        assert_eq!(cfg.tickets.len(), 1);
+        assert_eq!(cfg.superuser.len(), 1);
+        assert_eq!(cfg.catalogs.len(), 1);
+        assert_eq!(cfg.report_interval, Duration::from_secs(5));
+    }
+}

@@ -1,0 +1,704 @@
+//! Per-connection request handling: authentication gate, ACL
+//! enforcement, and dispatch to jailed filesystem operations.
+
+use std::fs::{File, OpenOptions};
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+
+use chirp_proto::escape::escape;
+use chirp_proto::stat::FileType;
+use chirp_proto::{ChirpError, ChirpResult, OpenFlags, Request, StatBuf, StatFs};
+
+use crate::acl::{wildcard_match, Acl, Rights};
+use crate::auth::{AuthOutcome, Authenticator};
+use crate::fdtable::{FdTable, OpenFile};
+use crate::jail::ACL_FILE;
+use crate::server::Shared;
+
+/// What the connection loop should send back for one request.
+#[derive(Debug)]
+pub enum Reply {
+    /// A bare status value (`0` for plain success, a descriptor, a
+    /// byte count, or `1` for an auth challenge).
+    Value(i64),
+    /// Status `value` followed by pre-escaped result words.
+    Words(i64, String),
+    /// Status = payload length, then the raw payload bytes.
+    Data(Vec<u8>),
+    /// Status = file length, then the file streamed from disk.
+    FileStream(File, u64),
+}
+
+/// The state of one client connection.
+pub struct Session {
+    shared: std::sync::Arc<Shared>,
+    auth: Authenticator,
+    subject: Option<String>,
+    fds: FdTable,
+}
+
+impl Session {
+    /// A fresh session for a connection from `peer_ip`.
+    pub fn new(shared: std::sync::Arc<Shared>, peer_ip: std::net::IpAddr) -> Session {
+        let max_open = shared.config.max_open_per_connection;
+        Session {
+            shared,
+            auth: Authenticator::new(peer_ip),
+            subject: None,
+            fds: FdTable::new(max_open),
+        }
+    }
+
+    /// The authenticated subject, if any.
+    pub fn subject(&self) -> Option<&str> {
+        self.subject.as_deref()
+    }
+
+    /// Handle one request. `payload` carries the body of a `PWRITE`.
+    /// (`PUTFILE` is streamed through [`Session::handle_putfile`]
+    /// instead, so large uploads never sit in memory.)
+    pub fn handle(&mut self, req: Request, payload: Option<Vec<u8>>) -> ChirpResult<Reply> {
+        match req {
+            Request::Auth {
+                method,
+                name,
+                credential,
+            } => self.do_auth(&method, &name, &credential),
+            Request::Whoami => {
+                let s = self.require_subject()?.to_string();
+                Ok(Reply::Words(0, escape(s.as_bytes())))
+            }
+            Request::Open { path, flags, mode } => self.do_open(&path, flags, mode),
+            Request::Close { fd } => {
+                self.require_subject()?;
+                self.fds.remove(fd)?;
+                Ok(Reply::Value(0))
+            }
+            Request::Pread { fd, length, offset } => self.do_pread(fd, length, offset),
+            Request::Pwrite { fd, offset, .. } => {
+                let data = payload.ok_or(ChirpError::InvalidRequest)?;
+                self.do_pwrite(fd, &data, offset)
+            }
+            Request::Fstat { fd } => {
+                self.require_subject()?;
+                let f = self.fds.get(fd)?;
+                let meta = f.file.metadata().map_err(|e| ChirpError::from_io(&e))?;
+                Ok(Reply::Words(0, meta_to_stat(&meta).to_words()))
+            }
+            Request::Fsync { fd } => {
+                self.require_subject()?;
+                let f = self.fds.get(fd)?;
+                f.file.sync_all().map_err(|e| ChirpError::from_io(&e))?;
+                Ok(Reply::Value(0))
+            }
+            Request::Ftruncate { fd, size } => {
+                self.require_subject()?;
+                let f = self.fds.get(fd)?;
+                let old = f
+                    .file
+                    .metadata()
+                    .map_err(|e| ChirpError::from_io(&e))?
+                    .len();
+                if size > old && self.shared.over_capacity(size - old) {
+                    return Err(ChirpError::NoSpace);
+                }
+                f.file.set_len(size).map_err(|e| ChirpError::from_io(&e))?;
+                self.shared.adjust_usage(size as i64 - old as i64);
+                Ok(Reply::Value(0))
+            }
+            Request::Stat { path } => self.do_stat(&path),
+            Request::Unlink { path } => self.do_unlink(&path),
+            Request::Rename { from, to } => self.do_rename(&from, &to),
+            Request::Mkdir { path, mode: _ } => self.do_mkdir(&path),
+            Request::Rmdir { path } => self.do_rmdir(&path),
+            Request::Getdir { path } => self.do_getdir(&path),
+            Request::Getlongdir { path } => self.do_getlongdir(&path),
+            Request::Getfile { path } => self.do_getfile(&path),
+            Request::Putfile { .. } => {
+                // The connection loop routes PUTFILE to handle_putfile;
+                // reaching here is a framing bug.
+                Err(ChirpError::InvalidRequest)
+            }
+            Request::Getacl { path } => self.do_getacl(&path),
+            Request::Setacl {
+                path,
+                subject,
+                rights,
+            } => self.do_setacl(&path, &subject, &rights),
+            Request::Checksum { path } => self.do_checksum(&path),
+            Request::Statfs => self.do_statfs(),
+            Request::Truncate { path, size } => self.do_truncate(&path, size),
+            Request::Utime { path, mtime } => self.do_utime(&path, mtime),
+            Request::Thirdput {
+                path,
+                target,
+                target_path,
+            } => self.do_thirdput(&path, &target, &target_path),
+        }
+    }
+
+    /// Handle a `PUTFILE`, streaming `length` bytes from `reader`
+    /// straight into the created file. On an authorization failure the
+    /// payload is drained so the stream stays framed.
+    pub fn handle_putfile<R: BufRead>(
+        &mut self,
+        path: &str,
+        mode: u32,
+        length: u64,
+        reader: &mut R,
+    ) -> ChirpResult<Reply> {
+        let checked = (|| -> ChirpResult<PathBuf> {
+            self.require_subject()?;
+            let (dir, leaf) = self.shared.jail.resolve_parent(path)?;
+            self.require_rights(&dir, Rights::WRITE)?;
+            Ok(dir.join(leaf))
+        })();
+        let host = match checked {
+            Ok(p) => p,
+            Err(e) => {
+                chirp_proto::wire::discard_exact(reader, length)
+                    .map_err(|e| ChirpError::from_io(&e))?;
+                return Err(e);
+            }
+        };
+        // Capacity policy: a replaced file frees its old bytes first.
+        let old_size = std::fs::metadata(&host).map(|m| m.len()).unwrap_or(0);
+        let growth = length.saturating_sub(old_size);
+        if self.shared.over_capacity(growth) {
+            chirp_proto::wire::discard_exact(reader, length)
+                .map_err(|e| ChirpError::from_io(&e))?;
+            return Err(ChirpError::NoSpace);
+        }
+        let mut file = open_with_mode(
+            OpenOptions::new().write(true).create(true).truncate(true),
+            &host,
+            mode,
+        )?;
+        chirp_proto::wire::copy_exact(reader, &mut file, length)
+            .map_err(|e| ChirpError::from_io(&e))?;
+        self.shared.adjust_usage(length as i64 - old_size as i64);
+        self.shared.stats.wrote_bytes(length);
+        Ok(Reply::Value(0))
+    }
+
+    // ---- authentication -------------------------------------------------
+
+    fn do_auth(&mut self, method: &str, name: &str, credential: &str) -> ChirpResult<Reply> {
+        if self.subject.is_some() {
+            // Only one set of credentials per session.
+            return Err(ChirpError::InvalidRequest);
+        }
+        match self.auth.attempt(&self.shared.config, method, name, credential)? {
+            AuthOutcome::Subject(s) => {
+                self.subject = Some(s.clone());
+                Ok(Reply::Words(0, escape(s.as_bytes())))
+            }
+            AuthOutcome::Challenge(path) => Ok(Reply::Words(1, escape(path.as_bytes()))),
+        }
+    }
+
+    fn require_subject(&self) -> ChirpResult<&str> {
+        self.subject.as_deref().ok_or(ChirpError::NotAuthenticated)
+    }
+
+    // ---- authorization --------------------------------------------------
+
+    /// Effective rights of the session subject in the directory at
+    /// host path `dir`. The owner's superuser patterns grant all
+    /// rights everywhere ("the owner retains access to all data").
+    fn rights_in(&self, dir: &Path) -> ChirpResult<Rights> {
+        let subject = self.require_subject()?;
+        for pat in &self.shared.config.superuser {
+            if wildcard_match(pat, subject) {
+                return Ok(Rights::all());
+            }
+        }
+        let acl = Acl::load_effective(self.shared.jail.root(), dir)?;
+        Ok(acl.rights_of(subject))
+    }
+
+    /// Require at least one of `any_of` in `dir`.
+    fn require_rights(&self, dir: &Path, any_of: Rights) -> ChirpResult<Rights> {
+        let r = self.rights_in(dir)?;
+        if r.intersects(any_of) {
+            Ok(r)
+        } else {
+            Err(ChirpError::NotAuthorized)
+        }
+    }
+
+    /// The directory whose ACL governs operations on `path`: its
+    /// parent, or the root for the root itself.
+    fn governing_dir(&self, path: &str) -> ChirpResult<PathBuf> {
+        match self.shared.jail.resolve_parent(path) {
+            Ok((dir, _leaf)) => Ok(dir),
+            Err(_) => Ok(self.shared.jail.root().to_path_buf()),
+        }
+    }
+
+    // ---- file operations --------------------------------------------------
+
+    fn do_open(&mut self, path: &str, flags: OpenFlags, mode: u32) -> ChirpResult<Reply> {
+        self.require_subject()?;
+        let (dir, leaf) = self.shared.jail.resolve_parent(path)?;
+        let mut need = Rights::empty();
+        if flags.contains(OpenFlags::READ) {
+            need |= Rights::READ;
+        }
+        if flags.writes() {
+            need |= Rights::WRITE;
+        }
+        if need.is_empty() {
+            return Err(ChirpError::InvalidRequest);
+        }
+        let have = self.rights_in(&dir)?;
+        if !have.contains(need) {
+            return Err(ChirpError::NotAuthorized);
+        }
+        let host = dir.join(leaf);
+        if host.is_dir() {
+            return Err(ChirpError::IsADirectory);
+        }
+        // An O_TRUNC open releases the file's old bytes; account for
+        // them so the capacity policy sees rewrites as reuse, not
+        // growth.
+        let truncated_bytes = if flags.contains(OpenFlags::TRUNCATE) {
+            std::fs::metadata(&host).map(|m| m.len()).unwrap_or(0)
+        } else {
+            0
+        };
+        let mut opts = OpenOptions::new();
+        opts.read(flags.contains(OpenFlags::READ));
+        opts.write(flags.contains(OpenFlags::WRITE) || flags.contains(OpenFlags::APPEND));
+        opts.append(flags.contains(OpenFlags::APPEND));
+        if flags.contains(OpenFlags::CREATE) {
+            if flags.contains(OpenFlags::EXCLUSIVE) {
+                opts.create_new(true);
+            } else {
+                opts.create(true);
+            }
+        }
+        opts.truncate(flags.contains(OpenFlags::TRUNCATE));
+        let file = open_with_mode(&mut opts, &host, mode)?;
+        self.shared.adjust_usage(-(truncated_bytes as i64));
+        let fd = self.fds.insert(OpenFile {
+            file,
+            sync: flags.contains(OpenFlags::SYNC),
+        })?;
+        Ok(Reply::Value(fd as i64))
+    }
+
+    fn do_pread(&mut self, fd: i32, length: u64, offset: u64) -> ChirpResult<Reply> {
+        self.require_subject()?;
+        if length > chirp_proto::MAX_PAYLOAD as u64 {
+            return Err(ChirpError::TooBig);
+        }
+        let f = self.fds.get(fd)?;
+        let mut buf = vec![0u8; length as usize];
+        let n = read_at(&f.file, &mut buf, offset)?;
+        buf.truncate(n);
+        self.shared.stats.read_bytes(n as u64);
+        Ok(Reply::Data(buf))
+    }
+
+    fn do_pwrite(&mut self, fd: i32, data: &[u8], offset: u64) -> ChirpResult<Reply> {
+        self.require_subject()?;
+        let f = self.fds.get(fd)?;
+        // Capacity policy applies to the bytes the write would grow
+        // the file by, not to overwrites in place.
+        let old_size = f
+            .file
+            .metadata()
+            .map_err(|e| ChirpError::from_io(&e))?
+            .len();
+        let new_size = old_size.max(offset + data.len() as u64);
+        let growth = new_size - old_size;
+        if growth > 0 && self.shared.over_capacity(growth) {
+            return Err(ChirpError::NoSpace);
+        }
+        write_all_at(&f.file, data, offset)?;
+        if f.sync {
+            f.file.sync_all().map_err(|e| ChirpError::from_io(&e))?;
+        }
+        self.shared.adjust_usage(growth as i64);
+        self.shared.stats.wrote_bytes(data.len() as u64);
+        Ok(Reply::Value(data.len() as i64))
+    }
+
+    fn do_stat(&self, path: &str) -> ChirpResult<Reply> {
+        let dir = self.governing_dir(path)?;
+        self.require_rights(&dir, Rights::READ | Rights::LIST)?;
+        let host = self.shared.jail.resolve(path)?;
+        let meta = std::fs::metadata(&host).map_err(|e| ChirpError::from_io(&e))?;
+        Ok(Reply::Words(0, meta_to_stat(&meta).to_words()))
+    }
+
+    fn do_unlink(&self, path: &str) -> ChirpResult<Reply> {
+        let (dir, leaf) = self.shared.jail.resolve_parent(path)?;
+        self.require_rights(&dir, Rights::WRITE | Rights::DELETE)?;
+        let host = dir.join(leaf);
+        if host.is_dir() {
+            return Err(ChirpError::IsADirectory);
+        }
+        let size = std::fs::metadata(&host).map(|m| m.len()).unwrap_or(0);
+        std::fs::remove_file(&host).map_err(|e| ChirpError::from_io(&e))?;
+        self.shared.adjust_usage(-(size as i64));
+        Ok(Reply::Value(0))
+    }
+
+    fn do_rename(&self, from: &str, to: &str) -> ChirpResult<Reply> {
+        let (from_dir, from_leaf) = self.shared.jail.resolve_parent(from)?;
+        let (to_dir, to_leaf) = self.shared.jail.resolve_parent(to)?;
+        self.require_rights(&from_dir, Rights::WRITE | Rights::DELETE)?;
+        self.require_rights(&to_dir, Rights::WRITE)?;
+        let src = from_dir.join(from_leaf);
+        if !src.exists() {
+            return Err(ChirpError::NotFound);
+        }
+        std::fs::rename(&src, to_dir.join(to_leaf)).map_err(|e| ChirpError::from_io(&e))?;
+        Ok(Reply::Value(0))
+    }
+
+    fn do_mkdir(&self, path: &str) -> ChirpResult<Reply> {
+        let subject = self.require_subject()?.to_string();
+        let (dir, leaf) = self.shared.jail.resolve_parent(path)?;
+        let have = self.rights_in(&dir)?;
+        let host = dir.join(leaf);
+        if have.contains(Rights::WRITE) {
+            // Ordinary create: the new directory inherits a copy of the
+            // parent's effective ACL.
+            std::fs::create_dir(&host).map_err(|e| ChirpError::from_io(&e))?;
+            let parent_acl = Acl::load_effective(self.shared.jail.root(), &dir)?;
+            parent_acl.store(&host)?;
+            return Ok(Reply::Value(0));
+        }
+        if have.contains(Rights::RESERVE) {
+            // Reserve: the new directory's ACL grants only the calling
+            // subject, with exactly the rights named in the parent's
+            // v(...) grant (paper §4).
+            let acl = Acl::load_effective(self.shared.jail.root(), &dir)?;
+            let granted = acl.reserve_rights_of(&subject);
+            if granted.is_empty() {
+                return Err(ChirpError::NotAuthorized);
+            }
+            std::fs::create_dir(&host).map_err(|e| ChirpError::from_io(&e))?;
+            let mut fresh = Acl::new();
+            fresh
+                .set(&subject, &format!("{granted}"))
+                .expect("rights render round-trips");
+            fresh.store(&host)?;
+            return Ok(Reply::Value(0));
+        }
+        Err(ChirpError::NotAuthorized)
+    }
+
+    fn do_rmdir(&self, path: &str) -> ChirpResult<Reply> {
+        let (dir, leaf) = self.shared.jail.resolve_parent(path)?;
+        self.require_rights(&dir, Rights::WRITE | Rights::DELETE)?;
+        let host = dir.join(leaf);
+        let meta = std::fs::metadata(&host).map_err(|e| ChirpError::from_io(&e))?;
+        if !meta.is_dir() {
+            return Err(ChirpError::NotADirectory);
+        }
+        // A directory holding only its own ACL metadata counts as
+        // empty from the protocol's point of view.
+        let entries = std::fs::read_dir(&host).map_err(|e| ChirpError::from_io(&e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| ChirpError::from_io(&e))?;
+            if entry.file_name() != ACL_FILE {
+                return Err(ChirpError::NotEmpty);
+            }
+        }
+        std::fs::remove_dir_all(&host).map_err(|e| ChirpError::from_io(&e))?;
+        Ok(Reply::Value(0))
+    }
+
+    fn do_getdir(&self, path: &str) -> ChirpResult<Reply> {
+        let host = self.shared.jail.resolve(path)?;
+        self.require_rights(&host, Rights::LIST)?;
+        let mut names: Vec<String> = Vec::new();
+        let entries = std::fs::read_dir(&host).map_err(|e| ChirpError::from_io(&e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| ChirpError::from_io(&e))?;
+            let name = entry.file_name();
+            if name == ACL_FILE {
+                continue;
+            }
+            names.push(escape(name.to_string_lossy().as_bytes()));
+        }
+        names.sort();
+        Ok(Reply::Data(names.join("\n").into_bytes()))
+    }
+
+    fn do_getlongdir(&self, path: &str) -> ChirpResult<Reply> {
+        let host = self.shared.jail.resolve(path)?;
+        self.require_rights(&host, Rights::LIST)?;
+        let mut lines: Vec<String> = Vec::new();
+        let entries = std::fs::read_dir(&host).map_err(|e| ChirpError::from_io(&e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| ChirpError::from_io(&e))?;
+            let name = entry.file_name();
+            if name == ACL_FILE {
+                continue;
+            }
+            let meta = entry.metadata().map_err(|e| ChirpError::from_io(&e))?;
+            lines.push(format!(
+                "{} {}",
+                escape(name.to_string_lossy().as_bytes()),
+                meta_to_stat(&meta).to_words()
+            ));
+        }
+        lines.sort();
+        Ok(Reply::Data(lines.join("\n").into_bytes()))
+    }
+
+    fn do_getfile(&self, path: &str) -> ChirpResult<Reply> {
+        let (dir, leaf) = self.shared.jail.resolve_parent(path)?;
+        self.require_rights(&dir, Rights::READ)?;
+        let host = dir.join(leaf);
+        let file = File::open(&host).map_err(|e| ChirpError::from_io(&e))?;
+        let meta = file.metadata().map_err(|e| ChirpError::from_io(&e))?;
+        if meta.is_dir() {
+            return Err(ChirpError::IsADirectory);
+        }
+        self.shared.stats.read_bytes(meta.len());
+        Ok(Reply::FileStream(file, meta.len()))
+    }
+
+    fn do_getacl(&self, path: &str) -> ChirpResult<Reply> {
+        let host = self.shared.jail.resolve(path)?;
+        if !host.is_dir() {
+            return Err(ChirpError::NotADirectory);
+        }
+        // Any right on the directory allows inspecting its ACL.
+        let r = self.rights_in(&host)?;
+        if r.is_empty() {
+            return Err(ChirpError::NotAuthorized);
+        }
+        let acl = Acl::load_effective(self.shared.jail.root(), &host)?;
+        Ok(Reply::Data(acl.render().into_bytes()))
+    }
+
+    fn do_setacl(&self, path: &str, subject: &str, rights: &str) -> ChirpResult<Reply> {
+        let host = self.shared.jail.resolve(path)?;
+        if !host.is_dir() {
+            return Err(ChirpError::NotADirectory);
+        }
+        self.require_rights(&host, Rights::ADMIN)?;
+        // Materialize the inherited ACL on first modification so the
+        // change is scoped to this directory.
+        let mut acl = Acl::load_effective(self.shared.jail.root(), &host)?;
+        acl.set(subject, rights)?;
+        acl.store(&host)?;
+        Ok(Reply::Value(0))
+    }
+
+    fn do_checksum(&self, path: &str) -> ChirpResult<Reply> {
+        let (dir, leaf) = self.shared.jail.resolve_parent(path)?;
+        self.require_rights(&dir, Rights::READ)?;
+        let host = dir.join(leaf);
+        let mut file = File::open(&host).map_err(|e| ChirpError::from_io(&e))?;
+        let mut crc = chirp_proto::checksum::Crc64::new();
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            let n = std::io::Read::read(&mut file, &mut buf).map_err(|e| ChirpError::from_io(&e))?;
+            if n == 0 {
+                break;
+            }
+            crc.update(&buf[..n]);
+        }
+        Ok(Reply::Words(0, format!("{:016x}", crc.finish())))
+    }
+
+    fn do_statfs(&self) -> ChirpResult<Reply> {
+        self.require_subject()?;
+        let total = self.shared.config.capacity_bytes;
+        // Reconcile the approximate counter with a real walk, so any
+        // drift from untracked mutations is bounded by the statfs
+        // interval.
+        let used = disk_usage(self.shared.jail.root());
+        self.shared
+            .used_bytes
+            .store(used, std::sync::atomic::Ordering::Relaxed);
+        let st = StatFs {
+            total_bytes: total,
+            free_bytes: total.saturating_sub(used),
+        };
+        Ok(Reply::Words(0, st.to_words()))
+    }
+
+    fn do_truncate(&self, path: &str, size: u64) -> ChirpResult<Reply> {
+        let (dir, leaf) = self.shared.jail.resolve_parent(path)?;
+        self.require_rights(&dir, Rights::WRITE)?;
+        let file = OpenOptions::new()
+            .write(true)
+            .open(dir.join(leaf))
+            .map_err(|e| ChirpError::from_io(&e))?;
+        let old = file.metadata().map_err(|e| ChirpError::from_io(&e))?.len();
+        if size > old && self.shared.over_capacity(size - old) {
+            return Err(ChirpError::NoSpace);
+        }
+        file.set_len(size).map_err(|e| ChirpError::from_io(&e))?;
+        self.shared.adjust_usage(size as i64 - old as i64);
+        Ok(Reply::Value(0))
+    }
+
+    /// Third-party transfer: push a local file straight to another
+    /// server. The caller needs only the read right here; what it may
+    /// create on the target is the target's ACL decision, made against
+    /// *this server's* hostname identity.
+    fn do_thirdput(&self, path: &str, target: &str, target_path: &str) -> ChirpResult<Reply> {
+        let (dir, leaf) = self.shared.jail.resolve_parent(path)?;
+        self.require_rights(&dir, Rights::READ)?;
+        let host = dir.join(leaf);
+        let mut file = File::open(&host).map_err(|e| ChirpError::from_io(&e))?;
+        let meta = file.metadata().map_err(|e| ChirpError::from_io(&e))?;
+        if meta.is_dir() {
+            return Err(ChirpError::IsADirectory);
+        }
+        let timeout = std::time::Duration::from_secs(30);
+        let mut conn = chirp_client::Connection::connect(target, timeout)?;
+        conn.authenticate(&[chirp_client::AuthMethod::Hostname])?;
+        conn.putfile_from(target_path, 0o644, meta.len(), &mut file)?;
+        self.shared.stats.read_bytes(meta.len());
+        Ok(Reply::Value(meta.len() as i64))
+    }
+
+    fn do_utime(&self, path: &str, mtime: u64) -> ChirpResult<Reply> {
+        let (dir, leaf) = self.shared.jail.resolve_parent(path)?;
+        self.require_rights(&dir, Rights::WRITE)?;
+        let file = OpenOptions::new()
+            .write(true)
+            .open(dir.join(leaf))
+            .map_err(|e| ChirpError::from_io(&e))?;
+        let t = std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(mtime);
+        file.set_times(std::fs::FileTimes::new().set_modified(t))
+            .map_err(|e| ChirpError::from_io(&e))?;
+        Ok(Reply::Value(0))
+    }
+}
+
+/// Total bytes of file data stored under `root` (recursive walk; the
+/// exported trees in a personal server are small enough that a walk
+/// beats tracking every mutation).
+pub fn disk_usage(root: &Path) -> u64 {
+    let mut total = 0;
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let Ok(meta) = entry.metadata() else { continue };
+            if meta.is_dir() {
+                stack.push(entry.path());
+            } else {
+                total += meta.len();
+            }
+        }
+    }
+    total
+}
+
+fn open_with_mode(opts: &mut OpenOptions, path: &Path, mode: u32) -> ChirpResult<File> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::OpenOptionsExt;
+        if mode != 0 {
+            opts.mode(mode);
+        }
+    }
+    opts.open(path).map_err(|e| ChirpError::from_io(&e))
+}
+
+fn read_at(file: &File, buf: &mut [u8], offset: u64) -> ChirpResult<usize> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        // Loop: read_at may return short counts before EOF.
+        let mut filled = 0;
+        while filled < buf.len() {
+            match file.read_at(&mut buf[filled..], offset + filled as u64) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(ChirpError::from_io(&e)),
+            }
+        }
+        Ok(filled)
+    }
+    #[cfg(not(unix))]
+    {
+        compile_error!("chirp-server requires a unix host");
+    }
+}
+
+fn write_all_at(file: &File, buf: &[u8], offset: u64) -> ChirpResult<()> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        file.write_all_at(buf, offset)
+            .map_err(|e| ChirpError::from_io(&e))
+    }
+    #[cfg(not(unix))]
+    {
+        compile_error!("chirp-server requires a unix host");
+    }
+}
+
+/// Convert host metadata to the protocol stat structure.
+pub fn meta_to_stat(meta: &std::fs::Metadata) -> StatBuf {
+    #[cfg(unix)]
+    let (device, inode, nlink, mode, mtime) = {
+        use std::os::unix::fs::MetadataExt;
+        (
+            meta.dev(),
+            meta.ino(),
+            meta.nlink(),
+            meta.mode() & 0o7777,
+            meta.mtime().max(0) as u64,
+        )
+    };
+    StatBuf {
+        device,
+        inode,
+        file_type: if meta.is_dir() {
+            FileType::Dir
+        } else if meta.is_file() {
+            FileType::File
+        } else {
+            FileType::Other
+        },
+        mode,
+        nlink,
+        size: meta.len(),
+        mtime,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chirp_proto::testutil::TempDir;
+
+    #[test]
+    fn disk_usage_sums_recursively() {
+        let dir = TempDir::new();
+        std::fs::write(dir.path().join("a"), vec![0u8; 100]).unwrap();
+        let sub = dir.subdir("s");
+        std::fs::write(sub.join("b"), vec![0u8; 50]).unwrap();
+        assert_eq!(disk_usage(dir.path()), 150);
+    }
+
+    #[test]
+    fn meta_to_stat_distinguishes_types() {
+        let dir = TempDir::new();
+        std::fs::write(dir.path().join("f"), b"xyz").unwrap();
+        let f = meta_to_stat(&std::fs::metadata(dir.path().join("f")).unwrap());
+        assert!(f.is_file());
+        assert_eq!(f.size, 3);
+        let d = meta_to_stat(&std::fs::metadata(dir.path()).unwrap());
+        assert!(d.is_dir());
+        assert!(f.inode != 0);
+    }
+}

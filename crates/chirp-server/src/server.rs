@@ -1,0 +1,258 @@
+//! The TCP service: accept loop, connection threads, lifecycle.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use chirp_proto::wire;
+use chirp_proto::{ChirpError, Request};
+
+use crate::config::ServerConfig;
+use crate::handlers::{Reply, Session};
+use crate::jail::Jail;
+use crate::stats::ServerStats;
+
+/// State shared by every connection of one server.
+pub struct Shared {
+    /// The server configuration.
+    pub config: ServerConfig,
+    /// The path jail rooted at the export directory.
+    pub jail: Jail,
+    /// Activity counters.
+    pub stats: ServerStats,
+    /// Currently active connections.
+    pub active: AtomicUsize,
+    /// Set when the server is shutting down.
+    pub shutdown: AtomicBool,
+    /// Approximate bytes stored under the root, maintained on every
+    /// mutation and reconciled with a real walk on each `STATFS`.
+    pub used_bytes: AtomicU64,
+}
+
+impl Shared {
+    /// Record `delta` bytes added (positive) or removed (negative).
+    pub fn adjust_usage(&self, delta: i64) {
+        if delta >= 0 {
+            self.used_bytes.fetch_add(delta as u64, Ordering::Relaxed);
+        } else {
+            let dec = (-delta) as u64;
+            let mut cur = self.used_bytes.load(Ordering::Relaxed);
+            loop {
+                let next = cur.saturating_sub(dec);
+                match self.used_bytes.compare_exchange_weak(
+                    cur,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(now) => cur = now,
+                }
+            }
+        }
+    }
+
+    /// Would storing `additional` bytes exceed the capacity policy?
+    pub fn over_capacity(&self, additional: u64) -> bool {
+        self.config.enforce_capacity
+            && self.used_bytes.load(Ordering::Relaxed) + additional > self.config.capacity_bytes
+    }
+}
+
+/// A running Chirp file server.
+///
+/// Deployment is a single call: `FileServer::start(config)`. The
+/// listener binds, the root ACL is installed if absent, catalog
+/// reporting begins, and the server is immediately usable — the
+/// paper's *rapid deployment* property.
+pub struct FileServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    report_thread: Option<JoinHandle<()>>,
+}
+
+impl FileServer {
+    /// Start a server. Returns once the listener is bound.
+    pub fn start(config: ServerConfig) -> std::io::Result<FileServer> {
+        std::fs::create_dir_all(&config.root)?;
+        let jail = Jail::new(&config.root)?;
+        // Install the root ACL only if the directory is not already
+        // governed (exporting existing data must not clobber policy).
+        let acl_path = jail.root().join(crate::jail::ACL_FILE);
+        if !acl_path.exists() && !config.root_acl.entries().is_empty() {
+            config
+                .root_acl
+                .store(jail.root())
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+        }
+        let listener = TcpListener::bind(config.bind)?;
+        let addr = listener.local_addr()?;
+        let used = crate::handlers::disk_usage(jail.root());
+        let shared = Arc::new(Shared {
+            config,
+            jail,
+            stats: ServerStats::default(),
+            active: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            used_bytes: AtomicU64::new(used),
+        });
+        let accept_shared = shared.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("chirp-accept-{}", addr.port()))
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        let report_thread = if shared.config.catalogs.is_empty() {
+            None
+        } else {
+            let report_shared = shared.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name(format!("chirp-report-{}", addr.port()))
+                    .spawn(move || crate::report::report_loop(report_shared, addr))?,
+            )
+        };
+        Ok(FileServer {
+            shared,
+            addr,
+            accept_thread: Some(accept_thread),
+            report_thread,
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `host:port` string for building URLs and namespaces.
+    pub fn endpoint(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.stats
+    }
+
+    /// Number of live connections.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting connections and wake the accept thread. Existing
+    /// connections end when their clients disconnect or on their next
+    /// request.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept() call.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.report_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for FileServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let Ok((stream, peer)) = listener.accept() else {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if shared.active.load(Ordering::Relaxed) >= shared.config.max_connections {
+            // Refuse politely: one error line, then close.
+            let mut w = BufWriter::new(&stream);
+            let _ = wire::write_error(&mut w, ChirpError::Busy);
+            let _ = w.flush();
+            continue;
+        }
+        shared.active.fetch_add(1, Ordering::Relaxed);
+        shared.stats.connection();
+        let conn_shared = shared.clone();
+        let _ = std::thread::Builder::new()
+            .name("chirp-conn".to_string())
+            .spawn(move || {
+                let _ = serve_connection(stream, peer, &conn_shared);
+                conn_shared.active.fetch_sub(1, Ordering::Relaxed);
+            });
+    }
+}
+
+/// Serve one connection until the client disconnects or violates the
+/// protocol. All per-connection resources (open files, auth state) are
+/// freed on return — the paper's failure semantics.
+fn serve_connection(
+    stream: TcpStream,
+    peer: SocketAddr,
+    shared: &Arc<Shared>,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    // Idle policy: a read that times out ends the session exactly like
+    // a disconnect would — the client must reconnect and re-open.
+    stream.set_read_timeout(shared.config.idle_timeout)?;
+    let mut reader = BufReader::with_capacity(256 * 1024, stream.try_clone()?);
+    let mut writer = BufWriter::with_capacity(256 * 1024, stream);
+    let mut session = Session::new(shared.clone(), peer.ip());
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let Some(line) = wire::read_line(&mut reader)? else {
+            return Ok(()); // clean disconnect
+        };
+        shared.stats.request();
+        let reply = match Request::parse(&line) {
+            Err(e) => Err(e),
+            Ok(Request::Putfile { path, mode, length }) => {
+                session.handle_putfile(&path, mode, length, &mut reader)
+            }
+            Ok(req @ Request::Pwrite { length, .. }) => {
+                match wire::read_payload(&mut reader, length) {
+                    Ok(payload) => session.handle(req, Some(payload)),
+                    Err(e) => {
+                        // Framing is lost once we fail to read a
+                        // payload; drop the connection.
+                        wire::write_error(&mut writer, e)?;
+                        writer.flush()?;
+                        return Ok(());
+                    }
+                }
+            }
+            Ok(req) => session.handle(req, None),
+        };
+        match reply {
+            Ok(Reply::Value(v)) => wire::write_status(&mut writer, v)?,
+            Ok(Reply::Words(v, words)) => wire::write_status_words(&mut writer, v, &words)?,
+            Ok(Reply::Data(data)) => {
+                wire::write_status(&mut writer, data.len() as i64)?;
+                writer.write_all(&data)?;
+            }
+            Ok(Reply::FileStream(mut file, len)) => {
+                wire::write_status(&mut writer, len as i64)?;
+                wire::copy_exact(&mut file, &mut writer, len)?;
+            }
+            Err(e) => {
+                shared.stats.error();
+                wire::write_error(&mut writer, e)?;
+            }
+        }
+        writer.flush()?;
+    }
+}

@@ -1,0 +1,111 @@
+//! Server activity counters.
+//!
+//! Plain relaxed atomics: the counters are monotonic telemetry, never
+//! used for synchronization, so `Relaxed` ordering is sufficient and
+//! keeps them off the hot path's critical section.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters describing a server's lifetime activity,
+/// published in catalog reports and inspectable in tests.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServerStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests served (successful or not).
+    pub requests: u64,
+    /// File bytes sent to clients.
+    pub bytes_read: u64,
+    /// File bytes received from clients.
+    pub bytes_written: u64,
+    /// Requests that returned an error.
+    pub errors: u64,
+}
+
+impl ServerStats {
+    /// Record an accepted connection.
+    pub fn connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a served request.
+    pub fn request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record file bytes sent to a client.
+    pub fn read_bytes(&self, n: u64) {
+        self.bytes_read.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record file bytes received from a client.
+    pub fn wrote_bytes(&self, n: u64) {
+        self.bytes_written.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record a request that failed.
+    pub fn error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the current values.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = ServerStats::default();
+        s.connection();
+        s.request();
+        s.request();
+        s.read_bytes(100);
+        s.wrote_bytes(7);
+        s.error();
+        let snap = s.snapshot();
+        assert_eq!(snap.connections, 1);
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.bytes_read, 100);
+        assert_eq!(snap.bytes_written, 7);
+        assert_eq!(snap.errors, 1);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let s = std::sync::Arc::new(ServerStats::default());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    s.request();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot().requests, 8000);
+    }
+}

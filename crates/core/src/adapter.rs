@@ -1,0 +1,446 @@
+//! The adapter: transparently connecting applications to abstractions.
+//!
+//! In the original system this is Parrot, which traps system calls
+//! through the kernel debugging interface so *unmodified binaries* see
+//! the TSS namespace. Reimplementing ptrace interposition is
+//! Linux-debug-API plumbing orthogonal to the paper's claims, so here
+//! the adapter is a library-level virtual filesystem exposing the same
+//! behavior (see DESIGN.md §4):
+//!
+//! * each abstraction appears as a new top-level entry in one
+//!   directory hierarchy — `/cfs/host:port/...`, `/local/...` — with
+//!   the second-level name identifying a host or volume;
+//! * a **mountlist** creates a private namespace by mapping logical
+//!   names to abstraction paths, e.g.
+//!   `/usr/local  /cfs/shared.cse.nd.edu:9094/software`;
+//! * connection recovery (exponential backoff, re-open, inode check,
+//!   stale handles) is inherited from [`crate::Cfs`], and the
+//!   synchronous-write switch transparently ORs `O_SYNC` into every
+//!   open.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::Arc;
+use std::time::Duration;
+
+use chirp_client::AuthMethod;
+use chirp_proto::{OpenFlags, StatBuf};
+use parking_lot::Mutex;
+
+use crate::cfs::{Cfs, CfsConfig, RetryPolicy};
+use crate::fs::{normalize_path, FileHandle, FileSystem, OpenedFile};
+use crate::localfs::LocalFs;
+
+/// Adapter-wide options.
+#[derive(Debug, Clone)]
+pub struct AdapterConfig {
+    /// Authentication methods offered to every file server.
+    pub auth: Vec<AuthMethod>,
+    /// Per-operation network timeout.
+    pub timeout: Duration,
+    /// Reconnection policy ("users may place an upper limit on these
+    /// retries with a command-line argument").
+    pub retry: RetryPolicy,
+    /// The synchronous-write switch: append `O_SYNC` to all opens.
+    pub sync_writes: bool,
+}
+
+impl Default for AdapterConfig {
+    fn default() -> AdapterConfig {
+        AdapterConfig {
+            auth: vec![AuthMethod::Hostname],
+            timeout: Duration::from_secs(10),
+            retry: RetryPolicy::default(),
+            sync_writes: false,
+        }
+    }
+}
+
+/// A mount table mapping logical path prefixes to abstraction paths.
+///
+/// Longest-prefix match wins, so `/usr/local/bin` can be remapped
+/// separately from `/usr/local`.
+#[derive(Debug, Clone, Default)]
+pub struct Namespace {
+    mounts: Vec<(String, String)>,
+}
+
+impl Namespace {
+    /// An empty namespace (only the built-in `/cfs`, `/local` roots).
+    pub fn new() -> Namespace {
+        Namespace::default()
+    }
+
+    /// Add one mapping from a logical prefix to a target prefix.
+    pub fn mount(&mut self, logical: &str, target: &str) {
+        self.mounts
+            .push((normalize_path(logical), normalize_path(target)));
+        // Longest prefix first.
+        self.mounts.sort_by_key(|(prefix, _)| std::cmp::Reverse(prefix.len()));
+    }
+
+    /// Parse the mountlist file format: two whitespace-separated
+    /// columns per line, `#` comments.
+    ///
+    /// ```text
+    /// /usr/local   /cfs/shared.cse.nd.edu:9094/software
+    /// /data        /dsfs/archive.cse.nd.edu:9094@run5/data
+    /// ```
+    pub fn parse_mountlist(text: &str) -> io::Result<Namespace> {
+        let mut ns = Namespace::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut cols = line.split_whitespace();
+            let (Some(logical), Some(target), None) = (cols.next(), cols.next(), cols.next())
+            else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("mountlist line {}: expected two columns", i + 1),
+                ));
+            };
+            ns.mount(logical, target);
+        }
+        Ok(ns)
+    }
+
+    /// Rewrite a logical path through the mount table (one level of
+    /// remapping, longest prefix wins, untouched if nothing matches).
+    pub fn translate(&self, path: &str) -> String {
+        let norm = normalize_path(path);
+        for (prefix, target) in &self.mounts {
+            if let Some(rest) = strip_prefix(&norm, prefix) {
+                return if rest.is_empty() {
+                    target.clone()
+                } else {
+                    format!("{}{}", target, rest)
+                };
+            }
+        }
+        norm
+    }
+}
+
+fn strip_prefix<'a>(path: &'a str, prefix: &str) -> Option<&'a str> {
+    if prefix == "/" {
+        return Some(path.strip_prefix('/').map(|_| path).unwrap_or(path));
+    }
+    let rest = path.strip_prefix(prefix)?;
+    if rest.is_empty() || rest.starts_with('/') {
+        Some(rest)
+    } else {
+        None
+    }
+}
+
+/// A named abstraction registered under `/<scheme>/<name>/...`.
+type MountedFs = Arc<dyn FileSystem>;
+
+/// The adapter: one namespace over every reachable abstraction.
+pub struct Adapter {
+    config: AdapterConfig,
+    namespace: Namespace,
+    /// `/cfs/<endpoint>` mounts, created on demand and cached so all
+    /// opens share one connection per server.
+    cfs_cache: Mutex<HashMap<String, MountedFs>>,
+    /// Explicitly registered filesystems: `/<name>/...`.
+    registered: Mutex<HashMap<String, MountedFs>>,
+    /// Root for `/local`.
+    local: MountedFs,
+}
+
+impl Adapter {
+    /// An adapter with the given options and an empty mount table.
+    pub fn new(config: AdapterConfig) -> io::Result<Adapter> {
+        Ok(Adapter {
+            config,
+            namespace: Namespace::new(),
+            cfs_cache: Mutex::new(HashMap::new()),
+            registered: Mutex::new(HashMap::new()),
+            local: Arc::new(LocalFs::new("/")?),
+        })
+    }
+
+    /// Replace the namespace (mountlist).
+    pub fn set_namespace(&mut self, ns: Namespace) {
+        self.namespace = ns;
+    }
+
+    /// The active namespace.
+    pub fn namespace(&self) -> &Namespace {
+        &self.namespace
+    }
+
+    /// Register an abstraction under a top-level name, e.g.
+    /// `register("dsfs/archive:9094@run5", fs)` serves
+    /// `/dsfs/archive:9094@run5/...`.
+    pub fn register(&self, name: &str, fs: Arc<dyn FileSystem>) {
+        self.registered
+            .lock()
+            .insert(normalize_path(name), fs);
+    }
+
+    /// Mount a DSFS under the paper's `/dsfs/<host:port>@<volume>`
+    /// convention: directory tree on `dir_endpoint` under `volume`,
+    /// new data placed on `pool`. Returns the mount root so callers
+    /// can build mountlist targets against it.
+    pub fn mount_dsfs(
+        &self,
+        dir_endpoint: &str,
+        volume: &str,
+        pool: Vec<crate::stubfs::DataServer>,
+    ) -> io::Result<String> {
+        let options = crate::stubfs::StubFsOptions {
+            timeout: self.config.timeout,
+            retry: self.config.retry,
+        };
+        let fs = crate::Dsfs::with_options(
+            dir_endpoint,
+            volume,
+            self.config.auth.clone(),
+            pool,
+            crate::Placement::round_robin(),
+            options,
+        )?;
+        let name = format!(
+            "/dsfs/{dir_endpoint}@{}",
+            volume.trim_start_matches('/')
+        );
+        self.register(&name, Arc::new(fs));
+        Ok(name)
+    }
+
+    /// Resolve a logical path to `(filesystem, fs-relative path)`.
+    pub fn resolve(&self, path: &str) -> io::Result<(MountedFs, String)> {
+        let translated = self.namespace.translate(path);
+        // Registered abstractions take priority (longest name first).
+        {
+            let registered = self.registered.lock();
+            let mut names: Vec<&String> = registered.keys().collect();
+            names.sort_by_key(|name| std::cmp::Reverse(name.len()));
+            for name in names {
+                if let Some(rest) = strip_prefix(&translated, name) {
+                    let rest = if rest.is_empty() { "/" } else { rest };
+                    return Ok((registered[name].clone(), rest.to_string()));
+                }
+            }
+        }
+        if let Some(rest) = strip_prefix(&translated, "/cfs") {
+            let rest = rest.trim_start_matches('/');
+            let (endpoint, sub) = rest.split_once('/').unwrap_or((rest, ""));
+            if endpoint.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "path /cfs requires a host:port component",
+                ));
+            }
+            let fs = self.cfs_for(endpoint);
+            return Ok((fs, format!("/{sub}")));
+        }
+        if let Some(rest) = strip_prefix(&translated, "/local") {
+            let rest = if rest.is_empty() { "/" } else { rest };
+            return Ok((self.local.clone(), rest.to_string()));
+        }
+        Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no abstraction serves {translated}"),
+        ))
+    }
+
+    fn cfs_for(&self, endpoint: &str) -> MountedFs {
+        let mut cache = self.cfs_cache.lock();
+        cache
+            .entry(endpoint.to_string())
+            .or_insert_with(|| {
+                let mut cfg = CfsConfig::new(endpoint, self.config.auth.clone());
+                cfg.timeout = self.config.timeout;
+                cfg.retry = self.config.retry;
+                cfg.sync_writes = self.config.sync_writes;
+                Arc::new(Cfs::new(cfg))
+            })
+            .clone()
+    }
+
+    // ---- the POSIX-like surface an application sees -----------------------
+
+    /// Open a file anywhere in the namespace; returns a cursor-style
+    /// file.
+    pub fn open(&self, path: &str, flags: OpenFlags, mode: u32) -> io::Result<OpenedFile> {
+        let mut flags = flags;
+        if self.config.sync_writes {
+            flags |= OpenFlags::SYNC;
+        }
+        let (fs, rel) = self.resolve(path)?;
+        Ok(OpenedFile::new(fs.open(&rel, flags, mode)?))
+    }
+
+    /// Positional open (no cursor), for callers managing offsets.
+    pub fn open_handle(
+        &self,
+        path: &str,
+        flags: OpenFlags,
+        mode: u32,
+    ) -> io::Result<Box<dyn FileHandle>> {
+        let mut flags = flags;
+        if self.config.sync_writes {
+            flags |= OpenFlags::SYNC;
+        }
+        let (fs, rel) = self.resolve(path)?;
+        fs.open(&rel, flags, mode)
+    }
+
+    /// `stat` through the namespace.
+    pub fn stat(&self, path: &str) -> io::Result<StatBuf> {
+        let (fs, rel) = self.resolve(path)?;
+        fs.stat(&rel)
+    }
+
+    /// Remove a file.
+    pub fn unlink(&self, path: &str) -> io::Result<()> {
+        let (fs, rel) = self.resolve(path)?;
+        fs.unlink(&rel)
+    }
+
+    /// Rename within one abstraction. Renames across abstractions are
+    /// rejected like cross-device renames in Unix.
+    pub fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        let (fs_a, rel_a) = self.resolve(from)?;
+        let (fs_b, rel_b) = self.resolve(to)?;
+        if !Arc::ptr_eq(&fs_a, &fs_b) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "rename across abstractions (EXDEV)",
+            ));
+        }
+        fs_a.rename(&rel_a, &rel_b)
+    }
+
+    /// Create a directory.
+    pub fn mkdir(&self, path: &str, mode: u32) -> io::Result<()> {
+        let (fs, rel) = self.resolve(path)?;
+        fs.mkdir(&rel, mode)
+    }
+
+    /// Remove an empty directory.
+    pub fn rmdir(&self, path: &str) -> io::Result<()> {
+        let (fs, rel) = self.resolve(path)?;
+        fs.rmdir(&rel)
+    }
+
+    /// List a directory.
+    pub fn readdir(&self, path: &str) -> io::Result<Vec<String>> {
+        let (fs, rel) = self.resolve(path)?;
+        fs.readdir(&rel)
+    }
+
+    /// Truncate by path.
+    pub fn truncate(&self, path: &str, size: u64) -> io::Result<()> {
+        let (fs, rel) = self.resolve(path)?;
+        fs.truncate(&rel, size)
+    }
+
+    /// Read a whole file.
+    pub fn read_file(&self, path: &str) -> io::Result<Vec<u8>> {
+        let (fs, rel) = self.resolve(path)?;
+        fs.read_file(&rel)
+    }
+
+    /// Create/replace a whole file.
+    pub fn write_file(&self, path: &str, data: &[u8]) -> io::Result<()> {
+        let (fs, rel) = self.resolve(path)?;
+        fs.write_file(&rel, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mountlist_parses_the_paper_example() {
+        let ns = Namespace::parse_mountlist(
+            "# example from section 6\n\
+             /usr/local /cfs/shared.cse.nd.edu:9094/software\n\
+             /data      /dsfs/archive.cse.nd.edu:9094@run5/data\n",
+        )
+        .unwrap();
+        assert_eq!(
+            ns.translate("/usr/local/lib/libfoo.so"),
+            "/cfs/shared.cse.nd.edu:9094/software/lib/libfoo.so"
+        );
+        assert_eq!(
+            ns.translate("/data/events.db"),
+            "/dsfs/archive.cse.nd.edu:9094@run5/data/events.db"
+        );
+        assert_eq!(ns.translate("/unmapped"), "/unmapped");
+    }
+
+    #[test]
+    fn mountlist_rejects_malformed_lines() {
+        assert!(Namespace::parse_mountlist("/only-one-column\n").is_err());
+        assert!(Namespace::parse_mountlist("/a /b extra\n").is_err());
+        assert!(Namespace::parse_mountlist("# only comments\n\n").is_ok());
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut ns = Namespace::new();
+        ns.mount("/usr", "/cfs/a:1/usr");
+        ns.mount("/usr/local", "/cfs/b:2/l");
+        assert_eq!(ns.translate("/usr/local/x"), "/cfs/b:2/l/x");
+        assert_eq!(ns.translate("/usr/share"), "/cfs/a:1/usr/share");
+    }
+
+    #[test]
+    fn prefix_matching_respects_component_boundaries() {
+        let mut ns = Namespace::new();
+        ns.mount("/data", "/cfs/x:1/d");
+        assert_eq!(ns.translate("/database"), "/database");
+        assert_eq!(ns.translate("/data"), "/cfs/x:1/d");
+    }
+
+    #[test]
+    fn resolve_routes_builtin_roots() {
+        let adapter = Adapter::new(AdapterConfig::default()).unwrap();
+        let (_fs, rel) = adapter.resolve("/cfs/example.org:9094/a/b").unwrap();
+        assert_eq!(rel, "/a/b");
+        let (_fs, rel) = adapter.resolve("/local/tmp").unwrap();
+        assert_eq!(rel, "/tmp");
+        assert!(adapter.resolve("/cfs").is_err());
+        assert!(adapter.resolve("/nonexistent/x").is_err());
+    }
+
+    #[test]
+    fn cfs_connections_are_shared_per_endpoint() {
+        let adapter = Adapter::new(AdapterConfig::default()).unwrap();
+        let (a, _) = adapter.resolve("/cfs/h:1/x").unwrap();
+        let (b, _) = adapter.resolve("/cfs/h:1/y").unwrap();
+        let (c, _) = adapter.resolve("/cfs/h:2/x").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn registered_abstractions_take_priority() {
+        let adapter = Adapter::new(AdapterConfig::default()).unwrap();
+        let dir = chirp_proto::testutil::TempDir::new();
+        let fs = Arc::new(LocalFs::new(dir.path()).unwrap());
+        adapter.register("/dsfs/vol1", fs);
+        let (_fs, rel) = adapter.resolve("/dsfs/vol1/inner").unwrap();
+        assert_eq!(rel, "/inner");
+        let (_fs, rel) = adapter.resolve("/dsfs/vol1").unwrap();
+        assert_eq!(rel, "/");
+    }
+
+    #[test]
+    fn cross_abstraction_rename_is_exdev() {
+        let adapter = Adapter::new(AdapterConfig::default()).unwrap();
+        let dir = chirp_proto::testutil::TempDir::new();
+        let fs = Arc::new(LocalFs::new(dir.path()).unwrap());
+        adapter.register("/vol", fs);
+        let err = adapter.rename("/vol/a", "/cfs/h:1/a").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+}

@@ -1,0 +1,544 @@
+//! CFS — the *central filesystem* abstraction.
+//!
+//! The simplest abstraction: files and directories on a single file
+//! server, accessed without translation. Consistency and
+//! synchronization are managed by the server host's kernel in the
+//! usual way, so CFS behaves like NFS minus caching — grid security
+//! plus Unix-like consistency.
+//!
+//! `Cfs` also carries the *adapter's* recovery policy (paper §6): if
+//! the TCP connection is lost, the server has already closed our
+//! descriptors, so we reconnect with exponential backoff, re-open each
+//! file, and verify with `stat` that the file still has the same inode
+//! number. If it does not, the file was replaced or deleted while we
+//! were away, and the caller receives a "stale file handle" error, as
+//! in NFS.
+
+use std::io;
+use std::sync::Arc;
+use std::time::Duration;
+
+use chirp_client::{AuthMethod, Connection};
+use chirp_proto::{ChirpError, ChirpResult, OpenFlags, StatBuf, StatFs};
+use parking_lot::Mutex;
+
+use crate::fs::{normalize_path, FileHandle, FileSystem};
+
+/// Reconnection policy: exponential backoff with a retry cap, the
+/// "users may place an upper limit on these retries" switch.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Attempts after the first failure; 0 disables recovery.
+    pub max_retries: u32,
+    /// Delay before the first retry; doubles each attempt.
+    pub initial_backoff: Duration,
+    /// Upper bound on the delay.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 4,
+            initial_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No recovery at all: every transport error surfaces immediately.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            initial_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Backoff before retry number `attempt` (0-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .initial_backoff
+            .saturating_mul(1u32 << attempt.min(16));
+        exp.min(self.max_backoff)
+    }
+}
+
+/// Configuration of a CFS mount.
+#[derive(Debug, Clone)]
+pub struct CfsConfig {
+    /// Server endpoint, `host:port`.
+    pub endpoint: String,
+    /// Authentication methods to offer, in order.
+    pub auth: Vec<AuthMethod>,
+    /// Server-side base directory this CFS is rooted at.
+    pub base: String,
+    /// Per-operation network timeout.
+    pub timeout: Duration,
+    /// Recovery policy.
+    pub retry: RetryPolicy,
+    /// Transparently append `O_SYNC` to every open (the adapter's
+    /// synchronous-write switch).
+    pub sync_writes: bool,
+}
+
+impl CfsConfig {
+    /// Sensible defaults: root base, 10 s timeout, default retries.
+    pub fn new(endpoint: &str, auth: Vec<AuthMethod>) -> CfsConfig {
+        CfsConfig {
+            endpoint: endpoint.to_string(),
+            auth,
+            base: "/".to_string(),
+            timeout: Duration::from_secs(10),
+            retry: RetryPolicy::default(),
+            sync_writes: false,
+        }
+    }
+
+    /// Root the CFS at a server-side directory.
+    pub fn with_base(mut self, base: &str) -> CfsConfig {
+        self.base = normalize_path(base);
+        self
+    }
+
+    /// Set the recovery policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> CfsConfig {
+        self.retry = retry;
+        self
+    }
+}
+
+struct ConnSlot {
+    conn: Option<Connection>,
+    /// Bumped on every reconnection; handles compare it to notice that
+    /// their descriptors died with the old connection.
+    generation: u64,
+}
+
+/// The central filesystem: one server, untranslated paths, recovery
+/// built in.
+pub struct Cfs {
+    config: Arc<CfsConfig>,
+    slot: Arc<Mutex<ConnSlot>>,
+}
+
+impl Cfs {
+    /// Create a CFS view of one server. Connection is lazy: nothing
+    /// happens until the first operation.
+    pub fn new(config: CfsConfig) -> Cfs {
+        Cfs {
+            config: Arc::new(config),
+            slot: Arc::new(Mutex::new(ConnSlot {
+                conn: None,
+                generation: 0,
+            })),
+        }
+    }
+
+    /// Shorthand: connect to `endpoint` with `auth` at the server root.
+    pub fn connect(endpoint: &str, auth: Vec<AuthMethod>) -> Cfs {
+        Cfs::new(CfsConfig::new(endpoint, auth))
+    }
+
+    /// The server endpoint.
+    pub fn endpoint(&self) -> &str {
+        &self.config.endpoint
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &CfsConfig {
+        &self.config
+    }
+
+    fn full_path(&self, path: &str) -> String {
+        join_base(&self.config.base, path)
+    }
+
+    /// Run `op` against a live connection, reconnecting per the retry
+    /// policy on transport failures.
+    fn run<T>(
+        &self,
+        mut op: impl FnMut(&mut Connection) -> ChirpResult<T>,
+    ) -> io::Result<T> {
+        let mut slot = self.slot.lock();
+        let mut attempt = 0u32;
+        loop {
+            if let Err(e) = ensure_connected(&mut slot, &self.config) {
+                if attempt < self.config.retry.max_retries && e.is_retryable() {
+                    let backoff = self.config.retry.backoff(attempt);
+                    attempt += 1;
+                    drop_conn(&mut slot);
+                    std::thread::sleep(backoff);
+                    continue;
+                }
+                return Err(e.into());
+            }
+            let conn = slot.conn.as_mut().expect("ensured above");
+            match op(conn) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_retryable() && attempt < self.config.retry.max_retries => {
+                    let backoff = self.config.retry.backoff(attempt);
+                    attempt += 1;
+                    drop_conn(&mut slot);
+                    std::thread::sleep(backoff);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Stream a whole remote file into `out` (used by replication).
+    pub fn getfile_to<W: io::Write>(&self, path: &str, out: &mut W) -> io::Result<u64> {
+        let p = self.full_path(path);
+        self.run(|c| c.getfile_to(&p, out))
+    }
+
+    /// Fetch a whole remote file.
+    pub fn getfile(&self, path: &str) -> io::Result<Vec<u8>> {
+        let p = self.full_path(path);
+        self.run(|c| c.getfile(&p))
+    }
+
+    /// Store a whole file from a buffer.
+    pub fn putfile(&self, path: &str, mode: u32, data: &[u8]) -> io::Result<()> {
+        let p = self.full_path(path);
+        self.run(|c| c.putfile(&p, mode, data))
+    }
+
+    /// Server-side checksum (CRC-64) of a remote file.
+    pub fn checksum(&self, path: &str) -> io::Result<u64> {
+        let p = self.full_path(path);
+        self.run(|c| c.checksum(&p))
+    }
+
+    /// Storage totals of the backing server.
+    pub fn statfs(&self) -> io::Result<StatFs> {
+        self.run(|c| c.statfs())
+    }
+
+    /// The subject this mount authenticates as.
+    pub fn whoami(&self) -> io::Result<String> {
+        self.run(|c| c.whoami())
+    }
+
+    /// Fetch a directory ACL.
+    pub fn getacl(&self, path: &str) -> io::Result<String> {
+        let p = self.full_path(path);
+        self.run(|c| c.getacl(&p))
+    }
+
+    /// Modify a directory ACL.
+    pub fn setacl(&self, path: &str, subject: &str, rights: &str) -> io::Result<()> {
+        let p = self.full_path(path);
+        self.run(|c| c.setacl(&p, subject, rights))
+    }
+
+    /// Direct a server-to-server third-party transfer of `path` to
+    /// `target_path` on `target` — bulk data never visits this client.
+    pub fn thirdput(&self, path: &str, target: &str, target_path: &str) -> io::Result<u64> {
+        let p = self.full_path(path);
+        self.run(|c| c.thirdput(&p, target, target_path))
+    }
+}
+
+fn drop_conn(slot: &mut ConnSlot) {
+    if slot.conn.take().is_some() {
+        slot.generation += 1;
+    }
+}
+
+fn ensure_connected(slot: &mut ConnSlot, config: &CfsConfig) -> ChirpResult<()> {
+    if let Some(c) = &slot.conn {
+        if !c.is_broken() {
+            return Ok(());
+        }
+        drop_conn(slot);
+    }
+    let mut conn = Connection::connect(config.endpoint.as_str(), config.timeout)?;
+    if !config.auth.is_empty() {
+        conn.authenticate(&config.auth)?;
+    }
+    slot.conn = Some(conn);
+    slot.generation += 1;
+    Ok(())
+}
+
+/// Join the mount base with an abstraction path.
+fn join_base(base: &str, path: &str) -> String {
+    let p = normalize_path(path);
+    if base == "/" {
+        p
+    } else if p == "/" {
+        base.to_string()
+    } else {
+        format!("{base}{p}")
+    }
+}
+
+struct CfsHandle {
+    config: Arc<CfsConfig>,
+    slot: Arc<Mutex<ConnSlot>>,
+    /// Full server-side path, for re-opening after reconnection.
+    path: String,
+    /// Flags to re-open with: the original minus the one-shot bits
+    /// (`CREATE`/`TRUNCATE`/`EXCLUSIVE`), so recovery never clobbers
+    /// file contents.
+    reopen_flags: OpenFlags,
+    fd: i32,
+    /// Generation of the connection the descriptor belongs to.
+    generation: u64,
+    /// Identity recorded at first open; a different inode after
+    /// reconnection means the file was replaced — stale handle.
+    identity: (u64, u64),
+}
+
+impl CfsHandle {
+    /// Run a descriptor operation, transparently re-opening after a
+    /// reconnection and surfacing `Stale` when the file changed
+    /// identity underneath us.
+    fn with_fd<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Connection, i32) -> ChirpResult<T>,
+    ) -> io::Result<T> {
+        let slot_arc = self.slot.clone();
+        let mut slot = slot_arc.lock();
+        let mut attempt = 0u32;
+        loop {
+            if let Err(e) = ensure_connected(&mut slot, &self.config) {
+                if attempt < self.config.retry.max_retries && e.is_retryable() {
+                    let backoff = self.config.retry.backoff(attempt);
+                    attempt += 1;
+                    drop_conn(&mut slot);
+                    std::thread::sleep(backoff);
+                    continue;
+                }
+                return Err(e.into());
+            }
+            // If the connection was replaced, our descriptor died with
+            // it: re-open and verify identity (adapter recovery, §6).
+            if slot.generation != self.generation {
+                let conn = slot.conn.as_mut().expect("ensured above");
+                match reopen(conn, &self.path, self.reopen_flags, self.identity) {
+                    Ok(fd) => {
+                        self.fd = fd;
+                        self.generation = slot.generation;
+                    }
+                    Err(e) if e.is_retryable() && attempt < self.config.retry.max_retries => {
+                        let backoff = self.config.retry.backoff(attempt);
+                        attempt += 1;
+                        drop_conn(&mut slot);
+                        std::thread::sleep(backoff);
+                        continue;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            let conn = slot.conn.as_mut().expect("ensured above");
+            match op(conn, self.fd) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_retryable() && attempt < self.config.retry.max_retries => {
+                    let backoff = self.config.retry.backoff(attempt);
+                    attempt += 1;
+                    drop_conn(&mut slot);
+                    std::thread::sleep(backoff);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
+fn reopen(
+    conn: &mut Connection,
+    path: &str,
+    flags: OpenFlags,
+    identity: (u64, u64),
+) -> ChirpResult<i32> {
+    let fd = conn.open(path, flags, 0)?;
+    let st = conn.fstat(fd)?;
+    if (st.device, st.inode) != identity {
+        let _ = conn.close(fd);
+        return Err(ChirpError::Stale);
+    }
+    Ok(fd)
+}
+
+impl FileHandle for CfsHandle {
+    fn pread(&mut self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        // One RPC round trip; the server may return short only at EOF.
+        let data = self.with_fd(|c, fd| c.pread(fd, buf.len() as u64, offset))?;
+        buf[..data.len()].copy_from_slice(&data);
+        Ok(data.len())
+    }
+
+    fn pwrite(&mut self, buf: &[u8], offset: u64) -> io::Result<usize> {
+        let n = self.with_fd(|c, fd| c.pwrite(fd, buf, offset))?;
+        Ok(n as usize)
+    }
+
+    fn fstat(&mut self) -> io::Result<StatBuf> {
+        self.with_fd(|c, fd| c.fstat(fd))
+    }
+
+    fn fsync(&mut self) -> io::Result<()> {
+        self.with_fd(|c, fd| c.fsync(fd))
+    }
+
+    fn ftruncate(&mut self, size: u64) -> io::Result<()> {
+        self.with_fd(|c, fd| c.ftruncate(fd, size))
+    }
+}
+
+impl Drop for CfsHandle {
+    fn drop(&mut self) {
+        // Best-effort: if the connection died, the server has already
+        // closed the descriptor for us.
+        let mut slot = self.slot.lock();
+        if slot.generation == self.generation {
+            if let Some(conn) = slot.conn.as_mut() {
+                let _ = conn.close(self.fd);
+            }
+        }
+    }
+}
+
+impl FileSystem for Cfs {
+    fn open(&self, path: &str, flags: OpenFlags, mode: u32) -> io::Result<Box<dyn FileHandle>> {
+        let full = self.full_path(path);
+        let mut flags = flags;
+        if self.config.sync_writes {
+            flags |= OpenFlags::SYNC;
+        }
+        let (fd, st, generation) = {
+            let slot_arc = self.slot.clone();
+            let mut slot = slot_arc.lock();
+            let mut attempt = 0u32;
+            loop {
+                if let Err(e) = ensure_connected(&mut slot, &self.config) {
+                    if attempt < self.config.retry.max_retries && e.is_retryable() {
+                        let backoff = self.config.retry.backoff(attempt);
+                        attempt += 1;
+                        drop_conn(&mut slot);
+                        std::thread::sleep(backoff);
+                        continue;
+                    }
+                    return Err(e.into());
+                }
+                let generation = slot.generation;
+                let conn = slot.conn.as_mut().expect("ensured above");
+                match conn.open(&full, flags, mode).and_then(|fd| {
+                    let st = conn.fstat(fd)?;
+                    Ok((fd, st))
+                }) {
+                    Ok((fd, st)) => break (fd, st, generation),
+                    Err(e) if e.is_retryable() && attempt < self.config.retry.max_retries => {
+                        let backoff = self.config.retry.backoff(attempt);
+                        attempt += 1;
+                        drop_conn(&mut slot);
+                        std::thread::sleep(backoff);
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        };
+        // Strip one-shot bits so recovery re-opens are idempotent.
+        let mut reopen_flags = OpenFlags::empty();
+        for f in [OpenFlags::READ, OpenFlags::WRITE, OpenFlags::APPEND, OpenFlags::SYNC] {
+            if flags.contains(f) {
+                reopen_flags |= f;
+            }
+        }
+        // A write-created handle must remain re-openable: re-opening
+        // write-only is fine because the file now exists.
+        if reopen_flags.bits() == 0 {
+            reopen_flags = OpenFlags::READ;
+        }
+        Ok(Box::new(CfsHandle {
+            config: self.config.clone(),
+            slot: self.slot.clone(),
+            path: full,
+            reopen_flags,
+            fd,
+            generation,
+            identity: (st.device, st.inode),
+        }))
+    }
+
+    fn stat(&self, path: &str) -> io::Result<StatBuf> {
+        let p = self.full_path(path);
+        self.run(|c| c.stat(&p))
+    }
+
+    fn unlink(&self, path: &str) -> io::Result<()> {
+        let p = self.full_path(path);
+        self.run(|c| c.unlink(&p))
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        let f = self.full_path(from);
+        let t = self.full_path(to);
+        self.run(|c| c.rename(&f, &t))
+    }
+
+    fn mkdir(&self, path: &str, mode: u32) -> io::Result<()> {
+        let p = self.full_path(path);
+        self.run(|c| c.mkdir(&p, mode))
+    }
+
+    fn rmdir(&self, path: &str) -> io::Result<()> {
+        let p = self.full_path(path);
+        self.run(|c| c.rmdir(&p))
+    }
+
+    fn readdir(&self, path: &str) -> io::Result<Vec<String>> {
+        let p = self.full_path(path);
+        self.run(|c| c.getdir(&p))
+    }
+
+    fn truncate(&self, path: &str, size: u64) -> io::Result<()> {
+        let p = self.full_path(path);
+        self.run(|c| c.truncate(&p, size))
+    }
+
+    /// Whole-file read in a single `GETFILE` RPC instead of the
+    /// open/stat/read/close sequence — the streaming call the Chirp
+    /// protocol provides exactly for this (§4). DSFS stub reads ride
+    /// on this, keeping metadata operations at the "twice the round
+    /// trips of CFS" the paper reports rather than four times.
+    fn read_file(&self, path: &str) -> io::Result<Vec<u8>> {
+        self.getfile(path)
+    }
+
+    /// Whole-file write in a single `PUTFILE` RPC.
+    fn write_file(&self, path: &str, data: &[u8]) -> io::Result<()> {
+        self.putfile(path, 0o644, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_saturates() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+        };
+        assert_eq!(p.backoff(0), Duration::from_millis(10));
+        assert_eq!(p.backoff(1), Duration::from_millis(20));
+        assert_eq!(p.backoff(2), Duration::from_millis(40));
+        assert_eq!(p.backoff(5), Duration::from_millis(100));
+        assert_eq!(p.backoff(30), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn join_base_forms() {
+        assert_eq!(join_base("/", "/a/b"), "/a/b");
+        assert_eq!(join_base("/vol", "/a"), "/vol/a");
+        assert_eq!(join_base("/vol", "/"), "/vol");
+        assert_eq!(join_base("/vol", "/x/../y"), "/vol/y");
+    }
+}

@@ -1,0 +1,94 @@
+//! DSFS — the *distributed shared filesystem*.
+//!
+//! Identical to [`crate::Dpfs`] except that the directory tree itself
+//! is stored **on a file server**, so multiple clients can access the
+//! tree and follow pointers to file data on multiple servers. A single
+//! server might be dedicated to the directory role, or serve double
+//! duty as both directory and data server — under the recursive
+//! storage abstraction any server can act in either role.
+//!
+//! There is no caching anywhere, so there are no coherence problems;
+//! the synchronization issues that remain (create/delete ordering,
+//! dangling stubs) are handled by the shared engine in
+//! [`crate::stubfs`].
+
+use std::io;
+use std::sync::Arc;
+
+use chirp_client::AuthMethod;
+
+use crate::cfs::{Cfs, CfsConfig};
+use crate::placement::Placement;
+use crate::stubfs::{delegate_filesystem, DataServer, StubFs, StubFsOptions};
+
+/// A distributed shared filesystem.
+pub struct Dsfs {
+    inner: StubFs,
+}
+
+impl Dsfs {
+    /// Attach to a DSFS whose directory tree lives on the file server
+    /// `meta_endpoint` under `meta_volume`, with data spread over
+    /// `pool`.
+    pub fn new(
+        meta_endpoint: &str,
+        meta_volume: &str,
+        meta_auth: Vec<AuthMethod>,
+        pool: Vec<DataServer>,
+    ) -> io::Result<Dsfs> {
+        Dsfs::with_options(
+            meta_endpoint,
+            meta_volume,
+            meta_auth,
+            pool,
+            Placement::round_robin(),
+            StubFsOptions::default(),
+        )
+    }
+
+    /// Full-control constructor.
+    pub fn with_options(
+        meta_endpoint: &str,
+        meta_volume: &str,
+        meta_auth: Vec<AuthMethod>,
+        pool: Vec<DataServer>,
+        placement: Placement,
+        options: StubFsOptions,
+    ) -> io::Result<Dsfs> {
+        let mut cfg = CfsConfig::new(meta_endpoint, meta_auth).with_base(meta_volume);
+        cfg.timeout = options.timeout;
+        cfg.retry = options.retry;
+        let meta = Arc::new(Cfs::new(cfg));
+        Ok(Dsfs {
+            inner: StubFs::new(meta, pool, placement, options),
+        })
+    }
+
+    /// Create the directory volume and every pool volume, making a
+    /// fresh filesystem ready for use.
+    pub fn format(
+        meta_endpoint: &str,
+        meta_volume: &str,
+        meta_auth: Vec<AuthMethod>,
+        pool: Vec<DataServer>,
+    ) -> io::Result<Dsfs> {
+        // The directory volume is itself created through the ordinary
+        // file interface of the directory server.
+        let root = Cfs::new(CfsConfig::new(meta_endpoint, meta_auth.clone()));
+        match crate::fs::FileSystem::mkdir(&root, meta_volume, 0o755) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {}
+            Err(e) => return Err(e),
+        }
+        let fs = Dsfs::new(meta_endpoint, meta_volume, meta_auth, pool)?;
+        fs.inner.ensure_volumes()?;
+        Ok(fs)
+    }
+
+    /// The underlying stub engine.
+    pub fn stubfs(&self) -> &StubFs {
+        &self.inner
+    }
+}
+
+delegate_filesystem!(Dsfs, inner);

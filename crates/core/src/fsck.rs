@@ -1,0 +1,149 @@
+//! `fsck` for stub filesystems: find and repair the two inconsistent
+//! states the DSFS create/delete protocol can leave behind (§5).
+//!
+//! * **Dangling stubs** — a crash between stub creation and data
+//!   creation, or data forcibly evicted by a server owner. The paper:
+//!   "an attempt to open such a file yields 'file not found' ... and
+//!   is easily deleted by a user." `repair` does that deletion.
+//! * **Orphaned data** — data files in a pool volume that no stub
+//!   references. The create protocol's ordering makes these impossible
+//!   under crashes, but a deleted *tree* (or a pool shared by a
+//!   retired filesystem) leaves them; the paper notes the remaining
+//!   portions are "stored in distinguishable directories on each of
+//!   the file servers, allowing for either manual recovery or complete
+//!   removal."
+
+use std::collections::{HashMap, HashSet};
+use std::io;
+
+use crate::fs::FileSystem;
+use crate::stub::Stub;
+use crate::stubfs::StubFs;
+
+/// What a scan found.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FsckReport {
+    /// Logical files whose stub parsed and whose data exists.
+    pub healthy: Vec<String>,
+    /// Logical paths whose stub points at missing data.
+    pub dangling_stubs: Vec<String>,
+    /// Logical paths holding unparseable stub files.
+    pub corrupt_stubs: Vec<String>,
+    /// `(endpoint, data path)` of pool data no stub references.
+    pub orphaned_data: Vec<(String, String)>,
+    /// Logical paths whose data server could not be reached; nothing
+    /// is concluded about them (failure coherence: unreachable is not
+    /// lost).
+    pub unreachable: Vec<String>,
+}
+
+impl FsckReport {
+    /// True when nothing needs attention.
+    pub fn is_clean(&self) -> bool {
+        self.dangling_stubs.is_empty()
+            && self.corrupt_stubs.is_empty()
+            && self.orphaned_data.is_empty()
+    }
+}
+
+/// Scan a stub filesystem: walk the directory tree, verify every
+/// stub's data, and cross-check the pool volumes for orphans.
+pub fn fsck(fs: &StubFs) -> io::Result<FsckReport> {
+    let mut report = FsckReport::default();
+    // Referenced data paths per endpoint.
+    let mut referenced: HashMap<String, HashSet<String>> = HashMap::new();
+
+    let meta = fs.meta().clone();
+    let mut stack = vec!["/".to_string()];
+    while let Some(dir) = stack.pop() {
+        for name in meta.readdir(&dir)? {
+            let path = if dir == "/" {
+                format!("/{name}")
+            } else {
+                format!("{dir}/{name}")
+            };
+            let st = meta.stat(&path)?;
+            if st.is_dir() {
+                stack.push(path);
+                continue;
+            }
+            let body = meta.read_file(&path)?;
+            let Ok(text) = String::from_utf8(body) else {
+                report.corrupt_stubs.push(path);
+                continue;
+            };
+            let Ok(stub) = Stub::parse(&text) else {
+                report.corrupt_stubs.push(path);
+                continue;
+            };
+            referenced
+                .entry(stub.endpoint.clone())
+                .or_default()
+                .insert(stub.data_path.clone());
+            let conn = fs.data_conn(&stub.endpoint)?;
+            match conn.stat(&stub.data_path) {
+                Ok(_) => report.healthy.push(path),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    report.dangling_stubs.push(path)
+                }
+                Err(_) => report.unreachable.push(path),
+            }
+        }
+    }
+
+    // Orphans: pool volume contents minus everything referenced.
+    for server in fs.pool() {
+        let conn = fs.data_conn(&server.endpoint)?;
+        let names = match conn.readdir(&server.volume) {
+            Ok(n) => n,
+            Err(_) => continue, // unreachable server: no conclusions
+        };
+        let refs = referenced.get(&server.endpoint);
+        for name in names {
+            let data_path = format!("{}/{name}", server.volume);
+            if refs.is_none_or(|r| !r.contains(&data_path)) {
+                report.orphaned_data.push((server.endpoint.clone(), data_path));
+            }
+        }
+    }
+    report.healthy.sort();
+    report.dangling_stubs.sort();
+    report.corrupt_stubs.sort();
+    report.orphaned_data.sort();
+    report.unreachable.sort();
+    Ok(report)
+}
+
+/// Repair options for [`repair`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RepairOptions {
+    /// Delete dangling and corrupt stubs from the tree.
+    pub remove_dangling_stubs: bool,
+    /// Delete unreferenced data from the pool volumes ("complete
+    /// removal"). Off by default: orphans may belong to another
+    /// filesystem sharing the volume.
+    pub remove_orphans: bool,
+}
+
+/// Apply repairs for the problems a scan reported. Returns the number
+/// of items removed.
+pub fn repair(fs: &StubFs, report: &FsckReport, options: RepairOptions) -> io::Result<u64> {
+    let mut removed = 0;
+    if options.remove_dangling_stubs {
+        for path in report.dangling_stubs.iter().chain(&report.corrupt_stubs) {
+            fs.meta().unlink(path)?;
+            removed += 1;
+        }
+    }
+    if options.remove_orphans {
+        for (endpoint, data_path) in &report.orphaned_data {
+            let conn = fs.data_conn(endpoint)?;
+            match conn.unlink(data_path) {
+                Ok(()) => removed += 1,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(removed)
+}

@@ -1,0 +1,261 @@
+//! `LocalFs`: the host filesystem behind the common interface.
+//!
+//! This is "Unix" in the paper's evaluation — the zero-overhead
+//! baseline — and also the metadata store of a [`crate::Dpfs`], whose
+//! directory tree lives in a local filesystem chosen by the user.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::{Path, PathBuf};
+
+use chirp_proto::{OpenFlags, StatBuf};
+
+use crate::fs::{normalize_path, FileHandle, FileSystem};
+
+/// The host filesystem rooted at a chosen directory.
+#[derive(Debug, Clone)]
+pub struct LocalFs {
+    root: PathBuf,
+}
+
+impl LocalFs {
+    /// A local filesystem view rooted at `root` (created if missing).
+    pub fn new(root: impl Into<PathBuf>) -> io::Result<LocalFs> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(LocalFs {
+            root: root.canonicalize()?,
+        })
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn host(&self, path: &str) -> PathBuf {
+        let norm = normalize_path(path);
+        let mut out = self.root.clone();
+        for comp in norm.split('/').filter(|c| !c.is_empty()) {
+            out.push(comp);
+        }
+        out
+    }
+}
+
+struct LocalHandle {
+    file: File,
+    sync: bool,
+}
+
+impl FileHandle for LocalHandle {
+    fn pread(&mut self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        use std::os::unix::fs::FileExt;
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.file.read_at(&mut buf[filled..], offset + filled as u64) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(filled)
+    }
+
+    fn pwrite(&mut self, buf: &[u8], offset: u64) -> io::Result<usize> {
+        use std::os::unix::fs::FileExt;
+        self.file.write_all_at(buf, offset)?;
+        if self.sync {
+            self.file.sync_all()?;
+        }
+        Ok(buf.len())
+    }
+
+    fn fstat(&mut self) -> io::Result<StatBuf> {
+        Ok(meta_to_stat(&self.file.metadata()?))
+    }
+
+    fn fsync(&mut self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+
+    fn ftruncate(&mut self, size: u64) -> io::Result<()> {
+        self.file.set_len(size)
+    }
+}
+
+impl FileSystem for LocalFs {
+    fn open(&self, path: &str, flags: OpenFlags, mode: u32) -> io::Result<Box<dyn FileHandle>> {
+        let mut opts = OpenOptions::new();
+        opts.read(flags.contains(OpenFlags::READ));
+        opts.write(flags.contains(OpenFlags::WRITE) || flags.contains(OpenFlags::APPEND));
+        opts.append(flags.contains(OpenFlags::APPEND));
+        if flags.contains(OpenFlags::CREATE) {
+            if flags.contains(OpenFlags::EXCLUSIVE) {
+                opts.create_new(true);
+            } else {
+                opts.create(true);
+            }
+        }
+        opts.truncate(flags.contains(OpenFlags::TRUNCATE));
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::OpenOptionsExt;
+            if mode != 0 {
+                opts.mode(mode);
+            }
+        }
+        let host = self.host(path);
+        if host.is_dir() {
+            return Err(io::ErrorKind::IsADirectory.into());
+        }
+        let file = opts.open(host)?;
+        Ok(Box::new(LocalHandle {
+            file,
+            sync: flags.contains(OpenFlags::SYNC),
+        }))
+    }
+
+    fn stat(&self, path: &str) -> io::Result<StatBuf> {
+        Ok(meta_to_stat(&std::fs::metadata(self.host(path))?))
+    }
+
+    fn unlink(&self, path: &str) -> io::Result<()> {
+        std::fs::remove_file(self.host(path))
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        std::fs::rename(self.host(from), self.host(to))
+    }
+
+    fn mkdir(&self, path: &str, _mode: u32) -> io::Result<()> {
+        std::fs::create_dir(self.host(path))
+    }
+
+    fn rmdir(&self, path: &str) -> io::Result<()> {
+        std::fs::remove_dir(self.host(path))
+    }
+
+    fn readdir(&self, path: &str) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(self.host(path))? {
+            names.push(entry?.file_name().to_string_lossy().into_owned());
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn truncate(&self, path: &str, size: u64) -> io::Result<()> {
+        let f = OpenOptions::new().write(true).open(self.host(path))?;
+        f.set_len(size)
+    }
+
+    fn read_file(&self, path: &str) -> io::Result<Vec<u8>> {
+        std::fs::read(self.host(path))
+    }
+
+    fn write_file(&self, path: &str, data: &[u8]) -> io::Result<()> {
+        std::fs::write(self.host(path), data)
+    }
+}
+
+/// Convert host metadata to the shared stat structure.
+pub fn meta_to_stat(meta: &std::fs::Metadata) -> StatBuf {
+    use std::os::unix::fs::MetadataExt;
+    StatBuf {
+        device: meta.dev(),
+        inode: meta.ino(),
+        file_type: if meta.is_dir() {
+            chirp_proto::stat::FileType::Dir
+        } else if meta.is_file() {
+            chirp_proto::stat::FileType::File
+        } else {
+            chirp_proto::stat::FileType::Other
+        },
+        mode: meta.mode() & 0o7777,
+        nlink: meta.nlink(),
+        size: meta.len(),
+        mtime: meta.mtime().max(0) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chirp_proto::testutil::TempDir;
+
+    fn fs() -> (TempDir, LocalFs) {
+        let dir = TempDir::new();
+        let fs = LocalFs::new(dir.path()).unwrap();
+        (dir, fs)
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let (_d, fs) = fs();
+        fs.write_file("/x", b"hello").unwrap();
+        assert_eq!(fs.read_file("/x").unwrap(), b"hello");
+        assert_eq!(fs.stat("/x").unwrap().size, 5);
+    }
+
+    #[test]
+    fn positional_io() {
+        let (_d, fs) = fs();
+        fs.write_file("/x", b"0123456789").unwrap();
+        let mut h = fs.open("/x", OpenFlags::READ, 0).unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(h.pread(&mut buf, 3).unwrap(), 4);
+        assert_eq!(&buf, b"3456");
+        assert_eq!(h.pread(&mut buf, 9).unwrap(), 1);
+    }
+
+    #[test]
+    fn namespace_ops() {
+        let (_d, fs) = fs();
+        fs.mkdir("/d", 0o755).unwrap();
+        fs.write_file("/d/f", b"1").unwrap();
+        assert_eq!(fs.readdir("/d").unwrap(), vec!["f"]);
+        fs.rename("/d/f", "/g").unwrap();
+        assert_eq!(fs.readdir("/").unwrap(), vec!["d", "g"]);
+        assert!(fs.rmdir("/d").is_ok());
+        fs.unlink("/g").unwrap();
+        assert!(fs.readdir("/").unwrap().is_empty());
+    }
+
+    #[test]
+    fn exclusive_create() {
+        let (_d, fs) = fs();
+        let fl = OpenFlags::WRITE | OpenFlags::CREATE | OpenFlags::EXCLUSIVE;
+        fs.open("/x", fl, 0o644).unwrap();
+        let err = fs.open("/x", fl, 0o644).err().expect("second exclusive create fails");
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+    }
+
+    #[test]
+    fn opened_file_cursor_semantics() {
+        use std::io::{Read, Seek, SeekFrom, Write};
+        let (_d, fs) = fs();
+        let h = fs
+            .open("/f", OpenFlags::read_write() | OpenFlags::CREATE, 0o644)
+            .unwrap();
+        let mut f = crate::fs::OpenedFile::new(h);
+        f.write_all(b"abcdef").unwrap();
+        f.seek(SeekFrom::Start(2)).unwrap();
+        let mut buf = [0u8; 2];
+        f.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"cd");
+        assert_eq!(f.seek(SeekFrom::End(-1)).unwrap(), 5);
+        assert_eq!(f.seek(SeekFrom::Current(-2)).unwrap(), 3);
+        assert!(f.seek(SeekFrom::Current(-10)).is_err());
+    }
+
+    #[test]
+    fn paths_are_jailed_to_root() {
+        let (d, fs) = fs();
+        std::fs::write(d.path().join("..").join("sentinel-lfs"), b"x").ok();
+        // `..` cannot escape: it resolves to the root itself.
+        assert!(fs.stat("/../sentinel-lfs").is_err());
+        let _ = std::fs::remove_file(d.path().join("..").join("sentinel-lfs"));
+    }
+}

@@ -1,0 +1,304 @@
+//! Transparent replication — the conclusion's second suggested
+//! variation: a filesystem that mirrors every file onto several
+//! servers so reads survive device loss.
+//!
+//! Writes go to every replica (strict: a write that cannot reach all
+//! replicas fails, keeping mirrors identical); reads and stats try
+//! replicas in order and fail over silently. Built, like everything
+//! else, purely on the servers' ordinary file interface.
+
+use std::io;
+use std::sync::Arc;
+
+use chirp_proto::{OpenFlags, StatBuf};
+
+use crate::fs::{FileHandle, FileSystem};
+use crate::placement::{unique_data_name, Placement};
+use crate::pool::ServerPool;
+use crate::stubfs::{DataServer, StubFsOptions};
+
+/// First line of a mirror stub.
+pub const MIRROR_MAGIC: &str = "#tss-mirror-v1";
+
+/// The replica list of one mirrored file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MirrorSet {
+    /// `(endpoint, data path)` per replica.
+    pub replicas: Vec<(String, String)>,
+}
+
+impl MirrorSet {
+    /// Render to the stub format.
+    pub fn render(&self) -> String {
+        let mut out = format!("{MIRROR_MAGIC}\n");
+        for (endpoint, path) in &self.replicas {
+            out.push_str(&format!("{endpoint} {path}\n"));
+        }
+        out
+    }
+
+    /// Parse a mirror stub.
+    pub fn parse(text: &str) -> io::Result<MirrorSet> {
+        let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+        let mut lines = text.lines();
+        if lines.next() != Some(MIRROR_MAGIC) {
+            return Err(bad("not a mirror stub"));
+        }
+        let mut replicas = Vec::new();
+        for line in lines {
+            let (endpoint, path) = line
+                .split_once(' ')
+                .filter(|(_, p)| p.starts_with('/'))
+                .ok_or_else(|| bad("bad replica line"))?;
+            replicas.push((endpoint.to_string(), path.to_string()));
+        }
+        if replicas.is_empty() {
+            return Err(bad("no replicas"));
+        }
+        Ok(MirrorSet { replicas })
+    }
+}
+
+/// A filesystem that mirrors every file across several servers.
+pub struct MirroredFs {
+    meta: Arc<dyn FileSystem>,
+    pool: ServerPool,
+    placement: Placement,
+    /// Replicas per file.
+    copies: usize,
+}
+
+impl MirroredFs {
+    /// Build a mirrored filesystem with `copies` replicas per file.
+    pub fn new(
+        meta: Arc<dyn FileSystem>,
+        pool: Vec<DataServer>,
+        copies: usize,
+        options: StubFsOptions,
+    ) -> io::Result<MirroredFs> {
+        if copies == 0 || pool.len() < copies {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "copies exceed pool",
+            ));
+        }
+        Ok(MirroredFs {
+            meta,
+            pool: ServerPool::new(pool, options),
+            placement: Placement::round_robin(),
+            copies,
+        })
+    }
+
+    /// Create pool volumes.
+    pub fn ensure_volumes(&self) -> io::Result<()> {
+        self.pool.ensure_volumes()
+    }
+
+    fn read_set(&self, path: &str) -> io::Result<MirrorSet> {
+        let text = self.meta.read_file(path)?;
+        let text = String::from_utf8(text)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "stub not utf-8"))?;
+        MirrorSet::parse(&text)
+    }
+
+    fn create_file(&self, path: &str, flags: OpenFlags) -> io::Result<Box<dyn FileHandle>> {
+        let first = self.placement.choose(self.pool.len());
+        let replicas: Vec<(String, String)> = (0..self.copies)
+            .map(|i| {
+                let server = &self.pool.servers()[(first + i) % self.pool.len()];
+                (
+                    server.endpoint.clone(),
+                    format!("{}/{}", server.volume, unique_data_name()),
+                )
+            })
+            .collect();
+        let set = MirrorSet { replicas };
+        let mut stub = self.meta.open(
+            path,
+            OpenFlags::WRITE | OpenFlags::CREATE | OpenFlags::EXCLUSIVE,
+            0o644,
+        )?;
+        stub.pwrite(set.render().as_bytes(), 0)?;
+        drop(stub);
+        let create = flags | OpenFlags::WRITE | OpenFlags::CREATE;
+        match self.open_all(&set, create) {
+            Ok(handles) => Ok(Box::new(MirrorHandle { handles })),
+            Err(e) => {
+                let _ = self.meta.unlink(path);
+                Err(e)
+            }
+        }
+    }
+
+    /// Open every replica (for writing: all must be reachable).
+    fn open_all(&self, set: &MirrorSet, flags: OpenFlags) -> io::Result<Vec<Box<dyn FileHandle>>> {
+        set.replicas
+            .iter()
+            .map(|(endpoint, path)| self.pool.conn_for(endpoint).open(path, flags, 0o644))
+            .collect()
+    }
+
+    /// Open any one replica (for reading: first reachable wins).
+    fn open_any(&self, set: &MirrorSet, flags: OpenFlags) -> io::Result<Box<dyn FileHandle>> {
+        let mut last: io::Error = io::ErrorKind::NotFound.into();
+        for (endpoint, path) in &set.replicas {
+            match self.pool.conn_for(endpoint).open(path, flags, 0) {
+                Ok(h) => return Ok(h),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+}
+
+/// Write-all handle over every replica.
+struct MirrorHandle {
+    handles: Vec<Box<dyn FileHandle>>,
+}
+
+impl FileHandle for MirrorHandle {
+    fn pread(&mut self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        let mut last: io::Error = io::ErrorKind::NotFound.into();
+        for h in &mut self.handles {
+            match h.pread(buf, offset) {
+                Ok(n) => return Ok(n),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    fn pwrite(&mut self, buf: &[u8], offset: u64) -> io::Result<usize> {
+        for h in &mut self.handles {
+            h.pwrite(buf, offset)?;
+        }
+        Ok(buf.len())
+    }
+
+    fn fstat(&mut self) -> io::Result<StatBuf> {
+        self.handles[0].fstat()
+    }
+
+    fn fsync(&mut self) -> io::Result<()> {
+        for h in &mut self.handles {
+            h.fsync()?;
+        }
+        Ok(())
+    }
+
+    fn ftruncate(&mut self, size: u64) -> io::Result<()> {
+        for h in &mut self.handles {
+            h.ftruncate(size)?;
+        }
+        Ok(())
+    }
+}
+
+impl FileSystem for MirroredFs {
+    fn open(&self, path: &str, flags: OpenFlags, _mode: u32) -> io::Result<Box<dyn FileHandle>> {
+        if flags.contains(OpenFlags::CREATE) {
+            match self.create_file(path, flags) {
+                Ok(h) => return Ok(h),
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    if flags.contains(OpenFlags::EXCLUSIVE) {
+                        return Err(e);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let set = self.read_set(path)?;
+        let mut open_flags = OpenFlags::empty();
+        for f in [OpenFlags::READ, OpenFlags::WRITE, OpenFlags::SYNC] {
+            if flags.contains(f) {
+                open_flags |= f;
+            }
+        }
+        if open_flags.contains(OpenFlags::WRITE) {
+            // Mutation must reach every replica to keep mirrors equal.
+            let mut handles = self.open_all(&set, open_flags)?;
+            if flags.contains(OpenFlags::TRUNCATE) {
+                for h in &mut handles {
+                    h.ftruncate(0)?;
+                }
+            }
+            Ok(Box::new(MirrorHandle { handles }))
+        } else {
+            // Read-only opens fail over to any live replica.
+            self.open_any(&set, open_flags)
+        }
+    }
+
+    fn stat(&self, path: &str) -> io::Result<StatBuf> {
+        match self.read_set(path) {
+            Ok(set) => {
+                let mut last: io::Error = io::ErrorKind::NotFound.into();
+                for (endpoint, data_path) in &set.replicas {
+                    match self.pool.conn_for(endpoint).stat(data_path) {
+                        Ok(st) => return Ok(st),
+                        Err(e) => last = e,
+                    }
+                }
+                Err(last)
+            }
+            Err(e) if e.kind() == io::ErrorKind::IsADirectory => self.meta.stat(path),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn unlink(&self, path: &str) -> io::Result<()> {
+        let set = self.read_set(path)?;
+        for (endpoint, data_path) in &set.replicas {
+            // A dead or already-evicted replica must not block the
+            // user from deleting the file.
+            let _ = self.pool.conn_for(endpoint).unlink(data_path);
+        }
+        self.meta.unlink(path)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        self.meta.rename(from, to)
+    }
+
+    fn mkdir(&self, path: &str, mode: u32) -> io::Result<()> {
+        self.meta.mkdir(path, mode)
+    }
+
+    fn rmdir(&self, path: &str) -> io::Result<()> {
+        self.meta.rmdir(path)
+    }
+
+    fn readdir(&self, path: &str) -> io::Result<Vec<String>> {
+        self.meta.readdir(path)
+    }
+
+    fn truncate(&self, path: &str, size: u64) -> io::Result<()> {
+        let mut h = self.open(path, OpenFlags::WRITE, 0)?;
+        h.ftruncate(size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_set_round_trip() {
+        let s = MirrorSet {
+            replicas: vec![
+                ("h1:9094".into(), "/vol/a".into()),
+                ("h2:9094".into(), "/vol/b".into()),
+            ],
+        };
+        assert_eq!(MirrorSet::parse(&s.render()).unwrap(), s);
+    }
+
+    #[test]
+    fn mirror_set_rejects_garbage() {
+        assert!(MirrorSet::parse("").is_err());
+        assert!(MirrorSet::parse("#tss-mirror-v1\n").is_err());
+        assert!(MirrorSet::parse("#tss-mirror-v1\nnospace\n").is_err());
+        assert!(MirrorSet::parse("#tss-stripe-v1\nh /p\n").is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! A shared pool of data servers with cached connections.
+//!
+//! Every distributed abstraction (DPFS/DSFS stubs, striping,
+//! mirroring) needs the same plumbing: a set of `endpoint + volume +
+//! auth` servers, one cached [`Cfs`] connection per endpoint, volume
+//! setup, and a placement decision for new data. This type carries it
+//! once.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::Arc;
+
+use chirp_client::AuthMethod;
+use parking_lot::Mutex;
+
+use crate::cfs::{Cfs, CfsConfig};
+use crate::fs::FileSystem;
+use crate::stubfs::{DataServer, StubFsOptions};
+
+/// A connection-cached pool of data servers.
+pub struct ServerPool {
+    servers: Vec<DataServer>,
+    options: StubFsOptions,
+    conns: Mutex<HashMap<String, Arc<Cfs>>>,
+    default_auth: Vec<AuthMethod>,
+}
+
+impl ServerPool {
+    /// Build a pool over `servers` with shared connection `options`.
+    pub fn new(servers: Vec<DataServer>, options: StubFsOptions) -> ServerPool {
+        let default_auth = servers.first().map(|s| s.auth.clone()).unwrap_or_default();
+        ServerPool {
+            servers,
+            options,
+            conns: Mutex::new(HashMap::new()),
+            default_auth,
+        }
+    }
+
+    /// The pool members.
+    pub fn servers(&self) -> &[DataServer] {
+        &self.servers
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// True when the pool has no members.
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// The shared options.
+    pub fn options(&self) -> &StubFsOptions {
+        &self.options
+    }
+
+    /// A cached connection to `endpoint`. Endpoints outside the pool
+    /// (from old stubs after the pool changed) connect with the pool's
+    /// default auth.
+    pub fn conn_for(&self, endpoint: &str) -> Arc<Cfs> {
+        let mut conns = self.conns.lock();
+        conns
+            .entry(endpoint.to_string())
+            .or_insert_with(|| {
+                let auth = self
+                    .servers
+                    .iter()
+                    .find(|s| s.endpoint == endpoint)
+                    .map(|s| s.auth.clone())
+                    .unwrap_or_else(|| self.default_auth.clone());
+                let mut cfg = CfsConfig::new(endpoint, auth);
+                cfg.timeout = self.options.timeout;
+                cfg.retry = self.options.retry;
+                Arc::new(Cfs::new(cfg))
+            })
+            .clone()
+    }
+
+    /// Create each member's volume directory if missing.
+    pub fn ensure_volumes(&self) -> io::Result<()> {
+        for s in &self.servers {
+            let cfs = self.conn_for(&s.endpoint);
+            match cfs.mkdir(&s.volume, 0o755) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::Placement;
+
+    fn pool(n: usize) -> ServerPool {
+        let servers = (0..n)
+            .map(|i| DataServer::new(&format!("host{i}:9094"), "/vol", Vec::new()))
+            .collect();
+        ServerPool::new(servers, StubFsOptions::default())
+    }
+
+    #[test]
+    fn connections_are_cached_per_endpoint() {
+        let p = pool(2);
+        let a = p.conn_for("host0:9094");
+        let b = p.conn_for("host0:9094");
+        let c = p.conn_for("host1:9094");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn unknown_endpoints_still_connect_lazily() {
+        let p = pool(1);
+        // No network happens at conn_for time; only shape is checked.
+        let c = p.conn_for("stranger:1");
+        assert_eq!(c.endpoint(), "stranger:1");
+    }
+
+    #[test]
+    fn placement_over_pool_len() {
+        let p = pool(3);
+        let rr = Placement::round_robin();
+        let picks: Vec<usize> = (0..6).map(|_| rr.choose(p.len())).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+}

@@ -1,0 +1,392 @@
+//! Transparent striping — the first of the conclusion's "wide array
+//! of variations": a filesystem whose files are striped across
+//! multiple disks for single-file bandwidth beyond one server's port.
+//!
+//! Layout: a file is cut into fixed-size stripes dealt round-robin
+//! over `k` servers chosen at create time. Each server holds its
+//! stripes compacted into one part file, so stripe `s` of a `k`-way
+//! file lives in part `s mod k` at offset `(s div k) * stripe_size`.
+//! The directory tree (any [`FileSystem`], as with DPFS/DSFS) stores a
+//! stripe-stub naming the layout.
+//!
+//! Like every TSS abstraction this is built *entirely* on the ordinary
+//! file interface of the servers — no new server code was required to
+//! add striping, which is the architectural point being demonstrated.
+
+use std::io;
+use std::sync::Arc;
+
+use chirp_proto::{OpenFlags, StatBuf};
+
+use crate::fs::{FileHandle, FileSystem};
+use crate::placement::{unique_data_name, Placement};
+use crate::pool::ServerPool;
+use crate::stubfs::{DataServer, StubFsOptions};
+
+/// First line of a stripe stub.
+pub const STRIPE_MAGIC: &str = "#tss-stripe-v1";
+
+/// The parsed layout of one striped file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StripeLayout {
+    /// Bytes per stripe.
+    pub stripe_size: u64,
+    /// `(endpoint, part path)` in stripe order.
+    pub parts: Vec<(String, String)>,
+}
+
+impl StripeLayout {
+    /// Render to the stub format.
+    pub fn render(&self) -> String {
+        let mut out = format!("{STRIPE_MAGIC}\n{}\n", self.stripe_size);
+        for (endpoint, path) in &self.parts {
+            out.push_str(&format!("{endpoint} {path}\n"));
+        }
+        out
+    }
+
+    /// Parse a stripe stub.
+    pub fn parse(text: &str) -> io::Result<StripeLayout> {
+        let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+        let mut lines = text.lines();
+        if lines.next() != Some(STRIPE_MAGIC) {
+            return Err(bad("not a stripe stub"));
+        }
+        let stripe_size: u64 = lines
+            .next()
+            .and_then(|l| l.parse().ok())
+            .filter(|&s| s > 0)
+            .ok_or_else(|| bad("bad stripe size"))?;
+        let mut parts = Vec::new();
+        for line in lines {
+            let (endpoint, path) = line
+                .split_once(' ')
+                .filter(|(_, p)| p.starts_with('/'))
+                .ok_or_else(|| bad("bad part line"))?;
+            parts.push((endpoint.to_string(), path.to_string()));
+        }
+        if parts.is_empty() {
+            return Err(bad("no parts"));
+        }
+        Ok(StripeLayout {
+            stripe_size,
+            parts,
+        })
+    }
+
+    /// Where byte `offset` lives: `(part index, offset within part)`.
+    pub fn locate(&self, offset: u64) -> (usize, u64) {
+        let k = self.parts.len() as u64;
+        let stripe = offset / self.stripe_size;
+        let within = offset % self.stripe_size;
+        let part = (stripe % k) as usize;
+        let part_offset = (stripe / k) * self.stripe_size + within;
+        (part, part_offset)
+    }
+
+    /// Bytes from `offset` to the end of its stripe.
+    pub fn stripe_remaining(&self, offset: u64) -> u64 {
+        self.stripe_size - (offset % self.stripe_size)
+    }
+}
+
+/// A filesystem that stripes each file over several servers.
+pub struct StripedFs {
+    meta: Arc<dyn FileSystem>,
+    pool: ServerPool,
+    placement: Placement,
+    /// Servers per file (stripe width).
+    width: usize,
+    /// Bytes per stripe.
+    stripe_size: u64,
+}
+
+impl StripedFs {
+    /// Build a striped filesystem: directory tree on `meta`, data
+    /// striped `width`-ways in `stripe_size` units over `pool`.
+    pub fn new(
+        meta: Arc<dyn FileSystem>,
+        pool: Vec<DataServer>,
+        width: usize,
+        stripe_size: u64,
+        options: StubFsOptions,
+    ) -> io::Result<StripedFs> {
+        if width == 0 || pool.len() < width {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "stripe width exceeds pool",
+            ));
+        }
+        if stripe_size == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "zero stripe"));
+        }
+        Ok(StripedFs {
+            meta,
+            pool: ServerPool::new(pool, options),
+            placement: Placement::round_robin(),
+            width,
+            stripe_size,
+        })
+    }
+
+    /// Create pool volumes.
+    pub fn ensure_volumes(&self) -> io::Result<()> {
+        self.pool.ensure_volumes()
+    }
+
+    fn read_layout(&self, path: &str) -> io::Result<StripeLayout> {
+        let text = self.meta.read_file(path)?;
+        let text = String::from_utf8(text)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "stub not utf-8"))?;
+        StripeLayout::parse(&text)
+    }
+
+    fn open_parts(
+        &self,
+        layout: &StripeLayout,
+        flags: OpenFlags,
+    ) -> io::Result<Vec<Box<dyn FileHandle>>> {
+        layout
+            .parts
+            .iter()
+            .map(|(endpoint, path)| self.pool.conn_for(endpoint).open(path, flags, 0o644))
+            .collect()
+    }
+
+    fn create_file(&self, path: &str, flags: OpenFlags) -> io::Result<Box<dyn FileHandle>> {
+        // Choose `width` distinct servers starting at a rotating
+        // offset, so load spreads across files.
+        let first = self.placement.choose(self.pool.len());
+        let mut parts = Vec::with_capacity(self.width);
+        for i in 0..self.width {
+            let server = &self.pool.servers()[(first + i) % self.pool.len()];
+            parts.push((
+                server.endpoint.clone(),
+                format!("{}/{}", server.volume, unique_data_name()),
+            ));
+        }
+        let layout = StripeLayout {
+            stripe_size: self.stripe_size,
+            parts,
+        };
+        // Stub first (exclusive), then the part files, as in the DSFS
+        // create protocol.
+        let mut stub = self.meta.open(
+            path,
+            OpenFlags::WRITE | OpenFlags::CREATE | OpenFlags::EXCLUSIVE,
+            0o644,
+        )?;
+        stub.pwrite(layout.render().as_bytes(), 0)?;
+        drop(stub);
+        let create = flags | OpenFlags::WRITE | OpenFlags::CREATE;
+        match self.open_parts(&layout, create) {
+            Ok(handles) => Ok(Box::new(StripedHandle { layout, handles })),
+            Err(e) => {
+                let _ = self.meta.unlink(path);
+                Err(e)
+            }
+        }
+    }
+}
+
+struct StripedHandle {
+    layout: StripeLayout,
+    handles: Vec<Box<dyn FileHandle>>,
+}
+
+impl FileHandle for StripedHandle {
+    fn pread(&mut self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            let off = offset + filled as u64;
+            let (part, part_off) = self.layout.locate(off);
+            let want = (buf.len() - filled).min(self.layout.stripe_remaining(off) as usize);
+            let n = self.handles[part].pread(&mut buf[filled..filled + want], part_off)?;
+            filled += n;
+            if n < want {
+                break; // end of file
+            }
+        }
+        Ok(filled)
+    }
+
+    fn pwrite(&mut self, buf: &[u8], offset: u64) -> io::Result<usize> {
+        let mut written = 0usize;
+        while written < buf.len() {
+            let off = offset + written as u64;
+            let (part, part_off) = self.layout.locate(off);
+            let chunk = (buf.len() - written).min(self.layout.stripe_remaining(off) as usize);
+            self.handles[part].pwrite(&buf[written..written + chunk], part_off)?;
+            written += chunk;
+        }
+        Ok(written)
+    }
+
+    fn fstat(&mut self) -> io::Result<StatBuf> {
+        // The logical size is the sum of the compacted part sizes.
+        let mut size = 0;
+        let mut base = self.handles[0].fstat()?;
+        for h in &mut self.handles {
+            size += h.fstat()?.size;
+        }
+        base.size = size;
+        Ok(base)
+    }
+
+    fn fsync(&mut self) -> io::Result<()> {
+        for h in &mut self.handles {
+            h.fsync()?;
+        }
+        Ok(())
+    }
+
+    fn ftruncate(&mut self, size: u64) -> io::Result<()> {
+        // Compute each part's new length: whole stripes dealt round
+        // robin plus the partial tail.
+        let k = self.layout.parts.len() as u64;
+        let ss = self.layout.stripe_size;
+        let full = size / ss;
+        let tail = size % ss;
+        for (i, h) in self.handles.iter_mut().enumerate() {
+            let i = i as u64;
+            // Stripes this part holds among the first `full` stripes.
+            let whole = full / k + u64::from(i < full % k);
+            let mut part_len = whole * ss;
+            if i == full % k {
+                part_len += tail;
+            }
+            // The tail stripe replaces that part's next stripe slot;
+            // when tail == 0 nothing is added.
+            h.ftruncate(part_len)?;
+        }
+        Ok(())
+    }
+}
+
+impl FileSystem for StripedFs {
+    fn open(&self, path: &str, flags: OpenFlags, _mode: u32) -> io::Result<Box<dyn FileHandle>> {
+        if flags.contains(OpenFlags::CREATE) {
+            match self.create_file(path, flags) {
+                Ok(h) => return Ok(h),
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    if flags.contains(OpenFlags::EXCLUSIVE) {
+                        return Err(e);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let layout = self.read_layout(path)?;
+        let mut open_flags = OpenFlags::empty();
+        for f in [OpenFlags::READ, OpenFlags::WRITE, OpenFlags::SYNC] {
+            if flags.contains(f) {
+                open_flags |= f;
+            }
+        }
+        let mut handles = self.open_parts(&layout, open_flags)?;
+        if flags.contains(OpenFlags::TRUNCATE) {
+            for h in &mut handles {
+                h.ftruncate(0)?;
+            }
+        }
+        Ok(Box::new(StripedHandle { layout, handles }))
+    }
+
+    fn stat(&self, path: &str) -> io::Result<StatBuf> {
+        match self.read_layout(path) {
+            Ok(layout) => {
+                let mut size = 0;
+                let mut base = None;
+                for (endpoint, part) in &layout.parts {
+                    let st = self.pool.conn_for(endpoint).stat(part)?;
+                    size += st.size;
+                    base.get_or_insert(st);
+                }
+                let mut st = base.expect("layout has parts");
+                st.size = size;
+                Ok(st)
+            }
+            Err(e) if e.kind() == io::ErrorKind::IsADirectory => self.meta.stat(path),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn unlink(&self, path: &str) -> io::Result<()> {
+        let layout = self.read_layout(path)?;
+        for (endpoint, part) in &layout.parts {
+            match self.pool.conn_for(endpoint).unlink(part) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.meta.unlink(path)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        self.meta.rename(from, to)
+    }
+
+    fn mkdir(&self, path: &str, mode: u32) -> io::Result<()> {
+        self.meta.mkdir(path, mode)
+    }
+
+    fn rmdir(&self, path: &str) -> io::Result<()> {
+        self.meta.rmdir(path)
+    }
+
+    fn readdir(&self, path: &str) -> io::Result<Vec<String>> {
+        self.meta.readdir(path)
+    }
+
+    fn truncate(&self, path: &str, size: u64) -> io::Result<()> {
+        let mut h = self.open(path, OpenFlags::WRITE, 0)?;
+        h.ftruncate(size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_round_trip() {
+        let l = StripeLayout {
+            stripe_size: 65536,
+            parts: vec![
+                ("h1:9094".into(), "/vol/a".into()),
+                ("h2:9094".into(), "/vol/b".into()),
+            ],
+        };
+        assert_eq!(StripeLayout::parse(&l.render()).unwrap(), l);
+    }
+
+    #[test]
+    fn layout_rejects_garbage() {
+        assert!(StripeLayout::parse("").is_err());
+        assert!(StripeLayout::parse("#tss-stripe-v1\n0\nh /p\n").is_err());
+        assert!(StripeLayout::parse("#tss-stripe-v1\n64\n").is_err());
+        assert!(StripeLayout::parse("#tss-stripe-v1\n64\nnospacepath\n").is_err());
+    }
+
+    #[test]
+    fn locate_deals_stripes_round_robin() {
+        let l = StripeLayout {
+            stripe_size: 100,
+            parts: vec![
+                ("a".into(), "/a".into()),
+                ("b".into(), "/b".into()),
+                ("c".into(), "/c".into()),
+            ],
+        };
+        assert_eq!(l.locate(0), (0, 0));
+        assert_eq!(l.locate(99), (0, 99));
+        assert_eq!(l.locate(100), (1, 0));
+        assert_eq!(l.locate(250), (2, 50));
+        // Second round: stripe 3 -> part 0 at its second slot.
+        assert_eq!(l.locate(300), (0, 100));
+        assert_eq!(l.locate(599), (2, 199));
+        assert_eq!(l.stripe_remaining(0), 100);
+        assert_eq!(l.stripe_remaining(130), 70);
+    }
+}

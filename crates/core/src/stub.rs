@@ -1,0 +1,89 @@
+//! Stub files: the pointers a distributed filesystem's directory tree
+//! keeps in place of file data.
+//!
+//! Where a DPFS/DSFS directory structure indicates a file, it actually
+//! contains a small *stub* naming the file server and the server-side
+//! path holding the data, e.g. `/paper.txt` → `host5:9094`,
+//! `/mydpfs/file596`. Name-only operations (`rename`, `mkdir`) touch
+//! only stubs; data operations follow the pointer.
+
+use std::io;
+
+/// A parsed stub: where the file's data actually lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stub {
+    /// File server endpoint, `host:port`.
+    pub endpoint: String,
+    /// Absolute server-side path of the data file.
+    pub data_path: String,
+}
+
+/// First line of every stub file; versioned so layouts can evolve.
+pub const STUB_MAGIC: &str = "#tss-stub-v1";
+
+impl Stub {
+    /// Render to the on-disk stub format.
+    pub fn render(&self) -> String {
+        format!("{STUB_MAGIC}\n{}\n{}\n", self.endpoint, self.data_path)
+    }
+
+    /// Parse a stub file's contents.
+    pub fn parse(text: &str) -> io::Result<Stub> {
+        let mut lines = text.lines();
+        if lines.next() != Some(STUB_MAGIC) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a TSS stub file",
+            ));
+        }
+        let endpoint = lines
+            .next()
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "stub missing endpoint"))?;
+        let data_path = lines
+            .next()
+            .filter(|s| s.starts_with('/'))
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "stub missing data path"))?;
+        Ok(Stub {
+            endpoint: endpoint.to_string(),
+            data_path: data_path.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip() {
+        let s = Stub {
+            endpoint: "host5:9094".into(),
+            data_path: "/mydpfs/file596".into(),
+        };
+        assert_eq!(Stub::parse(&s.render()).unwrap(), s);
+    }
+
+    #[test]
+    fn rejects_non_stubs() {
+        assert!(Stub::parse("").is_err());
+        assert!(Stub::parse("hello world").is_err());
+        assert!(Stub::parse("#tss-stub-v1\n").is_err());
+        assert!(Stub::parse("#tss-stub-v1\nhost:1\nrelative/path\n").is_err());
+        // Regular file contents must never parse as a stub.
+        assert!(Stub::parse("The quick brown fox\njumps over\n/the lazy dog\n").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_any(
+            host in "[a-z0-9.]{1,20}",
+            port in 1u16..,
+            path in "(/[a-zA-Z0-9._-]{1,12}){1,4}",
+        ) {
+            let s = Stub { endpoint: format!("{host}:{port}"), data_path: path };
+            prop_assert_eq!(Stub::parse(&s.render()).unwrap(), s);
+        }
+    }
+}

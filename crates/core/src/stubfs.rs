@@ -1,0 +1,324 @@
+//! The stub-filesystem engine shared by DPFS and DSFS.
+//!
+//! A `StubFs` is a directory tree held in a *metadata filesystem* plus
+//! file data spread over a pool of Chirp *data servers*. Thanks to the
+//! recursive storage abstraction, the metadata filesystem is just
+//! another [`FileSystem`]: a local directory gives the distributed
+//! **private** filesystem (DPFS), a CFS on some server gives the
+//! distributed **shared** filesystem (DSFS) — the engine cannot tell
+//! the difference, which is exactly the paper's point.
+//!
+//! ## The create/delete protocol (paper §5)
+//!
+//! File creation:
+//! 1. a file server is chosen and a unique data file name generated;
+//! 2. the stub entry is created in the directory tree with an
+//!    *exclusive open*, so a name collision between two processes
+//!    aborts one of them;
+//! 3. the data file is created on the file server.
+//!
+//! A crash between 2 and 3 leaves a dangling stub — opening it says
+//! "file not found" — which is preferred to the alternative of
+//! unreferenced data. Deletion runs the other way (data first, then
+//! stub) for the same reason.
+//!
+//! ## Failure coherence
+//!
+//! Losing a data server makes only the files on that server
+//! unavailable; the directory tree stays navigable and every other
+//! file keeps working. Tests pin this property down.
+
+use std::io;
+use std::sync::Arc;
+use std::time::Duration;
+
+use chirp_client::AuthMethod;
+use chirp_proto::{OpenFlags, StatBuf};
+
+use crate::cfs::{Cfs, RetryPolicy};
+use crate::fs::{FileHandle, FileSystem};
+use crate::placement::{unique_data_name, Placement};
+use crate::pool::ServerPool;
+use crate::stub::Stub;
+
+/// One data server in the pool new files may be placed on.
+#[derive(Debug, Clone)]
+pub struct DataServer {
+    /// Endpoint, `host:port`.
+    pub endpoint: String,
+    /// Server-side directory that holds this filesystem's data files.
+    pub volume: String,
+    /// Authentication offered to this server.
+    pub auth: Vec<AuthMethod>,
+}
+
+impl DataServer {
+    /// Describe a data server.
+    pub fn new(endpoint: &str, volume: &str, auth: Vec<AuthMethod>) -> DataServer {
+        DataServer {
+            endpoint: endpoint.to_string(),
+            volume: crate::fs::normalize_path(volume),
+            auth,
+        }
+    }
+}
+
+/// Options shared by every connection a `StubFs` makes.
+#[derive(Debug, Clone, Copy)]
+pub struct StubFsOptions {
+    /// Network timeout per operation.
+    pub timeout: Duration,
+    /// Recovery policy for data connections.
+    pub retry: RetryPolicy,
+}
+
+impl Default for StubFsOptions {
+    fn default() -> StubFsOptions {
+        StubFsOptions {
+            timeout: Duration::from_secs(10),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// A distributed filesystem: metadata tree + pooled data servers.
+pub struct StubFs {
+    meta: Arc<dyn FileSystem>,
+    pool: ServerPool,
+    placement: Placement,
+}
+
+impl StubFs {
+    /// Build a stub filesystem over `meta` with the given data pool.
+    pub fn new(
+        meta: Arc<dyn FileSystem>,
+        pool: Vec<DataServer>,
+        placement: Placement,
+        options: StubFsOptions,
+    ) -> StubFs {
+        StubFs {
+            meta,
+            pool: ServerPool::new(pool, options),
+            placement,
+        }
+    }
+
+    /// The metadata filesystem.
+    pub fn meta(&self) -> &Arc<dyn FileSystem> {
+        &self.meta
+    }
+
+    /// The data pool.
+    pub fn pool(&self) -> &[DataServer] {
+        self.pool.servers()
+    }
+
+    /// Create each pool server's volume directory if missing.
+    pub fn ensure_volumes(&self) -> io::Result<()> {
+        self.pool.ensure_volumes()
+    }
+
+    fn conn_for(&self, endpoint: &str) -> io::Result<Arc<Cfs>> {
+        Ok(self.pool.conn_for(endpoint))
+    }
+
+    /// A cached connection to a data endpoint (used by maintenance
+    /// tools such as [`crate::fsck`]).
+    pub fn data_conn(&self, endpoint: &str) -> io::Result<Arc<Cfs>> {
+        self.conn_for(endpoint)
+    }
+
+    fn read_stub(&self, path: &str) -> io::Result<Stub> {
+        let text = self.meta.read_file(path)?;
+        let text = String::from_utf8(text)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "stub is not utf-8"))?;
+        Stub::parse(&text)
+    }
+
+    /// The create protocol: place, stub (exclusive), then data file.
+    fn create_file(
+        &self,
+        path: &str,
+        flags: OpenFlags,
+        mode: u32,
+    ) -> io::Result<Box<dyn FileHandle>> {
+        if self.pool.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "no data servers in pool",
+            ));
+        }
+        // Step 1: choose a server and a unique data file name.
+        let server = &self.pool.servers()[self.placement.choose(self.pool.len())];
+        let data_path = format!("{}/{}", server.volume, unique_data_name());
+        let stub = Stub {
+            endpoint: server.endpoint.clone(),
+            data_path: data_path.clone(),
+        };
+        // Step 2: create the stub entry exclusively so a concurrent
+        // create of the same name aborts cleanly.
+        let mut stub_handle = self.meta.open(
+            path,
+            OpenFlags::WRITE | OpenFlags::CREATE | OpenFlags::EXCLUSIVE,
+            0o644,
+        )?;
+        let rendered = stub.render();
+        stub_handle.pwrite(rendered.as_bytes(), 0)?;
+        drop(stub_handle);
+        // Step 3: create the data file.
+        let cfs = self.conn_for(&server.endpoint)?;
+        let data_flags =
+            flags | OpenFlags::WRITE | OpenFlags::CREATE | OpenFlags::EXCLUSIVE;
+        match cfs.open(&data_path, data_flags, mode) {
+            Ok(h) => Ok(h),
+            Err(e) => {
+                // Explicit failure (not a crash): best-effort removal
+                // of the stub to avoid a knowable dangling entry.
+                let _ = self.meta.unlink(path);
+                Err(e)
+            }
+        }
+    }
+
+    fn open_existing(
+        &self,
+        path: &str,
+        flags: OpenFlags,
+        mode: u32,
+    ) -> io::Result<Box<dyn FileHandle>> {
+        let stub = self.read_stub(path)?;
+        let cfs = self.conn_for(&stub.endpoint)?;
+        // CREATE must not apply to the data path of an existing stub —
+        // the stub's existence already answered the create question.
+        let mut data_flags = OpenFlags::empty();
+        for f in [
+            OpenFlags::READ,
+            OpenFlags::WRITE,
+            OpenFlags::TRUNCATE,
+            OpenFlags::APPEND,
+            OpenFlags::SYNC,
+        ] {
+            if flags.contains(f) {
+                data_flags |= f;
+            }
+        }
+        match cfs.open(&stub.data_path, data_flags, mode) {
+            Ok(h) => Ok(h),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                // Dangling stub: data lost or create crashed between
+                // steps 2 and 3. The paper's mandated answer:
+                Err(io::Error::new(io::ErrorKind::NotFound, "file not found"))
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl FileSystem for StubFs {
+    fn open(&self, path: &str, flags: OpenFlags, mode: u32) -> io::Result<Box<dyn FileHandle>> {
+        if flags.contains(OpenFlags::CREATE) {
+            match self.create_file(path, flags, mode) {
+                Ok(h) => return Ok(h),
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    if flags.contains(OpenFlags::EXCLUSIVE) {
+                        return Err(e);
+                    }
+                    // Fall through: open the existing file.
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.open_existing(path, flags, mode)
+    }
+
+    fn stat(&self, path: &str) -> io::Result<StatBuf> {
+        // One round trip to the directory tree for the stub, one to
+        // the data server for the attributes — the "twice the latency
+        // for metadata operations" of Figure 4.
+        match self.read_stub(path) {
+            Ok(stub) => {
+                let cfs = self.conn_for(&stub.endpoint)?;
+                cfs.stat(&stub.data_path)
+            }
+            // Directories exist only in the tree.
+            Err(e) if e.kind() == io::ErrorKind::IsADirectory => self.meta.stat(path),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn unlink(&self, path: &str) -> io::Result<()> {
+        let stub = self.read_stub(path)?;
+        // Data first, then stub, so no unreferenced data survives.
+        let cfs = self.conn_for(&stub.endpoint)?;
+        match cfs.unlink(&stub.data_path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {} // dangling already
+            Err(e) => return Err(e),
+        }
+        self.meta.unlink(path)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        // Name-only operation: the directory tree alone changes; no
+        // file server is contacted.
+        self.meta.rename(from, to)
+    }
+
+    fn mkdir(&self, path: &str, mode: u32) -> io::Result<()> {
+        self.meta.mkdir(path, mode)
+    }
+
+    fn rmdir(&self, path: &str) -> io::Result<()> {
+        self.meta.rmdir(path)
+    }
+
+    fn readdir(&self, path: &str) -> io::Result<Vec<String>> {
+        self.meta.readdir(path)
+    }
+
+    fn truncate(&self, path: &str, size: u64) -> io::Result<()> {
+        let stub = self.read_stub(path)?;
+        let cfs = self.conn_for(&stub.endpoint)?;
+        cfs.truncate(&stub.data_path, size)
+    }
+}
+
+/// Implement [`FileSystem`] by delegating every method to a field.
+/// Used by the `Dpfs`/`Dsfs` wrappers, which add only construction and
+/// documentation on top of [`StubFs`].
+macro_rules! delegate_filesystem {
+    ($outer:ty, $field:ident) => {
+        impl crate::fs::FileSystem for $outer {
+            fn open(
+                &self,
+                path: &str,
+                flags: chirp_proto::OpenFlags,
+                mode: u32,
+            ) -> std::io::Result<Box<dyn crate::fs::FileHandle>> {
+                self.$field.open(path, flags, mode)
+            }
+            fn stat(&self, path: &str) -> std::io::Result<chirp_proto::StatBuf> {
+                self.$field.stat(path)
+            }
+            fn unlink(&self, path: &str) -> std::io::Result<()> {
+                self.$field.unlink(path)
+            }
+            fn rename(&self, from: &str, to: &str) -> std::io::Result<()> {
+                self.$field.rename(from, to)
+            }
+            fn mkdir(&self, path: &str, mode: u32) -> std::io::Result<()> {
+                self.$field.mkdir(path, mode)
+            }
+            fn rmdir(&self, path: &str) -> std::io::Result<()> {
+                self.$field.rmdir(path)
+            }
+            fn readdir(&self, path: &str) -> std::io::Result<Vec<String>> {
+                self.$field.readdir(path)
+            }
+            fn truncate(&self, path: &str, size: u64) -> std::io::Result<()> {
+                self.$field.truncate(path, size)
+            }
+        }
+    };
+}
+pub(crate) use delegate_filesystem;

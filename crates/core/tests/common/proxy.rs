@@ -1,0 +1,108 @@
+//! A small TCP forwarding proxy used by the recovery tests to simulate
+//! network failures between adapter and file server without touching
+//! the server itself.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A proxy that forwards TCP connections to a retargetable backend and
+/// can sever every live connection on demand.
+pub struct FlakyProxy {
+    addr: SocketAddr,
+    target: Arc<Mutex<Option<SocketAddr>>>,
+    live: Arc<Mutex<Vec<TcpStream>>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl FlakyProxy {
+    /// Start a proxy forwarding to `target`.
+    pub fn start(target: SocketAddr) -> FlakyProxy {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let target = Arc::new(Mutex::new(Some(target)));
+        let live: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (t, l, s) = (target.clone(), live.clone(), shutdown.clone());
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if s.load(Ordering::SeqCst) {
+                    return;
+                }
+                let Ok(client) = conn else { continue };
+                let Some(backend_addr) = *t.lock().unwrap() else {
+                    let _ = client.shutdown(Shutdown::Both);
+                    continue;
+                };
+                let Ok(backend) = TcpStream::connect(backend_addr) else {
+                    let _ = client.shutdown(Shutdown::Both);
+                    continue;
+                };
+                client.set_nodelay(true).ok();
+                backend.set_nodelay(true).ok();
+                {
+                    let mut live = l.lock().unwrap();
+                    live.push(client.try_clone().unwrap());
+                    live.push(backend.try_clone().unwrap());
+                }
+                spawn_pump(client.try_clone().unwrap(), backend.try_clone().unwrap());
+                spawn_pump(backend, client);
+            }
+        });
+        FlakyProxy {
+            addr,
+            target,
+            live,
+            shutdown,
+        }
+    }
+
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The `host:port` endpoint string for clients.
+    pub fn endpoint(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// Sever every live connection (both directions).
+    pub fn drop_connections(&self) {
+        let mut live = self.live.lock().unwrap();
+        for s in live.drain(..) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Point the proxy at a different backend (or `None` to refuse).
+    pub fn set_target(&self, target: Option<SocketAddr>) {
+        *self.target.lock().unwrap() = target;
+    }
+}
+
+impl Drop for FlakyProxy {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        self.drop_connections();
+    }
+}
+
+fn spawn_pump(mut from: TcpStream, mut to: TcpStream) {
+    std::thread::spawn(move || {
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            match from.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    if to.write_all(&buf[..n]).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+        let _ = to.shutdown(Shutdown::Both);
+    });
+}

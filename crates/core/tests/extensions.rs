@@ -1,0 +1,217 @@
+//! Integration tests for the extension abstractions (paper §10
+//! future work): transparent striping and transparent replication,
+//! against live file servers.
+
+mod common;
+
+use std::sync::Arc;
+
+use chirp_proto::testutil::TempDir;
+use chirp_proto::OpenFlags;
+use common::{auth, data_count, open_server};
+use tss_core::fs::FileSystem;
+use tss_core::stubfs::{DataServer, StubFsOptions};
+use tss_core::{LocalFs, MirroredFs, StripedFs};
+
+fn pool(servers: &[&chirp_server::FileServer]) -> Vec<DataServer> {
+    servers
+        .iter()
+        .map(|s| DataServer::new(&s.endpoint(), "/vol", auth()))
+        .collect()
+}
+
+fn pattern(len: usize) -> Vec<u8> {
+    (0..len).map(|i| ((i * 131) % 251) as u8).collect()
+}
+
+// ---- striping -----------------------------------------------------------
+
+#[test]
+fn striped_write_read_round_trip() {
+    let meta_dir = TempDir::new();
+    let hosts: Vec<TempDir> = (0..3).map(|_| TempDir::new()).collect();
+    let servers: Vec<chirp_server::FileServer> =
+        hosts.iter().map(|d| open_server(d.path())).collect();
+    let refs: Vec<&chirp_server::FileServer> = servers.iter().collect();
+    let meta = Arc::new(LocalFs::new(meta_dir.path()).unwrap());
+    let fs = StripedFs::new(meta, pool(&refs), 3, 4096, StubFsOptions::default()).unwrap();
+    fs.ensure_volumes().unwrap();
+
+    // Sizes crossing stripe boundaries, exact multiples, tiny tails.
+    for size in [1usize, 4095, 4096, 4097, 3 * 4096, 10 * 4096 + 17] {
+        let path = format!("/f{size}");
+        let data = pattern(size);
+        fs.write_file(&path, &data).unwrap();
+        assert_eq!(fs.read_file(&path).unwrap(), data, "size {size}");
+        assert_eq!(fs.stat(&path).unwrap().size as usize, size);
+    }
+    // Each server holds one part per file.
+    for host in &hosts {
+        assert_eq!(data_count(&host.path().join("vol")), 6);
+    }
+}
+
+#[test]
+fn striped_data_is_actually_spread() {
+    let meta_dir = TempDir::new();
+    let hosts: Vec<TempDir> = (0..2).map(|_| TempDir::new()).collect();
+    let servers: Vec<chirp_server::FileServer> =
+        hosts.iter().map(|d| open_server(d.path())).collect();
+    let refs: Vec<&chirp_server::FileServer> = servers.iter().collect();
+    let meta = Arc::new(LocalFs::new(meta_dir.path()).unwrap());
+    let fs = StripedFs::new(meta, pool(&refs), 2, 1000, StubFsOptions::default()).unwrap();
+    fs.ensure_volumes().unwrap();
+    fs.write_file("/wide", &pattern(5000)).unwrap();
+    // 5 stripes of 1000 over 2 servers: 3 + 2.
+    let sizes: Vec<u64> = hosts
+        .iter()
+        .map(|h| {
+            std::fs::read_dir(h.path().join("vol"))
+                .unwrap()
+                .flatten()
+                .filter(|e| e.file_name() != ".__acl")
+                .map(|e| e.metadata().unwrap().len())
+                .sum()
+        })
+        .collect();
+    let mut sorted = sizes.clone();
+    sorted.sort();
+    assert_eq!(sorted, vec![2000, 3000], "stripes dealt round-robin: {sizes:?}");
+}
+
+#[test]
+fn striped_random_access_and_truncate() {
+    let meta_dir = TempDir::new();
+    let hosts: Vec<TempDir> = (0..3).map(|_| TempDir::new()).collect();
+    let servers: Vec<chirp_server::FileServer> =
+        hosts.iter().map(|d| open_server(d.path())).collect();
+    let refs: Vec<&chirp_server::FileServer> = servers.iter().collect();
+    let meta = Arc::new(LocalFs::new(meta_dir.path()).unwrap());
+    let fs = StripedFs::new(meta, pool(&refs), 3, 100, StubFsOptions::default()).unwrap();
+    fs.ensure_volumes().unwrap();
+    let data = pattern(1000);
+    fs.write_file("/f", &data).unwrap();
+    let mut h = fs.open("/f", OpenFlags::read_write(), 0).unwrap();
+    // Read a window straddling several stripes.
+    let mut buf = vec![0u8; 333];
+    assert_eq!(h.pread(&mut buf, 95).unwrap(), 333);
+    assert_eq!(&buf[..], &data[95..428]);
+    // Overwrite across a stripe boundary (99..102 spans stripes 0/1)
+    // and read back through the same boundary.
+    h.pwrite(b"XYZ", 99).unwrap();
+    let mut buf = vec![0u8; 5];
+    h.pread(&mut buf, 98).unwrap();
+    assert_eq!(buf, [data[98], b'X', b'Y', b'Z', data[102]]);
+    // Truncate to a non-boundary size.
+    h.ftruncate(517).unwrap();
+    assert_eq!(h.fstat().unwrap().size, 517);
+    drop(h);
+    assert_eq!(fs.read_file("/f").unwrap().len(), 517);
+    assert_eq!(fs.stat("/f").unwrap().size, 517);
+}
+
+#[test]
+fn striped_unlink_removes_all_parts() {
+    let meta_dir = TempDir::new();
+    let hosts: Vec<TempDir> = (0..2).map(|_| TempDir::new()).collect();
+    let servers: Vec<chirp_server::FileServer> =
+        hosts.iter().map(|d| open_server(d.path())).collect();
+    let refs: Vec<&chirp_server::FileServer> = servers.iter().collect();
+    let meta = Arc::new(LocalFs::new(meta_dir.path()).unwrap());
+    let fs = StripedFs::new(meta, pool(&refs), 2, 256, StubFsOptions::default()).unwrap();
+    fs.ensure_volumes().unwrap();
+    fs.write_file("/f", &pattern(10_000)).unwrap();
+    fs.unlink("/f").unwrap();
+    for host in &hosts {
+        assert_eq!(data_count(&host.path().join("vol")), 0);
+    }
+    assert!(fs.readdir("/").unwrap().is_empty());
+}
+
+#[test]
+fn striped_width_must_fit_pool() {
+    let meta_dir = TempDir::new();
+    let meta = Arc::new(LocalFs::new(meta_dir.path()).unwrap());
+    let p = vec![DataServer::new("h:1", "/vol", Vec::new())];
+    assert!(StripedFs::new(meta.clone(), p.clone(), 2, 100, StubFsOptions::default()).is_err());
+    assert!(StripedFs::new(meta.clone(), p.clone(), 0, 100, StubFsOptions::default()).is_err());
+    assert!(StripedFs::new(meta, p, 1, 0, StubFsOptions::default()).is_err());
+}
+
+// ---- mirroring ----------------------------------------------------------
+
+fn mirrored_fixture(
+    n: usize,
+    copies: usize,
+) -> (TempDir, Vec<TempDir>, Vec<chirp_server::FileServer>, MirroredFs) {
+    let meta_dir = TempDir::new();
+    let hosts: Vec<TempDir> = (0..n).map(|_| TempDir::new()).collect();
+    let servers: Vec<chirp_server::FileServer> =
+        hosts.iter().map(|d| open_server(d.path())).collect();
+    let refs: Vec<&chirp_server::FileServer> = servers.iter().collect();
+    let meta = Arc::new(LocalFs::new(meta_dir.path()).unwrap());
+    let options = StubFsOptions {
+        timeout: std::time::Duration::from_millis(500),
+        retry: tss_core::RetryPolicy::none(),
+    };
+    let fs = MirroredFs::new(meta, pool(&refs), copies, options).unwrap();
+    fs.ensure_volumes().unwrap();
+    (meta_dir, hosts, servers, fs)
+}
+
+#[test]
+fn mirrored_write_lands_on_every_replica() {
+    let (_m, hosts, _servers, fs) = mirrored_fixture(2, 2);
+    let data = pattern(50_000);
+    fs.write_file("/f", &data).unwrap();
+    for host in &hosts {
+        let vol = host.path().join("vol");
+        let entry = std::fs::read_dir(&vol)
+            .unwrap()
+            .flatten()
+            .find(|e| e.file_name() != ".__acl")
+            .expect("replica present");
+        assert_eq!(std::fs::read(entry.path()).unwrap(), data);
+    }
+    assert_eq!(fs.read_file("/f").unwrap(), data);
+    assert_eq!(fs.stat("/f").unwrap().size, 50_000);
+}
+
+#[test]
+fn mirrored_reads_survive_a_dead_server() {
+    let (_m, _hosts, mut servers, fs) = mirrored_fixture(3, 3);
+    let data = pattern(10_000);
+    fs.write_file("/precious", &data).unwrap();
+    // Kill two of three replicas' servers.
+    servers[0].shutdown();
+    servers[1].shutdown();
+    assert_eq!(fs.read_file("/precious").unwrap(), data);
+    assert_eq!(fs.stat("/precious").unwrap().size, 10_000);
+    // Writes, however, are strict: they must reach every mirror.
+    assert!(fs.write_file("/precious", b"new").is_err());
+}
+
+#[test]
+fn mirrored_unlink_tolerates_dead_replicas() {
+    let (_m, hosts, mut servers, fs) = mirrored_fixture(2, 2);
+    fs.write_file("/f", &pattern(100)).unwrap();
+    servers[0].shutdown();
+    fs.unlink("/f").unwrap();
+    assert!(fs.readdir("/").unwrap().is_empty());
+    // The live server's copy is gone.
+    assert_eq!(data_count(&hosts[1].path().join("vol")), 0);
+}
+
+#[test]
+fn mirrored_handles_replicate_truncate_and_sync() {
+    let (_m, _hosts, _servers, fs) = mirrored_fixture(2, 2);
+    let mut h = fs
+        .open("/f", OpenFlags::read_write() | OpenFlags::CREATE, 0o644)
+        .unwrap();
+    h.pwrite(&pattern(1000), 0).unwrap();
+    h.fsync().unwrap();
+    h.ftruncate(10).unwrap();
+    assert_eq!(h.fstat().unwrap().size, 10);
+    drop(h);
+    assert_eq!(fs.read_file("/f").unwrap(), pattern(1000)[..10]);
+}

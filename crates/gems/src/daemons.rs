@@ -1,0 +1,98 @@
+//! Background maintenance: the auditor and replicator as long-running
+//! threads, as deployed at Notre Dame (§9) — "two active components
+//! work in concert to maintain replicas."
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::system::Gems;
+
+/// Handle to the running maintenance threads.
+pub struct GemsDaemons {
+    shutdown: Arc<AtomicBool>,
+    cycles: Arc<AtomicU64>,
+    repaired: Arc<AtomicU64>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl GemsDaemons {
+    /// Start the maintenance loop: every `period`, one audit pass
+    /// followed by one repair pass. The first cycle runs immediately.
+    pub fn spawn(gems: Arc<Gems>, period: Duration) -> GemsDaemons {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let cycles = Arc::new(AtomicU64::new(0));
+        let repaired = Arc::new(AtomicU64::new(0));
+        let (sh, cy, rp) = (shutdown.clone(), cycles.clone(), repaired.clone());
+        let thread = std::thread::Builder::new()
+            .name("gems-maintenance".into())
+            .spawn(move || {
+                let tick = Duration::from_millis(20);
+                let mut since = period; // fire immediately
+                loop {
+                    if sh.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if since >= period {
+                        since = Duration::ZERO;
+                        // Failures here must not kill the daemon: the
+                        // whole point is surviving flaky storage.
+                        let _ = crate::auditor::audit_once(&gems);
+                        if let Ok(report) = crate::replicator::replicate_once(&gems, usize::MAX) {
+                            rp.fetch_add(report.copied, Ordering::Relaxed);
+                        }
+                        cy.fetch_add(1, Ordering::Relaxed);
+                    }
+                    std::thread::sleep(tick);
+                    since += tick;
+                }
+            })
+            .expect("spawn maintenance thread");
+        GemsDaemons {
+            shutdown,
+            cycles,
+            repaired,
+            thread: Some(thread),
+        }
+    }
+
+    /// Completed audit+repair cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles.load(Ordering::Relaxed)
+    }
+
+    /// Total replicas restored since start.
+    pub fn repaired(&self) -> u64 {
+        self.repaired.load(Ordering::Relaxed)
+    }
+
+    /// Block until at least `n` cycles have completed or `timeout`
+    /// expires; true on success.
+    pub fn wait_for_cycles(&self, n: u64, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while std::time::Instant::now() < deadline {
+            if self.cycles() >= n {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        false
+    }
+
+    /// Stop the maintenance loop.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        if let Some(h) = self.thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for GemsDaemons {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,411 @@
+//! The GEMS preservation workflow against live Chirp servers: ingest,
+//! query, failure injection, audit, repair — Figure 9 at test scale.
+
+use std::time::Duration;
+
+use chirp_client::AuthMethod;
+use chirp_proto::testutil::TempDir;
+use chirp_server::acl::Acl;
+use chirp_server::{FileServer, ServerConfig};
+use gems::{DbServer, Gems, GemsConfig};
+use tss_core::cfs::RetryPolicy;
+use tss_core::stubfs::DataServer;
+
+struct Fixture {
+    _db: DbServer,
+    _dirs: Vec<TempDir>,
+    servers: Vec<FileServer>,
+    gems: Gems,
+}
+
+fn fixture(nservers: usize, target: u32) -> Fixture {
+    let db = DbServer::start_ephemeral().unwrap();
+    let mut dirs = Vec::new();
+    let mut servers = Vec::new();
+    let mut pool = Vec::new();
+    for _ in 0..nservers {
+        let dir = TempDir::new();
+        let server = FileServer::start(
+            ServerConfig::localhost(dir.path(), "owner")
+                .with_root_acl(Acl::single("hostname:*", "rwlda").unwrap()),
+        )
+        .unwrap();
+        pool.push(DataServer::new(
+            &server.endpoint(),
+            "/gems",
+            vec![AuthMethod::Hostname],
+        ));
+        dirs.push(dir);
+        servers.push(server);
+    }
+    let mut config = GemsConfig::new(db.addr(), pool);
+    config.default_target = target;
+    config.timeout = Duration::from_millis(1500);
+    config.retry = RetryPolicy::none();
+    let gems = Gems::connect(config).unwrap();
+    Fixture {
+        _db: db,
+        _dirs: dirs,
+        servers,
+        gems,
+    }
+}
+
+fn payload(i: u64) -> Vec<u8> {
+    (0..4096u64).map(|j| ((i * 131 + j * 7) % 251) as u8).collect()
+}
+
+#[test]
+fn ingest_then_fetch_round_trip() {
+    let f = fixture(3, 2);
+    let data = payload(1);
+    let rec = f
+        .gems
+        .ingest("run1/traj.dcd", &[("project", "protomol")], &data)
+        .unwrap();
+    assert_eq!(rec.replicas.len(), 1, "ingest writes one copy");
+    assert_eq!(rec.checksum, chirp_proto::crc64(&data));
+    assert_eq!(f.gems.fetch("run1/traj.dcd").unwrap(), data);
+}
+
+#[test]
+fn query_by_attribute() {
+    let f = fixture(2, 1);
+    for i in 0..5u64 {
+        f.gems
+            .ingest(
+                &format!("run{i}/out"),
+                &[
+                    ("project", if i < 3 { "protomol" } else { "other" }),
+                    ("temperature", "310K"),
+                ],
+                &payload(i),
+            )
+            .unwrap();
+    }
+    let mut hits = f.gems.query("project", "protomol").unwrap();
+    hits.sort();
+    assert_eq!(hits, vec!["run0/out", "run1/out", "run2/out"]);
+    assert_eq!(f.gems.query("temperature", "*K").unwrap().len(), 5);
+    assert_eq!(f.gems.list().unwrap().len(), 5);
+}
+
+#[test]
+fn replicator_reaches_the_target() {
+    let f = fixture(4, 3);
+    for i in 0..6u64 {
+        f.gems.ingest(&format!("f{i}"), &[], &payload(i)).unwrap();
+    }
+    let report = gems::replicate_once(&f.gems, usize::MAX).unwrap();
+    assert_eq!(report.deficient, 6);
+    assert_eq!(report.copied, 12, "each file gains two more replicas");
+    assert_eq!(report.unrepairable, 0);
+    for i in 0..6u64 {
+        let rec = f.gems.record(&format!("f{i}")).unwrap();
+        assert_eq!(rec.replicas.len(), 3);
+        // Replicas land on distinct servers.
+        let mut eps: Vec<&str> = rec.replicas.iter().map(|r| r.endpoint.as_str()).collect();
+        eps.sort();
+        eps.dedup();
+        assert_eq!(eps.len(), 3);
+    }
+    // Second pass is a no-op.
+    let again = gems::replicate_once(&f.gems, usize::MAX).unwrap();
+    assert_eq!(again.copied, 0);
+    assert_eq!(again.deficient, 0);
+}
+
+#[test]
+fn audit_detects_forcible_deletion_and_replicator_repairs() {
+    // The §9 scenario: the owner of a server forcibly deletes data
+    // placed by GEMS; the auditor notices and the replicator restores
+    // the desired state.
+    let f = fixture(3, 2);
+    for i in 0..4u64 {
+        f.gems.ingest(&format!("f{i}"), &[], &payload(i)).unwrap();
+    }
+    gems::replicate_once(&f.gems, usize::MAX).unwrap();
+
+    // Wipe all GEMS data on server 0, as its owner is free to do.
+    let victim = f._dirs[0].path().join("gems");
+    let mut deleted = 0u64;
+    for entry in std::fs::read_dir(&victim).unwrap() {
+        let entry = entry.unwrap();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name != ".__acl" {
+            std::fs::remove_file(entry.path()).unwrap();
+            // Sidecar metadata files are not replicas.
+            if !name.ends_with(".meta") {
+                deleted += 1;
+            }
+        }
+    }
+    assert!(deleted > 0, "server 0 held some replicas");
+
+    let audit = gems::audit_once(&f.gems).unwrap();
+    assert_eq!(audit.records, 4);
+    assert_eq!(audit.missing, deleted);
+    assert_eq!(audit.corrupt, 0);
+
+    // Every file still fetchable (failure coherence), then repaired.
+    for i in 0..4u64 {
+        assert_eq!(f.gems.fetch(&format!("f{i}")).unwrap(), payload(i));
+    }
+    let repair = gems::replicate_once(&f.gems, usize::MAX).unwrap();
+    assert_eq!(repair.copied, deleted);
+    let audit2 = gems::audit_once(&f.gems).unwrap();
+    assert_eq!(audit2.missing, 0);
+    assert_eq!(audit2.healthy, 8);
+}
+
+#[test]
+fn audit_detects_corruption_by_checksum() {
+    let f = fixture(2, 2);
+    f.gems.ingest("precious", &[], &payload(9)).unwrap();
+    gems::replicate_once(&f.gems, usize::MAX).unwrap();
+
+    // Corrupt one replica in place (same size, different bytes).
+    let rec = f.gems.record("precious").unwrap();
+    let victim = &rec.replicas[0];
+    let server_idx = f
+        .servers
+        .iter()
+        .position(|s| s.endpoint() == victim.endpoint)
+        .unwrap();
+    let host_path = f._dirs[server_idx]
+        .path()
+        .join(victim.path.trim_start_matches('/'));
+    let mut bytes = std::fs::read(&host_path).unwrap();
+    bytes[0] ^= 0xff;
+    std::fs::write(&host_path, &bytes).unwrap();
+
+    let audit = gems::audit_once(&f.gems).unwrap();
+    assert_eq!(audit.corrupt, 1);
+    assert_eq!(audit.healthy, 1);
+    // The corrupt copy is evicted from the server.
+    assert!(!host_path.exists());
+    // Fetch still returns the good bytes.
+    assert_eq!(f.gems.fetch("precious").unwrap(), payload(9));
+    // And repair restores two verified replicas.
+    gems::replicate_once(&f.gems, usize::MAX).unwrap();
+    let audit2 = gems::audit_once(&f.gems).unwrap();
+    assert_eq!(audit2.healthy, 2);
+}
+
+#[test]
+fn audit_prunes_replicas_on_a_dead_server() {
+    let mut f = fixture(3, 2);
+    f.gems.ingest("x", &[], &payload(3)).unwrap();
+    gems::replicate_once(&f.gems, usize::MAX).unwrap();
+    let rec = f.gems.record("x").unwrap();
+    let dead_ep = rec.replicas[0].endpoint.clone();
+    let idx = f.servers.iter().position(|s| s.endpoint() == dead_ep).unwrap();
+    f.servers[idx].shutdown();
+
+    let audit = gems::audit_once(&f.gems).unwrap();
+    assert_eq!(audit.missing, 1);
+    let rec = f.gems.record("x").unwrap();
+    assert_eq!(rec.replicas.len(), 1);
+    assert!(rec.replicas.iter().all(|r| r.endpoint != dead_ep));
+    // Repair places the replacement on the remaining live server.
+    let repair = gems::replicate_once(&f.gems, usize::MAX).unwrap();
+    assert_eq!(repair.copied, 1);
+    assert_eq!(f.gems.fetch("x").unwrap(), payload(3));
+}
+
+#[test]
+fn maintain_runs_a_full_cycle() {
+    let f = fixture(3, 3);
+    f.gems.ingest("a", &[], &payload(1)).unwrap();
+    let (audit, repair) = f.gems.maintain().unwrap();
+    assert_eq!(audit.records, 1);
+    assert_eq!(repair.copied, 2);
+    assert_eq!(f.gems.record("a").unwrap().replicas.len(), 3);
+}
+
+#[test]
+fn delete_removes_data_then_record() {
+    let f = fixture(2, 2);
+    f.gems.ingest("victim", &[], &payload(5)).unwrap();
+    gems::replicate_once(&f.gems, usize::MAX).unwrap();
+    f.gems.delete("victim").unwrap();
+    assert!(f.gems.record("victim").is_err());
+    // No orphaned data on any server.
+    for dir in &f._dirs {
+        let vol = dir.path().join("gems");
+        let data_files = std::fs::read_dir(&vol)
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().file_name() != ".__acl")
+            .count();
+        assert_eq!(data_files, 0);
+    }
+}
+
+#[test]
+fn unrepairable_when_pool_exhausted() {
+    // Target 3 replicas but only 2 servers: the replicator reports the
+    // shortfall instead of stacking copies on one disk.
+    let f = fixture(2, 3);
+    f.gems.ingest("f", &[], &payload(2)).unwrap();
+    let report = gems::replicate_once(&f.gems, usize::MAX).unwrap();
+    assert_eq!(report.copied, 1);
+    assert_eq!(report.unrepairable, 0, "progress was made");
+    let again = gems::replicate_once(&f.gems, usize::MAX).unwrap();
+    assert_eq!(again.copied, 0);
+    assert_eq!(again.unrepairable, 1);
+    let rec = f.gems.record("f").unwrap();
+    assert_eq!(rec.replicas.len(), 2, "never two copies on one server");
+}
+
+#[test]
+fn daemons_repair_without_manual_intervention() {
+    let f = fixture(3, 2);
+    for i in 0..3u64 {
+        f.gems.ingest(&format!("d{i}"), &[], &payload(i)).unwrap();
+    }
+    let g = std::sync::Arc::new(f.gems);
+    let daemons = gems::GemsDaemons::spawn(g.clone(), Duration::from_millis(100));
+    assert!(daemons.wait_for_cycles(1, Duration::from_secs(10)));
+    // The first cycle brings everything to target.
+    for i in 0..3u64 {
+        assert_eq!(g.record(&format!("d{i}")).unwrap().replicas.len(), 2);
+    }
+    // Induce a failure behind the daemons' back...
+    let victim = f._dirs[0].path().join("gems");
+    for entry in std::fs::read_dir(&victim).unwrap().flatten() {
+        if entry.file_name() != ".__acl" {
+            std::fs::remove_file(entry.path()).unwrap();
+        }
+    }
+    // ...and wait for the loop to notice and heal it.
+    let before = daemons.cycles();
+    assert!(daemons.wait_for_cycles(before + 2, Duration::from_secs(10)));
+    for i in 0..3u64 {
+        assert_eq!(
+            g.record(&format!("d{i}")).unwrap().replicas.len(),
+            2,
+            "daemons restored d{i}"
+        );
+        assert_eq!(g.fetch(&format!("d{i}")).unwrap(), payload(i));
+    }
+    assert!(daemons.repaired() >= 1);
+}
+
+#[test]
+fn placement_prefers_servers_with_free_space() {
+    // Two servers, one nearly full: ingest must land on the roomy one,
+    // and when everything is full the error is NoSpace, not silence.
+    let db = DbServer::start_ephemeral().unwrap();
+    let full_dir = TempDir::new();
+    let roomy_dir = TempDir::new();
+    let mut full_cfg = ServerConfig::localhost(full_dir.path(), "o")
+        .with_root_acl(Acl::single("hostname:*", "rwlda").unwrap());
+    full_cfg.capacity_bytes = 10_000;
+    let full = FileServer::start(full_cfg).unwrap();
+    let mut roomy_cfg = ServerConfig::localhost(roomy_dir.path(), "o")
+        .with_root_acl(Acl::single("hostname:*", "rwlda").unwrap());
+    roomy_cfg.capacity_bytes = 100_000;
+    let roomy = FileServer::start(roomy_cfg).unwrap();
+
+    let pool = vec![
+        DataServer::new(&full.endpoint(), "/gems", vec![AuthMethod::Hostname]),
+        DataServer::new(&roomy.endpoint(), "/gems", vec![AuthMethod::Hostname]),
+    ];
+    let mut config = GemsConfig::new(db.addr(), pool);
+    config.default_target = 1;
+    let g = Gems::connect(config).unwrap();
+
+    // Fill the small server almost completely, bypassing gems.
+    std::fs::write(full_dir.path().join("ballast"), vec![0u8; 9_500]).unwrap();
+
+    for i in 0..5u64 {
+        let rec = g.ingest(&format!("f{i}"), &[], &vec![1u8; 8_000]).unwrap();
+        assert_eq!(
+            rec.replicas[0].endpoint,
+            roomy.endpoint(),
+            "ingest must avoid the full server"
+        );
+    }
+    // Exhaust the roomy server too: the refusal surfaces as an error.
+    for i in 5..20u64 {
+        if let Err(e) = g.ingest(&format!("f{i}"), &[], &vec![1u8; 8_000]) {
+            assert_eq!(e.kind(), std::io::ErrorKind::StorageFull, "got {e}");
+            return;
+        }
+    }
+    panic!("pool exhaustion never surfaced as NoSpace");
+}
+
+#[test]
+fn lost_database_is_rebuilt_by_rescanning_servers() {
+    // §5: "the database could even be recovered automatically by
+    // rescanning the existing file data."
+    let f = fixture(3, 2);
+    for i in 0..4u64 {
+        f.gems
+            .ingest(
+                &format!("run{i}/out"),
+                &[("project", "protomol"), ("run", &i.to_string())],
+                &payload(i),
+            )
+            .unwrap();
+    }
+    gems::replicate_once(&f.gems, usize::MAX).unwrap();
+
+    // Catastrophe: the database is lost entirely. Attach a brand-new,
+    // empty one.
+    let fresh_db = gems::DbServer::start_ephemeral().unwrap();
+    let mut config = gems::GemsConfig::new(fresh_db.addr(), f.gems.pool().clone());
+    config.default_target = 2;
+    config.timeout = Duration::from_millis(1500);
+    config.retry = RetryPolicy::none();
+    let recovered = Gems::connect(config).unwrap();
+    assert!(recovered.list().unwrap().is_empty(), "fresh db starts empty");
+
+    let report = gems::rebuild(&recovered).unwrap();
+    assert_eq!(report.records, 4);
+    assert_eq!(report.replicas, 8, "both replicas of each file recovered");
+    assert_eq!(report.rejected, 0);
+
+    // Names, attributes, and data all come back.
+    let mut names = recovered.list().unwrap();
+    names.sort();
+    assert_eq!(names, vec!["run0/out", "run1/out", "run2/out", "run3/out"]);
+    assert_eq!(recovered.query("project", "protomol").unwrap().len(), 4);
+    assert_eq!(recovered.query("run", "2").unwrap(), vec!["run2/out"]);
+    for i in 0..4u64 {
+        assert_eq!(recovered.fetch(&format!("run{i}/out")).unwrap(), payload(i));
+        assert_eq!(recovered.record(&format!("run{i}/out")).unwrap().replica_target, 2);
+    }
+}
+
+#[test]
+fn rebuild_rejects_tampered_replicas() {
+    let f = fixture(2, 2);
+    f.gems.ingest("honest", &[], &payload(7)).unwrap();
+    gems::replicate_once(&f.gems, usize::MAX).unwrap();
+    // Tamper with one replica's bytes (sidecar checksum now disagrees).
+    let rec = f.gems.record("honest").unwrap();
+    let victim = &rec.replicas[0];
+    let idx = f
+        .servers
+        .iter()
+        .position(|s| s.endpoint() == victim.endpoint)
+        .unwrap();
+    let host_path = f._dirs[idx].path().join(victim.path.trim_start_matches('/'));
+    let mut bytes = std::fs::read(&host_path).unwrap();
+    bytes[0] ^= 0xff;
+    std::fs::write(&host_path, &bytes).unwrap();
+
+    let fresh_db = gems::DbServer::start_ephemeral().unwrap();
+    let mut config = gems::GemsConfig::new(fresh_db.addr(), f.gems.pool().clone());
+    config.timeout = Duration::from_millis(1500);
+    config.retry = RetryPolicy::none();
+    let recovered = Gems::connect(config).unwrap();
+    let report = gems::rebuild(&recovered).unwrap();
+    assert_eq!(report.records, 1);
+    assert_eq!(report.replicas, 1, "only the intact copy is trusted");
+    assert_eq!(report.rejected, 1);
+    assert_eq!(recovered.fetch("honest").unwrap(), payload(7));
+}

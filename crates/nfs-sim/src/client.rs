@@ -1,0 +1,313 @@
+//! The NFS client, exposing the common [`FileSystem`] trait.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+use chirp_proto::stat::FileType;
+use chirp_proto::wire::{self, StatusLine};
+use chirp_proto::{OpenFlags, StatBuf};
+use parking_lot::Mutex;
+use tss_core::fs::{normalize_path, FileHandle, FileSystem};
+
+use crate::proto::{Fh, NfsRequest, ROOT_FH};
+use crate::MAX_TRANSFER;
+
+struct Conn {
+    reader: std::io::BufReader<TcpStream>,
+    writer: std::io::BufWriter<TcpStream>,
+}
+
+impl Conn {
+    fn connect(addr: SocketAddr, timeout: Duration) -> io::Result<Conn> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Conn {
+            reader: std::io::BufReader::with_capacity(64 * 1024, stream.try_clone()?),
+            writer: std::io::BufWriter::with_capacity(64 * 1024, stream),
+        })
+    }
+
+    /// One strict request/response round trip.
+    fn rpc(&mut self, req: &NfsRequest, payload: Option<&[u8]>) -> io::Result<StatusLine> {
+        use std::io::Write;
+        self.writer.write_all(req.encode().as_bytes())?;
+        if let Some(p) = payload {
+            self.writer.write_all(p)?;
+        }
+        self.writer.flush()?;
+        wire::read_status(&mut self.reader).map_err(io::Error::from)
+    }
+
+    fn read_body(&mut self, len: u64) -> io::Result<Vec<u8>> {
+        wire::read_payload(&mut self.reader, len).map_err(io::Error::from)
+    }
+}
+
+/// An NFS-shaped remote filesystem client.
+///
+/// One TCP connection, one outstanding RPC — the protocol property
+/// that caps NFS bandwidth in Figure 5.
+pub struct NfsFs {
+    conn: Arc<Mutex<Conn>>,
+}
+
+impl NfsFs {
+    /// Connect to an [`crate::NfsServer`].
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<NfsFs> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::from(io::ErrorKind::InvalidInput))?;
+        Ok(NfsFs {
+            conn: Arc::new(Mutex::new(Conn::connect(addr, timeout)?)),
+        })
+    }
+
+    /// Resolve a path one LOOKUP per component, the NFS way. Returns
+    /// the final handle and its attribute words.
+    fn lookup_path(&self, path: &str) -> io::Result<(Fh, Vec<String>)> {
+        let norm = normalize_path(path);
+        let mut conn = self.conn.lock();
+        let mut fh = ROOT_FH;
+        let mut last_words: Vec<String> = Vec::new();
+        for comp in norm.split('/').filter(|c| !c.is_empty()) {
+            let st = conn.rpc(
+                &NfsRequest::Lookup {
+                    dir: fh,
+                    name: comp.to_string(),
+                },
+                None,
+            )?;
+            fh = st
+                .words
+                .first()
+                .and_then(|w| w.parse().ok())
+                .ok_or_else(|| io::Error::from(io::ErrorKind::InvalidData))?;
+            last_words = st.words[1..].to_vec();
+        }
+        if norm == "/" {
+            let st = conn.rpc(&NfsRequest::Getattr { fh: ROOT_FH }, None)?;
+            last_words = st.words;
+        }
+        Ok((fh, last_words))
+    }
+
+    /// Resolve the parent directory of `path`, returning `(dir_fh,
+    /// leaf_name)`.
+    fn lookup_parent(&self, path: &str) -> io::Result<(Fh, String)> {
+        let (parent, leaf) = tss_core::fs::split_parent(path)
+            .ok_or_else(|| io::Error::from(io::ErrorKind::InvalidInput))?;
+        let (fh, _) = self.lookup_path(&parent)?;
+        Ok((fh, leaf))
+    }
+}
+
+fn words_to_stat(words: &[String]) -> io::Result<StatBuf> {
+    let bad = || io::Error::from(io::ErrorKind::InvalidData);
+    if words.len() < 4 {
+        return Err(bad());
+    }
+    let kind = match words[0].as_str() {
+        "f" => FileType::File,
+        "d" => FileType::Dir,
+        _ => FileType::Other,
+    };
+    Ok(StatBuf {
+        device: 0,
+        inode: words[3].parse().map_err(|_| bad())?,
+        file_type: kind,
+        mode: 0o644,
+        nlink: 1,
+        size: words[1].parse().map_err(|_| bad())?,
+        mtime: words[2].parse().map_err(|_| bad())?,
+    })
+}
+
+struct NfsHandle {
+    conn: Arc<Mutex<Conn>>,
+    fh: Fh,
+}
+
+impl FileHandle for NfsHandle {
+    fn pread(&mut self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        // Serial 4 KiB RPCs: the bandwidth-limiting chain of Figure 5.
+        let mut filled = 0;
+        while filled < buf.len() {
+            let want = (buf.len() - filled).min(MAX_TRANSFER) as u32;
+            let mut conn = self.conn.lock();
+            let st = conn.rpc(
+                &NfsRequest::Read {
+                    fh: self.fh,
+                    offset: offset + filled as u64,
+                    count: want,
+                },
+                None,
+            )?;
+            let data = conn.read_body(st.value as u64)?;
+            drop(conn);
+            if data.is_empty() {
+                break;
+            }
+            buf[filled..filled + data.len()].copy_from_slice(&data);
+            filled += data.len();
+        }
+        Ok(filled)
+    }
+
+    fn pwrite(&mut self, buf: &[u8], offset: u64) -> io::Result<usize> {
+        let mut written = 0;
+        while written < buf.len() {
+            let chunk = &buf[written..(written + MAX_TRANSFER).min(buf.len())];
+            let mut conn = self.conn.lock();
+            conn.rpc(
+                &NfsRequest::Write {
+                    fh: self.fh,
+                    offset: offset + written as u64,
+                    count: chunk.len() as u32,
+                },
+                Some(chunk),
+            )?;
+            written += chunk.len();
+        }
+        Ok(buf.len())
+    }
+
+    fn fstat(&mut self) -> io::Result<StatBuf> {
+        let mut conn = self.conn.lock();
+        let st = conn.rpc(&NfsRequest::Getattr { fh: self.fh }, None)?;
+        words_to_stat(&st.words)
+    }
+
+    fn fsync(&mut self) -> io::Result<()> {
+        // NFSv2 writes are synchronous at the server; nothing to do.
+        Ok(())
+    }
+
+    fn ftruncate(&mut self, size: u64) -> io::Result<()> {
+        let mut conn = self.conn.lock();
+        conn.rpc(&NfsRequest::Setattr { fh: self.fh, size }, None)?;
+        Ok(())
+    }
+}
+
+impl FileSystem for NfsFs {
+    fn open(&self, path: &str, flags: OpenFlags, _mode: u32) -> io::Result<Box<dyn FileHandle>> {
+        if flags.contains(OpenFlags::CREATE) {
+            let (dir, leaf) = self.lookup_parent(path)?;
+            let mut conn = self.conn.lock();
+            let res = conn.rpc(
+                &NfsRequest::Create {
+                    dir,
+                    name: leaf,
+                    exclusive: flags.contains(OpenFlags::EXCLUSIVE),
+                },
+                None,
+            );
+            drop(conn);
+            match res {
+                Ok(st) => {
+                    let fh = st
+                        .words
+                        .first()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| io::Error::from(io::ErrorKind::InvalidData))?;
+                    return Ok(Box::new(NfsHandle {
+                        conn: self.conn.clone(),
+                        fh,
+                    }));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let (fh, words) = self.lookup_path(path)?;
+        let stat = words_to_stat(&words)?;
+        if stat.is_dir() {
+            return Err(io::ErrorKind::IsADirectory.into());
+        }
+        if flags.contains(OpenFlags::TRUNCATE) {
+            let mut conn = self.conn.lock();
+            conn.rpc(&NfsRequest::Setattr { fh, size: 0 }, None)?;
+        }
+        Ok(Box::new(NfsHandle {
+            conn: self.conn.clone(),
+            fh,
+        }))
+    }
+
+    fn stat(&self, path: &str) -> io::Result<StatBuf> {
+        let (_fh, words) = self.lookup_path(path)?;
+        words_to_stat(&words)
+    }
+
+    fn unlink(&self, path: &str) -> io::Result<()> {
+        let (dir, leaf) = self.lookup_parent(path)?;
+        let mut conn = self.conn.lock();
+        conn.rpc(&NfsRequest::Remove { dir, name: leaf }, None)
+            ?;
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        let (from_dir, from_name) = self.lookup_parent(from)?;
+        let (to_dir, to_name) = self.lookup_parent(to)?;
+        let mut conn = self.conn.lock();
+        conn.rpc(
+            &NfsRequest::Rename {
+                from_dir,
+                from_name,
+                to_dir,
+                to_name,
+            },
+            None,
+        )
+        ?;
+        Ok(())
+    }
+
+    fn mkdir(&self, path: &str, _mode: u32) -> io::Result<()> {
+        let (dir, leaf) = self.lookup_parent(path)?;
+        let mut conn = self.conn.lock();
+        conn.rpc(&NfsRequest::Mkdir { dir, name: leaf }, None)
+            ?;
+        Ok(())
+    }
+
+    fn rmdir(&self, path: &str) -> io::Result<()> {
+        let (dir, leaf) = self.lookup_parent(path)?;
+        let mut conn = self.conn.lock();
+        conn.rpc(&NfsRequest::Rmdir { dir, name: leaf }, None)
+            ?;
+        Ok(())
+    }
+
+    fn readdir(&self, path: &str) -> io::Result<Vec<String>> {
+        let (fh, _) = self.lookup_path(path)?;
+        let mut conn = self.conn.lock();
+        let st = conn
+            .rpc(&NfsRequest::Readdir { dir: fh }, None)
+            ?;
+        let body = conn.read_body(st.value as u64)?;
+        let text = String::from_utf8(body)
+            .map_err(|_| io::Error::from(io::ErrorKind::InvalidData))?;
+        text.split('\n')
+            .filter(|s| !s.is_empty())
+            .map(|w| {
+                chirp_proto::escape::unescape(w)
+                    .and_then(|b| String::from_utf8(b).ok())
+                    .ok_or_else(|| io::Error::from(io::ErrorKind::InvalidData))
+            })
+            .collect()
+    }
+
+    fn truncate(&self, path: &str, size: u64) -> io::Result<()> {
+        let (fh, _) = self.lookup_path(path)?;
+        let mut conn = self.conn.lock();
+        conn.rpc(&NfsRequest::Setattr { fh, size }, None)
+            ?;
+        Ok(())
+    }
+}

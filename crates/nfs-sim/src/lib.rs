@@ -1,0 +1,38 @@
+//! An NFS-shaped baseline filesystem.
+//!
+//! The paper compares TSS against NFS because NFS is the technology
+//! end users would otherwise reach for. Its evaluation isolates
+//! *protocol shape*, not kernel engineering, and the comparison turns
+//! on three NFS protocol properties, all reproduced here in user
+//! space:
+//!
+//! 1. **Per-component LOOKUP** — every path must be resolved one
+//!    component at a time, each a full round trip, before a file can
+//!    be opened or stat'ed (CFS sends whole paths in one RPC).
+//! 2. **Bounded transfer size** — READ/WRITE move at most 4 KiB per
+//!    RPC, so large copies degenerate into a long chain of
+//!    request/response pairs (CFS sends variable-sized messages over
+//!    one TCP stream).
+//! 3. **Strict request/response** — one outstanding RPC per client,
+//!    so bandwidth is capped at `transfer_size / round_trip_time`.
+//!
+//! Caching is deliberately absent, matching the paper's
+//! apples-to-apples configuration ("we have turned off caching and
+//! synchronous writes in NFS"). There is no authentication: NFS trusts
+//! the client-side uid, which is exactly the *exported user space*
+//! limitation §3 contrasts with TSS's virtual user space.
+//!
+//! The client implements the same [`tss_core::fs::FileSystem`] trait
+//! as every TSS abstraction, so benches can swap backends freely.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::NfsFs;
+pub use server::{NfsServer, NfsServerConfig};
+
+/// Maximum bytes one READ/WRITE RPC may move (NFSv2's wsize/rsize).
+pub const MAX_TRANSFER: usize = 4096;

@@ -1,0 +1,284 @@
+//! The NFS-shaped wire protocol: line-framed RPCs over TCP, payloads
+//! following the line, mirroring NFSv2/3 procedure semantics.
+
+use std::io;
+
+use chirp_proto::escape::{escape, split_words, unescape};
+
+/// A file handle: an opaque server-issued identifier, as in NFS. The
+/// root export is always handle 0.
+pub type Fh = u64;
+
+/// The root file handle.
+pub const ROOT_FH: Fh = 0;
+
+/// One NFS RPC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NfsRequest {
+    /// Resolve one name within a directory — one component per RPC.
+    Lookup {
+        /// Directory handle.
+        dir: Fh,
+        /// Single path component.
+        name: String,
+    },
+    /// Attributes of a handle.
+    Getattr {
+        /// File handle.
+        fh: Fh,
+    },
+    /// Read at most [`crate::MAX_TRANSFER`] bytes.
+    Read {
+        /// File handle.
+        fh: Fh,
+        /// Byte offset.
+        offset: u64,
+        /// Requested count (server clamps to the transfer limit).
+        count: u32,
+    },
+    /// Write at most [`crate::MAX_TRANSFER`] bytes; payload follows.
+    Write {
+        /// File handle.
+        fh: Fh,
+        /// Byte offset.
+        offset: u64,
+        /// Payload length.
+        count: u32,
+    },
+    /// Create a file in a directory.
+    Create {
+        /// Directory handle.
+        dir: Fh,
+        /// New file name.
+        name: String,
+        /// Fail if the name exists (exclusive create).
+        exclusive: bool,
+    },
+    /// Remove a file.
+    Remove {
+        /// Directory handle.
+        dir: Fh,
+        /// File name.
+        name: String,
+    },
+    /// Rename within the export.
+    Rename {
+        /// Source directory handle.
+        from_dir: Fh,
+        /// Source name.
+        from_name: String,
+        /// Destination directory handle.
+        to_dir: Fh,
+        /// Destination name.
+        to_name: String,
+    },
+    /// Create a directory.
+    Mkdir {
+        /// Parent directory handle.
+        dir: Fh,
+        /// New directory name.
+        name: String,
+    },
+    /// Remove an empty directory.
+    Rmdir {
+        /// Parent directory handle.
+        dir: Fh,
+        /// Directory name.
+        name: String,
+    },
+    /// List a directory.
+    Readdir {
+        /// Directory handle.
+        dir: Fh,
+    },
+    /// Truncate to a size (the SETATTR we need).
+    Setattr {
+        /// File handle.
+        fh: Fh,
+        /// New size.
+        size: u64,
+    },
+}
+
+impl NfsRequest {
+    /// Payload bytes following the request line.
+    pub fn payload_len(&self) -> u64 {
+        match self {
+            NfsRequest::Write { count, .. } => *count as u64,
+            _ => 0,
+        }
+    }
+
+    /// Encode as one protocol line.
+    pub fn encode(&self) -> String {
+        let e = |s: &str| escape(s.as_bytes());
+        match self {
+            NfsRequest::Lookup { dir, name } => format!("LOOKUP {dir} {}\n", e(name)),
+            NfsRequest::Getattr { fh } => format!("GETATTR {fh}\n"),
+            NfsRequest::Read { fh, offset, count } => format!("READ {fh} {offset} {count}\n"),
+            NfsRequest::Write { fh, offset, count } => format!("WRITE {fh} {offset} {count}\n"),
+            NfsRequest::Create {
+                dir,
+                name,
+                exclusive,
+            } => format!("CREATE {dir} {} {}\n", e(name), u8::from(*exclusive)),
+            NfsRequest::Remove { dir, name } => format!("REMOVE {dir} {}\n", e(name)),
+            NfsRequest::Rename {
+                from_dir,
+                from_name,
+                to_dir,
+                to_name,
+            } => format!(
+                "RENAME {from_dir} {} {to_dir} {}\n",
+                e(from_name),
+                e(to_name)
+            ),
+            NfsRequest::Mkdir { dir, name } => format!("MKDIR {dir} {}\n", e(name)),
+            NfsRequest::Rmdir { dir, name } => format!("RMDIR {dir} {}\n", e(name)),
+            NfsRequest::Readdir { dir } => format!("READDIR {dir}\n"),
+            NfsRequest::Setattr { fh, size } => format!("SETATTR {fh} {size}\n"),
+        }
+    }
+
+    /// Parse one request line.
+    pub fn parse(line: &str) -> io::Result<NfsRequest> {
+        let bad = || io::Error::new(io::ErrorKind::InvalidData, "bad nfs request");
+        let words = split_words(line);
+        let (&verb, args) = words.split_first().ok_or_else(bad)?;
+        let num = |i: usize| -> io::Result<u64> {
+            args.get(i)
+                .and_then(|w| w.parse().ok())
+                .ok_or_else(bad)
+        };
+        let text = |i: usize| -> io::Result<String> {
+            let raw = args.get(i).ok_or_else(bad)?;
+            let bytes = unescape(raw).ok_or_else(bad)?;
+            String::from_utf8(bytes).map_err(|_| bad())
+        };
+        Ok(match verb {
+            "LOOKUP" => NfsRequest::Lookup {
+                dir: num(0)?,
+                name: text(1)?,
+            },
+            "GETATTR" => NfsRequest::Getattr { fh: num(0)? },
+            "READ" => NfsRequest::Read {
+                fh: num(0)?,
+                offset: num(1)?,
+                count: num(2)? as u32,
+            },
+            "WRITE" => NfsRequest::Write {
+                fh: num(0)?,
+                offset: num(1)?,
+                count: num(2)? as u32,
+            },
+            "CREATE" => NfsRequest::Create {
+                dir: num(0)?,
+                name: text(1)?,
+                exclusive: num(2)? != 0,
+            },
+            "REMOVE" => NfsRequest::Remove {
+                dir: num(0)?,
+                name: text(1)?,
+            },
+            "RENAME" => NfsRequest::Rename {
+                from_dir: num(0)?,
+                from_name: text(1)?,
+                to_dir: num(2)?,
+                to_name: text(3)?,
+            },
+            "MKDIR" => NfsRequest::Mkdir {
+                dir: num(0)?,
+                name: text(1)?,
+            },
+            "RMDIR" => NfsRequest::Rmdir {
+                dir: num(0)?,
+                name: text(1)?,
+            },
+            "READDIR" => NfsRequest::Readdir { dir: num(0)? },
+            "SETATTR" => NfsRequest::Setattr {
+                fh: num(0)?,
+                size: num(1)?,
+            },
+            _ => return Err(bad()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        for req in [
+            NfsRequest::Lookup {
+                dir: 0,
+                name: "usr local".into(),
+            },
+            NfsRequest::Getattr { fh: 7 },
+            NfsRequest::Read {
+                fh: 3,
+                offset: 8192,
+                count: 4096,
+            },
+            NfsRequest::Write {
+                fh: 3,
+                offset: 0,
+                count: 4096,
+            },
+            NfsRequest::Create {
+                dir: 1,
+                name: "f".into(),
+                exclusive: true,
+            },
+            NfsRequest::Remove {
+                dir: 1,
+                name: "f".into(),
+            },
+            NfsRequest::Rename {
+                from_dir: 1,
+                from_name: "a".into(),
+                to_dir: 2,
+                to_name: "b".into(),
+            },
+            NfsRequest::Mkdir {
+                dir: 0,
+                name: "d".into(),
+            },
+            NfsRequest::Rmdir {
+                dir: 0,
+                name: "d".into(),
+            },
+            NfsRequest::Readdir { dir: 0 },
+            NfsRequest::Setattr { fh: 4, size: 100 },
+        ] {
+            let line = req.encode();
+            assert_eq!(
+                NfsRequest::parse(line.trim_end()).unwrap(),
+                req,
+                "{line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(NfsRequest::parse("").is_err());
+        assert!(NfsRequest::parse("READ x y z").is_err());
+        assert!(NfsRequest::parse("FROB 1").is_err());
+    }
+
+    #[test]
+    fn only_write_carries_payload() {
+        assert_eq!(
+            NfsRequest::Write {
+                fh: 0,
+                offset: 0,
+                count: 17
+            }
+            .payload_len(),
+            17
+        );
+        assert_eq!(NfsRequest::Readdir { dir: 0 }.payload_len(), 0);
+    }
+}

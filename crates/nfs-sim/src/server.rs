@@ -1,0 +1,329 @@
+//! The NFS-shaped server: file handles, bounded transfers, no cache.
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use chirp_proto::wire;
+use parking_lot::RwLock;
+
+use crate::proto::{Fh, NfsRequest, ROOT_FH};
+use crate::MAX_TRANSFER;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct NfsServerConfig {
+    /// Exported directory.
+    pub root: PathBuf,
+    /// Bind address; port 0 for ephemeral.
+    pub bind: SocketAddr,
+}
+
+impl NfsServerConfig {
+    /// Export `root` on an ephemeral loopback port.
+    pub fn localhost(root: impl Into<PathBuf>) -> NfsServerConfig {
+        NfsServerConfig {
+            root: root.into(),
+            bind: "127.0.0.1:0".parse().expect("valid literal"),
+        }
+    }
+}
+
+struct FhTable {
+    by_fh: HashMap<Fh, PathBuf>,
+    by_path: HashMap<PathBuf, Fh>,
+    next: AtomicU64,
+}
+
+impl FhTable {
+    fn new(root: PathBuf) -> FhTable {
+        let mut t = FhTable {
+            by_fh: HashMap::new(),
+            by_path: HashMap::new(),
+            next: AtomicU64::new(1),
+        };
+        t.by_fh.insert(ROOT_FH, root.clone());
+        t.by_path.insert(root, ROOT_FH);
+        t
+    }
+
+    fn intern(&mut self, path: PathBuf) -> Fh {
+        if let Some(&fh) = self.by_path.get(&path) {
+            return fh;
+        }
+        let fh = self.next.fetch_add(1, Ordering::Relaxed);
+        self.by_fh.insert(fh, path.clone());
+        self.by_path.insert(path, fh);
+        fh
+    }
+
+    fn path(&self, fh: Fh) -> Option<PathBuf> {
+        self.by_fh.get(&fh).cloned()
+    }
+}
+
+struct Shared {
+    /// File handles are server-global and survive reconnection — the
+    /// "stateless" NFS property (handles name files, not sessions).
+    fhs: RwLock<FhTable>,
+    root: PathBuf,
+    shutdown: AtomicBool,
+}
+
+/// A running NFS-shaped server.
+pub struct NfsServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl NfsServer {
+    /// Start serving. Returns once the listener is bound.
+    pub fn start(config: NfsServerConfig) -> std::io::Result<NfsServer> {
+        std::fs::create_dir_all(&config.root)?;
+        let root = config.root.canonicalize()?;
+        let listener = TcpListener::bind(config.bind)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            fhs: RwLock::new(FhTable::new(root.clone())),
+            root,
+            shutdown: AtomicBool::new(false),
+        });
+        let accept_shared = shared.clone();
+        let accept = std::thread::Builder::new()
+            .name("nfs-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_shared.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let shared = accept_shared.clone();
+                    let _ = std::thread::Builder::new()
+                        .name("nfs-conn".into())
+                        .spawn(move || {
+                            let _ = serve(stream, &shared);
+                        });
+                }
+            })?;
+        Ok(NfsServer {
+            shared,
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `host:port` form.
+    pub fn endpoint(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// Stop accepting connections.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NfsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Attribute words: `<kind> <size> <mtime>`; kind `f`/`d`/`o`.
+fn attr_words(meta: &std::fs::Metadata) -> String {
+    use std::os::unix::fs::MetadataExt;
+    let kind = if meta.is_dir() {
+        'd'
+    } else if meta.is_file() {
+        'f'
+    } else {
+        'o'
+    };
+    format!("{kind} {} {} {}", meta.len(), meta.mtime().max(0), meta.ino())
+}
+
+fn inside(root: &Path, child: &Path) -> bool {
+    child.starts_with(root)
+}
+
+fn serve(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::with_capacity(64 * 1024, stream.try_clone()?);
+    let mut writer = BufWriter::with_capacity(64 * 1024, stream);
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let Some(line) = wire::read_line(&mut reader)? else {
+            return Ok(());
+        };
+        let req = match NfsRequest::parse(&line) {
+            Ok(r) => r,
+            Err(_) => {
+                wire::write_error(&mut writer, chirp_proto::ChirpError::InvalidRequest)?;
+                writer.flush()?;
+                continue;
+            }
+        };
+        // Writes carry a payload that must be consumed even on error
+        // to keep the stream framed.
+        let payload = if let NfsRequest::Write { count, .. } = &req {
+            if *count as usize > MAX_TRANSFER {
+                wire::discard_exact(&mut reader, *count as u64)?;
+                wire::write_error(&mut writer, chirp_proto::ChirpError::TooBig)?;
+                writer.flush()?;
+                continue;
+            }
+            let mut buf = vec![0u8; *count as usize];
+            std::io::Read::read_exact(&mut reader, &mut buf)?;
+            Some(buf)
+        } else {
+            None
+        };
+        match handle(shared, &req, payload.as_deref()) {
+            Ok(Response::Value(v)) => wire::write_status(&mut writer, v)?,
+            Ok(Response::Words(words)) => wire::write_status_words(&mut writer, 0, &words)?,
+            Ok(Response::Data(data)) => {
+                wire::write_status(&mut writer, data.len() as i64)?;
+                writer.write_all(&data)?;
+            }
+            Err(e) => {
+                // Reuse the shared protocol error codes so both sides
+                // of the workspace decode one status-line vocabulary.
+                wire::write_error(&mut writer, chirp_proto::ChirpError::from_io(&e))?;
+            }
+        }
+        writer.flush()?;
+    }
+}
+
+enum Response {
+    Value(i64),
+    Words(String),
+    Data(Vec<u8>),
+}
+
+fn handle(shared: &Shared, req: &NfsRequest, payload: Option<&[u8]>) -> std::io::Result<Response> {
+    let not_found = || std::io::Error::from(std::io::ErrorKind::NotFound);
+    let path_of = |fh: Fh| shared.fhs.read().path(fh).ok_or_else(not_found);
+    match req {
+        NfsRequest::Lookup { dir, name } => {
+            let dir_path = path_of(*dir)?;
+            if name.contains('/') || name == ".." {
+                return Err(std::io::ErrorKind::InvalidData.into());
+            }
+            let child = dir_path.join(name);
+            if !inside(&shared.root, &child) {
+                return Err(not_found());
+            }
+            let meta = std::fs::symlink_metadata(&child)?;
+            let fh = shared.fhs.write().intern(child);
+            Ok(Response::Words(format!("{fh} {}", attr_words(&meta))))
+        }
+        NfsRequest::Getattr { fh } => {
+            let path = path_of(*fh)?;
+            let meta = std::fs::metadata(&path)?;
+            Ok(Response::Words(attr_words(&meta)))
+        }
+        NfsRequest::Read { fh, offset, count } => {
+            use std::os::unix::fs::FileExt;
+            let path = path_of(*fh)?;
+            let file = std::fs::File::open(&path)?;
+            let want = (*count as usize).min(MAX_TRANSFER);
+            let mut buf = vec![0u8; want];
+            let mut filled = 0;
+            while filled < buf.len() {
+                match file.read_at(&mut buf[filled..], offset + filled as u64) {
+                    Ok(0) => break,
+                    Ok(n) => filled += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            buf.truncate(filled);
+            Ok(Response::Data(buf))
+        }
+        NfsRequest::Write { fh, offset, .. } => {
+            use std::os::unix::fs::FileExt;
+            let path = path_of(*fh)?;
+            let data = payload.ok_or_else(|| std::io::Error::from(std::io::ErrorKind::InvalidData))?;
+            let file = std::fs::OpenOptions::new().write(true).open(&path)?;
+            file.write_all_at(data, *offset)?;
+            Ok(Response::Value(data.len() as i64))
+        }
+        NfsRequest::Create {
+            dir,
+            name,
+            exclusive,
+        } => {
+            let dir_path = path_of(*dir)?;
+            let child = dir_path.join(name);
+            let mut opts = std::fs::OpenOptions::new();
+            opts.write(true);
+            if *exclusive {
+                opts.create_new(true);
+            } else {
+                opts.create(true).truncate(true);
+            }
+            opts.open(&child)?;
+            let fh = shared.fhs.write().intern(child);
+            Ok(Response::Words(format!("{fh}")))
+        }
+        NfsRequest::Remove { dir, name } => {
+            let dir_path = path_of(*dir)?;
+            std::fs::remove_file(dir_path.join(name))?;
+            Ok(Response::Value(0))
+        }
+        NfsRequest::Rename {
+            from_dir,
+            from_name,
+            to_dir,
+            to_name,
+        } => {
+            let from = path_of(*from_dir)?.join(from_name);
+            let to = path_of(*to_dir)?.join(to_name);
+            std::fs::rename(from, to)?;
+            Ok(Response::Value(0))
+        }
+        NfsRequest::Mkdir { dir, name } => {
+            std::fs::create_dir(path_of(*dir)?.join(name))?;
+            Ok(Response::Value(0))
+        }
+        NfsRequest::Rmdir { dir, name } => {
+            std::fs::remove_dir(path_of(*dir)?.join(name))?;
+            Ok(Response::Value(0))
+        }
+        NfsRequest::Readdir { dir } => {
+            let path = path_of(*dir)?;
+            let mut names: Vec<String> = Vec::new();
+            for entry in std::fs::read_dir(&path)? {
+                names.push(chirp_proto::escape::escape(
+                    entry?.file_name().to_string_lossy().as_bytes(),
+                ));
+            }
+            names.sort();
+            Ok(Response::Data(names.join("\n").into_bytes()))
+        }
+        NfsRequest::Setattr { fh, size } => {
+            let path = path_of(*fh)?;
+            let file = std::fs::OpenOptions::new().write(true).open(&path)?;
+            file.set_len(*size)?;
+            Ok(Response::Value(0))
+        }
+    }
+}

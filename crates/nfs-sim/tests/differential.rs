@@ -1,0 +1,127 @@
+//! Differential property test: the NFS-shaped baseline must agree
+//! with `std::fs` on all visible behavior, so the Figure 4/5
+//! comparisons measure protocol shape, not semantic bugs.
+
+use std::time::Duration;
+
+use chirp_proto::testutil::TempDir;
+use chirp_proto::OpenFlags;
+use nfs_sim::{NfsFs, NfsServer, NfsServerConfig};
+use proptest::prelude::*;
+use tss_core::fs::FileSystem;
+use tss_core::LocalFs;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(usize, Vec<u8>),
+    Read(usize),
+    Stat(usize),
+    Unlink(usize),
+    Rename(usize, usize),
+    Mkdir(usize),
+    Rmdir(usize),
+    Readdir(usize),
+    Truncate(usize, u64),
+}
+
+const PATHS: &[&str] = &["/a", "/b", "/dir", "/dir/x", "/dir/y", "/dir2"];
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let path = 0..PATHS.len();
+    prop_oneof![
+        (path.clone(), proptest::collection::vec(any::<u8>(), 0..5000))
+            .prop_map(|(p, d)| Op::Write(p, d)),
+        path.clone().prop_map(Op::Read),
+        path.clone().prop_map(Op::Stat),
+        path.clone().prop_map(Op::Unlink),
+        (path.clone(), 0..PATHS.len()).prop_map(|(a, b)| Op::Rename(a, b)),
+        path.clone().prop_map(Op::Mkdir),
+        path.clone().prop_map(Op::Rmdir),
+        path.clone().prop_map(Op::Readdir),
+        (path, 0u64..8192).prop_map(|(p, s)| Op::Truncate(p, s)),
+    ]
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum Outcome {
+    Bytes(Option<Vec<u8>>),
+    IsDirSize(Option<(bool, u64)>),
+    Names(Option<Vec<String>>),
+    Unit(bool),
+}
+
+fn apply(fs: &dyn FileSystem, op: &Op) -> Outcome {
+    match op {
+        Op::Write(p, d) => Outcome::Unit(fs.write_file(PATHS[*p], d).is_ok()),
+        Op::Read(p) => Outcome::Bytes(fs.read_file(PATHS[*p]).ok()),
+        Op::Stat(p) => {
+            Outcome::IsDirSize(fs.stat(PATHS[*p]).ok().map(|s| (s.is_dir(), s.size)))
+        }
+        Op::Unlink(p) => Outcome::Unit(fs.unlink(PATHS[*p]).is_ok()),
+        Op::Rename(a, b) => Outcome::Unit(fs.rename(PATHS[*a], PATHS[*b]).is_ok()),
+        Op::Mkdir(p) => Outcome::Unit(fs.mkdir(PATHS[*p], 0o755).is_ok()),
+        Op::Rmdir(p) => Outcome::Unit(fs.rmdir(PATHS[*p]).is_ok()),
+        Op::Readdir(p) => Outcome::Names(fs.readdir(PATHS[*p]).ok()),
+        Op::Truncate(p, s) => Outcome::Unit(fs.truncate(PATHS[*p], *s).is_ok()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 200,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn nfs_matches_the_local_reference_model(
+        ops in proptest::collection::vec(op_strategy(), 1..20)
+    ) {
+        let ref_dir = TempDir::new();
+        let reference = LocalFs::new(ref_dir.path()).unwrap();
+        let nfs_dir = TempDir::new();
+        let server = NfsServer::start(NfsServerConfig::localhost(nfs_dir.path())).unwrap();
+        let subject = NfsFs::connect(server.addr(), Duration::from_secs(5)).unwrap();
+
+        for (i, op) in ops.iter().enumerate() {
+            let a = apply(&reference, op);
+            let b = apply(&subject, op);
+            prop_assert_eq!(a, b, "op {} = {:?} diverged", i, op);
+        }
+        // Final sweep over all paths.
+        for p in PATHS {
+            prop_assert_eq!(
+                reference.read_file(p).ok(),
+                subject.read_file(p).ok(),
+                "content of {} diverged", p
+            );
+        }
+    }
+}
+
+#[test]
+fn open_flag_combinations_match_reference() {
+    let ref_dir = TempDir::new();
+    let reference = LocalFs::new(ref_dir.path()).unwrap();
+    let nfs_dir = TempDir::new();
+    let server = NfsServer::start(NfsServerConfig::localhost(nfs_dir.path())).unwrap();
+    let subject = NfsFs::connect(server.addr(), Duration::from_secs(5)).unwrap();
+
+    for fs in [&reference as &dyn FileSystem, &subject] {
+        fs.write_file("/seed", b"0123456789").unwrap();
+    }
+    let combos = [
+        OpenFlags::READ,
+        OpenFlags::read_write(),
+        OpenFlags::WRITE | OpenFlags::CREATE,
+        OpenFlags::WRITE | OpenFlags::CREATE | OpenFlags::EXCLUSIVE,
+        OpenFlags::read_write() | OpenFlags::TRUNCATE,
+    ];
+    for (i, &flags) in combos.iter().enumerate() {
+        for path in ["/seed", &format!("/fresh{i}")] {
+            let a = reference.open(path, flags, 0o644).is_ok();
+            let b = subject.open(path, flags, 0o644).is_ok();
+            assert_eq!(a, b, "flags {flags:?} on {path}");
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! End-to-end tests of the NFS-shaped baseline, including the
+//! protocol-shape assertions the Figure 4/5 comparisons rest on.
+
+use std::time::Duration;
+
+use chirp_proto::testutil::TempDir;
+use chirp_proto::OpenFlags;
+use nfs_sim::{NfsFs, NfsServer, NfsServerConfig, MAX_TRANSFER};
+use tss_core::fs::FileSystem;
+
+const TIMEOUT: Duration = Duration::from_secs(5);
+
+fn setup() -> (TempDir, NfsServer, NfsFs) {
+    let dir = TempDir::new();
+    let server = NfsServer::start(NfsServerConfig::localhost(dir.path())).unwrap();
+    let fs = NfsFs::connect(server.addr(), TIMEOUT).unwrap();
+    (dir, server, fs)
+}
+
+#[test]
+fn basic_file_round_trip() {
+    let (_d, _s, fs) = setup();
+    fs.write_file("/f", b"hello nfs").unwrap();
+    assert_eq!(fs.read_file("/f").unwrap(), b"hello nfs");
+    assert_eq!(fs.stat("/f").unwrap().size, 9);
+}
+
+#[test]
+fn transfers_larger_than_one_rpc() {
+    let (_d, _s, fs) = setup();
+    // 10 * MAX_TRANSFER + remainder: exercises the serial RPC chain.
+    let data: Vec<u8> = (0..MAX_TRANSFER * 10 + 123)
+        .map(|i| (i % 251) as u8)
+        .collect();
+    fs.write_file("/big", &data).unwrap();
+    assert_eq!(fs.read_file("/big").unwrap(), data);
+}
+
+#[test]
+fn deep_paths_resolve_per_component() {
+    let (_d, _s, fs) = setup();
+    fs.mkdir("/a", 0o755).unwrap();
+    fs.mkdir("/a/b", 0o755).unwrap();
+    fs.mkdir("/a/b/c", 0o755).unwrap();
+    fs.write_file("/a/b/c/leaf", b"deep").unwrap();
+    assert_eq!(fs.read_file("/a/b/c/leaf").unwrap(), b"deep");
+    assert_eq!(fs.readdir("/a/b").unwrap(), vec!["c"]);
+}
+
+#[test]
+fn namespace_operations() {
+    let (_d, _s, fs) = setup();
+    fs.mkdir("/d", 0o755).unwrap();
+    fs.write_file("/d/f", b"1").unwrap();
+    fs.rename("/d/f", "/g").unwrap();
+    assert!(fs.stat("/d/f").is_err());
+    assert_eq!(fs.stat("/g").unwrap().size, 1);
+    fs.unlink("/g").unwrap();
+    fs.rmdir("/d").unwrap();
+    assert!(fs.readdir("/").unwrap().is_empty());
+}
+
+#[test]
+fn truncate_both_ways() {
+    let (_d, _s, fs) = setup();
+    fs.write_file("/t", b"0123456789").unwrap();
+    fs.truncate("/t", 3).unwrap();
+    assert_eq!(fs.read_file("/t").unwrap(), b"012");
+    let mut h = fs.open("/t", OpenFlags::read_write(), 0).unwrap();
+    h.ftruncate(0).unwrap();
+    assert_eq!(h.fstat().unwrap().size, 0);
+}
+
+#[test]
+fn exclusive_create_collides() {
+    let (_d, _s, fs) = setup();
+    let fl = OpenFlags::WRITE | OpenFlags::CREATE | OpenFlags::EXCLUSIVE;
+    fs.open("/x", fl, 0o644).unwrap();
+    assert_eq!(
+        fs.open("/x", fl, 0o644).err().map(|e| e.kind()),
+        Some(std::io::ErrorKind::AlreadyExists)
+    );
+}
+
+#[test]
+fn file_handles_survive_across_connections() {
+    // The NFS property: handles name files, not sessions.
+    let dir = TempDir::new();
+    let server = NfsServer::start(NfsServerConfig::localhost(dir.path())).unwrap();
+    let fs1 = NfsFs::connect(server.addr(), TIMEOUT).unwrap();
+    fs1.write_file("/shared", b"from-1").unwrap();
+    let fs2 = NfsFs::connect(server.addr(), TIMEOUT).unwrap();
+    assert_eq!(fs2.read_file("/shared").unwrap(), b"from-1");
+}
+
+#[test]
+fn lookup_cannot_escape_export() {
+    let (_d, _s, fs) = setup();
+    assert!(fs.stat("/../etc/passwd").is_err() || !fs.stat("/../etc/passwd").unwrap().is_dir());
+    // normalize_path collapses `..` before it reaches the wire, and
+    // the server additionally rejects `..` components.
+    assert!(fs.read_file("/../../etc/hostname").is_err());
+}
+
+#[test]
+fn missing_files_report_not_found() {
+    let (_d, _s, fs) = setup();
+    assert_eq!(
+        fs.stat("/nope").err().map(|e| e.kind()),
+        Some(std::io::ErrorKind::NotFound)
+    );
+    assert_eq!(
+        fs.read_file("/a/b/c").err().map(|e| e.kind()),
+        Some(std::io::ErrorKind::NotFound)
+    );
+}

@@ -1,0 +1,172 @@
+//! Ablation models for the design choices the paper argues for.
+//!
+//! 1. **One stream for control and data.** Chirp carries file data on
+//!    the same TCP connection as RPCs, so the congestion window stays
+//!    open across files; FTP-style protocols open a fresh data
+//!    connection per file and pay connection setup plus TCP slow start
+//!    every time (§4: "resulting in multiple TCP slow starts when
+//!    multiple files must be transmitted").
+//! 2. **Buffer cache sensitivity.** The Figure 7 crossover (disk-bound
+//!    below three servers, switch-bound above) is a function of the
+//!    per-server cache; sweeping it shows how the published curve
+//!    would move on differently provisioned nodes.
+
+use crate::cluster::{run, AccessPattern, ClusterParams, ClusterResult};
+use crate::costs::CostModel;
+
+/// TCP maximum segment size used by the slow-start model.
+const MSS: f64 = 1460.0;
+/// Initial congestion window (segments), per 2005-era stacks.
+const INIT_CWND: f64 = 2.0;
+
+/// Seconds to move `bytes` on a *fresh* TCP connection: slow start
+/// doubles the window each RTT until the path's bandwidth-delay
+/// product is reached, then the transfer proceeds at line rate.
+pub fn fresh_connection_transfer(m: &CostModel, bytes: u64) -> f64 {
+    let bdp = m.port_bw * m.lan_rtt; // bytes in flight at line rate
+    let mut cwnd = INIT_CWND * MSS;
+    let mut sent = 0.0;
+    let mut t = 0.0;
+    let bytes = bytes as f64;
+    while sent < bytes && cwnd < bdp {
+        // One RTT sends a full window, then the window doubles.
+        let send = cwnd.min(bytes - sent);
+        sent += send;
+        t += m.lan_rtt;
+        cwnd *= 2.0;
+    }
+    if sent < bytes {
+        t += (bytes - sent) / m.port_bw;
+    }
+    t
+}
+
+/// Seconds to move `files` files of `bytes` each over one persistent
+/// Chirp connection: the window is warm after the first file.
+pub fn chirp_batch(m: &CostModel, files: u64, bytes: u64) -> f64 {
+    if files == 0 {
+        return 0.0;
+    }
+    fresh_connection_transfer(m, bytes)
+        + (files - 1) as f64 * (m.lan_rtt + m.server_cpu_per_rpc + bytes as f64 / m.port_bw)
+        + files as f64 * m.server_cpu_per_rpc
+}
+
+/// Seconds for an FTP-style protocol: per file, a control round trip
+/// plus a fresh data connection (setup handshake + slow start).
+pub fn ftp_batch(m: &CostModel, files: u64, bytes: u64) -> f64 {
+    files as f64
+        * (2.0 * m.lan_rtt // control exchange + data connection setup
+            + m.server_cpu_per_rpc
+            + fresh_connection_transfer(m, bytes))
+}
+
+/// One row of the cache-size sweep: per-server cache bytes and the
+/// resulting Figure-7-workload throughput for several server counts.
+#[derive(Debug, Clone)]
+pub struct CacheSweepRow {
+    /// Per-server cache size (bytes).
+    pub cache: u64,
+    /// `(servers, MB/s)` pairs.
+    pub throughput: Vec<(usize, f64)>,
+}
+
+/// Compare uniform and Zipf-skewed access for the Figure 6 workload:
+/// skew concentrates load on the servers holding popular files, so the
+/// aggregate no longer scales with server count. Returns
+/// `(servers, uniform MB/s, zipf MB/s)` rows.
+pub fn access_skew_sweep(m: &CostModel, theta: f64, servers: &[usize]) -> Vec<(usize, f64, f64)> {
+    servers
+        .iter()
+        .map(|&s| {
+            let uniform = run(m, ClusterParams::fig6(s, 16)).mb_per_s();
+            let mut p = ClusterParams::fig6(s, 16);
+            p.access = AccessPattern::Zipf(theta);
+            let zipf = run(m, p).mb_per_s();
+            (s, uniform, zipf)
+        })
+        .collect()
+}
+
+/// Sweep the per-server buffer cache for the Figure 7 workload.
+pub fn cache_sweep(base: &CostModel, caches: &[u64], servers: &[usize]) -> Vec<CacheSweepRow> {
+    caches
+        .iter()
+        .map(|&cache| {
+            let mut m = *base;
+            m.server_cache = cache;
+            let throughput = servers
+                .iter()
+                .map(|&s| {
+                    let r: ClusterResult = run(&m, ClusterParams::fig7(s, 16));
+                    (s, r.mb_per_s())
+                })
+                .collect();
+            CacheSweepRow { cache, throughput }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_start_hurts_small_transfers_most() {
+        let m = CostModel::default();
+        // A small file on a fresh connection is dominated by RTTs
+        // spent doubling the window.
+        let small = fresh_connection_transfer(&m, 8 * 1024);
+        let warm = 8.0 * 1024.0 / m.port_bw;
+        assert!(small > 2.5 * warm, "slow start tax: {small} vs {warm}");
+        // A huge transfer amortizes it.
+        let big_fresh = fresh_connection_transfer(&m, 256 << 20);
+        let big_warm = (256u64 << 20) as f64 / m.port_bw;
+        assert!(big_fresh < 1.05 * big_warm);
+    }
+
+    #[test]
+    fn chirp_beats_ftp_hardest_on_many_small_files() {
+        let m = CostModel::default();
+        let small = ftp_batch(&m, 1000, 16 * 1024) / chirp_batch(&m, 1000, 16 * 1024);
+        let large = ftp_batch(&m, 10, 64 << 20) / chirp_batch(&m, 10, 64 << 20);
+        assert!(small > 1.8, "many small files: ratio {small:.2}");
+        assert!(large < small, "big files amortize: {large:.2} < {small:.2}");
+        assert!(large >= 1.0, "ftp is never faster");
+    }
+
+    #[test]
+    fn skewed_access_breaks_server_scaling() {
+        let m = CostModel::default();
+        let rows = access_skew_sweep(&m, 2.0, &[1, 8]);
+        let (_, uni1, zipf1) = rows[0];
+        let (_, uni8, zipf8) = rows[1];
+        // One server: both patterns saturate the single port alike.
+        assert!((zipf1 / uni1) > 0.9);
+        // Eight servers: uniform reaches the backplane; skewed access
+        // leaves most ports idle while the hot server's port binds.
+        assert!(
+            zipf8 < 0.75 * uni8,
+            "skew must cost throughput at scale: uniform {uni8:.0} vs zipf {zipf8:.0}"
+        );
+    }
+
+    #[test]
+    fn cache_sweep_moves_the_crossover() {
+        let m = CostModel::default();
+        let rows = cache_sweep(
+            &m,
+            &[128 << 20, 1024 << 20],
+            &[2],
+        );
+        let small_cache = rows[0].throughput[0].1;
+        let big_cache = rows[1].throughput[0].1;
+        // With 1 GB per server, 2 servers hold the whole 1280 MB
+        // working set and go switch-bound; with 128 MB they stay
+        // disk-bound.
+        assert!(
+            big_cache > 3.0 * small_cache,
+            "cache decides the regime: {small_cache:.0} vs {big_cache:.0}"
+        );
+    }
+}

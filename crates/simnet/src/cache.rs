@@ -1,0 +1,134 @@
+//! A per-server buffer cache: LRU over whole files.
+//!
+//! The scalability experiments (Figures 6–8) hinge on whether a
+//! server's working set fits in its 512 MB of RAM: multiple servers
+//! increase the *total memory used as buffer cache*, which is one of
+//! the two ways the paper says server scaling helps.
+
+use std::collections::HashMap;
+
+/// An LRU cache tracking which whole files are memory-resident.
+#[derive(Debug)]
+pub struct LruFileCache {
+    capacity: u64,
+    used: u64,
+    /// file id -> (size, last-use tick)
+    entries: HashMap<u64, (u64, u64)>,
+    tick: u64,
+}
+
+impl LruFileCache {
+    /// A cache holding at most `capacity` bytes.
+    pub fn new(capacity: u64) -> LruFileCache {
+        LruFileCache {
+            capacity,
+            used: 0,
+            entries: HashMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// Bytes currently cached.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Is this file fully resident? Touches the entry on hit.
+    pub fn contains(&mut self, file: u64) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.entries.get_mut(&file) {
+            e.1 = tick;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Install a file after it has been read from disk, evicting
+    /// least-recently-used files as needed. Files larger than the
+    /// whole cache are not cached.
+    pub fn insert(&mut self, file: u64, size: u64) {
+        if size > self.capacity {
+            return;
+        }
+        self.tick += 1;
+        if let Some(&(old, _)) = self.entries.get(&file) {
+            self.used -= old;
+            self.entries.remove(&file);
+        }
+        while self.used + size > self.capacity {
+            let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, &(_, t))| t) else {
+                break;
+            };
+            let (vsize, _) = self.entries.remove(&victim).expect("victim exists");
+            self.used -= vsize;
+        }
+        self.entries.insert(file, (size, self.tick));
+        self.used += size;
+    }
+
+    /// Number of resident files.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_after_insert() {
+        let mut c = LruFileCache::new(100);
+        assert!(!c.contains(1));
+        c.insert(1, 40);
+        assert!(c.contains(1));
+        assert_eq!(c.used(), 40);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruFileCache::new(100);
+        c.insert(1, 40);
+        c.insert(2, 40);
+        assert!(c.contains(1)); // touch 1: now 2 is LRU
+        c.insert(3, 40); // evicts 2
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert!(c.contains(3));
+        assert!(c.used() <= 100);
+    }
+
+    #[test]
+    fn oversized_files_bypass_the_cache() {
+        let mut c = LruFileCache::new(100);
+        c.insert(1, 1000);
+        assert!(!c.contains(1));
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn reinsert_updates_size() {
+        let mut c = LruFileCache::new(100);
+        c.insert(1, 40);
+        c.insert(1, 60);
+        assert_eq!(c.used(), 60);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn usage_never_exceeds_capacity() {
+        let mut c = LruFileCache::new(512);
+        for i in 0..1000u64 {
+            c.insert(i, 7 + (i % 90));
+            assert!(c.used() <= 512, "at i={i}: {}", c.used());
+        }
+        assert!(!c.is_empty());
+    }
+}

@@ -1,0 +1,351 @@
+//! The DSFS scalability experiment (Figures 6–8): clients randomly
+//! reading large files out of a DSFS spread over 1–8 servers behind a
+//! commodity switch.
+//!
+//! Flow-level simulation: each client keeps exactly one whole-file
+//! read in flight; active flows share ports, backplane, and disks by
+//! max-min fairness; the only events are flow completions. Per-server
+//! LRU caches decide whether a read is disk-bound.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cache::LruFileCache;
+use crate::costs::CostModel;
+use crate::fair::{max_min_rates, Flow, Resource};
+
+/// How clients pick the next file to read.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessPattern {
+    /// Uniform random choice — the paper's workload.
+    Uniform,
+    /// Zipf-distributed popularity with the given exponent; a hot-set
+    /// workload that concentrates load on the servers holding popular
+    /// files (used by the ablation study).
+    Zipf(f64),
+}
+
+/// Parameters of one cluster run.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterParams {
+    /// Number of file servers (the x-axis of Figs 6–8).
+    pub servers: usize,
+    /// Number of client nodes generating load.
+    pub clients: usize,
+    /// Number of files in the filesystem.
+    pub files: u64,
+    /// Size of each file in bytes.
+    pub file_size: u64,
+    /// Simulated duration to measure over (seconds).
+    pub duration: f64,
+    /// Warmup period excluded from the measurement (seconds).
+    pub warmup: f64,
+    /// RNG seed (runs are deterministic given a seed).
+    pub seed: u64,
+    /// File popularity distribution.
+    pub access: AccessPattern,
+}
+
+impl ClusterParams {
+    /// The paper's Figure 6 workload: 128 files of 1 MB (net-bound).
+    pub fn fig6(servers: usize, clients: usize) -> ClusterParams {
+        ClusterParams {
+            servers,
+            clients,
+            files: 128,
+            file_size: 1 << 20,
+            duration: 60.0,
+            warmup: 10.0,
+            seed: 42,
+            access: AccessPattern::Uniform,
+        }
+    }
+
+    /// Figure 7: 1280 files of 1 MB (mixed-bound). The longer warmup
+    /// lets the buffer caches reach steady state before measuring.
+    pub fn fig7(servers: usize, clients: usize) -> ClusterParams {
+        ClusterParams {
+            files: 1280,
+            duration: 240.0,
+            warmup: 150.0,
+            ..ClusterParams::fig6(servers, clients)
+        }
+    }
+
+    /// Figure 8: 1280 files of 10 MB (disk-bound).
+    pub fn fig8(servers: usize, clients: usize) -> ClusterParams {
+        ClusterParams {
+            files: 1280,
+            file_size: 10 << 20,
+            duration: 400.0,
+            warmup: 100.0,
+            ..ClusterParams::fig6(servers, clients)
+        }
+    }
+}
+
+/// Result of one run.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterResult {
+    /// Aggregate client-observed throughput (bytes/s) over the
+    /// measurement window.
+    pub throughput: f64,
+    /// Fraction of reads served from server buffer caches.
+    pub cache_hit_rate: f64,
+}
+
+impl ClusterResult {
+    /// Throughput in MB/s (the paper's unit).
+    pub fn mb_per_s(&self) -> f64 {
+        self.throughput / 1e6
+    }
+}
+
+struct ActiveFlow {
+    client: usize,
+    server: usize,
+    file: u64,
+    remaining: f64,
+    disk_bound: bool,
+}
+
+/// Run the scalability experiment.
+pub fn run(model: &CostModel, p: ClusterParams) -> ClusterResult {
+    assert!(p.servers > 0 && p.clients > 0 && p.files > 0);
+    let mut rng = SmallRng::seed_from_u64(p.seed);
+
+    // Files are spread round-robin over servers, as DSFS round-robin
+    // placement would.
+    let server_of = |file: u64| (file % p.servers as u64) as usize;
+
+    // Popularity CDF for skewed access; empty for uniform.
+    let zipf_cdf: Vec<f64> = match p.access {
+        AccessPattern::Uniform => Vec::new(),
+        AccessPattern::Zipf(theta) => {
+            let mut weights: Vec<f64> = (1..=p.files)
+                .map(|rank| 1.0 / (rank as f64).powf(theta))
+                .collect();
+            let total: f64 = weights.iter().sum();
+            let mut acc = 0.0;
+            for w in &mut weights {
+                acc += *w / total;
+                *w = acc;
+            }
+            weights
+        }
+    };
+    let pick_file = |rng: &mut SmallRng| -> u64 {
+        if zipf_cdf.is_empty() {
+            rng.gen_range(0..p.files)
+        } else {
+            let u: f64 = rng.gen();
+            zipf_cdf.partition_point(|&c| c < u) as u64
+        }
+    };
+
+    let mut capacity: HashMap<Resource, f64> = HashMap::new();
+    capacity.insert(Resource::Backplane, model.backplane_bw);
+    for c in 0..p.clients {
+        capacity.insert(Resource::ClientNic(c), model.port_bw);
+    }
+    for s in 0..p.servers {
+        capacity.insert(Resource::ServerNic(s), model.port_bw);
+        capacity.insert(Resource::Disk(s), model.disk_bw);
+    }
+
+    let mut caches: Vec<LruFileCache> = (0..p.servers)
+        .map(|_| LruFileCache::new(model.server_cache))
+        .collect();
+
+    let mut flows: Vec<ActiveFlow> = Vec::with_capacity(p.clients);
+    let mut hits = 0u64;
+    let mut reads = 0u64;
+    let start_flow = |client: usize,
+                          rng: &mut SmallRng,
+                          caches: &mut Vec<LruFileCache>,
+                          hits: &mut u64,
+                          reads: &mut u64|
+     -> ActiveFlow {
+        let file = pick_file(rng);
+        let server = server_of(file);
+        let cached = caches[server].contains(file);
+        *reads += 1;
+        if cached {
+            *hits += 1;
+        }
+        ActiveFlow {
+            client,
+            server,
+            file,
+            remaining: p.file_size as f64,
+            disk_bound: !cached,
+        }
+    };
+    for c in 0..p.clients {
+        let f = start_flow(c, &mut rng, &mut caches, &mut hits, &mut reads);
+        flows.push(f);
+    }
+
+    let mut now = 0.0f64;
+    let mut measured_bytes = 0.0f64;
+    let end = p.warmup + p.duration;
+    while now < end {
+        let flow_specs: Vec<Flow> = flows
+            .iter()
+            .map(|f| {
+                let mut uses = vec![
+                    Resource::ClientNic(f.client),
+                    Resource::ServerNic(f.server),
+                    Resource::Backplane,
+                ];
+                if f.disk_bound {
+                    uses.push(Resource::Disk(f.server));
+                }
+                Flow { uses }
+            })
+            .collect();
+        let rates = max_min_rates(&flow_specs, &capacity);
+        // Earliest completion decides the step.
+        let mut dt = f64::INFINITY;
+        for (f, &r) in flows.iter().zip(&rates) {
+            if r > 0.0 {
+                dt = dt.min(f.remaining / r);
+            }
+        }
+        assert!(dt.is_finite(), "no flow can make progress");
+        let dt = dt.min(end - now);
+        // Advance everyone.
+        for (f, &r) in flows.iter_mut().zip(&rates) {
+            let moved = r * dt;
+            let counted = moved.min(f.remaining);
+            f.remaining -= counted;
+            if now >= p.warmup {
+                measured_bytes += counted;
+            } else if now + dt > p.warmup {
+                // The step straddles the warmup boundary; count the
+                // post-warmup share.
+                measured_bytes += counted * ((now + dt - p.warmup) / dt);
+            }
+        }
+        now += dt;
+        // Complete finished flows and start replacements.
+        for slot in flows.iter_mut() {
+            if slot.remaining <= 1e-6 {
+                caches[slot.server].insert(slot.file, p.file_size);
+                let client = slot.client;
+                *slot = start_flow(client, &mut rng, &mut caches, &mut hits, &mut reads);
+            }
+        }
+    }
+
+    ClusterResult {
+        throughput: measured_bytes / p.duration,
+        cache_hit_rate: if reads == 0 {
+            0.0
+        } else {
+            hits as f64 / reads as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::default()
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run(&model(), ClusterParams::fig6(4, 8));
+        let b = run(&model(), ClusterParams::fig6(4, 8));
+        assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+    }
+
+    #[test]
+    fn fig6_one_server_saturates_one_port() {
+        // "One server can transmit at 100 MB/s, near the practical
+        // limit of TCP on a 1Gb port."
+        let r = run(&model(), ClusterParams::fig6(1, 8));
+        assert!(
+            (85.0..110.0).contains(&r.mb_per_s()),
+            "got {:.1} MB/s",
+            r.mb_per_s()
+        );
+        assert!(r.cache_hit_rate > 0.5, "128MB fits in one 512MB cache");
+    }
+
+    #[test]
+    fn fig6_many_servers_saturate_the_backplane() {
+        // "Three or more servers ... saturate the switch backplane at
+        // 300 MB/s."
+        let r4 = run(&model(), ClusterParams::fig6(4, 16));
+        let r8 = run(&model(), ClusterParams::fig6(8, 16));
+        assert!(
+            (260.0..310.0).contains(&r4.mb_per_s()),
+            "4 servers: {:.1}",
+            r4.mb_per_s()
+        );
+        assert!(
+            (260.0..310.0).contains(&r8.mb_per_s()),
+            "8 servers: {:.1}",
+            r8.mb_per_s()
+        );
+    }
+
+    #[test]
+    fn fig7_crossover_at_three_servers() {
+        // 1280 MB over per-server 512 MB caches: <3 servers disk-bound,
+        // >=3 servers memory+switch bound.
+        let r1 = run(&model(), ClusterParams::fig7(1, 16));
+        let r4 = run(&model(), ClusterParams::fig7(4, 16));
+        assert!(r1.mb_per_s() < 40.0, "1 server disk-bound: {:.1}", r1.mb_per_s());
+        assert!(
+            r4.mb_per_s() > 150.0,
+            "4 servers cache-resident: {:.1}",
+            r4.mb_per_s()
+        );
+    }
+
+    #[test]
+    fn fig8_disk_bound_scales_linearly() {
+        // "A single server is able to sustain 10 MB/s, the raw disk
+        // throughput. As servers are added, the throughput increases
+        // roughly linearly."
+        let r1 = run(&model(), ClusterParams::fig8(1, 16));
+        let r4 = run(&model(), ClusterParams::fig8(4, 16));
+        let r8 = run(&model(), ClusterParams::fig8(8, 16));
+        assert!(
+            (8.0..16.0).contains(&r1.mb_per_s()),
+            "1 server: {:.1}",
+            r1.mb_per_s()
+        );
+        let ratio4 = r4.mb_per_s() / r1.mb_per_s();
+        let ratio8 = r8.mb_per_s() / r1.mb_per_s();
+        assert!((3.0..5.5).contains(&ratio4), "4-server scaling {ratio4:.2}");
+        assert!((6.0..10.5).contains(&ratio8), "8-server scaling {ratio8:.2}");
+    }
+
+    #[test]
+    fn zipf_access_is_deterministic_and_in_range() {
+        let mut p = ClusterParams::fig6(4, 8);
+        p.access = AccessPattern::Zipf(1.5);
+        let a = run(&model(), p);
+        let b = run(&model(), p);
+        assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+        assert!(a.throughput > 0.0);
+        // Skew raises the hit rate: the hot files are always resident.
+        let uniform = run(&model(), ClusterParams::fig6(4, 8));
+        assert!(a.cache_hit_rate >= uniform.cache_hit_rate * 0.99);
+    }
+
+    #[test]
+    fn more_clients_never_reduce_throughput_materially() {
+        let few = run(&model(), ClusterParams::fig6(4, 2));
+        let many = run(&model(), ClusterParams::fig6(4, 16));
+        assert!(many.throughput >= 0.9 * few.throughput);
+    }
+}

@@ -1,0 +1,190 @@
+//! The shared cost model, calibrated to the paper's testbed.
+//!
+//! Every constant here is traceable to a number stated in the paper or
+//! to well-known characteristics of the hardware it names (2.8 GHz
+//! Pentium 4, Linux 2.4.21, commodity 1 Gb/s Ethernet, 250 GB SATA
+//! disks, 512 MB RAM per node):
+//!
+//! * local memory copy bandwidth ≈ 798 MB/s (the Unix plateau of
+//!   Fig 5);
+//! * the adapter's extra user-space copy roughly halves that to
+//!   431 MB/s;
+//! * a 1 Gb/s port carries ~100 MB/s in practice (Fig 6: "one server
+//!   saturates one port at just over 100 MB/s");
+//! * the inexpensive switch backplane saturates at ~300 MB/s (Fig 6);
+//! * one SATA disk streams ~10 MB/s under the random large-file load
+//!   (Fig 8);
+//! * NFS achieves ~10 MB/s on the same wire because each 4 KB RPC
+//!   costs a round trip (Fig 5).
+
+/// All timing/bandwidth constants used by the analytic figure models.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    // -- local machine ----------------------------------------------------
+    /// One direct system call's fixed kernel entry/exit cost (s).
+    pub syscall_base: f64,
+    /// One user/kernel context switch (s); a ptrace stop/resume pair
+    /// costs several of these.
+    pub context_switch: f64,
+    /// Context switches charged per trapped syscall (application stop,
+    /// adapter wake, adapter syscall, application resume).
+    pub trap_switches: u32,
+    /// Adapter's own per-call bookkeeping: decode, name resolution,
+    /// descriptor table (s).
+    pub adapter_overhead: f64,
+    /// Memory copy bandwidth (bytes/s): the Unix bandwidth plateau.
+    pub memcpy_bw: f64,
+    /// The adapter's extra data copy between kernel and application
+    /// halves effective copy bandwidth: Parrot's 431 MB/s plateau.
+    pub adapter_copy_bw: f64,
+
+    // -- network ----------------------------------------------------------
+    /// One LAN round trip on commodity gigabit Ethernet (s).
+    pub lan_rtt: f64,
+    /// One round trip on the regional ~100 Mb/s wide-area link of the
+    /// SP5 grid configuration (s).
+    pub wan_rtt: f64,
+    /// Usable bandwidth of one 1 Gb/s port (bytes/s).
+    pub port_bw: f64,
+    /// Usable WAN bandwidth (bytes/s); the paper says "roughly
+    /// 100 Mb/s".
+    pub wan_bw: f64,
+    /// Aggregate backplane limit of the commodity switch (bytes/s).
+    pub backplane_bw: f64,
+    /// Server-side request processing per RPC (s).
+    pub server_cpu_per_rpc: f64,
+
+    // -- storage ----------------------------------------------------------
+    /// Streaming disk bandwidth under the experiment's access pattern
+    /// (bytes/s).
+    pub disk_bw: f64,
+    /// Per-server buffer cache (bytes).
+    pub server_cache: u64,
+
+    // -- protocol shapes ---------------------------------------------------
+    /// NFS transfer size cap per RPC (bytes).
+    pub nfs_transfer: u64,
+    /// Round trips NFS needs to resolve one path component.
+    pub nfs_lookup_rtts: u32,
+    /// Extra client+server RPC-layer processing per NFS call (s),
+    /// calibrated so a 16 MB copy lands at the measured ~10 MB/s.
+    pub nfs_rpc_overhead: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            syscall_base: 0.6e-6,
+            context_switch: 2.0e-6,
+            trap_switches: 4,
+            adapter_overhead: 4.0e-6,
+            memcpy_bw: 798.0e6,
+            adapter_copy_bw: 431.0e6,
+            lan_rtt: 120.0e-6,
+            wan_rtt: 1.0e-3,
+            port_bw: 104.0e6,
+            wan_bw: 12.5e6,
+            backplane_bw: 300.0e6,
+            server_cpu_per_rpc: 15.0e-6,
+            disk_bw: 10.0e6,
+            server_cache: 512 * 1024 * 1024,
+            nfs_transfer: 4096,
+            nfs_lookup_rtts: 1,
+            nfs_rpc_overhead: 240.0e-6,
+        }
+    }
+}
+
+impl CostModel {
+    /// Latency of one *direct* Unix system call moving `bytes` of data.
+    pub fn unix_syscall(&self, bytes: u64) -> f64 {
+        self.syscall_base + bytes as f64 / self.memcpy_bw
+    }
+
+    /// Latency of the same call under the adapter's trap mechanism:
+    /// extra context switches, adapter bookkeeping, and the extra data
+    /// copy between kernel, adapter, and application.
+    ///
+    /// `adapter_copy_bw` is the *effective* end-to-end copy bandwidth
+    /// of the doubled pipeline (431 MB/s measured vs 798 MB/s direct),
+    /// so the data term is not added on top of the direct copy.
+    pub fn trapped_syscall(&self, bytes: u64) -> f64 {
+        self.syscall_base
+            + self.trap_switches as f64 * self.context_switch
+            + self.adapter_overhead
+            + bytes as f64 / self.adapter_copy_bw
+    }
+
+    /// Time for one Chirp RPC over the LAN carrying `bytes` of file
+    /// data (single round trip; data rides the same stream).
+    pub fn chirp_rpc(&self, bytes: u64) -> f64 {
+        self.lan_rtt + self.server_cpu_per_rpc + bytes as f64 / self.port_bw
+    }
+
+    /// Time for one NFS RPC moving up to one transfer unit.
+    pub fn nfs_rpc(&self, bytes: u64) -> f64 {
+        debug_assert!(bytes <= self.nfs_transfer);
+        self.lan_rtt
+            + self.server_cpu_per_rpc
+            + self.nfs_rpc_overhead
+            + bytes as f64 / self.port_bw
+    }
+
+    /// Time for NFS to move `bytes`: a chain of strict 4 KB
+    /// request/response pairs.
+    pub fn nfs_transfer_time(&self, bytes: u64) -> f64 {
+        let full = bytes / self.nfs_transfer;
+        let rest = bytes % self.nfs_transfer;
+        let mut t = full as f64 * self.nfs_rpc(self.nfs_transfer);
+        if rest > 0 || bytes == 0 {
+            t += self.nfs_rpc(rest);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trap_slows_small_calls_by_an_order_of_magnitude() {
+        let m = CostModel::default();
+        let ratio = m.trapped_syscall(0) / m.unix_syscall(0);
+        assert!(
+            (5.0..60.0).contains(&ratio),
+            "Fig 3: most calls slowed ~10x, got {ratio:.1}"
+        );
+    }
+
+    #[test]
+    fn network_latency_dwarfs_trap_latency() {
+        // Fig 4's point: the RTT is another order of magnitude above
+        // the trap cost, so the adapter overhead washes out.
+        let m = CostModel::default();
+        assert!(m.chirp_rpc(0) > 4.0 * m.trapped_syscall(0));
+    }
+
+    #[test]
+    fn nfs_moves_big_payloads_much_slower_than_chirp() {
+        let m = CostModel::default();
+        let bytes = 1 << 20;
+        let nfs = m.nfs_transfer_time(bytes);
+        let chirp = m.chirp_rpc(bytes);
+        assert!(
+            nfs > 5.0 * chirp,
+            "4KB RPC chain must dominate: nfs={nfs:.6} chirp={chirp:.6}"
+        );
+    }
+
+    #[test]
+    fn nfs_asymptotic_bandwidth_near_ten_mb_per_s() {
+        let m = CostModel::default();
+        let bytes = 16u64 << 20;
+        let bw = bytes as f64 / m.nfs_transfer_time(bytes) / 1e6;
+        assert!(
+            (6.0..20.0).contains(&bw),
+            "Fig 5: NFS ≈ 10 MB/s, got {bw:.1}"
+        );
+    }
+}

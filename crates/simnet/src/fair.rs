@@ -1,0 +1,332 @@
+//! Max-min fair bandwidth allocation by progressive filling.
+//!
+//! Every active flow traverses a set of resources (its client's NIC,
+//! the switch backplane, its server's NIC, possibly that server's
+//! disk). All flows' rates grow together until some resource
+//! saturates; the flows through it are frozen at the current level and
+//! filling continues with the rest. This is the classic fluid model of
+//! TCP-fair sharing, adequate for the paper's throughput curves where
+//! flows are long relative to RTT.
+
+use std::collections::HashMap;
+
+/// A resource in the simulated fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Resource {
+    /// One client's switch port.
+    ClientNic(usize),
+    /// One server's switch port.
+    ServerNic(usize),
+    /// The commodity switch's shared backplane.
+    Backplane,
+    /// One server's disk (serializes cache misses).
+    Disk(usize),
+}
+
+/// One flow: the resources it traverses.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// Resources this flow consumes, without duplicates.
+    pub uses: Vec<Resource>,
+}
+
+/// Compute max-min fair rates (bytes/s) for `flows` over `capacity`.
+///
+/// Flows naming a resource absent from `capacity` are treated as
+/// unconstrained by it. A flow with no constraining resources gets
+/// `f64::INFINITY`; callers give every flow at least one finite
+/// resource.
+pub fn max_min_rates(flows: &[Flow], capacity: &HashMap<Resource, f64>) -> Vec<f64> {
+    let n = flows.len();
+    let mut rates = vec![0.0f64; n];
+    if n == 0 {
+        return rates;
+    }
+    let mut fixed = vec![false; n];
+    let mut level = 0.0f64;
+    loop {
+        // For each resource: how much more can the common level grow
+        // before it saturates?
+        let mut next_level = f64::INFINITY;
+        let mut bottleneck: Option<Resource> = None;
+        for (&res, &cap) in capacity {
+            let mut unfixed = 0usize;
+            let mut fixed_usage = 0.0f64;
+            for (i, f) in flows.iter().enumerate() {
+                if !f.uses.contains(&res) {
+                    continue;
+                }
+                if fixed[i] {
+                    fixed_usage += rates[i];
+                } else {
+                    unfixed += 1;
+                }
+            }
+            if unfixed == 0 {
+                continue;
+            }
+            let candidate = (cap - fixed_usage) / unfixed as f64;
+            if candidate < next_level {
+                next_level = candidate;
+                bottleneck = Some(res);
+            }
+        }
+        let Some(bottleneck) = bottleneck else {
+            // No constraining resource left: remaining flows are
+            // unbounded.
+            for i in 0..n {
+                if !fixed[i] {
+                    rates[i] = f64::INFINITY;
+                }
+            }
+            return rates;
+        };
+        level = next_level.max(level);
+        let mut progressed = false;
+        for (i, f) in flows.iter().enumerate() {
+            if !fixed[i] && f.uses.contains(&bottleneck) {
+                rates[i] = level;
+                fixed[i] = true;
+                progressed = true;
+            }
+        }
+        if !progressed || fixed.iter().all(|&f| f) {
+            // Freeze anything left at the final level (can only happen
+            // when every remaining flow shares no finite resource).
+            for i in 0..n {
+                if !fixed[i] {
+                    rates[i] = level;
+                }
+            }
+            return rates;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps(pairs: &[(Resource, f64)]) -> HashMap<Resource, f64> {
+        pairs.iter().copied().collect()
+    }
+
+    fn flow(uses: &[Resource]) -> Flow {
+        Flow {
+            uses: uses.to_vec(),
+        }
+    }
+
+    #[test]
+    fn single_flow_gets_min_capacity_along_path() {
+        let c = caps(&[
+            (Resource::ClientNic(0), 100.0),
+            (Resource::ServerNic(0), 100.0),
+            (Resource::Backplane, 300.0),
+            (Resource::Disk(0), 10.0),
+        ]);
+        let f = vec![flow(&[
+            Resource::ClientNic(0),
+            Resource::ServerNic(0),
+            Resource::Backplane,
+            Resource::Disk(0),
+        ])];
+        let r = max_min_rates(&f, &c);
+        assert!((r[0] - 10.0).abs() < 1e-9, "disk binds: {r:?}");
+    }
+
+    #[test]
+    fn equal_flows_share_equally() {
+        let c = caps(&[(Resource::ServerNic(0), 100.0)]);
+        let f = vec![
+            flow(&[Resource::ServerNic(0)]),
+            flow(&[Resource::ServerNic(0)]),
+            flow(&[Resource::ServerNic(0)]),
+            flow(&[Resource::ServerNic(0)]),
+        ];
+        let r = max_min_rates(&f, &c);
+        for rate in &r {
+            assert!((rate - 25.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn backplane_caps_aggregate() {
+        // 8 clients reading from 8 distinct servers: each port allows
+        // 100, but the backplane allows only 300 in total.
+        let mut pairs = vec![(Resource::Backplane, 300.0)];
+        for i in 0..8 {
+            pairs.push((Resource::ClientNic(i), 100.0));
+            pairs.push((Resource::ServerNic(i), 100.0));
+        }
+        let c = caps(&pairs);
+        let f: Vec<Flow> = (0..8)
+            .map(|i| {
+                flow(&[
+                    Resource::ClientNic(i),
+                    Resource::ServerNic(i),
+                    Resource::Backplane,
+                ])
+            })
+            .collect();
+        let r = max_min_rates(&f, &c);
+        let total: f64 = r.iter().sum();
+        assert!((total - 300.0).abs() < 1e-6, "aggregate {total}");
+        for rate in &r {
+            assert!((rate - 37.5).abs() < 1e-9, "even split of 300/8");
+        }
+    }
+
+    #[test]
+    fn slow_flow_does_not_drag_fast_flows_down() {
+        // Max-min property: one disk-bound flow leaves the rest of the
+        // port to others.
+        let c = caps(&[
+            (Resource::ServerNic(0), 100.0),
+            (Resource::Disk(0), 10.0),
+        ]);
+        let f = vec![
+            flow(&[Resource::ServerNic(0), Resource::Disk(0)]), // miss
+            flow(&[Resource::ServerNic(0)]),                    // hit
+        ];
+        let r = max_min_rates(&f, &c);
+        assert!((r[0] - 10.0).abs() < 1e-9);
+        assert!((r[1] - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn work_conservation_on_every_saturated_resource() {
+        let c = caps(&[
+            (Resource::ServerNic(0), 100.0),
+            (Resource::ServerNic(1), 100.0),
+            (Resource::Backplane, 150.0),
+        ]);
+        let f = vec![
+            flow(&[Resource::ServerNic(0), Resource::Backplane]),
+            flow(&[Resource::ServerNic(1), Resource::Backplane]),
+        ];
+        let r = max_min_rates(&f, &c);
+        let total: f64 = r.iter().sum();
+        assert!((total - 150.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let r = max_min_rates(&[], &caps(&[(Resource::Backplane, 1.0)]));
+        assert!(r.is_empty());
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_flows() -> impl Strategy<Value = Vec<Flow>> {
+            proptest::collection::vec(
+                proptest::collection::vec(0usize..6, 1..4).prop_map(|ids| Flow {
+                    uses: {
+                        let mut v: Vec<Resource> = ids
+                            .into_iter()
+                            .map(|i| match i {
+                                0 => Resource::Backplane,
+                                1 => Resource::ClientNic(0),
+                                2 => Resource::ClientNic(1),
+                                3 => Resource::ServerNic(0),
+                                4 => Resource::ServerNic(1),
+                                _ => Resource::Disk(0),
+                            })
+                            .collect();
+                        v.sort();
+                        v.dedup();
+                        v
+                    },
+                }),
+                1..8,
+            )
+        }
+
+        fn caps() -> HashMap<Resource, f64> {
+            [
+                (Resource::Backplane, 300.0),
+                (Resource::ClientNic(0), 100.0),
+                (Resource::ClientNic(1), 100.0),
+                (Resource::ServerNic(0), 100.0),
+                (Resource::ServerNic(1), 100.0),
+                (Resource::Disk(0), 10.0),
+            ]
+            .into_iter()
+            .collect()
+        }
+
+        proptest! {
+            #[test]
+            fn rates_are_feasible_and_positive(flows in arb_flows()) {
+                let c = caps();
+                let rates = max_min_rates(&flows, &c);
+                // Feasibility: every resource within capacity.
+                for (&res, &cap) in &c {
+                    let used: f64 = flows
+                        .iter()
+                        .zip(&rates)
+                        .filter(|(f, _)| f.uses.contains(&res))
+                        .map(|(_, r)| *r)
+                        .sum();
+                    prop_assert!(used <= cap * (1.0 + 1e-9), "{res:?}: {used} > {cap}");
+                }
+                // Progress: every flow gets a strictly positive rate.
+                for r in &rates {
+                    prop_assert!(*r > 0.0);
+                }
+            }
+
+            #[test]
+            fn some_resource_saturates(flows in arb_flows()) {
+                // Work conservation: rates cannot all be raised, so at
+                // least one resource used by some flow is saturated.
+                let c = caps();
+                let rates = max_min_rates(&flows, &c);
+                let saturated = c.iter().any(|(&res, &cap)| {
+                    let used: f64 = flows
+                        .iter()
+                        .zip(&rates)
+                        .filter(|(f, _)| f.uses.contains(&res))
+                        .map(|(_, r)| *r)
+                        .sum();
+                    used >= cap * (1.0 - 1e-9)
+                });
+                prop_assert!(saturated);
+            }
+        }
+    }
+
+    #[test]
+    fn no_rate_exceeds_any_used_resource_capacity() {
+        // Property check over a few deterministic configurations.
+        for n in 1..6usize {
+            let c = caps(&[
+                (Resource::Backplane, 37.0),
+                (Resource::ServerNic(0), 11.0),
+                (Resource::Disk(0), 3.0),
+            ]);
+            let f: Vec<Flow> = (0..n)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        flow(&[Resource::ServerNic(0), Resource::Backplane])
+                    } else {
+                        flow(&[Resource::ServerNic(0), Resource::Disk(0), Resource::Backplane])
+                    }
+                })
+                .collect();
+            let r = max_min_rates(&f, &c);
+            // Per-resource usage within capacity.
+            for (&res, &cap) in &c {
+                let used: f64 = f
+                    .iter()
+                    .zip(&r)
+                    .filter(|(fl, _)| fl.uses.contains(&res))
+                    .map(|(_, rate)| *rate)
+                    .sum();
+                assert!(used <= cap + 1e-6, "{res:?} over capacity: {used} > {cap}");
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! `simnet` — a deterministic flow-level simulator of the paper's
+//! testbed.
+//!
+//! Figures 3–8 of the paper are statements about *which hardware
+//! resource binds* a workload: the Parrot trap cost (Fig 3), network
+//! round trips (Fig 4), the syscall/copy/wire pipeline (Fig 5), and a
+//! cluster whose switch ports, switch backplane, server disks, and
+//! server buffer caches trade off as servers are added (Figs 6–8).
+//! Reproducing the published curves therefore needs the 2005 testbed
+//! itself — 32 cluster nodes, a commodity 1 Gb/s switch, SATA disks —
+//! which we substitute with this simulator (DESIGN.md §4).
+//!
+//! The model is *flow-level*: active transfers share resources by
+//! max-min fairness ([`fair`]), advancing between flow-completion
+//! events. Buffer caches are per-server LRU over whole files
+//! ([`cache`]). Cost constants are calibrated to the paper's stated
+//! numbers and collected in one place ([`costs::CostModel`]) so every
+//! figure harness draws from the same model.
+//!
+//! Nothing here is wall-clock: time is integer nanoseconds, random
+//! choices come from a seeded generator, and every run is reproducible
+//! bit-for-bit.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod cache;
+pub mod cluster;
+pub mod costs;
+pub mod fair;
+pub mod gems;
+pub mod micro;
+pub mod sp5;
+
+pub use cache::LruFileCache;
+pub use cluster::{ClusterParams, ClusterResult};
+pub use costs::CostModel;

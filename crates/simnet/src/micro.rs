@@ -1,0 +1,229 @@
+//! Analytic models behind Figures 3, 4, and 5: per-call latencies and
+//! single-client bandwidth, derived entirely from [`CostModel`].
+
+use crate::costs::CostModel;
+
+/// One latency row: a named operation and its cost per system (s).
+#[derive(Debug, Clone)]
+pub struct LatencyRow {
+    /// Operation name (`stat`, `open/close`, `read 8kb`, ...).
+    pub call: String,
+    /// (system name, latency in seconds) pairs, in column order.
+    pub systems: Vec<(String, f64)>,
+}
+
+/// Figure 3: system call latency, Unix vs Parrot, on the local
+/// filesystem.
+pub fn fig3_syscall_latency(m: &CostModel) -> Vec<LatencyRow> {
+    // Relative base costs of different syscalls on the 2005 kernel:
+    // metadata calls walk paths, open/close touches the dcache and fd
+    // table, data calls add the copy term.
+    let rows: Vec<(&str, f64, u64)> = vec![
+        ("getpid", 0.5, 0),
+        ("stat", 3.5, 0),
+        ("open/close", 7.0, 0),
+        ("read 8kb", 2.0, 8192),
+        ("write 8kb", 2.5, 8192),
+    ];
+    rows.into_iter()
+        .map(|(call, weight, bytes)| {
+            let unix = weight * m.unix_syscall(0) + m.unix_syscall(bytes) - m.unix_syscall(0);
+            // Under ptrace every syscall pays the full trap; compound
+            // entries (open/close) pay it twice.
+            let traps = if call == "open/close" { 2.0 } else { 1.0 };
+            let parrot = unix
+                + traps
+                    * (m.trapped_syscall(bytes) - m.syscall_base
+                        - bytes as f64 / m.adapter_copy_bw)
+                + bytes as f64 / m.adapter_copy_bw;
+            LatencyRow {
+                call: call.to_string(),
+                systems: vec![("unix".into(), unix), ("parrot".into(), parrot)],
+            }
+        })
+        .collect()
+}
+
+/// Figure 4: I/O call latency over gigabit Ethernet for Parrot+CFS,
+/// Unix+NFS (no cache, async), and Parrot+DSFS.
+pub fn fig4_io_latency(m: &CostModel) -> Vec<LatencyRow> {
+    let trap = m.trapped_syscall(0);
+    let trap8k = m.trapped_syscall(8192);
+    // CFS: whole paths travel in one RPC; open and close are one RPC
+    // each; an 8 KB transfer is one round trip.
+    let cfs_stat = trap + m.chirp_rpc(0);
+    let cfs_openclose = 2.0 * trap + 2.0 * m.chirp_rpc(0);
+    let cfs_read = trap8k + m.chirp_rpc(8192);
+    let cfs_write = trap8k + m.chirp_rpc(8192);
+    // NFS: kernel client (no trap), but per-component lookups resolve
+    // names to inodes before every path operation, and 8 KB moves as
+    // two 4 KB RPCs.
+    let lookup = m.nfs_lookup_rtts as f64 * m.nfs_rpc(0);
+    let nfs_stat = lookup + m.nfs_rpc(0);
+    let nfs_openclose = lookup + 2.0 * m.nfs_rpc(0);
+    let nfs_read = 2.0 * m.nfs_rpc(4096);
+    let nfs_write = 2.0 * m.nfs_rpc(4096);
+    // DSFS: metadata operations touch the stub on the directory server
+    // and then the data server — twice the round trips of CFS. Reads
+    // and writes on an open file go straight to the data server.
+    let dsfs_stat = trap + 2.0 * m.chirp_rpc(0);
+    let dsfs_openclose = 2.0 * trap + 4.0 * m.chirp_rpc(0);
+    let dsfs_read = cfs_read;
+    let dsfs_write = cfs_write;
+
+    let mk = |call: &str, cfs: f64, nfs: f64, dsfs: f64| LatencyRow {
+        call: call.to_string(),
+        systems: vec![
+            ("parrot+cfs".into(), cfs),
+            ("unix+nfs".into(), nfs),
+            ("parrot+dsfs".into(), dsfs),
+        ],
+    };
+    vec![
+        mk("stat", cfs_stat, nfs_stat, dsfs_stat),
+        mk("open/close", cfs_openclose, nfs_openclose, dsfs_openclose),
+        mk("read 8kb", cfs_read, nfs_read, dsfs_read),
+        mk("write 8kb", cfs_write, nfs_write, dsfs_write),
+    ]
+}
+
+/// One bandwidth point: block size and the rate each system achieves.
+#[derive(Debug, Clone)]
+pub struct BandwidthRow {
+    /// Size of each read/write call (bytes).
+    pub block: u64,
+    /// (system name, bandwidth in bytes/s).
+    pub systems: Vec<(String, f64)>,
+}
+
+/// Figure 5: bandwidth writing 16 MB in various block sizes, for
+/// Unix (local), Parrot (local), Parrot+CFS (1 GbE), Unix+NFS (1 GbE).
+pub fn fig5_bandwidth(m: &CostModel, blocks: &[u64]) -> Vec<BandwidthRow> {
+    blocks
+        .iter()
+        .map(|&block| {
+            let unix = block as f64 / m.unix_syscall(block);
+            let parrot = block as f64 / m.trapped_syscall(block);
+            let cfs = block as f64 / (m.trapped_syscall(block) + m.chirp_rpc(block));
+            let nfs = block as f64 / (m.unix_syscall(block) + m.nfs_transfer_time(block));
+            BandwidthRow {
+                block,
+                systems: vec![
+                    ("unix".into(), unix),
+                    ("parrot".into(), parrot),
+                    ("parrot+cfs".into(), cfs),
+                    ("unix+nfs".into(), nfs),
+                ],
+            }
+        })
+        .collect()
+}
+
+/// The standard block-size sweep for Figure 5: powers of two from 1 B
+/// to 1 MB.
+pub fn fig5_blocks() -> Vec<u64> {
+    (0..=20).map(|i| 1u64 << i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> CostModel {
+        CostModel::default()
+    }
+
+    fn sys(row: &LatencyRow, name: &str) -> f64 {
+        row.systems
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("{name} missing in {row:?}"))
+    }
+
+    #[test]
+    fn fig3_parrot_slows_metadata_calls_by_an_order_of_magnitude() {
+        for row in fig3_syscall_latency(&m()) {
+            let ratio = sys(&row, "parrot") / sys(&row, "unix");
+            assert!(ratio > 2.0, "{}: ratio {ratio:.1}", row.call);
+            if row.call == "stat" || row.call == "getpid" {
+                assert!(ratio > 5.0, "{}: ratio {ratio:.1}", row.call);
+            }
+        }
+    }
+
+    #[test]
+    fn fig4_cfs_beats_nfs_on_metadata_latency() {
+        let rows = fig4_io_latency(&m());
+        for call in ["stat", "open/close"] {
+            let row = rows.iter().find(|r| r.call == call).unwrap();
+            assert!(
+                sys(row, "parrot+cfs") < sys(row, "unix+nfs"),
+                "{call}: CFS must be lower latency (no inode lookups)"
+            );
+        }
+    }
+
+    #[test]
+    fn fig4_dsfs_doubles_metadata_but_matches_data_ops() {
+        let rows = fig4_io_latency(&m());
+        let stat = rows.iter().find(|r| r.call == "stat").unwrap();
+        let ratio = sys(stat, "parrot+dsfs") / sys(stat, "parrot+cfs");
+        assert!(
+            (1.6..2.4).contains(&ratio),
+            "stub lookup doubles stat: {ratio:.2}"
+        );
+        let read = rows.iter().find(|r| r.call == "read 8kb").unwrap();
+        assert_eq!(sys(read, "parrot+dsfs"), sys(read, "parrot+cfs"));
+    }
+
+    #[test]
+    fn fig4_network_dominates_trap_overhead() {
+        // Every networked latency exceeds the whole Parrot trap cost
+        // by an order of magnitude.
+        let trap = m().trapped_syscall(0);
+        for row in fig4_io_latency(&m()) {
+            for (name, v) in &row.systems {
+                assert!(*v > 5.0 * trap, "{} {name}: {v}", row.call);
+            }
+        }
+    }
+
+    #[test]
+    fn fig5_plateaus_match_the_paper() {
+        let rows = fig5_bandwidth(&m(), &[1 << 20]);
+        let at = |name: &str| {
+            rows[0]
+                .systems
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap()
+                .1
+                / 1e6
+        };
+        assert!((700.0..800.0).contains(&at("unix")), "unix {:.0}", at("unix"));
+        assert!((380.0..440.0).contains(&at("parrot")), "parrot {:.0}", at("parrot"));
+        assert!((60.0..104.0).contains(&at("parrot+cfs")), "cfs {:.0}", at("parrot+cfs"));
+        assert!((6.0..15.0).contains(&at("unix+nfs")), "nfs {:.0}", at("unix+nfs"));
+    }
+
+    #[test]
+    fn fig5_ordering_holds_at_every_block_size_above_4k() {
+        for row in fig5_bandwidth(&m(), &fig5_blocks()) {
+            if row.block < 4096 {
+                continue;
+            }
+            let v: Vec<f64> = row.systems.iter().map(|(_, v)| *v).collect();
+            // unix > parrot > cfs > nfs
+            assert!(v[0] > v[1] && v[1] > v[2] && v[2] > v[3], "{row:?}");
+        }
+    }
+
+    #[test]
+    fn fig5_small_blocks_are_syscall_bound_everywhere() {
+        let rows = fig5_bandwidth(&m(), &[1]);
+        for (name, v) in &rows[0].systems {
+            assert!(*v < 2e6, "{name} at 1-byte blocks: {v}");
+        }
+    }
+}

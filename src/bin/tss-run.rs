@@ -1,0 +1,152 @@
+//! `tss-run` — run an unmodified program against tactical storage.
+//!
+//! The §8 deployment pattern as a tool: a job lands on a grid node
+//! carrying only this wrapper and a credential. The wrapper *stages
+//! in* files from the TSS namespace to a scratch directory, runs the
+//! real program there, and *stages out* its products — so even
+//! programs that cannot be run through an adapter (static binaries,
+//! scripts invoking other tools) reach their home storage.
+//!
+//! ```text
+//! tss-run [--ticket M:S:SECRET] \
+//!     --in  /cfs/host:9094/sp5/etc/run.conf=run.conf \
+//!     --in  /cfs/host:9094/data/events.in=events.in \
+//!     --out events.out=/cfs/host:9094/data/events.out \
+//!     -- ./simulate --config run.conf
+//! ```
+//!
+//! Namespace paths accept everything the adapter serves: `/cfs/...`,
+//! `/local/...`, and anything a mountlist (`--mountlist FILE`) maps.
+
+use std::process::Command;
+
+use tss::chirp_client::AuthMethod;
+use tss::core::adapter::{Adapter, AdapterConfig, Namespace};
+
+struct Stage {
+    from: String,
+    to: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tss-run [options] -- COMMAND [ARGS...]\n\
+         \x20 --in  NAMESPACE=LOCAL    stage a file in before running (repeatable)\n\
+         \x20 --out LOCAL=NAMESPACE    stage a file out after success (repeatable)\n\
+         \x20 --ticket M:SUBJECT:SECRET  credential offered to every server\n\
+         \x20 --mountlist FILE         private namespace mapping\n\
+         \x20 --scratch DIR            working directory (default: a temp dir)"
+    );
+    std::process::exit(2);
+}
+
+fn split_spec(spec: &str) -> (String, String) {
+    match spec.split_once('=') {
+        Some((a, b)) => (a.to_string(), b.to_string()),
+        None => usage(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = AdapterConfig::default();
+    let mut stage_in: Vec<Stage> = Vec::new();
+    let mut stage_out: Vec<Stage> = Vec::new();
+    let mut mountlist: Option<String> = None;
+    let mut scratch: Option<String> = None;
+    let mut command: Vec<String> = Vec::new();
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--" => {
+                command.extend(it.by_ref());
+                break;
+            }
+            "--in" => {
+                let (from, to) = split_spec(&it.next().unwrap_or_else(|| usage()));
+                stage_in.push(Stage { from, to });
+            }
+            "--out" => {
+                let (from, to) = split_spec(&it.next().unwrap_or_else(|| usage()));
+                stage_out.push(Stage { from, to });
+            }
+            "--ticket" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                let mut parts = spec.splitn(3, ':');
+                let (Some(m), Some(s), Some(secret)) = (parts.next(), parts.next(), parts.next())
+                else {
+                    usage()
+                };
+                config.auth.insert(0, AuthMethod::ticket(m, s, secret));
+            }
+            "--mountlist" => mountlist = it.next(),
+            "--scratch" => scratch = it.next(),
+            _ => usage(),
+        }
+    }
+    if command.is_empty() {
+        usage();
+    }
+
+    if let Err(e) = run(config, mountlist, scratch, &stage_in, &stage_out, &command) {
+        eprintln!("tss-run: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(
+    config: AdapterConfig,
+    mountlist: Option<String>,
+    scratch: Option<String>,
+    stage_in: &[Stage],
+    stage_out: &[Stage],
+    command: &[String],
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut adapter = Adapter::new(config)?;
+    if let Some(file) = mountlist {
+        let text = std::fs::read_to_string(&file)?;
+        adapter.set_namespace(Namespace::parse_mountlist(&text)?);
+    }
+    // Scratch directory: explicit, or a fresh temp dir.
+    let scratch = match scratch {
+        Some(dir) => {
+            std::fs::create_dir_all(&dir)?;
+            std::path::PathBuf::from(dir)
+        }
+        None => {
+            let dir = std::env::temp_dir().join(format!("tss-run-{}", std::process::id()));
+            std::fs::create_dir_all(&dir)?;
+            dir
+        }
+    };
+
+    // Stage in.
+    for s in stage_in {
+        let data = adapter.read_file(&s.from)?;
+        let local = scratch.join(&s.to);
+        if let Some(parent) = local.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(&local, &data)?;
+        eprintln!("tss-run: staged in {} -> {} ({} bytes)", s.from, s.to, data.len());
+    }
+
+    // Run the unmodified program in the scratch directory.
+    let status = Command::new(&command[0])
+        .args(&command[1..])
+        .current_dir(&scratch)
+        .status()?;
+    if !status.success() {
+        return Err(format!("command failed with {status}").into());
+    }
+
+    // Stage out only after success, so a failed job never clobbers
+    // home storage with partial products.
+    for s in stage_out {
+        let data = std::fs::read(scratch.join(&s.from))?;
+        adapter.write_file(&s.to, &data)?;
+        eprintln!("tss-run: staged out {} -> {} ({} bytes)", s.from, s.to, data.len());
+    }
+    Ok(())
+}

@@ -1,0 +1,203 @@
+//! `tss-shell` — an interactive shell over the adapter's namespace.
+//!
+//! The adapter gives unmodified applications one directory tree over
+//! every reachable abstraction; this shell is the smallest such
+//! application. Paths resolve exactly as they would for an adapted
+//! program: `/cfs/host:port/...` reaches any file server, `/local/...`
+//! the host filesystem, and `mount` builds a private namespace the way
+//! a mountlist would.
+//!
+//! ```text
+//! $ tss-shell [--ticket M:S:SECRET] [--sync]
+//! tss> mount /data /cfs/127.0.0.1:9094/experiment
+//! tss> cd /data
+//! tss> put /local/tmp/results.csv results.csv
+//! tss> ls -l
+//! tss> cat results.csv
+//! ```
+//!
+//! Commands: mount, cd, pwd, ls [-l], cat, put SRC DST, cp SRC DST,
+//! write PATH TEXT, mkdir, rm, rmdir, mv, stat, help, exit.
+
+use std::io::{BufRead, Write};
+
+use tss::chirp_client::AuthMethod;
+use tss::chirp_proto::OpenFlags;
+use tss::core::adapter::{Adapter, AdapterConfig};
+use tss::core::fs::normalize_path;
+
+struct Shell {
+    adapter: Adapter,
+    cwd: String,
+}
+
+impl Shell {
+    fn resolve(&self, path: &str) -> String {
+        if path.starts_with('/') {
+            normalize_path(path)
+        } else if self.cwd == "/" {
+            normalize_path(&format!("/{path}"))
+        } else {
+            normalize_path(&format!("{}/{path}", self.cwd))
+        }
+    }
+
+    fn run(&mut self, line: &str) -> Result<bool, Box<dyn std::error::Error>> {
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let (Some(&cmd), args) = (words.first(), &words[1.min(words.len())..]) else {
+            return Ok(true);
+        };
+        let arg = |i: usize| -> Result<&str, Box<dyn std::error::Error>> {
+            args.get(i).copied().ok_or_else(|| "missing argument".into())
+        };
+        match cmd {
+            "exit" | "quit" => return Ok(false),
+            "help" => println!(
+                "commands: mount LOGICAL TARGET | cd PATH | pwd | ls [-l] [PATH] |\n\
+                 cat PATH | put SRC DST | cp SRC DST | write PATH TEXT... |\n\
+                 mkdir PATH | rm PATH | rmdir PATH | mv FROM TO | stat PATH | exit"
+            ),
+            "mount" => {
+                let mut ns = self.adapter.namespace().clone();
+                ns.mount(arg(0)?, arg(1)?);
+                self.adapter.set_namespace(ns);
+                println!("mounted {} -> {}", arg(0)?, arg(1)?);
+            }
+            "pwd" => println!("{}", self.cwd),
+            "cd" => {
+                let target = self.resolve(arg(0)?);
+                self.cwd = target;
+            }
+            "ls" => {
+                let (long, path) = match args.first().copied() {
+                    Some("-l") => (true, args.get(1).copied().unwrap_or(".")),
+                    Some(p) => (false, p),
+                    None => (false, "."),
+                };
+                let full = self.resolve(path);
+                let names = self.adapter.readdir(&full)?;
+                for name in names {
+                    if long {
+                        let child = self.resolve(&format!("{full}/{name}"));
+                        match self.adapter.stat(&child) {
+                            Ok(st) => {
+                                let kind = if st.is_dir() { 'd' } else { '-' };
+                                println!("{kind} {:>12} {name}", st.size);
+                            }
+                            Err(_) => println!("? {:>12} {name}", "-"),
+                        }
+                    } else {
+                        println!("{name}");
+                    }
+                }
+            }
+            "cat" => {
+                let data = self.adapter.read_file(&self.resolve(arg(0)?))?;
+                std::io::stdout().write_all(&data)?;
+                if !data.ends_with(b"\n") {
+                    println!();
+                }
+            }
+            "put" => {
+                // Local file into the namespace.
+                let data = std::fs::read(arg(0)?)?;
+                self.adapter.write_file(&self.resolve(arg(1)?), &data)?;
+                println!("{} bytes", data.len());
+            }
+            "cp" => {
+                // Namespace-to-namespace copy, possibly across
+                // abstractions — the shell's whole point.
+                let data = self.adapter.read_file(&self.resolve(arg(0)?))?;
+                self.adapter.write_file(&self.resolve(arg(1)?), &data)?;
+                println!("{} bytes", data.len());
+            }
+            "write" => {
+                let text = args[1..].join(" ");
+                self.adapter
+                    .write_file(&self.resolve(arg(0)?), text.as_bytes())?;
+            }
+            "mkdir" => self.adapter.mkdir(&self.resolve(arg(0)?), 0o755)?,
+            "rm" => self.adapter.unlink(&self.resolve(arg(0)?))?,
+            "rmdir" => self.adapter.rmdir(&self.resolve(arg(0)?))?,
+            "mv" => self
+                .adapter
+                .rename(&self.resolve(arg(0)?), &self.resolve(arg(1)?))?,
+            "stat" => {
+                let st = self.adapter.stat(&self.resolve(arg(0)?))?;
+                println!(
+                    "type {:?} size {} inode {} mtime {}",
+                    st.file_type, st.size, st.inode, st.mtime
+                );
+            }
+            "open-sync-test" => {
+                // Hidden helper used by the test suite: open with
+                // O_SYNC explicitly and write a marker.
+                let mut f = self.adapter.open(
+                    &self.resolve(arg(0)?),
+                    OpenFlags::WRITE | OpenFlags::CREATE | OpenFlags::SYNC,
+                    0o644,
+                )?;
+                use std::io::Write as _;
+                f.write_all(b"sync")?;
+            }
+            _ => println!("unknown command {cmd:?} (try help)"),
+        }
+        Ok(true)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = AdapterConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sync" => config.sync_writes = true,
+            "--ticket" => {
+                let Some(spec) = it.next() else {
+                    eprintln!("--ticket needs M:SUBJECT:SECRET");
+                    std::process::exit(2);
+                };
+                let mut parts = spec.splitn(3, ':');
+                if let (Some(m), Some(s), Some(secret)) = (parts.next(), parts.next(), parts.next())
+                {
+                    config.auth.insert(0, AuthMethod::ticket(m, s, secret));
+                }
+            }
+            other => {
+                eprintln!("unknown option {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let adapter = match Adapter::new(config) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("tss-shell: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut shell = Shell {
+        adapter,
+        cwd: "/".to_string(),
+    };
+    let interactive = std::env::var("TSS_SHELL_BATCH").is_err();
+    let stdin = std::io::stdin();
+    loop {
+        if interactive {
+            print!("tss> ");
+            let _ = std::io::stdout().flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        match shell.run(line.trim()) {
+            Ok(true) => {}
+            Ok(false) => break,
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Tactical Storage System — umbrella crate.
+//!
+//! Re-exports every component crate so examples and downstream users
+//! can depend on `tss` alone. See the README for the architecture and
+//! DESIGN.md for the paper-to-module map.
+//!
+//! The two-layer pattern in one breath — deploy a resource, build an
+//! abstraction on it:
+//!
+//! ```
+//! use tss::chirp_client::AuthMethod;
+//! use tss::chirp_server::{acl::Acl, FileServer, ServerConfig};
+//! use tss::core::{fs::FileSystem, Cfs};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let export = std::env::temp_dir().join(format!("tss-doc-{}", std::process::id()));
+//! // Resource layer: an ordinary user deploys a file server.
+//! let server = FileServer::start(
+//!     ServerConfig::localhost(&export, "me")
+//!         .with_root_acl(Acl::single("hostname:*", "rwl").unwrap()),
+//! )?;
+//! // Abstraction layer: a central filesystem over it.
+//! let fs = Cfs::connect(&server.endpoint(), vec![AuthMethod::Hostname]);
+//! fs.write_file("/hello.txt", b"tactical storage")?;
+//! assert_eq!(fs.read_file("/hello.txt")?, b"tactical storage");
+//! # drop(server);
+//! # std::fs::remove_dir_all(&export)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use catalog;
+pub use chirp_client;
+pub use chirp_proto;
+pub use chirp_server;
+pub use gems;
+pub use nfs_sim;
+pub use simnet;
+pub use tss_core as core;

@@ -1,0 +1,331 @@
+//! Workspace-level integration tests spanning every crate: catalogs,
+//! file servers, abstractions, adapter, and GEMS working together.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tss::catalog::{query, CatalogConfig, CatalogServer};
+use tss::chirp_client::AuthMethod;
+use tss::chirp_proto::testutil::TempDir;
+use tss::chirp_proto::OpenFlags;
+use tss::chirp_server::acl::Acl;
+use tss::chirp_server::{FileServer, ServerConfig};
+use tss::core::adapter::{Adapter, AdapterConfig, Namespace};
+use tss::core::stubfs::DataServer;
+use tss::core::{Cfs, Dsfs};
+use tss_core::fs::FileSystem;
+
+const TIMEOUT: Duration = Duration::from_secs(5);
+
+fn auth() -> Vec<AuthMethod> {
+    vec![AuthMethod::Hostname]
+}
+
+fn open_server_with_catalog(
+    root: &std::path::Path,
+    catalog: Option<&CatalogServer>,
+) -> FileServer {
+    let mut cfg = ServerConfig::localhost(root, "integration")
+        .with_root_acl(Acl::single("hostname:*", "rwlda").unwrap());
+    if let Some(cat) = catalog {
+        cfg = cfg.with_catalog(cat.udp_addr(), Duration::from_millis(50));
+    }
+    FileServer::start(cfg).unwrap()
+}
+
+#[test]
+fn discover_servers_then_build_an_abstraction_on_them() {
+    // The full tactical loop: servers report to a catalog; a user
+    // discovers them at runtime and assembles a DSFS from whatever is
+    // available — no administrator anywhere.
+    let catalog = CatalogServer::start(CatalogConfig::localhost(Duration::from_secs(30))).unwrap();
+    let dirs: Vec<TempDir> = (0..3).map(|_| TempDir::new()).collect();
+    let _servers: Vec<FileServer> = dirs
+        .iter()
+        .map(|d| open_server_with_catalog(d.path(), Some(&catalog)))
+        .collect();
+
+    // Wait for the first reports.
+    let mut listing = Vec::new();
+    for _ in 0..100 {
+        listing = query(catalog.tcp_addr(), TIMEOUT).unwrap();
+        if listing.len() == 3 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(listing.len(), 3, "all servers discovered");
+
+    // Use the catalogued addresses, never the originals: the catalog
+    // is the only source of knowledge here. Pool selection goes
+    // through the discovery policy machinery.
+    let dir_endpoint = listing[0].address.clone();
+    let policy = tss::core::PoolPolicy {
+        min_free: 1,
+        ..Default::default()
+    };
+    let pool: Vec<DataServer> = tss::core::discovery::select(&listing[1..], &policy)
+        .into_iter()
+        .map(|r| DataServer::new(&r.address, "/data", auth()))
+        .collect();
+    assert_eq!(pool.len(), 2);
+    let fs = Dsfs::format(&dir_endpoint, "/tree", auth(), pool).unwrap();
+    fs.write_file("/hello", b"from discovered storage").unwrap();
+    assert_eq!(fs.read_file("/hello").unwrap(), b"from discovered storage");
+
+    // The catalog also reflects the space just consumed, eventually.
+    for _ in 0..100 {
+        let l = query(catalog.tcp_addr(), TIMEOUT).unwrap();
+        if l.iter().any(|r| r.free < r.total) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("no report ever showed consumed space");
+}
+
+#[test]
+fn one_server_serves_multiple_abstractions_at_once() {
+    // Recursive abstraction: a single file server simultaneously backs
+    // a plain CFS for one user and the directory tree of a DSFS for
+    // another, each confined to its own subtree.
+    let host = TempDir::new();
+    let data_host = TempDir::new();
+    let server = open_server_with_catalog(host.path(), None);
+    let data_server = open_server_with_catalog(data_host.path(), None);
+
+    let cfs = Cfs::new(
+        tss::core::cfs::CfsConfig::new(&server.endpoint(), auth()).with_base("/cfs-area"),
+    );
+    let root = Cfs::connect(&server.endpoint(), auth());
+    root.mkdir("/cfs-area", 0o755).unwrap();
+    cfs.write_file("/report.txt", b"plain cfs data").unwrap();
+
+    let pool = vec![DataServer::new(&data_server.endpoint(), "/vol", auth())];
+    let dsfs = Dsfs::format(&server.endpoint(), "/dsfs-tree", auth(), pool).unwrap();
+    dsfs.write_file("/shared.txt", b"dsfs data").unwrap();
+
+    // Both coexist on the same resource; neither sees the other's
+    // namespace through its own mount.
+    assert_eq!(cfs.read_file("/report.txt").unwrap(), b"plain cfs data");
+    assert_eq!(dsfs.read_file("/shared.txt").unwrap(), b"dsfs data");
+    assert!(cfs.read_file("/shared.txt").is_err());
+    // The owner sees both, stored without transformation.
+    assert!(host.path().join("cfs-area/report.txt").exists());
+    assert!(host.path().join("dsfs-tree/shared.txt").exists());
+}
+
+#[test]
+fn adapter_routes_one_namespace_over_many_abstractions() {
+    let cfs_host = TempDir::new();
+    let meta_host = TempDir::new();
+    let data_host = TempDir::new();
+    let cfs_server = open_server_with_catalog(cfs_host.path(), None);
+    let dir_server = open_server_with_catalog(meta_host.path(), None);
+    let data_server = open_server_with_catalog(data_host.path(), None);
+
+    let pool = vec![DataServer::new(&data_server.endpoint(), "/vol", auth())];
+    let dsfs: Arc<dyn FileSystem> =
+        Arc::new(Dsfs::format(&dir_server.endpoint(), "/tree", auth(), pool).unwrap());
+
+    let mut adapter = Adapter::new(AdapterConfig::default()).unwrap();
+    adapter.register("/dsfs/archive", dsfs);
+    let mountlist = format!(
+        "/usr/local   /cfs/{}/software\n\
+         /data        /dsfs/archive/data\n",
+        cfs_server.endpoint()
+    );
+    adapter.set_namespace(Namespace::parse_mountlist(&mountlist).unwrap());
+
+    // Prime both backends through the adapter itself.
+    adapter.mkdir(&format!("/cfs/{}/software", cfs_server.endpoint()), 0o755).unwrap();
+    adapter.mkdir("/dsfs/archive/data", 0o755).unwrap();
+    adapter.write_file("/usr/local/tool.sh", b"#!/bin/sh\n").unwrap();
+    adapter.write_file("/data/results.bin", b"\x01\x02\x03").unwrap();
+
+    // Logical paths reach the right physical systems.
+    assert!(cfs_host.path().join("software/tool.sh").exists());
+    assert!(meta_host.path().join("tree/data/results.bin").exists(), "stub in tree");
+    assert_eq!(adapter.read_file("/usr/local/tool.sh").unwrap(), b"#!/bin/sh\n");
+    assert_eq!(adapter.read_file("/data/results.bin").unwrap(), b"\x01\x02\x03");
+    assert_eq!(adapter.readdir("/data").unwrap(), vec!["results.bin"]);
+    assert_eq!(adapter.stat("/data/results.bin").unwrap().size, 3);
+}
+
+#[test]
+fn sync_writes_switch_applies_o_sync_transparently() {
+    let host = TempDir::new();
+    let server = open_server_with_catalog(host.path(), None);
+    let config = AdapterConfig {
+        sync_writes: true,
+        ..AdapterConfig::default()
+    };
+    let adapter = Adapter::new(config).unwrap();
+    let path = format!("/cfs/{}/durable.txt", server.endpoint());
+    let mut f = adapter
+        .open(&path, OpenFlags::WRITE | OpenFlags::CREATE, 0o644)
+        .unwrap();
+    use std::io::Write;
+    f.write_all(b"synchronously written").unwrap();
+    drop(f);
+    assert_eq!(
+        adapter.read_file(&path).unwrap(),
+        b"synchronously written"
+    );
+}
+
+#[test]
+fn gems_can_run_on_catalog_discovered_storage() {
+    let catalog = CatalogServer::start(CatalogConfig::localhost(Duration::from_secs(30))).unwrap();
+    let dirs: Vec<TempDir> = (0..3).map(|_| TempDir::new()).collect();
+    let _servers: Vec<FileServer> = dirs
+        .iter()
+        .map(|d| open_server_with_catalog(d.path(), Some(&catalog)))
+        .collect();
+    let mut listing = Vec::new();
+    for _ in 0..100 {
+        listing = query(catalog.tcp_addr(), TIMEOUT).unwrap();
+        if listing.len() == 3 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let pool: Vec<DataServer> = listing
+        .iter()
+        .map(|r| DataServer::new(&r.address, "/gems", auth()))
+        .collect();
+    let db = tss::gems::DbServer::start_ephemeral().unwrap();
+    let mut config = tss::gems::GemsConfig::new(db.addr(), pool);
+    config.default_target = 2;
+    let g = tss::gems::Gems::connect(config).unwrap();
+    g.ingest("discovered", &[("via", "catalog")], b"data").unwrap();
+    let (_, repair) = g.maintain().unwrap();
+    assert_eq!(repair.copied, 1);
+    assert_eq!(g.fetch("discovered").unwrap(), b"data");
+}
+
+#[test]
+fn whole_stack_survives_a_server_restart() {
+    // CFS through the adapter keeps working across a full server
+    // restart on the same port and root (the tactical pattern: a
+    // borrowed machine reboots, the abstraction reconnects).
+    let host = TempDir::new();
+    let server = open_server_with_catalog(host.path(), None);
+    let addr = server.addr();
+    let config = AdapterConfig {
+        retry: tss::core::cfs::RetryPolicy {
+            max_retries: 20,
+            initial_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_millis(200),
+        },
+        timeout: Duration::from_secs(2),
+        ..AdapterConfig::default()
+    };
+    let adapter = Adapter::new(config).unwrap();
+    let path = format!("/cfs/{addr}/persistent.txt");
+    adapter.write_file(&path, b"before restart").unwrap();
+
+    drop(server);
+    // Rebind the same port; a short retry loop covers TIME_WAIT.
+    let server2 = {
+        let mut attempt = 0;
+        loop {
+            let mut cfg = ServerConfig::localhost(host.path(), "integration")
+                .with_root_acl(Acl::single("hostname:*", "rwlda").unwrap());
+            cfg.bind = addr;
+            match FileServer::start(cfg) {
+                Ok(s) => break s,
+                Err(_) if attempt < 50 => {
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                Err(e) => panic!("could not rebind {addr}: {e}"),
+            }
+        }
+    };
+    assert_eq!(server2.addr(), addr);
+    assert_eq!(adapter.read_file(&path).unwrap(), b"before restart");
+    adapter.write_file(&path, b"after restart").unwrap();
+    assert_eq!(adapter.read_file(&path).unwrap(), b"after restart");
+}
+
+#[test]
+fn mount_dsfs_convention_serves_the_paper_namespace() {
+    let meta_host = TempDir::new();
+    let data_host = TempDir::new();
+    let dir_server = open_server_with_catalog(meta_host.path(), None);
+    let data_server = open_server_with_catalog(data_host.path(), None);
+
+    // Format the filesystem, then mount it by convention.
+    let pool = vec![DataServer::new(&data_server.endpoint(), "/vol", auth())];
+    Dsfs::format(&dir_server.endpoint(), "/run5", auth(), pool.clone()).unwrap();
+
+    let mut adapter = Adapter::new(AdapterConfig::default()).unwrap();
+    let mount_root = adapter
+        .mount_dsfs(&dir_server.endpoint(), "/run5", pool)
+        .unwrap();
+    assert_eq!(
+        mount_root,
+        format!("/dsfs/{}@run5", dir_server.endpoint()),
+        "the paper's /dsfs/<host>@<volume> convention"
+    );
+    // And the mountlist form from §6 composes on top.
+    let mountlist = format!("/data {mount_root}/data\n");
+    adapter.set_namespace(Namespace::parse_mountlist(&mountlist).unwrap());
+    adapter.mkdir("/data", 0o755).unwrap();
+    adapter.write_file("/data/events.db", b"indexed").unwrap();
+    assert_eq!(adapter.read_file("/data/events.db").unwrap(), b"indexed");
+    assert!(meta_host.path().join("run5/data/events.db").exists());
+}
+
+#[test]
+fn extension_abstractions_compose_with_the_adapter() {
+    // StripedFs and MirroredFs are FileSystems like any other, so the
+    // adapter serves them under the one namespace — recursion all the
+    // way up.
+    let meta1 = TempDir::new();
+    let meta2 = TempDir::new();
+    let hosts: Vec<TempDir> = (0..3).map(|_| TempDir::new()).collect();
+    let servers: Vec<FileServer> = hosts
+        .iter()
+        .map(|d| open_server_with_catalog(d.path(), None))
+        .collect();
+    let pool: Vec<DataServer> = servers
+        .iter()
+        .map(|s| DataServer::new(&s.endpoint(), "/vol", auth()))
+        .collect();
+
+    let striped = tss::core::StripedFs::new(
+        Arc::new(tss::core::LocalFs::new(meta1.path()).unwrap()),
+        pool.clone(),
+        3,
+        64 * 1024,
+        tss::core::stubfs::StubFsOptions::default(),
+    )
+    .unwrap();
+    striped.ensure_volumes().unwrap();
+    let mirrored = tss::core::MirroredFs::new(
+        Arc::new(tss::core::LocalFs::new(meta2.path()).unwrap()),
+        pool,
+        2,
+        tss::core::stubfs::StubFsOptions::default(),
+    )
+    .unwrap();
+
+    let adapter = Adapter::new(AdapterConfig::default()).unwrap();
+    adapter.register("/fast", Arc::new(striped));
+    adapter.register("/safe", Arc::new(mirrored));
+
+    let big: Vec<u8> = (0..300_000u32).map(|i| (i % 251) as u8).collect();
+    adapter.write_file("/fast/dataset.bin", &big).unwrap();
+    assert_eq!(adapter.read_file("/fast/dataset.bin").unwrap(), big);
+    adapter.write_file("/safe/precious.txt", b"replicated").unwrap();
+    assert_eq!(adapter.read_file("/safe/precious.txt").unwrap(), b"replicated");
+    // Cross-abstraction copy through one namespace.
+    let data = adapter.read_file("/fast/dataset.bin").unwrap();
+    adapter.write_file("/safe/dataset-copy.bin", &data).unwrap();
+    assert_eq!(
+        adapter.stat("/safe/dataset-copy.bin").unwrap().size,
+        big.len() as u64
+    );
+}

@@ -1,0 +1,114 @@
+//! The `tss-run` stage-in/run/stage-out wrapper as a subprocess: a
+//! shell script standing in for an unmodified scientific binary.
+
+use std::process::Command;
+
+use tss::chirp_proto::testutil::TempDir;
+use tss::chirp_server::acl::Acl;
+use tss::chirp_server::{FileServer, ServerConfig};
+
+fn open_server(root: &std::path::Path) -> FileServer {
+    FileServer::start(
+        ServerConfig::localhost(root, "run-test")
+            .with_root_acl(Acl::single("hostname:*", "rwlda").unwrap()),
+    )
+    .unwrap()
+}
+
+#[test]
+fn stage_in_run_stage_out() {
+    let home = TempDir::new();
+    std::fs::create_dir_all(home.path().join("job")).unwrap();
+    std::fs::write(home.path().join("job/input.txt"), b"7 plus 5").unwrap();
+    let server = open_server(home.path());
+    let ep = server.endpoint();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_tss-run"))
+        .args([
+            "--in",
+            &format!("/cfs/{ep}/job/input.txt=input.txt"),
+            "--out",
+            &format!("result.txt=/cfs/{ep}/job/result.txt"),
+            "--",
+            "/bin/sh",
+            "-c",
+            "tr 'a-z' 'A-Z' < input.txt > result.txt",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The product landed back on home storage.
+    assert_eq!(
+        std::fs::read(home.path().join("job/result.txt")).unwrap(),
+        b"7 PLUS 5"
+    );
+}
+
+#[test]
+fn failed_jobs_do_not_stage_out() {
+    let home = TempDir::new();
+    std::fs::create_dir_all(home.path().join("job")).unwrap();
+    std::fs::write(home.path().join("job/input.txt"), b"data").unwrap();
+    let server = open_server(home.path());
+    let ep = server.endpoint();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_tss-run"))
+        .args([
+            "--in",
+            &format!("/cfs/{ep}/job/input.txt=input.txt"),
+            "--out",
+            &format!("partial.txt=/cfs/{ep}/job/partial.txt"),
+            "--",
+            "/bin/sh",
+            "-c",
+            "echo halfway > partial.txt; exit 3",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        !home.path().join("job/partial.txt").exists(),
+        "failed job must not clobber home storage"
+    );
+}
+
+#[test]
+fn mountlist_gives_the_job_its_expected_paths() {
+    let home = TempDir::new();
+    std::fs::create_dir_all(home.path().join("sw")).unwrap();
+    std::fs::write(home.path().join("sw/config"), b"threads=4").unwrap();
+    let server = open_server(home.path());
+    let ep = server.endpoint();
+    let work = TempDir::new();
+    let mountlist = work.path().join("mounts");
+    std::fs::write(&mountlist, format!("/apps /cfs/{ep}/sw\n")).unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_tss-run"))
+        .args([
+            "--mountlist",
+            mountlist.to_str().unwrap(),
+            "--in",
+            "/apps/config=config",
+            "--out",
+            &format!("seen=/cfs/{ep}/sw/seen"),
+            "--",
+            "/bin/sh",
+            "-c",
+            "cp config seen",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read(home.path().join("sw/seen")).unwrap(),
+        b"threads=4"
+    );
+}

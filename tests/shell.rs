@@ -1,0 +1,122 @@
+//! The `tss-shell` binary driven as a subprocess: scripted sessions
+//! against live file servers, including a cross-abstraction copy.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+use tss::chirp_proto::testutil::TempDir;
+use tss::chirp_server::acl::Acl;
+use tss::chirp_server::{FileServer, ServerConfig};
+
+fn open_server(root: &std::path::Path) -> FileServer {
+    FileServer::start(
+        ServerConfig::localhost(root, "shell-test")
+            .with_root_acl(Acl::single("hostname:*", "rwlda").unwrap()),
+    )
+    .unwrap()
+}
+
+/// Run a scripted shell session; returns (stdout, stderr).
+fn shell_session(script: &str) -> (String, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_tss-shell"))
+        .env("TSS_SHELL_BATCH", "1")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn tss-shell");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn scripted_session_against_a_live_server() {
+    let host = TempDir::new();
+    let server = open_server(host.path());
+    let ep = server.endpoint();
+    let script = format!(
+        "mount /data /cfs/{ep}/experiment\n\
+         mkdir /cfs/{ep}/experiment\n\
+         cd /data\n\
+         pwd\n\
+         write notes.txt tactical storage\n\
+         ls\n\
+         cat notes.txt\n\
+         stat notes.txt\n\
+         mv notes.txt final.txt\n\
+         ls -l\n\
+         exit\n"
+    );
+    let (out, err) = shell_session(&script);
+    assert!(err.is_empty(), "stderr: {err}");
+    assert!(out.contains("mounted /data"), "{out}");
+    assert!(out.contains("/data\n"), "pwd output: {out}");
+    assert!(out.contains("notes.txt"), "{out}");
+    assert!(out.contains("tactical storage"), "{out}");
+    assert!(out.contains("size 16"), "{out}");
+    assert!(out.contains("final.txt"), "{out}");
+    // The data really landed on the server, untranslated.
+    assert_eq!(
+        std::fs::read(host.path().join("experiment/final.txt")).unwrap(),
+        b"tactical storage"
+    );
+}
+
+#[test]
+fn cp_moves_data_between_two_servers() {
+    let host_a = TempDir::new();
+    let host_b = TempDir::new();
+    let a = open_server(host_a.path());
+    let b = open_server(host_b.path());
+    std::fs::write(host_a.path().join("source.bin"), b"between servers").unwrap();
+    let script = format!(
+        "cp /cfs/{}/source.bin /cfs/{}/copied.bin\nexit\n",
+        a.endpoint(),
+        b.endpoint()
+    );
+    let (out, err) = shell_session(&script);
+    assert!(err.is_empty(), "stderr: {err}");
+    assert!(out.contains("15 bytes"), "{out}");
+    assert_eq!(
+        std::fs::read(host_b.path().join("copied.bin")).unwrap(),
+        b"between servers"
+    );
+}
+
+#[test]
+fn errors_are_reported_and_session_continues() {
+    let host = TempDir::new();
+    let server = open_server(host.path());
+    let ep = server.endpoint();
+    let script = format!(
+        "cat /cfs/{ep}/missing.txt\n\
+         write /cfs/{ep}/recovered.txt still here\n\
+         cat /cfs/{ep}/recovered.txt\n\
+         exit\n"
+    );
+    let (out, err) = shell_session(&script);
+    assert!(err.contains("error:"), "{err}");
+    assert!(out.contains("still here"), "session continued: {out}");
+}
+
+#[test]
+fn local_root_is_reachable() {
+    let work = TempDir::new();
+    std::fs::write(work.path().join("host-file"), b"from the host").unwrap();
+    let script = format!(
+        "cat /local{}/host-file\nexit\n",
+        work.path().display()
+    );
+    let (out, err) = shell_session(&script);
+    assert!(err.is_empty(), "stderr: {err}");
+    assert!(out.contains("from the host"), "{out}");
+}
