@@ -43,7 +43,9 @@ fn main() {
 
     // -- 2: recursive stub access, measured -----------------------------
     let f = fixtures();
-    f.cfs.write_file("/stub", b"#tss-stub-v1\nh:1\n/x\n").unwrap();
+    f.cfs
+        .write_file("/stub", b"#tss-stub-v1\nh:1\n/x\n")
+        .unwrap();
     let iters = 1500;
     let single = measure_latency(
         || {
@@ -56,7 +58,10 @@ fn main() {
         || {
             // The naive path: open, fstat, read, close — what the stub
             // read would cost without the whole-file RPC.
-            let mut h = f.cfs.open("/stub", chirp_proto::OpenFlags::READ, 0).unwrap();
+            let mut h = f
+                .cfs
+                .open("/stub", chirp_proto::OpenFlags::READ, 0)
+                .unwrap();
             let size = h.fstat().unwrap().size as usize;
             let mut buf = vec![0u8; size];
             h.pread(&mut buf, 0).unwrap();
@@ -116,7 +121,9 @@ fn main() {
         cfs_a.putfile("/src", 0o644, &payload).unwrap();
         let (third, _) = tss_bench::measure_latency(
             || {
-                cfs_a.thirdput("/src", &b_srv.endpoint(), "/dst-third").unwrap();
+                cfs_a
+                    .thirdput("/src", &b_srv.endpoint(), "/dst-third")
+                    .unwrap();
             },
             2,
             10,
@@ -133,8 +140,14 @@ fn main() {
             "Ablation 3b (measured): replicating 8 MiB between servers, ms",
             &["path", "time"],
             &[
-                vec!["thirdput (server-to-server)".into(), format!("{:.1}", third * 1e3)],
-                vec!["pull+push (via client)".into(), format!("{:.1}", pullpush * 1e3)],
+                vec![
+                    "thirdput (server-to-server)".into(),
+                    format!("{:.1}", third * 1e3),
+                ],
+                vec![
+                    "pull+push (via client)".into(),
+                    format!("{:.1}", pullpush * 1e3),
+                ],
             ],
         );
         println!(
@@ -146,9 +159,7 @@ fn main() {
     // -- 4: access skew vs server scaling --------------------------------
     let rows: Vec<Vec<String>> = access_skew_sweep(&m, 2.0, &[1, 2, 4, 8])
         .into_iter()
-        .map(|(s, uni, zipf)| {
-            vec![s.to_string(), format!("{uni:.0}"), format!("{zipf:.0}")]
-        })
+        .map(|(s, uni, zipf)| vec![s.to_string(), format!("{uni:.0}"), format!("{zipf:.0}")])
         .collect();
     print_table(
         "Ablation 4 (simulated): Figure 6 throughput (MB/s), uniform vs Zipf(2.0) access",

@@ -46,12 +46,20 @@ fn main() {
     let iters = 2000;
     let mut rows = Vec::new();
     {
-        let direct = measure_latency(|| {
-            f.local.stat("/f").unwrap();
-        }, 100, iters);
-        let viaadapter = measure_latency(|| {
-            adapter.stat("/direct/f").unwrap();
-        }, 100, iters);
+        let direct = measure_latency(
+            || {
+                f.local.stat("/f").unwrap();
+            },
+            100,
+            iters,
+        );
+        let viaadapter = measure_latency(
+            || {
+                adapter.stat("/direct/f").unwrap();
+            },
+            100,
+            iters,
+        );
         rows.push(vec![
             "stat".to_string(),
             fmt_us(direct.0),
@@ -60,12 +68,20 @@ fn main() {
         ]);
     }
     {
-        let direct = measure_latency(|| {
-            drop(f.local.open("/f", OpenFlags::READ, 0).unwrap());
-        }, 100, iters);
-        let viaadapter = measure_latency(|| {
-            drop(adapter.open("/direct/f", OpenFlags::READ, 0).unwrap());
-        }, 100, iters);
+        let direct = measure_latency(
+            || {
+                drop(f.local.open("/f", OpenFlags::READ, 0).unwrap());
+            },
+            100,
+            iters,
+        );
+        let viaadapter = measure_latency(
+            || {
+                drop(adapter.open("/direct/f", OpenFlags::READ, 0).unwrap());
+            },
+            100,
+            iters,
+        );
         rows.push(vec![
             "open/close".to_string(),
             fmt_us(direct.0),
@@ -76,13 +92,23 @@ fn main() {
     {
         let mut buf = vec![0u8; 8192];
         let mut hd = f.local.open("/f", OpenFlags::READ, 0).unwrap();
-        let direct = measure_latency(|| {
-            hd.pread(&mut buf, 0).unwrap();
-        }, 100, iters);
-        let mut ha = adapter.open_handle("/direct/f", OpenFlags::READ, 0).unwrap();
-        let viaadapter = measure_latency(|| {
-            ha.pread(&mut buf, 0).unwrap();
-        }, 100, iters);
+        let direct = measure_latency(
+            || {
+                hd.pread(&mut buf, 0).unwrap();
+            },
+            100,
+            iters,
+        );
+        let mut ha = adapter
+            .open_handle("/direct/f", OpenFlags::READ, 0)
+            .unwrap();
+        let viaadapter = measure_latency(
+            || {
+                ha.pread(&mut buf, 0).unwrap();
+            },
+            100,
+            iters,
+        );
         rows.push(vec![
             "read 8kb".to_string(),
             fmt_us(direct.0),

@@ -59,18 +59,26 @@ fn main() {
     // stat
     let mut row = vec!["stat".to_string()];
     for (_, fs) in &systems {
-        let (mean, _) = measure_latency(|| {
-            fs.stat(&path).unwrap();
-        }, 50, iters);
+        let (mean, _) = measure_latency(
+            || {
+                fs.stat(&path).unwrap();
+            },
+            50,
+            iters,
+        );
         row.push(fmt_us(mean));
     }
     rows.push(row);
     // open/close
     let mut row = vec!["open/close".to_string()];
     for (_, fs) in &systems {
-        let (mean, _) = measure_latency(|| {
-            drop(fs.open(&path, OpenFlags::READ, 0).unwrap());
-        }, 50, iters);
+        let (mean, _) = measure_latency(
+            || {
+                drop(fs.open(&path, OpenFlags::READ, 0).unwrap());
+            },
+            50,
+            iters,
+        );
         row.push(fmt_us(mean));
     }
     rows.push(row);
@@ -80,14 +88,22 @@ fn main() {
     let mut row_w = vec!["write 8kb".to_string()];
     for (_, fs) in &systems {
         let mut h = fs.open(&path, OpenFlags::read_write(), 0).unwrap();
-        let (mean_r, _) = measure_latency(|| {
-            h.pread(&mut buf, 0).unwrap();
-        }, 50, iters);
+        let (mean_r, _) = measure_latency(
+            || {
+                h.pread(&mut buf, 0).unwrap();
+            },
+            50,
+            iters,
+        );
         row_r.push(fmt_us(mean_r));
         let data = vec![1u8; 8192];
-        let (mean_w, _) = measure_latency(|| {
-            h.pwrite(&data, 0).unwrap();
-        }, 50, iters);
+        let (mean_w, _) = measure_latency(
+            || {
+                h.pwrite(&data, 0).unwrap();
+            },
+            50,
+            iters,
+        );
         row_w.push(fmt_us(mean_w));
     }
     rows.push(row_r);

@@ -30,5 +30,8 @@ fn main() {
          \x20 300 MB/s switch backplane regardless of further servers."
     );
     let hit = run(&model, ClusterParams::fig6(4, 16)).cache_hit_rate;
-    println!("  cache hit rate at 4 servers: {:.0}% (all data memory-resident)", hit * 100.0);
+    println!(
+        "  cache hit rate at 4 servers: {:.0}% (all data memory-resident)",
+        hit * 100.0
+    );
 }

@@ -68,17 +68,27 @@ fn main() {
         let data: Vec<u8> = (0..file_bytes as u64)
             .map(|j| ((i * 31 + j * 7) % 251) as u8)
             .collect();
-        g.ingest(&format!("dataset/file{i:03}"), &[("project", "fig9")], &data)
-            .unwrap();
+        g.ingest(
+            &format!("dataset/file{i:03}"),
+            &[("project", "fig9")],
+            &data,
+        )
+        .unwrap();
     }
     let stored = |dirs: &Vec<TempDir>| -> u64 {
         dirs.iter()
             .map(|d| chirp_server::handlers::disk_usage(&d.path().join("gems")))
             .sum()
     };
-    println!("  after ingest (1 copy each):   {:>6.1} MB stored", stored(&dirs) as f64 / 1e6);
+    println!(
+        "  after ingest (1 copy each):   {:>6.1} MB stored",
+        stored(&dirs) as f64 / 1e6
+    );
     g.maintain().unwrap();
-    println!("  after replication (target 3): {:>6.1} MB stored", stored(&dirs) as f64 / 1e6);
+    println!(
+        "  after replication (target 3): {:>6.1} MB stored",
+        stored(&dirs) as f64 / 1e6
+    );
 
     for wipe in [1usize, 2, 3] {
         for dir in dirs.iter().take(wipe) {

@@ -81,9 +81,8 @@ pub fn fixtures() -> Fixtures {
     let dir_server = open_server(meta_dir.path());
     let data_server = open_server(data_dir.path());
     let pool = vec![DataServer::new(&data_server.endpoint(), "/vol", auth())];
-    let dsfs = Arc::new(
-        Dsfs::format(&dir_server.endpoint(), "/tree", auth(), pool).expect("format dsfs"),
-    );
+    let dsfs =
+        Arc::new(Dsfs::format(&dir_server.endpoint(), "/tree", auth(), pool).expect("format dsfs"));
 
     Fixtures {
         dirs: vec![local_dir, cfs_dir, nfs_dir, meta_dir, data_dir],
@@ -216,7 +215,8 @@ mod tests {
             ("nfs", f.nfs.clone() as Arc<dyn FileSystem>),
             ("dsfs", f.dsfs.clone() as Arc<dyn FileSystem>),
         ] {
-            fs.write_file("/probe", b"x").unwrap_or_else(|e| panic!("{name}: {e}"));
+            fs.write_file("/probe", b"x")
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
             assert_eq!(fs.read_file("/probe").unwrap(), b"x", "{name}");
         }
     }
@@ -232,7 +232,13 @@ mod tests {
 
     #[test]
     fn latency_measurement_returns_sane_stats() {
-        let (mean, dev) = measure_latency(|| { std::hint::black_box(1 + 1); }, 10, 100);
+        let (mean, dev) = measure_latency(
+            || {
+                std::hint::black_box(1 + 1);
+            },
+            10,
+            100,
+        );
         assert!(mean >= 0.0 && dev >= 0.0);
     }
 }

@@ -47,9 +47,7 @@ fn query_raw(addr: SocketAddr, timeout: Duration, format: &str) -> std::io::Resu
 
 /// Split a text listing (blank-line separated records) into reports.
 pub fn parse_listing(body: &str) -> Vec<ServerReport> {
-    body.split("\n\n")
-        .filter_map(ServerReport::parse)
-        .collect()
+    body.split("\n\n").filter_map(ServerReport::parse).collect()
 }
 
 #[cfg(test)]

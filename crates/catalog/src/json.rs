@@ -105,17 +105,17 @@ mod tests {
 
     #[test]
     fn strings_are_escaped() {
-        assert_eq!(
-            Value::from("a\"b\\c\nd").render(),
-            "\"a\\\"b\\\\c\\nd\""
-        );
+        assert_eq!(Value::from("a\"b\\c\nd").render(), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(Value::from("\u{01}").render(), "\"\\u0001\"");
     }
 
     #[test]
     fn containers_nest() {
         let v = Value::Object(vec![
-            ("servers".into(), Value::Array(vec![Value::from("a"), Value::from("b")])),
+            (
+                "servers".into(),
+                Value::Array(vec![Value::from("a"), Value::from("b")]),
+            ),
             ("count".into(), Value::Number(2.0)),
         ]);
         assert_eq!(v.render(), "{\"servers\":[\"a\",\"b\"],\"count\":2}");

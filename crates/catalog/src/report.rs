@@ -88,13 +88,22 @@ impl ServerReport {
         let mut obj: Vec<(String, crate::json::Value)> = vec![
             ("type".into(), crate::json::Value::from(self.kind.as_str())),
             ("name".into(), crate::json::Value::from(self.name.as_str())),
-            ("owner".into(), crate::json::Value::from(self.owner.as_str())),
+            (
+                "owner".into(),
+                crate::json::Value::from(self.owner.as_str()),
+            ),
             (
                 "address".into(),
                 crate::json::Value::from(self.address.as_str()),
             ),
-            ("version".into(), crate::json::Value::Number(self.version as f64)),
-            ("total".into(), crate::json::Value::Number(self.total as f64)),
+            (
+                "version".into(),
+                crate::json::Value::Number(self.version as f64),
+            ),
+            (
+                "total".into(),
+                crate::json::Value::Number(self.total as f64),
+            ),
             ("free".into(), crate::json::Value::Number(self.free as f64)),
             (
                 "topacl".into(),

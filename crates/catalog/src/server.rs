@@ -287,7 +287,8 @@ mod tests {
 
     #[test]
     fn reports_replace_by_name_and_expire() {
-        let cat = CatalogServer::start(CatalogConfig::localhost(Duration::from_millis(80))).unwrap();
+        let cat =
+            CatalogServer::start(CatalogConfig::localhost(Duration::from_millis(80))).unwrap();
         cat.ingest(report("n1"));
         let mut updated = report("n1");
         updated.free = 10;
@@ -303,7 +304,8 @@ mod tests {
     fn malformed_packets_are_ignored() {
         let cat = CatalogServer::start(CatalogConfig::localhost(Duration::from_secs(5))).unwrap();
         let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
-        sock.send_to(b"complete garbage \xff\xfe", cat.udp_addr()).unwrap();
+        sock.send_to(b"complete garbage \xff\xfe", cat.udp_addr())
+            .unwrap();
         sock.send_to(b"type chirp\n", cat.udp_addr()).unwrap();
         std::thread::sleep(Duration::from_millis(100));
         assert!(cat.listing().is_empty());

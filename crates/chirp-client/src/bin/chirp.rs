@@ -51,8 +51,7 @@ fn main() {
             "--ticket" => {
                 let Some(spec) = it.next() else { usage() };
                 let mut parts = spec.splitn(3, ':');
-                let (Some(m), Some(s), Some(secret)) =
-                    (parts.next(), parts.next(), parts.next())
+                let (Some(m), Some(s), Some(secret)) = (parts.next(), parts.next(), parts.next())
                 else {
                     usage()
                 };
@@ -86,7 +85,9 @@ fn run(
     let mut conn = Connection::connect(addr, Duration::from_secs(30))?;
     conn.authenticate(methods)?;
     let arg = |i: usize| -> Result<&str, Box<dyn std::error::Error>> {
-        args.get(i).map(String::as_str).ok_or_else(|| "missing argument (see --help)".into())
+        args.get(i)
+            .map(String::as_str)
+            .ok_or_else(|| "missing argument (see --help)".into())
     };
     match command {
         "whoami" => println!("{}", conn.whoami()?),
@@ -140,7 +141,11 @@ fn run(
             println!("total {} free {}", st.total_bytes, st.free_bytes);
         }
         "getacl" => print!("{}", conn.getacl(arg(0)?)?),
-        "setacl" => conn.setacl(arg(0)?, arg(1)?, args.get(2).map(String::as_str).unwrap_or(""))?,
+        "setacl" => conn.setacl(
+            arg(0)?,
+            arg(1)?,
+            args.get(2).map(String::as_str).unwrap_or(""),
+        )?,
         "thirdput" => {
             let n = conn.thirdput(arg(0)?, arg(1)?, arg(2)?)?;
             println!("{n} bytes");

@@ -65,7 +65,9 @@ impl Connection {
             .ok_or(ChirpError::InvalidRequest)?;
         let stream =
             TcpStream::connect_timeout(&addr, timeout).map_err(|e| ChirpError::from_io(&e))?;
-        stream.set_nodelay(true).map_err(|e| ChirpError::from_io(&e))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| ChirpError::from_io(&e))?;
         stream
             .set_read_timeout(Some(timeout))
             .map_err(|e| ChirpError::from_io(&e))?;
@@ -249,6 +251,29 @@ impl Connection {
     pub fn pread(&mut self, fd: i32, length: u64, offset: u64) -> ChirpResult<Vec<u8>> {
         let st = self.rpc(&Request::Pread { fd, length, offset })?;
         self.read_body(st.value as u64)
+    }
+
+    /// Positional read directly into `buf`, avoiding the per-call
+    /// allocation of [`Connection::pread`]. Returns the bytes read;
+    /// short only at end of file.
+    pub fn pread_into(&mut self, fd: i32, buf: &mut [u8], offset: u64) -> ChirpResult<usize> {
+        let st = self.rpc(&Request::Pread {
+            fd,
+            length: buf.len() as u64,
+            offset,
+        })?;
+        let n = st.value as u64;
+        if n > buf.len() as u64 {
+            // The server answered with more than was asked for; the
+            // stream framing can no longer be trusted.
+            self.broken = true;
+            return Err(ChirpError::InvalidRequest);
+        }
+        if let Err(e) = self.reader.read_exact(&mut buf[..n as usize]) {
+            self.broken = true;
+            return Err(ChirpError::from_io(&e));
+        }
+        Ok(n as usize)
     }
 
     /// Positional write of the whole buffer at `offset`.

@@ -94,13 +94,17 @@ fn cli_acl_management_and_tickets() {
     // Ticket auth works and can grant hostname visitors access.
     let (ok, _, err) = chirp(
         &addr,
-        &["--ticket", "admin:root:topsecret", "setacl", "/", "hostname:*", "rl"],
+        &[
+            "--ticket",
+            "admin:root:topsecret",
+            "setacl",
+            "/",
+            "hostname:*",
+            "rl",
+        ],
     );
     assert!(ok, "{err}");
-    let (ok, out, _) = chirp(
-        &addr,
-        &["--ticket", "admin:root:topsecret", "getacl", "/"],
-    );
+    let (ok, out, _) = chirp(&addr, &["--ticket", "admin:root:topsecret", "getacl", "/"]);
     assert!(ok);
     assert!(out.contains("hostname:* rl"), "{out}");
     // Now the plain visitor can list.

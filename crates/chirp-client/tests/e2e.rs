@@ -41,10 +41,7 @@ fn requests_require_authentication() {
     let server = open_server(dir.path());
     let mut conn = Connection::connect(server.addr(), TIMEOUT).unwrap();
     assert_eq!(conn.stat("/").unwrap_err(), ChirpError::NotAuthenticated);
-    assert_eq!(
-        conn.getdir("/").unwrap_err(),
-        ChirpError::NotAuthenticated
-    );
+    assert_eq!(conn.getdir("/").unwrap_err(), ChirpError::NotAuthenticated);
 }
 
 #[test]
@@ -278,13 +275,18 @@ fn reserve_with_admin_allows_extending_access() {
     let server = FileServer::start(cfg).unwrap();
 
     let mut alice = Connection::connect(server.addr(), TIMEOUT).unwrap();
-    alice.authenticate(&[AuthMethod::ticket("globus", "", "sa")]).unwrap();
+    alice
+        .authenticate(&[AuthMethod::ticket("globus", "", "sa")])
+        .unwrap();
     alice.mkdir("/shared", 0o755).unwrap();
     // Alice holds A inside her reserved directory and can admit Bob.
-    alice.setacl("/shared", "globus:/O=ND/CN=bob", "rwl").unwrap();
+    alice
+        .setacl("/shared", "globus:/O=ND/CN=bob", "rwl")
+        .unwrap();
 
     let mut bob = Connection::connect(server.addr(), TIMEOUT).unwrap();
-    bob.authenticate(&[AuthMethod::ticket("globus", "", "sb")]).unwrap();
+    bob.authenticate(&[AuthMethod::ticket("globus", "", "sb")])
+        .unwrap();
     bob.putfile("/shared/from-bob", 0o644, b"hi").unwrap();
     assert_eq!(alice.getfile("/shared/from-bob").unwrap(), b"hi");
 }
@@ -320,13 +322,13 @@ fn owner_superuser_can_evict_data() {
 fn delete_right_allows_delete_but_not_write() {
     let dir = TempDir::new();
     let cfg = ServerConfig::localhost(dir.path(), "owner")
-        .with_root_acl(
-            Acl::parse("hostname:* rld\nglobus:/O=ND/* rwl\n").unwrap(),
-        )
+        .with_root_acl(Acl::parse("hostname:* rld\nglobus:/O=ND/* rwl\n").unwrap())
         .with_ticket("globus", "/O=ND/CN=w", "ws");
     let server = FileServer::start(cfg).unwrap();
     let mut writer = Connection::connect(server.addr(), TIMEOUT).unwrap();
-    writer.authenticate(&[AuthMethod::ticket("globus", "", "ws")]).unwrap();
+    writer
+        .authenticate(&[AuthMethod::ticket("globus", "", "ws")])
+        .unwrap();
     writer.putfile("/doomed", 0o644, b"x").unwrap();
 
     let mut janitor = Connection::connect(server.addr(), TIMEOUT).unwrap();
@@ -510,7 +512,8 @@ fn thirdput_respects_both_sides_acls() {
     assert_eq!(err, ChirpError::NotAuthorized);
     // Nonexistent source fails with NotFound before any connection.
     assert_eq!(
-        conn.thirdput("/nope", &server_b.endpoint(), "/x").unwrap_err(),
+        conn.thirdput("/nope", &server_b.endpoint(), "/x")
+            .unwrap_err(),
         ChirpError::NotFound
     );
 }

@@ -498,7 +498,9 @@ mod tests {
             path: "/backup".into(),
         });
         round_trip(Request::Getdir { path: "/".into() });
-        round_trip(Request::Getlongdir { path: "/data".into() });
+        round_trip(Request::Getlongdir {
+            path: "/data".into(),
+        });
         round_trip(Request::Getfile {
             path: "/big.dat".into(),
         });

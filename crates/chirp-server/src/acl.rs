@@ -54,7 +54,11 @@ impl Rights {
 
     /// Every right including reserve.
     pub fn all() -> Rights {
-        Rights::READ | Rights::WRITE | Rights::LIST | Rights::ADMIN | Rights::DELETE
+        Rights::READ
+            | Rights::WRITE
+            | Rights::LIST
+            | Rights::ADMIN
+            | Rights::DELETE
             | Rights::RESERVE
     }
 
@@ -385,9 +389,18 @@ mod tests {
 
     #[test]
     fn wildcard_semantics() {
-        assert!(wildcard_match("hostname:*.cse.nd.edu", "hostname:laptop.cse.nd.edu"));
-        assert!(!wildcard_match("hostname:*.cse.nd.edu", "hostname:evil.example.com"));
-        assert!(wildcard_match("globus:/O=NotreDame/*", "globus:/O=NotreDame/CN=alice"));
+        assert!(wildcard_match(
+            "hostname:*.cse.nd.edu",
+            "hostname:laptop.cse.nd.edu"
+        ));
+        assert!(!wildcard_match(
+            "hostname:*.cse.nd.edu",
+            "hostname:evil.example.com"
+        ));
+        assert!(wildcard_match(
+            "globus:/O=NotreDame/*",
+            "globus:/O=NotreDame/CN=alice"
+        ));
         assert!(wildcard_match("*", "anything:at all"));
         assert!(wildcard_match("a*b*c", "aXXbYYc"));
         assert!(!wildcard_match("a*b*c", "aXXbYY"));
@@ -459,7 +472,10 @@ mod tests {
     fn effective_acl_inherits_from_ancestors() {
         let dir = TempDir::new();
         let root = dir.path();
-        Acl::single("unix:alice", "rwl").unwrap().store(root).unwrap();
+        Acl::single("unix:alice", "rwl")
+            .unwrap()
+            .store(root)
+            .unwrap();
         let deep = root.join("a/b/c");
         std::fs::create_dir_all(&deep).unwrap();
         let acl = Acl::load_effective(root, &deep).unwrap();

@@ -101,9 +101,7 @@ impl Authenticator {
         }
         // Phase two: verify the touched file.
         let pending = self.pending_unix.take().ok_or(ChirpError::AuthFailed)?;
-        if pending.claimed_name != name
-            || pending.challenge_path.to_string_lossy() != credential
-        {
+        if pending.claimed_name != name || pending.challenge_path.to_string_lossy() != credential {
             return Err(ChirpError::AuthFailed);
         }
         let meta = std::fs::metadata(&pending.challenge_path).map_err(|_| ChirpError::AuthFailed);
@@ -133,7 +131,10 @@ impl Authenticator {
                 if !name.is_empty() && name != t.subject_name {
                     continue;
                 }
-                return Ok(AuthOutcome::Subject(format!("{}:{}", t.method, t.subject_name)));
+                return Ok(AuthOutcome::Subject(format!(
+                    "{}:{}",
+                    t.method, t.subject_name
+                )));
             }
         }
         Err(ChirpError::AuthFailed)
@@ -183,7 +184,9 @@ mod tests {
 
     #[test]
     fn hostname_uses_resolver_not_claim() {
-        let out = auth().attempt(&config(), "hostname", "spoofed.example.com", "").unwrap();
+        let out = auth()
+            .attempt(&config(), "hostname", "spoofed.example.com", "")
+            .unwrap();
         assert_eq!(out, AuthOutcome::Subject("hostname:localhost".into()));
     }
 
@@ -199,11 +202,15 @@ mod tests {
     #[test]
     fn ticket_rejects_wrong_secret_and_method() {
         assert_eq!(
-            auth().attempt(&config(), "globus", "", "wrong").unwrap_err(),
+            auth()
+                .attempt(&config(), "globus", "", "wrong")
+                .unwrap_err(),
             ChirpError::AuthFailed
         );
         assert_eq!(
-            auth().attempt(&config(), "kerberos", "", "s3cret").unwrap_err(),
+            auth()
+                .attempt(&config(), "kerberos", "", "s3cret")
+                .unwrap_err(),
             ChirpError::AuthFailed
         );
     }

@@ -62,8 +62,7 @@ fn main() {
             "--ticket" => {
                 let spec = val();
                 let mut parts = spec.splitn(3, ':');
-                let (Some(m), Some(s), Some(secret)) =
-                    (parts.next(), parts.next(), parts.next())
+                let (Some(m), Some(s), Some(secret)) = (parts.next(), parts.next(), parts.next())
                 else {
                     usage()
                 };

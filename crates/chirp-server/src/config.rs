@@ -78,6 +78,11 @@ pub struct ServerConfig {
     pub report_interval: Duration,
     /// Server name published to catalogs; defaults to `host:port`.
     pub server_name: Option<String>,
+    /// Artificial service time added to each data RPC (`PREAD`,
+    /// `PWRITE`). Benchmarks use this to model the per-request disk
+    /// and network latency of a real deployment, which loopback
+    /// otherwise hides; `None` (the default) adds nothing.
+    pub service_delay: Option<Duration>,
 }
 
 impl ServerConfig {
@@ -102,7 +107,15 @@ impl ServerConfig {
             catalogs: Vec::new(),
             report_interval: Duration::from_secs(300),
             server_name: None,
+            service_delay: None,
         }
+    }
+
+    /// Add an artificial per-data-RPC service time (see
+    /// [`ServerConfig::service_delay`]).
+    pub fn with_service_delay(mut self, delay: Duration) -> ServerConfig {
+        self.service_delay = Some(delay);
+        self
     }
 
     /// Set the root ACL installed at startup.

@@ -25,6 +25,10 @@ pub enum Reply {
     Words(i64, String),
     /// Status = payload length, then the raw payload bytes.
     Data(Vec<u8>),
+    /// Status = `n`, then the first `n` bytes of the session's scratch
+    /// buffer. Lets `PREAD` reuse one allocation across calls instead
+    /// of building a fresh `Vec` per RPC.
+    Scratch(usize),
     /// Status = file length, then the file streamed from disk.
     FileStream(File, u64),
 }
@@ -35,6 +39,10 @@ pub struct Session {
     auth: Authenticator,
     subject: Option<String>,
     fds: FdTable,
+    /// Reusable read buffer for `PREAD` replies (see [`Reply::Scratch`]).
+    /// Grows to the largest read this connection has served and stays
+    /// there, bounded by [`chirp_proto::MAX_PAYLOAD`].
+    scratch: Vec<u8>,
 }
 
 impl Session {
@@ -46,7 +54,13 @@ impl Session {
             auth: Authenticator::new(peer_ip),
             subject: None,
             fds: FdTable::new(max_open),
+            scratch: Vec::new(),
         }
+    }
+
+    /// The scratch bytes a [`Reply::Scratch`] refers to.
+    pub fn scratch(&self) -> &[u8] {
+        &self.scratch
     }
 
     /// The authenticated subject, if any.
@@ -188,7 +202,10 @@ impl Session {
             // Only one set of credentials per session.
             return Err(ChirpError::InvalidRequest);
         }
-        match self.auth.attempt(&self.shared.config, method, name, credential)? {
+        match self
+            .auth
+            .attempt(&self.shared.config, method, name, credential)?
+        {
             AuthOutcome::Subject(s) => {
                 self.subject = Some(s.clone());
                 Ok(Reply::Words(0, escape(s.as_bytes())))
@@ -293,16 +310,23 @@ impl Session {
         if length > chirp_proto::MAX_PAYLOAD as u64 {
             return Err(ChirpError::TooBig);
         }
+        if let Some(delay) = self.shared.config.service_delay {
+            std::thread::sleep(delay);
+        }
+        if self.scratch.len() < length as usize {
+            self.scratch.resize(length as usize, 0);
+        }
         let f = self.fds.get(fd)?;
-        let mut buf = vec![0u8; length as usize];
-        let n = read_at(&f.file, &mut buf, offset)?;
-        buf.truncate(n);
+        let n = read_at(&f.file, &mut self.scratch[..length as usize], offset)?;
         self.shared.stats.read_bytes(n as u64);
-        Ok(Reply::Data(buf))
+        Ok(Reply::Scratch(n))
     }
 
     fn do_pwrite(&mut self, fd: i32, data: &[u8], offset: u64) -> ChirpResult<Reply> {
         self.require_subject()?;
+        if let Some(delay) = self.shared.config.service_delay {
+            std::thread::sleep(delay);
+        }
         let f = self.fds.get(fd)?;
         // Capacity policy applies to the bytes the write would grow
         // the file by, not to overwrites in place.
@@ -501,7 +525,8 @@ impl Session {
         let mut crc = chirp_proto::checksum::Crc64::new();
         let mut buf = [0u8; 64 * 1024];
         loop {
-            let n = std::io::Read::read(&mut file, &mut buf).map_err(|e| ChirpError::from_io(&e))?;
+            let n =
+                std::io::Read::read(&mut file, &mut buf).map_err(|e| ChirpError::from_io(&e))?;
             if n == 0 {
                 break;
             }

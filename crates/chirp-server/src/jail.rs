@@ -111,7 +111,10 @@ mod tests {
     #[test]
     fn dotdot_cannot_escape() {
         let (_d, j) = jail();
-        assert_eq!(j.resolve("/../../../etc/passwd").unwrap(), j.root().join("etc/passwd"));
+        assert_eq!(
+            j.resolve("/../../../etc/passwd").unwrap(),
+            j.root().join("etc/passwd")
+        );
         assert_eq!(j.resolve("/a/../..").unwrap(), j.root());
     }
 

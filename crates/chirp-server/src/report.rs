@@ -35,7 +35,10 @@ pub fn compose_report(shared: &Shared, addr: SocketAddr) -> String {
     let mut out = String::new();
     out.push_str("type chirp\n");
     out.push_str(&format!("name {}\n", escape(name.as_bytes())));
-    out.push_str(&format!("owner {}\n", escape(shared.config.owner.as_bytes())));
+    out.push_str(&format!(
+        "owner {}\n",
+        escape(shared.config.owner.as_bytes())
+    ));
     out.push_str(&format!("address {addr}\n"));
     out.push_str(&format!("version {}\n", chirp_proto::PROTOCOL_VERSION));
     out.push_str(&format!("total {total}\n"));

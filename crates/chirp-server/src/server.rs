@@ -177,7 +177,9 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             return;
         }
         if shared.active.load(Ordering::Relaxed) >= shared.config.max_connections {
-            // Refuse politely: one error line, then close.
+            // Refuse politely: one error line, then close. Nodelay so
+            // the refusal reaches the client before the FIN races it.
+            let _ = stream.set_nodelay(true);
             let mut w = BufWriter::new(&stream);
             let _ = wire::write_error(&mut w, ChirpError::Busy);
             let _ = w.flush();
@@ -243,6 +245,10 @@ fn serve_connection(
             Ok(Reply::Data(data)) => {
                 wire::write_status(&mut writer, data.len() as i64)?;
                 writer.write_all(&data)?;
+            }
+            Ok(Reply::Scratch(n)) => {
+                wire::write_status(&mut writer, n as i64)?;
+                writer.write_all(&session.scratch()[..n])?;
             }
             Ok(Reply::FileStream(mut file, len)) => {
                 wire::write_status(&mut writer, len as i64)?;

@@ -47,7 +47,10 @@ fn garbage_requests_get_errors_not_crashes() {
         stream.write_all(garbage.as_bytes()).unwrap();
         let reply = read_line(&mut reader);
         let code: i64 = reply.split(' ').next().unwrap().parse().unwrap();
-        assert!(code < 0, "garbage {garbage:?} must yield an error, got {reply:?}");
+        assert!(
+            code < 0,
+            "garbage {garbage:?} must yield an error, got {reply:?}"
+        );
     }
     // The connection is still usable afterwards.
     stream.write_all(b"AUTH hostname x x\n").unwrap();
@@ -96,9 +99,8 @@ fn connection_limit_refuses_politely() {
 fn mkdir_with_write_right_copies_the_parent_acl() {
     use chirp_client::{AuthMethod, Connection};
     let dir = TempDir::new();
-    let cfg = ServerConfig::localhost(dir.path(), "owner").with_root_acl(
-        Acl::parse("hostname:* rwl\nglobus:/O=ND/* rl\n").unwrap(),
-    );
+    let cfg = ServerConfig::localhost(dir.path(), "owner")
+        .with_root_acl(Acl::parse("hostname:* rwl\nglobus:/O=ND/* rl\n").unwrap());
     let server = FileServer::start(cfg).unwrap();
     let mut conn = Connection::connect(server.addr(), Duration::from_secs(5)).unwrap();
     conn.authenticate(&[AuthMethod::Hostname]).unwrap();
@@ -135,7 +137,8 @@ fn rename_needs_rights_on_both_parents() {
         .with_ticket("admin", "boss", "bosskey");
     let server = FileServer::start(cfg).unwrap();
     let mut boss = Connection::connect(server.addr(), Duration::from_secs(5)).unwrap();
-    boss.authenticate(&[AuthMethod::ticket("admin", "", "bosskey")]).unwrap();
+    boss.authenticate(&[AuthMethod::ticket("admin", "", "bosskey")])
+        .unwrap();
     boss.mkdir("/public", 0o755).unwrap();
     boss.setacl("/public", "hostname:*", "rwl").unwrap();
     boss.mkdir("/vault", 0o755).unwrap();

@@ -101,7 +101,14 @@ fn descriptor_churn_never_exhausts_the_table() {
     // And the limit still bites when actually exceeded.
     let mut held = Vec::new();
     for i in 0..16 {
-        held.push(conn.open(&format!("/churn-{i}"), OpenFlags::WRITE | OpenFlags::CREATE, 0o644).unwrap());
+        held.push(
+            conn.open(
+                &format!("/churn-{i}"),
+                OpenFlags::WRITE | OpenFlags::CREATE,
+                0o644,
+            )
+            .unwrap(),
+        );
     }
     assert_eq!(
         conn.open("/one-too-many", OpenFlags::WRITE | OpenFlags::CREATE, 0o644)
@@ -140,6 +147,9 @@ fn concurrent_appenders_interleave_without_loss() {
     assert_eq!(data.len(), 4 * 50 * 8, "no appended record lost");
     // Every 8-byte record is homogeneous: no torn interleaving.
     for chunk in data.chunks(8) {
-        assert!(chunk.iter().all(|&b| b == chunk[0]), "torn record {chunk:?}");
+        assert!(
+            chunk.iter().all(|&b| b == chunk[0]),
+            "torn record {chunk:?}"
+        );
     }
 }

@@ -76,7 +76,8 @@ impl Namespace {
         self.mounts
             .push((normalize_path(logical), normalize_path(target)));
         // Longest prefix first.
-        self.mounts.sort_by_key(|(prefix, _)| std::cmp::Reverse(prefix.len()));
+        self.mounts
+            .sort_by_key(|(prefix, _)| std::cmp::Reverse(prefix.len()));
     }
 
     /// Parse the mountlist file format: two whitespace-separated
@@ -177,9 +178,7 @@ impl Adapter {
     /// `register("dsfs/archive:9094@run5", fs)` serves
     /// `/dsfs/archive:9094@run5/...`.
     pub fn register(&self, name: &str, fs: Arc<dyn FileSystem>) {
-        self.registered
-            .lock()
-            .insert(normalize_path(name), fs);
+        self.registered.lock().insert(normalize_path(name), fs);
     }
 
     /// Mount a DSFS under the paper's `/dsfs/<host:port>@<volume>`
@@ -195,6 +194,7 @@ impl Adapter {
         let options = crate::stubfs::StubFsOptions {
             timeout: self.config.timeout,
             retry: self.config.retry,
+            ..crate::stubfs::StubFsOptions::default()
         };
         let fs = crate::Dsfs::with_options(
             dir_endpoint,
@@ -204,10 +204,7 @@ impl Adapter {
             crate::Placement::round_robin(),
             options,
         )?;
-        let name = format!(
-            "/dsfs/{dir_endpoint}@{}",
-            volume.trim_start_matches('/')
-        );
+        let name = format!("/dsfs/{dir_endpoint}@{}", volume.trim_start_matches('/'));
         self.register(&name, Arc::new(fs));
         Ok(name)
     }

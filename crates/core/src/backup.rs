@@ -110,8 +110,7 @@ impl BackupVault {
         let mut stack = vec![PathBuf::new()];
         while let Some(rel_dir) = stack.pop() {
             let host_dir = source.join(&rel_dir);
-            let mut names: Vec<_> = std::fs::read_dir(&host_dir)?
-                .collect::<Result<Vec<_>, _>>()?;
+            let mut names: Vec<_> = std::fs::read_dir(&host_dir)?.collect::<Result<Vec<_>, _>>()?;
             names.sort_by_key(|e| e.file_name());
             for entry in names {
                 let meta = entry.metadata()?;
@@ -151,9 +150,13 @@ impl BackupVault {
             ));
         }
         // Stage, then atomically publish.
-        let tmp = self.path(&format!("images/.staging-{}", crate::placement::unique_data_name()));
+        let tmp = self.path(&format!(
+            "images/.staging-{}",
+            crate::placement::unique_data_name()
+        ));
         self.fs.write_file(&tmp, manifest.as_bytes())?;
-        self.fs.rename(&tmp, &self.path(&format!("images/{name}")))?;
+        self.fs
+            .rename(&tmp, &self.path(&format!("images/{name}")))?;
         Ok(ImageInfo {
             name,
             seq,
@@ -170,7 +173,9 @@ impl BackupVault {
             let Some((seq, label)) = name.split_once('-') else {
                 continue; // staging or foreign file
             };
-            let Ok(seq) = seq.parse::<u64>() else { continue };
+            let Ok(seq) = seq.parse::<u64>() else {
+                continue;
+            };
             let entries = self.manifest(&name)?;
             out.push(ImageInfo {
                 name: name.clone(),
@@ -264,7 +269,8 @@ impl BackupVault {
             }
         }
         for image in doomed {
-            self.fs.unlink(&self.path(&format!("images/{}", image.name)))?;
+            self.fs
+                .unlink(&self.path(&format!("images/{}", image.name)))?;
         }
         let mut objects_removed = 0;
         for name in self.fs.readdir(&self.path("objects"))? {

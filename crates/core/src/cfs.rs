@@ -58,9 +58,7 @@ impl RetryPolicy {
 
     /// Backoff before retry number `attempt` (0-based).
     pub fn backoff(&self, attempt: u32) -> Duration {
-        let exp = self
-            .initial_backoff
-            .saturating_mul(1u32 << attempt.min(16));
+        let exp = self.initial_backoff.saturating_mul(1u32 << attempt.min(16));
         exp.min(self.max_backoff)
     }
 }
@@ -81,6 +79,14 @@ pub struct CfsConfig {
     /// Transparently append `O_SYNC` to every open (the adapter's
     /// synchronous-write switch).
     pub sync_writes: bool,
+    /// Read-ahead window in bytes for handle reads: each `pread` over
+    /// the wire fetches at least this much, and later sequential reads
+    /// are served from the window without a round trip. `0` (default)
+    /// disables buffering — every read is one RPC, preserving the
+    /// system's no-client-caching coherence story. The window lives
+    /// per handle and is dropped on any write, truncate, or
+    /// reconnection of that handle.
+    pub readahead: usize,
 }
 
 impl CfsConfig {
@@ -93,6 +99,7 @@ impl CfsConfig {
             timeout: Duration::from_secs(10),
             retry: RetryPolicy::default(),
             sync_writes: false,
+            readahead: 0,
         }
     }
 
@@ -105,6 +112,12 @@ impl CfsConfig {
     /// Set the recovery policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> CfsConfig {
         self.retry = retry;
+        self
+    }
+
+    /// Set the per-handle read-ahead window (bytes; 0 disables).
+    pub fn with_readahead(mut self, readahead: usize) -> CfsConfig {
+        self.readahead = readahead;
         self
     }
 }
@@ -151,16 +164,22 @@ impl Cfs {
         &self.config
     }
 
+    /// True when the underlying connection has been poisoned by a
+    /// transport failure. A never-dialed `Cfs` reports `false` — it is
+    /// safe to hand out, since dialing is lazy. The server pool uses
+    /// this as the checkin health probe.
+    pub fn connection_is_broken(&self) -> bool {
+        let slot = self.slot.lock();
+        slot.conn.as_ref().is_some_and(Connection::is_broken)
+    }
+
     fn full_path(&self, path: &str) -> String {
         join_base(&self.config.base, path)
     }
 
     /// Run `op` against a live connection, reconnecting per the retry
     /// policy on transport failures.
-    fn run<T>(
-        &self,
-        mut op: impl FnMut(&mut Connection) -> ChirpResult<T>,
-    ) -> io::Result<T> {
+    fn run<T>(&self, mut op: impl FnMut(&mut Connection) -> ChirpResult<T>) -> io::Result<T> {
         let mut slot = self.slot.lock();
         let mut attempt = 0u32;
         loop {
@@ -291,6 +310,18 @@ struct CfsHandle {
     /// Identity recorded at first open; a different inode after
     /// reconnection means the file was replaced — stale handle.
     identity: (u64, u64),
+    /// Read-ahead window: reusable scratch filled by one oversized
+    /// `pread`, serving later sequential reads locally. Empty when
+    /// `config.readahead == 0`.
+    ra_buf: Vec<u8>,
+    /// File offset of `ra_buf[0]`.
+    ra_off: u64,
+    /// Valid bytes in `ra_buf`.
+    ra_len: usize,
+    /// Connection generation the window was filled under; a reconnect
+    /// invalidates the window (the file may have changed identity
+    /// checks aside — stay conservative).
+    ra_gen: u64,
 }
 
 impl CfsHandle {
@@ -364,15 +395,68 @@ fn reopen(
     Ok(fd)
 }
 
+impl CfsHandle {
+    /// Serve as much of the request as the current window covers.
+    fn serve_from_window(&self, buf: &mut [u8], offset: u64) -> Option<usize> {
+        if self.ra_len == 0 || self.ra_gen != self.generation {
+            return None;
+        }
+        if offset < self.ra_off || offset >= self.ra_off + self.ra_len as u64 {
+            return None;
+        }
+        let start = (offset - self.ra_off) as usize;
+        let n = buf.len().min(self.ra_len - start);
+        buf[..n].copy_from_slice(&self.ra_buf[start..start + n]);
+        Some(n)
+    }
+}
+
 impl FileHandle for CfsHandle {
     fn pread(&mut self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
-        // One RPC round trip; the server may return short only at EOF.
-        let data = self.with_fd(|c, fd| c.pread(fd, buf.len() as u64, offset))?;
-        buf[..data.len()].copy_from_slice(&data);
-        Ok(data.len())
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let window = self.config.readahead;
+        if window == 0 {
+            // One RPC round trip straight into the caller's buffer;
+            // the server may return short only at EOF.
+            return self.with_fd(|c, fd| c.pread_into(fd, buf, offset));
+        }
+        if let Some(n) = self.serve_from_window(buf, offset) {
+            if n == buf.len() {
+                return Ok(n);
+            }
+            // The window ended mid-request; refill from the server at
+            // the requested offset (below) rather than stitching, so a
+            // short result still means end of file.
+        }
+        // Refill: fetch at least the window size in one RPC. The
+        // buffer is taken out of `self` for the duration because
+        // `with_fd` needs `&mut self`.
+        let want = buf.len().max(window);
+        let mut scratch = std::mem::take(&mut self.ra_buf);
+        scratch.resize(want, 0);
+        let res = self.with_fd(|c, fd| c.pread_into(fd, &mut scratch, offset));
+        self.ra_buf = scratch;
+        match res {
+            Ok(filled) => {
+                self.ra_off = offset;
+                self.ra_len = filled;
+                self.ra_gen = self.generation;
+                let n = buf.len().min(filled);
+                buf[..n].copy_from_slice(&self.ra_buf[..n]);
+                Ok(n)
+            }
+            Err(e) => {
+                self.ra_len = 0;
+                Err(e)
+            }
+        }
     }
 
     fn pwrite(&mut self, buf: &[u8], offset: u64) -> io::Result<usize> {
+        // Any write invalidates the read-ahead window.
+        self.ra_len = 0;
         let n = self.with_fd(|c, fd| c.pwrite(fd, buf, offset))?;
         Ok(n as usize)
     }
@@ -386,6 +470,7 @@ impl FileHandle for CfsHandle {
     }
 
     fn ftruncate(&mut self, size: u64) -> io::Result<()> {
+        self.ra_len = 0;
         self.with_fd(|c, fd| c.ftruncate(fd, size))
     }
 }
@@ -444,7 +529,12 @@ impl FileSystem for Cfs {
         };
         // Strip one-shot bits so recovery re-opens are idempotent.
         let mut reopen_flags = OpenFlags::empty();
-        for f in [OpenFlags::READ, OpenFlags::WRITE, OpenFlags::APPEND, OpenFlags::SYNC] {
+        for f in [
+            OpenFlags::READ,
+            OpenFlags::WRITE,
+            OpenFlags::APPEND,
+            OpenFlags::SYNC,
+        ] {
             if flags.contains(f) {
                 reopen_flags |= f;
             }
@@ -462,6 +552,10 @@ impl FileSystem for Cfs {
             fd,
             generation,
             identity: (st.device, st.inode),
+            ra_buf: Vec::new(),
+            ra_off: 0,
+            ra_len: 0,
+            ra_gen: 0,
         }))
     }
 

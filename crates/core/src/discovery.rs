@@ -19,8 +19,7 @@ use chirp_client::AuthMethod;
 use crate::stubfs::DataServer;
 
 /// Selection policy applied to a catalog listing.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct PoolPolicy {
     /// Reject servers reporting less free space than this.
     pub min_free: u64,
@@ -31,7 +30,6 @@ pub struct PoolPolicy {
     /// takes everything that qualifies.
     pub max_servers: Option<usize>,
 }
-
 
 /// Simple `*` wildcard match (same semantics as ACL subjects).
 fn wildcard(pattern: &str, text: &str) -> bool {
@@ -152,8 +150,9 @@ mod tests {
 
     #[test]
     fn max_servers_caps_the_pool() {
-        let reports: Vec<ServerReport> =
-            (0..10).map(|i| report(&format!("s{i}"), "o", 1000 + i)).collect();
+        let reports: Vec<ServerReport> = (0..10)
+            .map(|i| report(&format!("s{i}"), "o", 1000 + i))
+            .collect();
         let policy = PoolPolicy {
             max_servers: Some(3),
             ..PoolPolicy::default()

@@ -24,7 +24,12 @@ impl Dpfs {
     /// Create (or reattach to) a DPFS whose directory tree lives at
     /// the local path `meta_root`, spreading new files over `pool`.
     pub fn new(meta_root: impl AsRef<Path>, pool: Vec<DataServer>) -> io::Result<Dpfs> {
-        Dpfs::with_options(meta_root, pool, Placement::round_robin(), StubFsOptions::default())
+        Dpfs::with_options(
+            meta_root,
+            pool,
+            Placement::round_robin(),
+            StubFsOptions::default(),
+        )
     }
 
     /// Full-control constructor.

@@ -83,9 +83,7 @@ pub fn fsck(fs: &StubFs) -> io::Result<FsckReport> {
             let conn = fs.data_conn(&stub.endpoint)?;
             match conn.stat(&stub.data_path) {
                 Ok(_) => report.healthy.push(path),
-                Err(e) if e.kind() == io::ErrorKind::NotFound => {
-                    report.dangling_stubs.push(path)
-                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => report.dangling_stubs.push(path),
                 Err(_) => report.unreachable.push(path),
             }
         }
@@ -102,7 +100,9 @@ pub fn fsck(fs: &StubFs) -> io::Result<FsckReport> {
         for name in names {
             let data_path = format!("{}/{name}", server.volume);
             if refs.is_none_or(|r| !r.contains(&data_path)) {
-                report.orphaned_data.push((server.endpoint.clone(), data_path));
+                report
+                    .orphaned_data
+                    .push((server.endpoint.clone(), data_path));
             }
         }
     }

@@ -36,6 +36,7 @@ pub mod cfs;
 pub mod discovery;
 pub mod dpfs;
 pub mod dsfs;
+mod fanout;
 pub mod fs;
 pub mod fsck;
 pub mod localfs;
@@ -57,5 +58,5 @@ pub use fsck::{fsck, FsckReport, RepairOptions};
 pub use localfs::LocalFs;
 pub use mirrored::MirroredFs;
 pub use placement::Placement;
-pub use pool::ServerPool;
+pub use pool::{PoolStats, PooledConn, ServerPool};
 pub use striped::StripedFs;

@@ -53,7 +53,10 @@ impl FileHandle for LocalHandle {
         use std::os::unix::fs::FileExt;
         let mut filled = 0;
         while filled < buf.len() {
-            match self.file.read_at(&mut buf[filled..], offset + filled as u64) {
+            match self
+                .file
+                .read_at(&mut buf[filled..], offset + filled as u64)
+            {
                 Ok(0) => break,
                 Ok(n) => filled += n,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -228,7 +231,10 @@ mod tests {
         let (_d, fs) = fs();
         let fl = OpenFlags::WRITE | OpenFlags::CREATE | OpenFlags::EXCLUSIVE;
         fs.open("/x", fl, 0o644).unwrap();
-        let err = fs.open("/x", fl, 0o644).err().expect("second exclusive create fails");
+        let err = fs
+            .open("/x", fl, 0o644)
+            .err()
+            .expect("second exclusive create fails");
         assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
     }
 

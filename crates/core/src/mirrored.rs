@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use chirp_proto::{OpenFlags, StatBuf};
 
+use crate::fanout::run_fanout;
 use crate::fs::{FileHandle, FileSystem};
 use crate::placement::{unique_data_name, Placement};
 use crate::pool::ServerPool;
@@ -95,6 +96,11 @@ impl MirroredFs {
         self.pool.ensure_volumes()
     }
 
+    /// A snapshot of the data-connection pool counters.
+    pub fn pool_stats(&self) -> crate::pool::PoolStats {
+        self.pool.stats()
+    }
+
     fn read_set(&self, path: &str) -> io::Result<MirrorSet> {
         let text = self.meta.read_file(path)?;
         let text = String::from_utf8(text)
@@ -123,7 +129,10 @@ impl MirroredFs {
         drop(stub);
         let create = flags | OpenFlags::WRITE | OpenFlags::CREATE;
         match self.open_all(&set, create) {
-            Ok(handles) => Ok(Box::new(MirrorHandle { handles })),
+            Ok(handles) => Ok(Box::new(MirrorHandle {
+                handles,
+                parallel: self.pool.parallel_fanout(),
+            })),
             Err(e) => {
                 let _ = self.meta.unlink(path);
                 Err(e)
@@ -131,19 +140,26 @@ impl MirroredFs {
         }
     }
 
-    /// Open every replica (for writing: all must be reachable).
+    /// Open every replica concurrently (for writing: all must be
+    /// reachable; the first error in replica order wins).
     fn open_all(&self, set: &MirrorSet, flags: OpenFlags) -> io::Result<Vec<Box<dyn FileHandle>>> {
-        set.replicas
+        let pool = &self.pool;
+        let jobs: Vec<_> = set
+            .replicas
             .iter()
-            .map(|(endpoint, path)| self.pool.conn_for(endpoint).open(path, flags, 0o644))
+            .map(|(endpoint, path)| move || pool.open(endpoint, path, flags, 0o644))
+            .collect();
+        run_fanout(pool.parallel_fanout() && set.replicas.len() > 1, jobs)
+            .into_iter()
             .collect()
     }
 
-    /// Open any one replica (for reading: first reachable wins).
+    /// Open any one replica (for reading: first reachable wins). This
+    /// is deliberately sequential — failover order is the semantics.
     fn open_any(&self, set: &MirrorSet, flags: OpenFlags) -> io::Result<Box<dyn FileHandle>> {
         let mut last: io::Error = io::ErrorKind::NotFound.into();
         for (endpoint, path) in &set.replicas {
-            match self.pool.conn_for(endpoint).open(path, flags, 0) {
+            match self.pool.open(endpoint, path, flags, 0) {
                 Ok(h) => return Ok(h),
                 Err(e) => last = e,
             }
@@ -155,10 +171,28 @@ impl MirroredFs {
 /// Write-all handle over every replica.
 struct MirrorHandle {
     handles: Vec<Box<dyn FileHandle>>,
+    /// Fan replica mutations out over scoped threads — each replica
+    /// handle owns its own pooled connection.
+    parallel: bool,
+}
+
+impl MirrorHandle {
+    /// Run one mutation on every replica concurrently; strict
+    /// semantics — the first error in replica order fails the call.
+    fn on_all_replicas(
+        &mut self,
+        op: impl Fn(&mut Box<dyn FileHandle>) -> io::Result<()> + Sync,
+    ) -> io::Result<()> {
+        let parallel = self.parallel && self.handles.len() > 1;
+        let op = &op;
+        let jobs: Vec<_> = self.handles.iter_mut().map(|h| move || op(h)).collect();
+        run_fanout(parallel, jobs).into_iter().collect()
+    }
 }
 
 impl FileHandle for MirrorHandle {
     fn pread(&mut self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        // Sequential failover: first live replica answers.
         let mut last: io::Error = io::ErrorKind::NotFound.into();
         for h in &mut self.handles {
             match h.pread(buf, offset) {
@@ -170,9 +204,7 @@ impl FileHandle for MirrorHandle {
     }
 
     fn pwrite(&mut self, buf: &[u8], offset: u64) -> io::Result<usize> {
-        for h in &mut self.handles {
-            h.pwrite(buf, offset)?;
-        }
+        self.on_all_replicas(|h| h.pwrite(buf, offset).map(|_| ()))?;
         Ok(buf.len())
     }
 
@@ -181,17 +213,11 @@ impl FileHandle for MirrorHandle {
     }
 
     fn fsync(&mut self) -> io::Result<()> {
-        for h in &mut self.handles {
-            h.fsync()?;
-        }
-        Ok(())
+        self.on_all_replicas(|h| h.fsync())
     }
 
     fn ftruncate(&mut self, size: u64) -> io::Result<()> {
-        for h in &mut self.handles {
-            h.ftruncate(size)?;
-        }
-        Ok(())
+        self.on_all_replicas(|h| h.ftruncate(size))
     }
 }
 
@@ -217,13 +243,15 @@ impl FileSystem for MirroredFs {
         }
         if open_flags.contains(OpenFlags::WRITE) {
             // Mutation must reach every replica to keep mirrors equal.
-            let mut handles = self.open_all(&set, open_flags)?;
+            let handles = self.open_all(&set, open_flags)?;
+            let mut mirror = MirrorHandle {
+                handles,
+                parallel: self.pool.parallel_fanout(),
+            };
             if flags.contains(OpenFlags::TRUNCATE) {
-                for h in &mut handles {
-                    h.ftruncate(0)?;
-                }
+                mirror.ftruncate(0)?;
             }
-            Ok(Box::new(MirrorHandle { handles }))
+            Ok(Box::new(mirror))
         } else {
             // Read-only opens fail over to any live replica.
             self.open_any(&set, open_flags)
@@ -233,9 +261,10 @@ impl FileSystem for MirroredFs {
     fn stat(&self, path: &str) -> io::Result<StatBuf> {
         match self.read_set(path) {
             Ok(set) => {
+                // Sequential failover, like reads.
                 let mut last: io::Error = io::ErrorKind::NotFound.into();
                 for (endpoint, data_path) in &set.replicas {
-                    match self.pool.conn_for(endpoint).stat(data_path) {
+                    match self.pool.with_conn(endpoint, |cfs| cfs.stat(data_path)) {
                         Ok(st) => return Ok(st),
                         Err(e) => last = e,
                     }
@@ -249,11 +278,20 @@ impl FileSystem for MirroredFs {
 
     fn unlink(&self, path: &str) -> io::Result<()> {
         let set = self.read_set(path)?;
-        for (endpoint, data_path) in &set.replicas {
-            // A dead or already-evicted replica must not block the
-            // user from deleting the file.
-            let _ = self.pool.conn_for(endpoint).unlink(data_path);
-        }
+        // Delete every replica concurrently. A dead or already-evicted
+        // replica must not block the user from deleting the file, so
+        // per-replica failures are swallowed.
+        let pool = &self.pool;
+        let jobs: Vec<_> = set
+            .replicas
+            .iter()
+            .map(|(endpoint, data_path)| {
+                move || {
+                    let _ = pool.with_conn(endpoint, |cfs| cfs.unlink(data_path));
+                }
+            })
+            .collect();
+        run_fanout(pool.parallel_fanout() && set.replicas.len() > 1, jobs);
         self.meta.unlink(path)
     }
 

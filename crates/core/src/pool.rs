@@ -1,28 +1,108 @@
-//! A shared pool of data servers with cached connections.
+//! A shared pool of data servers with checkout-based connection reuse.
 //!
 //! Every distributed abstraction (DPFS/DSFS stubs, striping,
 //! mirroring) needs the same plumbing: a set of `endpoint + volume +
-//! auth` servers, one cached [`Cfs`] connection per endpoint, volume
-//! setup, and a placement decision for new data. This type carries it
-//! once.
+//! auth` servers, reusable [`Cfs`] connections to them, volume setup,
+//! and a placement decision for new data. This type carries it once.
+//!
+//! ## Why checkout, not one shared connection
+//!
+//! A Chirp connection carries one RPC at a time, so a single cached
+//! `Cfs` per endpoint serializes every concurrent operation against
+//! that server behind one mutex — the bottleneck that flattens the
+//! parallel fan-out data path. Instead the pool hands out *exclusive*
+//! connections: [`ServerPool::checkout`] pops an idle connection (or
+//! dials a new one), and the returned [`PooledConn`] guard checks it
+//! back in on drop. Open file handles keep their guard for their whole
+//! life, so two handles never contend for one TCP stream. On checkin
+//! a broken connection is discarded rather than cached; at most
+//! [`crate::stubfs::StubFsOptions::max_conns_per_endpoint`] idle
+//! connections are kept per endpoint.
 
 use std::collections::HashMap;
 use std::io;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use chirp_client::AuthMethod;
+use chirp_proto::{OpenFlags, StatBuf};
 use parking_lot::Mutex;
 
 use crate::cfs::{Cfs, CfsConfig};
-use crate::fs::FileSystem;
+use crate::fs::{FileHandle, FileSystem};
 use crate::stubfs::{DataServer, StubFsOptions};
 
-/// A connection-cached pool of data servers.
-pub struct ServerPool {
+/// Monotonic counters describing pool behaviour.
+#[derive(Debug, Default)]
+struct PoolCounters {
+    checkouts: AtomicU64,
+    checkins: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    discards: AtomicU64,
+}
+
+/// A point-in-time copy of the pool counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Connections handed out.
+    pub checkouts: u64,
+    /// Connections returned (every checkout is eventually checked in).
+    pub checkins: u64,
+    /// Checkouts served from the idle cache.
+    pub hits: u64,
+    /// Checkouts that had to build a fresh connection.
+    pub misses: u64,
+    /// Returned connections dropped instead of cached (broken, or the
+    /// endpoint's idle cache was full).
+    pub discards: u64,
+}
+
+struct PoolShared {
     servers: Vec<DataServer>,
     options: StubFsOptions,
-    conns: Mutex<HashMap<String, Arc<Cfs>>>,
     default_auth: Vec<AuthMethod>,
+    idle: Mutex<HashMap<String, Vec<Cfs>>>,
+    counters: PoolCounters,
+}
+
+impl PoolShared {
+    fn build_conn(&self, endpoint: &str) -> Cfs {
+        let auth = self
+            .servers
+            .iter()
+            .find(|s| s.endpoint == endpoint)
+            .map(|s| s.auth.clone())
+            .unwrap_or_else(|| self.default_auth.clone());
+        let mut cfg = CfsConfig::new(endpoint, auth);
+        cfg.timeout = self.options.timeout;
+        cfg.retry = self.options.retry;
+        cfg.readahead = self.options.readahead;
+        Cfs::new(cfg)
+    }
+
+    fn checkin(&self, cfs: Cfs) {
+        self.counters.checkins.fetch_add(1, Ordering::Relaxed);
+        // Health check: a connection that died mid-use must not be
+        // handed to the next caller.
+        if cfs.connection_is_broken() {
+            self.counters.discards.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut idle = self.idle.lock();
+        let slot = idle.entry(cfs.endpoint().to_string()).or_default();
+        if slot.len() < self.options.max_conns_per_endpoint.max(1) {
+            slot.push(cfs);
+        } else {
+            self.counters.discards.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A connection-pooling view of a set of data servers.
+pub struct ServerPool {
+    shared: Arc<PoolShared>,
 }
 
 impl ServerPool {
@@ -30,66 +110,178 @@ impl ServerPool {
     pub fn new(servers: Vec<DataServer>, options: StubFsOptions) -> ServerPool {
         let default_auth = servers.first().map(|s| s.auth.clone()).unwrap_or_default();
         ServerPool {
-            servers,
-            options,
-            conns: Mutex::new(HashMap::new()),
-            default_auth,
+            shared: Arc::new(PoolShared {
+                servers,
+                options,
+                default_auth,
+                idle: Mutex::new(HashMap::new()),
+                counters: PoolCounters::default(),
+            }),
         }
     }
 
     /// The pool members.
     pub fn servers(&self) -> &[DataServer] {
-        &self.servers
+        &self.shared.servers
     }
 
     /// Number of members.
     pub fn len(&self) -> usize {
-        self.servers.len()
+        self.shared.servers.len()
     }
 
     /// True when the pool has no members.
     pub fn is_empty(&self) -> bool {
-        self.servers.is_empty()
+        self.shared.servers.is_empty()
     }
 
     /// The shared options.
     pub fn options(&self) -> &StubFsOptions {
-        &self.options
+        &self.shared.options
     }
 
-    /// A cached connection to `endpoint`. Endpoints outside the pool
-    /// (from old stubs after the pool changed) connect with the pool's
-    /// default auth.
-    pub fn conn_for(&self, endpoint: &str) -> Arc<Cfs> {
-        let mut conns = self.conns.lock();
-        conns
-            .entry(endpoint.to_string())
-            .or_insert_with(|| {
-                let auth = self
-                    .servers
-                    .iter()
-                    .find(|s| s.endpoint == endpoint)
-                    .map(|s| s.auth.clone())
-                    .unwrap_or_else(|| self.default_auth.clone());
-                let mut cfg = CfsConfig::new(endpoint, auth);
-                cfg.timeout = self.options.timeout;
-                cfg.retry = self.options.retry;
-                Arc::new(Cfs::new(cfg))
-            })
-            .clone()
+    /// True when multi-server operations should fan out concurrently.
+    pub fn parallel_fanout(&self) -> bool {
+        self.shared.options.parallel_fanout
+    }
+
+    /// Check out an exclusive connection to `endpoint`. Endpoints
+    /// outside the pool (from old stubs after the pool changed) connect
+    /// with the pool's default auth. Dialing stays lazy: nothing
+    /// touches the network until the first operation on the guard.
+    pub fn checkout(&self, endpoint: &str) -> PooledConn {
+        self.shared
+            .counters
+            .checkouts
+            .fetch_add(1, Ordering::Relaxed);
+        let cached = self
+            .shared
+            .idle
+            .lock()
+            .get_mut(endpoint)
+            .and_then(|v| v.pop());
+        let cfs = match cached {
+            Some(cfs) => {
+                self.shared.counters.hits.fetch_add(1, Ordering::Relaxed);
+                cfs
+            }
+            None => {
+                self.shared.counters.misses.fetch_add(1, Ordering::Relaxed);
+                self.shared.build_conn(endpoint)
+            }
+        };
+        PooledConn {
+            cfs: Some(cfs),
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Run one operation on a checked-out connection, returning it to
+    /// the pool before the result is handed back.
+    pub fn with_conn<T>(
+        &self,
+        endpoint: &str,
+        op: impl FnOnce(&Cfs) -> io::Result<T>,
+    ) -> io::Result<T> {
+        let conn = self.checkout(endpoint);
+        op(&conn)
+    }
+
+    /// Open a file on `endpoint`, binding the checked-out connection to
+    /// the returned handle for the handle's whole life — concurrent
+    /// handles on one endpoint therefore use distinct connections.
+    pub fn open(
+        &self,
+        endpoint: &str,
+        path: &str,
+        flags: OpenFlags,
+        mode: u32,
+    ) -> io::Result<Box<dyn FileHandle>> {
+        let conn = self.checkout(endpoint);
+        let inner = conn.open(path, flags, mode)?;
+        Ok(Box::new(PooledHandle { inner, _conn: conn }))
+    }
+
+    /// A snapshot of the pool counters.
+    pub fn stats(&self) -> PoolStats {
+        let c = &self.shared.counters;
+        PoolStats {
+            checkouts: c.checkouts.load(Ordering::Relaxed),
+            checkins: c.checkins.load(Ordering::Relaxed),
+            hits: c.hits.load(Ordering::Relaxed),
+            misses: c.misses.load(Ordering::Relaxed),
+            discards: c.discards.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Idle connections currently cached for `endpoint`.
+    pub fn idle_count(&self, endpoint: &str) -> usize {
+        self.shared.idle.lock().get(endpoint).map_or(0, Vec::len)
     }
 
     /// Create each member's volume directory if missing.
     pub fn ensure_volumes(&self) -> io::Result<()> {
-        for s in &self.servers {
-            let cfs = self.conn_for(&s.endpoint);
-            match cfs.mkdir(&s.volume, 0o755) {
-                Ok(()) => {}
-                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {}
-                Err(e) => return Err(e),
-            }
+        for s in self.servers() {
+            self.with_conn(&s.endpoint, |cfs| match cfs.mkdir(&s.volume, 0o755) {
+                Ok(()) => Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => Ok(()),
+                Err(e) => Err(e),
+            })?;
         }
         Ok(())
+    }
+}
+
+/// An exclusively-held pool connection; checks itself back in on drop.
+pub struct PooledConn {
+    cfs: Option<Cfs>,
+    shared: Arc<PoolShared>,
+}
+
+impl Deref for PooledConn {
+    type Target = Cfs;
+
+    fn deref(&self) -> &Cfs {
+        self.cfs.as_ref().expect("present until drop")
+    }
+}
+
+impl Drop for PooledConn {
+    fn drop(&mut self) {
+        if let Some(cfs) = self.cfs.take() {
+            self.shared.checkin(cfs);
+        }
+    }
+}
+
+/// A file handle that owns the pool connection it was opened over.
+/// Field order matters: `inner` must drop first so the descriptor's
+/// CLOSE goes out before the connection returns to the pool.
+struct PooledHandle {
+    inner: Box<dyn FileHandle>,
+    // Held only for its Drop: checks the connection back in.
+    _conn: PooledConn,
+}
+
+impl FileHandle for PooledHandle {
+    fn pread(&mut self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        self.inner.pread(buf, offset)
+    }
+
+    fn pwrite(&mut self, buf: &[u8], offset: u64) -> io::Result<usize> {
+        self.inner.pwrite(buf, offset)
+    }
+
+    fn fstat(&mut self) -> io::Result<StatBuf> {
+        self.inner.fstat()
+    }
+
+    fn fsync(&mut self) -> io::Result<()> {
+        self.inner.fsync()
+    }
+
+    fn ftruncate(&mut self, size: u64) -> io::Result<()> {
+        self.inner.ftruncate(size)
     }
 }
 
@@ -106,21 +298,79 @@ mod tests {
     }
 
     #[test]
-    fn connections_are_cached_per_endpoint() {
+    fn checkout_miss_then_hit() {
         let p = pool(2);
-        let a = p.conn_for("host0:9094");
-        let b = p.conn_for("host0:9094");
-        let c = p.conn_for("host1:9094");
-        assert!(Arc::ptr_eq(&a, &b));
-        assert!(!Arc::ptr_eq(&a, &c));
+        let a = p.checkout("host0:9094");
+        assert_eq!(a.endpoint(), "host0:9094");
+        drop(a);
+        // The returned (never-dialed, unbroken) connection is cached.
+        assert_eq!(p.idle_count("host0:9094"), 1);
+        let _b = p.checkout("host0:9094");
+        let s = p.stats();
+        assert_eq!(s.checkouts, 2);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn concurrent_checkouts_get_distinct_connections() {
+        let p = pool(1);
+        let a = p.checkout("host0:9094");
+        let b = p.checkout("host0:9094");
+        assert!(!std::ptr::eq::<Cfs>(&*a, &*b));
+        drop(a);
+        drop(b);
+        let s = p.stats();
+        assert_eq!(s.checkouts, s.checkins);
+        assert_eq!(s.misses, 2);
+        assert_eq!(p.idle_count("host0:9094"), 2);
+    }
+
+    #[test]
+    fn idle_cache_is_capped_per_endpoint() {
+        let options = StubFsOptions {
+            max_conns_per_endpoint: 2,
+            ..StubFsOptions::default()
+        };
+        let servers = vec![DataServer::new("host0:9094", "/vol", Vec::new())];
+        let p = ServerPool::new(servers, options);
+        let guards: Vec<_> = (0..4).map(|_| p.checkout("host0:9094")).collect();
+        drop(guards);
+        assert_eq!(p.idle_count("host0:9094"), 2);
+        let s = p.stats();
+        assert_eq!(s.checkins, 4);
+        assert_eq!(s.discards, 2);
     }
 
     #[test]
     fn unknown_endpoints_still_connect_lazily() {
         let p = pool(1);
-        // No network happens at conn_for time; only shape is checked.
-        let c = p.conn_for("stranger:1");
+        // No network happens at checkout time; only shape is checked.
+        let c = p.checkout("stranger:1");
         assert_eq!(c.endpoint(), "stranger:1");
+    }
+
+    #[test]
+    fn checkouts_balance_checkins_across_threads() {
+        let p = pool(2);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let p = &p;
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let endpoint = format!("host{}:9094", (t + i) % 2);
+                        let _c = p.checkout(&endpoint);
+                    }
+                });
+            }
+        });
+        let s = p.stats();
+        assert_eq!(s.checkouts, 400);
+        assert_eq!(s.checkins, 400);
+        assert_eq!(s.hits + s.misses, s.checkouts);
+        let cap = StubFsOptions::default().max_conns_per_endpoint;
+        assert!(p.idle_count("host0:9094") <= cap);
+        assert!(p.idle_count("host1:9094") <= cap);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use std::sync::Arc;
 
 use chirp_proto::{OpenFlags, StatBuf};
 
+use crate::fanout::run_fanout;
 use crate::fs::{FileHandle, FileSystem};
 use crate::placement::{unique_data_name, Placement};
 use crate::pool::ServerPool;
@@ -68,10 +69,7 @@ impl StripeLayout {
         if parts.is_empty() {
             return Err(bad("no parts"));
         }
-        Ok(StripeLayout {
-            stripe_size,
-            parts,
-        })
+        Ok(StripeLayout { stripe_size, parts })
     }
 
     /// Where byte `offset` lives: `(part index, offset within part)`.
@@ -134,6 +132,11 @@ impl StripedFs {
         self.pool.ensure_volumes()
     }
 
+    /// A snapshot of the data-connection pool counters.
+    pub fn pool_stats(&self) -> crate::pool::PoolStats {
+        self.pool.stats()
+    }
+
     fn read_layout(&self, path: &str) -> io::Result<StripeLayout> {
         let text = self.meta.read_file(path)?;
         let text = String::from_utf8(text)
@@ -141,15 +144,21 @@ impl StripedFs {
         StripeLayout::parse(&text)
     }
 
+    /// Open every part, one pooled connection per part, concurrently
+    /// when fan-out is enabled. The first error in part order wins.
     fn open_parts(
         &self,
         layout: &StripeLayout,
         flags: OpenFlags,
     ) -> io::Result<Vec<Box<dyn FileHandle>>> {
-        layout
+        let pool = &self.pool;
+        let jobs: Vec<_> = layout
             .parts
             .iter()
-            .map(|(endpoint, path)| self.pool.conn_for(endpoint).open(path, flags, 0o644))
+            .map(|(endpoint, path)| move || pool.open(endpoint, path, flags, 0o644))
+            .collect();
+        run_fanout(pool.parallel_fanout() && layout.parts.len() > 1, jobs)
+            .into_iter()
             .collect()
     }
 
@@ -180,7 +189,11 @@ impl StripedFs {
         drop(stub);
         let create = flags | OpenFlags::WRITE | OpenFlags::CREATE;
         match self.open_parts(&layout, create) {
-            Ok(handles) => Ok(Box::new(StripedHandle { layout, handles })),
+            Ok(handles) => Ok(Box::new(StripedHandle {
+                layout,
+                handles,
+                parallel: self.pool.parallel_fanout(),
+            })),
             Err(e) => {
                 let _ = self.meta.unlink(path);
                 Err(e)
@@ -192,52 +205,183 @@ impl StripedFs {
 struct StripedHandle {
     layout: StripeLayout,
     handles: Vec<Box<dyn FileHandle>>,
+    /// Fan per-part RPCs out over scoped threads. Each part has its
+    /// own pooled connection, so parts genuinely proceed concurrently.
+    parallel: bool,
+}
+
+/// The outcome of one stripe-chunk RPC, tagged with its position in
+/// logical-offset order so partial results merge deterministically.
+type ChunkResult = (usize, io::Result<usize>);
+
+impl StripedHandle {
+    fn use_threads(&self, parts_in_play: usize) -> bool {
+        self.parallel && parts_in_play > 1
+    }
+
+    /// Run `per_handle` RPCs over every handle concurrently and return
+    /// the first error in part order, if any.
+    fn for_each_part(
+        &mut self,
+        per_handle: impl Fn(&mut Box<dyn FileHandle>) -> io::Result<()> + Sync,
+    ) -> io::Result<()> {
+        let parallel = self.use_threads(self.handles.len());
+        let per_handle = &per_handle;
+        let jobs: Vec<_> = self
+            .handles
+            .iter_mut()
+            .map(|h| move || per_handle(h))
+            .collect();
+        run_fanout(parallel, jobs).into_iter().collect()
+    }
 }
 
 impl FileHandle for StripedHandle {
     fn pread(&mut self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
-        let mut filled = 0usize;
-        while filled < buf.len() {
-            let off = offset + filled as u64;
+        // Split the request into per-stripe chunks of disjoint buffer
+        // slices, grouped by part; each part's chunks run in logical
+        // order on that part's own connection, and parts run
+        // concurrently.
+        let mut plans: Vec<Vec<(usize, u64, &mut [u8])>> =
+            (0..self.handles.len()).map(|_| Vec::new()).collect();
+        let mut chunk_lens = Vec::new();
+        let mut rest = buf;
+        let mut pos = 0u64;
+        while !rest.is_empty() {
+            let off = offset + pos;
             let (part, part_off) = self.layout.locate(off);
-            let want = (buf.len() - filled).min(self.layout.stripe_remaining(off) as usize);
-            let n = self.handles[part].pread(&mut buf[filled..filled + want], part_off)?;
-            filled += n;
-            if n < want {
-                break; // end of file
+            let len = rest.len().min(self.layout.stripe_remaining(off) as usize);
+            let (chunk, tail) = rest.split_at_mut(len);
+            plans[part].push((chunk_lens.len(), part_off, chunk));
+            chunk_lens.push(len);
+            rest = tail;
+            pos += len as u64;
+        }
+        let parallel = self.use_threads(plans.iter().filter(|p| !p.is_empty()).count());
+        let jobs: Vec<_> = self
+            .handles
+            .iter_mut()
+            .zip(plans)
+            .filter(|(_, plan)| !plan.is_empty())
+            .map(|(h, plan)| {
+                move || {
+                    let mut out: Vec<ChunkResult> = Vec::with_capacity(plan.len());
+                    for (order, part_off, chunk) in plan {
+                        let want = chunk.len();
+                        match h.pread(chunk, part_off) {
+                            Ok(n) => {
+                                out.push((order, Ok(n)));
+                                if n < want {
+                                    break; // this part hit end of file
+                                }
+                            }
+                            Err(e) => {
+                                out.push((order, Err(e)));
+                                break;
+                            }
+                        }
+                    }
+                    out
+                }
+            })
+            .collect();
+        // Merge in logical order, reproducing the sequential loop's
+        // semantics: stop at the first short chunk (end of file),
+        // surface the first erroring chunk.
+        let mut by_order: Vec<Option<io::Result<usize>>> =
+            chunk_lens.iter().map(|_| None).collect();
+        for part_out in run_fanout(parallel, jobs) {
+            for (order, res) in part_out {
+                by_order[order] = Some(res);
+            }
+        }
+        let mut filled = 0usize;
+        for (i, res) in by_order.into_iter().enumerate() {
+            match res {
+                Some(Ok(n)) => {
+                    filled += n;
+                    if n < chunk_lens[i] {
+                        break;
+                    }
+                }
+                Some(Err(e)) => return Err(e),
+                // Not attempted: an earlier chunk of the same part
+                // stopped, and the global walk stops there first.
+                None => break,
             }
         }
         Ok(filled)
     }
 
     fn pwrite(&mut self, buf: &[u8], offset: u64) -> io::Result<usize> {
-        let mut written = 0usize;
-        while written < buf.len() {
-            let off = offset + written as u64;
+        let mut plans: Vec<Vec<(usize, u64, &[u8])>> =
+            (0..self.handles.len()).map(|_| Vec::new()).collect();
+        let mut chunk_lens = Vec::new();
+        let mut rest = buf;
+        let mut pos = 0u64;
+        while !rest.is_empty() {
+            let off = offset + pos;
             let (part, part_off) = self.layout.locate(off);
-            let chunk = (buf.len() - written).min(self.layout.stripe_remaining(off) as usize);
-            self.handles[part].pwrite(&buf[written..written + chunk], part_off)?;
-            written += chunk;
+            let len = rest.len().min(self.layout.stripe_remaining(off) as usize);
+            let (chunk, tail) = rest.split_at(len);
+            plans[part].push((chunk_lens.len(), part_off, chunk));
+            chunk_lens.push(len);
+            rest = tail;
+            pos += len as u64;
+        }
+        let parallel = self.use_threads(plans.iter().filter(|p| !p.is_empty()).count());
+        let jobs: Vec<_> = self
+            .handles
+            .iter_mut()
+            .zip(plans)
+            .filter(|(_, plan)| !plan.is_empty())
+            .map(|(h, plan)| {
+                move || {
+                    let mut out: Vec<(usize, io::Result<()>)> = Vec::with_capacity(plan.len());
+                    for (order, part_off, chunk) in plan {
+                        match h.pwrite(chunk, part_off) {
+                            Ok(_) => out.push((order, Ok(()))),
+                            Err(e) => {
+                                out.push((order, Err(e)));
+                                break;
+                            }
+                        }
+                    }
+                    out
+                }
+            })
+            .collect();
+        let mut by_order: Vec<Option<io::Result<()>>> = chunk_lens.iter().map(|_| None).collect();
+        for part_out in run_fanout(parallel, jobs) {
+            for (order, res) in part_out {
+                by_order[order] = Some(res);
+            }
+        }
+        let mut written = 0usize;
+        for (i, res) in by_order.into_iter().enumerate() {
+            match res {
+                Some(Ok(())) => written += chunk_lens[i],
+                Some(Err(e)) => return Err(e),
+                None => break,
+            }
         }
         Ok(written)
     }
 
     fn fstat(&mut self) -> io::Result<StatBuf> {
-        // The logical size is the sum of the compacted part sizes.
-        let mut size = 0;
-        let mut base = self.handles[0].fstat()?;
-        for h in &mut self.handles {
-            size += h.fstat()?.size;
-        }
-        base.size = size;
+        // The logical size is the sum of the compacted part sizes;
+        // every part is queried concurrently.
+        let parallel = self.use_threads(self.handles.len());
+        let jobs: Vec<_> = self.handles.iter_mut().map(|h| move || h.fstat()).collect();
+        let stats: io::Result<Vec<StatBuf>> = run_fanout(parallel, jobs).into_iter().collect();
+        let stats = stats?;
+        let mut base = stats[0];
+        base.size = stats.iter().map(|st| st.size).sum();
         Ok(base)
     }
 
     fn fsync(&mut self) -> io::Result<()> {
-        for h in &mut self.handles {
-            h.fsync()?;
-        }
-        Ok(())
+        self.for_each_part(|h| h.fsync())
     }
 
     fn ftruncate(&mut self, size: u64) -> io::Result<()> {
@@ -247,19 +391,27 @@ impl FileHandle for StripedHandle {
         let ss = self.layout.stripe_size;
         let full = size / ss;
         let tail = size % ss;
-        for (i, h) in self.handles.iter_mut().enumerate() {
-            let i = i as u64;
-            // Stripes this part holds among the first `full` stripes.
-            let whole = full / k + u64::from(i < full % k);
-            let mut part_len = whole * ss;
-            if i == full % k {
-                part_len += tail;
-            }
-            // The tail stripe replaces that part's next stripe slot;
-            // when tail == 0 nothing is added.
-            h.ftruncate(part_len)?;
-        }
-        Ok(())
+        let part_lens: Vec<u64> = (0..self.handles.len() as u64)
+            .map(|i| {
+                // Stripes this part holds among the first `full`
+                // stripes; the tail stripe replaces that part's next
+                // stripe slot (when tail == 0 nothing is added).
+                let whole = full / k + u64::from(i < full % k);
+                let mut part_len = whole * ss;
+                if i == full % k {
+                    part_len += tail;
+                }
+                part_len
+            })
+            .collect();
+        let parallel = self.use_threads(self.handles.len());
+        let jobs: Vec<_> = self
+            .handles
+            .iter_mut()
+            .zip(part_lens)
+            .map(|(h, len)| move || h.ftruncate(len))
+            .collect();
+        run_fanout(parallel, jobs).into_iter().collect()
     }
 }
 
@@ -283,27 +435,36 @@ impl FileSystem for StripedFs {
                 open_flags |= f;
             }
         }
-        let mut handles = self.open_parts(&layout, open_flags)?;
+        let handles = self.open_parts(&layout, open_flags)?;
+        let mut striped = StripedHandle {
+            layout,
+            handles,
+            parallel: self.pool.parallel_fanout(),
+        };
         if flags.contains(OpenFlags::TRUNCATE) {
-            for h in &mut handles {
-                h.ftruncate(0)?;
-            }
+            striped.ftruncate(0)?;
         }
-        Ok(Box::new(StripedHandle { layout, handles }))
+        Ok(Box::new(striped))
     }
 
     fn stat(&self, path: &str) -> io::Result<StatBuf> {
         match self.read_layout(path) {
             Ok(layout) => {
-                let mut size = 0;
-                let mut base = None;
-                for (endpoint, part) in &layout.parts {
-                    let st = self.pool.conn_for(endpoint).stat(part)?;
-                    size += st.size;
-                    base.get_or_insert(st);
-                }
-                let mut st = base.expect("layout has parts");
-                st.size = size;
+                // Stat every part concurrently; the logical size is
+                // the sum of the part sizes.
+                let pool = &self.pool;
+                let jobs: Vec<_> = layout
+                    .parts
+                    .iter()
+                    .map(|(endpoint, part)| move || pool.with_conn(endpoint, |cfs| cfs.stat(part)))
+                    .collect();
+                let stats: io::Result<Vec<StatBuf>> =
+                    run_fanout(pool.parallel_fanout() && layout.parts.len() > 1, jobs)
+                        .into_iter()
+                        .collect();
+                let stats = stats?;
+                let mut st = stats[0];
+                st.size = stats.iter().map(|s| s.size).sum();
                 Ok(st)
             }
             Err(e) if e.kind() == io::ErrorKind::IsADirectory => self.meta.stat(path),
@@ -313,13 +474,25 @@ impl FileSystem for StripedFs {
 
     fn unlink(&self, path: &str) -> io::Result<()> {
         let layout = self.read_layout(path)?;
-        for (endpoint, part) in &layout.parts {
-            match self.pool.conn_for(endpoint).unlink(part) {
-                Ok(()) => {}
-                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-                Err(e) => return Err(e),
-            }
-        }
+        // Delete every part concurrently (data first, then stub, as in
+        // the DSFS delete protocol). Parts already gone are fine.
+        let pool = &self.pool;
+        let jobs: Vec<_> = layout
+            .parts
+            .iter()
+            .map(|(endpoint, part)| {
+                move || {
+                    pool.with_conn(endpoint, |cfs| match cfs.unlink(part) {
+                        Ok(()) => Ok(()),
+                        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+                        Err(e) => Err(e),
+                    })
+                }
+            })
+            .collect();
+        run_fanout(pool.parallel_fanout() && layout.parts.len() > 1, jobs)
+            .into_iter()
+            .collect::<io::Result<Vec<()>>>()?;
         self.meta.unlink(path)
     }
 

@@ -35,10 +35,10 @@ use std::time::Duration;
 use chirp_client::AuthMethod;
 use chirp_proto::{OpenFlags, StatBuf};
 
-use crate::cfs::{Cfs, RetryPolicy};
+use crate::cfs::RetryPolicy;
 use crate::fs::{FileHandle, FileSystem};
 use crate::placement::{unique_data_name, Placement};
-use crate::pool::ServerPool;
+use crate::pool::{PooledConn, ServerPool};
 use crate::stub::Stub;
 
 /// One data server in the pool new files may be placed on.
@@ -70,6 +70,18 @@ pub struct StubFsOptions {
     pub timeout: Duration,
     /// Recovery policy for data connections.
     pub retry: RetryPolicy,
+    /// Idle connections cached per endpoint by the server pool.
+    /// Checked-out connections are not bounded by this — it caps only
+    /// what is kept warm for reuse. Minimum effective value is 1.
+    pub max_conns_per_endpoint: usize,
+    /// Fan multi-server operations (striped reads/writes, mirror
+    /// writes, replica deletes) out over scoped threads instead of
+    /// looping over servers one at a time.
+    pub parallel_fanout: bool,
+    /// Per-handle read-ahead window in bytes for sequential reads over
+    /// a data connection; `0` (the default) disables client-side
+    /// buffering entirely, preserving the no-caching coherence story.
+    pub readahead: usize,
 }
 
 impl Default for StubFsOptions {
@@ -77,6 +89,9 @@ impl Default for StubFsOptions {
         StubFsOptions {
             timeout: Duration::from_secs(10),
             retry: RetryPolicy::default(),
+            max_conns_per_endpoint: 4,
+            parallel_fanout: true,
+            readahead: 0,
         }
     }
 }
@@ -118,14 +133,15 @@ impl StubFs {
         self.pool.ensure_volumes()
     }
 
-    fn conn_for(&self, endpoint: &str) -> io::Result<Arc<Cfs>> {
-        Ok(self.pool.conn_for(endpoint))
+    /// A pooled connection to a data endpoint (used by maintenance
+    /// tools such as [`crate::fsck`]); returns to the pool on drop.
+    pub fn data_conn(&self, endpoint: &str) -> io::Result<PooledConn> {
+        Ok(self.pool.checkout(endpoint))
     }
 
-    /// A cached connection to a data endpoint (used by maintenance
-    /// tools such as [`crate::fsck`]).
-    pub fn data_conn(&self, endpoint: &str) -> io::Result<Arc<Cfs>> {
-        self.conn_for(endpoint)
+    /// A snapshot of the data-connection pool counters.
+    pub fn pool_stats(&self) -> crate::pool::PoolStats {
+        self.pool.stats()
     }
 
     fn read_stub(&self, path: &str) -> io::Result<Stub> {
@@ -165,11 +181,13 @@ impl StubFs {
         let rendered = stub.render();
         stub_handle.pwrite(rendered.as_bytes(), 0)?;
         drop(stub_handle);
-        // Step 3: create the data file.
-        let cfs = self.conn_for(&server.endpoint)?;
-        let data_flags =
-            flags | OpenFlags::WRITE | OpenFlags::CREATE | OpenFlags::EXCLUSIVE;
-        match cfs.open(&data_path, data_flags, mode) {
+        // Step 3: create the data file. The handle owns its pooled
+        // connection, so concurrent handles never share a stream.
+        let data_flags = flags | OpenFlags::WRITE | OpenFlags::CREATE | OpenFlags::EXCLUSIVE;
+        match self
+            .pool
+            .open(&server.endpoint, &data_path, data_flags, mode)
+        {
             Ok(h) => Ok(h),
             Err(e) => {
                 // Explicit failure (not a crash): best-effort removal
@@ -187,7 +205,6 @@ impl StubFs {
         mode: u32,
     ) -> io::Result<Box<dyn FileHandle>> {
         let stub = self.read_stub(path)?;
-        let cfs = self.conn_for(&stub.endpoint)?;
         // CREATE must not apply to the data path of an existing stub —
         // the stub's existence already answered the create question.
         let mut data_flags = OpenFlags::empty();
@@ -202,7 +219,10 @@ impl StubFs {
                 data_flags |= f;
             }
         }
-        match cfs.open(&stub.data_path, data_flags, mode) {
+        match self
+            .pool
+            .open(&stub.endpoint, &stub.data_path, data_flags, mode)
+        {
             Ok(h) => Ok(h),
             Err(e) if e.kind() == io::ErrorKind::NotFound => {
                 // Dangling stub: data lost or create crashed between
@@ -236,10 +256,9 @@ impl FileSystem for StubFs {
         // the data server for the attributes — the "twice the latency
         // for metadata operations" of Figure 4.
         match self.read_stub(path) {
-            Ok(stub) => {
-                let cfs = self.conn_for(&stub.endpoint)?;
-                cfs.stat(&stub.data_path)
-            }
+            Ok(stub) => self
+                .pool
+                .with_conn(&stub.endpoint, |cfs| cfs.stat(&stub.data_path)),
             // Directories exist only in the tree.
             Err(e) if e.kind() == io::ErrorKind::IsADirectory => self.meta.stat(path),
             Err(e) => Err(e),
@@ -249,12 +268,12 @@ impl FileSystem for StubFs {
     fn unlink(&self, path: &str) -> io::Result<()> {
         let stub = self.read_stub(path)?;
         // Data first, then stub, so no unreferenced data survives.
-        let cfs = self.conn_for(&stub.endpoint)?;
-        match cfs.unlink(&stub.data_path) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {} // dangling already
-            Err(e) => return Err(e),
-        }
+        self.pool
+            .with_conn(&stub.endpoint, |cfs| match cfs.unlink(&stub.data_path) {
+                Ok(()) => Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()), // dangling already
+                Err(e) => Err(e),
+            })?;
         self.meta.unlink(path)
     }
 
@@ -278,8 +297,8 @@ impl FileSystem for StubFs {
 
     fn truncate(&self, path: &str, size: u64) -> io::Result<()> {
         let stub = self.read_stub(path)?;
-        let cfs = self.conn_for(&stub.endpoint)?;
-        cfs.truncate(&stub.data_path, size)
+        self.pool
+            .with_conn(&stub.endpoint, |cfs| cfs.truncate(&stub.data_path, size))
     }
 }
 

@@ -21,10 +21,7 @@ fn cfs_is_an_untranslated_view_of_one_server() {
     fs.write_file("/sub/f", b"content").unwrap();
     assert_eq!(fs.read_file("/sub/f").unwrap(), b"content");
     // Untranslated: the bytes are directly visible on the host.
-    assert_eq!(
-        std::fs::read(dir.path().join("sub/f")).unwrap(),
-        b"content"
-    );
+    assert_eq!(std::fs::read(dir.path().join("sub/f")).unwrap(), b"content");
     assert_eq!(fs.readdir("/").unwrap(), vec!["sub"]);
     fs.rename("/sub/f", "/g").unwrap();
     assert_eq!(fs.stat("/g").unwrap().size, 7);
@@ -230,6 +227,7 @@ fn dsfs_failure_coherence_losing_one_data_server() {
     let options = StubFsOptions {
         timeout: std::time::Duration::from_millis(300),
         retry: tss_core::RetryPolicy::none(),
+        ..StubFsOptions::default()
     };
     let fs = Dsfs::with_options(
         &dir_server.endpoint(),
@@ -308,7 +306,13 @@ fn fsck_finds_and_repairs_dangling_stubs_and_orphans() {
     // (dangling stub) and drop a foreign file into the volume
     // (orphan), plus a corrupt stub.
     let stub_text = std::fs::read_to_string(meta_dir.path().join("doomed")).unwrap();
-    let data_name = stub_text.lines().nth(2).unwrap().rsplit('/').next().unwrap();
+    let data_name = stub_text
+        .lines()
+        .nth(2)
+        .unwrap()
+        .rsplit('/')
+        .next()
+        .unwrap();
     std::fs::remove_file(d1.path().join("mydpfs").join(data_name)).unwrap();
     std::fs::write(d1.path().join("mydpfs/orphan-blob"), b"unreferenced").unwrap();
     std::fs::write(meta_dir.path().join("corrupt"), b"not a stub at all").unwrap();
@@ -352,6 +356,7 @@ fn fsck_reports_unreachable_without_condemning_data() {
         StubFsOptions {
             timeout: std::time::Duration::from_millis(300),
             retry: tss_core::RetryPolicy::none(),
+            ..StubFsOptions::default()
         },
     )
     .unwrap();
@@ -369,6 +374,7 @@ fn fsck_reports_unreachable_without_condemning_data() {
         StubFsOptions {
             timeout: std::time::Duration::from_millis(300),
             retry: tss_core::RetryPolicy::none(),
+            ..StubFsOptions::default()
         },
     )
     .unwrap();

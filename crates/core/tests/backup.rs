@@ -36,7 +36,10 @@ fn backup_restore_round_trip() {
     let dest = TempDir::new();
     let restored = vault.restore(&image.name, dest.path()).unwrap();
     assert_eq!(restored, 3);
-    assert_eq!(std::fs::read(dest.path().join("README")).unwrap(), b"project docs");
+    assert_eq!(
+        std::fs::read(dest.path().join("README")).unwrap(),
+        b"project docs"
+    );
     assert_eq!(
         std::fs::read(dest.path().join("src/main.rs")).unwrap(),
         b"fn main() {}"

@@ -53,13 +53,6 @@ pub fn cfs_arc(endpoint: &str) -> Arc<Cfs> {
 pub fn data_count(dir: &Path) -> usize {
     std::fs::read_dir(dir)
         .unwrap()
-        .filter(|e| {
-            e.as_ref()
-                .unwrap()
-                .file_name()
-                .to_string_lossy()
-                .as_ref()
-                != ".__acl"
-        })
+        .filter(|e| e.as_ref().unwrap().file_name().to_string_lossy().as_ref() != ".__acl")
         .count()
 }

@@ -44,7 +44,8 @@ const PATHS: &[&str] = &[
 fn op_strategy() -> impl Strategy<Value = Op> {
     let path = 0..PATHS.len();
     prop_oneof![
-        (path.clone(), proptest::collection::vec(any::<u8>(), 0..64)).prop_map(|(p, d)| Op::Write(p, d)),
+        (path.clone(), proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(p, d)| Op::Write(p, d)),
         path.clone().prop_map(Op::Read),
         path.clone().prop_map(Op::Stat),
         path.clone().prop_map(Op::Unlink),
@@ -96,7 +97,10 @@ fn apply(fs: &dyn FileSystem, op: &Op) -> Outcome {
 fn snapshot(fs: &dyn FileSystem) -> Vec<(String, Outcome)> {
     let mut out = Vec::new();
     for p in PATHS {
-        out.push((format!("stat {p}"), Outcome::IsDir(fs.stat(p).ok().map(|s| s.is_dir()))));
+        out.push((
+            format!("stat {p}"),
+            Outcome::IsDir(fs.stat(p).ok().map(|s| s.is_dir())),
+        ));
         out.push((format!("read {p}"), Outcome::Bytes(fs.read_file(p).ok())));
         out.push((
             format!("size {p}"),

@@ -76,7 +76,11 @@ fn striped_data_is_actually_spread() {
         .collect();
     let mut sorted = sizes.clone();
     sorted.sort();
-    assert_eq!(sorted, vec![2000, 3000], "stripes dealt round-robin: {sizes:?}");
+    assert_eq!(
+        sorted,
+        vec![2000, 3000],
+        "stripes dealt round-robin: {sizes:?}"
+    );
 }
 
 #[test]
@@ -143,7 +147,12 @@ fn striped_width_must_fit_pool() {
 fn mirrored_fixture(
     n: usize,
     copies: usize,
-) -> (TempDir, Vec<TempDir>, Vec<chirp_server::FileServer>, MirroredFs) {
+) -> (
+    TempDir,
+    Vec<TempDir>,
+    Vec<chirp_server::FileServer>,
+    MirroredFs,
+) {
     let meta_dir = TempDir::new();
     let hosts: Vec<TempDir> = (0..n).map(|_| TempDir::new()).collect();
     let servers: Vec<chirp_server::FileServer> =
@@ -153,6 +162,7 @@ fn mirrored_fixture(
     let options = StubFsOptions {
         timeout: std::time::Duration::from_millis(500),
         retry: tss_core::RetryPolicy::none(),
+        ..StubFsOptions::default()
     };
     let fs = MirroredFs::new(meta, pool(&refs), copies, options).unwrap();
     fs.ensure_volumes().unwrap();

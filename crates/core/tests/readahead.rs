@@ -1,0 +1,97 @@
+//! Client-side read-ahead: a per-handle window filled by oversized
+//! `PREAD`s serves small sequential reads without extra round trips,
+//! and is invalidated by anything that could make it stale (writes,
+//! truncates, reconnection).
+
+mod common;
+
+use chirp_proto::testutil::TempDir;
+use chirp_proto::OpenFlags;
+use common::{auth, open_server};
+use tss_core::cfs::{Cfs, CfsConfig};
+use tss_core::fs::FileSystem;
+
+fn readahead_cfs(endpoint: &str, window: usize) -> Cfs {
+    Cfs::new(CfsConfig::new(endpoint, auth()).with_readahead(window))
+}
+
+#[test]
+fn sequential_small_reads_come_from_the_window() {
+    let dir = TempDir::new();
+    let server = open_server(dir.path());
+    let fs = readahead_cfs(&server.endpoint(), 64 * 1024);
+    let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+    fs.write_file("/big", &data).unwrap();
+
+    let before = server.stats().snapshot().requests;
+    let mut h = fs.open("/big", OpenFlags::READ, 0).unwrap();
+    let mut out = Vec::new();
+    let mut buf = [0u8; 1000];
+    loop {
+        let n = h.pread(&mut buf, out.len() as u64).unwrap();
+        if n == 0 {
+            break;
+        }
+        out.extend_from_slice(&buf[..n]);
+    }
+    assert_eq!(out, data);
+    // 100 reads of 1000 bytes against a 64 KiB window: the server
+    // should have seen a handful of big PREADs, not one per call.
+    let rpcs = server.stats().snapshot().requests - before;
+    assert!(rpcs < 20, "expected few amplified RPCs, saw {rpcs}");
+}
+
+#[test]
+fn writes_invalidate_the_window() {
+    let dir = TempDir::new();
+    let server = open_server(dir.path());
+    let fs = readahead_cfs(&server.endpoint(), 64 * 1024);
+    fs.write_file("/f", b"old old old old").unwrap();
+
+    let mut h = fs
+        .open("/f", OpenFlags::READ | OpenFlags::WRITE, 0)
+        .unwrap();
+    let mut buf = [0u8; 3];
+    h.pread(&mut buf, 0).unwrap();
+    assert_eq!(&buf, b"old");
+    // Overwrite through the same handle; the stale window must not
+    // answer the next read.
+    h.pwrite(b"new", 0).unwrap();
+    h.pread(&mut buf, 0).unwrap();
+    assert_eq!(&buf, b"new");
+}
+
+#[test]
+fn truncate_invalidates_the_window() {
+    let dir = TempDir::new();
+    let server = open_server(dir.path());
+    let fs = readahead_cfs(&server.endpoint(), 64 * 1024);
+    fs.write_file("/f", b"0123456789").unwrap();
+
+    let mut h = fs
+        .open("/f", OpenFlags::READ | OpenFlags::WRITE, 0)
+        .unwrap();
+    let mut buf = [0u8; 10];
+    assert_eq!(h.pread(&mut buf, 0).unwrap(), 10);
+    h.ftruncate(4).unwrap();
+    // The window held 10 bytes; after the truncate only 4 remain.
+    assert_eq!(h.pread(&mut buf, 0).unwrap(), 4);
+    assert_eq!(&buf[..4], b"0123");
+}
+
+#[test]
+fn zero_window_means_no_buffering() {
+    let dir = TempDir::new();
+    let server = open_server(dir.path());
+    let fs = readahead_cfs(&server.endpoint(), 0);
+    fs.write_file("/f", b"abcdef").unwrap();
+
+    let mut h = fs.open("/f", OpenFlags::READ, 0).unwrap();
+    let before = server.stats().snapshot().requests;
+    let mut b = [0u8; 2];
+    for off in [0u64, 2, 4] {
+        h.pread(&mut b, off).unwrap();
+    }
+    // Every pread is its own RPC — the paper's no-caching default.
+    assert_eq!(server.stats().snapshot().requests - before, 3);
+}

@@ -37,12 +37,13 @@ pub fn audit_once(gems: &Gems) -> io::Result<AuditReport> {
         let mut changed = false;
         rec.replicas.retain(|replica| {
             let cfs = gems.conn_for_replica(replica);
-            let verdict = tss_core::fs::FileSystem::stat(cfs.as_ref(), &replica.path).and_then(|st| {
-                if st.size != rec.size {
-                    return Ok(false);
-                }
-                Ok(cfs.checksum(&replica.path)? == rec.checksum)
-            });
+            let verdict =
+                tss_core::fs::FileSystem::stat(cfs.as_ref(), &replica.path).and_then(|st| {
+                    if st.size != rec.size {
+                        return Ok(false);
+                    }
+                    Ok(cfs.checksum(&replica.path)? == rec.checksum)
+                });
             match verdict {
                 Ok(true) => {
                     report.healthy += 1;

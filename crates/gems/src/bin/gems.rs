@@ -57,7 +57,12 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         match arg.as_str() {
             "--db" => db = it.next(),
             "--pool" => pool_spec = it.next(),
-            "--target" => target = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--target" => {
+                target = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--hostname" => auth.push(AuthMethod::Hostname),
             "--ticket" => {
                 let spec = it.next().unwrap_or_else(|| usage());
@@ -75,7 +80,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    let (Some(db), Some(pool_spec)) = (db, pool_spec) else { usage() };
+    let (Some(db), Some(pool_spec)) = (db, pool_spec) else {
+        usage()
+    };
     if auth.is_empty() {
         auth.push(AuthMethod::Hostname);
     }
@@ -90,10 +97,14 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     config.default_target = target;
     let gems = Gems::connect(config)?;
 
-    let Some(command) = rest.first().cloned() else { usage() };
+    let Some(command) = rest.first().cloned() else {
+        usage()
+    };
     let args = &rest[1..];
     let arg = |i: usize| -> Result<&str, Box<dyn std::error::Error>> {
-        args.get(i).map(String::as_str).ok_or_else(|| "missing argument".into())
+        args.get(i)
+            .map(String::as_str)
+            .ok_or_else(|| "missing argument".into())
     };
     match command.as_str() {
         "ingest" => {

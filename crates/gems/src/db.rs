@@ -200,9 +200,7 @@ fn serve(stream: TcpStream, store: &Store) -> std::io::Result<()> {
                         return Ok(());
                     }
                 };
-                let parsed = std::str::from_utf8(&body)
-                    .ok()
-                    .and_then(FileRecord::parse);
+                let parsed = std::str::from_utf8(&body).ok().and_then(FileRecord::parse);
                 match parsed {
                     Some(rec) => {
                         store.put(rec)?;

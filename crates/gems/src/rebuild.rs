@@ -52,8 +52,7 @@ pub fn rebuild(gems: &Gems) -> io::Result<RebuildReport> {
                 report.rejected += 1;
                 continue;
             };
-            let Some(core) = std::str::from_utf8(&body).ok().and_then(FileRecord::parse)
-            else {
+            let Some(core) = std::str::from_utf8(&body).ok().and_then(FileRecord::parse) else {
                 report.rejected += 1;
                 continue;
             };

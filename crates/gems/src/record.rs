@@ -46,7 +46,8 @@ impl FileRecord {
 
     /// How many replicas are missing relative to the target.
     pub fn deficit(&self) -> u32 {
-        self.replica_target.saturating_sub(self.replicas.len() as u32)
+        self.replica_target
+            .saturating_sub(self.replicas.len() as u32)
     }
 
     /// Render without replica locations — the sidecar form stored
@@ -77,9 +78,7 @@ impl FileRecord {
 
     /// Parse the line format back.
     pub fn parse(text: &str) -> Option<FileRecord> {
-        let d = |s: &str| -> Option<String> {
-            unescape(s).and_then(|b| String::from_utf8(b).ok())
-        };
+        let d = |s: &str| -> Option<String> { unescape(s).and_then(|b| String::from_utf8(b).ok()) };
         let mut name = None;
         let mut size = None;
         let mut checksum = None;

@@ -99,10 +99,7 @@ fn copy_replica(
     path: &str,
 ) -> bool {
     let src = gems.conn_for_replica(source);
-    if src
-        .thirdput(&source.path, &server.endpoint, path)
-        .is_ok()
-    {
+    if src.thirdput(&source.path, &server.endpoint, path).is_ok() {
         return true;
     }
     // Fallback: pull to this host, push to the target.
@@ -119,10 +116,8 @@ fn copy_replica(
 /// The first replica whose server-side checksum matches the record —
 /// verified without moving data.
 fn verified_source<'a>(gems: &Gems, rec: &'a crate::FileRecord) -> Option<&'a Replica> {
-    rec.replicas
-        .iter()
-        .find(|replica| {
-            let cfs = gems.conn_for_replica(replica);
-            cfs.checksum(&replica.path).ok() == Some(rec.checksum)
-        })
+    rec.replicas.iter().find(|replica| {
+        let cfs = gems.conn_for_replica(replica);
+        cfs.checksum(&replica.path).ok() == Some(rec.checksum)
+    })
 }

@@ -130,7 +130,12 @@ impl Gems {
         data: &[u8],
     ) -> io::Result<FileRecord> {
         let checksum = chirp_proto::crc64(data);
-        let mut rec = FileRecord::new(name, data.len() as u64, checksum, self.config.default_target);
+        let mut rec = FileRecord::new(
+            name,
+            data.len() as u64,
+            checksum,
+            self.config.default_target,
+        );
         for (k, v) in attrs {
             rec.attrs.insert(k.to_string(), v.to_string());
         }
@@ -138,7 +143,11 @@ impl Gems {
             .place(&rec)
             .ok_or_else(|| io::Error::new(io::ErrorKind::Unsupported, "empty GEMS pool"))?
             .clone();
-        let path = format!("{}/{}", server.volume, tss_core::placement::unique_data_name());
+        let path = format!(
+            "{}/{}",
+            server.volume,
+            tss_core::placement::unique_data_name()
+        );
         let cfs = self.conn_for(&server.endpoint, &server.auth);
         cfs.putfile(&path, 0o644, data)?;
         // Sidecar metadata makes the database rebuildable by rescan.

@@ -52,7 +52,9 @@ fn fixture(nservers: usize, target: u32) -> Fixture {
 }
 
 fn payload(i: u64) -> Vec<u8> {
-    (0..4096u64).map(|j| ((i * 131 + j * 7) % 251) as u8).collect()
+    (0..4096u64)
+        .map(|j| ((i * 131 + j * 7) % 251) as u8)
+        .collect()
 }
 
 #[test]
@@ -200,7 +202,11 @@ fn audit_prunes_replicas_on_a_dead_server() {
     gems::replicate_once(&f.gems, usize::MAX).unwrap();
     let rec = f.gems.record("x").unwrap();
     let dead_ep = rec.replicas[0].endpoint.clone();
-    let idx = f.servers.iter().position(|s| s.endpoint() == dead_ep).unwrap();
+    let idx = f
+        .servers
+        .iter()
+        .position(|s| s.endpoint() == dead_ep)
+        .unwrap();
     f.servers[idx].shutdown();
 
     let audit = gems::audit_once(&f.gems).unwrap();
@@ -361,7 +367,10 @@ fn lost_database_is_rebuilt_by_rescanning_servers() {
     config.timeout = Duration::from_millis(1500);
     config.retry = RetryPolicy::none();
     let recovered = Gems::connect(config).unwrap();
-    assert!(recovered.list().unwrap().is_empty(), "fresh db starts empty");
+    assert!(
+        recovered.list().unwrap().is_empty(),
+        "fresh db starts empty"
+    );
 
     let report = gems::rebuild(&recovered).unwrap();
     assert_eq!(report.records, 4);
@@ -376,7 +385,13 @@ fn lost_database_is_rebuilt_by_rescanning_servers() {
     assert_eq!(recovered.query("run", "2").unwrap(), vec!["run2/out"]);
     for i in 0..4u64 {
         assert_eq!(recovered.fetch(&format!("run{i}/out")).unwrap(), payload(i));
-        assert_eq!(recovered.record(&format!("run{i}/out")).unwrap().replica_target, 2);
+        assert_eq!(
+            recovered
+                .record(&format!("run{i}/out"))
+                .unwrap()
+                .replica_target,
+            2
+        );
     }
 }
 
@@ -393,7 +408,9 @@ fn rebuild_rejects_tampered_replicas() {
         .iter()
         .position(|s| s.endpoint() == victim.endpoint)
         .unwrap();
-    let host_path = f._dirs[idx].path().join(victim.path.trim_start_matches('/'));
+    let host_path = f._dirs[idx]
+        .path()
+        .join(victim.path.trim_start_matches('/'));
     let mut bytes = std::fs::read(&host_path).unwrap();
     bytes[0] ^= 0xff;
     std::fs::write(&host_path, &bytes).unwrap();

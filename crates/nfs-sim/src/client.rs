@@ -246,8 +246,7 @@ impl FileSystem for NfsFs {
     fn unlink(&self, path: &str) -> io::Result<()> {
         let (dir, leaf) = self.lookup_parent(path)?;
         let mut conn = self.conn.lock();
-        conn.rpc(&NfsRequest::Remove { dir, name: leaf }, None)
-            ?;
+        conn.rpc(&NfsRequest::Remove { dir, name: leaf }, None)?;
         Ok(())
     }
 
@@ -263,36 +262,31 @@ impl FileSystem for NfsFs {
                 to_name,
             },
             None,
-        )
-        ?;
+        )?;
         Ok(())
     }
 
     fn mkdir(&self, path: &str, _mode: u32) -> io::Result<()> {
         let (dir, leaf) = self.lookup_parent(path)?;
         let mut conn = self.conn.lock();
-        conn.rpc(&NfsRequest::Mkdir { dir, name: leaf }, None)
-            ?;
+        conn.rpc(&NfsRequest::Mkdir { dir, name: leaf }, None)?;
         Ok(())
     }
 
     fn rmdir(&self, path: &str) -> io::Result<()> {
         let (dir, leaf) = self.lookup_parent(path)?;
         let mut conn = self.conn.lock();
-        conn.rpc(&NfsRequest::Rmdir { dir, name: leaf }, None)
-            ?;
+        conn.rpc(&NfsRequest::Rmdir { dir, name: leaf }, None)?;
         Ok(())
     }
 
     fn readdir(&self, path: &str) -> io::Result<Vec<String>> {
         let (fh, _) = self.lookup_path(path)?;
         let mut conn = self.conn.lock();
-        let st = conn
-            .rpc(&NfsRequest::Readdir { dir: fh }, None)
-            ?;
+        let st = conn.rpc(&NfsRequest::Readdir { dir: fh }, None)?;
         let body = conn.read_body(st.value as u64)?;
-        let text = String::from_utf8(body)
-            .map_err(|_| io::Error::from(io::ErrorKind::InvalidData))?;
+        let text =
+            String::from_utf8(body).map_err(|_| io::Error::from(io::ErrorKind::InvalidData))?;
         text.split('\n')
             .filter(|s| !s.is_empty())
             .map(|w| {
@@ -306,8 +300,7 @@ impl FileSystem for NfsFs {
     fn truncate(&self, path: &str, size: u64) -> io::Result<()> {
         let (fh, _) = self.lookup_path(path)?;
         let mut conn = self.conn.lock();
-        conn.rpc(&NfsRequest::Setattr { fh, size }, None)
-            ?;
+        conn.rpc(&NfsRequest::Setattr { fh, size }, None)?;
         Ok(())
     }
 }

@@ -146,9 +146,7 @@ impl NfsRequest {
         let words = split_words(line);
         let (&verb, args) = words.split_first().ok_or_else(bad)?;
         let num = |i: usize| -> io::Result<u64> {
-            args.get(i)
-                .and_then(|w| w.parse().ok())
-                .ok_or_else(bad)
+            args.get(i).and_then(|w| w.parse().ok()).ok_or_else(bad)
         };
         let text = |i: usize| -> io::Result<String> {
             let raw = args.get(i).ok_or_else(bad)?;
@@ -253,11 +251,7 @@ mod tests {
             NfsRequest::Setattr { fh: 4, size: 100 },
         ] {
             let line = req.encode();
-            assert_eq!(
-                NfsRequest::parse(line.trim_end()).unwrap(),
-                req,
-                "{line:?}"
-            );
+            assert_eq!(NfsRequest::parse(line.trim_end()).unwrap(), req, "{line:?}");
         }
     }
 

@@ -154,7 +154,12 @@ fn attr_words(meta: &std::fs::Metadata) -> String {
     } else {
         'o'
     };
-    format!("{kind} {} {} {}", meta.len(), meta.mtime().max(0), meta.ino())
+    format!(
+        "{kind} {} {} {}",
+        meta.len(),
+        meta.mtime().max(0),
+        meta.ino()
+    )
 }
 
 fn inside(root: &Path, child: &Path) -> bool {
@@ -261,7 +266,8 @@ fn handle(shared: &Shared, req: &NfsRequest, payload: Option<&[u8]>) -> std::io:
         NfsRequest::Write { fh, offset, .. } => {
             use std::os::unix::fs::FileExt;
             let path = path_of(*fh)?;
-            let data = payload.ok_or_else(|| std::io::Error::from(std::io::ErrorKind::InvalidData))?;
+            let data =
+                payload.ok_or_else(|| std::io::Error::from(std::io::ErrorKind::InvalidData))?;
             let file = std::fs::OpenOptions::new().write(true).open(&path)?;
             file.write_all_at(data, *offset)?;
             Ok(Response::Value(data.len() as i64))

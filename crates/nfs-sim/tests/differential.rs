@@ -29,7 +29,10 @@ const PATHS: &[&str] = &["/a", "/b", "/dir", "/dir/x", "/dir/y", "/dir2"];
 fn op_strategy() -> impl Strategy<Value = Op> {
     let path = 0..PATHS.len();
     prop_oneof![
-        (path.clone(), proptest::collection::vec(any::<u8>(), 0..5000))
+        (
+            path.clone(),
+            proptest::collection::vec(any::<u8>(), 0..5000)
+        )
             .prop_map(|(p, d)| Op::Write(p, d)),
         path.clone().prop_map(Op::Read),
         path.clone().prop_map(Op::Stat),
@@ -54,9 +57,7 @@ fn apply(fs: &dyn FileSystem, op: &Op) -> Outcome {
     match op {
         Op::Write(p, d) => Outcome::Unit(fs.write_file(PATHS[*p], d).is_ok()),
         Op::Read(p) => Outcome::Bytes(fs.read_file(PATHS[*p]).ok()),
-        Op::Stat(p) => {
-            Outcome::IsDirSize(fs.stat(PATHS[*p]).ok().map(|s| (s.is_dir(), s.size)))
-        }
+        Op::Stat(p) => Outcome::IsDirSize(fs.stat(PATHS[*p]).ok().map(|s| (s.is_dir(), s.size))),
         Op::Unlink(p) => Outcome::Unit(fs.unlink(PATHS[*p]).is_ok()),
         Op::Rename(a, b) => Outcome::Unit(fs.rename(PATHS[*a], PATHS[*b]).is_ok()),
         Op::Mkdir(p) => Outcome::Unit(fs.mkdir(PATHS[*p], 0o755).is_ok()),

@@ -154,11 +154,7 @@ mod tests {
     #[test]
     fn cache_sweep_moves_the_crossover() {
         let m = CostModel::default();
-        let rows = cache_sweep(
-            &m,
-            &[128 << 20, 1024 << 20],
-            &[2],
-        );
+        let rows = cache_sweep(&m, &[128 << 20, 1024 << 20], &[2]);
         let small_cache = rows[0].throughput[0].1;
         let big_cache = rows[1].throughput[0].1;
         // With 1 GB per server, 2 servers hold the whole 1280 MB

@@ -163,10 +163,10 @@ pub fn run(model: &CostModel, p: ClusterParams) -> ClusterResult {
     let mut hits = 0u64;
     let mut reads = 0u64;
     let start_flow = |client: usize,
-                          rng: &mut SmallRng,
-                          caches: &mut Vec<LruFileCache>,
-                          hits: &mut u64,
-                          reads: &mut u64|
+                      rng: &mut SmallRng,
+                      caches: &mut Vec<LruFileCache>,
+                      hits: &mut u64,
+                      reads: &mut u64|
      -> ActiveFlow {
         let file = pick_file(rng);
         let server = server_of(file);
@@ -302,7 +302,11 @@ mod tests {
         // >=3 servers memory+switch bound.
         let r1 = run(&model(), ClusterParams::fig7(1, 16));
         let r4 = run(&model(), ClusterParams::fig7(4, 16));
-        assert!(r1.mb_per_s() < 40.0, "1 server disk-bound: {:.1}", r1.mb_per_s());
+        assert!(
+            r1.mb_per_s() < 40.0,
+            "1 server disk-bound: {:.1}",
+            r1.mb_per_s()
+        );
         assert!(
             r4.mb_per_s() > 150.0,
             "4 servers cache-resident: {:.1}",
@@ -326,7 +330,10 @@ mod tests {
         let ratio4 = r4.mb_per_s() / r1.mb_per_s();
         let ratio8 = r8.mb_per_s() / r1.mb_per_s();
         assert!((3.0..5.5).contains(&ratio4), "4-server scaling {ratio4:.2}");
-        assert!((6.0..10.5).contains(&ratio8), "8-server scaling {ratio8:.2}");
+        assert!(
+            (6.0..10.5).contains(&ratio8),
+            "8-server scaling {ratio8:.2}"
+        );
     }
 
     #[test]

@@ -124,10 +124,7 @@ impl CostModel {
     /// Time for one NFS RPC moving up to one transfer unit.
     pub fn nfs_rpc(&self, bytes: u64) -> f64 {
         debug_assert!(bytes <= self.nfs_transfer);
-        self.lan_rtt
-            + self.server_cpu_per_rpc
-            + self.nfs_rpc_overhead
-            + bytes as f64 / self.port_bw
+        self.lan_rtt + self.server_cpu_per_rpc + self.nfs_rpc_overhead + bytes as f64 / self.port_bw
     }
 
     /// Time for NFS to move `bytes`: a chain of strict 4 KB

@@ -181,10 +181,7 @@ mod tests {
     fn slow_flow_does_not_drag_fast_flows_down() {
         // Max-min property: one disk-bound flow leaves the rest of the
         // port to others.
-        let c = caps(&[
-            (Resource::ServerNic(0), 100.0),
-            (Resource::Disk(0), 10.0),
-        ]);
+        let c = caps(&[(Resource::ServerNic(0), 100.0), (Resource::Disk(0), 10.0)]);
         let f = vec![
             flow(&[Resource::ServerNic(0), Resource::Disk(0)]), // miss
             flow(&[Resource::ServerNic(0)]),                    // hit
@@ -312,7 +309,11 @@ mod tests {
                     if i % 2 == 0 {
                         flow(&[Resource::ServerNic(0), Resource::Backplane])
                     } else {
-                        flow(&[Resource::ServerNic(0), Resource::Disk(0), Resource::Backplane])
+                        flow(&[
+                            Resource::ServerNic(0),
+                            Resource::Disk(0),
+                            Resource::Backplane,
+                        ])
                     }
                 })
                 .collect();

@@ -118,8 +118,9 @@ pub fn run(p: &GemsParams) -> GemsResult {
     let stored = |replicas: &Vec<Vec<usize>>| -> u64 {
         replicas.iter().map(|r| r.len() as u64).sum::<u64>() * p.file_size
     };
-    let alive =
-        |replicas: &Vec<Vec<usize>>| -> u64 { replicas.iter().filter(|r| !r.is_empty()).count() as u64 };
+    let alive = |replicas: &Vec<Vec<usize>>| -> u64 {
+        replicas.iter().filter(|r| !r.is_empty()).count() as u64
+    };
 
     while time <= p.duration {
         // Sampling.

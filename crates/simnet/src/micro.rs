@@ -33,7 +33,8 @@ pub fn fig3_syscall_latency(m: &CostModel) -> Vec<LatencyRow> {
             let traps = if call == "open/close" { 2.0 } else { 1.0 };
             let parrot = unix
                 + traps
-                    * (m.trapped_syscall(bytes) - m.syscall_base
+                    * (m.trapped_syscall(bytes)
+                        - m.syscall_base
                         - bytes as f64 / m.adapter_copy_bw)
                 + bytes as f64 / m.adapter_copy_bw;
             LatencyRow {
@@ -192,19 +193,27 @@ mod tests {
     #[test]
     fn fig5_plateaus_match_the_paper() {
         let rows = fig5_bandwidth(&m(), &[1 << 20]);
-        let at = |name: &str| {
-            rows[0]
-                .systems
-                .iter()
-                .find(|(n, _)| n == name)
-                .unwrap()
-                .1
-                / 1e6
-        };
-        assert!((700.0..800.0).contains(&at("unix")), "unix {:.0}", at("unix"));
-        assert!((380.0..440.0).contains(&at("parrot")), "parrot {:.0}", at("parrot"));
-        assert!((60.0..104.0).contains(&at("parrot+cfs")), "cfs {:.0}", at("parrot+cfs"));
-        assert!((6.0..15.0).contains(&at("unix+nfs")), "nfs {:.0}", at("unix+nfs"));
+        let at = |name: &str| rows[0].systems.iter().find(|(n, _)| n == name).unwrap().1 / 1e6;
+        assert!(
+            (700.0..800.0).contains(&at("unix")),
+            "unix {:.0}",
+            at("unix")
+        );
+        assert!(
+            (380.0..440.0).contains(&at("parrot")),
+            "parrot {:.0}",
+            at("parrot")
+        );
+        assert!(
+            (60.0..104.0).contains(&at("parrot+cfs")),
+            "cfs {:.0}",
+            at("parrot+cfs")
+        );
+        assert!(
+            (6.0..15.0).contains(&at("unix+nfs")),
+            "nfs {:.0}",
+            at("unix+nfs")
+        );
     }
 
     #[test]

@@ -165,8 +165,8 @@ pub fn table(m: &CostModel, p: Sp5Params) -> Vec<Sp5Row> {
                 samples.push(base_init * jitter);
             }
             let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-            let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
-                / samples.len() as f64;
+            let var =
+                samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64;
             let time_per_event =
                 p.event_cpu * cpu_scale + event_output_time(m, config, p.event_output);
             Sp5Row {

@@ -21,10 +21,7 @@ fn main() -> std::io::Result<()> {
         ServerConfig::localhost(friend.path(), "trusted-friend")
             .with_root_acl(Acl::single("hostname:*", "rwlda").unwrap()),
     )?;
-    let storage = Arc::new(Cfs::connect(
-        &server.endpoint(),
-        vec![AuthMethod::Hostname],
-    ));
+    let storage = Arc::new(Cfs::connect(&server.endpoint(), vec![AuthMethod::Hostname]));
     let vault = BackupVault::open(storage, "/backups/my-thesis")?;
     println!("vault opened on {}", server.endpoint());
 
@@ -44,7 +41,10 @@ fn main() -> std::io::Result<()> {
         b"\\section{Evaluation}",
     )?;
     let day2 = vault.backup(work.path(), "day2")?;
-    println!("day2: {} files (only the new chapter uploaded — dedup)", day2.file_count);
+    println!(
+        "day2: {} files (only the new chapter uploaded — dedup)",
+        day2.file_count
+    );
 
     // Day three: disaster. The intro is overwritten with garbage and
     // backed up before anyone notices.
@@ -69,7 +69,10 @@ fn main() -> std::io::Result<()> {
     // Or restore a whole image elsewhere.
     let restore_dir = TempDir::new();
     let files = vault.restore(&day2.name, restore_dir.path())?;
-    println!("restored {} files from {} into a fresh tree", files, day2.label);
+    println!(
+        "restored {} files from {} into a fresh tree",
+        files, day2.label
+    );
 
     // Keep history bounded on the borrowed disk.
     let (images_gone, blobs_gone) = vault.prune(2)?;

@@ -95,7 +95,10 @@ fn main() -> std::io::Result<()> {
         .collect();
     let fs2 = Dsfs::new(&dir_endpoint, "/shared-tree", auth, surviving)?;
     fs2.write_file("/results/post-failure.out", b"still in business")?;
-    assert_eq!(fs.read_file("/results/post-failure.out")?, b"still in business");
+    assert_eq!(
+        fs.read_file("/results/post-failure.out")?,
+        b"still in business"
+    );
     println!("new writes succeed on the reconfigured pool");
     Ok(())
 }

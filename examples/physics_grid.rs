@@ -40,7 +40,8 @@ fn main() -> std::io::Result<()> {
     // and an event data file — the complex installation SP5 actually
     // has, in miniature.
     {
-        let mut setup = tss::chirp_client::Connection::connect(server.addr(), Duration::from_secs(5))?;
+        let mut setup =
+            tss::chirp_client::Connection::connect(server.addr(), Duration::from_secs(5))?;
         setup
             .authenticate(&[tss::chirp_client::AuthMethod::ticket(
                 "globus",
@@ -49,8 +50,12 @@ fn main() -> std::io::Result<()> {
             )])
             .map_err(std::io::Error::from)?;
         setup.mkdir("/sp5", 0o755).map_err(std::io::Error::from)?;
-        setup.mkdir("/sp5/lib", 0o755).map_err(std::io::Error::from)?;
-        setup.mkdir("/sp5/etc", 0o755).map_err(std::io::Error::from)?;
+        setup
+            .mkdir("/sp5/lib", 0o755)
+            .map_err(std::io::Error::from)?;
+        setup
+            .mkdir("/sp5/etc", 0o755)
+            .map_err(std::io::Error::from)?;
         setup.mkdir("/data", 0o755).map_err(std::io::Error::from)?;
         for lib in ["libdetector.so", "libgeometry.so", "libio.so"] {
             setup
@@ -61,7 +66,11 @@ fn main() -> std::io::Result<()> {
             .putfile("/sp5/etc/run.conf", 0o644, b"events=5\nseed=17\n")
             .map_err(std::io::Error::from)?;
         setup
-            .putfile("/data/events.in", 0o644, &(0..5000u32).flat_map(u32::to_le_bytes).collect::<Vec<_>>())
+            .putfile(
+                "/data/events.in",
+                0o644,
+                &(0..5000u32).flat_map(u32::to_le_bytes).collect::<Vec<_>>(),
+            )
             .map_err(std::io::Error::from)?;
     }
 
@@ -89,7 +98,10 @@ fn main() -> std::io::Result<()> {
         // The "application" below knows nothing about Chirp: it opens
         // the install-time paths it was built with.
         let libs = adapter.readdir("/usr/local/sp5/lib")?;
-        println!("grid node loaded {} dynamic libraries: {libs:?}", libs.len());
+        println!(
+            "grid node loaded {} dynamic libraries: {libs:?}",
+            libs.len()
+        );
         let conf = adapter.read_file("/usr/local/sp5/etc/run.conf")?;
         let conf = String::from_utf8_lossy(&conf);
         let events: u64 = conf
@@ -122,7 +134,8 @@ fn main() -> std::io::Result<()> {
     let checksum = grid_job.join().expect("grid job thread")?;
 
     // -- back home: the output arrived under the lab's control ----------
-    let mut home_view = tss::chirp_client::Connection::connect(server.addr(), Duration::from_secs(5))?;
+    let mut home_view =
+        tss::chirp_client::Connection::connect(server.addr(), Duration::from_secs(5))?;
     home_view
         .authenticate(&[tss::chirp_client::AuthMethod::ticket(
             "globus",
@@ -141,7 +154,8 @@ fn main() -> std::io::Result<()> {
 
     // An uncredentialed visitor gets nothing — the point of carrying
     // grid security to wherever the job lands.
-    let mut stranger = tss::chirp_client::Connection::connect(server.addr(), Duration::from_secs(5))?;
+    let mut stranger =
+        tss::chirp_client::Connection::connect(server.addr(), Duration::from_secs(5))?;
     stranger
         .authenticate(&[tss::chirp_client::AuthMethod::Hostname])
         .map_err(std::io::Error::from)?;

@@ -49,10 +49,13 @@ fn main() -> std::io::Result<()> {
 
     // -- the owner uses her own server ---------------------------------
     let mut alice = Connection::connect(server.addr(), timeout)?;
-    let subject = alice.authenticate(&[AuthMethod::ticket("globus", "", "alice-secret")])
+    let subject = alice
+        .authenticate(&[AuthMethod::ticket("globus", "", "alice-secret")])
         .map_err(std::io::Error::from)?;
     println!("alice authenticated as: {subject}");
-    alice.mkdir("/software", 0o755).map_err(std::io::Error::from)?;
+    alice
+        .mkdir("/software", 0o755)
+        .map_err(std::io::Error::from)?;
     alice
         .putfile("/software/libphysics.so", 0o644, b"pretend shared library")
         .map_err(std::io::Error::from)?;
@@ -68,7 +71,9 @@ fn main() -> std::io::Result<()> {
     assert!(visitor.putfile("/evil", 0o644, b"nope").is_err());
     // ...but mkdir under the reserve right creates a private space
     // whose ACL names only the visitor.
-    visitor.mkdir("/backup", 0o755).map_err(std::io::Error::from)?;
+    visitor
+        .mkdir("/backup", 0o755)
+        .map_err(std::io::Error::from)?;
     visitor
         .putfile("/backup/notes.txt", 0o644, b"my private data")
         .map_err(std::io::Error::from)?;

@@ -64,7 +64,10 @@ fn main() -> std::io::Result<()> {
             .filter(|e| e.file_name() != ".__acl")
             .map(|e| e.metadata().map(|m| m.len()).unwrap_or(0))
             .sum();
-        println!("  server {i} holds {:.1} MiB of stripes", bytes as f64 / (1 << 20) as f64);
+        println!(
+            "  server {i} holds {:.1} MiB of stripes",
+            bytes as f64 / (1 << 20) as f64
+        );
     }
 
     // ---- mirroring: survive losing half the servers -------------------
@@ -76,6 +79,7 @@ fn main() -> std::io::Result<()> {
         StubFsOptions {
             timeout: std::time::Duration::from_millis(500),
             retry: tss::core::cfs::RetryPolicy::none(),
+            ..StubFsOptions::default()
         },
     )?;
     mirrored.ensure_volumes()?;

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Tier-1 verification: everything a change must pass before landing.
+#   build + root-package tests (the ROADMAP tier-1 gate), then lint
+#   and formatting across the whole workspace.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "== cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "verify: OK"

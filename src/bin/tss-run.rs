@@ -129,7 +129,12 @@ fn run(
             std::fs::create_dir_all(parent)?;
         }
         std::fs::write(&local, &data)?;
-        eprintln!("tss-run: staged in {} -> {} ({} bytes)", s.from, s.to, data.len());
+        eprintln!(
+            "tss-run: staged in {} -> {} ({} bytes)",
+            s.from,
+            s.to,
+            data.len()
+        );
     }
 
     // Run the unmodified program in the scratch directory.
@@ -146,7 +151,12 @@ fn run(
     for s in stage_out {
         let data = std::fs::read(scratch.join(&s.from))?;
         adapter.write_file(&s.to, &data)?;
-        eprintln!("tss-run: staged out {} -> {} ({} bytes)", s.from, s.to, data.len());
+        eprintln!(
+            "tss-run: staged out {} -> {} ({} bytes)",
+            s.from,
+            s.to,
+            data.len()
+        );
     }
     Ok(())
 }

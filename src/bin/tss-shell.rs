@@ -48,7 +48,9 @@ impl Shell {
             return Ok(true);
         };
         let arg = |i: usize| -> Result<&str, Box<dyn std::error::Error>> {
-            args.get(i).copied().ok_or_else(|| "missing argument".into())
+            args.get(i)
+                .copied()
+                .ok_or_else(|| "missing argument".into())
         };
         match cmd {
             "exit" | "quit" => return Ok(false),

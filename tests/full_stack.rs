@@ -21,10 +21,7 @@ fn auth() -> Vec<AuthMethod> {
     vec![AuthMethod::Hostname]
 }
 
-fn open_server_with_catalog(
-    root: &std::path::Path,
-    catalog: Option<&CatalogServer>,
-) -> FileServer {
+fn open_server_with_catalog(root: &std::path::Path, catalog: Option<&CatalogServer>) -> FileServer {
     let mut cfg = ServerConfig::localhost(root, "integration")
         .with_root_acl(Acl::single("hostname:*", "rwlda").unwrap());
     if let Some(cat) = catalog {
@@ -94,9 +91,8 @@ fn one_server_serves_multiple_abstractions_at_once() {
     let server = open_server_with_catalog(host.path(), None);
     let data_server = open_server_with_catalog(data_host.path(), None);
 
-    let cfs = Cfs::new(
-        tss::core::cfs::CfsConfig::new(&server.endpoint(), auth()).with_base("/cfs-area"),
-    );
+    let cfs =
+        Cfs::new(tss::core::cfs::CfsConfig::new(&server.endpoint(), auth()).with_base("/cfs-area"));
     let root = Cfs::connect(&server.endpoint(), auth());
     root.mkdir("/cfs-area", 0o755).unwrap();
     cfs.write_file("/report.txt", b"plain cfs data").unwrap();
@@ -138,16 +134,31 @@ fn adapter_routes_one_namespace_over_many_abstractions() {
     adapter.set_namespace(Namespace::parse_mountlist(&mountlist).unwrap());
 
     // Prime both backends through the adapter itself.
-    adapter.mkdir(&format!("/cfs/{}/software", cfs_server.endpoint()), 0o755).unwrap();
+    adapter
+        .mkdir(&format!("/cfs/{}/software", cfs_server.endpoint()), 0o755)
+        .unwrap();
     adapter.mkdir("/dsfs/archive/data", 0o755).unwrap();
-    adapter.write_file("/usr/local/tool.sh", b"#!/bin/sh\n").unwrap();
-    adapter.write_file("/data/results.bin", b"\x01\x02\x03").unwrap();
+    adapter
+        .write_file("/usr/local/tool.sh", b"#!/bin/sh\n")
+        .unwrap();
+    adapter
+        .write_file("/data/results.bin", b"\x01\x02\x03")
+        .unwrap();
 
     // Logical paths reach the right physical systems.
     assert!(cfs_host.path().join("software/tool.sh").exists());
-    assert!(meta_host.path().join("tree/data/results.bin").exists(), "stub in tree");
-    assert_eq!(adapter.read_file("/usr/local/tool.sh").unwrap(), b"#!/bin/sh\n");
-    assert_eq!(adapter.read_file("/data/results.bin").unwrap(), b"\x01\x02\x03");
+    assert!(
+        meta_host.path().join("tree/data/results.bin").exists(),
+        "stub in tree"
+    );
+    assert_eq!(
+        adapter.read_file("/usr/local/tool.sh").unwrap(),
+        b"#!/bin/sh\n"
+    );
+    assert_eq!(
+        adapter.read_file("/data/results.bin").unwrap(),
+        b"\x01\x02\x03"
+    );
     assert_eq!(adapter.readdir("/data").unwrap(), vec!["results.bin"]);
     assert_eq!(adapter.stat("/data/results.bin").unwrap().size, 3);
 }
@@ -168,10 +179,7 @@ fn sync_writes_switch_applies_o_sync_transparently() {
     use std::io::Write;
     f.write_all(b"synchronously written").unwrap();
     drop(f);
-    assert_eq!(
-        adapter.read_file(&path).unwrap(),
-        b"synchronously written"
-    );
+    assert_eq!(adapter.read_file(&path).unwrap(), b"synchronously written");
 }
 
 #[test]
@@ -198,7 +206,8 @@ fn gems_can_run_on_catalog_discovered_storage() {
     let mut config = tss::gems::GemsConfig::new(db.addr(), pool);
     config.default_target = 2;
     let g = tss::gems::Gems::connect(config).unwrap();
-    g.ingest("discovered", &[("via", "catalog")], b"data").unwrap();
+    g.ingest("discovered", &[("via", "catalog")], b"data")
+        .unwrap();
     let (_, repair) = g.maintain().unwrap();
     assert_eq!(repair.copied, 1);
     assert_eq!(g.fetch("discovered").unwrap(), b"data");
@@ -319,8 +328,13 @@ fn extension_abstractions_compose_with_the_adapter() {
     let big: Vec<u8> = (0..300_000u32).map(|i| (i % 251) as u8).collect();
     adapter.write_file("/fast/dataset.bin", &big).unwrap();
     assert_eq!(adapter.read_file("/fast/dataset.bin").unwrap(), big);
-    adapter.write_file("/safe/precious.txt", b"replicated").unwrap();
-    assert_eq!(adapter.read_file("/safe/precious.txt").unwrap(), b"replicated");
+    adapter
+        .write_file("/safe/precious.txt", b"replicated")
+        .unwrap();
+    assert_eq!(
+        adapter.read_file("/safe/precious.txt").unwrap(),
+        b"replicated"
+    );
     // Cross-abstraction copy through one namespace.
     let data = adapter.read_file("/fast/dataset.bin").unwrap();
     adapter.write_file("/safe/dataset-copy.bin", &data).unwrap();

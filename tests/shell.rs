@@ -112,10 +112,7 @@ fn errors_are_reported_and_session_continues() {
 fn local_root_is_reachable() {
     let work = TempDir::new();
     std::fs::write(work.path().join("host-file"), b"from the host").unwrap();
-    let script = format!(
-        "cat /local{}/host-file\nexit\n",
-        work.path().display()
-    );
+    let script = format!("cat /local{}/host-file\nexit\n", work.path().display());
     let (out, err) = shell_session(&script);
     assert!(err.is_empty(), "stderr: {err}");
     assert!(out.contains("from the host"), "{out}");

@@ -1,0 +1,437 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container cannot reach crates.io, so this path crate
+//! implements the API subset the workspace's benches use: `Criterion`,
+//! `benchmark_group` with `measurement_time` / `warm_up_time` /
+//! `sample_size` / `throughput`, `bench_function` / `bench_with_input`
+//! with `&str` or [`BenchmarkId`] ids, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is a plain wall-clock sampler: warm up for the
+//! configured time, then take `sample_size` samples whose iteration
+//! counts are sized to fill the measurement window, and report
+//! min/median/max per-iteration time (plus throughput when set). There
+//! is no statistical outlier analysis, HTML report, or baseline
+//! comparison. `--test` (passed by `cargo test` to harness-less bench
+//! targets) runs every benchmark body exactly once.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput basis for a benchmark group, reported alongside timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter, for groups benching one function over inputs.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion accepted by `bench_function` ids: `&str` or [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The rendered benchmark id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // libtest-compat flags cargo passes to harness-less benches
+                "--bench" | "--nocapture" | "--quiet" => {}
+                other if !other.starts_with('-') && filter.is_none() => {
+                    filter = Some(other.to_string());
+                }
+                _ => {}
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            sample_size: 50,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+
+    fn run_one<F>(&mut self, full_id: &str, settings: &Settings, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !full_id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            settings: settings.clone(),
+            report: None,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("{full_id}: ok (test mode, 1 iteration)");
+            return;
+        }
+        match bencher.report.take() {
+            Some(report) => report.print(full_id, settings.throughput),
+            None => println!("{full_id}: no measurement (Bencher::iter never called)"),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Settings {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+/// A group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Target wall-clock time for the sampling phase.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut BenchmarkGroup<'a> {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Wall-clock time spent warming up before sampling.
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut BenchmarkGroup<'a> {
+        self.warm_up_time = time;
+        self
+    }
+
+    /// Number of samples to take during measurement.
+    pub fn sample_size(&mut self, n: usize) -> &mut BenchmarkGroup<'a> {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Report throughput derived from per-iteration work.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut BenchmarkGroup<'a> {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark `f` under this group's configuration.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut BenchmarkGroup<'a>
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = self.full_id(id);
+        let settings = self.settings();
+        self.criterion.run_one(&full_id, &settings, f);
+        self
+    }
+
+    /// Benchmark `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut BenchmarkGroup<'a>
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = self.full_id(id);
+        let settings = self.settings();
+        self.criterion.run_one(&full_id, &settings, |b| f(b, input));
+        self
+    }
+
+    /// End the group. (Reporting is per-benchmark; this is a no-op kept
+    /// for API compatibility.)
+    pub fn finish(self) {}
+
+    fn full_id(&self, id: impl IntoBenchmarkId) -> String {
+        let id = id.into_id();
+        if self.name.is_empty() {
+            id
+        } else {
+            format!("{}/{id}", self.name)
+        }
+    }
+
+    fn settings(&self) -> Settings {
+        Settings {
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            sample_size: self.sample_size,
+            throughput: self.throughput,
+        }
+    }
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the
+/// code under test.
+pub struct Bencher {
+    test_mode: bool,
+    settings: Settings,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Measure `routine`, timing many batched invocations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+
+        // Warm up and estimate per-iteration cost at the same time.
+        let warm_up = self.settings.warm_up_time;
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < warm_up || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Size each sample so all samples together roughly fill the
+        // measurement window.
+        let samples = self.settings.sample_size;
+        let per_sample = self.settings.measurement_time.as_secs_f64() / samples as f64;
+        let iters_per_sample = ((per_sample / est_per_iter).round() as u64).max(1);
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            per_iter_ns.push(elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        self.report = Some(Report {
+            min_ns: per_iter_ns[0],
+            median_ns: per_iter_ns[per_iter_ns.len() / 2],
+            max_ns: per_iter_ns[per_iter_ns.len() - 1],
+        });
+    }
+}
+
+struct Report {
+    min_ns: f64,
+    median_ns: f64,
+    max_ns: f64,
+}
+
+impl Report {
+    fn print(&self, id: &str, throughput: Option<Throughput>) {
+        println!(
+            "{id}\n{:24}time:   [{} {} {}]",
+            "",
+            fmt_time(self.min_ns),
+            fmt_time(self.median_ns),
+            fmt_time(self.max_ns),
+        );
+        if let Some(tp) = throughput {
+            // Fastest sample gives highest throughput, mirroring the
+            // [max median min] ordering criterion uses for thrpt lines.
+            println!(
+                "{:24}thrpt:  [{} {} {}]",
+                "",
+                fmt_rate(tp, self.max_ns),
+                fmt_rate(tp, self.median_ns),
+                fmt_rate(tp, self.min_ns),
+            );
+        }
+    }
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_rate(tp: Throughput, per_iter_ns: f64) -> String {
+    let per_sec = |work: u64| work as f64 / (per_iter_ns / 1_000_000_000.0);
+    match tp {
+        Throughput::Bytes(n) => {
+            let bps = per_sec(n);
+            if bps < 1024.0 * 1024.0 {
+                format!("{:.2} KiB/s", bps / 1024.0)
+            } else if bps < 1024.0 * 1024.0 * 1024.0 {
+                format!("{:.2} MiB/s", bps / (1024.0 * 1024.0))
+            } else {
+                format!("{:.3} GiB/s", bps / (1024.0 * 1024.0 * 1024.0))
+            }
+        }
+        Throughput::Elements(n) => format!("{:.1} elem/s", per_sec(n)),
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion {
+            test_mode: false,
+            filter: None,
+        }
+    }
+
+    #[test]
+    fn bencher_records_a_report() {
+        let mut c = fast_criterion();
+        let mut g = c.benchmark_group("unit");
+        g.measurement_time(Duration::from_millis(20));
+        g.warm_up_time(Duration::from_millis(5));
+        g.sample_size(5);
+        let mut ran = 0u64;
+        g.bench_function("count", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("read", 4).into_id(), "read/4");
+        assert_eq!(
+            BenchmarkId::from_parameter("loopback").into_id(),
+            "loopback"
+        );
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(fmt_time(12.0).ends_with("ns"));
+        assert!(fmt_time(12_000.0).ends_with("µs"));
+        assert!(fmt_time(12_000_000.0).ends_with("ms"));
+        assert!(fmt_time(2_000_000_000.0).ends_with(" s"));
+    }
+
+    #[test]
+    fn throughput_formatting_scales() {
+        // 64 KiB in 1ms = 64 MiB/s
+        let s = fmt_rate(Throughput::Bytes(64 * 1024), 1_000_000.0);
+        assert!(s.contains("MiB/s"), "{s}");
+    }
+}

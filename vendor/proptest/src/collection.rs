@@ -1,0 +1,53 @@
+//! Collection strategies: `proptest::collection::vec`.
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy for `Vec<S::Value>` with length drawn from `size`.
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generate vectors of `element` values with a length in `size`
+/// (half-open, like real proptest).
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.usize_in(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+
+    #[test]
+    fn length_is_in_range() {
+        let s = vec(any::<u8>(), 2..5);
+        let mut rng = TestRng::deterministic("veclen");
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn nested_vecs_work() {
+        let s = vec(vec(any::<u8>(), 1..3), 1..4);
+        let mut rng = TestRng::deterministic("nested");
+        let v = s.generate(&mut rng);
+        assert!(!v.is_empty());
+        assert!(v.iter().all(|inner| !inner.is_empty()));
+    }
+}

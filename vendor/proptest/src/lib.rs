@@ -1,0 +1,217 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot reach crates.io, so this path crate
+//! implements the slice of proptest the workspace's property tests
+//! use: the [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//! range / tuple / vec / regex-pattern strategies, `any::<T>()`,
+//! `prop_oneof!`, and the `proptest!` runner macro with
+//! `proptest_config`, `prop_assert!`, `prop_assert_eq!`, and
+//! `prop_assume!`.
+//!
+//! Differences from real proptest, deliberately accepted for an
+//! offline test harness: cases are generated from a deterministic
+//! per-test seed (reproducible across runs), and failing cases are
+//! **not shrunk** — the panic message carries the failing values via
+//! the normal assert formatting instead.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod pattern;
+pub mod strategy;
+pub mod test_runner;
+
+/// Runner configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+    /// Accepted for compatibility; this runner does not shrink.
+    pub max_shrink_iters: u32,
+    /// Cap on rejected cases (via `prop_assume!`) before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+            max_global_rejects: 65536,
+        }
+    }
+}
+
+/// The canonical strategy for a type: uniform over its whole domain.
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+/// Everything a property test needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::any;
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Run a block of property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+///     #[test]
+///     fn parses(x in 0u8..64, s in "[a-z]{1,8}") { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal: expands each test case of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        #[test]
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            let __strats = ( $( $strat, )* );
+            let mut __accepted: u32 = 0;
+            let mut __rejected: u32 = 0;
+            while __accepted < __cfg.cases {
+                let ( $( $arg, )* ) =
+                    $crate::strategy::Strategy::generate(&__strats, &mut __rng);
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::core::result::Result<(), $crate::test_runner::Reject> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::core::result::Result::Ok(()) => __accepted += 1,
+                    ::core::result::Result::Err(_) => {
+                        __rejected += 1;
+                        assert!(
+                            __rejected < __cfg.max_global_rejects,
+                            "too many prop_assume! rejections ({} accepted)",
+                            __accepted
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Choose uniformly between several strategies for the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// Assert inside a property test (no shrinking: plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Discard the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn oneof_and_map_cover_all_arms() {
+        let strat = prop_oneof![
+            (0usize..4).prop_map(|v| ("small", v)),
+            (100usize..104).prop_map(|v| ("big", v)),
+        ];
+        let mut rng = crate::test_runner::TestRng::deterministic("arms");
+        let mut seen_small = false;
+        let mut seen_big = false;
+        for _ in 0..64 {
+            match Strategy::generate(&strat, &mut rng) {
+                ("small", v) => {
+                    assert!(v < 4);
+                    seen_small = true;
+                }
+                ("big", v) => {
+                    assert!((100..104).contains(&v));
+                    seen_big = true;
+                }
+                _ => unreachable!(),
+            }
+        }
+        assert!(seen_small && seen_big);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u8..64, n in 5usize..9) {
+            prop_assert!(x < 64);
+            prop_assert!((5..9).contains(&n));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn vec_strategy_honours_len(v in crate::collection::vec(any::<u8>(), 3..6)) {
+            prop_assert!((3..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn pattern_strategy_matches_class(s in "[a-z]{2,4}") {
+            prop_assert!((2..=4).contains(&s.chars().count()));
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! String generation from the regex-like patterns proptest accepts as
+//! `&str` strategies.
+//!
+//! Supports the subset the workspace's tests use: literal characters,
+//! character classes with ranges (`[a-z0-9._-]`, `[ -~]`), groups with
+//! alternation (`(/|[a-z.]{1,8})`), bounded repetition (`{n}`,
+//! `{m,n}`, `*`, `+`, `?`), and the `\PC` escape (any printable
+//! character). Unsupported syntax panics with the offending pattern so
+//! a new test immediately flags what to add.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// A sequence of nodes, generated in order.
+    Seq(Vec<Node>),
+    /// Uniform choice between alternatives.
+    Alt(Vec<Node>),
+    /// Uniform choice from a set of characters.
+    Class(Vec<char>),
+    /// A literal character.
+    Lit(char),
+    /// Repeat the inner node `min..=max` times.
+    Repeat(Box<Node>, u32, u32),
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let node = Parser::new(pattern).parse();
+    let mut out = String::new();
+    emit(&node, rng, &mut out);
+    out
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Seq(items) => {
+            for item in items {
+                emit(item, rng, out);
+            }
+        }
+        Node::Alt(arms) => {
+            let idx = rng.below(arms.len() as u64) as usize;
+            emit(&arms[idx], rng, out);
+        }
+        Node::Class(set) => {
+            let idx = rng.below(set.len() as u64) as usize;
+            out.push(set[idx]);
+        }
+        Node::Lit(c) => out.push(*c),
+        Node::Repeat(inner, min, max) => {
+            let n = *min as u64 + rng.below(u64::from(*max - *min) + 1);
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// The printable set used for `\PC`: printable ASCII plus a few
+/// multi-byte characters so UTF-8 handling gets exercised.
+fn printable_set() -> Vec<char> {
+    let mut set: Vec<char> = (0x20u8..0x7f).map(char::from).collect();
+    set.extend(['é', 'λ', '中', '☃']);
+    set
+}
+
+struct Parser<'a> {
+    pattern: &'a str,
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Parser<'a> {
+        Parser {
+            pattern,
+            chars: pattern.chars().peekable(),
+        }
+    }
+
+    fn unsupported(&self, what: &str) -> ! {
+        panic!(
+            "unsupported pattern construct ({what}) in {:?}",
+            self.pattern
+        );
+    }
+
+    fn parse(mut self) -> Node {
+        let node = self.parse_alt();
+        if self.chars.peek().is_some() {
+            self.unsupported("trailing input");
+        }
+        node
+    }
+
+    /// alt := seq ('|' seq)*
+    fn parse_alt(&mut self) -> Node {
+        let mut arms = vec![self.parse_seq()];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            arms.push(self.parse_seq());
+        }
+        if arms.len() == 1 {
+            arms.pop().expect("one arm")
+        } else {
+            Node::Alt(arms)
+        }
+    }
+
+    /// seq := (atom repeat?)* — stops at '|' or ')'.
+    fn parse_seq(&mut self) -> Node {
+        let mut items = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom();
+            items.push(self.parse_repeat(atom));
+        }
+        Node::Seq(items)
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.chars.next() {
+            Some('(') => {
+                let inner = self.parse_alt();
+                if self.chars.next() != Some(')') {
+                    self.unsupported("unclosed group");
+                }
+                inner
+            }
+            Some('[') => self.parse_class(),
+            Some('\\') => self.parse_escape(),
+            Some('.') => Node::Class(printable_set()),
+            Some(c) if !"{}*+?".contains(c) => Node::Lit(c),
+            _ => self.unsupported("atom"),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Node {
+        match self.chars.next() {
+            // \PC — "not in Unicode category Other": printables.
+            Some('P') => match self.chars.next() {
+                Some('C') => Node::Class(printable_set()),
+                _ => self.unsupported("\\P category"),
+            },
+            Some('n') => Node::Lit('\n'),
+            Some('t') => Node::Lit('\t'),
+            Some(
+                c @ ('\\' | '.' | '[' | ']' | '(' | ')' | '{' | '}' | '|' | '*' | '+' | '?' | '-'
+                | '/'),
+            ) => Node::Lit(c),
+            _ => self.unsupported("escape"),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        let mut set: Vec<char> = Vec::new();
+        loop {
+            match self.chars.next() {
+                Some(']') => break,
+                Some('\\') => match self.parse_escape() {
+                    Node::Lit(c) => set.push(c),
+                    Node::Class(cs) => set.extend(cs),
+                    _ => self.unsupported("class escape"),
+                },
+                Some(lo) => {
+                    // A range `lo-hi` if a '-' follows and is not the
+                    // closing position; otherwise a literal.
+                    if self.chars.peek() == Some(&'-') {
+                        let mut ahead = self.chars.clone();
+                        ahead.next(); // the '-'
+                        match ahead.peek() {
+                            Some(&hi) if hi != ']' => {
+                                self.chars.next();
+                                let hi = self.chars.next().expect("peeked");
+                                if (lo as u32) > (hi as u32) {
+                                    self.unsupported("inverted class range");
+                                }
+                                set.extend((lo as u32..=hi as u32).filter_map(char::from_u32));
+                            }
+                            _ => set.push(lo),
+                        }
+                    } else {
+                        set.push(lo);
+                    }
+                }
+                None => self.unsupported("unclosed class"),
+            }
+        }
+        if set.is_empty() {
+            self.unsupported("empty class");
+        }
+        Node::Class(set)
+    }
+
+    /// repeat := '{m}' | '{m,n}' | '*' | '+' | '?'
+    fn parse_repeat(&mut self, atom: Node) -> Node {
+        match self.chars.peek() {
+            Some('{') => {
+                self.chars.next();
+                let mut spec = String::new();
+                loop {
+                    match self.chars.next() {
+                        Some('}') => break,
+                        Some(c) => spec.push(c),
+                        None => self.unsupported("unclosed repetition"),
+                    }
+                }
+                let (min, max) = match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.parse().unwrap_or_else(|_| self.unsupported("repeat min")),
+                        n.parse().unwrap_or_else(|_| self.unsupported("repeat max")),
+                    ),
+                    None => {
+                        let n: u32 = spec
+                            .parse()
+                            .unwrap_or_else(|_| self.unsupported("repeat count"));
+                        (n, n)
+                    }
+                };
+                if min > max {
+                    self.unsupported("inverted repetition");
+                }
+                Node::Repeat(Box::new(atom), min, max)
+            }
+            Some('*') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 0, 8)
+            }
+            Some('+') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 1, 8)
+            }
+            Some('?') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            _ => atom,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(pattern: &str, n: usize) -> Vec<String> {
+        let mut rng = TestRng::deterministic(pattern);
+        (0..n).map(|_| generate(pattern, &mut rng)).collect()
+    }
+
+    #[test]
+    fn class_with_ranges() {
+        for s in sample("[a-z0-9.]{1,20}", 50) {
+            assert!((1..=20).contains(&s.chars().count()), "{s:?}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_range() {
+        for s in sample("[ -~]{1,40}", 50) {
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn group_alternation() {
+        for s in sample("(/|[a-z.]{1,8}){0,8}", 50) {
+            assert!(
+                s.chars()
+                    .all(|c| c == '/' || c.is_ascii_lowercase() || c == '.'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn path_shaped_groups() {
+        for s in sample("(/[a-zA-Z0-9._-]{1,12}){1,4}", 50) {
+            assert!(s.starts_with('/'), "{s:?}");
+            let segments: Vec<&str> = s.split('/').skip(1).collect();
+            assert!((1..=4).contains(&segments.len()), "{s:?}");
+            assert!(segments.iter().all(|seg| !seg.is_empty()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_escape_forms() {
+        for s in sample("\\PC{0,64}", 30) {
+            assert!(s.chars().count() <= 64);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+        for s in sample("[\\PC]{1,64}", 30) {
+            assert!((1..=64).contains(&s.chars().count()));
+        }
+    }
+
+    #[test]
+    fn exact_count_repetition() {
+        for s in sample("[ab]{3}", 20) {
+            assert_eq!(s.len(), 3);
+        }
+    }
+}
