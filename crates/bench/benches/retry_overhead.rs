@@ -1,0 +1,72 @@
+//! Retry-layer overhead on the fault-free fast path.
+//!
+//! The recovery layer threads a `RetryPolicy` through every CFS
+//! operation: each op sets up a `RetryState`, and each success exits
+//! the retry loop on its first iteration. This bench pins down what
+//! that costs when nothing ever fails, by running the same loopback
+//! workload under `RetryPolicy::none()` and the default policy. The
+//! acceptance bar is ≤2% on per-op latency — the fault-free path must
+//! not pay for the faulty one.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chirp_proto::testutil::TempDir;
+use chirp_proto::OpenFlags;
+use chirp_server::acl::Acl;
+use chirp_server::{FileServer, ServerConfig};
+use tss_bench::auth;
+use tss_core::cfs::{Cfs, CfsConfig};
+use tss_core::fs::FileSystem;
+use tss_core::RetryPolicy;
+
+fn open_server(root: &std::path::Path) -> FileServer {
+    FileServer::start(
+        ServerConfig::localhost(root, "bench")
+            .with_root_acl(Acl::single("hostname:*", "rwlda").unwrap()),
+    )
+    .expect("start chirp server")
+}
+
+fn cfs(endpoint: &str, retry: RetryPolicy) -> Cfs {
+    let mut cfg = CfsConfig::new(endpoint, auth());
+    cfg.timeout = Duration::from_secs(10);
+    cfg.retry = retry;
+    Cfs::new(cfg)
+}
+
+fn bench_retry_overhead(c: &mut Criterion) {
+    let dir = TempDir::new();
+    let server = open_server(dir.path());
+    let mut g = c.benchmark_group("retry_overhead");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+
+    for (name, policy) in [
+        ("none", RetryPolicy::none()),
+        ("default", RetryPolicy::default()),
+    ] {
+        let fs = cfs(&server.endpoint(), policy);
+        fs.write_file("/f", &vec![7u8; 8192]).unwrap();
+        g.bench_function(BenchmarkId::new("stat", name), |b| {
+            b.iter(|| fs.stat("/f").unwrap())
+        });
+        g.bench_function(BenchmarkId::new("open_close", name), |b| {
+            b.iter(|| drop(fs.open("/f", OpenFlags::READ, 0).unwrap()))
+        });
+        let mut h = fs.open("/f", OpenFlags::read_write(), 0).unwrap();
+        let mut buf = vec![0u8; 8192];
+        g.bench_function(BenchmarkId::new("read8k", name), |b| {
+            b.iter(|| h.pread(&mut buf, 0).unwrap())
+        });
+        let data = vec![1u8; 8192];
+        g.bench_function(BenchmarkId::new("write8k", name), |b| {
+            b.iter(|| h.pwrite(&data, 0).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_retry_overhead);
+criterion_main!(benches);

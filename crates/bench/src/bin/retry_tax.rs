@@ -1,0 +1,127 @@
+//! Retry-layer tax on the fault-free fast path.
+//!
+//! Every CFS operation now enters the recovery loop: it builds a
+//! `RetryState`, runs the RPC, and exits on first success. This binary
+//! measures what that costs when nothing fails, with an *interleaved*
+//! A/B design — each round times the same loopback workload under
+//! `RetryPolicy::none()` and the default policy back to back,
+//! alternating order, with the fastest round per variant reported so
+//! scheduler interference drops out. The acceptance bar recorded in EXPERIMENTS.md is ≤2%.
+
+use std::time::{Duration, Instant};
+
+use chirp_proto::testutil::TempDir;
+use chirp_proto::OpenFlags;
+use tss_bench::{auth, open_server};
+use tss_core::cfs::{Cfs, CfsConfig};
+use tss_core::fs::FileSystem;
+use tss_core::RetryPolicy;
+
+const ROUNDS: usize = 40;
+const ITERS: usize = 400;
+
+fn client(endpoint: &str, retry: RetryPolicy) -> Cfs {
+    let mut cfg = CfsConfig::new(endpoint, auth());
+    cfg.timeout = Duration::from_secs(10);
+    cfg.retry = retry;
+    Cfs::new(cfg)
+}
+
+/// Minimum of the per-round means — the classic low-noise latency
+/// estimator: every source of interference only ever adds time, so the
+/// fastest round is the cleanest look at the code path itself.
+fn best(v: Vec<f64>) -> f64 {
+    v.into_iter().fold(f64::INFINITY, f64::min)
+}
+
+/// Best per-op microseconds over `ROUNDS` interleaved rounds for the
+/// two variants, `(none, default)`.
+fn ab(mut op_none: impl FnMut(), mut op_default: impl FnMut()) -> (f64, f64) {
+    let time = |op: &mut dyn FnMut()| -> f64 {
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            op();
+        }
+        t0.elapsed().as_secs_f64() * 1e6 / ITERS as f64
+    };
+    let mut none = Vec::with_capacity(ROUNDS);
+    let mut def = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS {
+        if round % 2 == 0 {
+            none.push(time(&mut op_none));
+            def.push(time(&mut op_default));
+        } else {
+            def.push(time(&mut op_default));
+            none.push(time(&mut op_none));
+        }
+    }
+    (best(none), best(def))
+}
+
+fn main() {
+    let dir = TempDir::new();
+    let server = open_server(dir.path());
+    let fs_none = client(&server.endpoint(), RetryPolicy::none());
+    let fs_def = client(&server.endpoint(), RetryPolicy::default());
+    fs_none.write_file("/f", &vec![7u8; 8192]).unwrap();
+
+    println!("retry-layer tax, fault-free loopback ({ITERS} ops x {ROUNDS} rounds, best round)");
+    println!(
+        "{:<12} {:>12} {:>14} {:>10}",
+        "op", "none (us)", "default (us)", "overhead"
+    );
+
+    let report = |name: &str, (a, b): (f64, f64)| {
+        println!(
+            "{name:<12} {a:>12.2} {b:>14.2} {:>9.1}%",
+            (b / a - 1.0) * 100.0
+        );
+    };
+
+    report(
+        "stat",
+        ab(
+            || {
+                fs_none.stat("/f").unwrap();
+            },
+            || {
+                fs_def.stat("/f").unwrap();
+            },
+        ),
+    );
+    report(
+        "open_close",
+        ab(
+            || drop(fs_none.open("/f", OpenFlags::READ, 0).unwrap()),
+            || drop(fs_def.open("/f", OpenFlags::READ, 0).unwrap()),
+        ),
+    );
+
+    let mut h_none = fs_none.open("/f", OpenFlags::read_write(), 0).unwrap();
+    let mut h_def = fs_def.open("/f", OpenFlags::read_write(), 0).unwrap();
+    let mut buf_a = vec![0u8; 8192];
+    let mut buf_b = vec![0u8; 8192];
+    report(
+        "read8k",
+        ab(
+            || {
+                h_none.pread(&mut buf_a, 0).unwrap();
+            },
+            || {
+                h_def.pread(&mut buf_b, 0).unwrap();
+            },
+        ),
+    );
+    let data = vec![1u8; 8192];
+    report(
+        "write8k",
+        ab(
+            || {
+                h_none.pwrite(&data, 0).unwrap();
+            },
+            || {
+                h_def.pwrite(&data, 0).unwrap();
+            },
+        ),
+    );
+}

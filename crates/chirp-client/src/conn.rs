@@ -88,6 +88,30 @@ impl Connection {
         })
     }
 
+    /// Connect with retries: each attempt that fails with an error the
+    /// `policy` classifies as retriable (refused, reset, timed out) is
+    /// repeated after the policy's backoff, until the policy's attempt
+    /// cap or deadline runs out. Fatal errors (unresolvable address)
+    /// surface immediately. Used by CLIs and tests that want to ride
+    /// out a server restart; the data-path recovery in `tss-core`
+    /// carries its own loop so retries are counted in one place.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + Copy,
+        timeout: Duration,
+        policy: &chirp_proto::RetryPolicy,
+    ) -> ChirpResult<Connection> {
+        let mut retry = policy.begin();
+        loop {
+            match Connection::connect(addr, timeout) {
+                Ok(conn) => return Ok(conn),
+                Err(e) => match retry.next_delay(e) {
+                    Some(delay) => std::thread::sleep(delay),
+                    None => return Err(e),
+                },
+            }
+        }
+    }
+
     /// The server address this connection is bound to.
     pub fn addr(&self) -> SocketAddr {
         self.addr

@@ -12,6 +12,19 @@ use std::io;
 /// Result alias used throughout the protocol crates.
 pub type ChirpResult<T> = Result<T, ChirpError>;
 
+/// What a recovery layer may do about an error: try again on a fresh
+/// connection, or surface it immediately. Every [`ChirpError`] maps to
+/// exactly one class via [`ChirpError::classify`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    /// A transport-level failure (lost connection, timeout, transient
+    /// server busy): the same request may succeed if retried.
+    Retriable,
+    /// A definitive answer (ACL denial, missing file, bad request,
+    /// server-side I/O fault): retrying cannot change the outcome.
+    Fatal,
+}
+
 /// An error reported by a Chirp server or detected by the client.
 ///
 /// The discriminant values are the on-wire codes; they must never be
@@ -65,6 +78,30 @@ pub enum ChirpError {
 }
 
 impl ChirpError {
+    /// Every variant, for exhaustive table tests (the classification
+    /// and code round-trip properties quantify over this).
+    pub const ALL: &'static [ChirpError] = &[
+        ChirpError::NotAuthenticated,
+        ChirpError::NotAuthorized,
+        ChirpError::NotFound,
+        ChirpError::AlreadyExists,
+        ChirpError::IsADirectory,
+        ChirpError::NotADirectory,
+        ChirpError::NotEmpty,
+        ChirpError::BadFd,
+        ChirpError::TooManyOpen,
+        ChirpError::InvalidRequest,
+        ChirpError::NoSpace,
+        ChirpError::TooBig,
+        ChirpError::Busy,
+        ChirpError::Io,
+        ChirpError::Disconnected,
+        ChirpError::Timeout,
+        ChirpError::AuthFailed,
+        ChirpError::NotSupported,
+        ChirpError::Stale,
+    ];
+
     /// The on-wire status code for this error.
     pub fn code(self) -> i64 {
         self as i64
@@ -96,14 +133,49 @@ impl ChirpError {
         }
     }
 
+    /// The total classification every error falls into: either the
+    /// transport (or a transiently overloaded server) failed and the
+    /// same request may succeed on a fresh connection, or the server
+    /// gave a definitive protocol answer that retrying cannot change.
+    ///
+    /// ACL denials (`NotAuthenticated`/`NotAuthorized`/`AuthFailed`)
+    /// are deliberately fatal: retrying an authorization failure only
+    /// hammers the server and delays the real error. Exactly one arm
+    /// matches each variant — the property test in `retry.rs` holds
+    /// this table total.
+    pub fn classify(self) -> ErrorClass {
+        match self {
+            // The connection died, a client-side timer fired, or the
+            // server refused transiently — a reconnect may fix it.
+            ChirpError::Disconnected | ChirpError::Timeout | ChirpError::Busy => {
+                ErrorClass::Retriable
+            }
+            // Definitive protocol answers and client-side verdicts.
+            ChirpError::NotAuthenticated
+            | ChirpError::NotAuthorized
+            | ChirpError::NotFound
+            | ChirpError::AlreadyExists
+            | ChirpError::IsADirectory
+            | ChirpError::NotADirectory
+            | ChirpError::NotEmpty
+            | ChirpError::BadFd
+            | ChirpError::TooManyOpen
+            | ChirpError::InvalidRequest
+            | ChirpError::NoSpace
+            | ChirpError::TooBig
+            | ChirpError::Io
+            | ChirpError::AuthFailed
+            | ChirpError::NotSupported
+            | ChirpError::Stale => ErrorClass::Fatal,
+        }
+    }
+
     /// Whether the adapter should attempt reconnection and retry after
     /// this error (see §6 of the paper: recovery is an adapter policy,
-    /// not a server one).
+    /// not a server one). Shorthand for
+    /// `classify() == ErrorClass::Retriable`.
     pub fn is_retryable(self) -> bool {
-        matches!(
-            self,
-            ChirpError::Disconnected | ChirpError::Timeout | ChirpError::Busy
-        )
+        self.classify() == ErrorClass::Retriable
     }
 
     /// Map a local I/O failure into the closest protocol error, used by
@@ -195,27 +267,7 @@ impl From<ChirpError> for io::Error {
 mod tests {
     use super::*;
 
-    const ALL: &[ChirpError] = &[
-        ChirpError::NotAuthenticated,
-        ChirpError::NotAuthorized,
-        ChirpError::NotFound,
-        ChirpError::AlreadyExists,
-        ChirpError::IsADirectory,
-        ChirpError::NotADirectory,
-        ChirpError::NotEmpty,
-        ChirpError::BadFd,
-        ChirpError::TooManyOpen,
-        ChirpError::InvalidRequest,
-        ChirpError::NoSpace,
-        ChirpError::TooBig,
-        ChirpError::Busy,
-        ChirpError::Io,
-        ChirpError::Disconnected,
-        ChirpError::Timeout,
-        ChirpError::AuthFailed,
-        ChirpError::NotSupported,
-        ChirpError::Stale,
-    ];
+    const ALL: &[ChirpError] = ChirpError::ALL;
 
     #[test]
     fn codes_round_trip() {
@@ -257,6 +309,31 @@ mod tests {
         assert!(ChirpError::Timeout.is_retryable());
         assert!(!ChirpError::NotFound.is_retryable());
         assert!(!ChirpError::NotAuthorized.is_retryable());
+    }
+
+    #[test]
+    fn classification_is_total_and_consistent() {
+        for &e in ALL {
+            // Exactly one class per error, and `is_retryable` is
+            // literally the Retriable arm of it.
+            let class = e.classify();
+            assert!(matches!(class, ErrorClass::Retriable | ErrorClass::Fatal));
+            assert_eq!(e.is_retryable(), class == ErrorClass::Retriable, "{e:?}");
+        }
+    }
+
+    #[test]
+    fn acl_and_protocol_errors_are_fatal() {
+        for e in [
+            ChirpError::NotAuthenticated,
+            ChirpError::NotAuthorized,
+            ChirpError::AuthFailed,
+            ChirpError::NotFound,
+            ChirpError::InvalidRequest,
+            ChirpError::Stale,
+        ] {
+            assert_eq!(e.classify(), ErrorClass::Fatal, "{e:?}");
+        }
     }
 
     #[test]

@@ -24,15 +24,17 @@ pub mod error;
 pub mod escape;
 pub mod flags;
 pub mod message;
+pub mod retry;
 pub mod stat;
 #[doc(hidden)]
 pub mod testutil;
 pub mod wire;
 
 pub use checksum::crc64;
-pub use error::{ChirpError, ChirpResult};
+pub use error::{ChirpError, ChirpResult, ErrorClass};
 pub use flags::OpenFlags;
 pub use message::Request;
+pub use retry::{RetryPolicy, RetryState};
 pub use stat::{StatBuf, StatFs};
 
 /// Maximum length of a single request or response line, in bytes.

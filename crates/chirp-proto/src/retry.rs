@@ -1,0 +1,377 @@
+//! The recovery policy shared by every layer that talks to a server.
+//!
+//! The paper's resource layer *exposes* failure — a Chirp disconnect
+//! closes every open file — and leaves masking it to the adapter and
+//! the abstractions (§4, §6). [`RetryPolicy`] is the single knob all
+//! of them share: how many times to try again, how long to wait
+//! between tries, and how much total time the caller is willing to
+//! burn before the failure surfaces.
+//!
+//! Two properties matter for testing and production alike:
+//!
+//! * **Determinism.** Backoff jitter comes from a seeded SplitMix64
+//!   stream keyed by `(seed, attempt)`, never from the wall clock, so
+//!   a chaos run with a fixed seed replays the exact same schedule.
+//! * **Classification.** Only *transport* failures (connect errors,
+//!   timeouts, mid-stream disconnects, transient server busy) are
+//!   retried. Well-formed protocol answers — ACL denial, missing
+//!   files, bad arguments — are final the first time; retrying them
+//!   would only hide real errors and hammer the server. The mapping
+//!   is total over [`ChirpError`]: see [`ChirpError::classify`].
+
+use std::time::{Duration, Instant};
+
+use crate::error::{ChirpError, ErrorClass};
+
+/// Recovery policy: bounded retries with deterministic exponential
+/// backoff, optional jitter, and an optional total-time deadline.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Attempts after the first failure; 0 disables recovery.
+    pub max_retries: u32,
+    /// Delay before the first retry; doubles each attempt.
+    pub initial_backoff: Duration,
+    /// Upper bound on any single delay.
+    pub max_backoff: Duration,
+    /// Upper bound on the *total* time spent across all attempts,
+    /// measured from the first failure. `None` leaves only the retry
+    /// count as the limit.
+    pub deadline: Option<Duration>,
+    /// Fraction of each backoff randomized (`0.0` = none, `0.5` =
+    /// delays land in `[0.5×, 1.5×]` of the base). Clamped to `[0, 1]`.
+    pub jitter: f64,
+    /// Seeds the jitter stream; same seed, same schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 4,
+            initial_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(5),
+            deadline: None,
+            jitter: 0.25,
+            seed: 0x7355_0001,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No recovery at all: every transport error surfaces immediately.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            initial_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            deadline: None,
+            jitter: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Replace the jitter seed (builder style, for reproducible runs).
+    pub fn with_seed(mut self, seed: u64) -> RetryPolicy {
+        self.seed = seed;
+        self
+    }
+
+    /// Cap the total time spent retrying.
+    pub fn with_deadline(mut self, deadline: Duration) -> RetryPolicy {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The un-jittered backoff before retry number `attempt` (0-based):
+    /// exponential from [`initial_backoff`](RetryPolicy::initial_backoff),
+    /// saturating at [`max_backoff`](RetryPolicy::max_backoff).
+    /// Monotone non-decreasing in `attempt`.
+    pub fn backoff_base(&self, attempt: u32) -> Duration {
+        let exp = self.initial_backoff.saturating_mul(1u32 << attempt.min(16));
+        exp.min(self.max_backoff)
+    }
+
+    /// The actual delay before retry number `attempt`: the base with
+    /// the policy's jitter fraction applied from the seeded stream.
+    /// Deterministic — same `(policy, attempt)`, same answer — and
+    /// always within `[(1 - jitter) × base, (1 + jitter) × base]`,
+    /// still capped at [`max_backoff`](RetryPolicy::max_backoff).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let base = self.backoff_base(attempt);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        if jitter == 0.0 || base.is_zero() {
+            return base;
+        }
+        // 53 uniform bits in [0, 1) keyed by (seed, attempt).
+        let draw = splitmix64(self.seed ^ (u64::from(attempt) << 32)) >> 11;
+        let unit = draw as f64 * (1.0 / (1u64 << 53) as f64);
+        let scale = 1.0 - jitter + 2.0 * jitter * unit;
+        Duration::from_secs_f64(base.as_secs_f64() * scale).min(self.max_backoff)
+    }
+
+    /// The full delay schedule this policy grants, deadline-capped: the
+    /// cumulative sum of granted delays never exceeds
+    /// [`deadline`](RetryPolicy::deadline). This is the *pure* view of
+    /// the policy (no clock reads) used by property tests; the runtime
+    /// equivalent, which also charges operation time against the
+    /// deadline, is [`RetryPolicy::begin`].
+    pub fn schedule(&self) -> Vec<Duration> {
+        let mut out = Vec::with_capacity(self.max_retries as usize);
+        let mut total = Duration::ZERO;
+        for attempt in 0..self.max_retries {
+            let delay = self.backoff(attempt);
+            if let Some(deadline) = self.deadline {
+                if total + delay > deadline {
+                    break;
+                }
+            }
+            total += delay;
+            out.push(delay);
+        }
+        out
+    }
+
+    /// Start tracking one operation's recovery attempts.
+    pub fn begin(&self) -> RetryState {
+        RetryState {
+            policy: *self,
+            started: Instant::now(),
+            attempt: 0,
+        }
+    }
+}
+
+/// Live retry bookkeeping for one logical operation: counts attempts
+/// and charges real elapsed time (including the failed operations
+/// themselves) against the policy deadline.
+#[derive(Debug, Clone)]
+pub struct RetryState {
+    policy: RetryPolicy,
+    started: Instant,
+    attempt: u32,
+}
+
+impl RetryState {
+    /// Retries granted so far.
+    pub fn retries_used(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Decide what to do about `err`: `Some(delay)` means sleep for
+    /// `delay` and try again; `None` means give up and surface the
+    /// error. Fatal errors are never granted a retry; retriable ones
+    /// are granted until the attempt cap or the deadline runs out.
+    pub fn next_delay(&mut self, err: ChirpError) -> Option<Duration> {
+        if err.classify() == ErrorClass::Fatal {
+            return None;
+        }
+        if self.attempt >= self.policy.max_retries {
+            return None;
+        }
+        let delay = self.policy.backoff(self.attempt);
+        if let Some(deadline) = self.policy.deadline {
+            if self.started.elapsed() + delay > deadline {
+                return None;
+            }
+        }
+        self.attempt += 1;
+        Some(delay)
+    }
+}
+
+/// SplitMix64 — one multiply-xor-shift round; enough to decorrelate
+/// the per-attempt jitter draws without pulling in an RNG dependency.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_backoff_grows_and_saturates() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff(0), Duration::from_millis(10));
+        assert_eq!(p.backoff(1), Duration::from_millis(20));
+        assert_eq!(p.backoff(2), Duration::from_millis(40));
+        assert_eq!(p.backoff(5), Duration::from_millis(100));
+        assert_eq!(p.backoff(30), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy {
+            max_retries: 8,
+            initial_backoff: Duration::from_millis(40),
+            max_backoff: Duration::from_secs(1),
+            jitter: 0.5,
+            seed: 99,
+            ..RetryPolicy::default()
+        };
+        for attempt in 0..8 {
+            let a = p.backoff(attempt);
+            let b = p.backoff(attempt);
+            assert_eq!(a, b, "same (seed, attempt) must give same delay");
+            let base = p.backoff_base(attempt).as_secs_f64();
+            let got = a.as_secs_f64();
+            assert!(got >= base * 0.5 - 1e-9 && got <= base * 1.5 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn schedule_respects_deadline() {
+        let p = RetryPolicy {
+            max_retries: 100,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(10),
+            deadline: Some(Duration::from_millis(35)),
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        // 10 + 10 + 10 fits; a fourth delay would exceed 35 ms.
+        assert_eq!(p.schedule().len(), 3);
+    }
+
+    #[test]
+    fn state_never_retries_fatal_errors() {
+        let mut s = RetryPolicy::default().begin();
+        assert_eq!(s.next_delay(ChirpError::NotAuthorized), None);
+        assert_eq!(s.next_delay(ChirpError::NotFound), None);
+        assert_eq!(s.retries_used(), 0);
+    }
+
+    #[test]
+    fn state_caps_retriable_attempts() {
+        let p = RetryPolicy {
+            max_retries: 2,
+            initial_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let mut s = p.begin();
+        assert!(s.next_delay(ChirpError::Disconnected).is_some());
+        assert!(s.next_delay(ChirpError::Timeout).is_some());
+        assert_eq!(s.next_delay(ChirpError::Disconnected), None);
+        assert_eq!(s.retries_used(), 2);
+    }
+
+    #[test]
+    fn none_policy_grants_nothing() {
+        let mut s = RetryPolicy::none().begin();
+        assert_eq!(s.next_delay(ChirpError::Disconnected), None);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn policies() -> impl Strategy<Value = RetryPolicy> {
+            (
+                0u32..40,
+                0u64..200,
+                0u64..2_000,
+                (any::<bool>(), 0u64..500),
+                0u32..101,
+                any::<u64>(),
+            )
+                .prop_map(
+                    |(retries, init, max, (with_deadline, deadline), jitter_pct, seed)| {
+                        RetryPolicy {
+                            max_retries: retries,
+                            initial_backoff: Duration::from_millis(init),
+                            max_backoff: Duration::from_millis(max),
+                            deadline: with_deadline.then(|| Duration::from_millis(deadline)),
+                            jitter: f64::from(jitter_pct) / 100.0,
+                            seed,
+                        }
+                    },
+                )
+        }
+
+        proptest! {
+            // The un-jittered schedule is monotone non-decreasing and
+            // never exceeds the per-delay cap.
+            #[test]
+            fn base_backoff_is_monotone_and_capped(p in policies(), a in 0u32..60) {
+                prop_assert!(p.backoff_base(a) <= p.backoff_base(a + 1));
+                prop_assert!(p.backoff_base(a) <= p.max_backoff);
+            }
+
+            // Jitter stays inside its advertised envelope and below
+            // the per-delay cap, and draws are reproducible.
+            #[test]
+            fn jittered_backoff_stays_in_envelope(p in policies(), a in 0u32..60) {
+                let base = p.backoff_base(a).as_secs_f64();
+                let j = p.jitter.clamp(0.0, 1.0);
+                let got = p.backoff(a);
+                prop_assert_eq!(got, p.backoff(a));
+                prop_assert!(got <= p.max_backoff);
+                let secs = got.as_secs_f64();
+                prop_assert!(secs >= base * (1.0 - j) - 1e-9);
+                prop_assert!(secs <= base * (1.0 + j) + 1e-9);
+            }
+
+            // The granted schedule is deadline-capped: its sum never
+            // exceeds the deadline, and without one the length is
+            // exactly the retry budget.
+            #[test]
+            fn schedule_is_deadline_capped(p in policies()) {
+                let sched = p.schedule();
+                prop_assert!(sched.len() <= p.max_retries as usize);
+                match p.deadline {
+                    Some(dl) => {
+                        let total: Duration = sched.iter().sum();
+                        prop_assert!(total <= dl);
+                    }
+                    None => prop_assert_eq!(sched.len(), p.max_retries as usize),
+                }
+            }
+
+            // Every protocol error maps to exactly one class, the
+            // policy honors it (fatal errors are never granted a
+            // delay, retriable ones are until the budget runs out),
+            // and the retriable set is precisely the transport set.
+            #[test]
+            fn classification_drives_retry_decisions(
+                p in policies(),
+                idx in 0..ChirpError::ALL.len(),
+            ) {
+                let err = ChirpError::ALL[idx];
+                let mut state = p.begin();
+                let granted = state.next_delay(err);
+                match err.classify() {
+                    ErrorClass::Fatal => prop_assert!(granted.is_none(), "{err:?}"),
+                    ErrorClass::Retriable if p.max_retries == 0 => {
+                        prop_assert!(granted.is_none(), "{err:?}");
+                    }
+                    ErrorClass::Retriable => match p.deadline {
+                        Some(dl) if p.backoff(0) > dl => prop_assert!(granted.is_none()),
+                        // Within 5 ms of the deadline edge the real
+                        // clock may tip the verdict either way.
+                        Some(dl) if p.backoff(0) + Duration::from_millis(5) <= dl => {
+                            prop_assert!(granted.is_some());
+                        }
+                        Some(_) => {}
+                        None => prop_assert!(granted.is_some()),
+                    },
+                }
+                let transport = matches!(
+                    err,
+                    ChirpError::Disconnected | ChirpError::Timeout | ChirpError::Busy
+                );
+                prop_assert_eq!(err.classify() == ErrorClass::Retriable, transport);
+            }
+        }
+    }
+}

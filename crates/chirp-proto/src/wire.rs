@@ -73,10 +73,32 @@ pub struct StatusLine {
 /// Read and decode a response status line; protocol errors become
 /// `Err(ChirpError)`, transport errors become `Err(Disconnected)` or
 /// `Err(Timeout)`.
+///
+/// A line that cannot be decoded as a status — non-UTF-8 bytes, a
+/// first token that is not a number — means the stream framing is
+/// lost: the bytes were damaged in flight or the peer is not speaking
+/// Chirp. That is a *transport* failure, not a server answer, so it
+/// surfaces as [`ChirpError::Disconnected`] (retriable on a fresh
+/// connection) rather than the fatal `InvalidRequest` that
+/// [`parse_status`] reports for malformed text. Well-formed negative
+/// status codes still decode to their protocol error unchanged.
 pub fn read_status<R: BufRead>(reader: &mut R) -> Result<StatusLine, ChirpError> {
-    let line = read_line(reader)
-        .map_err(|e| ChirpError::from_io(&e))?
-        .ok_or(ChirpError::Disconnected)?;
+    let line = match read_line(reader) {
+        Ok(line) => line.ok_or(ChirpError::Disconnected)?,
+        // Garbage on the stream (non-UTF-8, oversized line) is framing
+        // loss, not a protocol verdict.
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => return Err(ChirpError::Disconnected),
+        Err(e) => return Err(ChirpError::from_io(&e)),
+    };
+    // A server sending `-10` answered InvalidRequest (fatal, kept);
+    // a first token that does not parse as a number at all is noise.
+    if line
+        .split(' ')
+        .find(|w| !w.is_empty())
+        .is_none_or(|w| w.parse::<i64>().is_err())
+    {
+        return Err(ChirpError::Disconnected);
+    }
     parse_status(&line)
 }
 
@@ -183,6 +205,24 @@ mod tests {
     fn eof_becomes_disconnected() {
         let mut r = BufReader::new(&b""[..]);
         assert_eq!(read_status(&mut r).unwrap_err(), ChirpError::Disconnected);
+    }
+
+    #[test]
+    fn garbled_status_line_is_a_transport_error() {
+        // Corrupted-in-flight bytes: framing is lost, so the client
+        // must treat the stream as dead (retriable), not report a
+        // fatal protocol error.
+        for garbage in [&b"\x80\xb5\xb0 5\n"[..], b"xyz 1\n", b"   \n"] {
+            let mut r = BufReader::new(garbage);
+            assert_eq!(
+                read_status(&mut r).unwrap_err(),
+                ChirpError::Disconnected,
+                "{garbage:?}"
+            );
+        }
+        // A well-formed protocol error code is NOT remapped.
+        let mut r = BufReader::new(&b"-10\n"[..]);
+        assert_eq!(read_status(&mut r).unwrap_err(), ChirpError::InvalidRequest);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! in NFS.
 
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -24,43 +25,28 @@ use parking_lot::Mutex;
 
 use crate::fs::{normalize_path, FileHandle, FileSystem};
 
-/// Reconnection policy: exponential backoff with a retry cap, the
-/// "users may place an upper limit on these retries" switch.
-#[derive(Debug, Clone, Copy)]
-pub struct RetryPolicy {
-    /// Attempts after the first failure; 0 disables recovery.
-    pub max_retries: u32,
-    /// Delay before the first retry; doubles each attempt.
-    pub initial_backoff: Duration,
-    /// Upper bound on the delay.
-    pub max_backoff: Duration,
-}
+/// The reconnection policy, shared protocol-wide. Re-exported here
+/// because CFS is where it has always been configured from.
+pub use chirp_proto::RetryPolicy;
 
-impl Default for RetryPolicy {
-    fn default() -> RetryPolicy {
-        RetryPolicy {
-            max_retries: 4,
-            initial_backoff: Duration::from_millis(50),
-            max_backoff: Duration::from_secs(5),
-        }
-    }
-}
-
-impl RetryPolicy {
-    /// No recovery at all: every transport error surfaces immediately.
-    pub fn none() -> RetryPolicy {
-        RetryPolicy {
-            max_retries: 0,
-            initial_backoff: Duration::ZERO,
-            max_backoff: Duration::ZERO,
-        }
-    }
-
-    /// Backoff before retry number `attempt` (0-based).
-    pub fn backoff(&self, attempt: u32) -> Duration {
-        let exp = self.initial_backoff.saturating_mul(1u32 << attempt.min(16));
-        exp.min(self.max_backoff)
-    }
+/// True for `io::Error`s that stem from transport loss (connection
+/// failure, timeout, transient congestion) — the class the recovery
+/// layer may mask by reconnecting or failing over to another replica.
+/// Everything else (ACL denial, bad request, stale handle, not found)
+/// is a *verdict* and must surface unchanged.
+pub fn is_transport_error(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::NotConnected
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::ResourceBusy
+    )
 }
 
 /// Configuration of a CFS mount.
@@ -134,6 +120,10 @@ struct ConnSlot {
 pub struct Cfs {
     config: Arc<CfsConfig>,
     slot: Arc<Mutex<ConnSlot>>,
+    /// Retries performed by this mount's recovery loops. Shared so a
+    /// pool can aggregate one counter across all its connections, and
+    /// so chaos tests can assert retry counts stay bounded.
+    retries: Arc<AtomicU64>,
 }
 
 impl Cfs {
@@ -146,7 +136,19 @@ impl Cfs {
                 conn: None,
                 generation: 0,
             })),
+            retries: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Share a retry counter (a pool aggregates one across members).
+    pub fn with_retry_counter(mut self, counter: Arc<AtomicU64>) -> Cfs {
+        self.retries = counter;
+        self
+    }
+
+    /// Retries this mount's recovery loops have performed so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
     }
 
     /// Shorthand: connect to `endpoint` with `auth` at the server root.
@@ -178,31 +180,25 @@ impl Cfs {
     }
 
     /// Run `op` against a live connection, reconnecting per the retry
-    /// policy on transport failures.
+    /// policy on transport failures. Fatal (protocol/ACL) errors
+    /// surface immediately; only errors the policy classifies as
+    /// retriable burn attempts.
     fn run<T>(&self, mut op: impl FnMut(&mut Connection) -> ChirpResult<T>) -> io::Result<T> {
         let mut slot = self.slot.lock();
-        let mut attempt = 0u32;
+        let mut retry = self.config.retry.begin();
         loop {
-            if let Err(e) = ensure_connected(&mut slot, &self.config) {
-                if attempt < self.config.retry.max_retries && e.is_retryable() {
-                    let backoff = self.config.retry.backoff(attempt);
-                    attempt += 1;
-                    drop_conn(&mut slot);
-                    std::thread::sleep(backoff);
-                    continue;
-                }
-                return Err(e.into());
-            }
-            let conn = slot.conn.as_mut().expect("ensured above");
-            match op(conn) {
+            let res = ensure_connected(&mut slot, &self.config)
+                .and_then(|_| op(slot.conn.as_mut().expect("ensured above")));
+            match res {
                 Ok(v) => return Ok(v),
-                Err(e) if e.is_retryable() && attempt < self.config.retry.max_retries => {
-                    let backoff = self.config.retry.backoff(attempt);
-                    attempt += 1;
-                    drop_conn(&mut slot);
-                    std::thread::sleep(backoff);
-                }
-                Err(e) => return Err(e.into()),
+                Err(e) => match retry.next_delay(e) {
+                    Some(delay) => {
+                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        drop_conn(&mut slot);
+                        std::thread::sleep(delay);
+                    }
+                    None => return Err(e.into()),
+                },
             }
         }
     }
@@ -298,6 +294,8 @@ fn join_base(base: &str, path: &str) -> String {
 struct CfsHandle {
     config: Arc<CfsConfig>,
     slot: Arc<Mutex<ConnSlot>>,
+    /// Shared with the owning [`Cfs`]; every recovery retry counts.
+    retries: Arc<AtomicU64>,
     /// Full server-side path, for re-opening after reconnection.
     path: String,
     /// Flags to re-open with: the original minus the one-shot bits
@@ -334,47 +332,31 @@ impl CfsHandle {
     ) -> io::Result<T> {
         let slot_arc = self.slot.clone();
         let mut slot = slot_arc.lock();
-        let mut attempt = 0u32;
+        let mut retry = self.config.retry.begin();
         loop {
-            if let Err(e) = ensure_connected(&mut slot, &self.config) {
-                if attempt < self.config.retry.max_retries && e.is_retryable() {
-                    let backoff = self.config.retry.backoff(attempt);
-                    attempt += 1;
-                    drop_conn(&mut slot);
-                    std::thread::sleep(backoff);
-                    continue;
+            let res = ensure_connected(&mut slot, &self.config).and_then(|_| {
+                // If the connection was replaced, our descriptor died
+                // with it: re-open and verify identity (adapter
+                // recovery, §6). `Stale` is fatal by classification,
+                // so a replaced file surfaces instead of retrying.
+                if slot.generation != self.generation {
+                    let conn = slot.conn.as_mut().expect("ensured above");
+                    self.fd = reopen(conn, &self.path, self.reopen_flags, self.identity)?;
+                    self.generation = slot.generation;
                 }
-                return Err(e.into());
-            }
-            // If the connection was replaced, our descriptor died with
-            // it: re-open and verify identity (adapter recovery, §6).
-            if slot.generation != self.generation {
                 let conn = slot.conn.as_mut().expect("ensured above");
-                match reopen(conn, &self.path, self.reopen_flags, self.identity) {
-                    Ok(fd) => {
-                        self.fd = fd;
-                        self.generation = slot.generation;
-                    }
-                    Err(e) if e.is_retryable() && attempt < self.config.retry.max_retries => {
-                        let backoff = self.config.retry.backoff(attempt);
-                        attempt += 1;
-                        drop_conn(&mut slot);
-                        std::thread::sleep(backoff);
-                        continue;
-                    }
-                    Err(e) => return Err(e.into()),
-                }
-            }
-            let conn = slot.conn.as_mut().expect("ensured above");
-            match op(conn, self.fd) {
+                op(conn, self.fd)
+            });
+            match res {
                 Ok(v) => return Ok(v),
-                Err(e) if e.is_retryable() && attempt < self.config.retry.max_retries => {
-                    let backoff = self.config.retry.backoff(attempt);
-                    attempt += 1;
-                    drop_conn(&mut slot);
-                    std::thread::sleep(backoff);
-                }
-                Err(e) => return Err(e.into()),
+                Err(e) => match retry.next_delay(e) {
+                    Some(delay) => {
+                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        drop_conn(&mut slot);
+                        std::thread::sleep(delay);
+                    }
+                    None => return Err(e.into()),
+                },
             }
         }
     }
@@ -498,32 +480,24 @@ impl FileSystem for Cfs {
         let (fd, st, generation) = {
             let slot_arc = self.slot.clone();
             let mut slot = slot_arc.lock();
-            let mut attempt = 0u32;
+            let mut retry = self.config.retry.begin();
             loop {
-                if let Err(e) = ensure_connected(&mut slot, &self.config) {
-                    if attempt < self.config.retry.max_retries && e.is_retryable() {
-                        let backoff = self.config.retry.backoff(attempt);
-                        attempt += 1;
-                        drop_conn(&mut slot);
-                        std::thread::sleep(backoff);
-                        continue;
-                    }
-                    return Err(e.into());
-                }
-                let generation = slot.generation;
-                let conn = slot.conn.as_mut().expect("ensured above");
-                match conn.open(&full, flags, mode).and_then(|fd| {
+                let res = ensure_connected(&mut slot, &self.config).and_then(|_| {
+                    let conn = slot.conn.as_mut().expect("ensured above");
+                    let fd = conn.open(&full, flags, mode)?;
                     let st = conn.fstat(fd)?;
                     Ok((fd, st))
-                }) {
-                    Ok((fd, st)) => break (fd, st, generation),
-                    Err(e) if e.is_retryable() && attempt < self.config.retry.max_retries => {
-                        let backoff = self.config.retry.backoff(attempt);
-                        attempt += 1;
-                        drop_conn(&mut slot);
-                        std::thread::sleep(backoff);
-                    }
-                    Err(e) => return Err(e.into()),
+                });
+                match res {
+                    Ok((fd, st)) => break (fd, st, slot.generation),
+                    Err(e) => match retry.next_delay(e) {
+                        Some(delay) => {
+                            self.retries.fetch_add(1, Ordering::Relaxed);
+                            drop_conn(&mut slot);
+                            std::thread::sleep(delay);
+                        }
+                        None => return Err(e.into()),
+                    },
                 }
             }
         };
@@ -547,6 +521,7 @@ impl FileSystem for Cfs {
         Ok(Box::new(CfsHandle {
             config: self.config.clone(),
             slot: self.slot.clone(),
+            retries: self.retries.clone(),
             path: full,
             reopen_flags,
             fd,
@@ -613,20 +588,6 @@ impl FileSystem for Cfs {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn backoff_grows_and_saturates() {
-        let p = RetryPolicy {
-            max_retries: 10,
-            initial_backoff: Duration::from_millis(10),
-            max_backoff: Duration::from_millis(100),
-        };
-        assert_eq!(p.backoff(0), Duration::from_millis(10));
-        assert_eq!(p.backoff(1), Duration::from_millis(20));
-        assert_eq!(p.backoff(2), Duration::from_millis(40));
-        assert_eq!(p.backoff(5), Duration::from_millis(100));
-        assert_eq!(p.backoff(30), Duration::from_millis(100));
-    }
 
     #[test]
     fn join_base_forms() {

@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use chirp_proto::{OpenFlags, StatBuf};
 
+use crate::cfs::is_transport_error;
 use crate::fanout::run_fanout;
 use crate::fs::{FileHandle, FileSystem};
 use crate::placement::{unique_data_name, Placement};
@@ -132,6 +133,7 @@ impl MirroredFs {
             Ok(handles) => Ok(Box::new(MirrorHandle {
                 handles,
                 parallel: self.pool.parallel_fanout(),
+                preferred: 0,
             })),
             Err(e) => {
                 let _ = self.meta.unlink(path);
@@ -154,17 +156,123 @@ impl MirroredFs {
             .collect()
     }
 
-    /// Open any one replica (for reading: first reachable wins). This
-    /// is deliberately sequential — failover order is the semantics.
+    /// Replica indexes in the order reads should try them: endpoints
+    /// whose circuit breaker is closed (or due a half-open probe)
+    /// first, cooling-down endpoints last as a last resort.
+    fn health_order(&self, set: &MirrorSet) -> Vec<usize> {
+        let (mut order, cooling): (Vec<usize>, Vec<usize>) = (0..set.replicas.len())
+            .partition(|&i| self.pool.endpoint_available(&set.replicas[i].0));
+        order.extend(cooling);
+        order
+    }
+
+    /// Open a read handle that fails over between replicas for its
+    /// whole life. The first open tries replicas health-first; later
+    /// transport failures demote the current replica and move on.
     fn open_any(&self, set: &MirrorSet, flags: OpenFlags) -> io::Result<Box<dyn FileHandle>> {
         let mut last: io::Error = io::ErrorKind::NotFound.into();
-        for (endpoint, path) in &set.replicas {
+        for idx in self.health_order(set) {
+            let (endpoint, path) = &set.replicas[idx];
             match self.pool.open(endpoint, path, flags, 0) {
-                Ok(h) => return Ok(h),
-                Err(e) => last = e,
+                Ok(h) => {
+                    self.pool.report_success(endpoint);
+                    return Ok(Box::new(MirrorReadHandle {
+                        replicas: set.replicas.clone(),
+                        pool: self.pool.clone(),
+                        flags,
+                        current: Some((idx, h)),
+                    }));
+                }
+                Err(e) => {
+                    if is_transport_error(&e) {
+                        self.pool.report_failure(endpoint);
+                    }
+                    last = e;
+                }
             }
         }
         Err(last)
+    }
+}
+
+/// A failover read handle: one live replica at a time, demoted on
+/// transport failure in favour of the next. Fatal errors (ACL denial,
+/// not-found) surface immediately — failover masks resource loss, not
+/// server verdicts.
+struct MirrorReadHandle {
+    replicas: Vec<(String, String)>,
+    pool: ServerPool,
+    flags: OpenFlags,
+    /// The replica currently serving reads, if any is open.
+    current: Option<(usize, Box<dyn FileHandle>)>,
+}
+
+impl MirrorReadHandle {
+    fn with_failover<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Box<dyn FileHandle>) -> io::Result<T>,
+    ) -> io::Result<T> {
+        let n = self.replicas.len();
+        let start = self.current.as_ref().map_or(0, |(i, _)| *i);
+        let mut last: io::Error = io::ErrorKind::NotFound.into();
+        for k in 0..n {
+            let idx = (start + k) % n;
+            let (endpoint, path) = self.replicas[idx].clone();
+            // Make sure the current handle is the one for `idx`.
+            if self.current.as_ref().is_none_or(|(i, _)| *i != idx) {
+                match self.pool.open(&endpoint, &path, self.flags, 0) {
+                    Ok(h) => self.current = Some((idx, h)),
+                    Err(e) => {
+                        if is_transport_error(&e) {
+                            self.pool.report_failure(&endpoint);
+                            last = e;
+                            continue;
+                        }
+                        return Err(e);
+                    }
+                }
+            }
+            let (_, handle) = self.current.as_mut().expect("just ensured");
+            match op(handle) {
+                Ok(v) => {
+                    self.pool.report_success(&endpoint);
+                    return Ok(v);
+                }
+                Err(e) if is_transport_error(&e) => {
+                    // Demote: the dead replica loses its slot, and the
+                    // next call starts from whoever answers now.
+                    self.pool.report_failure(&endpoint);
+                    self.current = None;
+                    last = e;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+}
+
+impl FileHandle for MirrorReadHandle {
+    fn pread(&mut self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        self.with_failover(|h| h.pread(buf, offset))
+    }
+
+    fn pwrite(&mut self, buf: &[u8], offset: u64) -> io::Result<usize> {
+        // Read handles are opened without WRITE; the server's verdict
+        // on the attempt surfaces unchanged.
+        self.with_failover(|h| h.pwrite(buf, offset))
+    }
+
+    fn fstat(&mut self) -> io::Result<StatBuf> {
+        self.with_failover(|h| h.fstat())
+    }
+
+    fn fsync(&mut self) -> io::Result<()> {
+        self.with_failover(|h| h.fsync())
+    }
+
+    fn ftruncate(&mut self, size: u64) -> io::Result<()> {
+        self.with_failover(|h| h.ftruncate(size))
     }
 }
 
@@ -174,6 +282,10 @@ struct MirrorHandle {
     /// Fan replica mutations out over scoped threads — each replica
     /// handle owns its own pooled connection.
     parallel: bool,
+    /// Read failover-with-demotion: the replica reads start from.
+    /// Bumped past any replica whose read fails, so one dead mirror
+    /// is not re-tried at the head of every subsequent read.
+    preferred: usize,
 }
 
 impl MirrorHandle {
@@ -192,11 +304,17 @@ impl MirrorHandle {
 
 impl FileHandle for MirrorHandle {
     fn pread(&mut self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
-        // Sequential failover: first live replica answers.
+        // Sequential failover with demotion: start from the last
+        // replica known good, and remember whoever answers.
+        let n_replicas = self.handles.len();
         let mut last: io::Error = io::ErrorKind::NotFound.into();
-        for h in &mut self.handles {
-            match h.pread(buf, offset) {
-                Ok(n) => return Ok(n),
+        for k in 0..n_replicas {
+            let idx = (self.preferred + k) % n_replicas;
+            match self.handles[idx].pread(buf, offset) {
+                Ok(n) => {
+                    self.preferred = idx;
+                    return Ok(n);
+                }
                 Err(e) => last = e,
             }
         }
@@ -247,6 +365,7 @@ impl FileSystem for MirroredFs {
             let mut mirror = MirrorHandle {
                 handles,
                 parallel: self.pool.parallel_fanout(),
+                preferred: 0,
             };
             if flags.contains(OpenFlags::TRUNCATE) {
                 mirror.ftruncate(0)?;
@@ -261,12 +380,21 @@ impl FileSystem for MirroredFs {
     fn stat(&self, path: &str) -> io::Result<StatBuf> {
         match self.read_set(path) {
             Ok(set) => {
-                // Sequential failover, like reads.
+                // Sequential failover in health order, like reads.
                 let mut last: io::Error = io::ErrorKind::NotFound.into();
-                for (endpoint, data_path) in &set.replicas {
+                for idx in self.health_order(&set) {
+                    let (endpoint, data_path) = &set.replicas[idx];
                     match self.pool.with_conn(endpoint, |cfs| cfs.stat(data_path)) {
-                        Ok(st) => return Ok(st),
-                        Err(e) => last = e,
+                        Ok(st) => {
+                            self.pool.report_success(endpoint);
+                            return Ok(st);
+                        }
+                        Err(e) => {
+                            if is_transport_error(&e) {
+                                self.pool.report_failure(endpoint);
+                            }
+                            last = e;
+                        }
                     }
                 }
                 Err(last)

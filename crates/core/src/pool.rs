@@ -24,6 +24,7 @@ use std::io;
 use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use chirp_client::AuthMethod;
 use chirp_proto::{OpenFlags, StatBuf};
@@ -41,6 +42,9 @@ struct PoolCounters {
     hits: AtomicU64,
     misses: AtomicU64,
     discards: AtomicU64,
+    evictions: AtomicU64,
+    failures: AtomicU64,
+    breaker_trips: AtomicU64,
 }
 
 /// A point-in-time copy of the pool counters.
@@ -57,14 +61,58 @@ pub struct PoolStats {
     /// Returned connections dropped instead of cached (broken, or the
     /// endpoint's idle cache was full).
     pub discards: u64,
+    /// Idle connections dropped for exceeding `max_idle` age.
+    pub evictions: u64,
+    /// Endpoint failures reported against pool members.
+    pub failures: u64,
+    /// Times an endpoint's circuit breaker opened.
+    pub breaker_trips: u64,
+    /// Recovery retries performed by connections this pool built.
+    pub retries: u64,
+}
+
+/// Per-endpoint circuit-breaker state: `Closed` is normal service;
+/// after `breaker_threshold` consecutive reported failures the breaker
+/// `Open`s and the endpoint is reported unavailable until the cooldown
+/// elapses, when one `HalfOpen` probe is allowed through — its outcome
+/// re-closes or re-opens the breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal service.
+    Closed,
+    /// Rejecting the endpoint until the cooldown deadline.
+    Open,
+    /// One probe allowed through; the next report decides.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct EndpointHealth {
+    consecutive_failures: u32,
+    state: BreakerState,
+    opened_at: Option<Instant>,
+}
+
+impl Default for EndpointHealth {
+    fn default() -> EndpointHealth {
+        EndpointHealth {
+            consecutive_failures: 0,
+            state: BreakerState::Closed,
+            opened_at: None,
+        }
+    }
 }
 
 struct PoolShared {
     servers: Vec<DataServer>,
     options: StubFsOptions,
     default_auth: Vec<AuthMethod>,
-    idle: Mutex<HashMap<String, Vec<Cfs>>>,
+    idle: Mutex<HashMap<String, Vec<(Cfs, Instant)>>>,
+    health: Mutex<HashMap<String, EndpointHealth>>,
     counters: PoolCounters,
+    /// One counter shared by every connection the pool builds, so
+    /// `PoolStats::retries` aggregates recovery work pool-wide.
+    retries: Arc<AtomicU64>,
 }
 
 impl PoolShared {
@@ -79,7 +127,7 @@ impl PoolShared {
         cfg.timeout = self.options.timeout;
         cfg.retry = self.options.retry;
         cfg.readahead = self.options.readahead;
-        Cfs::new(cfg)
+        Cfs::new(cfg).with_retry_counter(self.retries.clone())
     }
 
     fn checkin(&self, cfs: Cfs) {
@@ -93,14 +141,83 @@ impl PoolShared {
         let mut idle = self.idle.lock();
         let slot = idle.entry(cfs.endpoint().to_string()).or_default();
         if slot.len() < self.options.max_conns_per_endpoint.max(1) {
-            slot.push(cfs);
+            slot.push((cfs, Instant::now()));
         } else {
             self.counters.discards.fetch_add(1, Ordering::Relaxed);
         }
     }
+
+    /// Pop the freshest non-expired idle connection for `endpoint`,
+    /// evicting every entry that has outlived `max_idle` on the way.
+    fn pop_idle(&self, endpoint: &str) -> Option<Cfs> {
+        let mut idle = self.idle.lock();
+        let slot = idle.get_mut(endpoint)?;
+        let now = Instant::now();
+        while let Some((cfs, since)) = slot.pop() {
+            if now.duration_since(since) <= self.options.max_idle {
+                return Some(cfs);
+            }
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        None
+    }
+
+    fn report_failure(&self, endpoint: &str) {
+        self.counters.failures.fetch_add(1, Ordering::Relaxed);
+        if self.options.breaker_threshold == 0 {
+            return;
+        }
+        let mut health = self.health.lock();
+        let h = health.entry(endpoint.to_string()).or_default();
+        h.consecutive_failures += 1;
+        let tripped = match h.state {
+            BreakerState::Closed => h.consecutive_failures >= self.options.breaker_threshold,
+            // A failed half-open probe re-opens immediately.
+            BreakerState::HalfOpen => true,
+            BreakerState::Open => false,
+        };
+        if tripped {
+            h.state = BreakerState::Open;
+            h.opened_at = Some(Instant::now());
+            self.counters.breaker_trips.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn report_success(&self, endpoint: &str) {
+        let mut health = self.health.lock();
+        if let Some(h) = health.get_mut(endpoint) {
+            h.consecutive_failures = 0;
+            h.state = BreakerState::Closed;
+            h.opened_at = None;
+        }
+    }
+
+    /// Whether callers should try `endpoint` right now. An `Open`
+    /// breaker transitions to `HalfOpen` once its cooldown elapses,
+    /// letting exactly this caller probe it.
+    fn endpoint_available(&self, endpoint: &str) -> bool {
+        let mut health = self.health.lock();
+        let Some(h) = health.get_mut(endpoint) else {
+            return true;
+        };
+        match h.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                let cooled = h
+                    .opened_at
+                    .is_none_or(|t| t.elapsed() >= self.options.breaker_cooldown);
+                if cooled {
+                    h.state = BreakerState::HalfOpen;
+                }
+                cooled
+            }
+        }
+    }
 }
 
-/// A connection-pooling view of a set of data servers.
+/// A connection-pooling view of a set of data servers. Cloning is
+/// cheap and shares the pool (same idle cache, counters, breakers).
+#[derive(Clone)]
 pub struct ServerPool {
     shared: Arc<PoolShared>,
 }
@@ -115,7 +232,9 @@ impl ServerPool {
                 options,
                 default_auth,
                 idle: Mutex::new(HashMap::new()),
+                health: Mutex::new(HashMap::new()),
                 counters: PoolCounters::default(),
+                retries: Arc::new(AtomicU64::new(0)),
             }),
         }
     }
@@ -154,12 +273,7 @@ impl ServerPool {
             .counters
             .checkouts
             .fetch_add(1, Ordering::Relaxed);
-        let cached = self
-            .shared
-            .idle
-            .lock()
-            .get_mut(endpoint)
-            .and_then(|v| v.pop());
+        let cached = self.shared.pop_idle(endpoint);
         let cfs = match cached {
             Some(cfs) => {
                 self.shared.counters.hits.fetch_add(1, Ordering::Relaxed);
@@ -211,12 +325,45 @@ impl ServerPool {
             hits: c.hits.load(Ordering::Relaxed),
             misses: c.misses.load(Ordering::Relaxed),
             discards: c.discards.load(Ordering::Relaxed),
+            evictions: c.evictions.load(Ordering::Relaxed),
+            failures: c.failures.load(Ordering::Relaxed),
+            breaker_trips: c.breaker_trips.load(Ordering::Relaxed),
+            retries: self.shared.retries.load(Ordering::Relaxed),
         }
     }
 
     /// Idle connections currently cached for `endpoint`.
     pub fn idle_count(&self, endpoint: &str) -> usize {
         self.shared.idle.lock().get(endpoint).map_or(0, Vec::len)
+    }
+
+    /// Record a failed operation against `endpoint`; enough in a row
+    /// opens the endpoint's circuit breaker.
+    pub fn report_failure(&self, endpoint: &str) {
+        self.shared.report_failure(endpoint);
+    }
+
+    /// Record a successful operation against `endpoint`, closing its
+    /// breaker and zeroing its failure streak.
+    pub fn report_success(&self, endpoint: &str) {
+        self.shared.report_success(endpoint);
+    }
+
+    /// Whether `endpoint` should be tried right now. `false` only
+    /// while the endpoint's breaker is open and still cooling down;
+    /// after the cooldown one caller gets `true` as the half-open
+    /// probe.
+    pub fn endpoint_available(&self, endpoint: &str) -> bool {
+        self.shared.endpoint_available(endpoint)
+    }
+
+    /// The breaker state of `endpoint` (for tests and monitoring).
+    pub fn breaker_state(&self, endpoint: &str) -> BreakerState {
+        self.shared
+            .health
+            .lock()
+            .get(endpoint)
+            .map_or(BreakerState::Closed, |h| h.state)
     }
 
     /// Create each member's volume directory if missing.
@@ -371,6 +518,63 @@ mod tests {
         let cap = StubFsOptions::default().max_conns_per_endpoint;
         assert!(p.idle_count("host0:9094") <= cap);
         assert!(p.idle_count("host1:9094") <= cap);
+    }
+
+    #[test]
+    fn idle_connections_past_max_idle_are_evicted_at_checkout() {
+        let options = StubFsOptions {
+            max_idle: std::time::Duration::from_millis(20),
+            ..StubFsOptions::default()
+        };
+        let servers = vec![DataServer::new("host0:9094", "/vol", Vec::new())];
+        let p = ServerPool::new(servers, options);
+        drop(p.checkout("host0:9094"));
+        assert_eq!(p.idle_count("host0:9094"), 1);
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        // The aged entry must not be handed out: the second checkout
+        // evicts it and builds a fresh connection.
+        drop(p.checkout("host0:9094"));
+        let s = p.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.hits, 0);
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_recovers_through_half_open() {
+        let options = StubFsOptions {
+            breaker_threshold: 2,
+            breaker_cooldown: std::time::Duration::from_millis(30),
+            ..StubFsOptions::default()
+        };
+        let servers = vec![DataServer::new("host0:9094", "/vol", Vec::new())];
+        let p = ServerPool::new(servers, options);
+        let ep = "host0:9094";
+
+        assert!(p.endpoint_available(ep));
+        p.report_failure(ep);
+        assert_eq!(p.breaker_state(ep), BreakerState::Closed);
+        assert!(p.endpoint_available(ep));
+        p.report_failure(ep);
+        assert_eq!(p.breaker_state(ep), BreakerState::Open);
+        assert!(!p.endpoint_available(ep));
+
+        // After the cooldown a single half-open probe is allowed; a
+        // failed probe re-opens the breaker, a success re-closes it.
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        assert!(p.endpoint_available(ep));
+        assert_eq!(p.breaker_state(ep), BreakerState::HalfOpen);
+        p.report_failure(ep);
+        assert_eq!(p.breaker_state(ep), BreakerState::Open);
+        assert!(!p.endpoint_available(ep));
+
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        assert!(p.endpoint_available(ep));
+        p.report_success(ep);
+        assert_eq!(p.breaker_state(ep), BreakerState::Closed);
+        assert!(p.endpoint_available(ep));
+        assert_eq!(p.stats().breaker_trips, 2);
+        assert_eq!(p.stats().failures, 3);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use std::sync::Arc;
 
 use chirp_proto::{OpenFlags, StatBuf};
 
+use crate::cfs::is_transport_error;
 use crate::fanout::run_fanout;
 use crate::fs::{FileHandle, FileSystem};
 use crate::placement::{unique_data_name, Placement};
@@ -189,11 +190,9 @@ impl StripedFs {
         drop(stub);
         let create = flags | OpenFlags::WRITE | OpenFlags::CREATE;
         match self.open_parts(&layout, create) {
-            Ok(handles) => Ok(Box::new(StripedHandle {
-                layout,
-                handles,
-                parallel: self.pool.parallel_fanout(),
-            })),
+            Ok(handles) => Ok(Box::new(StripedHandle::new(
+                layout, handles, &self.pool, create,
+            ))),
             Err(e) => {
                 let _ = self.meta.unlink(path);
                 Err(e)
@@ -202,9 +201,62 @@ impl StripedFs {
     }
 }
 
+/// One stripe part: where it lives plus the open handle serving it.
+/// Keeping the address next to the handle lets a part recover from a
+/// dead connection by re-opening itself mid-operation.
+struct PartSlot {
+    endpoint: String,
+    path: String,
+    handle: Box<dyn FileHandle>,
+}
+
+impl PartSlot {
+    /// Per-stripe retry (the step before first-error-wins): when an
+    /// RPC fails with a transport error, re-open this part over a
+    /// fresh pooled connection and run `op` once more. The pool's
+    /// breaker hears about the outcome either way.
+    fn with_reopen<T>(
+        &mut self,
+        pool: &ServerPool,
+        flags: OpenFlags,
+        mut op: impl FnMut(&mut Box<dyn FileHandle>) -> io::Result<T>,
+    ) -> io::Result<T> {
+        match op(&mut self.handle) {
+            Ok(v) => Ok(v),
+            Err(first) if is_transport_error(&first) => {
+                pool.report_failure(&self.endpoint);
+                match pool.open(&self.endpoint, &self.path, flags, 0o644) {
+                    Ok(fresh) => {
+                        self.handle = fresh;
+                        match op(&mut self.handle) {
+                            Ok(v) => {
+                                pool.report_success(&self.endpoint);
+                                Ok(v)
+                            }
+                            Err(second) => {
+                                if is_transport_error(&second) {
+                                    pool.report_failure(&self.endpoint);
+                                }
+                                Err(second)
+                            }
+                        }
+                    }
+                    Err(_) => Err(first),
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
 struct StripedHandle {
     layout: StripeLayout,
-    handles: Vec<Box<dyn FileHandle>>,
+    parts: Vec<PartSlot>,
+    pool: ServerPool,
+    /// Flags a part may be re-opened with after a transport failure:
+    /// the open flags minus one-shot bits (`CREATE`/`TRUNCATE`/
+    /// `EXCLUSIVE`), so recovery never clobbers data.
+    reopen_flags: OpenFlags,
     /// Fan per-part RPCs out over scoped threads. Each part has its
     /// own pooled connection, so parts genuinely proceed concurrently.
     parallel: bool,
@@ -214,23 +266,71 @@ struct StripedHandle {
 /// logical-offset order so partial results merge deterministically.
 type ChunkResult = (usize, io::Result<usize>);
 
+/// Strip one-shot bits so mid-operation re-opens are idempotent.
+fn reopen_flags_of(flags: OpenFlags) -> OpenFlags {
+    let mut out = OpenFlags::empty();
+    for f in [
+        OpenFlags::READ,
+        OpenFlags::WRITE,
+        OpenFlags::APPEND,
+        OpenFlags::SYNC,
+    ] {
+        if flags.contains(f) {
+            out |= f;
+        }
+    }
+    if out.bits() == 0 {
+        out = OpenFlags::READ;
+    }
+    out
+}
+
 impl StripedHandle {
+    fn new(
+        layout: StripeLayout,
+        handles: Vec<Box<dyn FileHandle>>,
+        pool: &ServerPool,
+        flags: OpenFlags,
+    ) -> StripedHandle {
+        let parts = layout
+            .parts
+            .iter()
+            .cloned()
+            .zip(handles)
+            .map(|((endpoint, path), handle)| PartSlot {
+                endpoint,
+                path,
+                handle,
+            })
+            .collect();
+        StripedHandle {
+            layout,
+            parts,
+            pool: pool.clone(),
+            reopen_flags: reopen_flags_of(flags),
+            parallel: pool.parallel_fanout(),
+        }
+    }
+
     fn use_threads(&self, parts_in_play: usize) -> bool {
         self.parallel && parts_in_play > 1
     }
 
-    /// Run `per_handle` RPCs over every handle concurrently and return
-    /// the first error in part order, if any.
+    /// Run `per_part` RPCs over every part concurrently (each with the
+    /// per-stripe re-open retry) and return the first error in part
+    /// order, if any.
     fn for_each_part(
         &mut self,
         per_handle: impl Fn(&mut Box<dyn FileHandle>) -> io::Result<()> + Sync,
     ) -> io::Result<()> {
-        let parallel = self.use_threads(self.handles.len());
+        let parallel = self.use_threads(self.parts.len());
         let per_handle = &per_handle;
+        let pool = &self.pool;
+        let flags = self.reopen_flags;
         let jobs: Vec<_> = self
-            .handles
+            .parts
             .iter_mut()
-            .map(|h| move || per_handle(h))
+            .map(|slot| move || slot.with_reopen(pool, flags, per_handle))
             .collect();
         run_fanout(parallel, jobs).into_iter().collect()
     }
@@ -243,7 +343,7 @@ impl FileHandle for StripedHandle {
         // order on that part's own connection, and parts run
         // concurrently.
         let mut plans: Vec<Vec<(usize, u64, &mut [u8])>> =
-            (0..self.handles.len()).map(|_| Vec::new()).collect();
+            (0..self.parts.len()).map(|_| Vec::new()).collect();
         let mut chunk_lens = Vec::new();
         let mut rest = buf;
         let mut pos = 0u64;
@@ -258,17 +358,19 @@ impl FileHandle for StripedHandle {
             pos += len as u64;
         }
         let parallel = self.use_threads(plans.iter().filter(|p| !p.is_empty()).count());
+        let pool = &self.pool;
+        let flags = self.reopen_flags;
         let jobs: Vec<_> = self
-            .handles
+            .parts
             .iter_mut()
             .zip(plans)
             .filter(|(_, plan)| !plan.is_empty())
-            .map(|(h, plan)| {
+            .map(|(slot, plan)| {
                 move || {
                     let mut out: Vec<ChunkResult> = Vec::with_capacity(plan.len());
                     for (order, part_off, chunk) in plan {
                         let want = chunk.len();
-                        match h.pread(chunk, part_off) {
+                        match slot.with_reopen(pool, flags, |h| h.pread(chunk, part_off)) {
                             Ok(n) => {
                                 out.push((order, Ok(n)));
                                 if n < want {
@@ -315,7 +417,7 @@ impl FileHandle for StripedHandle {
 
     fn pwrite(&mut self, buf: &[u8], offset: u64) -> io::Result<usize> {
         let mut plans: Vec<Vec<(usize, u64, &[u8])>> =
-            (0..self.handles.len()).map(|_| Vec::new()).collect();
+            (0..self.parts.len()).map(|_| Vec::new()).collect();
         let mut chunk_lens = Vec::new();
         let mut rest = buf;
         let mut pos = 0u64;
@@ -330,16 +432,20 @@ impl FileHandle for StripedHandle {
             pos += len as u64;
         }
         let parallel = self.use_threads(plans.iter().filter(|p| !p.is_empty()).count());
+        let pool = &self.pool;
+        let flags = self.reopen_flags;
         let jobs: Vec<_> = self
-            .handles
+            .parts
             .iter_mut()
             .zip(plans)
             .filter(|(_, plan)| !plan.is_empty())
-            .map(|(h, plan)| {
+            .map(|(slot, plan)| {
                 move || {
                     let mut out: Vec<(usize, io::Result<()>)> = Vec::with_capacity(plan.len());
                     for (order, part_off, chunk) in plan {
-                        match h.pwrite(chunk, part_off) {
+                        // Positional writes are idempotent, so a
+                        // re-opened part may safely repeat the chunk.
+                        match slot.with_reopen(pool, flags, |h| h.pwrite(chunk, part_off)) {
                             Ok(_) => out.push((order, Ok(()))),
                             Err(e) => {
                                 out.push((order, Err(e)));
@@ -371,8 +477,14 @@ impl FileHandle for StripedHandle {
     fn fstat(&mut self) -> io::Result<StatBuf> {
         // The logical size is the sum of the compacted part sizes;
         // every part is queried concurrently.
-        let parallel = self.use_threads(self.handles.len());
-        let jobs: Vec<_> = self.handles.iter_mut().map(|h| move || h.fstat()).collect();
+        let parallel = self.use_threads(self.parts.len());
+        let pool = &self.pool;
+        let flags = self.reopen_flags;
+        let jobs: Vec<_> = self
+            .parts
+            .iter_mut()
+            .map(|slot| move || slot.with_reopen(pool, flags, |h| h.fstat()))
+            .collect();
         let stats: io::Result<Vec<StatBuf>> = run_fanout(parallel, jobs).into_iter().collect();
         let stats = stats?;
         let mut base = stats[0];
@@ -391,7 +503,7 @@ impl FileHandle for StripedHandle {
         let ss = self.layout.stripe_size;
         let full = size / ss;
         let tail = size % ss;
-        let part_lens: Vec<u64> = (0..self.handles.len() as u64)
+        let part_lens: Vec<u64> = (0..self.parts.len() as u64)
             .map(|i| {
                 // Stripes this part holds among the first `full`
                 // stripes; the tail stripe replaces that part's next
@@ -404,12 +516,14 @@ impl FileHandle for StripedHandle {
                 part_len
             })
             .collect();
-        let parallel = self.use_threads(self.handles.len());
+        let parallel = self.use_threads(self.parts.len());
+        let pool = &self.pool;
+        let flags = self.reopen_flags;
         let jobs: Vec<_> = self
-            .handles
+            .parts
             .iter_mut()
             .zip(part_lens)
-            .map(|(h, len)| move || h.ftruncate(len))
+            .map(|(slot, len)| move || slot.with_reopen(pool, flags, |h| h.ftruncate(len)))
             .collect();
         run_fanout(parallel, jobs).into_iter().collect()
     }
@@ -436,11 +550,7 @@ impl FileSystem for StripedFs {
             }
         }
         let handles = self.open_parts(&layout, open_flags)?;
-        let mut striped = StripedHandle {
-            layout,
-            handles,
-            parallel: self.pool.parallel_fanout(),
-        };
+        let mut striped = StripedHandle::new(layout, handles, &self.pool, open_flags);
         if flags.contains(OpenFlags::TRUNCATE) {
             striped.ftruncate(0)?;
         }

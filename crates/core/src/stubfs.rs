@@ -82,6 +82,18 @@ pub struct StubFsOptions {
     /// a data connection; `0` (the default) disables client-side
     /// buffering entirely, preserving the no-caching coherence story.
     pub readahead: usize,
+    /// Maximum time a connection may sit idle in the pool before it is
+    /// evicted instead of handed out. A long-idle socket to a server
+    /// that has restarted looks healthy until the first RPC fails, so
+    /// aging them out trades a cheap reconnect for a guaranteed-fresh
+    /// stream.
+    pub max_idle: Duration,
+    /// Consecutive endpoint failures that open that endpoint's circuit
+    /// breaker. `0` disables the breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker rejects an endpoint before allowing a
+    /// half-open probe.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for StubFsOptions {
@@ -92,6 +104,9 @@ impl Default for StubFsOptions {
             max_conns_per_endpoint: 4,
             parallel_fanout: true,
             readahead: 0,
+            max_idle: Duration::from_secs(60),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(2),
         }
     }
 }

@@ -39,6 +39,7 @@ pub fn cfs(endpoint: &str) -> Cfs {
         max_retries: 5,
         initial_backoff: Duration::from_millis(10),
         max_backoff: Duration::from_millis(100),
+        ..RetryPolicy::default()
     };
     Cfs::new(cfg)
 }

@@ -6,9 +6,12 @@
 
 mod common;
 
+use std::time::Duration;
+
 use chirp_proto::testutil::TempDir;
 use chirp_proto::OpenFlags;
-use common::{auth, open_server};
+use common::{auth, cfs, open_server};
+use faultline::{FaultAction, FaultPlan, FaultProxy, FaultRule, FaultTrigger};
 use proptest::prelude::*;
 use tss_core::fs::FileSystem;
 use tss_core::stubfs::DataServer;
@@ -137,6 +140,70 @@ proptest! {
         ];
         let subject = Dpfs::new(meta_dir.path(), pool).unwrap();
         subject.ensure_volumes().unwrap();
+
+        for (i, op) in ops.iter().enumerate() {
+            let a = apply(&reference, op);
+            let b = apply(&subject, op);
+            prop_assert_eq!(a, b, "op {} = {:?} diverged", i, op);
+        }
+        let a = snapshot(&reference);
+        let b = snapshot(&subject);
+        prop_assert_eq!(a, b, "final state diverged");
+    }
+}
+
+/// Idempotent subset of the model for the fault-proxied run: a fault
+/// can fire *after* the server applied an operation, so a retried
+/// non-idempotent op (exclusive create, unlink, rename) could
+/// legitimately observe its own first attempt and diverge. Writes,
+/// reads, stats, listings, and truncates replay to the same outcome.
+fn idempotent_op_strategy() -> impl Strategy<Value = Op> {
+    let path = 0..PATHS.len();
+    prop_oneof![
+        (path.clone(), proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(p, d)| Op::Write(p, d)),
+        path.clone().prop_map(Op::Read),
+        path.clone().prop_map(Op::Stat),
+        path.clone().prop_map(Op::Readdir),
+        (path, 0u64..100).prop_map(|(p, s)| Op::Truncate(p, s)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        max_shrink_iters: 100,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn fault_proxied_cfs_matches_the_local_reference_model(
+        ops in proptest::collection::vec(idempotent_op_strategy(), 1..24),
+        plan_seed in any::<u64>(),
+    ) {
+        // Reference: a plain local tree, no network at all.
+        let ref_dir = TempDir::new();
+        let reference = LocalFs::new(ref_dir.path()).unwrap();
+        // Subject: a CFS whose connection runs through a fault proxy
+        // injecting recoverable faults — corrupted replies and delays.
+        // The recovery layer must make the trace indistinguishable
+        // from the fault-free reference.
+        let host = TempDir::new();
+        let server = open_server(host.path());
+        let plan = FaultPlan::new(plan_seed)
+            .with_rule(
+                FaultRule::new(FaultTrigger::Probability(0.08), FaultAction::CorruptReply)
+                    .max_fires(4),
+            )
+            .with_rule(
+                FaultRule::new(
+                    FaultTrigger::Probability(0.05),
+                    FaultAction::Delay(Duration::from_millis(2)),
+                )
+                .max_fires(8),
+            );
+        let proxy = FaultProxy::spawn(&server.endpoint(), plan).unwrap();
+        let subject = cfs(&proxy.addr());
 
         for (i, op) in ops.iter().enumerate() {
             let a = apply(&reference, op);

@@ -13,6 +13,8 @@ use common::proxy::FlakyProxy;
 use common::{auth, open_server};
 use tss_core::cfs::{Cfs, CfsConfig, RetryPolicy};
 use tss_core::fs::FileSystem;
+use tss_core::stubfs::{DataServer, StubFsOptions};
+use tss_core::ServerPool;
 
 fn recovering_cfs(endpoint: &str) -> Cfs {
     let mut cfg = CfsConfig::new(endpoint, auth());
@@ -21,6 +23,7 @@ fn recovering_cfs(endpoint: &str) -> Cfs {
         max_retries: 6,
         initial_backoff: Duration::from_millis(10),
         max_backoff: Duration::from_millis(100),
+        ..RetryPolicy::default()
     };
     Cfs::new(cfg)
 }
@@ -107,6 +110,7 @@ fn retry_cap_limits_recovery_attempts() {
         max_retries: 2,
         initial_backoff: Duration::from_millis(5),
         max_backoff: Duration::from_millis(10),
+        ..RetryPolicy::default()
     };
     let fs = Cfs::new(cfg);
     fs.write_file("/f", b"x").unwrap();
@@ -135,6 +139,46 @@ fn no_retry_policy_fails_on_first_break() {
     assert!(fs.read_file("/f").is_err());
     // But a fresh operation after the failure reconnects lazily.
     assert_eq!(fs.read_file("/f").unwrap(), b"x");
+}
+
+#[test]
+fn server_restart_does_not_hand_out_stale_pool_sockets() {
+    // Regression: a pooled connection that sat idle across a server
+    // restart leads to a dead peer. With `max_idle` elapsed the entry
+    // is evicted at checkout and a fresh connection is dialed — even
+    // under a no-retry policy that would otherwise surface the stale
+    // socket as an immediate error.
+    let dir = TempDir::new();
+    let mut server = open_server(dir.path());
+    let proxy = FlakyProxy::start(server.addr());
+    let endpoint = proxy.endpoint();
+    let options = StubFsOptions {
+        timeout: Duration::from_millis(1500),
+        retry: RetryPolicy::none(),
+        max_idle: Duration::from_millis(40),
+        ..StubFsOptions::default()
+    };
+    let pool = ServerPool::new(vec![DataServer::new(&endpoint, "/vol", auth())], options);
+    pool.with_conn(&endpoint, |cfs| cfs.write_file("/f", b"v1"))
+        .unwrap();
+    assert_eq!(pool.idle_count(&endpoint), 1);
+
+    // Restart the server: the cached socket's peer is gone.
+    server.shutdown();
+    drop(server);
+    let server2 = open_server(dir.path());
+    proxy.set_target(Some(server2.addr()));
+    proxy.drop_connections();
+    std::thread::sleep(Duration::from_millis(60));
+
+    assert_eq!(
+        pool.with_conn(&endpoint, |cfs| cfs.read_file("/f"))
+            .unwrap(),
+        b"v1"
+    );
+    let stats = pool.stats();
+    assert_eq!(stats.evictions, 1, "aged entry evicted, not handed out");
+    assert_eq!(stats.misses, 2, "second checkout dialed fresh");
 }
 
 #[test]

@@ -1,0 +1,808 @@
+//! A deterministic fault-injecting TCP proxy for the Chirp protocol.
+//!
+//! The paper's resource layer is defined as much by its failure
+//! semantics as by its RPCs: a Chirp disconnect closes every open file,
+//! and the abstraction layer (CFS, DPFS) is responsible for masking
+//! resource loss. Testing that masking requires faults on demand, so
+//! this crate puts a proxy between a client and a real `chirp-server`
+//! and injects failures according to a [`FaultPlan`]: drop the socket
+//! mid-frame, delay a request, truncate or corrupt a reply, or
+//! black-hole a request (accept it, never answer).
+//!
+//! Determinism: every random decision comes from a [`rand::rngs::SmallRng`]
+//! seeded from the plan (`FaultPlan::new(seed)`); there is no
+//! wall-clock randomness. Counter-based triggers ([`FaultTrigger::NthRpc`]
+//! and friends) are exact on a single connection; under concurrent
+//! connections the RPC interleaving is scheduler-dependent, so chaos
+//! tests assert *outcomes* (data integrity, bounded retries), not which
+//! specific RPC a fault landed on.
+//!
+//! The proxy is frame-aware on the client→server direction: it parses
+//! each request line, knows that `PWRITE`/`PUTFILE` carry a payload of
+//! the length named on the line, and counts whole RPCs. The
+//! server→client direction is pumped opaquely, with per-RPC flags
+//! ("corrupt the next reply chunk", "truncate it") set by the request
+//! side — Chirp is strictly one RPC at a time per connection, so the
+//! next server bytes after a flagged request are that request's reply.
+
+#![warn(missing_docs)]
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// What a fired fault does to the connection it fires on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// Forward only part of the request frame, then sever both
+    /// directions — the server sees a torn request, the client sees a
+    /// dead socket mid-RPC.
+    KillMidFrame,
+    /// Hold the request for the given duration before forwarding it.
+    Delay(Duration),
+    /// Forward the request, then sever after relaying only part of the
+    /// reply — the client sees a frame that ends early.
+    TruncateReply,
+    /// Forward the request, flip high bits in the first bytes of the
+    /// reply, then sever. The damaged status line is unparseable, which
+    /// the client must treat as a transport failure, not a protocol
+    /// verdict.
+    CorruptReply,
+    /// Swallow the request and everything after it without forwarding;
+    /// the connection stays open but the server never sees the RPC and
+    /// the client never gets a reply (it must rely on its own timeout).
+    BlackHole,
+}
+
+/// When a fault fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultTrigger {
+    /// On the `n`th RPC (1-based) observed across the whole proxy.
+    NthRpc(u64),
+    /// On every `n`th RPC observed across the whole proxy.
+    EveryNthRpc(u64),
+    /// On the first RPC of the `n`th accepted connection (1-based).
+    NthConnection(u64),
+    /// On each RPC independently with probability `p`, drawn from the
+    /// plan's seeded RNG.
+    Probability(f64),
+}
+
+/// One trigger/action pair with an optional cap on how often it fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRule {
+    /// When to fire.
+    pub trigger: FaultTrigger,
+    /// What to do.
+    pub action: FaultAction,
+    /// Maximum number of firings; `0` means unlimited.
+    pub max_fires: u64,
+}
+
+impl FaultRule {
+    /// A rule with unlimited firings.
+    pub fn new(trigger: FaultTrigger, action: FaultAction) -> Self {
+        FaultRule {
+            trigger,
+            action,
+            max_fires: 0,
+        }
+    }
+
+    /// Cap the number of times this rule may fire.
+    pub fn max_fires(mut self, n: u64) -> Self {
+        self.max_fires = n;
+        self
+    }
+}
+
+/// A seeded set of fault rules. Rules are consulted in order; the first
+/// eligible rule that triggers fires, and at most one rule fires per
+/// RPC.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan (a transparent proxy) with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Append a rule with unlimited firings.
+    pub fn rule(mut self, trigger: FaultTrigger, action: FaultAction) -> Self {
+        self.rules.push(FaultRule::new(trigger, action));
+        self
+    }
+
+    /// Append a pre-built rule.
+    pub fn with_rule(mut self, rule: FaultRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+}
+
+/// Counters published by a running proxy, all monotone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProxyStats {
+    /// Connections accepted from clients.
+    pub connections: u64,
+    /// Whole RPCs observed on the client→server direction.
+    pub rpcs: u64,
+    /// Faults fired, by action.
+    pub kills: u64,
+    /// Delays applied.
+    pub delays: u64,
+    /// Replies truncated.
+    pub truncates: u64,
+    /// Replies corrupted.
+    pub corruptions: u64,
+    /// Requests black-holed.
+    pub blackholes: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    connections: AtomicU64,
+    rpcs: AtomicU64,
+    kills: AtomicU64,
+    delays: AtomicU64,
+    truncates: AtomicU64,
+    corruptions: AtomicU64,
+    blackholes: AtomicU64,
+}
+
+impl StatCells {
+    fn snapshot(&self) -> ProxyStats {
+        ProxyStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            rpcs: self.rpcs.load(Ordering::Relaxed),
+            kills: self.kills.load(Ordering::Relaxed),
+            delays: self.delays.load(Ordering::Relaxed),
+            truncates: self.truncates.load(Ordering::Relaxed),
+            corruptions: self.corruptions.load(Ordering::Relaxed),
+            blackholes: self.blackholes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Shared trigger state: the seeded RNG and the global counters the
+/// triggers consult. One lock keeps rule evaluation atomic per RPC.
+struct Decider {
+    rng: SmallRng,
+    rpc_count: u64,
+    conn_count: u64,
+    fires: Vec<u64>,
+}
+
+struct PlanState {
+    rules: Vec<FaultRule>,
+    /// When false the proxy forwards transparently (counters still
+    /// advance); flipped by [`FaultProxy::set_armed`].
+    armed: AtomicBool,
+    decider: Mutex<Decider>,
+}
+
+impl PlanState {
+    fn next_conn(&self) -> u64 {
+        let mut d = self.decider.lock().unwrap();
+        d.conn_count += 1;
+        d.conn_count
+    }
+
+    /// Called once per observed RPC; returns the action to apply, if
+    /// any. `first_rpc_of_conn` carries the connection ordinal when
+    /// this is the connection's first RPC.
+    fn decide(&self, first_rpc_of_conn: Option<u64>) -> Option<FaultAction> {
+        let mut d = self.decider.lock().unwrap();
+        d.rpc_count += 1;
+        let rpc = d.rpc_count;
+        if !self.armed.load(Ordering::SeqCst) {
+            return None;
+        }
+        for (i, rule) in self.rules.iter().enumerate() {
+            if rule.max_fires > 0 && d.fires[i] >= rule.max_fires {
+                continue;
+            }
+            let hit = match rule.trigger {
+                FaultTrigger::NthRpc(n) => rpc == n,
+                FaultTrigger::EveryNthRpc(n) => n > 0 && rpc.is_multiple_of(n),
+                FaultTrigger::NthConnection(n) => first_rpc_of_conn == Some(n),
+                FaultTrigger::Probability(p) => d.rng.gen_bool(p),
+            };
+            if hit {
+                d.fires[i] += 1;
+                return Some(rule.action);
+            }
+        }
+        None
+    }
+}
+
+/// A running fault proxy. Dropping it shuts the listener down and
+/// severs every connection it is carrying.
+pub struct FaultProxy {
+    addr: SocketAddr,
+    stats: Arc<StatCells>,
+    state: Arc<PlanState>,
+    shutdown: Arc<AtomicBool>,
+    sockets: Arc<Mutex<Vec<TcpStream>>>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Listen on an ephemeral localhost port and forward every accepted
+    /// connection to `upstream`, applying `plan` along the way.
+    pub fn spawn(upstream: &str, plan: FaultPlan) -> io::Result<FaultProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let upstream = upstream.to_string();
+        let stats = Arc::new(StatCells::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let sockets = Arc::new(Mutex::new(Vec::new()));
+        let state = Arc::new(PlanState {
+            armed: AtomicBool::new(true),
+            decider: Mutex::new(Decider {
+                rng: SmallRng::seed_from_u64(plan.seed),
+                rpc_count: 0,
+                conn_count: 0,
+                fires: vec![0; plan.rules.len()],
+            }),
+            rules: plan.rules,
+        });
+
+        let accept_thread = {
+            let state = Arc::clone(&state);
+            let stats = Arc::clone(&stats);
+            let shutdown = Arc::clone(&shutdown);
+            let sockets = Arc::clone(&sockets);
+            thread::spawn(move || {
+                for client in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(client) = client else { break };
+                    stats.connections.fetch_add(1, Ordering::Relaxed);
+                    let conn_index = state.next_conn();
+                    let upstream = upstream.clone();
+                    let state = Arc::clone(&state);
+                    let stats = Arc::clone(&stats);
+                    let sockets = Arc::clone(&sockets);
+                    thread::spawn(move || {
+                        let _ = serve_conn(client, &upstream, conn_index, &state, &stats, &sockets);
+                    });
+                }
+            })
+        };
+
+        Ok(FaultProxy {
+            addr,
+            stats,
+            state,
+            shutdown,
+            sockets,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// Disarm (or re-arm) fault injection. A disarmed proxy forwards
+    /// transparently while its connection and RPC counters keep
+    /// advancing — useful for building test fixtures fault-free before
+    /// switching the chaos on.
+    pub fn set_armed(&self, armed: bool) {
+        self.state.armed.store(armed, Ordering::SeqCst);
+    }
+
+    /// The `host:port` clients should connect to.
+    pub fn addr(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// Snapshot of the proxy's counters.
+    pub fn stats(&self) -> ProxyStats {
+        self.stats.snapshot()
+    }
+
+    /// Stop accepting, sever every carried connection, and join the
+    /// accept thread.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        for sock in self.sockets.lock().unwrap().drain(..) {
+            let _ = sock.shutdown(Shutdown::Both);
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Per-connection reply-side flags, set by the request pump and
+/// consumed by the reply pump.
+#[derive(Default)]
+struct ReplyFlags {
+    corrupt_next: AtomicBool,
+    truncate_next: AtomicBool,
+}
+
+fn sever(a: &TcpStream, b: &TcpStream) {
+    let _ = a.shutdown(Shutdown::Both);
+    let _ = b.shutdown(Shutdown::Both);
+}
+
+fn serve_conn(
+    client: TcpStream,
+    upstream: &str,
+    conn_index: u64,
+    state: &Arc<PlanState>,
+    stats: &Arc<StatCells>,
+    sockets: &Arc<Mutex<Vec<TcpStream>>>,
+) -> io::Result<()> {
+    let server = TcpStream::connect(upstream)?;
+    client.set_nodelay(true).ok();
+    server.set_nodelay(true).ok();
+    {
+        let mut held = sockets.lock().unwrap();
+        held.push(client.try_clone()?);
+        held.push(server.try_clone()?);
+    }
+    let flags = Arc::new(ReplyFlags::default());
+
+    // Reply pump: opaque copy, honouring the per-RPC flags.
+    let reply_thread = {
+        let mut from = server.try_clone()?;
+        let mut to = client.try_clone()?;
+        let server = server.try_clone()?;
+        let client = client.try_clone()?;
+        let flags = Arc::clone(&flags);
+        let stats = Arc::clone(stats);
+        thread::spawn(move || {
+            let mut buf = [0u8; 64 * 1024];
+            loop {
+                let n = match from.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => n,
+                };
+                if flags.corrupt_next.swap(false, Ordering::SeqCst) {
+                    // Flip high bits in the leading bytes: the status
+                    // line becomes unparseable, then the stream dies.
+                    for b in buf.iter_mut().take(n.min(4)) {
+                        *b |= 0x80;
+                    }
+                    stats.corruptions.fetch_add(1, Ordering::Relaxed);
+                    let _ = to.write_all(&buf[..n]);
+                    sever(&client, &server);
+                    break;
+                }
+                if flags.truncate_next.swap(false, Ordering::SeqCst) {
+                    stats.truncates.fetch_add(1, Ordering::Relaxed);
+                    let _ = to.write_all(&buf[..n / 2]);
+                    sever(&client, &server);
+                    break;
+                }
+                if to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+        })
+    };
+
+    // Request pump: frame-aware.
+    let result = pump_requests(&client, &server, conn_index, state, stats, &flags);
+    // Whatever ended the request side, make sure the reply side is not
+    // left blocked on a half-open socket.
+    sever(&client, &server);
+    let _ = reply_thread.join();
+    result
+}
+
+/// Payload length named on a request line, for the two verbs that
+/// carry one (`PWRITE fd length offset`, `PUTFILE path mode length`).
+fn payload_len(line: &[u8]) -> u64 {
+    let Ok(text) = std::str::from_utf8(line) else {
+        return 0;
+    };
+    let mut words = text.split_ascii_whitespace();
+    match words.next() {
+        Some("PWRITE") => words.nth(1).and_then(|w| w.parse().ok()).unwrap_or(0),
+        Some("PUTFILE") => words.nth(2).and_then(|w| w.parse().ok()).unwrap_or(0),
+        _ => 0,
+    }
+}
+
+fn pump_requests(
+    client: &TcpStream,
+    server: &TcpStream,
+    conn_index: u64,
+    state: &Arc<PlanState>,
+    stats: &Arc<StatCells>,
+    flags: &Arc<ReplyFlags>,
+) -> io::Result<()> {
+    let mut from = io::BufReader::new(client.try_clone()?);
+    let mut to = server.try_clone()?;
+    let mut first_rpc = true;
+
+    loop {
+        // Read one whole request line without forwarding it yet.
+        let mut line = Vec::new();
+        {
+            use io::BufRead;
+            loop {
+                let buf = from.fill_buf()?;
+                if buf.is_empty() {
+                    return Ok(()); // client hung up
+                }
+                match buf.iter().position(|&b| b == b'\n') {
+                    Some(pos) => {
+                        line.extend_from_slice(&buf[..=pos]);
+                        from.consume(pos + 1);
+                        break;
+                    }
+                    None => {
+                        let n = buf.len();
+                        line.extend_from_slice(buf);
+                        from.consume(n);
+                        if line.len() > chirp_proto::MAX_LINE {
+                            sever(client, server);
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+        }
+        stats.rpcs.fetch_add(1, Ordering::Relaxed);
+        let body = payload_len(&line[..line.len() - 1]);
+        let action = state.decide(first_rpc.then_some(conn_index));
+        first_rpc = false;
+
+        match action {
+            Some(FaultAction::Delay(d)) => {
+                stats.delays.fetch_add(1, Ordering::Relaxed);
+                thread::sleep(d);
+            }
+            Some(FaultAction::KillMidFrame) => {
+                stats.kills.fetch_add(1, Ordering::Relaxed);
+                // Forward a torn frame: half the line, or the whole
+                // line plus half the payload when one is present.
+                if body > 0 {
+                    to.write_all(&line)?;
+                    copy_bounded(&mut from, &mut to, body / 2)?;
+                } else {
+                    to.write_all(&line[..line.len() / 2])?;
+                }
+                sever(client, server);
+                return Ok(());
+            }
+            Some(FaultAction::TruncateReply) => {
+                flags.truncate_next.store(true, Ordering::SeqCst);
+            }
+            Some(FaultAction::CorruptReply) => {
+                flags.corrupt_next.store(true, Ordering::SeqCst);
+            }
+            Some(FaultAction::BlackHole) => {
+                stats.blackholes.fetch_add(1, Ordering::Relaxed);
+                // Swallow this request and everything after it; the
+                // connection stays open but mute until the client
+                // gives up.
+                let mut sink = io::sink();
+                let _ = io::copy(&mut from, &mut sink);
+                return Ok(());
+            }
+            None => {}
+        }
+
+        to.write_all(&line)?;
+        if body > 0 {
+            copy_bounded(&mut from, &mut to, body)?;
+        }
+    }
+}
+
+fn copy_bounded<R: Read, W: Write>(from: &mut R, to: &mut W, len: u64) -> io::Result<()> {
+    let mut buf = [0u8; 64 * 1024];
+    let mut remaining = len;
+    while remaining > 0 {
+        let want = buf.len().min(remaining as usize);
+        let got = from.read(&mut buf[..want])?;
+        if got == 0 {
+            return Err(io::ErrorKind::UnexpectedEof.into());
+        }
+        to.write_all(&buf[..got])?;
+        remaining -= got as u64;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+    use std::time::Instant;
+
+    /// A line server that answers `PING x` with `PONG x` and `PWRITE`
+    /// frames with the payload length, enough protocol to exercise the
+    /// proxy's framing without a full chirp-server.
+    fn echo_server() -> (String, thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(conn) = conn else { break };
+                thread::spawn(move || {
+                    let mut reader = BufReader::new(conn.try_clone().unwrap());
+                    let mut writer = conn;
+                    loop {
+                        let mut line = String::new();
+                        match reader.read_line(&mut line) {
+                            Ok(0) | Err(_) => break,
+                            Ok(_) => {}
+                        }
+                        let body = payload_len(line.trim_end().as_bytes());
+                        if body > 0 {
+                            let mut payload = vec![0u8; body as usize];
+                            if reader.read_exact(&mut payload).is_err() {
+                                break;
+                            }
+                            if writeln!(writer, "{body}").is_err() {
+                                break;
+                            }
+                        } else if writeln!(writer, "PONG {}", line.trim_end()).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        (addr, handle)
+    }
+
+    fn rpc(stream: &mut (impl BufRead + Write), req: &str) -> io::Result<String> {
+        writeln!(stream, "{req}")?;
+        let mut reply = String::new();
+        if stream.read_line(&mut reply)? == 0 {
+            return Err(io::ErrorKind::ConnectionAborted.into());
+        }
+        Ok(reply.trim_end().to_string())
+    }
+
+    struct Duplex {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+    }
+    impl Duplex {
+        fn connect(addr: &str) -> Self {
+            let s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            Duplex {
+                reader: BufReader::new(s.try_clone().unwrap()),
+                writer: s,
+            }
+        }
+        fn rpc(&mut self, req: &str) -> io::Result<String> {
+            writeln!(self.writer, "{req}")?;
+            let mut reply = String::new();
+            if self.reader.read_line(&mut reply)? == 0 {
+                return Err(io::ErrorKind::ConnectionAborted.into());
+            }
+            Ok(reply.trim_end().to_string())
+        }
+    }
+
+    #[test]
+    fn transparent_plan_forwards_both_directions() {
+        let (addr, _srv) = echo_server();
+        let proxy = FaultProxy::spawn(&addr, FaultPlan::new(1)).unwrap();
+        let mut conn = Duplex::connect(&proxy.addr());
+        assert_eq!(conn.rpc("PING a").unwrap(), "PONG PING a");
+        assert_eq!(conn.rpc("PING b").unwrap(), "PONG PING b");
+        let stats = proxy.stats();
+        assert_eq!(stats.connections, 1);
+        assert_eq!(stats.rpcs, 2);
+    }
+
+    #[test]
+    fn payload_frames_pass_intact() {
+        let (addr, _srv) = echo_server();
+        let proxy = FaultProxy::spawn(&addr, FaultPlan::new(1)).unwrap();
+        let mut conn = Duplex::connect(&proxy.addr());
+        writeln!(conn.writer, "PWRITE 3 10 0").unwrap();
+        conn.writer.write_all(b"0123456789").unwrap();
+        let mut reply = String::new();
+        conn.reader.read_line(&mut reply).unwrap();
+        assert_eq!(reply.trim_end(), "10");
+        // The stream is still framed after a payload.
+        assert_eq!(conn.rpc("PING z").unwrap(), "PONG PING z");
+    }
+
+    #[test]
+    fn nth_rpc_kill_severs_that_rpc_only() {
+        let (addr, _srv) = echo_server();
+        let plan = FaultPlan::new(7).rule(FaultTrigger::NthRpc(2), FaultAction::KillMidFrame);
+        let proxy = FaultProxy::spawn(&addr, plan).unwrap();
+        let mut conn = Duplex::connect(&proxy.addr());
+        assert_eq!(conn.rpc("PING a").unwrap(), "PONG PING a");
+        assert!(conn.rpc("PING b").is_err());
+        // A fresh connection works again.
+        let mut conn2 = Duplex::connect(&proxy.addr());
+        assert_eq!(conn2.rpc("PING c").unwrap(), "PONG PING c");
+        assert_eq!(proxy.stats().kills, 1);
+    }
+
+    #[test]
+    fn delay_holds_the_request() {
+        let (addr, _srv) = echo_server();
+        let plan = FaultPlan::new(7).rule(
+            FaultTrigger::NthRpc(1),
+            FaultAction::Delay(Duration::from_millis(80)),
+        );
+        let proxy = FaultProxy::spawn(&addr, plan).unwrap();
+        let mut conn = Duplex::connect(&proxy.addr());
+        let t0 = Instant::now();
+        assert_eq!(conn.rpc("PING a").unwrap(), "PONG PING a");
+        assert!(t0.elapsed() >= Duration::from_millis(80));
+        assert_eq!(proxy.stats().delays, 1);
+    }
+
+    #[test]
+    fn corrupt_reply_damages_then_severs() {
+        let (addr, _srv) = echo_server();
+        let plan = FaultPlan::new(7).rule(FaultTrigger::NthRpc(1), FaultAction::CorruptReply);
+        let proxy = FaultProxy::spawn(&addr, plan).unwrap();
+        let mut conn = Duplex::connect(&proxy.addr());
+        writeln!(conn.writer, "PING a").unwrap();
+        let mut bytes = Vec::new();
+        conn.reader.read_to_end(&mut bytes).unwrap();
+        assert!(!bytes.is_empty());
+        assert!(bytes[0] & 0x80 != 0, "leading byte should be damaged");
+        assert_eq!(proxy.stats().corruptions, 1);
+    }
+
+    #[test]
+    fn truncate_reply_cuts_the_frame_short() {
+        let (addr, _srv) = echo_server();
+        let plan = FaultPlan::new(7).rule(FaultTrigger::NthRpc(1), FaultAction::TruncateReply);
+        let proxy = FaultProxy::spawn(&addr, plan).unwrap();
+        let mut conn = Duplex::connect(&proxy.addr());
+        writeln!(conn.writer, "PING aaaaaaaaaaaaaaaa").unwrap();
+        let mut bytes = Vec::new();
+        conn.reader.read_to_end(&mut bytes).unwrap();
+        assert!(bytes.len() < "PONG PING aaaaaaaaaaaaaaaa\n".len());
+        assert_eq!(proxy.stats().truncates, 1);
+    }
+
+    #[test]
+    fn blackhole_never_replies() {
+        let (addr, _srv) = echo_server();
+        let plan = FaultPlan::new(7).with_rule(
+            FaultRule::new(FaultTrigger::NthRpc(1), FaultAction::BlackHole).max_fires(1),
+        );
+        let proxy = FaultProxy::spawn(&addr, plan).unwrap();
+        let s = TcpStream::connect(proxy.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        let mut reader = BufReader::new(s.try_clone().unwrap());
+        let mut writer = s;
+        assert!(rpc(&mut DuplexRef(&mut reader, &mut writer), "PING a").is_err());
+        assert_eq!(proxy.stats().blackholes, 1);
+    }
+
+    /// Adapter so `rpc` can be used with split reader/writer halves.
+    struct DuplexRef<'a>(&'a mut BufReader<TcpStream>, &'a mut TcpStream);
+    impl io::Read for DuplexRef<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.0.read(buf)
+        }
+    }
+    impl BufRead for DuplexRef<'_> {
+        fn fill_buf(&mut self) -> io::Result<&[u8]> {
+            self.0.fill_buf()
+        }
+        fn consume(&mut self, n: usize) {
+            self.0.consume(n)
+        }
+    }
+    impl Write for DuplexRef<'_> {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.1.write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            self.1.flush()
+        }
+    }
+
+    #[test]
+    fn disarmed_proxy_is_transparent_until_rearmed() {
+        let (addr, _srv) = echo_server();
+        let plan = FaultPlan::new(7).rule(FaultTrigger::EveryNthRpc(1), FaultAction::KillMidFrame);
+        let proxy = FaultProxy::spawn(&addr, plan).unwrap();
+        proxy.set_armed(false);
+        let mut conn = Duplex::connect(&proxy.addr());
+        assert_eq!(conn.rpc("PING a").unwrap(), "PONG PING a");
+        assert_eq!(conn.rpc("PING b").unwrap(), "PONG PING b");
+        assert_eq!(proxy.stats().kills, 0);
+        proxy.set_armed(true);
+        assert!(conn.rpc("PING c").is_err());
+        assert_eq!(proxy.stats().kills, 1);
+        // Counters advanced through the disarmed phase.
+        assert_eq!(proxy.stats().rpcs, 3);
+    }
+
+    #[test]
+    fn nth_connection_targets_one_connection() {
+        let (addr, _srv) = echo_server();
+        let plan =
+            FaultPlan::new(7).rule(FaultTrigger::NthConnection(2), FaultAction::KillMidFrame);
+        let proxy = FaultProxy::spawn(&addr, plan).unwrap();
+        let mut c1 = Duplex::connect(&proxy.addr());
+        assert_eq!(c1.rpc("PING a").unwrap(), "PONG PING a");
+        let mut c2 = Duplex::connect(&proxy.addr());
+        assert!(c2.rpc("PING b").is_err());
+        assert_eq!(c1.rpc("PING c").unwrap(), "PONG PING c");
+    }
+
+    #[test]
+    fn max_fires_caps_a_rule() {
+        let (addr, _srv) = echo_server();
+        let plan = FaultPlan::new(7).with_rule(
+            FaultRule::new(FaultTrigger::EveryNthRpc(1), FaultAction::KillMidFrame).max_fires(2),
+        );
+        let proxy = FaultProxy::spawn(&addr, plan).unwrap();
+        for _ in 0..2 {
+            let mut conn = Duplex::connect(&proxy.addr());
+            assert!(conn.rpc("PING x").is_err());
+        }
+        let mut conn = Duplex::connect(&proxy.addr());
+        assert_eq!(conn.rpc("PING y").unwrap(), "PONG PING y");
+        assert_eq!(proxy.stats().kills, 2);
+    }
+
+    #[test]
+    fn probability_draws_are_seed_deterministic() {
+        // Two proxies with the same seed make identical decisions for
+        // the same sequential RPC stream.
+        let outcomes = |seed: u64| -> Vec<bool> {
+            let (addr, _srv) = echo_server();
+            let plan = FaultPlan::new(seed)
+                .rule(FaultTrigger::Probability(0.5), FaultAction::KillMidFrame);
+            let proxy = FaultProxy::spawn(&addr, plan).unwrap();
+            let mut seen = Vec::new();
+            for i in 0..8 {
+                let mut conn = Duplex::connect(&proxy.addr());
+                seen.push(conn.rpc(&format!("PING {i}")).is_ok());
+            }
+            seen
+        };
+        assert_eq!(outcomes(42), outcomes(42));
+        let a = outcomes(42);
+        assert!(a.iter().any(|&ok| ok) && a.iter().any(|&ok| !ok));
+    }
+
+    #[test]
+    fn payload_len_parses_only_data_verbs() {
+        assert_eq!(payload_len(b"PWRITE 4 1024 0"), 1024);
+        assert_eq!(payload_len(b"PUTFILE /a/b 420 77"), 77);
+        assert_eq!(payload_len(b"PREAD 4 1024 0"), 0);
+        assert_eq!(payload_len(b"OPEN /x r 420"), 0);
+        assert_eq!(payload_len(b"\xff\xfe"), 0);
+    }
+}

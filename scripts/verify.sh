@@ -2,14 +2,34 @@
 # Tier-1 verification: everything a change must pass before landing.
 #   build + root-package tests (the ROADMAP tier-1 gate), then lint
 #   and formatting across the whole workspace.
+# With --chaos, additionally run the fault-injection suite under a
+# fixed seed (override with CHAOS_SEED=<u64>).
 set -eu
 cd "$(dirname "$0")/.."
+
+CHAOS=0
+for arg in "$@"; do
+    case "$arg" in
+        --chaos) CHAOS=1 ;;
+        *) echo "usage: $0 [--chaos]" >&2; exit 2 ;;
+    esac
+done
 
 echo "== cargo build --release"
 cargo build --release
 
 echo "== cargo test -q"
 cargo test -q
+
+if [ "$CHAOS" = "1" ]; then
+    # 0xC4A05EED, the chaos suite's default seed.
+    CHAOS_SEED="${CHAOS_SEED:-3298844397}"
+    echo "== cargo test -q -p tss-core --test chaos  (CHAOS_SEED=$CHAOS_SEED)"
+    if ! CHAOS_SEED="$CHAOS_SEED" cargo test -q -p tss-core --test chaos; then
+        echo "chaos suite FAILED; reproduce with CHAOS_SEED=$CHAOS_SEED" >&2
+        exit 1
+    fi
+fi
 
 echo "== cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings

@@ -226,6 +226,7 @@ fn whole_stack_survives_a_server_restart() {
             max_retries: 20,
             initial_backoff: Duration::from_millis(20),
             max_backoff: Duration::from_millis(200),
+            ..tss::core::cfs::RetryPolicy::default()
         },
         timeout: Duration::from_secs(2),
         ..AdapterConfig::default()
