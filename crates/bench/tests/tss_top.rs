@@ -1,0 +1,58 @@
+//! `tss-top` end-to-end: boot a real server and catalog, drive RPCs,
+//! then run the actual binary one iteration against the catalog and
+//! check the rendered table names the server with non-zero activity.
+
+use std::time::Duration;
+
+use catalog::{CatalogConfig, CatalogServer};
+use chirp_client::{AuthMethod, Connection};
+use chirp_proto::testutil::TempDir;
+use chirp_server::acl::Acl;
+use chirp_server::{FileServer, ServerConfig};
+
+#[test]
+fn tss_top_renders_live_server_metrics() {
+    let cat = CatalogServer::start(CatalogConfig::localhost(Duration::from_secs(30))).unwrap();
+    let dir = TempDir::new();
+    let mut cfg = ServerConfig::localhost(dir.path(), "owner")
+        .with_root_acl(Acl::single("hostname:*", "rwlda").unwrap())
+        .with_catalog(cat.udp_addr(), Duration::from_millis(50));
+    cfg.server_name = Some("bench-node".to_string());
+    let server = FileServer::start(cfg).unwrap();
+
+    let mut conn = Connection::connect(server.addr(), Duration::from_secs(5)).unwrap();
+    conn.authenticate(&[AuthMethod::Hostname]).unwrap();
+    conn.putfile("/x", 0o644, b"payload").unwrap();
+    for _ in 0..4 {
+        conn.stat("/x").unwrap();
+    }
+    drop(conn);
+
+    // Wait until the catalog has a report carrying RPC counters.
+    for _ in 0..400 {
+        let l = cat.listing();
+        if l.first().is_some_and(|r| r.metrics.counter_sum("rpc.") > 0) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_tss-top"))
+        .arg(cat.tcp_addr().to_string())
+        .args(["--iterations", "1", "--interval", "0.1"])
+        .output()
+        .expect("run tss-top");
+    assert!(out.status.success(), "tss-top exited non-zero");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("NAME"), "header row missing:\n{stdout}");
+    assert!(
+        stdout.contains("bench-node"),
+        "server row missing:\n{stdout}"
+    );
+    let row = stdout
+        .lines()
+        .find(|l| l.starts_with("bench-node"))
+        .expect("server row");
+    let rpcs: u64 = row.split_whitespace().nth(2).unwrap().parse().unwrap();
+    assert!(rpcs >= 5, "RPC total should cover the driven ops: {row}");
+}

@@ -33,6 +33,18 @@ pub fn query_html(addr: SocketAddr, timeout: Duration) -> std::io::Result<String
     query_raw(addr, timeout, "html")
 }
 
+/// Fetch the per-server metrics listing in ClassAd text form
+/// (blank-line separated records of `metric.<name> <token>` lines with
+/// derived `.p50`/`.p99`/`.mean` values per histogram).
+pub fn query_metrics(addr: SocketAddr, timeout: Duration) -> std::io::Result<String> {
+    query_raw(addr, timeout, "metrics")
+}
+
+/// Fetch the per-server metrics listing as a JSON array.
+pub fn query_metrics_json(addr: SocketAddr, timeout: Duration) -> std::io::Result<String> {
+    query_raw(addr, timeout, "metrics-json")
+}
+
 fn query_raw(addr: SocketAddr, timeout: Duration, format: &str) -> std::io::Result<String> {
     let stream = TcpStream::connect_timeout(&addr, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
@@ -66,6 +78,7 @@ mod tests {
             total: 100,
             free,
             topacl: String::new(),
+            metrics: Default::default(),
             extra: BTreeMap::new(),
         }
     }

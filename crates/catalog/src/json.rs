@@ -1,129 +1,31 @@
-//! A minimal JSON *emitter* for catalog listings.
+//! JSON for catalog listings.
 //!
-//! The catalog publishes JSON for external tools; nothing in the
-//! workspace parses JSON back, so an output-only value type keeps the
-//! dependency set flat (see DESIGN.md §5).
+//! The value tree lives in [`telemetry::json`] so metric snapshots
+//! and catalog listings share one representation (and one parser —
+//! tools like `tss-top` and the end-to-end tests read listings back).
+//! This module re-exports it under the catalog's historical path.
 
-/// A JSON value tree for rendering.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Value {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// Numbers render like JavaScript: integral values without a
-    /// fractional part.
-    Number(f64),
-    /// A string (escaped on render).
-    String(String),
-    /// An ordered array.
-    Array(Vec<Value>),
-    /// An ordered object (keys render in the order given).
-    Object(Vec<(String, Value)>),
-}
-
-impl From<&str> for Value {
-    fn from(s: &str) -> Value {
-        Value::String(s.to_string())
-    }
-}
-
-impl Value {
-    /// Render to compact JSON text.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out);
-        out
-    }
-
-    fn write(&self, out: &mut String) {
-        match self {
-            Value::Null => out.push_str("null"),
-            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Value::Number(n) => {
-                if n.fract() == 0.0 && n.abs() < 9.0e15 {
-                    out.push_str(&format!("{}", *n as i64));
-                } else {
-                    out.push_str(&format!("{n}"));
-                }
-            }
-            Value::String(s) => write_escaped(s, out),
-            Value::Array(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    item.write(out);
-                }
-                out.push(']');
-            }
-            Value::Object(fields) => {
-                out.push('{');
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    write_escaped(k, out);
-                    out.push(':');
-                    v.write(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-}
-
-fn write_escaped(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
+pub use telemetry::json::Value;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn scalars_render() {
-        assert_eq!(Value::Null.render(), "null");
-        assert_eq!(Value::Bool(true).render(), "true");
-        assert_eq!(Value::Number(42.0).render(), "42");
-        assert_eq!(Value::Number(1.5).render(), "1.5");
-        assert_eq!(Value::from("hi").render(), "\"hi\"");
-    }
-
-    #[test]
-    fn strings_are_escaped() {
-        assert_eq!(Value::from("a\"b\\c\nd").render(), "\"a\\\"b\\\\c\\nd\"");
-        assert_eq!(Value::from("\u{01}").render(), "\"\\u0001\"");
-    }
-
-    #[test]
-    fn containers_nest() {
+    fn listings_render_compactly() {
         let v = Value::Object(vec![
             (
                 "servers".into(),
                 Value::Array(vec![Value::from("a"), Value::from("b")]),
             ),
-            ("count".into(), Value::Number(2.0)),
+            ("count".into(), Value::Uint(2)),
         ]);
         assert_eq!(v.render(), "{\"servers\":[\"a\",\"b\"],\"count\":2}");
     }
 
     #[test]
     fn large_u64s_do_not_lose_integrality() {
-        // 250 GB fits comfortably in f64's exact-integer range.
-        assert_eq!(Value::Number(250_000_000_000.0).render(), "250000000000");
+        assert_eq!(Value::Uint(250_000_000_000).render(), "250000000000");
+        assert_eq!(Value::Uint(u64::MAX).render(), u64::MAX.to_string());
     }
 }

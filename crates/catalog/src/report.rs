@@ -2,9 +2,16 @@
 //!
 //! The format matches what `chirp-server`'s reporting thread emits:
 //! one lowercase key per line, the rest of the line is the value, with
-//! free-text values percent-escaped by the sender.
+//! free-text values percent-escaped by the sender. Keys under the
+//! `m.` prefix carry telemetry metric tokens (see
+//! [`telemetry::MetricValue::encode`]); everything else unknown is
+//! preserved verbatim so old catalogs survive new servers.
 
 use std::collections::BTreeMap;
+
+use telemetry::{MetricValue, MetricsSnapshot};
+
+use crate::json::Value;
 
 /// One file server's self-description as last reported.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,7 +32,11 @@ pub struct ServerReport {
     pub free: u64,
     /// Rendered top-level ACL.
     pub topacl: String,
-    /// Any additional keys the server sent, preserved verbatim.
+    /// Telemetry snapshot the server folded into the report (`m.*`
+    /// keys): per-op RPC counts, error counters, latency histograms.
+    pub metrics: MetricsSnapshot,
+    /// Any additional keys the server sent, preserved verbatim
+    /// (including `m.*` keys whose value token failed to decode).
     pub extra: BTreeMap<String, String>,
 }
 
@@ -48,7 +59,7 @@ impl ServerReport {
                 .unwrap_or_else(|| s.to_string())
         };
         let mut take = |k: &str| fields.remove(k);
-        let report = ServerReport {
+        let mut report = ServerReport {
             kind: take("type")?,
             name: unescape(&take("name")?),
             owner: unescape(&take("owner")?),
@@ -57,8 +68,25 @@ impl ServerReport {
             total: take("total")?.parse().ok()?,
             free: take("free")?.parse().ok()?,
             topacl: unescape(&take("topacl").unwrap_or_default()),
+            metrics: MetricsSnapshot::default(),
             extra: fields,
         };
+        let mut metrics = MetricsSnapshot::default();
+        report.extra.retain(|key, value| {
+            let Some(name) = key.strip_prefix("m.") else {
+                return true;
+            };
+            match MetricValue::decode(value) {
+                Some(mv) => {
+                    metrics.metrics.insert(name.to_string(), mv);
+                    false
+                }
+                // Undecodable token (a newer sender's kind): keep the
+                // raw line so render() republishes it untouched.
+                None => true,
+            }
+        });
+        report.metrics = metrics;
         Some(report)
     }
 
@@ -80,46 +108,81 @@ impl ServerReport {
         for (k, v) in &self.extra {
             out.push_str(&format!("{k} {v}\n"));
         }
+        for (k, v) in &self.metrics.metrics {
+            out.push_str(&format!("m.{k} {}\n", v.encode()));
+        }
         out
     }
 
-    /// This record as a JSON object.
+    /// This record as a JSON object. Metrics render as a nested
+    /// `"metrics"` object (omitted when the server sent none).
     pub fn to_json(&self) -> String {
-        let mut obj: Vec<(String, crate::json::Value)> = vec![
-            ("type".into(), crate::json::Value::from(self.kind.as_str())),
-            ("name".into(), crate::json::Value::from(self.name.as_str())),
-            (
-                "owner".into(),
-                crate::json::Value::from(self.owner.as_str()),
-            ),
-            (
-                "address".into(),
-                crate::json::Value::from(self.address.as_str()),
-            ),
-            (
-                "version".into(),
-                crate::json::Value::Number(self.version as f64),
-            ),
-            (
-                "total".into(),
-                crate::json::Value::Number(self.total as f64),
-            ),
-            ("free".into(), crate::json::Value::Number(self.free as f64)),
-            (
-                "topacl".into(),
-                crate::json::Value::from(self.topacl.as_str()),
-            ),
+        let mut obj: Vec<(String, Value)> = vec![
+            ("type".into(), Value::from(self.kind.as_str())),
+            ("name".into(), Value::from(self.name.as_str())),
+            ("owner".into(), Value::from(self.owner.as_str())),
+            ("address".into(), Value::from(self.address.as_str())),
+            ("version".into(), Value::Uint(self.version as u64)),
+            ("total".into(), Value::Uint(self.total)),
+            ("free".into(), Value::Uint(self.free)),
+            ("topacl".into(), Value::from(self.topacl.as_str())),
         ];
         for (k, v) in &self.extra {
-            obj.push((k.clone(), crate::json::Value::from(v.as_str())));
+            obj.push((k.clone(), Value::from(v.as_str())));
         }
-        crate::json::Value::Object(obj).render()
+        if !self.metrics.is_empty() {
+            obj.push(("metrics".into(), self.metrics.to_json_value()));
+        }
+        Value::Object(obj).render()
+    }
+
+    /// The server's metrics as a ClassAd-style text record: `name` and
+    /// `address` lines followed by one `metric.<key> <token>` line per
+    /// metric, with derived `.p50`/`.p99`/`.mean` lines appended after
+    /// every histogram.
+    pub fn metrics_classad(&self) -> String {
+        let e = |s: &str| chirp_proto::escape::escape(s.as_bytes());
+        let mut out = String::new();
+        out.push_str(&format!("name {}\n", e(&self.name)));
+        out.push_str(&format!("address {}\n", self.address));
+        for (k, v) in &self.metrics.metrics {
+            out.push_str(&format!("metric.{k} {}\n", v.encode()));
+            if let MetricValue::Histogram(h) = v {
+                out.push_str(&format!("metric.{k}.p50 {}\n", h.quantile(0.50)));
+                out.push_str(&format!("metric.{k}.p99 {}\n", h.quantile(0.99)));
+                out.push_str(&format!("metric.{k}.mean {}\n", h.mean()));
+            }
+        }
+        out
+    }
+
+    /// The server's metrics as a JSON object value; histogram members
+    /// gain derived `p50`/`p99`/`mean` fields (which
+    /// [`telemetry::MetricValue::from_json_value`] ignores on decode,
+    /// so the enriched form still round-trips).
+    pub fn metrics_json_value(&self) -> Value {
+        let mut metrics: Vec<(String, Value)> = Vec::new();
+        for (k, v) in &self.metrics.metrics {
+            let mut member = v.to_json_value();
+            if let (MetricValue::Histogram(h), Value::Object(fields)) = (v, &mut member) {
+                fields.push(("p50".into(), Value::Uint(h.quantile(0.50))));
+                fields.push(("p99".into(), Value::Uint(h.quantile(0.99))));
+                fields.push(("mean".into(), Value::Uint(h.mean())));
+            }
+            metrics.push((k.clone(), member));
+        }
+        Value::Object(vec![
+            ("name".into(), Value::from(self.name.as_str())),
+            ("address".into(), Value::from(self.address.as_str())),
+            ("metrics".into(), Value::Object(metrics)),
+        ])
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use telemetry::HistogramSnapshot;
 
     fn sample() -> ServerReport {
         ServerReport {
@@ -131,13 +194,50 @@ mod tests {
             total: 250_000_000_000,
             free: 100_000_000_000,
             topacl: "hostname:*.cse.nd.edu rwl\n".into(),
+            metrics: MetricsSnapshot::default(),
             extra: BTreeMap::from([("requests".to_string(), "42".to_string())]),
         }
+    }
+
+    fn sample_with_metrics() -> ServerReport {
+        let mut r = sample();
+        r.metrics
+            .metrics
+            .insert("rpc.open.count".into(), MetricValue::Counter(17));
+        let mut h = HistogramSnapshot::default();
+        for v in [900, 1100, 40_000] {
+            h.record(v);
+        }
+        r.metrics
+            .metrics
+            .insert("rpc.latency_ns".into(), MetricValue::Histogram(h));
+        r
     }
 
     #[test]
     fn parse_render_round_trip() {
         let r = sample();
+        let again = ServerReport::parse(&r.render()).unwrap();
+        assert_eq!(r, again);
+    }
+
+    #[test]
+    fn metrics_round_trip_through_the_packet() {
+        let r = sample_with_metrics();
+        let again = ServerReport::parse(&r.render()).unwrap();
+        assert_eq!(r, again);
+        assert_eq!(again.metrics.counter("rpc.open.count"), Some(17));
+        assert_eq!(again.metrics.histogram("rpc.latency_ns").unwrap().count, 3);
+    }
+
+    #[test]
+    fn undecodable_metric_tokens_stay_in_extra() {
+        let mut text = sample().render();
+        text.push_str("m.future z42|weird\n");
+        let r = ServerReport::parse(&text).unwrap();
+        assert!(r.metrics.is_empty());
+        assert_eq!(r.extra.get("m.future").unwrap(), "z42|weird");
+        // And they survive a re-render unchanged.
         let again = ServerReport::parse(&r.render()).unwrap();
         assert_eq!(r, again);
     }
@@ -170,5 +270,45 @@ mod tests {
         assert!(j.contains("\"name\""));
         assert!(j.contains("node05.cse.nd.edu:9094"));
         assert!(j.contains("\"free\""));
+        assert!(!j.contains("\"metrics\""), "empty metrics are omitted");
+        let j = sample_with_metrics().to_json();
+        assert!(j.contains("\"metrics\""));
+        assert!(j.contains("\"rpc.open.count\""));
+    }
+
+    #[test]
+    fn classad_metrics_view_has_quantiles() {
+        let text = sample_with_metrics().metrics_classad();
+        assert!(text.contains("metric.rpc.open.count c17"));
+        let p50 = text
+            .lines()
+            .find(|l| l.starts_with("metric.rpc.latency_ns.p50 "))
+            .expect("p50 line");
+        let p50: u64 = p50.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(
+            (1100..40_000).contains(&p50),
+            "p50 {p50} should be mid-range"
+        );
+        assert!(text.contains("metric.rpc.latency_ns.p99 "));
+    }
+
+    #[test]
+    fn json_metrics_view_round_trips_and_has_quantiles() {
+        let r = sample_with_metrics();
+        let v = r.metrics_json_value();
+        let rendered = v.render();
+        assert_eq!(v.get("name").unwrap().as_str(), Some(r.name.as_str()));
+        let parsed = Value::parse(&rendered).unwrap();
+        let hist = parsed
+            .get("metrics")
+            .unwrap()
+            .get("rpc.latency_ns")
+            .unwrap();
+        assert!(hist.get("p50").unwrap().as_u64().unwrap() >= 1023);
+        assert!(hist.get("p99").unwrap().as_u64().is_some());
+        // Stripping nothing, the enriched members still decode.
+        let snap =
+            MetricsSnapshot::from_json_value(parsed.get("metrics").unwrap()).expect("decodes");
+        assert_eq!(snap, r.metrics);
     }
 }

@@ -195,8 +195,10 @@ fn html_escape(s: &str) -> String {
 }
 
 /// Protocol: the client sends one line naming a format (`text`,
-/// `json`, or `html`), the catalog answers with the whole listing and
-/// closes.
+/// `json`, `html`, `metrics`, or `metrics-json`), the catalog answers
+/// with the whole listing and closes. The metrics formats publish only
+/// the telemetry portion of each live report, enriched with derived
+/// p50/p99/mean values per histogram.
 fn serve_query(stream: TcpStream, state: &State) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(10)))?;
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -216,6 +218,20 @@ fn serve_query(stream: TcpStream, state: &State) -> std::io::Result<()> {
     match format.trim() {
         "json" => {
             let body: Vec<String> = live.iter().map(|r| r.to_json()).collect();
+            writeln!(writer, "[{}]", body.join(","))?;
+        }
+        "metrics" => {
+            // ClassAd-style records, blank-line separated like `text`.
+            for r in &live {
+                writer.write_all(r.metrics_classad().as_bytes())?;
+                writer.write_all(b"\n")?;
+            }
+        }
+        "metrics-json" => {
+            let body: Vec<String> = live
+                .iter()
+                .map(|r| r.metrics_json_value().render())
+                .collect();
             writeln!(writer, "[{}]", body.join(","))?;
         }
         "html" => {
@@ -264,6 +280,7 @@ mod tests {
             total: 100,
             free: 50,
             topacl: String::new(),
+            metrics: Default::default(),
             extra: BTreeMap::new(),
         }
     }
@@ -309,6 +326,35 @@ mod tests {
         sock.send_to(b"type chirp\n", cat.udp_addr()).unwrap();
         std::thread::sleep(Duration::from_millis(100));
         assert!(cat.listing().is_empty());
+    }
+
+    #[test]
+    fn silent_servers_metrics_expire_with_the_report() {
+        use std::io::{Read as _, Write as _};
+        let cat =
+            CatalogServer::start(CatalogConfig::localhost(Duration::from_millis(120))).unwrap();
+        let mut r = report("quiet");
+        r.metrics
+            .metrics
+            .insert("rpc.open.count".into(), telemetry::MetricValue::Counter(99));
+        cat.ingest(r);
+        let fetch = |format: &str| -> String {
+            let mut s = TcpStream::connect(cat.tcp_addr()).unwrap();
+            s.write_all(format!("{format}\n").as_bytes()).unwrap();
+            let mut body = String::new();
+            s.read_to_string(&mut body).unwrap();
+            body
+        };
+        let live = fetch("metrics");
+        assert!(live.contains("metric.rpc.open.count c99"));
+        let live_json = fetch("metrics-json");
+        assert!(live_json.contains("\"rpc.open.count\""));
+        // The server goes silent; past the TTL, its metrics must
+        // disappear from every query format.
+        std::thread::sleep(Duration::from_millis(200));
+        assert!(!fetch("metrics").contains("rpc.open.count"));
+        assert_eq!(fetch("metrics-json").trim(), "[]");
+        assert!(!fetch("json").contains("rpc.open.count"));
     }
 
     #[test]

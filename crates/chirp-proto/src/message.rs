@@ -188,7 +188,71 @@ pub enum Request {
     },
 }
 
+/// Canonical lowercase op names, one per [`Request`] variant plus
+/// `"invalid"` for unparseable lines — the key space telemetry
+/// registries pre-register their per-op counters over.
+pub const OP_NAMES: &[&str] = &[
+    "auth",
+    "whoami",
+    "open",
+    "close",
+    "pread",
+    "pwrite",
+    "fstat",
+    "fsync",
+    "ftruncate",
+    "stat",
+    "unlink",
+    "rename",
+    "mkdir",
+    "rmdir",
+    "getdir",
+    "getlongdir",
+    "getfile",
+    "putfile",
+    "getacl",
+    "setacl",
+    "checksum",
+    "statfs",
+    "truncate",
+    "utime",
+    "thirdput",
+    "invalid",
+];
+
 impl Request {
+    /// Canonical lowercase name of this request's operation (an entry
+    /// of [`OP_NAMES`]).
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Auth { .. } => "auth",
+            Request::Whoami => "whoami",
+            Request::Open { .. } => "open",
+            Request::Close { .. } => "close",
+            Request::Pread { .. } => "pread",
+            Request::Pwrite { .. } => "pwrite",
+            Request::Fstat { .. } => "fstat",
+            Request::Fsync { .. } => "fsync",
+            Request::Ftruncate { .. } => "ftruncate",
+            Request::Stat { .. } => "stat",
+            Request::Unlink { .. } => "unlink",
+            Request::Rename { .. } => "rename",
+            Request::Mkdir { .. } => "mkdir",
+            Request::Rmdir { .. } => "rmdir",
+            Request::Getdir { .. } => "getdir",
+            Request::Getlongdir { .. } => "getlongdir",
+            Request::Getfile { .. } => "getfile",
+            Request::Putfile { .. } => "putfile",
+            Request::Getacl { .. } => "getacl",
+            Request::Setacl { .. } => "setacl",
+            Request::Checksum { .. } => "checksum",
+            Request::Statfs => "statfs",
+            Request::Truncate { .. } => "truncate",
+            Request::Utime { .. } => "utime",
+            Request::Thirdput { .. } => "thirdput",
+        }
+    }
+
     /// Number of payload bytes that follow this request line.
     pub fn payload_len(&self) -> u64 {
         match self {
@@ -589,6 +653,29 @@ mod tests {
     #[test]
     fn parse_rejects_unknown_open_flag_bits() {
         assert!(Request::parse("OPEN /x 1048576 0").is_err());
+    }
+
+    #[test]
+    fn op_names_match_the_wire_verbs() {
+        // Every request's op_name is its wire verb, lowercased, and is
+        // listed in OP_NAMES so registries can pre-register counters.
+        for r in [
+            Request::Whoami,
+            Request::Statfs,
+            Request::Close { fd: 1 },
+            Request::Stat { path: "/x".into() },
+            Request::Putfile {
+                path: "/x".into(),
+                mode: 0o644,
+                length: 3,
+            },
+        ] {
+            let verb = r.encode();
+            let verb = verb.split_whitespace().next().unwrap().to_lowercase();
+            assert_eq!(r.op_name(), verb);
+            assert!(OP_NAMES.contains(&r.op_name()));
+        }
+        assert!(OP_NAMES.contains(&"invalid"));
     }
 
     proptest! {

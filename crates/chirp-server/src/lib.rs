@@ -39,4 +39,4 @@ pub use auth::{AuthOutcome, Authenticator};
 pub use config::ServerConfig;
 pub use jail::Jail;
 pub use server::FileServer;
-pub use stats::ServerStats;
+pub use stats::{ServerStats, ServerTelemetry};

@@ -46,6 +46,13 @@ pub fn compose_report(shared: &Shared, addr: SocketAddr) -> String {
     out.push_str(&format!("topacl {}\n", escape(topacl.as_bytes())));
     out.push_str(&format!("connections {}\n", stats.connections));
     out.push_str(&format!("requests {}\n", stats.requests));
+    // Fold the telemetry registry in under `m.` keys: per-op counts,
+    // error/denial counters, and latency histograms, all as single
+    // space-free tokens so the report stays a flat `key value` packet
+    // that old catalogs pass through as unknown keys.
+    for (name, value) in shared.telemetry.registry().snapshot().metrics {
+        out.push_str(&format!("m.{name} {}\n", value.encode()));
+    }
     out
 }
 
@@ -95,6 +102,7 @@ mod tests {
             config: ServerConfig::localhost(root, "alice"),
             jail: Jail::new(root).unwrap(),
             stats: ServerStats::default(),
+            telemetry: crate::stats::ServerTelemetry::default(),
             active: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             used_bytes: std::sync::atomic::AtomicU64::new(0),

@@ -12,7 +12,7 @@ use chirp_proto::{ChirpError, Request};
 use crate::config::ServerConfig;
 use crate::handlers::{Reply, Session};
 use crate::jail::Jail;
-use crate::stats::ServerStats;
+use crate::stats::{ServerStats, ServerTelemetry};
 
 /// State shared by every connection of one server.
 pub struct Shared {
@@ -22,6 +22,9 @@ pub struct Shared {
     pub jail: Jail,
     /// Activity counters.
     pub stats: ServerStats,
+    /// Per-op metrics, latency histograms, and the RPC trace ring;
+    /// folded into every catalog report.
+    pub telemetry: ServerTelemetry,
     /// Currently active connections.
     pub active: AtomicUsize,
     /// Set when the server is shutting down.
@@ -95,6 +98,7 @@ impl FileServer {
             config,
             jail,
             stats: ServerStats::default(),
+            telemetry: ServerTelemetry::default(),
             active: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             used_bytes: AtomicU64::new(used),
@@ -134,6 +138,11 @@ impl FileServer {
     /// Activity counters.
     pub fn stats(&self) -> &ServerStats {
         &self.shared.stats
+    }
+
+    /// Per-op metrics and the RPC trace ring.
+    pub fn telemetry(&self) -> &ServerTelemetry {
+        &self.shared.telemetry
     }
 
     /// Number of live connections.
@@ -220,7 +229,13 @@ fn serve_connection(
             return Ok(()); // clean disconnect
         };
         shared.stats.request();
-        let reply = match Request::parse(&line) {
+        let span = telemetry::SpanTimer::start();
+        let parsed = Request::parse(&line);
+        let (op, bytes_in) = match &parsed {
+            Ok(req) => (req.op_name(), req.payload_len()),
+            Err(_) => ("invalid", 0),
+        };
+        let reply = match parsed {
             Err(e) => Err(e),
             Ok(Request::Putfile { path, mode, length }) => {
                 session.handle_putfile(&path, mode, length, &mut reader)
@@ -239,6 +254,13 @@ fn serve_connection(
             }
             Ok(req) => session.handle(req, None),
         };
+        let bytes_out = match &reply {
+            Ok(Reply::Data(data)) => data.len() as u64,
+            Ok(Reply::Scratch(n)) => *n as u64,
+            Ok(Reply::FileStream(_, len)) => *len,
+            _ => 0,
+        };
+        let error = reply.as_ref().err().copied();
         match reply {
             Ok(Reply::Value(v)) => wire::write_status(&mut writer, v)?,
             Ok(Reply::Words(v, words)) => wire::write_status_words(&mut writer, v, &words)?,
@@ -260,5 +282,13 @@ fn serve_connection(
             }
         }
         writer.flush()?;
+        shared.telemetry.record(
+            op,
+            session.subject(),
+            span.elapsed_ns(),
+            bytes_in,
+            bytes_out,
+            error,
+        );
     }
 }

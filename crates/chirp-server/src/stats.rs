@@ -1,10 +1,95 @@
-//! Server activity counters.
+//! Server activity counters and the per-server telemetry registry.
 //!
 //! Plain relaxed atomics: the counters are monotonic telemetry, never
 //! used for synchronization, so `Relaxed` ordering is sufficient and
 //! keeps them off the hot path's critical section.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use telemetry::{Counter, Histogram, Outcome, Registry, TraceEvent};
+
+/// Per-server observability: a [`Registry`] of per-op request counts,
+/// RPC latency histograms, byte counters, and error/ACL-denial
+/// counts, plus the registry's trace ring of recent RPCs. Handles are
+/// pre-registered at startup so the request loop's cost per RPC is a
+/// handful of relaxed atomic adds plus one ring push.
+#[derive(Debug)]
+pub struct ServerTelemetry {
+    registry: Registry,
+    ops: BTreeMap<&'static str, Counter>,
+    errors: Counter,
+    acl_denied: Counter,
+    bytes_in: Counter,
+    bytes_out: Counter,
+    latency: Histogram,
+    data_latency: Histogram,
+}
+
+impl Default for ServerTelemetry {
+    fn default() -> ServerTelemetry {
+        let registry = Registry::new();
+        let ops = chirp_proto::message::OP_NAMES
+            .iter()
+            .map(|op| (*op, registry.counter(&format!("rpc.{op}.count"))))
+            .collect();
+        ServerTelemetry {
+            ops,
+            errors: registry.counter("rpc.errors"),
+            acl_denied: registry.counter("rpc.acl_denied"),
+            bytes_in: registry.counter("rpc.bytes_in"),
+            bytes_out: registry.counter("rpc.bytes_out"),
+            latency: registry.histogram("rpc.latency_ns"),
+            data_latency: registry.histogram("rpc.data.latency_ns"),
+            registry,
+        }
+    }
+}
+
+impl ServerTelemetry {
+    /// The backing registry (snapshot it for catalog reports).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Record one served RPC.
+    pub fn record(
+        &self,
+        op: &str,
+        subject: Option<&str>,
+        dur_ns: u64,
+        bytes_in: u64,
+        bytes_out: u64,
+        error: Option<chirp_proto::ChirpError>,
+    ) {
+        if let Some(c) = self.ops.get(op) {
+            c.inc();
+        }
+        self.latency.record(dur_ns);
+        if matches!(op, "pread" | "pwrite" | "getfile" | "putfile") {
+            self.data_latency.record(dur_ns);
+        }
+        self.bytes_in.add(bytes_in);
+        self.bytes_out.add(bytes_out);
+        if error.is_some() {
+            self.errors.inc();
+        }
+        if matches!(error, Some(chirp_proto::ChirpError::NotAuthorized)) {
+            self.acl_denied.inc();
+        }
+        self.registry.record_event(TraceEvent {
+            op: op.to_string(),
+            subject: subject.unwrap_or("-").to_string(),
+            dur_ns,
+            bytes: bytes_in + bytes_out,
+            outcome: if error.is_none() {
+                Outcome::Ok
+            } else {
+                Outcome::Error
+            },
+        });
+    }
+}
 
 /// Monotonic counters describing a server's lifetime activity,
 /// published in catalog reports and inspectable in tests.
@@ -89,6 +174,37 @@ mod tests {
         assert_eq!(snap.bytes_read, 100);
         assert_eq!(snap.bytes_written, 7);
         assert_eq!(snap.errors, 1);
+    }
+
+    #[test]
+    fn telemetry_records_per_op_counts_latency_and_denials() {
+        let t = ServerTelemetry::default();
+        t.record("open", Some("unix:alice"), 1_000, 0, 0, None);
+        t.record("pread", Some("unix:alice"), 2_000, 0, 4096, None);
+        t.record(
+            "open",
+            None,
+            500,
+            0,
+            0,
+            Some(chirp_proto::ChirpError::NotAuthorized),
+        );
+        let snap = t.registry().snapshot();
+        assert_eq!(snap.counter("rpc.open.count"), Some(2));
+        assert_eq!(snap.counter("rpc.pread.count"), Some(1));
+        assert_eq!(snap.counter("rpc.errors"), Some(1));
+        assert_eq!(snap.counter("rpc.acl_denied"), Some(1));
+        assert_eq!(snap.counter("rpc.bytes_out"), Some(4096));
+        let h = snap.histogram("rpc.latency_ns").unwrap();
+        assert_eq!(h.count, 3);
+        let data = snap.histogram("rpc.data.latency_ns").unwrap();
+        assert_eq!(data.count, 1);
+        // The flight recorder kept all three events, newest last.
+        let ring = t.registry().ring().recent();
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring[1].op, "pread");
+        assert_eq!(ring[1].bytes, 4096);
+        assert_eq!(ring[2].outcome, telemetry::Outcome::Error);
     }
 
     #[test]

@@ -73,6 +73,11 @@ pub struct CfsConfig {
     /// per handle and is dropped on any write, truncate, or
     /// reconnection of that handle.
     pub readahead: usize,
+    /// Telemetry registry the mount records into (`client.*` metrics:
+    /// connects, reconnects, retries, readahead hits/misses). Each
+    /// mount gets a private registry by default; a pool installs its
+    /// own so one registry aggregates across every member connection.
+    pub telemetry: telemetry::Registry,
 }
 
 impl CfsConfig {
@@ -86,6 +91,7 @@ impl CfsConfig {
             retry: RetryPolicy::default(),
             sync_writes: false,
             readahead: 0,
+            telemetry: telemetry::Registry::default(),
         }
     }
 
@@ -106,6 +112,38 @@ impl CfsConfig {
         self.readahead = readahead;
         self
     }
+
+    /// Record into a shared telemetry registry instead of a private
+    /// one (a pool installs its own so `client.*` counters aggregate
+    /// across all member connections).
+    pub fn with_telemetry(mut self, registry: telemetry::Registry) -> CfsConfig {
+        self.telemetry = registry;
+        self
+    }
+}
+
+/// Prebuilt handles into the mount's registry, so the recovery and
+/// read paths bump plain atomics instead of taking the registration
+/// lock per event.
+#[derive(Debug, Clone)]
+struct ClientTelemetry {
+    retries: telemetry::Counter,
+    connects: telemetry::Counter,
+    reconnects: telemetry::Counter,
+    ra_hits: telemetry::Counter,
+    ra_misses: telemetry::Counter,
+}
+
+impl ClientTelemetry {
+    fn new(registry: &telemetry::Registry) -> ClientTelemetry {
+        ClientTelemetry {
+            retries: registry.counter("client.retries"),
+            connects: registry.counter("client.connects"),
+            reconnects: registry.counter("client.reconnects"),
+            ra_hits: registry.counter("client.readahead.hits"),
+            ra_misses: registry.counter("client.readahead.misses"),
+        }
+    }
 }
 
 struct ConnSlot {
@@ -124,12 +162,14 @@ pub struct Cfs {
     /// pool can aggregate one counter across all its connections, and
     /// so chaos tests can assert retry counts stay bounded.
     retries: Arc<AtomicU64>,
+    tele: ClientTelemetry,
 }
 
 impl Cfs {
     /// Create a CFS view of one server. Connection is lazy: nothing
     /// happens until the first operation.
     pub fn new(config: CfsConfig) -> Cfs {
+        let tele = ClientTelemetry::new(&config.telemetry);
         Cfs {
             config: Arc::new(config),
             slot: Arc::new(Mutex::new(ConnSlot {
@@ -137,6 +177,7 @@ impl Cfs {
                 generation: 0,
             })),
             retries: Arc::new(AtomicU64::new(0)),
+            tele,
         }
     }
 
@@ -149,6 +190,12 @@ impl Cfs {
     /// Retries this mount's recovery loops have performed so far.
     pub fn retries(&self) -> u64 {
         self.retries.load(Ordering::Relaxed)
+    }
+
+    /// The telemetry registry this mount records into (`client.*`
+    /// metrics). Shared with the pool when the mount was built by one.
+    pub fn telemetry(&self) -> &telemetry::Registry {
+        &self.config.telemetry
     }
 
     /// Shorthand: connect to `endpoint` with `auth` at the server root.
@@ -187,13 +234,14 @@ impl Cfs {
         let mut slot = self.slot.lock();
         let mut retry = self.config.retry.begin();
         loop {
-            let res = ensure_connected(&mut slot, &self.config)
+            let res = ensure_connected(&mut slot, &self.config, &self.tele)
                 .and_then(|_| op(slot.conn.as_mut().expect("ensured above")));
             match res {
                 Ok(v) => return Ok(v),
                 Err(e) => match retry.next_delay(e) {
                     Some(delay) => {
                         self.retries.fetch_add(1, Ordering::Relaxed);
+                        self.tele.retries.inc();
                         drop_conn(&mut slot);
                         std::thread::sleep(delay);
                     }
@@ -263,7 +311,11 @@ fn drop_conn(slot: &mut ConnSlot) {
     }
 }
 
-fn ensure_connected(slot: &mut ConnSlot, config: &CfsConfig) -> ChirpResult<()> {
+fn ensure_connected(
+    slot: &mut ConnSlot,
+    config: &CfsConfig,
+    tele: &ClientTelemetry,
+) -> ChirpResult<()> {
     if let Some(c) = &slot.conn {
         if !c.is_broken() {
             return Ok(());
@@ -271,6 +323,12 @@ fn ensure_connected(slot: &mut ConnSlot, config: &CfsConfig) -> ChirpResult<()> 
         drop_conn(slot);
     }
     let mut conn = Connection::connect(config.endpoint.as_str(), config.timeout)?;
+    tele.connects.inc();
+    if slot.generation > 0 {
+        // A previous connection existed: this dial is recovery, not
+        // first contact.
+        tele.reconnects.inc();
+    }
     if !config.auth.is_empty() {
         conn.authenticate(&config.auth)?;
     }
@@ -296,6 +354,7 @@ struct CfsHandle {
     slot: Arc<Mutex<ConnSlot>>,
     /// Shared with the owning [`Cfs`]; every recovery retry counts.
     retries: Arc<AtomicU64>,
+    tele: ClientTelemetry,
     /// Full server-side path, for re-opening after reconnection.
     path: String,
     /// Flags to re-open with: the original minus the one-shot bits
@@ -334,7 +393,7 @@ impl CfsHandle {
         let mut slot = slot_arc.lock();
         let mut retry = self.config.retry.begin();
         loop {
-            let res = ensure_connected(&mut slot, &self.config).and_then(|_| {
+            let res = ensure_connected(&mut slot, &self.config, &self.tele).and_then(|_| {
                 // If the connection was replaced, our descriptor died
                 // with it: re-open and verify identity (adapter
                 // recovery, §6). `Stale` is fatal by classification,
@@ -352,6 +411,7 @@ impl CfsHandle {
                 Err(e) => match retry.next_delay(e) {
                     Some(delay) => {
                         self.retries.fetch_add(1, Ordering::Relaxed);
+                        self.tele.retries.inc();
                         drop_conn(&mut slot);
                         std::thread::sleep(delay);
                     }
@@ -406,6 +466,7 @@ impl FileHandle for CfsHandle {
         }
         if let Some(n) = self.serve_from_window(buf, offset) {
             if n == buf.len() {
+                self.tele.ra_hits.inc();
                 return Ok(n);
             }
             // The window ended mid-request; refill from the server at
@@ -415,6 +476,7 @@ impl FileHandle for CfsHandle {
         // Refill: fetch at least the window size in one RPC. The
         // buffer is taken out of `self` for the duration because
         // `with_fd` needs `&mut self`.
+        self.tele.ra_misses.inc();
         let want = buf.len().max(window);
         let mut scratch = std::mem::take(&mut self.ra_buf);
         scratch.resize(want, 0);
@@ -482,7 +544,7 @@ impl FileSystem for Cfs {
             let mut slot = slot_arc.lock();
             let mut retry = self.config.retry.begin();
             loop {
-                let res = ensure_connected(&mut slot, &self.config).and_then(|_| {
+                let res = ensure_connected(&mut slot, &self.config, &self.tele).and_then(|_| {
                     let conn = slot.conn.as_mut().expect("ensured above");
                     let fd = conn.open(&full, flags, mode)?;
                     let st = conn.fstat(fd)?;
@@ -493,6 +555,7 @@ impl FileSystem for Cfs {
                     Err(e) => match retry.next_delay(e) {
                         Some(delay) => {
                             self.retries.fetch_add(1, Ordering::Relaxed);
+                            self.tele.retries.inc();
                             drop_conn(&mut slot);
                             std::thread::sleep(delay);
                         }
@@ -522,6 +585,7 @@ impl FileSystem for Cfs {
             config: self.config.clone(),
             slot: self.slot.clone(),
             retries: self.retries.clone(),
+            tele: self.tele.clone(),
             path: full,
             reopen_flags,
             fd,

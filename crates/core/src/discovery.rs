@@ -110,6 +110,7 @@ mod tests {
             total: 1 << 30,
             free,
             topacl: String::new(),
+            metrics: Default::default(),
             extra: BTreeMap::new(),
         }
     }

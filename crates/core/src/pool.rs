@@ -22,7 +22,7 @@
 use std::collections::HashMap;
 use std::io;
 use std::ops::Deref;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -34,17 +34,39 @@ use crate::cfs::{Cfs, CfsConfig};
 use crate::fs::{FileHandle, FileSystem};
 use crate::stubfs::{DataServer, StubFsOptions};
 
-/// Monotonic counters describing pool behaviour.
-#[derive(Debug, Default)]
+/// Prebuilt handles into the pool's telemetry registry. The registry
+/// owns the backing atomics; these are cached so the hot paths bump a
+/// counter without touching the registration lock.
+#[derive(Debug)]
 struct PoolCounters {
-    checkouts: AtomicU64,
-    checkins: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    discards: AtomicU64,
-    evictions: AtomicU64,
-    failures: AtomicU64,
-    breaker_trips: AtomicU64,
+    checkouts: telemetry::Counter,
+    checkins: telemetry::Counter,
+    hits: telemetry::Counter,
+    misses: telemetry::Counter,
+    discards: telemetry::Counter,
+    evictions: telemetry::Counter,
+    failures: telemetry::Counter,
+    breaker_trips: telemetry::Counter,
+    /// `client.retries` in the same registry: every connection the
+    /// pool builds records into it (see [`PoolShared::build_conn`]),
+    /// so this one handle aggregates recovery work pool-wide.
+    retries: telemetry::Counter,
+}
+
+impl PoolCounters {
+    fn new(registry: &telemetry::Registry) -> PoolCounters {
+        PoolCounters {
+            checkouts: registry.counter("pool.checkouts"),
+            checkins: registry.counter("pool.checkins"),
+            hits: registry.counter("pool.hits"),
+            misses: registry.counter("pool.misses"),
+            discards: registry.counter("pool.discards"),
+            evictions: registry.counter("pool.evictions"),
+            failures: registry.counter("pool.failures"),
+            breaker_trips: registry.counter("pool.breaker_trips"),
+            retries: registry.counter("client.retries"),
+        }
+    }
 }
 
 /// A point-in-time copy of the pool counters.
@@ -110,8 +132,11 @@ struct PoolShared {
     idle: Mutex<HashMap<String, Vec<(Cfs, Instant)>>>,
     health: Mutex<HashMap<String, EndpointHealth>>,
     counters: PoolCounters,
-    /// One counter shared by every connection the pool builds, so
-    /// `PoolStats::retries` aggregates recovery work pool-wide.
+    /// The registry behind `counters`, installed into every connection
+    /// the pool builds so `client.*` metrics aggregate pool-wide.
+    registry: telemetry::Registry,
+    /// Legacy aggregate retry counter, still shared into each `Cfs` so
+    /// [`crate::cfs::Cfs::retries`] keeps working for pool members.
     retries: Arc<AtomicU64>,
 }
 
@@ -127,15 +152,16 @@ impl PoolShared {
         cfg.timeout = self.options.timeout;
         cfg.retry = self.options.retry;
         cfg.readahead = self.options.readahead;
+        cfg.telemetry = self.registry.clone();
         Cfs::new(cfg).with_retry_counter(self.retries.clone())
     }
 
     fn checkin(&self, cfs: Cfs) {
-        self.counters.checkins.fetch_add(1, Ordering::Relaxed);
+        self.counters.checkins.inc();
         // Health check: a connection that died mid-use must not be
         // handed to the next caller.
         if cfs.connection_is_broken() {
-            self.counters.discards.fetch_add(1, Ordering::Relaxed);
+            self.counters.discards.inc();
             return;
         }
         let mut idle = self.idle.lock();
@@ -143,7 +169,7 @@ impl PoolShared {
         if slot.len() < self.options.max_conns_per_endpoint.max(1) {
             slot.push((cfs, Instant::now()));
         } else {
-            self.counters.discards.fetch_add(1, Ordering::Relaxed);
+            self.counters.discards.inc();
         }
     }
 
@@ -157,13 +183,13 @@ impl PoolShared {
             if now.duration_since(since) <= self.options.max_idle {
                 return Some(cfs);
             }
-            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            self.counters.evictions.inc();
         }
         None
     }
 
     fn report_failure(&self, endpoint: &str) {
-        self.counters.failures.fetch_add(1, Ordering::Relaxed);
+        self.counters.failures.inc();
         if self.options.breaker_threshold == 0 {
             return;
         }
@@ -179,7 +205,7 @@ impl PoolShared {
         if tripped {
             h.state = BreakerState::Open;
             h.opened_at = Some(Instant::now());
-            self.counters.breaker_trips.fetch_add(1, Ordering::Relaxed);
+            self.counters.breaker_trips.inc();
         }
     }
 
@@ -226,6 +252,7 @@ impl ServerPool {
     /// Build a pool over `servers` with shared connection `options`.
     pub fn new(servers: Vec<DataServer>, options: StubFsOptions) -> ServerPool {
         let default_auth = servers.first().map(|s| s.auth.clone()).unwrap_or_default();
+        let registry = telemetry::Registry::default();
         ServerPool {
             shared: Arc::new(PoolShared {
                 servers,
@@ -233,7 +260,8 @@ impl ServerPool {
                 default_auth,
                 idle: Mutex::new(HashMap::new()),
                 health: Mutex::new(HashMap::new()),
-                counters: PoolCounters::default(),
+                counters: PoolCounters::new(&registry),
+                registry,
                 retries: Arc::new(AtomicU64::new(0)),
             }),
         }
@@ -269,18 +297,15 @@ impl ServerPool {
     /// with the pool's default auth. Dialing stays lazy: nothing
     /// touches the network until the first operation on the guard.
     pub fn checkout(&self, endpoint: &str) -> PooledConn {
-        self.shared
-            .counters
-            .checkouts
-            .fetch_add(1, Ordering::Relaxed);
+        self.shared.counters.checkouts.inc();
         let cached = self.shared.pop_idle(endpoint);
         let cfs = match cached {
             Some(cfs) => {
-                self.shared.counters.hits.fetch_add(1, Ordering::Relaxed);
+                self.shared.counters.hits.inc();
                 cfs
             }
             None => {
-                self.shared.counters.misses.fetch_add(1, Ordering::Relaxed);
+                self.shared.counters.misses.inc();
                 self.shared.build_conn(endpoint)
             }
         };
@@ -316,20 +341,28 @@ impl ServerPool {
         Ok(Box::new(PooledHandle { inner, _conn: conn }))
     }
 
-    /// A snapshot of the pool counters.
+    /// A snapshot of the pool counters — a thin view over the
+    /// telemetry registry the pool records into.
     pub fn stats(&self) -> PoolStats {
         let c = &self.shared.counters;
         PoolStats {
-            checkouts: c.checkouts.load(Ordering::Relaxed),
-            checkins: c.checkins.load(Ordering::Relaxed),
-            hits: c.hits.load(Ordering::Relaxed),
-            misses: c.misses.load(Ordering::Relaxed),
-            discards: c.discards.load(Ordering::Relaxed),
-            evictions: c.evictions.load(Ordering::Relaxed),
-            failures: c.failures.load(Ordering::Relaxed),
-            breaker_trips: c.breaker_trips.load(Ordering::Relaxed),
-            retries: self.shared.retries.load(Ordering::Relaxed),
+            checkouts: c.checkouts.get(),
+            checkins: c.checkins.get(),
+            hits: c.hits.get(),
+            misses: c.misses.get(),
+            discards: c.discards.get(),
+            evictions: c.evictions.get(),
+            failures: c.failures.get(),
+            breaker_trips: c.breaker_trips.get(),
+            retries: c.retries.get(),
         }
+    }
+
+    /// The telemetry registry behind the pool's counters. Shared with
+    /// every connection the pool builds, so one snapshot covers both
+    /// `pool.*` and `client.*` metrics for the whole pool.
+    pub fn telemetry(&self) -> &telemetry::Registry {
+        &self.shared.registry
     }
 
     /// Idle connections currently cached for `endpoint`.

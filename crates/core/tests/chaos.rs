@@ -293,3 +293,64 @@ fn fault_schedule_is_deterministic_for_a_fixed_seed() {
     assert_eq!(a, b, "same seed must give the same schedule");
     assert!(a.1 > 0, "a 25% kill rate over 24 ops should fire");
 }
+
+#[test]
+fn injected_fault_counts_line_up_with_retry_telemetry() {
+    let seed = announce("injected_fault_counts_line_up_with_retry_telemetry");
+    let dir = TempDir::new();
+    let server = open_server(dir.path());
+    // A bounded burst of kills: each fired kill tears the connection
+    // mid-RPC, which the recovery layer must answer with at least one
+    // retry. Capping the rule keeps the run inside the retry budget.
+    let plan = FaultPlan::new(seed)
+        .with_rule(FaultRule::new(FaultTrigger::NthRpc(3), FaultAction::KillMidFrame).max_fires(1))
+        .with_rule(
+            FaultRule::new(FaultTrigger::EveryNthRpc(7), FaultAction::KillMidFrame).max_fires(3),
+        );
+    let proxy = FaultProxy::spawn(&server.endpoint(), plan).unwrap();
+    let fs = chaos_cfs(&proxy.addr());
+
+    let data = pattern(16 * 1024, 11);
+    fs.write_file("/chaos-ledger", &data).unwrap();
+    for i in 0..30 {
+        assert_eq!(
+            fs.read_file("/chaos-ledger").unwrap(),
+            data,
+            "read {i} must be masked"
+        );
+    }
+
+    let fires = proxy.fires();
+    let snap = fs.telemetry().snapshot();
+    eprintln!(
+        "fault/retry ledger: fires={fires} kills={} rpcs={} | client.retries={:?} \
+         client.reconnects={:?} client.connects={:?}",
+        proxy.stats().kills,
+        proxy.stats().rpcs,
+        snap.counter("client.retries"),
+        snap.counter("client.reconnects"),
+        snap.counter("client.connects"),
+    );
+    assert!(fires >= 2, "the capped kill rules should have fired");
+    assert_eq!(
+        fires,
+        proxy.stats().kills,
+        "every firing was a kill in this plan"
+    );
+    // The contract under test: N injected transport faults must show
+    // up as at least N observed recovery retries — both through the
+    // legacy accessor and through the telemetry registry, which must
+    // agree with each other.
+    assert!(
+        fs.retries() >= fires,
+        "retries {} must cover fires {fires}",
+        fs.retries()
+    );
+    assert_eq!(snap.counter("client.retries"), Some(fs.retries()));
+    let reconnects = snap.counter("client.reconnects").unwrap_or(0);
+    assert!(
+        reconnects >= fires,
+        "each kill severs the transport, so reconnects {reconnects} must cover fires {fires}"
+    );
+    assert!(snap.counter("client.connects").unwrap_or(0) > reconnects);
+}

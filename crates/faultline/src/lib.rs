@@ -29,7 +29,7 @@
 
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
@@ -152,27 +152,46 @@ pub struct ProxyStats {
     pub blackholes: u64,
 }
 
-#[derive(Default)]
+/// The proxy's counters live in a telemetry registry (`fault.*`
+/// names) so chaos runs can snapshot injected faults alongside the
+/// client's recovery counters; these are the prebuilt handles.
 struct StatCells {
-    connections: AtomicU64,
-    rpcs: AtomicU64,
-    kills: AtomicU64,
-    delays: AtomicU64,
-    truncates: AtomicU64,
-    corruptions: AtomicU64,
-    blackholes: AtomicU64,
+    registry: telemetry::Registry,
+    connections: telemetry::Counter,
+    rpcs: telemetry::Counter,
+    kills: telemetry::Counter,
+    delays: telemetry::Counter,
+    truncates: telemetry::Counter,
+    corruptions: telemetry::Counter,
+    blackholes: telemetry::Counter,
+}
+
+impl Default for StatCells {
+    fn default() -> StatCells {
+        let registry = telemetry::Registry::default();
+        StatCells {
+            connections: registry.counter("fault.connections"),
+            rpcs: registry.counter("fault.rpcs"),
+            kills: registry.counter("fault.kills"),
+            delays: registry.counter("fault.delays"),
+            truncates: registry.counter("fault.truncates"),
+            corruptions: registry.counter("fault.corruptions"),
+            blackholes: registry.counter("fault.blackholes"),
+            registry,
+        }
+    }
 }
 
 impl StatCells {
     fn snapshot(&self) -> ProxyStats {
         ProxyStats {
-            connections: self.connections.load(Ordering::Relaxed),
-            rpcs: self.rpcs.load(Ordering::Relaxed),
-            kills: self.kills.load(Ordering::Relaxed),
-            delays: self.delays.load(Ordering::Relaxed),
-            truncates: self.truncates.load(Ordering::Relaxed),
-            corruptions: self.corruptions.load(Ordering::Relaxed),
-            blackholes: self.blackholes.load(Ordering::Relaxed),
+            connections: self.connections.get(),
+            rpcs: self.rpcs.get(),
+            kills: self.kills.get(),
+            delays: self.delays.get(),
+            truncates: self.truncates.get(),
+            corruptions: self.corruptions.get(),
+            blackholes: self.blackholes.get(),
         }
     }
 }
@@ -273,7 +292,7 @@ impl FaultProxy {
                         break;
                     }
                     let Ok(client) = client else { break };
-                    stats.connections.fetch_add(1, Ordering::Relaxed);
+                    stats.connections.inc();
                     let conn_index = state.next_conn();
                     let upstream = upstream.clone();
                     let state = Arc::clone(&state);
@@ -312,6 +331,26 @@ impl FaultProxy {
     /// Snapshot of the proxy's counters.
     pub fn stats(&self) -> ProxyStats {
         self.stats.snapshot()
+    }
+
+    /// Total rule firings so far (every fired fault, across all rules).
+    /// Chaos tests compare this against the client's observed retry
+    /// and failover counters: N injected faults must surface as at
+    /// least N recovery actions somewhere downstream.
+    pub fn fires(&self) -> u64 {
+        self.state.decider.lock().unwrap().fires.iter().sum()
+    }
+
+    /// Per-rule firing counts, in plan order.
+    pub fn fires_by_rule(&self) -> Vec<u64> {
+        self.state.decider.lock().unwrap().fires.clone()
+    }
+
+    /// The telemetry registry behind [`FaultProxy::stats`] (`fault.*`
+    /// counters), for folding a chaos run's injected-fault counts into
+    /// one snapshot with the client's recovery metrics.
+    pub fn telemetry(&self) -> &telemetry::Registry {
+        &self.stats.registry
     }
 
     /// Stop accepting, sever every carried connection, and join the
@@ -389,13 +428,13 @@ fn serve_conn(
                     for b in buf.iter_mut().take(n.min(4)) {
                         *b |= 0x80;
                     }
-                    stats.corruptions.fetch_add(1, Ordering::Relaxed);
+                    stats.corruptions.inc();
                     let _ = to.write_all(&buf[..n]);
                     sever(&client, &server);
                     break;
                 }
                 if flags.truncate_next.swap(false, Ordering::SeqCst) {
-                    stats.truncates.fetch_add(1, Ordering::Relaxed);
+                    stats.truncates.inc();
                     let _ = to.write_all(&buf[..n / 2]);
                     sever(&client, &server);
                     break;
@@ -470,18 +509,18 @@ fn pump_requests(
                 }
             }
         }
-        stats.rpcs.fetch_add(1, Ordering::Relaxed);
+        stats.rpcs.inc();
         let body = payload_len(&line[..line.len() - 1]);
         let action = state.decide(first_rpc.then_some(conn_index));
         first_rpc = false;
 
         match action {
             Some(FaultAction::Delay(d)) => {
-                stats.delays.fetch_add(1, Ordering::Relaxed);
+                stats.delays.inc();
                 thread::sleep(d);
             }
             Some(FaultAction::KillMidFrame) => {
-                stats.kills.fetch_add(1, Ordering::Relaxed);
+                stats.kills.inc();
                 // Forward a torn frame: half the line, or the whole
                 // line plus half the payload when one is present.
                 if body > 0 {
@@ -500,7 +539,7 @@ fn pump_requests(
                 flags.corrupt_next.store(true, Ordering::SeqCst);
             }
             Some(FaultAction::BlackHole) => {
-                stats.blackholes.fetch_add(1, Ordering::Relaxed);
+                stats.blackholes.inc();
                 // Swallow this request and everything after it; the
                 // connection stays open but mute until the client
                 // gives up.

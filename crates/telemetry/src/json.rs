@@ -1,0 +1,412 @@
+//! A minimal JSON value tree with exact integer round-tripping.
+//!
+//! The catalog publishes listings and metrics as JSON, and tools like
+//! `tss-top` (and the property tests) parse them back, so unlike a
+//! render-only emitter this module implements both directions.
+//! Integers are kept out of `f64` — a `u64` byte counter survives a
+//! round trip bit-exact.
+
+/// A JSON value for rendering and parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A non-negative integer, rendered without a fractional part.
+    Uint(u64),
+    /// A negative integer (positive integers parse as [`Value::Uint`]).
+    Int(i64),
+    /// Any number with a fractional part or exponent.
+    Float(f64),
+    /// A string (escaped on render).
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An ordered object (keys render in the order given).
+    Object(Vec<(String, Value)>),
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl Value {
+    /// Render to compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Uint(n) => out.push_str(&n.to_string()),
+            Value::Int(n) => out.push_str(&n.to_string()),
+            Value::Float(n) => {
+                if n.is_finite() {
+                    out.push_str(&format!("{n}"));
+                } else {
+                    out.push_str("null"); // JSON has no NaN/Inf
+                }
+            }
+            Value::String(s) => write_escaped(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse one JSON value from `text` (which must contain nothing
+    /// else but whitespace around it).
+    pub fn parse(text: &str) -> Option<Value> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos == p.bytes.len() {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    /// The fields of an object value, or `None` for any other variant.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The items of an array value, or `None` for any other variant.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, or `None` for non-strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value as a `u64`, when it is an integral number ≥ 0.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Uint(n) => Some(*n),
+            Value::Int(n) => u64::try_from(*n).ok(),
+            Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 && *f < 1.8e19 => Some(*f as u64),
+            _ => None,
+        }
+    }
+
+    /// This value as an `i64`, when it is an integral number in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Uint(n) => i64::try_from(*n).ok(),
+            Value::Int(n) => Some(*n),
+            Value::Float(f) if f.fract() == 0.0 && f.abs() < 9.2e18 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// Look up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Option<Value> {
+        match self.peek()? {
+            b'n' => self.literal("null").then_some(Value::Null),
+            b't' => self.literal("true").then_some(Value::Bool(true)),
+            b'f' => self.literal("false").then_some(Value::Bool(false)),
+            b'"' => self.string().map(Value::String),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => None,
+        }
+    }
+
+    fn array(&mut self) -> Option<Value> {
+        self.eat(b'[');
+        self.skip_ws();
+        let mut items = Vec::new();
+        if self.eat(b']') {
+            return Some(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Some(Value::Array(items));
+            }
+            if !self.eat(b',') {
+                return None;
+            }
+        }
+    }
+
+    fn object(&mut self) -> Option<Value> {
+        self.eat(b'{');
+        self.skip_ws();
+        let mut fields = Vec::new();
+        if self.eat(b'}') {
+            return Some(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return None;
+            }
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Some(Value::Object(fields));
+            }
+            if !self.eat(b',') {
+                return None;
+            }
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        if !self.eat(b'"') {
+            return None;
+        }
+        let mut out = String::new();
+        loop {
+            let rest = &self.bytes[self.pos..];
+            let c = std::str::from_utf8(rest).ok()?.chars().next()?;
+            self.pos += c.len_utf8();
+            match c {
+                '"' => return Some(out),
+                '\\' => {
+                    let esc = self.bytes.get(self.pos).copied()?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos..self.pos + 4)?;
+                            self.pos += 4;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                c if (c as u32) < 0x20 => return None,
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<Value> {
+        let start = self.pos;
+        self.eat(b'-');
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        if self.eat(b'.') {
+            fractional = true;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            fractional = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+        if !fractional {
+            if let Ok(n) = text.parse::<u64>() {
+                return Some(Value::Uint(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Some(Value::Int(n));
+            }
+        }
+        text.parse::<f64>().ok().map(Value::Float)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Value::Null.render(), "null");
+        assert_eq!(Value::Bool(true).render(), "true");
+        assert_eq!(Value::Uint(42).render(), "42");
+        assert_eq!(Value::Int(-7).render(), "-7");
+        assert_eq!(Value::Float(1.5).render(), "1.5");
+        assert_eq!(Value::from("hi").render(), "\"hi\"");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(Value::from("a\"b\\c\nd").render(), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(Value::from("\u{01}").render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn containers_nest() {
+        let v = Value::Object(vec![
+            (
+                "servers".into(),
+                Value::Array(vec![Value::from("a"), Value::from("b")]),
+            ),
+            ("count".into(), Value::Uint(2)),
+        ]);
+        assert_eq!(v.render(), "{\"servers\":[\"a\",\"b\"],\"count\":2}");
+    }
+
+    #[test]
+    fn u64_values_round_trip_exactly() {
+        for n in [0, 1, u64::MAX, (1 << 53) + 1] {
+            let text = Value::Uint(n).render();
+            assert_eq!(Value::parse(&text), Some(Value::Uint(n)), "{n}");
+        }
+    }
+
+    #[test]
+    fn parse_handles_structures_and_escapes() {
+        let v = Value::parse(r#" {"a":[1,-2,3.5,null,true],"s":"x\n\u0041"} "#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x\nA"));
+        let arr = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr[0], Value::Uint(1));
+        assert_eq!(arr[1], Value::Int(-2));
+        assert_eq!(arr[2], Value::Float(3.5));
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_trailing_input() {
+        assert_eq!(Value::parse("nope"), None);
+        assert_eq!(Value::parse("{\"a\":}"), None);
+        assert_eq!(Value::parse("1 2"), None);
+        assert_eq!(Value::parse("[1,]"), None);
+    }
+
+    #[test]
+    fn round_trips_own_rendering() {
+        let v = Value::Object(vec![
+            ("n".into(), Value::Uint(250_000_000_000)),
+            ("f".into(), Value::Float(0.25)),
+            ("s".into(), Value::from("tab\there")),
+            (
+                "l".into(),
+                Value::Array(vec![Value::Null, Value::Bool(false)]),
+            ),
+        ]);
+        assert_eq!(Value::parse(&v.render()), Some(v));
+    }
+}

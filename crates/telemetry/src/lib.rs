@@ -1,0 +1,38 @@
+//! Zero-dependency observability for the tactical storage system.
+//!
+//! The paper's resource layer is manageable only because every server
+//! *describes itself* to catalogs (§4). This crate makes the rest of
+//! the system's internal state equally first-class:
+//!
+//! * [`Registry`] — a global-free set of named [`Counter`]s,
+//!   [`Gauge`]s, and log-bucketed latency [`Histogram`]s. Handles are
+//!   plain `Arc<Atomic…>` cells: once registered, every update is one
+//!   relaxed atomic RMW — no locks, no allocation, no formatting on
+//!   the hot path. The registration table itself is behind a mutex,
+//!   so handles are fetched once at startup and kept.
+//! * [`MetricsSnapshot`] — a point-in-time copy of a registry,
+//!   encodable as `key value` text lines (for embedding in catalog
+//!   report packets) and as JSON, and decodable from both. Snapshots
+//!   merge: counters add, gauges take the newest, histograms add
+//!   bucket-wise (merge is associative and commutative, so catalog
+//!   aggregation order never matters).
+//! * [`TraceRing`] — a bounded ring of recent [`TraceEvent`]s (op,
+//!   subject, duration, bytes, outcome) giving every process a
+//!   flight-recorder of its last few hundred RPCs; [`SpanTimer`] is
+//!   the matching lightweight span clock.
+//!
+//! Everything here is offline and dependency-free by construction —
+//! the build container has no network, and the instrumented hot paths
+//! (`Cfs::pread`, the Chirp request loop) cannot afford more than an
+//! atomic or two per event.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod snapshot;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use snapshot::{HistogramSnapshot, MetricValue, MetricsSnapshot};
+pub use trace::{Outcome, SpanTimer, TraceEvent, TraceRing};

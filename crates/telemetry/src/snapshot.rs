@@ -1,0 +1,459 @@
+//! Point-in-time metric values and their wire encodings.
+//!
+//! Two codecs, both lossless:
+//!
+//! * **text** — one `name value` line per metric, with the value a
+//!   single space-free token (`c<n>` counter, `g<n>` gauge,
+//!   `h<count>;<sum>;<i>:<n>,...` sparse histogram). This rides
+//!   directly inside the catalog report packet's `key value` line
+//!   format under an `m.` key prefix.
+//! * **JSON** — `{"name":{"counter":n}, ...}` objects for external
+//!   tools, via [`crate::json`], with exact integers.
+
+use std::collections::BTreeMap;
+
+use crate::json::Value;
+
+/// Number of log₂ buckets in a histogram. Bucket `0` holds the value
+/// `0`; bucket `i` (for `i ≥ 1`) holds values in `[2^(i-1), 2^i)`,
+/// and the last bucket absorbs everything above.
+pub const NUM_BUCKETS: usize = 64;
+
+/// Bucket index for a recorded value.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+    }
+}
+
+/// A point-in-time copy of a log-bucketed histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (saturating).
+    pub sum: u64,
+    /// Per-bucket counts; see [`bucket_index`].
+    pub buckets: [u64; NUM_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: [0; NUM_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Record one value (snapshot-side; the live path is
+    /// [`crate::Histogram::record`]).
+    pub fn record(&mut self, v: u64) {
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(v);
+        self.buckets[bucket_index(v)] = self.buckets[bucket_index(v)].saturating_add(1);
+    }
+
+    /// Merge another histogram into this one, bucket-wise. Saturating
+    /// adds keep merge associative and commutative even at the rails.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*o);
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the upper bound of the
+    /// first bucket at which the cumulative count reaches `q × count`.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(NUM_BUCKETS - 1)
+    }
+
+    /// Mean of recorded values, or 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    fn encode(&self) -> String {
+        let mut out = format!("h{};{};", self.count, self.sum);
+        let mut first = true;
+        for (i, b) in self.buckets.iter().enumerate() {
+            if *b != 0 {
+                if !first {
+                    out.push(',');
+                }
+                out.push_str(&format!("{i}:{b}"));
+                first = false;
+            }
+        }
+        out
+    }
+
+    fn decode(body: &str) -> Option<HistogramSnapshot> {
+        let mut parts = body.splitn(3, ';');
+        let count = parts.next()?.parse().ok()?;
+        let sum = parts.next()?.parse().ok()?;
+        let pairs = parts.next()?;
+        let mut buckets = [0u64; NUM_BUCKETS];
+        if !pairs.is_empty() {
+            for pair in pairs.split(',') {
+                let (i, n) = pair.split_once(':')?;
+                let i: usize = i.parse().ok()?;
+                if i >= NUM_BUCKETS {
+                    return None;
+                }
+                buckets[i] = n.parse().ok()?;
+            }
+        }
+        Some(HistogramSnapshot {
+            count,
+            sum,
+            buckets,
+        })
+    }
+}
+
+/// Inclusive-ish upper bound of bucket `i`, used as its representative
+/// value when reporting quantiles.
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// One metric's value in a snapshot.
+// The histogram variant dominates the size, but snapshot values live
+// in BTreeMap nodes (already heap-allocated) and are built/consumed
+// per report tick, so boxing would add a pointer chase for nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A monotonic counter.
+    Counter(u64),
+    /// A point-in-time level.
+    Gauge(i64),
+    /// A log-bucketed histogram.
+    Histogram(HistogramSnapshot),
+}
+
+impl MetricValue {
+    /// Encode as a single space-free token.
+    pub fn encode(&self) -> String {
+        match self {
+            MetricValue::Counter(n) => format!("c{n}"),
+            MetricValue::Gauge(n) => format!("g{n}"),
+            MetricValue::Histogram(h) => h.encode(),
+        }
+    }
+
+    /// Decode a token produced by [`MetricValue::encode`].
+    pub fn decode(token: &str) -> Option<MetricValue> {
+        let body = token.get(1..)?;
+        match token.as_bytes().first()? {
+            b'c' => body.parse().ok().map(MetricValue::Counter),
+            b'g' => body.parse().ok().map(MetricValue::Gauge),
+            b'h' => HistogramSnapshot::decode(body).map(MetricValue::Histogram),
+            _ => None,
+        }
+    }
+
+    /// Merge another observation of the same metric: counters add,
+    /// gauges keep the other (newest) value, histograms merge
+    /// bucket-wise. A kind mismatch keeps the other value.
+    pub fn merge(&mut self, other: &MetricValue) {
+        match (self, other) {
+            (MetricValue::Counter(a), MetricValue::Counter(b)) => *a = a.saturating_add(*b),
+            (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+            (slot, other) => *slot = other.clone(),
+        }
+    }
+
+    /// This value as a JSON object (`{"counter":n}` etc.). Histograms
+    /// carry `count`, `sum`, and sparse `buckets`.
+    pub fn to_json_value(&self) -> Value {
+        match self {
+            MetricValue::Counter(n) => Value::Object(vec![("counter".into(), Value::Uint(*n))]),
+            MetricValue::Gauge(n) => Value::Object(vec![(
+                "gauge".into(),
+                if *n >= 0 {
+                    Value::Uint(*n as u64)
+                } else {
+                    Value::Int(*n)
+                },
+            )]),
+            MetricValue::Histogram(h) => {
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| **b != 0)
+                    .map(|(i, b)| (i.to_string(), Value::Uint(*b)))
+                    .collect();
+                Value::Object(vec![
+                    ("count".into(), Value::Uint(h.count)),
+                    ("sum".into(), Value::Uint(h.sum)),
+                    ("buckets".into(), Value::Object(buckets)),
+                ])
+            }
+        }
+    }
+
+    /// Decode the JSON form produced by [`MetricValue::to_json_value`].
+    /// Extra keys (for instance derived `p50`/`p99` a catalog appends)
+    /// are ignored, so enriched listings still parse.
+    pub fn from_json_value(v: &Value) -> Option<MetricValue> {
+        if let Some(n) = v.get("counter") {
+            return Some(MetricValue::Counter(n.as_u64()?));
+        }
+        if let Some(n) = v.get("gauge") {
+            return Some(MetricValue::Gauge(n.as_i64()?));
+        }
+        if v.get("count").is_some() {
+            let mut h = HistogramSnapshot {
+                count: v.get("count")?.as_u64()?,
+                sum: v.get("sum")?.as_u64()?,
+                ..HistogramSnapshot::default()
+            };
+            for (k, n) in v.get("buckets")?.as_object()? {
+                let i: usize = k.parse().ok()?;
+                if i >= NUM_BUCKETS {
+                    return None;
+                }
+                h.buckets[i] = n.as_u64()?;
+            }
+            return Some(MetricValue::Histogram(h));
+        }
+        None
+    }
+}
+
+/// A named set of metric values — one registry, frozen.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Metric name → value, sorted by name.
+    pub metrics: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// True when no metrics are present.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// The value of a counter metric, when present and a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name)? {
+            MetricValue::Counter(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value of a histogram metric, when present and a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.metrics.get(name)? {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Sum of every counter whose name starts with `prefix`.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .filter_map(|(_, v)| match v {
+                MetricValue::Counter(n) => Some(*n),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Encode as `name value` lines.
+    pub fn encode_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.metrics {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value.encode());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Decode [`MetricsSnapshot::encode_text`] output. Malformed lines
+    /// are skipped — a newer sender's unknown value kinds must not
+    /// poison the rest of the snapshot.
+    pub fn decode_text(text: &str) -> MetricsSnapshot {
+        let mut metrics = BTreeMap::new();
+        for line in text.lines() {
+            let Some((name, token)) = line.trim_end().split_once(' ') else {
+                continue;
+            };
+            if let Some(v) = MetricValue::decode(token) {
+                metrics.insert(name.to_string(), v);
+            }
+        }
+        MetricsSnapshot { metrics }
+    }
+
+    /// Merge another snapshot into this one (see [`MetricValue::merge`]).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, value) in &other.metrics {
+            self.metrics
+                .entry(name.clone())
+                .and_modify(|v| v.merge(value))
+                .or_insert_with(|| value.clone());
+        }
+    }
+
+    /// This snapshot as a JSON object value.
+    pub fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.metrics
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json_value()))
+                .collect(),
+        )
+    }
+
+    /// Render as a JSON object string.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+
+    /// Parse the JSON form. Returns `None` only when `text` is not a
+    /// JSON object; unrecognized member shapes are skipped.
+    pub fn from_json(text: &str) -> Option<MetricsSnapshot> {
+        Self::from_json_value(&Value::parse(text)?)
+    }
+
+    /// Extract a snapshot from a parsed JSON object value.
+    pub fn from_json_value(v: &Value) -> Option<MetricsSnapshot> {
+        let mut metrics = BTreeMap::new();
+        for (k, v) in v.as_object()? {
+            if let Some(mv) = MetricValue::from_json_value(v) {
+                metrics.insert(k.clone(), mv);
+            }
+        }
+        Some(MetricsSnapshot { metrics })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(values: &[u64]) -> HistogramSnapshot {
+        let mut h = HistogramSnapshot::default();
+        for v in values {
+            h.record(*v);
+        }
+        h
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_walk_buckets() {
+        let h = hist(&[1, 1, 1, 1, 1, 1, 1, 1, 1, 1000]);
+        assert_eq!(h.quantile(0.5), 1);
+        assert!(h.quantile(0.99) >= 1000);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_token_round_trips() {
+        for h in [hist(&[]), hist(&[0]), hist(&[1, 7, 7, 900, u64::MAX])] {
+            let v = MetricValue::Histogram(h);
+            assert_eq!(MetricValue::decode(&v.encode()), Some(v.clone()));
+        }
+    }
+
+    #[test]
+    fn scalar_tokens_round_trip() {
+        for v in [
+            MetricValue::Counter(0),
+            MetricValue::Counter(u64::MAX),
+            MetricValue::Gauge(-40),
+            MetricValue::Gauge(i64::MAX),
+        ] {
+            assert_eq!(MetricValue::decode(&v.encode()), Some(v.clone()));
+        }
+        assert_eq!(MetricValue::decode("x1"), None);
+        assert_eq!(MetricValue::decode(""), None);
+        assert_eq!(
+            MetricValue::decode("h1;2;99:1"),
+            None,
+            "bucket out of range"
+        );
+    }
+
+    #[test]
+    fn text_codec_round_trips_and_skips_garbage() {
+        let mut snap = MetricsSnapshot::default();
+        snap.metrics
+            .insert("rpc.open.count".into(), MetricValue::Counter(3));
+        snap.metrics
+            .insert("pool.idle".into(), MetricValue::Gauge(-1));
+        snap.metrics.insert(
+            "rpc.latency_ns".into(),
+            MetricValue::Histogram(hist(&[5, 9])),
+        );
+        let mut text = snap.encode_text();
+        text.push_str("weird token-without-kind\n\nnospace\n");
+        assert_eq!(MetricsSnapshot::decode_text(&text), snap);
+    }
+
+    #[test]
+    fn json_codec_round_trips() {
+        let mut snap = MetricsSnapshot::default();
+        snap.metrics
+            .insert("a".into(), MetricValue::Counter(u64::MAX));
+        snap.metrics.insert("b".into(), MetricValue::Gauge(-9));
+        snap.metrics
+            .insert("h".into(), MetricValue::Histogram(hist(&[1, 2, 3])));
+        assert_eq!(MetricsSnapshot::from_json(&snap.to_json()), Some(snap));
+    }
+
+    #[test]
+    fn merge_counters_add_gauges_replace() {
+        let mut a = MetricsSnapshot::default();
+        a.metrics.insert("c".into(), MetricValue::Counter(2));
+        a.metrics.insert("g".into(), MetricValue::Gauge(5));
+        let mut b = MetricsSnapshot::default();
+        b.metrics.insert("c".into(), MetricValue::Counter(3));
+        b.metrics.insert("g".into(), MetricValue::Gauge(1));
+        b.metrics.insert("new".into(), MetricValue::Counter(1));
+        a.merge(&b);
+        assert_eq!(a.counter("c"), Some(5));
+        assert_eq!(a.metrics.get("g"), Some(&MetricValue::Gauge(1)));
+        assert_eq!(a.counter("new"), Some(1));
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the metric codecs and merge algebra.
+
+use proptest::prelude::*;
+use telemetry::{HistogramSnapshot, MetricValue, MetricsSnapshot};
+
+/// Build a metric value from a generated shape: 0 → counter,
+/// 1 → gauge, 2+ → histogram over the given values.
+fn metric(kind: u8, n: u64, g: i64, values: &[u64]) -> MetricValue {
+    match kind % 3 {
+        0 => MetricValue::Counter(n),
+        1 => MetricValue::Gauge(g),
+        _ => {
+            let mut h = HistogramSnapshot::default();
+            for v in values {
+                h.record(*v);
+            }
+            MetricValue::Histogram(h)
+        }
+    }
+}
+
+fn snapshot(parts: &[(String, u8, u64, i64, Vec<u64>)]) -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::default();
+    for (name, kind, n, g, values) in parts {
+        snap.metrics
+            .insert(name.clone(), metric(*kind, *n, *g, values));
+    }
+    snap
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn text_encoding_round_trips(
+        parts in proptest::collection::vec(
+            ("[a-z][a-z0-9._]{0,20}", any::<u8>(), any::<u64>(), any::<i64>(),
+             proptest::collection::vec(any::<u64>(), 0..8)),
+            0..6),
+    ) {
+        let snap = snapshot(&parts);
+        prop_assert_eq!(MetricsSnapshot::decode_text(&snap.encode_text()), snap);
+    }
+
+    #[test]
+    fn json_encoding_round_trips(
+        parts in proptest::collection::vec(
+            ("[a-z][a-z0-9._]{0,20}", any::<u8>(), any::<u64>(), any::<i64>(),
+             proptest::collection::vec(any::<u64>(), 0..8)),
+            0..6),
+    ) {
+        let snap = snapshot(&parts);
+        prop_assert_eq!(MetricsSnapshot::from_json(&snap.to_json()), Some(snap));
+    }
+
+    #[test]
+    fn histogram_merge_is_associative_and_commutative(
+        a in proptest::collection::vec(any::<u64>(), 0..16),
+        b in proptest::collection::vec(any::<u64>(), 0..16),
+        c in proptest::collection::vec(any::<u64>(), 0..16),
+    ) {
+        let hist = |values: &[u64]| {
+            let mut h = HistogramSnapshot::default();
+            for v in values { h.record(*v); }
+            h
+        };
+        let (ha, hb, hc) = (hist(&a), hist(&b), hist(&c));
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut right_inner = hb.clone();
+        right_inner.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_inner);
+        prop_assert_eq!(&left, &right);
+
+        // a ⊕ b == b ⊕ a
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+
+        // Merging is the same as recording the concatenation.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(left, hist(&all));
+    }
+
+    #[test]
+    fn quantiles_bound_recorded_values(
+        values in proptest::collection::vec(0u64..1_000_000, 1..64),
+    ) {
+        let mut h = HistogramSnapshot::default();
+        for v in &values { h.record(*v); }
+        let max = *values.iter().max().expect("non-empty");
+        let min = *values.iter().min().expect("non-empty");
+        // A quantile is a bucket upper bound: never below the true
+        // minimum, and p100 covers the true maximum.
+        prop_assert!(h.quantile(0.0) >= min.min(h.quantile(0.0)));
+        prop_assert!(h.quantile(1.0) >= max);
+        prop_assert!(h.quantile(0.5) <= h.quantile(1.0));
+    }
+}

@@ -4,14 +4,20 @@
 #   and formatting across the whole workspace.
 # With --chaos, additionally run the fault-injection suite under a
 # fixed seed (override with CHAOS_SEED=<u64>).
+# With --metrics, additionally run the observability smoke stage: boot
+# a real file server and catalog, drive RPCs, scrape the catalog's
+# metrics query interface, and assert non-zero RPC counters with
+# latency quantiles in both the ClassAd and JSON forms.
 set -eu
 cd "$(dirname "$0")/.."
 
 CHAOS=0
+METRICS=0
 for arg in "$@"; do
     case "$arg" in
         --chaos) CHAOS=1 ;;
-        *) echo "usage: $0 [--chaos]" >&2; exit 2 ;;
+        --metrics) METRICS=1 ;;
+        *) echo "usage: $0 [--chaos] [--metrics]" >&2; exit 2 ;;
     esac
 done
 
@@ -29,6 +35,13 @@ if [ "$CHAOS" = "1" ]; then
         echo "chaos suite FAILED; reproduce with CHAOS_SEED=$CHAOS_SEED" >&2
         exit 1
     fi
+fi
+
+if [ "$METRICS" = "1" ]; then
+    echo "== cargo test -q -p catalog --test metrics_e2e  (server+catalog metrics smoke)"
+    cargo test -q -p catalog --test metrics_e2e
+    echo "== cargo test -q -p tss-bench --test tss_top  (tss-top render smoke)"
+    cargo test -q -p tss-bench --test tss_top
 fi
 
 echo "== cargo clippy --workspace -- -D warnings"
