@@ -35,6 +35,7 @@ fn main() {
         bind_udp: format!("0.0.0.0:{udp_port}").parse().expect("bind"),
         bind_tcp: format!("0.0.0.0:{tcp_port}").parse().expect("bind"),
         expiry,
+        clock: chirp_proto::Clock::wall(),
     };
     match CatalogServer::start(config) {
         Ok(server) => {

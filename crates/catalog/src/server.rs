@@ -6,8 +6,9 @@ use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use chirp_proto::{Clock, Tick};
 use parking_lot::RwLock;
 
 use crate::report::ServerReport;
@@ -22,6 +23,10 @@ pub struct CatalogConfig {
     /// Servers that have not reported within this window are dropped
     /// from the listing.
     pub expiry: Duration,
+    /// The clock staleness is measured on. Wall time in production;
+    /// the simulation harness and the expiry tests inject a virtual
+    /// clock so the boundary is exact and instant.
+    pub clock: Clock,
 }
 
 impl CatalogConfig {
@@ -31,18 +36,26 @@ impl CatalogConfig {
             bind_udp: "127.0.0.1:0".parse().expect("valid literal"),
             bind_tcp: "127.0.0.1:0".parse().expect("valid literal"),
             expiry,
+            clock: Clock::wall(),
         }
+    }
+
+    /// Measure staleness on `clock` instead of wall time.
+    pub fn with_clock(mut self, clock: Clock) -> CatalogConfig {
+        self.clock = clock;
+        self
     }
 }
 
 struct Entry {
     report: ServerReport,
-    last_seen: Instant,
+    last_seen: Tick,
 }
 
 struct State {
     entries: RwLock<HashMap<String, Entry>>,
     expiry: Duration,
+    clock: Clock,
     shutdown: AtomicBool,
 }
 
@@ -66,6 +79,7 @@ impl CatalogServer {
         let state = Arc::new(State {
             entries: RwLock::new(HashMap::new()),
             expiry: config.expiry,
+            clock: config.clock,
             shutdown: AtomicBool::new(false),
         });
         let udp_state = state.clone();
@@ -97,7 +111,7 @@ impl CatalogServer {
 
     /// Current non-expired listing, newest data first by name order.
     pub fn listing(&self) -> Vec<ServerReport> {
-        let now = Instant::now();
+        let now = self.state.clock.now();
         let entries = self.state.entries.read();
         let mut out: Vec<ServerReport> = entries
             .values()
@@ -138,7 +152,7 @@ impl Drop for CatalogServer {
 
 fn ingest(state: &State, report: ServerReport) {
     let mut entries = state.entries.write();
-    let now = Instant::now();
+    let now = state.clock.now();
     // Opportunistically purge the long-dead so the map stays bounded.
     entries.retain(|_, e| now.duration_since(e.last_seen) < state.expiry * 4);
     entries.insert(
@@ -205,7 +219,7 @@ fn serve_query(stream: TcpStream, state: &State) -> std::io::Result<()> {
     let mut writer = BufWriter::new(stream);
     let mut format = String::new();
     reader.read_line(&mut format)?;
-    let now = Instant::now();
+    let now = state.clock.now();
     let entries = state.entries.read();
     let live: Vec<&ServerReport> = {
         let mut v: Vec<&Entry> = entries
@@ -304,8 +318,13 @@ mod tests {
 
     #[test]
     fn reports_replace_by_name_and_expire() {
-        let cat =
-            CatalogServer::start(CatalogConfig::localhost(Duration::from_millis(80))).unwrap();
+        // Staleness runs on the injected clock: advance it instead of
+        // sleeping, so the test is exact and instant.
+        let clock = Clock::fresh_virtual();
+        let cat = CatalogServer::start(
+            CatalogConfig::localhost(Duration::from_millis(80)).with_clock(clock.clone()),
+        )
+        .unwrap();
         cat.ingest(report("n1"));
         let mut updated = report("n1");
         updated.free = 10;
@@ -313,8 +332,39 @@ mod tests {
         let listing = cat.listing();
         assert_eq!(listing.len(), 1, "same name replaces, not duplicates");
         assert_eq!(listing[0].free, 10);
-        std::thread::sleep(Duration::from_millis(150));
+        clock.sleep(Duration::from_millis(150));
         assert!(cat.listing().is_empty(), "stale servers expire");
+    }
+
+    #[test]
+    fn expiry_boundary_is_exact() {
+        // A server is live strictly within the window and gone at the
+        // instant the window closes — only demonstrable with
+        // controlled timestamps.
+        let expiry = Duration::from_secs(300);
+        let clock = Clock::fresh_virtual();
+        let cat = CatalogServer::start(CatalogConfig::localhost(expiry).with_clock(clock.clone()))
+            .unwrap();
+        cat.ingest(report("edge"));
+        clock.sleep(expiry - Duration::from_nanos(1));
+        assert_eq!(cat.listing().len(), 1, "one tick inside the window");
+        clock.sleep(Duration::from_nanos(1));
+        assert!(cat.listing().is_empty(), "gone exactly at expiry");
+    }
+
+    #[test]
+    fn refresh_resets_the_staleness_window() {
+        let expiry = Duration::from_secs(60);
+        let clock = Clock::fresh_virtual();
+        let cat = CatalogServer::start(CatalogConfig::localhost(expiry).with_clock(clock.clone()))
+            .unwrap();
+        cat.ingest(report("n1"));
+        clock.sleep(Duration::from_secs(45));
+        cat.ingest(report("n1")); // fresh report restarts the window
+        clock.sleep(Duration::from_secs(45));
+        assert_eq!(cat.listing().len(), 1, "refreshed 45s ago, still live");
+        clock.sleep(Duration::from_secs(16));
+        assert!(cat.listing().is_empty());
     }
 
     #[test]
@@ -331,8 +381,11 @@ mod tests {
     #[test]
     fn silent_servers_metrics_expire_with_the_report() {
         use std::io::{Read as _, Write as _};
-        let cat =
-            CatalogServer::start(CatalogConfig::localhost(Duration::from_millis(120))).unwrap();
+        let clock = Clock::fresh_virtual();
+        let cat = CatalogServer::start(
+            CatalogConfig::localhost(Duration::from_millis(120)).with_clock(clock.clone()),
+        )
+        .unwrap();
         let mut r = report("quiet");
         r.metrics
             .metrics
@@ -351,10 +404,45 @@ mod tests {
         assert!(live_json.contains("\"rpc.open.count\""));
         // The server goes silent; past the TTL, its metrics must
         // disappear from every query format.
-        std::thread::sleep(Duration::from_millis(200));
+        clock.sleep(Duration::from_millis(200));
         assert!(!fetch("metrics").contains("rpc.open.count"));
         assert_eq!(fetch("metrics-json").trim(), "[]");
         assert!(!fetch("json").contains("rpc.open.count"));
+    }
+
+    #[test]
+    fn metrics_json_preserves_exact_u64_counters() {
+        use std::io::{Read as _, Write as _};
+        // Counters near u64::MAX must survive the whole publication
+        // path — snapshot → JSON render → wire → parse — without any
+        // float rounding (2^64-1 is not representable as f64).
+        let cat = CatalogServer::start(CatalogConfig::localhost(Duration::from_secs(5))).unwrap();
+        let mut r = report("edge");
+        r.metrics.metrics.insert(
+            "rpc.pwrite.bytes".into(),
+            telemetry::MetricValue::Counter(u64::MAX),
+        );
+        cat.ingest(r);
+        let mut s = TcpStream::connect(cat.tcp_addr()).unwrap();
+        s.write_all(b"metrics-json\n").unwrap();
+        let mut body = String::new();
+        s.read_to_string(&mut body).unwrap();
+        assert!(
+            body.contains(&u64::MAX.to_string()),
+            "digits not verbatim in {body}"
+        );
+        let parsed = telemetry::json::Value::parse(body.trim()).expect("valid JSON");
+        let entry = match &parsed {
+            telemetry::json::Value::Array(items) => &items[0],
+            other => panic!("expected array, got {other:?}"),
+        };
+        let counter = entry
+            .get("metrics")
+            .and_then(|m| m.get("rpc.pwrite.bytes"))
+            .expect("counter present");
+        // Counters encode as {"counter":N}; demand the exact value.
+        let value = counter.get("counter").and_then(|v| v.as_u64());
+        assert_eq!(value, Some(u64::MAX));
     }
 
     #[test]

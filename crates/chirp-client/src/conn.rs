@@ -2,10 +2,11 @@
 //! time, file data interleaved on the same stream as control.
 
 use std::io::{BufReader, BufWriter, Read, Write};
-use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::time::Duration;
 
 use chirp_proto::escape::unescape;
+use chirp_proto::transport::{Dialer, Transport};
 use chirp_proto::wire::{self, StatusLine};
 use chirp_proto::{ChirpError, ChirpResult, OpenFlags, Request, StatBuf, StatFs};
 
@@ -44,8 +45,8 @@ impl AuthMethod {
 
 /// A connection to one Chirp file server.
 pub struct Connection {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+    reader: BufReader<Box<dyn Transport>>,
+    writer: BufWriter<Box<dyn Transport>>,
     addr: SocketAddr,
     subject: Option<String>,
     /// Once a transport error occurs the stream framing is unknown;
@@ -55,7 +56,7 @@ pub struct Connection {
 
 impl Connection {
     /// Connect to `addr` (anything resolvable, e.g. `"127.0.0.1:9094"`)
-    /// with `timeout` applied to the TCP connect and to every
+    /// over TCP with `timeout` applied to the connect and to every
     /// subsequent read and write.
     pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> ChirpResult<Connection> {
         let addr = addr
@@ -63,10 +64,21 @@ impl Connection {
             .map_err(|e| ChirpError::from_io(&e))?
             .next()
             .ok_or(ChirpError::InvalidRequest)?;
-        let stream =
-            TcpStream::connect_timeout(&addr, timeout).map_err(|e| ChirpError::from_io(&e))?;
-        stream
-            .set_nodelay(true)
+        Connection::connect_via(&Dialer::tcp(), &addr.to_string(), timeout)
+    }
+
+    /// Connect to `endpoint` (a `host:port` string) through `dialer`,
+    /// with `timeout` applied to the dial and to every subsequent read
+    /// and write. This is how every layer that can run under the
+    /// simulation harness opens its connections; [`Connection::connect`]
+    /// is the TCP shorthand.
+    pub fn connect_via(
+        dialer: &Dialer,
+        endpoint: &str,
+        timeout: Duration,
+    ) -> ChirpResult<Connection> {
+        let stream = dialer
+            .dial(endpoint, timeout)
             .map_err(|e| ChirpError::from_io(&e))?;
         stream
             .set_read_timeout(Some(timeout))
@@ -74,6 +86,7 @@ impl Connection {
         stream
             .set_write_timeout(Some(timeout))
             .map_err(|e| ChirpError::from_io(&e))?;
+        let addr = stream.peer_addr().map_err(|e| ChirpError::from_io(&e))?;
         let reader = BufReader::with_capacity(
             256 * 1024,
             stream.try_clone().map_err(|e| ChirpError::from_io(&e))?,

@@ -1,0 +1,179 @@
+//! Wall-clock vs. virtual time.
+//!
+//! Every layer that sleeps, expires, or measures elapsed time —
+//! retry backoff, circuit-breaker cooldowns, idle-connection eviction,
+//! catalog staleness — does so through a [`Clock`] handle instead of
+//! calling [`std::time::Instant::now`] or [`std::thread::sleep`]
+//! directly. In production the handle is [`Clock::wall`] and behaves
+//! exactly like the real clock. Under the simulation harness it is a
+//! [`Clock::virtual_at`] handle sharing one [`VirtualClock`]: `sleep`
+//! *advances* the shared time atomically and returns immediately, so a
+//! chaos scenario that nominally waits out seconds of backoff runs in
+//! microseconds and — because nothing ever parks on the scheduler —
+//! runs deterministically on loaded CI machines.
+//!
+//! Time is represented as nanoseconds since an arbitrary epoch
+//! ([`Tick`]), mirroring what `Instant` arithmetic provides without
+//! carrying a platform handle that virtual time could not fabricate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A point on a [`Clock`]'s timeline, in nanoseconds since the clock's
+/// arbitrary epoch. Only differences are meaningful, as with
+/// [`Instant`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tick(pub u64);
+
+impl Tick {
+    /// Time elapsed from `earlier` to `self`; zero if `earlier` is
+    /// later (clock handles are monotone, so that only happens when
+    /// comparing ticks from different clocks — a caller bug, but not
+    /// one worth panicking over).
+    pub fn duration_since(self, earlier: Tick) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The tick `dur` later than this one (saturating).
+    pub fn after(self, dur: Duration) -> Tick {
+        let ns = u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX);
+        Tick(self.0.saturating_add(ns))
+    }
+}
+
+/// Shared, atomically advancing simulated time.
+///
+/// All parties in a simulation hold the same `Arc<VirtualClock>`;
+/// whoever sleeps moves time forward for everyone.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now_ns: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A fresh virtual clock starting at tick 0.
+    pub fn new() -> Arc<VirtualClock> {
+        Arc::new(VirtualClock::default())
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> Tick {
+        Tick(self.now_ns.load(Ordering::SeqCst))
+    }
+
+    /// Advance simulated time by `dur`.
+    pub fn advance(&self, dur: Duration) {
+        let ns = u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX);
+        self.now_ns.fetch_add(ns, Ordering::SeqCst);
+    }
+}
+
+/// A handle on either the wall clock or a shared virtual clock.
+///
+/// Cheap to clone; all clones of a virtual handle observe (and
+/// advance) the same timeline.
+#[derive(Debug, Clone, Default)]
+pub struct Clock(Inner);
+
+#[derive(Debug, Clone, Default)]
+enum Inner {
+    #[default]
+    Wall,
+    Virtual(Arc<VirtualClock>),
+}
+
+impl Clock {
+    /// The real, monotonic system clock. `sleep` parks the thread.
+    pub fn wall() -> Clock {
+        Clock(Inner::Wall)
+    }
+
+    /// A handle on the given shared virtual clock. `sleep` advances
+    /// the clock and returns immediately.
+    pub fn virtual_at(clock: Arc<VirtualClock>) -> Clock {
+        Clock(Inner::Virtual(clock))
+    }
+
+    /// A fresh private virtual clock (convenience for unit tests that
+    /// only need one handle).
+    pub fn fresh_virtual() -> Clock {
+        Clock::virtual_at(VirtualClock::new())
+    }
+
+    /// True if this handle is virtual (used by layers that must avoid
+    /// real blocking operations under simulation).
+    pub fn is_virtual(&self) -> bool {
+        matches!(self.0, Inner::Virtual(_))
+    }
+
+    /// The current time on this clock's timeline.
+    pub fn now(&self) -> Tick {
+        match &self.0 {
+            Inner::Wall => {
+                // One process-wide epoch so wall ticks compare across
+                // handles, exactly like Instants do.
+                static EPOCH: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+                let epoch = *EPOCH.get_or_init(Instant::now);
+                let ns = u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                Tick(ns)
+            }
+            Inner::Virtual(v) => v.now(),
+        }
+    }
+
+    /// Sleep for `dur`: park the thread (wall) or advance simulated
+    /// time and return immediately (virtual).
+    pub fn sleep(&self, dur: Duration) {
+        match &self.0 {
+            Inner::Wall => std::thread::sleep(dur),
+            Inner::Virtual(v) => v.advance(dur),
+        }
+    }
+
+    /// Time elapsed since `earlier` on this clock.
+    pub fn elapsed_since(&self, earlier: Tick) -> Duration {
+        self.now().duration_since(earlier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_sleep_advances_without_blocking() {
+        let clock = Clock::fresh_virtual();
+        let t0 = clock.now();
+        let wall_start = Instant::now();
+        clock.sleep(Duration::from_secs(3600));
+        assert!(wall_start.elapsed() < Duration::from_secs(1));
+        assert_eq!(clock.elapsed_since(t0), Duration::from_secs(3600));
+    }
+
+    #[test]
+    fn virtual_handles_share_a_timeline() {
+        let shared = VirtualClock::new();
+        let a = Clock::virtual_at(shared.clone());
+        let b = Clock::virtual_at(shared);
+        let t0 = b.now();
+        a.sleep(Duration::from_millis(250));
+        assert_eq!(b.elapsed_since(t0), Duration::from_millis(250));
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let clock = Clock::wall();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+        assert!(!clock.is_virtual());
+    }
+
+    #[test]
+    fn tick_arithmetic_saturates() {
+        let t = Tick(10);
+        assert_eq!(t.duration_since(Tick(50)), Duration::ZERO);
+        assert_eq!(Tick(u64::MAX).after(Duration::from_secs(1)), Tick(u64::MAX));
+    }
+}

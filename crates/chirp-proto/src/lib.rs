@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod checksum;
+pub mod clock;
 pub mod error;
 pub mod escape;
 pub mod flags;
@@ -28,14 +29,17 @@ pub mod retry;
 pub mod stat;
 #[doc(hidden)]
 pub mod testutil;
+pub mod transport;
 pub mod wire;
 
 pub use checksum::crc64;
+pub use clock::{Clock, Tick, VirtualClock};
 pub use error::{ChirpError, ChirpResult, ErrorClass};
 pub use flags::OpenFlags;
 pub use message::Request;
 pub use retry::{RetryPolicy, RetryState};
 pub use stat::{StatBuf, StatFs};
+pub use transport::{Dial, Dialer, Listener, MemListener, MemNet, MemStream, Transport};
 
 /// Maximum length of a single request or response line, in bytes.
 ///

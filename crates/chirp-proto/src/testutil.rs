@@ -19,8 +19,18 @@ static COUNTER: AtomicU64 = AtomicU64::new(0);
 impl TempDir {
     /// Create a fresh directory under the system temp dir.
     pub fn new() -> TempDir {
+        TempDir::new_in(std::env::temp_dir())
+    }
+
+    /// Create a fresh directory under `base`. The simulation harness
+    /// uses this to place server roots on a RAM-backed filesystem,
+    /// where the system temp dir would put disk latency inside every
+    /// simulated RPC.
+    pub fn new_in(base: impl Into<PathBuf>) -> TempDir {
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!("tss-test-{}-{n}", std::process::id()));
+        let path = base
+            .into()
+            .join(format!("tss-test-{}-{n}", std::process::id()));
         std::fs::create_dir_all(&path).expect("create temp dir");
         TempDir(path)
     }

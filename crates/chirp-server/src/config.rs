@@ -5,6 +5,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
+use chirp_proto::transport::Dialer;
+
 use crate::acl::Acl;
 
 /// How the server turns a peer address into a `hostname:` identity.
@@ -83,6 +85,10 @@ pub struct ServerConfig {
     /// and network latency of a real deployment, which loopback
     /// otherwise hides; `None` (the default) adds nothing.
     pub service_delay: Option<Duration>,
+    /// How this server opens its *outbound* connections (`THIRDPUT`
+    /// pushes data to another server). TCP by default; the simulation
+    /// harness points it at the in-memory network.
+    pub dialer: Dialer,
 }
 
 impl ServerConfig {
@@ -108,6 +114,7 @@ impl ServerConfig {
             report_interval: Duration::from_secs(300),
             server_name: None,
             service_delay: None,
+            dialer: Dialer::tcp(),
         }
     }
 

@@ -582,7 +582,8 @@ impl Session {
             return Err(ChirpError::IsADirectory);
         }
         let timeout = std::time::Duration::from_secs(30);
-        let mut conn = chirp_client::Connection::connect(target, timeout)?;
+        let mut conn =
+            chirp_client::Connection::connect_via(&self.shared.config.dialer, target, timeout)?;
         conn.authenticate(&[chirp_client::AuthMethod::Hostname])?;
         conn.putfile_from(target_path, 0o644, meta.len(), &mut file)?;
         self.shared.stats.read_bytes(meta.len());

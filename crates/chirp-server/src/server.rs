@@ -1,11 +1,17 @@
-//! The TCP service: accept loop, connection threads, lifecycle.
+//! The service: accept loop, connection threads, lifecycle.
+//!
+//! The server is transport-agnostic: [`FileServer::start`] binds a
+//! real [`TcpListener`], while [`FileServer::start_on`] accepts any
+//! [`Listener`] — the simulation harness hands it an in-memory one and
+//! the whole handler stack runs without a socket in sight.
 
 use std::io::{BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use chirp_proto::transport::{Listener, Transport};
 use chirp_proto::wire;
 use chirp_proto::{ChirpError, Request};
 
@@ -73,13 +79,25 @@ impl Shared {
 pub struct FileServer {
     shared: Arc<Shared>,
     addr: SocketAddr,
+    listener: Arc<dyn Listener>,
     accept_thread: Option<JoinHandle<()>>,
     report_thread: Option<JoinHandle<()>>,
 }
 
 impl FileServer {
-    /// Start a server. Returns once the listener is bound.
+    /// Start a server on TCP. Returns once the listener is bound.
     pub fn start(config: ServerConfig) -> std::io::Result<FileServer> {
+        let listener = TcpListener::bind(config.bind)?;
+        FileServer::start_on(config, Arc::new(listener))
+    }
+
+    /// Start a server on an already-bound [`Listener`] — any
+    /// transport, including the in-memory network. `config.bind` is
+    /// ignored; the listener's own address is authoritative.
+    pub fn start_on(
+        config: ServerConfig,
+        listener: Arc<dyn Listener>,
+    ) -> std::io::Result<FileServer> {
         std::fs::create_dir_all(&config.root)?;
         let jail = Jail::new(&config.root)?;
         // Install the root ACL only if the directory is not already
@@ -91,7 +109,6 @@ impl FileServer {
                 .store(jail.root())
                 .map_err(|e| std::io::Error::other(e.to_string()))?;
         }
-        let listener = TcpListener::bind(config.bind)?;
         let addr = listener.local_addr()?;
         let used = crate::handlers::disk_usage(jail.root());
         let shared = Arc::new(Shared {
@@ -104,9 +121,10 @@ impl FileServer {
             used_bytes: AtomicU64::new(used),
         });
         let accept_shared = shared.clone();
+        let accept_listener = listener.clone();
         let accept_thread = std::thread::Builder::new()
             .name(format!("chirp-accept-{}", addr.port()))
-            .spawn(move || accept_loop(listener, accept_shared))?;
+            .spawn(move || accept_loop(accept_listener, accept_shared))?;
         let report_thread = if shared.config.catalogs.is_empty() {
             None
         } else {
@@ -120,6 +138,7 @@ impl FileServer {
         Ok(FileServer {
             shared,
             addr,
+            listener,
             accept_thread: Some(accept_thread),
             report_thread,
         })
@@ -158,7 +177,7 @@ impl FileServer {
             return;
         }
         // Unblock the accept() call.
-        let _ = TcpStream::connect(self.addr);
+        self.listener.wake();
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
@@ -174,7 +193,7 @@ impl Drop for FileServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+fn accept_loop(listener: Arc<dyn Listener>, shared: Arc<Shared>) {
     loop {
         let Ok((stream, peer)) = listener.accept() else {
             if shared.shutdown.load(Ordering::SeqCst) {
@@ -186,10 +205,9 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             return;
         }
         if shared.active.load(Ordering::Relaxed) >= shared.config.max_connections {
-            // Refuse politely: one error line, then close. Nodelay so
-            // the refusal reaches the client before the FIN races it.
-            let _ = stream.set_nodelay(true);
-            let mut w = BufWriter::new(&stream);
+            // Refuse politely: one error line, then close.
+            let mut stream = stream;
+            let mut w = BufWriter::new(&mut stream);
             let _ = wire::write_error(&mut w, ChirpError::Busy);
             let _ = w.flush();
             continue;
@@ -210,11 +228,10 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 /// protocol. All per-connection resources (open files, auth state) are
 /// freed on return — the paper's failure semantics.
 fn serve_connection(
-    stream: TcpStream,
+    stream: Box<dyn Transport>,
     peer: SocketAddr,
     shared: &Arc<Shared>,
 ) -> std::io::Result<()> {
-    stream.set_nodelay(true)?;
     // Idle policy: a read that times out ends the session exactly like
     // a disconnect would — the client must reconnect and re-open.
     stream.set_read_timeout(shared.config.idle_timeout)?;

@@ -20,7 +20,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use chirp_client::{AuthMethod, Connection};
-use chirp_proto::{ChirpError, ChirpResult, OpenFlags, StatBuf, StatFs};
+use chirp_proto::transport::Dialer;
+use chirp_proto::{ChirpError, ChirpResult, Clock, OpenFlags, StatBuf, StatFs};
 use parking_lot::Mutex;
 
 use crate::fs::{normalize_path, FileHandle, FileSystem};
@@ -78,6 +79,13 @@ pub struct CfsConfig {
     /// mount gets a private registry by default; a pool installs its
     /// own so one registry aggregates across every member connection.
     pub telemetry: telemetry::Registry,
+    /// How connections are opened: real TCP by default, the in-memory
+    /// network under the simulation harness.
+    pub dialer: Dialer,
+    /// The clock recovery sleeps and deadlines are charged to. Wall
+    /// time by default; virtual under simulation, where backoff
+    /// advances simulated time instead of parking the thread.
+    pub clock: Clock,
 }
 
 impl CfsConfig {
@@ -92,6 +100,8 @@ impl CfsConfig {
             sync_writes: false,
             readahead: 0,
             telemetry: telemetry::Registry::default(),
+            dialer: Dialer::tcp(),
+            clock: Clock::wall(),
         }
     }
 
@@ -118,6 +128,18 @@ impl CfsConfig {
     /// across all member connections).
     pub fn with_telemetry(mut self, registry: telemetry::Registry) -> CfsConfig {
         self.telemetry = registry;
+        self
+    }
+
+    /// Open connections through `dialer` instead of TCP.
+    pub fn with_dialer(mut self, dialer: Dialer) -> CfsConfig {
+        self.dialer = dialer;
+        self
+    }
+
+    /// Charge recovery sleeps and deadlines to `clock`.
+    pub fn with_clock(mut self, clock: Clock) -> CfsConfig {
+        self.clock = clock;
         self
     }
 }
@@ -232,7 +254,10 @@ impl Cfs {
     /// retriable burn attempts.
     fn run<T>(&self, mut op: impl FnMut(&mut Connection) -> ChirpResult<T>) -> io::Result<T> {
         let mut slot = self.slot.lock();
-        let mut retry = self.config.retry.begin();
+        let mut retry = self
+            .config
+            .retry
+            .begin_with_clock(self.config.clock.clone());
         loop {
             let res = ensure_connected(&mut slot, &self.config, &self.tele)
                 .and_then(|_| op(slot.conn.as_mut().expect("ensured above")));
@@ -243,7 +268,7 @@ impl Cfs {
                         self.retries.fetch_add(1, Ordering::Relaxed);
                         self.tele.retries.inc();
                         drop_conn(&mut slot);
-                        std::thread::sleep(delay);
+                        self.config.clock.sleep(delay);
                     }
                     None => return Err(e.into()),
                 },
@@ -322,7 +347,8 @@ fn ensure_connected(
         }
         drop_conn(slot);
     }
-    let mut conn = Connection::connect(config.endpoint.as_str(), config.timeout)?;
+    let mut conn =
+        Connection::connect_via(&config.dialer, config.endpoint.as_str(), config.timeout)?;
     tele.connects.inc();
     if slot.generation > 0 {
         // A previous connection existed: this dial is recovery, not
@@ -391,7 +417,10 @@ impl CfsHandle {
     ) -> io::Result<T> {
         let slot_arc = self.slot.clone();
         let mut slot = slot_arc.lock();
-        let mut retry = self.config.retry.begin();
+        let mut retry = self
+            .config
+            .retry
+            .begin_with_clock(self.config.clock.clone());
         loop {
             let res = ensure_connected(&mut slot, &self.config, &self.tele).and_then(|_| {
                 // If the connection was replaced, our descriptor died
@@ -413,7 +442,7 @@ impl CfsHandle {
                         self.retries.fetch_add(1, Ordering::Relaxed);
                         self.tele.retries.inc();
                         drop_conn(&mut slot);
-                        std::thread::sleep(delay);
+                        self.config.clock.sleep(delay);
                     }
                     None => return Err(e.into()),
                 },
@@ -542,7 +571,10 @@ impl FileSystem for Cfs {
         let (fd, st, generation) = {
             let slot_arc = self.slot.clone();
             let mut slot = slot_arc.lock();
-            let mut retry = self.config.retry.begin();
+            let mut retry = self
+                .config
+                .retry
+                .begin_with_clock(self.config.clock.clone());
             loop {
                 let res = ensure_connected(&mut slot, &self.config, &self.tele).and_then(|_| {
                     let conn = slot.conn.as_mut().expect("ensured above");
@@ -557,7 +589,7 @@ impl FileSystem for Cfs {
                             self.retries.fetch_add(1, Ordering::Relaxed);
                             self.tele.retries.inc();
                             drop_conn(&mut slot);
-                            std::thread::sleep(delay);
+                            self.config.clock.sleep(delay);
                         }
                         None => return Err(e.into()),
                     },

@@ -24,9 +24,9 @@ use std::io;
 use std::ops::Deref;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
-use std::time::Instant;
 
 use chirp_client::AuthMethod;
+use chirp_proto::Tick;
 use chirp_proto::{OpenFlags, StatBuf};
 use parking_lot::Mutex;
 
@@ -112,7 +112,7 @@ pub enum BreakerState {
 struct EndpointHealth {
     consecutive_failures: u32,
     state: BreakerState,
-    opened_at: Option<Instant>,
+    opened_at: Option<Tick>,
 }
 
 impl Default for EndpointHealth {
@@ -129,7 +129,7 @@ struct PoolShared {
     servers: Vec<DataServer>,
     options: StubFsOptions,
     default_auth: Vec<AuthMethod>,
-    idle: Mutex<HashMap<String, Vec<(Cfs, Instant)>>>,
+    idle: Mutex<HashMap<String, Vec<(Cfs, Tick)>>>,
     health: Mutex<HashMap<String, EndpointHealth>>,
     counters: PoolCounters,
     /// The registry behind `counters`, installed into every connection
@@ -152,6 +152,8 @@ impl PoolShared {
         cfg.timeout = self.options.timeout;
         cfg.retry = self.options.retry;
         cfg.readahead = self.options.readahead;
+        cfg.dialer = self.options.dialer.clone();
+        cfg.clock = self.options.clock.clone();
         cfg.telemetry = self.registry.clone();
         Cfs::new(cfg).with_retry_counter(self.retries.clone())
     }
@@ -167,7 +169,7 @@ impl PoolShared {
         let mut idle = self.idle.lock();
         let slot = idle.entry(cfs.endpoint().to_string()).or_default();
         if slot.len() < self.options.max_conns_per_endpoint.max(1) {
-            slot.push((cfs, Instant::now()));
+            slot.push((cfs, self.options.clock.now()));
         } else {
             self.counters.discards.inc();
         }
@@ -178,7 +180,7 @@ impl PoolShared {
     fn pop_idle(&self, endpoint: &str) -> Option<Cfs> {
         let mut idle = self.idle.lock();
         let slot = idle.get_mut(endpoint)?;
-        let now = Instant::now();
+        let now = self.options.clock.now();
         while let Some((cfs, since)) = slot.pop() {
             if now.duration_since(since) <= self.options.max_idle {
                 return Some(cfs);
@@ -204,7 +206,7 @@ impl PoolShared {
         };
         if tripped {
             h.state = BreakerState::Open;
-            h.opened_at = Some(Instant::now());
+            h.opened_at = Some(self.options.clock.now());
             self.counters.breaker_trips.inc();
         }
     }
@@ -229,9 +231,9 @@ impl PoolShared {
         match h.state {
             BreakerState::Closed | BreakerState::HalfOpen => true,
             BreakerState::Open => {
-                let cooled = h
-                    .opened_at
-                    .is_none_or(|t| t.elapsed() >= self.options.breaker_cooldown);
+                let cooled = h.opened_at.is_none_or(|t| {
+                    self.options.clock.elapsed_since(t) >= self.options.breaker_cooldown
+                });
                 if cooled {
                     h.state = BreakerState::HalfOpen;
                 }
@@ -555,15 +557,19 @@ mod tests {
 
     #[test]
     fn idle_connections_past_max_idle_are_evicted_at_checkout() {
+        // Idle aging runs on the pool's clock, so the test advances a
+        // virtual one instead of sleeping: exact and instant.
+        let clock = chirp_proto::Clock::fresh_virtual();
         let options = StubFsOptions {
             max_idle: std::time::Duration::from_millis(20),
+            clock: clock.clone(),
             ..StubFsOptions::default()
         };
         let servers = vec![DataServer::new("host0:9094", "/vol", Vec::new())];
         let p = ServerPool::new(servers, options);
         drop(p.checkout("host0:9094"));
         assert_eq!(p.idle_count("host0:9094"), 1);
-        std::thread::sleep(std::time::Duration::from_millis(40));
+        clock.sleep(std::time::Duration::from_millis(40));
         // The aged entry must not be handed out: the second checkout
         // evicts it and builds a fresh connection.
         drop(p.checkout("host0:9094"));
@@ -575,9 +581,12 @@ mod tests {
 
     #[test]
     fn breaker_opens_after_threshold_and_recovers_through_half_open() {
+        // Cooldowns elapse on the injected clock; no real waiting.
+        let clock = chirp_proto::Clock::fresh_virtual();
         let options = StubFsOptions {
             breaker_threshold: 2,
             breaker_cooldown: std::time::Duration::from_millis(30),
+            clock: clock.clone(),
             ..StubFsOptions::default()
         };
         let servers = vec![DataServer::new("host0:9094", "/vol", Vec::new())];
@@ -594,14 +603,14 @@ mod tests {
 
         // After the cooldown a single half-open probe is allowed; a
         // failed probe re-opens the breaker, a success re-closes it.
-        std::thread::sleep(std::time::Duration::from_millis(40));
+        clock.sleep(std::time::Duration::from_millis(40));
         assert!(p.endpoint_available(ep));
         assert_eq!(p.breaker_state(ep), BreakerState::HalfOpen);
         p.report_failure(ep);
         assert_eq!(p.breaker_state(ep), BreakerState::Open);
         assert!(!p.endpoint_available(ep));
 
-        std::thread::sleep(std::time::Duration::from_millis(40));
+        clock.sleep(std::time::Duration::from_millis(40));
         assert!(p.endpoint_available(ep));
         p.report_success(ep);
         assert_eq!(p.breaker_state(ep), BreakerState::Closed);

@@ -33,7 +33,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use chirp_client::AuthMethod;
-use chirp_proto::{OpenFlags, StatBuf};
+use chirp_proto::transport::Dialer;
+use chirp_proto::{Clock, OpenFlags, StatBuf};
 
 use crate::cfs::RetryPolicy;
 use crate::fs::{FileHandle, FileSystem};
@@ -64,7 +65,7 @@ impl DataServer {
 }
 
 /// Options shared by every connection a `StubFs` makes.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct StubFsOptions {
     /// Network timeout per operation.
     pub timeout: Duration,
@@ -94,6 +95,13 @@ pub struct StubFsOptions {
     /// How long an open breaker rejects an endpoint before allowing a
     /// half-open probe.
     pub breaker_cooldown: Duration,
+    /// How data connections are opened: real TCP by default, the
+    /// in-memory network under the simulation harness.
+    pub dialer: Dialer,
+    /// The clock idle aging, breaker cooldowns, and recovery backoff
+    /// are measured on. Wall time by default; virtual under
+    /// simulation, making every timing decision deterministic.
+    pub clock: Clock,
 }
 
 impl Default for StubFsOptions {
@@ -107,6 +115,8 @@ impl Default for StubFsOptions {
             max_idle: Duration::from_secs(60),
             breaker_threshold: 3,
             breaker_cooldown: Duration::from_secs(2),
+            dialer: Dialer::tcp(),
+            clock: Clock::wall(),
         }
     }
 }

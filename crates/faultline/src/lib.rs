@@ -27,6 +27,8 @@
 
 #![warn(missing_docs)]
 
+pub mod mem;
+
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -1,0 +1,330 @@
+//! Seeded generation of Chirp operation sequences.
+//!
+//! The generator draws from small, fixed pools of paths, flags, and
+//! ACL specs, chosen so that interesting collisions are frequent: the
+//! same few names are opened, unlinked, renamed over each other, and
+//! re-created; directories are made and removed under paths that files
+//! also target; descriptors are referenced by raw number so stale-fd
+//! and double-close cases arise naturally. A sequence is a pure
+//! function of its seed.
+//!
+//! Deliberately *not* generated, to keep the model honest:
+//!
+//! * `APPEND` opens — Linux `pwrite(2)` ignores the offset on
+//!   `O_APPEND` descriptors, a platform quirk this system does not
+//!   promise to reproduce;
+//! * flag combinations the real `OpenOptions` rejects up front
+//!   (truncate or create without write);
+//! * directory names that collide with file names — `rename` of
+//!   directories is out of the model's scope.
+
+use chirp_proto::OpenFlags;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One generated client operation. Paths are protocol paths relative
+/// to the sequence's namespace root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// `OPEN` with a flag combination from the fixed pool.
+    Open {
+        /// Target path.
+        path: String,
+        /// Open flags.
+        flags: OpenFlags,
+    },
+    /// `CLOSE` a raw descriptor number (may be stale or never opened).
+    Close {
+        /// Descriptor number.
+        fd: i32,
+    },
+    /// `PREAD`.
+    Pread {
+        /// Descriptor number.
+        fd: i32,
+        /// Bytes requested.
+        len: u64,
+        /// File offset.
+        off: u64,
+    },
+    /// `PWRITE`.
+    Pwrite {
+        /// Descriptor number.
+        fd: i32,
+        /// Payload bytes.
+        data: Vec<u8>,
+        /// File offset.
+        off: u64,
+    },
+    /// `FSTAT`.
+    Fstat {
+        /// Descriptor number.
+        fd: i32,
+    },
+    /// `STAT` by path.
+    Stat {
+        /// Target path.
+        path: String,
+    },
+    /// `UNLINK`.
+    Unlink {
+        /// Target path.
+        path: String,
+    },
+    /// `RENAME`.
+    Rename {
+        /// Source path.
+        from: String,
+        /// Destination path.
+        to: String,
+    },
+    /// `MKDIR`.
+    Mkdir {
+        /// Target path.
+        path: String,
+    },
+    /// `RMDIR`.
+    Rmdir {
+        /// Target path.
+        path: String,
+    },
+    /// `GETDIR`.
+    Getdir {
+        /// Target path.
+        path: String,
+    },
+    /// `GETACL`.
+    Getacl {
+        /// Target path.
+        path: String,
+    },
+    /// `SETACL`.
+    Setacl {
+        /// Target directory.
+        path: String,
+        /// Subject pattern to grant or revoke.
+        subject: String,
+        /// Rights spec (possibly empty = revoke, possibly invalid).
+        rights: String,
+    },
+    /// `TRUNCATE` by path.
+    Truncate {
+        /// Target path.
+        path: String,
+        /// New size.
+        size: u64,
+    },
+    /// `WHOAMI`.
+    Whoami,
+    /// Drop the connection and reconnect: the server must close every
+    /// descriptor and a fresh session must renumber from zero.
+    Disconnect,
+}
+
+/// File-name pool. Nested names share the two directory names so
+/// operations race over the same tree.
+const FILES: &[&str] = &["/f0", "/f1", "/f2", "/d0/f0", "/d0/f1", "/d1/f0"];
+/// Directory-name pool, disjoint from file leaf names.
+const DIRS: &[&str] = &["/d0", "/d1"];
+/// Flag pool: every combination the real `OpenOptions` accepts and the
+/// model reproduces.
+const FLAG_POOL: &[fn() -> OpenFlags] = &[
+    || OpenFlags::READ,
+    || OpenFlags::WRITE | OpenFlags::CREATE,
+    || OpenFlags::READ | OpenFlags::WRITE | OpenFlags::CREATE,
+    || OpenFlags::READ | OpenFlags::WRITE | OpenFlags::CREATE | OpenFlags::TRUNCATE,
+    || OpenFlags::WRITE | OpenFlags::CREATE | OpenFlags::EXCLUSIVE,
+    || OpenFlags::READ | OpenFlags::WRITE,
+];
+/// Rights specs for `SETACL`, including a revocation (empty), reserve
+/// grants, and one spec the parser rejects.
+const RIGHTS_POOL: &[&str] = &["rwlda", "rl", "rwl", "", "v(rwl)", "rwldav(rl)", "x!"];
+
+/// Seeded operation-sequence generator.
+pub struct OpGen {
+    rng: SmallRng,
+    subject: String,
+}
+
+impl OpGen {
+    /// A generator for `seed`, granting/revoking ACL entries against
+    /// `subject` (the differential session's identity).
+    pub fn new(seed: u64, subject: &str) -> OpGen {
+        OpGen {
+            rng: SmallRng::seed_from_u64(seed),
+            subject: subject.to_string(),
+        }
+    }
+
+    fn pick<'a>(&mut self, pool: &[&'a str]) -> &'a str {
+        pool[self.rng.gen_range(0..pool.len())]
+    }
+
+    /// A path from the combined pool (files, directories, and the
+    /// root), for operations valid on anything.
+    fn any_path(&mut self) -> String {
+        let n = self.rng.gen_range(0..FILES.len() + DIRS.len() + 1);
+        if n < FILES.len() {
+            FILES[n].to_string()
+        } else if n < FILES.len() + DIRS.len() {
+            DIRS[n - FILES.len()].to_string()
+        } else {
+            "/".to_string()
+        }
+    }
+
+    /// A path from files ∪ dirs (never the root — these ops resolve a
+    /// parent, and the namespace root must stay put).
+    fn node_path(&mut self) -> String {
+        let n = self.rng.gen_range(0..FILES.len() + DIRS.len());
+        if n < FILES.len() {
+            FILES[n].to_string()
+        } else {
+            DIRS[n - FILES.len()].to_string()
+        }
+    }
+
+    fn fd(&mut self) -> i32 {
+        self.rng.gen_range(0..5i32)
+    }
+
+    fn one(&mut self) -> Op {
+        match self.rng.gen_range(0u32..100) {
+            // Descriptor traffic dominates, as it does in real
+            // workloads.
+            0..=17 => Op::Open {
+                path: self.node_path(),
+                flags: FLAG_POOL[self.rng.gen_range(0..FLAG_POOL.len())](),
+            },
+            18..=27 => Op::Close { fd: self.fd() },
+            28..=39 => Op::Pread {
+                fd: self.fd(),
+                len: self.rng.gen_range(0u64..192),
+                off: self.rng.gen_range(0u64..256),
+            },
+            40..=53 => {
+                let len = self.rng.gen_range(0usize..48);
+                let byte = self.rng.gen_range(0u8..255);
+                Op::Pwrite {
+                    fd: self.fd(),
+                    data: vec![byte; len],
+                    off: self.rng.gen_range(0u64..200),
+                }
+            }
+            54..=57 => Op::Fstat { fd: self.fd() },
+            // Stat's rights come from the *parent* of the target, so
+            // "/" is excluded: the namespace root's parent lies outside
+            // the modeled tree. (Ops that check rights on the target
+            // itself — getdir, getacl, setacl — do include "/".)
+            58..=63 => Op::Stat {
+                path: self.node_path(),
+            },
+            64..=69 => Op::Unlink {
+                path: self.node_path(),
+            },
+            70..=74 => Op::Rename {
+                from: self.pick(FILES).to_string(),
+                to: self.pick(FILES).to_string(),
+            },
+            75..=80 => Op::Mkdir {
+                path: self.pick(DIRS).to_string(),
+            },
+            81..=84 => Op::Rmdir {
+                path: self.pick(DIRS).to_string(),
+            },
+            85..=88 => Op::Getdir {
+                path: self.any_path(),
+            },
+            89..=90 => Op::Getacl {
+                path: self.any_path(),
+            },
+            91..=93 => {
+                let subject = match self.rng.gen_range(0u32..3) {
+                    0 => self.subject.clone(),
+                    1 => "hostname:*".to_string(),
+                    _ => "unix:alice".to_string(),
+                };
+                Op::Setacl {
+                    path: if self.rng.gen_bool(0.5) {
+                        "/".to_string()
+                    } else {
+                        self.pick(DIRS).to_string()
+                    },
+                    subject,
+                    rights: self.pick(RIGHTS_POOL).to_string(),
+                }
+            }
+            94..=96 => Op::Truncate {
+                path: self.pick(FILES).to_string(),
+                size: self.rng.gen_range(0u64..320),
+            },
+            97 => Op::Whoami,
+            _ => Op::Disconnect,
+        }
+    }
+
+    /// Generate one sequence: 4–24 operations.
+    pub fn sequence(&mut self) -> Vec<Op> {
+        let n = self.rng.gen_range(4usize..24);
+        (0..n).map(|_| self.one()).collect()
+    }
+}
+
+/// The ops for `seed`, as the differential checker replays them.
+pub fn ops_for_seed(seed: u64, subject: &str) -> Vec<Op> {
+    OpGen::new(seed, subject).sequence()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let a = ops_for_seed(42, "hostname:x");
+        let b = ops_for_seed(42, "hostname:x");
+        assert_eq!(a, b);
+        assert!(a.len() >= 4);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut distinct = 0;
+        for seed in 0..20 {
+            if ops_for_seed(seed, "s") != ops_for_seed(seed + 1, "s") {
+                distinct += 1;
+            }
+        }
+        assert!(distinct >= 18, "only {distinct}/20 neighbours differed");
+    }
+
+    #[test]
+    fn pools_cover_every_op_kind() {
+        // Across a modest seed range every variant should appear.
+        let mut seen = [false; 16];
+        for seed in 0..500 {
+            for op in ops_for_seed(seed, "s") {
+                let idx = match op {
+                    Op::Open { .. } => 0,
+                    Op::Close { .. } => 1,
+                    Op::Pread { .. } => 2,
+                    Op::Pwrite { .. } => 3,
+                    Op::Fstat { .. } => 4,
+                    Op::Stat { .. } => 5,
+                    Op::Unlink { .. } => 6,
+                    Op::Rename { .. } => 7,
+                    Op::Mkdir { .. } => 8,
+                    Op::Rmdir { .. } => 9,
+                    Op::Getdir { .. } => 10,
+                    Op::Getacl { .. } => 11,
+                    Op::Setacl { .. } => 12,
+                    Op::Truncate { .. } => 13,
+                    Op::Whoami => 14,
+                    Op::Disconnect => 15,
+                };
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "unreached op kinds: {seen:?}");
+    }
+}

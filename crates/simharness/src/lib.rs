@@ -1,0 +1,40 @@
+//! Deterministic simulation testing for the tactical storage system.
+//!
+//! The paper's thesis is that storage *abstractions* should be
+//! separable from storage *resources*. This crate applies the same
+//! separation to testing: the entire system — file servers, client
+//! connections, striped and mirrored abstractions, retry and breaker
+//! recovery, fault injection — runs in one process on an in-memory
+//! transport ([`chirp_proto::MemNet`]) with a virtual clock, so a
+//! whole multi-server deployment becomes a deterministic function of
+//! a seed.
+//!
+//! Three pieces:
+//!
+//! * [`harness`] — [`SimTss`](harness::SimTss), a builder that stands
+//!   up N real `FileServer`s in-process and wires clients, pools and
+//!   abstractions to the shared memory network and virtual clock.
+//! * [`model`] — [`ModelServer`](model::ModelServer), an executable
+//!   specification of one Chirp server: an in-memory tree with ACL
+//!   inheritance and POSIX-style fd semantics, small enough to audit
+//!   by eye.
+//! * [`gen`] + [`diff`] — a seeded generator of operation sequences
+//!   and a differential checker that replays each sequence against
+//!   the real handler stack and the model, diffing results
+//!   byte-for-byte including error codes, and shrinks any divergence
+//!   to a minimal trace.
+//!
+//! Reproducing a failure is one number: the checker prints the seed,
+//! and `SIM_SEED=<n> cargo test -p simharness` replays it exactly.
+
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod gen;
+pub mod harness;
+pub mod model;
+
+pub use diff::{run_seed, Divergence, OpResult};
+pub use gen::{Op, OpGen};
+pub use harness::{RouteDialer, SimTss};
+pub use model::ModelServer;

@@ -8,16 +8,22 @@
 # a real file server and catalog, drive RPCs, scrape the catalog's
 # metrics query interface, and assert non-zero RPC counters with
 # latency quantiles in both the ClassAd and JSON forms.
+# With --sim, additionally run the deterministic simulation suite in
+# release mode over a fixed seed matrix (override with SIM_SEQS=<n>);
+# a divergence prints the failing seed plus the minimized op trace,
+# reproducible stand-alone with SIM_SEED=<seed>.
 set -eu
 cd "$(dirname "$0")/.."
 
 CHAOS=0
 METRICS=0
+SIM=0
 for arg in "$@"; do
     case "$arg" in
         --chaos) CHAOS=1 ;;
         --metrics) METRICS=1 ;;
-        *) echo "usage: $0 [--chaos] [--metrics]" >&2; exit 2 ;;
+        --sim) SIM=1 ;;
+        *) echo "usage: $0 [--chaos] [--metrics] [--sim]" >&2; exit 2 ;;
     esac
 done
 
@@ -42,6 +48,19 @@ if [ "$METRICS" = "1" ]; then
     cargo test -q -p catalog --test metrics_e2e
     echo "== cargo test -q -p tss-bench --test tss_top  (tss-top render smoke)"
     cargo test -q -p tss-bench --test tss_top
+fi
+
+if [ "$SIM" = "1" ]; then
+    # Fixed seed matrix: seeds 0..SIM_SEQS-1 differentially checked
+    # real-vs-model, plus the chaos-under-simulation and e2e suites.
+    # Release mode — the suite carries a wall-clock budget assertion.
+    SIM_SEQS="${SIM_SEQS:-10000}"
+    echo "== cargo test -q --release -p simharness  (SIM_SEQS=$SIM_SEQS)"
+    if ! SIM_SEQS="$SIM_SEQS" cargo test -q --release -p simharness; then
+        echo "simulation suite FAILED; the log above names the seed -" >&2
+        echo "reproduce with SIM_SEED=<seed> cargo test --release -p simharness" >&2
+        exit 1
+    fi
 fi
 
 echo "== cargo clippy --workspace -- -D warnings"

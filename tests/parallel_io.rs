@@ -58,7 +58,7 @@ fn concurrent_striped_and_mirrored_io_is_coherent() {
             data_pool(&servers),
             4,
             16 * 1024,
-            options,
+            options.clone(),
         )
         .unwrap(),
     );
