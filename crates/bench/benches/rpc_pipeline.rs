@@ -1,0 +1,98 @@
+//! The request-pipelining benchmark: small-op (1 KiB `PREAD` and
+//! `STAT`) throughput on one Chirp stream at pipeline depths 1/2/4/8.
+//! Depth 1 is the classic one-RPC-at-a-time loop the paper's §4
+//! ablation measures; deeper windows amortize the round trip over
+//! `depth` requests, which is the whole point of pipelining (the same
+//! latency term that makes NFS's per-component `LOOKUP` slow in
+//! Fig 4, and the dominant cost of the SP5 init phase in §8).
+//!
+//! Loopback hides the term being attacked — a small RPC completes in
+//! microseconds of syscall time — so the rig models a real network
+//! two ways: the server charges a per-RPC service time (disk seek),
+//! and the client's dialer charges a turnaround latency per
+//! write→read switch (propagation round trip). With `n` requests in
+//! batches of `depth` the client pays `ceil(n / depth)` turnarounds
+//! instead of `n`; the service time stays serial on the server, so
+//! the measured speedup is honestly bounded by the RTT share, not a
+//! free `depth`×.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use chirp_client::Connection;
+use chirp_proto::testutil::TempDir;
+use chirp_proto::transport::Dialer;
+use chirp_proto::OpenFlags;
+use chirp_server::acl::Acl;
+use chirp_server::{FileServer, ServerConfig};
+use tss_bench::{auth, latency_dialer, pipelined_preads, pipelined_stats};
+
+/// Small ops per measured iteration.
+const OPS: usize = 64;
+/// Per-RPC server-side service time (disk-seek stand-in).
+const SERVICE_DELAY: Duration = Duration::from_micros(50);
+/// Client-observed turnaround per round trip (WAN RTT stand-in).
+const TURNAROUND: Duration = Duration::from_micros(300);
+
+struct Rig {
+    _host: TempDir,
+    _server: FileServer,
+    conn: Connection,
+    fd: i32,
+}
+
+fn rig() -> Rig {
+    let host = TempDir::new();
+    let server = FileServer::start(
+        ServerConfig::localhost(host.path(), "bench")
+            .with_root_acl(Acl::single("hostname:*", "rwlda").unwrap())
+            .with_service_delay(SERVICE_DELAY),
+    )
+    .expect("start chirp server");
+    let dialer = latency_dialer(Dialer::tcp(), TURNAROUND);
+    let mut conn =
+        Connection::connect_via(&dialer, &server.endpoint(), Duration::from_secs(10)).unwrap();
+    conn.authenticate(&auth()).unwrap();
+    conn.putfile("/small", 0o644, &vec![5u8; 1024]).unwrap();
+    let fd = conn.open("/small", OpenFlags::READ, 0).unwrap();
+    Rig {
+        _host: host,
+        _server: server,
+        conn,
+        fd,
+    }
+}
+
+fn bench_pread_1k(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rpc_pipeline_pread1k");
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(OPS as u64));
+    for depth in [1usize, 2, 4, 8] {
+        let mut r = rig();
+        g.bench_function(BenchmarkId::new("depth", depth), |b| {
+            b.iter(|| pipelined_preads(&mut r.conn, r.fd, 1024, OPS, depth))
+        });
+    }
+    g.finish();
+}
+
+fn bench_stat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rpc_pipeline_stat");
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(OPS as u64));
+    for depth in [1usize, 2, 4, 8] {
+        let mut r = rig();
+        g.bench_function(BenchmarkId::new("depth", depth), |b| {
+            b.iter(|| pipelined_stats(&mut r.conn, "/small", OPS, depth))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pread_1k, bench_stat);
+criterion_main!(benches);

@@ -242,3 +242,168 @@ mod tests {
         assert!(mean >= 0.0 && dev >= 0.0);
     }
 }
+
+// ---- pipelining fixtures ---------------------------------------------------
+
+/// A [`Dialer`] wrapper charging a fixed turnaround latency every time
+/// a connection switches from writing to reading — one sleep per
+/// client-observed round trip. Loopback TCP completes a small RPC in
+/// microseconds, so without this a pipelining benchmark would measure
+/// syscall overhead; with it, the benchmark measures what request
+/// pipelining actually buys: `ceil(n / depth)` round trips for `n`
+/// requests instead of `n`.
+pub fn latency_dialer(
+    inner: chirp_proto::transport::Dialer,
+    turnaround: Duration,
+) -> chirp_proto::transport::Dialer {
+    chirp_proto::transport::Dialer::from_arc(Arc::new(LatencyDial { inner, turnaround }))
+}
+
+struct LatencyDial {
+    inner: chirp_proto::transport::Dialer,
+    turnaround: Duration,
+}
+
+impl chirp_proto::transport::Dial for LatencyDial {
+    fn dial(
+        &self,
+        endpoint: &str,
+        timeout: Duration,
+    ) -> std::io::Result<Box<dyn chirp_proto::transport::Transport>> {
+        let inner = self.inner.dial(endpoint, timeout)?;
+        Ok(Box::new(LatencyTransport {
+            inner,
+            turnaround: self.turnaround,
+            wrote: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+        }))
+    }
+}
+
+/// See [`latency_dialer`]. The write-then-read flag is shared across
+/// [`Transport::try_clone`] halves so the buffered reader and writer
+/// of one connection observe a single turnaround state.
+#[derive(Debug)]
+struct LatencyTransport {
+    inner: Box<dyn chirp_proto::transport::Transport>,
+    turnaround: Duration,
+    wrote: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl std::io::Read for LatencyTransport {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.wrote.swap(false, std::sync::atomic::Ordering::SeqCst) {
+            std::thread::sleep(self.turnaround);
+        }
+        self.inner.read(buf)
+    }
+}
+
+impl std::io::Write for LatencyTransport {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.wrote.store(true, std::sync::atomic::Ordering::SeqCst);
+        self.inner.write(buf)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl chirp_proto::transport::Transport for LatencyTransport {
+    fn try_clone(&self) -> std::io::Result<Box<dyn chirp_proto::transport::Transport>> {
+        Ok(Box::new(LatencyTransport {
+            inner: self.inner.try_clone()?,
+            turnaround: self.turnaround,
+            wrote: Arc::clone(&self.wrote),
+        }))
+    }
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.inner.set_read_timeout(timeout)
+    }
+    fn read_timeout(&self) -> std::io::Result<Option<Duration>> {
+        self.inner.read_timeout()
+    }
+    fn set_write_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.inner.set_write_timeout(timeout)
+    }
+    fn peer_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.inner.peer_addr()
+    }
+    fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.inner.local_addr()
+    }
+    fn shutdown(&self) -> std::io::Result<()> {
+        self.inner.shutdown()
+    }
+}
+
+/// Issue `count` 1 KiB-class `PREAD`s for `(fd, len)` over one
+/// connection in pipelined batches of `depth` (depth 1 = the classic
+/// one-RPC-at-a-time loop), asserting every reply returns `len` bytes.
+pub fn pipelined_preads(
+    conn: &mut chirp_client::Connection,
+    fd: i32,
+    len: u64,
+    count: usize,
+    depth: usize,
+) {
+    use chirp_proto::{ReplyShape, Request};
+    let mut done = 0usize;
+    while done < count {
+        let batch = depth.min(count - done);
+        conn.pipeline(depth, |pipe| {
+            for _ in 0..batch {
+                pipe.send(
+                    &Request::Pread {
+                        fd,
+                        length: len,
+                        offset: 0,
+                    },
+                    None,
+                    ReplyShape::Body,
+                )?;
+            }
+            pipe.flush()?;
+            for _ in 0..batch {
+                let body = pipe.recv()?.into_body();
+                assert_eq!(body.len() as u64, len);
+            }
+            Ok(())
+        })
+        .expect("pipelined pread batch");
+        done += batch;
+    }
+}
+
+/// Issue `count` `STAT`s for `path` over one connection in pipelined
+/// batches of `depth`, asserting every reply carries stat words.
+pub fn pipelined_stats(
+    conn: &mut chirp_client::Connection,
+    path: &str,
+    count: usize,
+    depth: usize,
+) {
+    use chirp_proto::{ReplyShape, Request};
+    let mut done = 0usize;
+    while done < count {
+        let batch = depth.min(count - done);
+        conn.pipeline(depth, |pipe| {
+            for _ in 0..batch {
+                pipe.send(
+                    &Request::Stat {
+                        path: path.to_string(),
+                    },
+                    None,
+                    ReplyShape::Status,
+                )?;
+            }
+            pipe.flush()?;
+            for _ in 0..batch {
+                let st = pipe.recv()?;
+                assert!(!st.status().words.is_empty());
+            }
+            Ok(())
+        })
+        .expect("pipelined stat batch");
+        done += batch;
+    }
+}

@@ -6,9 +6,14 @@ use std::net::{SocketAddr, ToSocketAddrs};
 use std::time::Duration;
 
 use chirp_proto::escape::unescape;
+use chirp_proto::pipeline::{PipelinedConn, ReplyShape};
 use chirp_proto::transport::{Dialer, Transport};
 use chirp_proto::wire::{self, StatusLine};
 use chirp_proto::{ChirpError, ChirpResult, OpenFlags, Request, StatBuf, StatFs};
+
+/// A pipeline borrowed from a [`Connection`]'s buffered stream halves.
+pub type ConnPipeline<'a> =
+    PipelinedConn<'a, BufReader<Box<dyn Transport>>, BufWriter<Box<dyn Transport>>>;
 
 /// An authentication method the client can offer, in the order given.
 /// The first method the server accepts fixes the session subject.
@@ -198,6 +203,28 @@ impl Connection {
         String::from_utf8(bytes).map_err(|_| ChirpError::InvalidRequest)
     }
 
+    /// Run `f` with a request pipeline of up to `depth` in flight over
+    /// this connection's stream. The pipeline's FIFO reply matching and
+    /// failure classification are documented on
+    /// [`chirp_proto::pipeline`]; if the pipeline dies on a transport
+    /// failure the connection is poisoned exactly as a plain RPC
+    /// failure would poison it.
+    pub fn pipeline<T>(
+        &mut self,
+        depth: usize,
+        f: impl FnOnce(&mut ConnPipeline<'_>) -> ChirpResult<T>,
+    ) -> ChirpResult<T> {
+        self.check_usable()?;
+        let mut pipe = PipelinedConn::new(&mut self.reader, &mut self.writer, depth);
+        let out = f(&mut pipe);
+        let dead = pipe.is_dead() || pipe.in_flight() > 0;
+        if dead {
+            // Unsettled replies would desynchronize the next RPC.
+            self.broken = true;
+        }
+        out
+    }
+
     // ---- authentication -------------------------------------------------
 
     /// Try each method in order; the first success fixes the subject.
@@ -313,6 +340,75 @@ impl Connection {
         Ok(n as usize)
     }
 
+    /// Several positional reads settled in one exchange: the requests
+    /// are pipelined on this stream and every reply is read in order,
+    /// so `ranges.len()` reads cost one round trip instead of one
+    /// each. Returns the bytes of each range in request order (short
+    /// only at end of file). The first protocol error settles the
+    /// whole call; reads are idempotent, so a retry layer simply
+    /// reissues everything.
+    pub fn pread_multi(&mut self, fd: i32, ranges: &[(u64, u64)]) -> ChirpResult<Vec<Vec<u8>>> {
+        if ranges.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.pipeline(ranges.len(), |pipe| {
+            for &(offset, length) in ranges {
+                pipe.send(
+                    &Request::Pread { fd, length, offset },
+                    None,
+                    ReplyShape::Body,
+                )?;
+            }
+            let mut out = Vec::with_capacity(ranges.len());
+            let mut first_err = None;
+            for verdict in pipe.settle_all() {
+                match verdict {
+                    Ok(reply) => out.push(reply.into_body()),
+                    Err(e) if first_err.is_none() => first_err = Some(e),
+                    Err(_) => {}
+                }
+            }
+            match first_err {
+                None => Ok(out),
+                Some(e) => Err(e),
+            }
+        })
+        .and_then(|out| {
+            // The server must never answer more than was asked for.
+            for (body, &(_, length)) in out.iter().zip(ranges) {
+                if body.len() as u64 > length {
+                    self.broken = true;
+                    return Err(ChirpError::InvalidRequest);
+                }
+            }
+            Ok(out)
+        })
+    }
+
+    /// Issue a `PREAD` without waiting for its reply — the deferred
+    /// half of the pipelined readahead path: the server services the
+    /// read while the caller is busy elsewhere, and the reply waits in
+    /// the stream. Exactly one reply is then owed on this connection;
+    /// the caller MUST settle it with [`Connection::recv_pread`]
+    /// before issuing any other RPC, or the next status line would
+    /// answer the wrong request.
+    pub fn send_pread(&mut self, fd: i32, length: u64, offset: u64) -> ChirpResult<()> {
+        self.send(&Request::Pread { fd, length, offset })
+    }
+
+    /// Settle a read issued with [`Connection::send_pread`]: read its
+    /// status line and body. `max` is the length that was asked for; a
+    /// longer answer is a framing violation and poisons the connection.
+    pub fn recv_pread(&mut self, max: u64) -> ChirpResult<Vec<u8>> {
+        let st = self.recv_status()?;
+        let n = st.value as u64;
+        if n > max {
+            self.broken = true;
+            return Err(ChirpError::InvalidRequest);
+        }
+        self.read_body(n)
+    }
+
     /// Positional write of the whole buffer at `offset`.
     pub fn pwrite(&mut self, fd: i32, data: &[u8], offset: u64) -> ChirpResult<u64> {
         self.check_usable()?;
@@ -420,6 +516,23 @@ impl Connection {
             path: path.to_string(),
         })?;
         let body = self.read_body(st.value as u64)?;
+        Self::decode_dirstat_body(body)
+    }
+
+    /// The batched directory listing of the pipelined data path:
+    /// every entry comes back *with* its attributes in one exchange,
+    /// so a listing never costs a `STAT` round trip per entry
+    /// (the NFS `LOOKUP`-per-component latency shape).
+    pub fn getdir_stat(&mut self, path: &str) -> ChirpResult<Vec<(String, StatBuf)>> {
+        let st = self.rpc(&Request::GetdirStat {
+            path: path.to_string(),
+        })?;
+        let body = self.read_body(st.value as u64)?;
+        Self::decode_dirstat_body(body)
+    }
+
+    /// Decode a `name statwords` per-line listing body.
+    fn decode_dirstat_body(body: Vec<u8>) -> ChirpResult<Vec<(String, StatBuf)>> {
         let text = String::from_utf8(body).map_err(|_| ChirpError::InvalidRequest)?;
         text.split('\n')
             .filter(|s| !s.is_empty())
@@ -433,6 +546,36 @@ impl Connection {
                 Ok((name, StatBuf::from_words(&rest)?))
             })
             .collect()
+    }
+
+    /// `stat` a batch of paths in one exchange. The reply carries one
+    /// verdict per path, in order: a missing or forbidden path yields
+    /// its own error without failing the batch — the recursive-stub
+    /// hot path resolves a whole directory of stubs in one round trip.
+    pub fn stat_multi(&mut self, paths: &[String]) -> ChirpResult<Vec<ChirpResult<StatBuf>>> {
+        if paths.is_empty() {
+            return Ok(Vec::new());
+        }
+        let st = self.rpc(&Request::StatMulti {
+            paths: paths.to_vec(),
+        })?;
+        let body = self.read_body(st.value as u64)?;
+        let text = String::from_utf8(body).map_err(|_| ChirpError::InvalidRequest)?;
+        let verdicts: Vec<ChirpResult<StatBuf>> = text
+            .split('\n')
+            .filter(|s| !s.is_empty())
+            .map(|line| {
+                let st = wire::parse_status(line)?;
+                let words: Vec<&str> = st.words.iter().map(String::as_str).collect();
+                StatBuf::from_words(&words)
+            })
+            .collect();
+        if verdicts.len() != paths.len() {
+            // The batch must be total: one verdict per path.
+            self.broken = true;
+            return Err(ChirpError::InvalidRequest);
+        }
+        Ok(verdicts)
     }
 
     /// Stream an entire file into `out`; returns the byte count.
@@ -486,6 +629,161 @@ impl Connection {
     /// Store an in-memory buffer as a file.
     pub fn putfile(&mut self, path: &str, mode: u32, data: &[u8]) -> ChirpResult<()> {
         self.putfile_from(path, mode, data.len() as u64, &mut &data[..])
+    }
+
+    /// Stream a whole file into `out` as pipelined `PREAD` chunks:
+    /// up to `depth` chunk requests ride the stream at once, so the
+    /// per-chunk round trip overlaps the previous chunk's transfer.
+    /// Unlike `GETFILE`'s single monolithic body, a transport failure
+    /// mid-stream leaves a well-defined prefix in `out` and a
+    /// retriable error. Returns the byte count.
+    pub fn getfile_pipelined<W: Write>(
+        &mut self,
+        path: &str,
+        out: &mut W,
+        chunk: usize,
+        depth: usize,
+    ) -> ChirpResult<u64> {
+        let chunk = (chunk.max(1)) as u64;
+        let fd = self.open(path, OpenFlags::READ, 0)?;
+        let total = self.pipeline(depth.max(1), |pipe| {
+            let mut next_off = 0u64;
+            let mut total = 0u64;
+            let mut eof = false;
+            let mut verdict: ChirpResult<()> = Ok(());
+            // Keep the window full until a short read marks the end,
+            // then settle what is still in flight (the speculative
+            // tail reads simply come back empty).
+            while !(eof && pipe.in_flight() == 0) && verdict.is_ok() {
+                while !eof && pipe.has_room() {
+                    let req = Request::Pread {
+                        fd,
+                        length: chunk,
+                        offset: next_off,
+                    };
+                    if let Err(e) = pipe.send(&req, None, ReplyShape::Body) {
+                        verdict = Err(e);
+                        eof = true;
+                        break;
+                    }
+                    next_off += chunk;
+                    if pipe.in_flight() == pipe.depth() {
+                        break;
+                    }
+                }
+                if verdict.is_err() || pipe.in_flight() == 0 {
+                    break;
+                }
+                match pipe.recv() {
+                    Ok(reply) => {
+                        let body = reply.into_body();
+                        if body.len() as u64 > chunk {
+                            verdict = Err(ChirpError::InvalidRequest);
+                            break;
+                        }
+                        if !body.is_empty() {
+                            if let Err(e) = out.write_all(&body) {
+                                // The sink failed, not the stream; the
+                                // remaining replies still need to be
+                                // drained to keep the connection framed.
+                                verdict = Err(ChirpError::from_io(&e));
+                                eof = true;
+                                continue;
+                            }
+                            total += body.len() as u64;
+                        }
+                        if (body.len() as u64) < chunk {
+                            eof = true;
+                        }
+                    }
+                    Err(e) => {
+                        verdict = Err(e);
+                        // A settled protocol error keeps the stream
+                        // framed; drain the speculative tail.
+                        if !pipe.is_dead() {
+                            for _ in pipe.settle_all() {}
+                        }
+                    }
+                }
+            }
+            verdict.map(|()| total)
+        });
+        let closed = self.close(fd);
+        total.and_then(|n| closed.map(|()| n))
+    }
+
+    /// Fetch a whole file into memory over pipelined chunk reads.
+    pub fn getfile_pipelined_vec(
+        &mut self,
+        path: &str,
+        chunk: usize,
+        depth: usize,
+    ) -> ChirpResult<Vec<u8>> {
+        let mut out = Vec::new();
+        self.getfile_pipelined(path, &mut out, chunk, depth)?;
+        Ok(out)
+    }
+
+    /// Stream `length` bytes from `source` into a new file at `path`
+    /// as pipelined `PWRITE` chunks, overlapping each chunk's round
+    /// trip with the next chunk's transfer. Every chunk's verdict is
+    /// checked; positional writes are idempotent, so a retry layer
+    /// may replay the whole file after a transport failure.
+    pub fn putfile_pipelined<R: Read>(
+        &mut self,
+        path: &str,
+        mode: u32,
+        length: u64,
+        source: &mut R,
+        chunk: usize,
+        depth: usize,
+    ) -> ChirpResult<()> {
+        let chunk = chunk.max(1);
+        let fd = self.open(
+            path,
+            OpenFlags::WRITE | OpenFlags::CREATE | OpenFlags::TRUNCATE,
+            mode,
+        )?;
+        let wrote = self.pipeline(depth.max(1), |pipe| {
+            let mut buf = vec![0u8; chunk];
+            let mut sent = 0u64;
+            let mut verdict: ChirpResult<()> = Ok(());
+            while verdict.is_ok() && (sent < length || pipe.in_flight() > 0) {
+                while sent < length && pipe.has_room() && verdict.is_ok() {
+                    let want = buf.len().min((length - sent) as usize);
+                    if let Err(e) = source.read_exact(&mut buf[..want]) {
+                        verdict = Err(ChirpError::from_io(&e));
+                        break;
+                    }
+                    let req = Request::Pwrite {
+                        fd,
+                        length: want as u64,
+                        offset: sent,
+                    };
+                    verdict = pipe.send(&req, Some(&buf[..want]), ReplyShape::Status);
+                    sent += want as u64;
+                }
+                if pipe.in_flight() == 0 {
+                    break;
+                }
+                match pipe.recv() {
+                    Ok(_) => {}
+                    Err(e) => {
+                        if verdict.is_ok() {
+                            verdict = Err(e);
+                        }
+                        if !pipe.is_dead() {
+                            for _ in pipe.settle_all() {}
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+            verdict
+        });
+        let closed = self.close(fd);
+        wrote.and(closed)
     }
 
     /// Fetch a directory's ACL as text.

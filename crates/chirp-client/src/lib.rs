@@ -23,6 +23,6 @@
 
 pub mod conn;
 
-pub use conn::{AuthMethod, Connection};
+pub use conn::{AuthMethod, ConnPipeline, Connection};
 
 pub use chirp_proto::{ChirpError, ChirpResult, OpenFlags, StatBuf, StatFs};

@@ -122,6 +122,20 @@ pub enum Request {
         /// Server path.
         path: String,
     },
+    /// List a directory with attributes in one exchange, the batched
+    /// form used by the pipelined data path: one `name statwords` line
+    /// per entry, so a listing costs exactly one round trip.
+    GetdirStat {
+        /// Server path.
+        path: String,
+    },
+    /// `stat` a batch of paths in one exchange; the reply carries one
+    /// line per path (stat words or a per-path error code), so one
+    /// missing path never fails the batch.
+    StatMulti {
+        /// Server paths, in reply order.
+        paths: Vec<String>,
+    },
     /// Stream an entire file to the client.
     Getfile {
         /// Server path.
@@ -208,6 +222,8 @@ pub const OP_NAMES: &[&str] = &[
     "rmdir",
     "getdir",
     "getlongdir",
+    "getdirstat",
+    "statmulti",
     "getfile",
     "putfile",
     "getacl",
@@ -241,6 +257,8 @@ impl Request {
             Request::Rmdir { .. } => "rmdir",
             Request::Getdir { .. } => "getdir",
             Request::Getlongdir { .. } => "getlongdir",
+            Request::GetdirStat { .. } => "getdirstat",
+            Request::StatMulti { .. } => "statmulti",
             Request::Getfile { .. } => "getfile",
             Request::Putfile { .. } => "putfile",
             Request::Getacl { .. } => "getacl",
@@ -306,6 +324,16 @@ impl Request {
             Request::Rmdir { path } => format!("RMDIR {}\n", e(path)),
             Request::Getdir { path } => format!("GETDIR {}\n", e(path)),
             Request::Getlongdir { path } => format!("GETLONGDIR {}\n", e(path)),
+            Request::GetdirStat { path } => format!("GETDIRSTAT {}\n", e(path)),
+            Request::StatMulti { paths } => {
+                let mut line = String::from("STATMULTI");
+                for p in paths {
+                    line.push(' ');
+                    line.push_str(&e(p));
+                }
+                line.push('\n');
+                line
+            }
             Request::Getfile { path } => format!("GETFILE {}\n", e(path)),
             Request::Putfile { path, mode, length } => {
                 format!("PUTFILE {} {} {}\n", e(path), mode, length)
@@ -445,6 +473,21 @@ impl Request {
                 arity(1)?;
                 Request::Getlongdir { path: text(0)? }
             }
+            "GETDIRSTAT" => {
+                arity(1)?;
+                Request::GetdirStat { path: text(0)? }
+            }
+            "STATMULTI" => {
+                // Variable arity: one escaped path per word, at least
+                // one (an empty batch has no meaningful reply framing).
+                if args.is_empty() {
+                    return Err(ChirpError::InvalidRequest);
+                }
+                let paths = (0..args.len())
+                    .map(text)
+                    .collect::<Result<Vec<String>, ChirpError>>()?;
+                Request::StatMulti { paths }
+            }
             "GETFILE" => {
                 arity(1)?;
                 Request::Getfile { path: text(0)? }
@@ -565,6 +608,12 @@ mod tests {
         round_trip(Request::Getlongdir {
             path: "/data".into(),
         });
+        round_trip(Request::GetdirStat {
+            path: "/data".into(),
+        });
+        round_trip(Request::StatMulti {
+            paths: vec!["/a".into(), "/dir with space/b".into(), "/c".into()],
+        });
         round_trip(Request::Getfile {
             path: "/big.dat".into(),
         });
@@ -648,6 +697,8 @@ mod tests {
         assert!(Request::parse("OPEN /x notanumber 0").is_err());
         assert!(Request::parse("CLOSE").is_err());
         assert!(Request::parse("WHOAMI extra").is_err());
+        // A STATMULTI with no paths has no reply framing; reject it.
+        assert!(Request::parse("STATMULTI").is_err());
     }
 
     #[test]
@@ -664,6 +715,10 @@ mod tests {
             Request::Statfs,
             Request::Close { fd: 1 },
             Request::Stat { path: "/x".into() },
+            Request::GetdirStat { path: "/x".into() },
+            Request::StatMulti {
+                paths: vec!["/x".into()],
+            },
             Request::Putfile {
                 path: "/x".into(),
                 mode: 0o644,

@@ -1,0 +1,413 @@
+//! Request pipelining over one Chirp stream.
+//!
+//! Chirp replies carry no tags: the stream is strictly FIFO, so the
+//! n-th reply always answers the n-th request. That means a client may
+//! overlap round trips — write several requests, flush once, read the
+//! replies in order — without any change to the server's one-RPC-at-a-
+//! time semantics per message. [`PipelinedConn`] is that discipline as
+//! a type: a bounded window of in-flight requests, each queued with the
+//! [`ReplyShape`] its answer is framed with, settled strictly in order.
+//!
+//! # Failure semantics
+//!
+//! Error classification over a pipeline is *total*: every queued
+//! request gets exactly one verdict.
+//!
+//! - A well-formed negative status line is a **settled** protocol
+//!   verdict for the oldest in-flight request (error replies carry no
+//!   body, so the stream stays framed and the pipeline continues).
+//! - A transport failure — EOF, timeout, a garbled status line — means
+//!   the framing is lost, so no later line can be attributed to any
+//!   request. The failing request settles with the transport error and
+//!   every request queued behind it settles as
+//!   [`ChirpError::Disconnected`]: never answered, safe to retry on a
+//!   fresh connection. Replies read *before* the failure remain
+//!   settled; a retry layer must not replay them.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, Write};
+
+use crate::error::{ChirpError, ChirpResult};
+use crate::message::Request;
+use crate::wire::{self, StatusLine};
+
+/// Default number of requests a pipelined client keeps in flight.
+pub const DEFAULT_PIPELINE_DEPTH: usize = 8;
+
+/// How a queued request's reply is framed on the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplyShape {
+    /// A status line only; the value and result words are the answer
+    /// (`OPEN`, `CLOSE`, `PWRITE`, `STAT`, ...).
+    Status,
+    /// A status line whose non-negative value names the length of a
+    /// raw payload that follows (`PREAD`, `GETDIR`, `GETDIRSTAT`,
+    /// `STATMULTI`, ...).
+    Body,
+}
+
+/// One settled successful reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// The decoded status line of a [`ReplyShape::Status`] request.
+    Status(StatusLine),
+    /// The status line and payload of a [`ReplyShape::Body`] request.
+    Body(StatusLine, Vec<u8>),
+}
+
+impl Reply {
+    /// The status line of either shape.
+    pub fn status(&self) -> &StatusLine {
+        match self {
+            Reply::Status(st) | Reply::Body(st, _) => st,
+        }
+    }
+
+    /// The payload, for [`Reply::Body`]; empty for a bare status.
+    pub fn into_body(self) -> Vec<u8> {
+        match self {
+            Reply::Status(_) => Vec::new(),
+            Reply::Body(_, body) => body,
+        }
+    }
+}
+
+/// A bounded FIFO window of in-flight requests over one stream.
+///
+/// Borrows the buffered halves of an existing connection; dropping the
+/// pipeline returns the stream, which stays usable exactly when
+/// [`PipelinedConn::is_dead`] is false and nothing is left in flight.
+pub struct PipelinedConn<'a, R: BufRead, W: Write> {
+    reader: &'a mut R,
+    writer: &'a mut W,
+    depth: usize,
+    /// Reply shapes of requests written but not yet settled, FIFO.
+    queue: VecDeque<ReplyShape>,
+    /// First transport failure seen; fails everything after it fast.
+    dead: Option<ChirpError>,
+    /// Requests written since the last flush.
+    unflushed: bool,
+}
+
+impl<'a, R: BufRead, W: Write> PipelinedConn<'a, R, W> {
+    /// A pipeline of at most `depth` (clamped to at least 1) in-flight
+    /// requests over `reader`/`writer`.
+    pub fn new(reader: &'a mut R, writer: &'a mut W, depth: usize) -> PipelinedConn<'a, R, W> {
+        PipelinedConn {
+            reader,
+            writer,
+            depth: depth.max(1),
+            queue: VecDeque::new(),
+            dead: None,
+            unflushed: false,
+        }
+    }
+
+    /// The window size.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Requests written but not yet settled.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True while another request fits in the window.
+    pub fn has_room(&self) -> bool {
+        self.queue.len() < self.depth
+    }
+
+    /// True once a transport failure has poisoned the stream.
+    pub fn is_dead(&self) -> bool {
+        self.dead.is_some()
+    }
+
+    fn fail(&mut self, e: ChirpError) -> ChirpError {
+        if self.dead.is_none() {
+            self.dead = Some(e);
+        }
+        e
+    }
+
+    /// Queue one request (and its raw payload, which must match
+    /// [`Request::payload_len`]). The caller must leave room:
+    /// settle with [`PipelinedConn::recv`] until [`has_room`] before
+    /// sending into a full window; a full-window send is a usage error
+    /// reported as `InvalidRequest`, not a wire event.
+    ///
+    /// [`has_room`]: PipelinedConn::has_room
+    pub fn send(
+        &mut self,
+        req: &Request,
+        payload: Option<&[u8]>,
+        shape: ReplyShape,
+    ) -> ChirpResult<()> {
+        if let Some(e) = self.dead {
+            return Err(e);
+        }
+        if !self.has_room() {
+            return Err(ChirpError::InvalidRequest);
+        }
+        debug_assert_eq!(
+            payload.map_or(0, |p| p.len() as u64),
+            req.payload_len(),
+            "payload must match the length named on the request line"
+        );
+        let line = req.encode();
+        let res = self
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|_| payload.map_or(Ok(()), |p| self.writer.write_all(p)));
+        if let Err(e) = res {
+            // A partial write loses framing: nothing sent after this
+            // point can be attributed, so the stream is dead.
+            return Err(self.fail(ChirpError::from_io(&e)));
+        }
+        self.unflushed = true;
+        self.queue.push_back(shape);
+        Ok(())
+    }
+
+    /// Push all queued request bytes to the wire.
+    pub fn flush(&mut self) -> ChirpResult<()> {
+        if let Some(e) = self.dead {
+            return Err(e);
+        }
+        if !self.unflushed {
+            return Ok(());
+        }
+        match self.writer.flush() {
+            Ok(()) => {
+                self.unflushed = false;
+                Ok(())
+            }
+            Err(e) => Err(self.fail(ChirpError::from_io(&e))),
+        }
+    }
+
+    /// Settle the oldest in-flight request (flushing first if needed).
+    ///
+    /// `Ok` is its reply; `Err` is either its settled protocol verdict
+    /// (pipeline still live) or a transport failure (pipeline dead;
+    /// every later `recv` answers `Disconnected`). Calling with nothing
+    /// in flight is a usage error reported as `InvalidRequest`.
+    pub fn recv(&mut self) -> ChirpResult<Reply> {
+        let shape = match self.queue.pop_front() {
+            Some(s) => s,
+            None => return Err(ChirpError::InvalidRequest),
+        };
+        if self.dead.is_some() {
+            // Queued behind a transport failure: never answered, so
+            // retriable — never a verdict borrowed from a later line.
+            return Err(ChirpError::Disconnected);
+        }
+        if self.unflushed {
+            self.flush()?;
+        }
+        let st = match wire::read_status(self.reader) {
+            Ok(st) => st,
+            Err(e) => {
+                if e.is_retryable() || e == ChirpError::Disconnected {
+                    // EOF, timeout, or a garbled line: framing lost.
+                    // (`Busy` rides along: the server answers it while
+                    // closing the stream, matching the unpipelined
+                    // client's poisoning rule.)
+                    return Err(self.fail(e));
+                }
+                // A well-formed negative status: a settled verdict.
+                // Error replies carry no body, so the stream is still
+                // framed and the pipeline continues.
+                return Err(e);
+            }
+        };
+        match shape {
+            ReplyShape::Status => Ok(Reply::Status(st)),
+            ReplyShape::Body => match wire::read_payload(self.reader, st.value as u64) {
+                Ok(body) => Ok(Reply::Body(st, body)),
+                Err(e) => {
+                    // The body is unread (oversized) or half-read:
+                    // either way the framing is lost.
+                    self.fail(ChirpError::Disconnected);
+                    Err(e)
+                }
+            },
+        }
+    }
+
+    /// Settle everything still in flight, in order. Total: one verdict
+    /// per outstanding request, settled replies and protocol errors
+    /// as-is, everything behind a transport failure as `Disconnected`.
+    pub fn settle_all(&mut self) -> Vec<ChirpResult<Reply>> {
+        let mut out = Vec::with_capacity(self.queue.len());
+        while !self.queue.is_empty() {
+            out.push(self.recv());
+        }
+        out
+    }
+}
+
+impl<R: BufRead, W: Write> std::fmt::Debug for PipelinedConn<'_, R, W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelinedConn")
+            .field("depth", &self.depth)
+            .field("in_flight", &self.queue.len())
+            .field("dead", &self.dead)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn pread(fd: i32, length: u64, offset: u64) -> Request {
+        Request::Pread { fd, length, offset }
+    }
+
+    #[test]
+    fn replies_settle_in_request_order() {
+        // Replies for: CLOSE ok, PREAD 3 bytes, STAT not found.
+        let mut replies = Vec::new();
+        wire::write_status(&mut replies, 0).unwrap();
+        wire::write_status(&mut replies, 3).unwrap();
+        replies.extend_from_slice(b"abc");
+        wire::write_error(&mut replies, ChirpError::NotFound).unwrap();
+        let mut reader = BufReader::new(&replies[..]);
+        let mut writer = Vec::new();
+        let mut pipe = PipelinedConn::new(&mut reader, &mut writer, 4);
+        pipe.send(&Request::Close { fd: 1 }, None, ReplyShape::Status)
+            .unwrap();
+        pipe.send(&pread(1, 3, 0), None, ReplyShape::Body).unwrap();
+        pipe.send(
+            &Request::Stat { path: "/x".into() },
+            None,
+            ReplyShape::Status,
+        )
+        .unwrap();
+        assert_eq!(pipe.in_flight(), 3);
+        assert_eq!(
+            pipe.recv().unwrap(),
+            Reply::Status(StatusLine {
+                value: 0,
+                words: vec![]
+            })
+        );
+        assert_eq!(
+            pipe.recv().unwrap(),
+            Reply::Body(
+                StatusLine {
+                    value: 3,
+                    words: vec![]
+                },
+                b"abc".to_vec()
+            )
+        );
+        // A settled protocol error does not kill the pipe.
+        assert_eq!(pipe.recv().unwrap_err(), ChirpError::NotFound);
+        assert!(!pipe.is_dead());
+        assert_eq!(pipe.in_flight(), 0);
+        // All three requests hit the wire in order.
+        let sent = String::from_utf8(writer).unwrap();
+        assert_eq!(sent, "CLOSE 1\nPREAD 1 3 0\nSTAT /x\n");
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let empty = b"";
+        let mut reader = BufReader::new(&empty[..]);
+        let mut writer = Vec::new();
+        let mut pipe = PipelinedConn::new(&mut reader, &mut writer, 2);
+        pipe.send(&Request::Whoami, None, ReplyShape::Status)
+            .unwrap();
+        pipe.send(&Request::Whoami, None, ReplyShape::Status)
+            .unwrap();
+        assert!(!pipe.has_room());
+        assert_eq!(
+            pipe.send(&Request::Whoami, None, ReplyShape::Status)
+                .unwrap_err(),
+            ChirpError::InvalidRequest
+        );
+    }
+
+    #[test]
+    fn transport_failure_settles_everything_behind_it() {
+        // One good reply, then the stream dies mid-pipeline.
+        let mut replies = Vec::new();
+        wire::write_status(&mut replies, 7).unwrap();
+        let mut reader = BufReader::new(&replies[..]);
+        let mut writer = Vec::new();
+        let mut pipe = PipelinedConn::new(&mut reader, &mut writer, 4);
+        for _ in 0..3 {
+            pipe.send(&Request::Whoami, None, ReplyShape::Status)
+                .unwrap();
+        }
+        let verdicts = pipe.settle_all();
+        assert_eq!(verdicts.len(), 3);
+        assert_eq!(verdicts[0].as_ref().unwrap().status().value, 7);
+        // EOF for the second; the third was queued behind it.
+        assert_eq!(*verdicts[1].as_ref().unwrap_err(), ChirpError::Disconnected);
+        assert_eq!(*verdicts[2].as_ref().unwrap_err(), ChirpError::Disconnected);
+        assert!(pipe.is_dead());
+        // A dead pipe refuses new work with the original failure.
+        assert_eq!(
+            pipe.send(&Request::Whoami, None, ReplyShape::Status)
+                .unwrap_err(),
+            ChirpError::Disconnected
+        );
+    }
+
+    #[test]
+    fn garbled_status_line_is_never_a_later_verdict() {
+        // Reply 1 ok; reply 2 garbled; a well-formed "-2" follows that
+        // must NOT be taken as request 3's verdict.
+        let mut replies = Vec::new();
+        wire::write_status(&mut replies, 0).unwrap();
+        replies.extend_from_slice(b"\xff\xfe garbage\n");
+        wire::write_error(&mut replies, ChirpError::NotFound).unwrap();
+        let mut reader = BufReader::new(&replies[..]);
+        let mut writer = Vec::new();
+        let mut pipe = PipelinedConn::new(&mut reader, &mut writer, 4);
+        for _ in 0..3 {
+            pipe.send(&Request::Whoami, None, ReplyShape::Status)
+                .unwrap();
+        }
+        assert!(pipe.recv().is_ok());
+        assert_eq!(pipe.recv().unwrap_err(), ChirpError::Disconnected);
+        assert_eq!(pipe.recv().unwrap_err(), ChirpError::Disconnected);
+        assert!(pipe.is_dead());
+    }
+
+    #[test]
+    fn payloads_ride_between_request_lines() {
+        let empty = b"";
+        let mut reader = BufReader::new(&empty[..]);
+        let mut writer = Vec::new();
+        let mut pipe = PipelinedConn::new(&mut reader, &mut writer, 4);
+        pipe.send(
+            &Request::Pwrite {
+                fd: 2,
+                length: 4,
+                offset: 8,
+            },
+            Some(b"data"),
+            ReplyShape::Status,
+        )
+        .unwrap();
+        pipe.send(&Request::Fsync { fd: 2 }, None, ReplyShape::Status)
+            .unwrap();
+        pipe.flush().unwrap();
+        assert_eq!(&writer[..], b"PWRITE 2 4 8\ndataFSYNC 2\n");
+    }
+
+    #[test]
+    fn recv_with_nothing_in_flight_is_a_usage_error() {
+        let empty = b"";
+        let mut reader = BufReader::new(&empty[..]);
+        let mut writer = Vec::new();
+        let mut pipe = PipelinedConn::new(&mut reader, &mut writer, 1);
+        assert_eq!(pipe.recv().unwrap_err(), ChirpError::InvalidRequest);
+        assert!(!pipe.is_dead());
+    }
+}

@@ -1,0 +1,323 @@
+//! Property corpus for the pipelined data path.
+//!
+//! `frame_roundtrip.rs` pins single frames; this suite pins *queues* of
+//! them: arbitrary mixes of requests — with and without raw payloads,
+//! naming framing-hostile paths — written through [`PipelinedConn`]
+//! must decode server-side to exactly the op sequence that was queued,
+//! and replies must settle strictly in send order no matter how sends
+//! and receives interleave within the window. The failure half of the
+//! contract is a property too: a garbled status line anywhere in the
+//! reply stream settles the request it answers as a transport loss and
+//! everything queued behind it as [`ChirpError::Disconnected`] — a
+//! well-formed line *after* the garble must never surface as a later
+//! request's verdict.
+
+use std::io::BufReader;
+
+use proptest::prelude::*;
+
+use chirp_proto::wire::{self, read_line, read_payload, StatusLine};
+use chirp_proto::{ChirpError, OpenFlags, PipelinedConn, Reply, ReplyShape, Request};
+
+/// The bytes that break naive line protocols, drawn with the same
+/// weight as the whole rest of the byte space combined.
+const HOSTILE: &[u8] = &[b'\n', b'\r', b' ', b'%', b'\t', 0x00, 0x7f, 0xff];
+
+fn hostile_byte() -> impl Strategy<Value = u8> {
+    prop_oneof![
+        (0usize..HOSTILE.len()).prop_map(|i| HOSTILE[i]),
+        any::<u8>(),
+    ]
+}
+
+fn hostile_path() -> impl Strategy<Value = String> {
+    proptest::collection::vec(hostile_byte(), 1..32)
+        .prop_map(|bs| bs.into_iter().map(|b| b as char).collect())
+}
+
+/// One queued request: what goes on the wire and how its reply is
+/// framed.
+#[derive(Debug, Clone)]
+enum Queued {
+    Open(String),
+    Stat(String),
+    Pread { fd: i32, len: u64, off: u64 },
+    Pwrite { fd: i32, data: Vec<u8>, off: u64 },
+    Putfile { path: String, data: Vec<u8> },
+    GetdirStat(String),
+    StatMulti(Vec<String>),
+}
+
+impl Queued {
+    fn request(&self) -> Request {
+        match self {
+            Queued::Open(path) => Request::Open {
+                path: path.clone(),
+                flags: OpenFlags::read_write() | OpenFlags::CREATE,
+                mode: 0o644,
+            },
+            Queued::Stat(path) => Request::Stat { path: path.clone() },
+            Queued::Pread { fd, len, off } => Request::Pread {
+                fd: *fd,
+                length: *len,
+                offset: *off,
+            },
+            Queued::Pwrite { fd, data, off } => Request::Pwrite {
+                fd: *fd,
+                length: data.len() as u64,
+                offset: *off,
+            },
+            Queued::Putfile { path, data } => Request::Putfile {
+                path: path.clone(),
+                mode: 0o644,
+                length: data.len() as u64,
+            },
+            Queued::GetdirStat(path) => Request::GetdirStat { path: path.clone() },
+            Queued::StatMulti(paths) => Request::StatMulti {
+                paths: paths.clone(),
+            },
+        }
+    }
+
+    fn payload(&self) -> Option<&[u8]> {
+        match self {
+            Queued::Pwrite { data, .. } | Queued::Putfile { data, .. } => Some(data),
+            _ => None,
+        }
+    }
+
+    fn shape(&self) -> ReplyShape {
+        match self {
+            Queued::Pread { .. } | Queued::GetdirStat(_) | Queued::StatMulti(_) => ReplyShape::Body,
+            _ => ReplyShape::Status,
+        }
+    }
+}
+
+fn queued() -> impl Strategy<Value = Queued> {
+    prop_oneof![
+        hostile_path().prop_map(Queued::Open),
+        hostile_path().prop_map(Queued::Stat),
+        (0i32..8, 0u64..256, 0u64..256).prop_map(|(fd, len, off)| Queued::Pread { fd, len, off }),
+        (
+            0i32..8,
+            proptest::collection::vec(any::<u8>(), 0..128),
+            0u64..256
+        )
+            .prop_map(|(fd, data, off)| Queued::Pwrite { fd, data, off }),
+        (
+            hostile_path(),
+            proptest::collection::vec(any::<u8>(), 0..128)
+        )
+            .prop_map(|(path, data)| Queued::Putfile { path, data }),
+        hostile_path().prop_map(Queued::GetdirStat),
+        proptest::collection::vec(hostile_path(), 1..4).prop_map(Queued::StatMulti),
+    ]
+}
+
+/// A reply the "server" side stages for one queued request, and the
+/// verdict the client must settle for it.
+#[derive(Debug, Clone)]
+enum Staged {
+    /// A non-negative status (with a body for [`ReplyShape::Body`]).
+    Ok(Vec<u8>),
+    /// A well-formed negative status: a settled protocol verdict that
+    /// keeps the pipeline alive.
+    ProtocolErr(ChirpError),
+}
+
+fn staged() -> impl Strategy<Value = Staged> {
+    prop_oneof![
+        proptest::collection::vec(hostile_byte(), 0..64).prop_map(Staged::Ok),
+        (0usize..4).prop_map(|i| Staged::ProtocolErr(
+            [
+                ChirpError::NotFound,
+                ChirpError::NotAuthorized,
+                ChirpError::BadFd,
+                ChirpError::IsADirectory,
+            ][i]
+        )),
+    ]
+}
+
+/// Encode `staged` replies for `specs` into one reply stream and the
+/// verdict list the client must observe, in order.
+fn stage_replies(specs: &[Queued], staged: &[Staged]) -> (Vec<u8>, Vec<Result<Reply, ChirpError>>) {
+    let mut stream = Vec::new();
+    let mut expected = Vec::new();
+    for (spec, st) in specs.iter().zip(staged) {
+        match st {
+            Staged::ProtocolErr(e) => {
+                wire::write_error(&mut stream, *e).unwrap();
+                expected.push(Err(*e));
+            }
+            Staged::Ok(body) => match spec.shape() {
+                ReplyShape::Status => {
+                    let value = body.len() as i64;
+                    wire::write_status(&mut stream, value).unwrap();
+                    expected.push(Ok(Reply::Status(StatusLine {
+                        value,
+                        words: vec![],
+                    })));
+                }
+                ReplyShape::Body => {
+                    wire::write_status(&mut stream, body.len() as i64).unwrap();
+                    stream.extend_from_slice(body);
+                    expected.push(Ok(Reply::Body(
+                        StatusLine {
+                            value: body.len() as i64,
+                            words: vec![],
+                        },
+                        body.clone(),
+                    )));
+                }
+            },
+        }
+    }
+    (stream, expected)
+}
+
+/// Bytes that must never parse as a status line: either a non-numeric
+/// first token, or raw non-UTF-8 noise.
+fn garble() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        "[a-zA-Z%]{1,12}".prop_map(|junk| format!("{junk} 5\n").into_bytes()),
+        (0u8..2).prop_map(|_| b"\xff\xfe mid-stream noise\n".to_vec()),
+        // Immediate EOF: the stream just ends.
+        (0u8..2).prop_map(|_| Vec::new()),
+    ]
+}
+
+proptest! {
+    // Client side of the framing contract: an arbitrary queue of
+    // requests — hostile paths, raw payloads riding between request
+    // lines — written through the pipeline decodes, with the plain
+    // server-side read loop, to exactly the op sequence that was
+    // queued. One leaked newline or one mis-sized payload length and
+    // a later frame shears.
+    #[test]
+    fn queued_requests_decode_to_the_same_op_sequence(
+        specs in proptest::collection::vec(queued(), 1..10),
+    ) {
+        let empty = b"";
+        let mut reader = BufReader::new(&empty[..]);
+        let mut writer = Vec::new();
+        let mut pipe = PipelinedConn::new(&mut reader, &mut writer, specs.len());
+        for spec in &specs {
+            pipe.send(&spec.request(), spec.payload(), spec.shape()).unwrap();
+        }
+        pipe.flush().unwrap();
+        prop_assert_eq!(pipe.in_flight(), specs.len());
+        drop(pipe);
+
+        let mut server = BufReader::new(&writer[..]);
+        for spec in &specs {
+            let line = read_line(&mut server).unwrap().expect("a queued frame");
+            let decoded = Request::parse(&line).unwrap();
+            prop_assert_eq!(&decoded, &spec.request());
+            let body = read_payload(&mut server, decoded.payload_len()).unwrap();
+            prop_assert_eq!(body.as_slice(), spec.payload().unwrap_or(&[]));
+        }
+        prop_assert!(read_line(&mut server).unwrap().is_none(), "stream fully consumed");
+    }
+
+    // FIFO settlement under arbitrary send/recv interleavings: however
+    // the schedule slices the window, the k-th settled verdict is the
+    // k-th staged reply — values, bodies, and protocol errors alike.
+    #[test]
+    fn replies_settle_fifo_under_arbitrary_interleavings(
+        pairs in proptest::collection::vec((queued(), staged()), 1..10),
+        schedule in proptest::collection::vec(any::<bool>(), 0..24),
+        depth in 1usize..5,
+    ) {
+        let (specs, staged): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+        let (stream, expected) = stage_replies(&specs, &staged);
+        let mut reader = BufReader::new(&stream[..]);
+        let mut writer = Vec::new();
+        let mut pipe = PipelinedConn::new(&mut reader, &mut writer, depth);
+
+        let mut next_send = 0;
+        let mut verdicts: Vec<Result<Reply, ChirpError>> = Vec::new();
+        // `true` = try to send the next request, `false` = settle one;
+        // either falls back to the other move at a window edge.
+        for send_next in schedule {
+            let can_send = next_send < specs.len() && pipe.has_room();
+            let can_recv = pipe.in_flight() > 0;
+            if (send_next || !can_recv) && can_send {
+                let spec = &specs[next_send];
+                pipe.send(&spec.request(), spec.payload(), spec.shape()).unwrap();
+                next_send += 1;
+            } else if can_recv {
+                verdicts.push(pipe.recv());
+            }
+        }
+        while next_send < specs.len() {
+            if pipe.has_room() {
+                let spec = &specs[next_send];
+                pipe.send(&spec.request(), spec.payload(), spec.shape()).unwrap();
+                next_send += 1;
+            } else {
+                verdicts.push(pipe.recv());
+            }
+        }
+        verdicts.extend(pipe.settle_all());
+
+        prop_assert!(!pipe.is_dead());
+        prop_assert_eq!(verdicts.len(), expected.len());
+        for (i, (got, want)) in verdicts.iter().zip(&expected).enumerate() {
+            prop_assert_eq!(got, want, "verdict {i} out of order");
+        }
+    }
+
+    // Total error classification: a garbled status line (or EOF) at
+    // position `g` settles request `g` as a transport loss and every
+    // request behind it as `Disconnected` — even when perfectly
+    // well-formed status lines follow the garble. A later request must
+    // never inherit one of those as its verdict.
+    #[test]
+    fn garbled_status_mid_pipeline_never_becomes_a_later_verdict(
+        pairs in proptest::collection::vec((queued(), staged()), 1..8),
+        extra in proptest::collection::vec(queued(), 1..5),
+        noise in garble(),
+        g_pick in 0usize..8,
+    ) {
+        let (specs, staged): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+        let g = g_pick % specs.len();
+        // Stage good replies only for the first `g` requests...
+        let (mut stream, expected) = stage_replies(&specs[..g], &staged[..g]);
+        // ...then the garble, then lines that would be valid verdicts
+        // (a success and a protocol error) if framing were ignored.
+        stream.extend_from_slice(&noise);
+        if !noise.is_empty() {
+            wire::write_status(&mut stream, 0).unwrap();
+            wire::write_error(&mut stream, ChirpError::NotFound).unwrap();
+        }
+
+        let all: Vec<Queued> = specs.into_iter().chain(extra).collect();
+        let mut reader = BufReader::new(&stream[..]);
+        let mut writer = Vec::new();
+        let mut pipe = PipelinedConn::new(&mut reader, &mut writer, all.len());
+        for spec in &all {
+            pipe.send(&spec.request(), spec.payload(), spec.shape()).unwrap();
+        }
+        let verdicts = pipe.settle_all();
+
+        prop_assert_eq!(verdicts.len(), all.len(), "classification is total");
+        for (i, (got, want)) in verdicts.iter().zip(&expected).enumerate() {
+            prop_assert_eq!(got, want, "settled verdict {i} changed");
+        }
+        for (i, v) in verdicts.iter().enumerate().skip(g) {
+            prop_assert_eq!(
+                v.as_ref().unwrap_err(),
+                &ChirpError::Disconnected,
+                "request {i} took a verdict from beyond the garble"
+            );
+        }
+        prop_assert!(pipe.is_dead());
+        prop_assert_eq!(
+            pipe.send(&Request::Whoami, None, ReplyShape::Status).unwrap_err(),
+            ChirpError::Disconnected,
+            "a dead pipe must refuse new work"
+        );
+    }
+}

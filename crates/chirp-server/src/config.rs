@@ -80,10 +80,11 @@ pub struct ServerConfig {
     pub report_interval: Duration,
     /// Server name published to catalogs; defaults to `host:port`.
     pub server_name: Option<String>,
-    /// Artificial service time added to each data RPC (`PREAD`,
-    /// `PWRITE`). Benchmarks use this to model the per-request disk
-    /// and network latency of a real deployment, which loopback
-    /// otherwise hides; `None` (the default) adds nothing.
+    /// Artificial service time added to each data or stat RPC
+    /// (`PREAD`, `PWRITE`, `STAT`). Benchmarks use this to model the
+    /// per-request disk and network latency of a real deployment,
+    /// which loopback otherwise hides; `None` (the default) adds
+    /// nothing.
     pub service_delay: Option<Duration>,
     /// How this server opens its *outbound* connections (`THIRDPUT`
     /// pushes data to another server). TCP by default; the simulation

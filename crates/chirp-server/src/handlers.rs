@@ -127,6 +127,8 @@ impl Session {
             Request::Rmdir { path } => self.do_rmdir(&path),
             Request::Getdir { path } => self.do_getdir(&path),
             Request::Getlongdir { path } => self.do_getlongdir(&path),
+            Request::GetdirStat { path } => self.do_getdirstat(&path),
+            Request::StatMulti { paths } => self.do_stat_multi(&paths),
             Request::Getfile { path } => self.do_getfile(&path),
             Request::Putfile { .. } => {
                 // The connection loop routes PUTFILE to handle_putfile;
@@ -350,11 +352,36 @@ impl Session {
     }
 
     fn do_stat(&self, path: &str) -> ChirpResult<Reply> {
+        if let Some(delay) = self.shared.config.service_delay {
+            std::thread::sleep(delay);
+        }
+        Ok(Reply::Words(0, self.stat_words(path)?))
+    }
+
+    /// The stat words for one path (the body of `STAT` and of each
+    /// `STATMULTI` line), with `STAT`'s exact error ordering.
+    fn stat_words(&self, path: &str) -> ChirpResult<String> {
         let dir = self.governing_dir(path)?;
         self.require_rights(&dir, Rights::READ | Rights::LIST)?;
         let host = self.shared.jail.resolve(path)?;
         let meta = std::fs::metadata(&host).map_err(|e| ChirpError::from_io(&e))?;
-        Ok(Reply::Words(0, meta_to_stat(&meta).to_words()))
+        Ok(meta_to_stat(&meta).to_words())
+    }
+
+    /// `STATMULTI`: one batched exchange, one verdict line per path —
+    /// `0 statwords` on success, the bare negative code otherwise, so
+    /// a missing path never fails the rest of the batch. The whole
+    /// reply is body-framed, keeping the stream trivially pipelinable.
+    fn do_stat_multi(&self, paths: &[String]) -> ChirpResult<Reply> {
+        self.require_subject()?;
+        let lines: Vec<String> = paths
+            .iter()
+            .map(|p| match self.stat_words(p) {
+                Ok(words) => format!("0 {words}"),
+                Err(e) => format!("{}", e.code()),
+            })
+            .collect();
+        Ok(Reply::Data(lines.join("\n").into_bytes()))
     }
 
     fn do_unlink(&self, path: &str) -> ChirpResult<Reply> {
@@ -455,6 +482,19 @@ impl Session {
     }
 
     fn do_getlongdir(&self, path: &str) -> ChirpResult<Reply> {
+        self.listing_with_stats(path)
+    }
+
+    /// `GETDIRSTAT`, the batched listing of the pipelined data path:
+    /// identical framing to `GETLONGDIR` (its pre-pipelining spelling),
+    /// kept as its own verb so telemetry can track adoption of the
+    /// batched ops separately.
+    fn do_getdirstat(&self, path: &str) -> ChirpResult<Reply> {
+        self.listing_with_stats(path)
+    }
+
+    /// One `escape(name) statwords` line per entry, sorted.
+    fn listing_with_stats(&self, path: &str) -> ChirpResult<Reply> {
         let host = self.shared.jail.resolve(path)?;
         self.require_rights(&host, Rights::LIST)?;
         let mut lines: Vec<String> = Vec::new();

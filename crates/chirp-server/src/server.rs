@@ -298,7 +298,16 @@ fn serve_connection(
                 wire::write_error(&mut writer, e)?;
             }
         }
-        writer.flush()?;
+        // Pipelining: when a complete next request already sits in the
+        // read buffer (a `\n` in buffered bytes means at least one full
+        // line — payload bytes are consumed before this point), keep
+        // the reply buffered and go read it, overlapping this reply's
+        // drain with the next request's service. Before any read that
+        // could block, the buffer is `\n`-free, so the flush always
+        // happens ahead of waiting on the client.
+        if !reader.buffer().contains(&b'\n') {
+            writer.flush()?;
+        }
         shared.telemetry.record(
             op,
             session.subject(),

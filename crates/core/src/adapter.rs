@@ -24,7 +24,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use chirp_client::AuthMethod;
-use chirp_proto::{OpenFlags, StatBuf};
+use chirp_proto::transport::Dialer;
+use chirp_proto::{Clock, OpenFlags, StatBuf};
 use parking_lot::Mutex;
 
 use crate::cfs::{Cfs, CfsConfig, RetryPolicy};
@@ -43,6 +44,11 @@ pub struct AdapterConfig {
     pub retry: RetryPolicy,
     /// The synchronous-write switch: append `O_SYNC` to all opens.
     pub sync_writes: bool,
+    /// Transport used for every connection the adapter opens (TCP in
+    /// production; an in-memory or fault-injecting dialer in tests).
+    pub dialer: Dialer,
+    /// Clock charged for retry backoff and pool timing.
+    pub clock: Clock,
 }
 
 impl Default for AdapterConfig {
@@ -52,6 +58,8 @@ impl Default for AdapterConfig {
             timeout: Duration::from_secs(10),
             retry: RetryPolicy::default(),
             sync_writes: false,
+            dialer: Dialer::tcp(),
+            clock: Clock::wall(),
         }
     }
 }
@@ -194,6 +202,8 @@ impl Adapter {
         let options = crate::stubfs::StubFsOptions {
             timeout: self.config.timeout,
             retry: self.config.retry,
+            dialer: self.config.dialer.clone(),
+            clock: self.config.clock.clone(),
             ..crate::stubfs::StubFsOptions::default()
         };
         let fs = crate::Dsfs::with_options(
@@ -255,6 +265,8 @@ impl Adapter {
                 cfg.timeout = self.config.timeout;
                 cfg.retry = self.config.retry;
                 cfg.sync_writes = self.config.sync_writes;
+                cfg.dialer = self.config.dialer.clone();
+                cfg.clock = self.config.clock.clone();
                 Arc::new(Cfs::new(cfg))
             })
             .clone()

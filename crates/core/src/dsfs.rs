@@ -58,6 +58,13 @@ impl Dsfs {
         let mut cfg = CfsConfig::new(meta_endpoint, meta_auth).with_base(meta_volume);
         cfg.timeout = options.timeout;
         cfg.retry = options.retry;
+        // The directory connection rides the same transport and clock
+        // as the data pool, so a DSFS assembled over an in-memory
+        // network (or behind a fault-injecting dialer) has no hidden
+        // TCP dependence through its metadata path.
+        cfg.dialer = options.dialer.clone();
+        cfg.clock = options.clock.clone();
+        cfg.pipeline_depth = options.pipeline_depth;
         let meta = Arc::new(Cfs::new(cfg));
         Ok(Dsfs {
             inner: StubFs::new(meta, pool, placement, options),
@@ -72,15 +79,47 @@ impl Dsfs {
         meta_auth: Vec<AuthMethod>,
         pool: Vec<DataServer>,
     ) -> io::Result<Dsfs> {
+        Dsfs::format_with_options(
+            meta_endpoint,
+            meta_volume,
+            meta_auth,
+            pool,
+            Placement::round_robin(),
+            StubFsOptions::default(),
+        )
+    }
+
+    /// [`Dsfs::format`] with full control over placement and transport
+    /// (timeouts, retry policy, dialer, clock).
+    pub fn format_with_options(
+        meta_endpoint: &str,
+        meta_volume: &str,
+        meta_auth: Vec<AuthMethod>,
+        pool: Vec<DataServer>,
+        placement: Placement,
+        options: StubFsOptions,
+    ) -> io::Result<Dsfs> {
         // The directory volume is itself created through the ordinary
         // file interface of the directory server.
-        let root = Cfs::new(CfsConfig::new(meta_endpoint, meta_auth.clone()));
+        let mut root_cfg = CfsConfig::new(meta_endpoint, meta_auth.clone());
+        root_cfg.timeout = options.timeout;
+        root_cfg.retry = options.retry;
+        root_cfg.dialer = options.dialer.clone();
+        root_cfg.clock = options.clock.clone();
+        let root = Cfs::new(root_cfg);
         match crate::fs::FileSystem::mkdir(&root, meta_volume, 0o755) {
             Ok(()) => {}
             Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {}
             Err(e) => return Err(e),
         }
-        let fs = Dsfs::new(meta_endpoint, meta_volume, meta_auth, pool)?;
+        let fs = Dsfs::with_options(
+            meta_endpoint,
+            meta_volume,
+            meta_auth,
+            pool,
+            placement,
+            options,
+        )?;
         fs.inner.ensure_volumes()?;
         Ok(fs)
     }

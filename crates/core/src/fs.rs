@@ -68,6 +68,27 @@ pub trait FileSystem: Send + Sync {
         Ok(out)
     }
 
+    /// List a directory with each entry's attributes. The default
+    /// stats entry by entry; abstractions whose protocol has a batched
+    /// listing (CFS → `GETDIRSTAT`, DSFS → stub resolution over
+    /// `STATMULTI`) override it to answer in a constant number of
+    /// round trips instead of one per entry.
+    fn readdir_stat(&self, path: &str) -> io::Result<Vec<(String, StatBuf)>> {
+        let base = normalize_path(path);
+        self.readdir(path)?
+            .into_iter()
+            .map(|name| {
+                let p = if base == "/" {
+                    format!("/{name}")
+                } else {
+                    format!("{base}/{name}")
+                };
+                let st = self.stat(&p)?;
+                Ok((name, st))
+            })
+            .collect()
+    }
+
     /// Create/replace a whole file (convenience built on open/pwrite).
     fn write_file(&self, path: &str, data: &[u8]) -> io::Result<()> {
         let mut h = self.open(

@@ -560,18 +560,50 @@ impl FileSystem for StripedFs {
     fn stat(&self, path: &str) -> io::Result<StatBuf> {
         match self.read_layout(path) {
             Ok(layout) => {
-                // Stat every part concurrently; the logical size is
-                // the sum of the part sizes.
+                // One `STATMULTI` batch per endpoint instead of one
+                // `STAT` round trip per part: an endpoint's parts all
+                // settle in a single exchange, and the (now fewer)
+                // exchanges still fan out concurrently. The logical
+                // size is the sum of the part sizes.
+                let mut groups: Vec<(&str, Vec<usize>)> = Vec::new();
+                for (i, (endpoint, _)) in layout.parts.iter().enumerate() {
+                    match groups.iter_mut().find(|(e, _)| *e == endpoint) {
+                        Some((_, idxs)) => idxs.push(i),
+                        None => groups.push((endpoint.as_str(), vec![i])),
+                    }
+                }
                 let pool = &self.pool;
-                let jobs: Vec<_> = layout
-                    .parts
+                let jobs: Vec<_> = groups
                     .iter()
-                    .map(|(endpoint, part)| move || pool.with_conn(endpoint, |cfs| cfs.stat(part)))
+                    .map(|(endpoint, idxs)| {
+                        let paths: Vec<String> =
+                            idxs.iter().map(|&i| layout.parts[i].1.clone()).collect();
+                        move || pool.with_conn(endpoint, |cfs| cfs.stat_multi(&paths))
+                    })
                     .collect();
-                let stats: io::Result<Vec<StatBuf>> =
-                    run_fanout(pool.parallel_fanout() && layout.parts.len() > 1, jobs)
-                        .into_iter()
-                        .collect();
+                let answers = run_fanout(pool.parallel_fanout() && groups.len() > 1, jobs);
+                // Scatter the batched verdicts back into part order so
+                // error precedence matches the per-part fan-out.
+                let mut by_part: Vec<Option<io::Result<StatBuf>>> =
+                    layout.parts.iter().map(|_| None).collect();
+                for ((_, idxs), answer) in groups.iter().zip(answers) {
+                    match answer {
+                        Ok(verdicts) => {
+                            for (&i, v) in idxs.iter().zip(verdicts) {
+                                by_part[i] = Some(v.map_err(io::Error::from));
+                            }
+                        }
+                        Err(e) => {
+                            for &i in idxs {
+                                by_part[i] = Some(Err(io::Error::new(e.kind(), e.to_string())));
+                            }
+                        }
+                    }
+                }
+                let stats: io::Result<Vec<StatBuf>> = by_part
+                    .into_iter()
+                    .map(|v| v.expect("every part belongs to a group"))
+                    .collect();
                 let stats = stats?;
                 let mut st = stats[0];
                 st.size = stats.iter().map(|s| s.size).sum();

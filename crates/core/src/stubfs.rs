@@ -83,6 +83,11 @@ pub struct StubFsOptions {
     /// a data connection; `0` (the default) disables client-side
     /// buffering entirely, preserving the no-caching coherence story.
     pub readahead: usize,
+    /// Pipeline depth for data connections (see
+    /// [`crate::cfs::CfsConfig::pipeline_depth`]); with a readahead
+    /// window this turns sequential reads into deferred prefetches
+    /// that overlap server service with client consumption.
+    pub pipeline_depth: usize,
     /// Maximum time a connection may sit idle in the pool before it is
     /// evicted instead of handed out. A long-idle socket to a server
     /// that has restarted looks healthy until the first RPC fails, so
@@ -112,6 +117,7 @@ impl Default for StubFsOptions {
             max_conns_per_endpoint: 4,
             parallel_fanout: true,
             readahead: 0,
+            pipeline_depth: chirp_proto::DEFAULT_PIPELINE_DEPTH,
             max_idle: Duration::from_secs(60),
             breaker_threshold: 3,
             breaker_cooldown: Duration::from_secs(2),
@@ -325,6 +331,60 @@ impl FileSystem for StubFs {
         self.pool
             .with_conn(&stub.endpoint, |cfs| cfs.truncate(&stub.data_path, size))
     }
+
+    /// The recursive-stub hot path, batched: one listing-with-stats of
+    /// the directory tree tells files from subdirectories, then each
+    /// file's stub is resolved and the data-server attributes arrive
+    /// as one `STATMULTI` per endpoint — a constant number of data
+    /// round trips per server instead of one per entry. Entries whose
+    /// stub dangles (create crashed between stub and data file) are
+    /// omitted, matching the "file not found" their open would report.
+    fn readdir_stat(&self, path: &str) -> io::Result<Vec<(String, StatBuf)>> {
+        let base = crate::fs::normalize_path(path);
+        let child = |name: &str| {
+            if base == "/" {
+                format!("/{name}")
+            } else {
+                format!("{base}/{name}")
+            }
+        };
+        let listed = self.meta.readdir_stat(path)?;
+        let mut out: Vec<Option<(String, StatBuf)>> = Vec::with_capacity(listed.len());
+        // endpoint -> (slot in `out`, data path) for every stub entry.
+        let mut groups: Vec<(String, Vec<(usize, String)>)> = Vec::new();
+        for (name, meta_stat) in listed {
+            if meta_stat.is_dir() {
+                // Directories exist only in the tree.
+                out.push(Some((name, meta_stat)));
+                continue;
+            }
+            let stub = self.read_stub(&child(&name))?;
+            let slot = out.len();
+            out.push(Some((name, meta_stat)));
+            match groups.iter_mut().find(|(e, _)| *e == stub.endpoint) {
+                Some((_, members)) => members.push((slot, stub.data_path)),
+                None => groups.push((stub.endpoint, vec![(slot, stub.data_path)])),
+            }
+        }
+        for (endpoint, members) in groups {
+            let paths: Vec<String> = members.iter().map(|(_, p)| p.clone()).collect();
+            let verdicts = self
+                .pool
+                .with_conn(&endpoint, |cfs| cfs.stat_multi(&paths))?;
+            for ((slot, _), verdict) in members.into_iter().zip(verdicts) {
+                match verdict {
+                    Ok(st) => {
+                        out[slot].as_mut().expect("slot filled above").1 = st;
+                    }
+                    Err(e) if io::Error::from(e).kind() == io::ErrorKind::NotFound => {
+                        out[slot] = None; // dangling stub
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        Ok(out.into_iter().flatten().collect())
+    }
 }
 
 /// Implement [`FileSystem`] by delegating every method to a field.
@@ -361,6 +421,12 @@ macro_rules! delegate_filesystem {
             }
             fn truncate(&self, path: &str, size: u64) -> std::io::Result<()> {
                 self.$field.truncate(path, size)
+            }
+            fn readdir_stat(
+                &self,
+                path: &str,
+            ) -> std::io::Result<Vec<(String, chirp_proto::StatBuf)>> {
+                self.$field.readdir_stat(path)
             }
         }
     };

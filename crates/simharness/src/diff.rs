@@ -18,10 +18,10 @@
 use std::fmt;
 
 use chirp_client::Connection;
-use chirp_proto::{ChirpError, ChirpResult, StatBuf};
+use chirp_proto::{ChirpError, ChirpResult, Reply, ReplyShape, Request, StatBuf};
 use chirp_server::acl::Acl;
 
-use crate::gen::{ops_for_seed, Op};
+use crate::gen::{ops_for_seed, BurstOp, Op};
 use crate::harness::SimTss;
 use crate::model::ModelServer;
 
@@ -39,6 +39,14 @@ pub enum OpResult {
     /// `(is_dir, size)`; size is only meaningful for files and is
     /// normalized to 0 for directories.
     Stat(bool, u64),
+    /// Sorted `(name, is_dir, size)` entries (`GETDIRSTAT`), with the
+    /// same directory-size normalization as [`OpResult::Stat`].
+    Entries(Vec<(String, bool, u64)>),
+    /// One verdict per batched or pipelined sub-operation, in request
+    /// order (`STATMULTI`, pipelined bursts). Comparing the vectors
+    /// checks both the values *and* the ordering contract: the n-th
+    /// verdict must answer the n-th request on both sides.
+    Multi(Vec<OpResult>),
     /// A text reply (`WHOAMI`).
     Text(String),
     /// The protocol error.
@@ -90,6 +98,18 @@ impl OpResult {
 
     fn from_statbuf(r: ChirpResult<StatBuf>) -> OpResult {
         OpResult::from_stat(r.map(|st| (st.is_dir(), st.size)))
+    }
+
+    pub(crate) fn from_entries(r: ChirpResult<Vec<(String, bool, u64)>>) -> OpResult {
+        match r {
+            Ok(entries) => OpResult::Entries(
+                entries
+                    .into_iter()
+                    .map(|(name, is_dir, size)| (name, is_dir, if is_dir { 0 } else { size }))
+                    .collect(),
+            ),
+            Err(e) => OpResult::Err(e),
+        }
     }
 }
 
@@ -249,12 +269,93 @@ impl<'a> DiffRunner<'a> {
                 rights,
             } => OpResult::from_unit(self.conn.setacl(&p(path), subject, rights)),
             Op::Truncate { path, size } => OpResult::from_unit(self.conn.truncate(&p(path), *size)),
+            Op::GetdirStat { path } => {
+                OpResult::from_entries(self.conn.getdir_stat(&p(path)).map(|entries| {
+                    entries
+                        .into_iter()
+                        .map(|(name, st)| (name, st.is_dir(), st.size))
+                        .collect()
+                }))
+            }
+            Op::StatMulti { paths } => {
+                let full: Vec<String> = paths.iter().map(|x| p(x)).collect();
+                match self.conn.stat_multi(&full) {
+                    Ok(verdicts) => {
+                        OpResult::Multi(verdicts.into_iter().map(OpResult::from_statbuf).collect())
+                    }
+                    Err(e) => OpResult::Err(e),
+                }
+            }
+            Op::Burst { ops } => self.apply_burst_real(base, ops),
             Op::Whoami => OpResult::from_text(self.conn.whoami()),
             Op::Disconnect => {
                 self.reconnect();
                 OpResult::Unit
             }
         }
+    }
+
+    /// Run a burst pipelined for real: every request goes onto the wire
+    /// before the first reply is read, then the replies settle strictly
+    /// in send order. Divergence here — including a verdict landing on
+    /// the wrong request after a mid-pipeline protocol error — is an
+    /// ordering-contract violation, not just a value mismatch.
+    fn apply_burst_real(&mut self, base: &str, ops: &[BurstOp]) -> OpResult {
+        let p = |path: &str| {
+            if path == "/" {
+                base.to_string()
+            } else {
+                format!("{base}{path}")
+            }
+        };
+        let verdicts = self.conn.pipeline(ops.len().max(1), |pipe| {
+            for op in ops {
+                match op {
+                    BurstOp::Pread { fd, len, off } => pipe.send(
+                        &Request::Pread {
+                            fd: *fd,
+                            length: *len,
+                            offset: *off,
+                        },
+                        None,
+                        ReplyShape::Body,
+                    )?,
+                    BurstOp::Pwrite { fd, data, off } => pipe.send(
+                        &Request::Pwrite {
+                            fd: *fd,
+                            length: data.len() as u64,
+                            offset: *off,
+                        },
+                        Some(data),
+                        ReplyShape::Status,
+                    )?,
+                    BurstOp::Stat { path } => {
+                        pipe.send(&Request::Stat { path: p(path) }, None, ReplyShape::Status)?
+                    }
+                }
+            }
+            Ok(pipe.settle_all())
+        });
+        let verdicts = match verdicts {
+            Ok(v) => v,
+            Err(e) => return OpResult::Err(e),
+        };
+        OpResult::Multi(
+            ops.iter()
+                .zip(verdicts)
+                .map(|(op, v)| match op {
+                    BurstOp::Pread { .. } => OpResult::from_data(v.map(Reply::into_body)),
+                    BurstOp::Pwrite { .. } => {
+                        OpResult::from_val(v.map(|r| r.status().value as i32))
+                    }
+                    BurstOp::Stat { .. } => OpResult::from_statbuf(v.and_then(|r| {
+                        let words: Vec<&str> =
+                            r.status().words.iter().map(String::as_str).collect();
+                        StatBuf::from_words(&words)
+                    })),
+                })
+                .collect(),
+        )
     }
 
     /// Delta-debugging: drop chunks of decreasing size while the
@@ -298,4 +399,62 @@ pub fn run_seed(first_seed: u64, count: u64) -> Result<(), Divergence> {
         runner.check_seed(seed)?;
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::BurstOp;
+    use crate::harness::SimTss;
+    use chirp_proto::OpenFlags;
+
+    fn runner(sim: &SimTss, acl: Acl) -> DiffRunner<'_> {
+        DiffRunner::new(sim, acl)
+    }
+
+    #[test]
+    fn burst_settles_mid_pipeline_errors_in_send_order() {
+        // Protocol errors inside a pipelined burst must land on the
+        // request that earned them, not shift onto a neighbor: the
+        // failing ops sit *between* two successes against the same
+        // descriptor, so any off-by-one in reply matching makes the
+        // final pread answer the wrong request and diverge.
+        let root_acl = Acl::single("hostname:*", "rwlda").unwrap();
+        let sim = SimTss::builder().root_acl(root_acl.clone()).build();
+        let mut r = runner(&sim, root_acl);
+        let ops = vec![
+            Op::Open {
+                path: "/f".into(),
+                flags: OpenFlags::read_write() | OpenFlags::CREATE,
+            },
+            Op::Burst {
+                ops: vec![
+                    BurstOp::Pwrite {
+                        fd: 0,
+                        data: b"hello".to_vec(),
+                        off: 0,
+                    },
+                    // BadFd mid-pipeline: a settled verdict, pipe alive.
+                    BurstOp::Pread {
+                        fd: 9,
+                        len: 4,
+                        off: 0,
+                    },
+                    // NotFound mid-pipeline, same contract.
+                    BurstOp::Stat {
+                        path: "/missing".into(),
+                    },
+                    BurstOp::Pread {
+                        fd: 0,
+                        len: 5,
+                        off: 0,
+                    },
+                ],
+            },
+        ];
+        assert!(
+            r.first_divergence(&ops).is_none(),
+            "mid-pipeline error ordering diverged from the model"
+        );
+    }
 }

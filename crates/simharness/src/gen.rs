@@ -93,6 +93,25 @@ pub enum Op {
         /// Target path.
         path: String,
     },
+    /// `GETDIRSTAT`: listing with attributes in one exchange.
+    GetdirStat {
+        /// Target path.
+        path: String,
+    },
+    /// `STATMULTI`: a batch of paths statted in one exchange, one
+    /// verdict per path.
+    StatMulti {
+        /// Target paths, in reply order.
+        paths: Vec<String>,
+    },
+    /// A pipelined burst: the ops ride the connection back to back and
+    /// their replies settle strictly in order — the generator's probe
+    /// for FIFO reply matching, including error verdicts landing
+    /// mid-pipeline without shifting later replies.
+    Burst {
+        /// The pipelined operations, in send order.
+        ops: Vec<BurstOp>,
+    },
     /// `GETACL`.
     Getacl {
         /// Target path.
@@ -119,6 +138,36 @@ pub enum Op {
     /// Drop the connection and reconnect: the server must close every
     /// descriptor and a fresh session must renumber from zero.
     Disconnect,
+}
+
+/// An operation simple enough to ride a pipelined burst: exactly one
+/// reply each and no descriptor-table mutation, so the fd-sweep
+/// invariant between runner and model survives any burst.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BurstOp {
+    /// `PREAD` (body-shaped reply).
+    Pread {
+        /// Descriptor number.
+        fd: i32,
+        /// Bytes requested.
+        len: u64,
+        /// File offset.
+        off: u64,
+    },
+    /// `PWRITE` (request payload, status-shaped reply).
+    Pwrite {
+        /// Descriptor number.
+        fd: i32,
+        /// Payload bytes.
+        data: Vec<u8>,
+        /// File offset.
+        off: u64,
+    },
+    /// `STAT` by path (status-plus-words reply).
+    Stat {
+        /// Target path.
+        path: String,
+    },
 }
 
 /// File-name pool. Nested names share the two directory names so
@@ -188,6 +237,31 @@ impl OpGen {
         self.rng.gen_range(0..5i32)
     }
 
+    /// One op for a pipelined burst: mostly reads, some writes, some
+    /// path stats, drawn against the same stale-fd-prone pools so
+    /// error verdicts land mid-pipeline often.
+    fn burst_op(&mut self) -> BurstOp {
+        match self.rng.gen_range(0u32..10) {
+            0..=3 => BurstOp::Pread {
+                fd: self.fd(),
+                len: self.rng.gen_range(0u64..192),
+                off: self.rng.gen_range(0u64..256),
+            },
+            4..=6 => {
+                let len = self.rng.gen_range(0usize..48);
+                let byte = self.rng.gen_range(0u8..255);
+                BurstOp::Pwrite {
+                    fd: self.fd(),
+                    data: vec![byte; len],
+                    off: self.rng.gen_range(0u64..200),
+                }
+            }
+            _ => BurstOp::Stat {
+                path: self.node_path(),
+            },
+        }
+    }
+
     fn one(&mut self) -> Op {
         match self.rng.gen_range(0u32..100) {
             // Descriptor traffic dominates, as it does in real
@@ -216,9 +290,15 @@ impl OpGen {
             // "/" is excluded: the namespace root's parent lies outside
             // the modeled tree. (Ops that check rights on the target
             // itself — getdir, getacl, setacl — do include "/".)
-            58..=63 => Op::Stat {
+            58..=61 => Op::Stat {
                 path: self.node_path(),
             },
+            62..=63 => {
+                let n = self.rng.gen_range(1usize..5);
+                Op::StatMulti {
+                    paths: (0..n).map(|_| self.node_path()).collect(),
+                }
+            }
             64..=69 => Op::Unlink {
                 path: self.node_path(),
             },
@@ -232,7 +312,10 @@ impl OpGen {
             81..=84 => Op::Rmdir {
                 path: self.pick(DIRS).to_string(),
             },
-            85..=88 => Op::Getdir {
+            85..=86 => Op::Getdir {
+                path: self.any_path(),
+            },
+            87..=88 => Op::GetdirStat {
                 path: self.any_path(),
             },
             89..=90 => Op::Getacl {
@@ -254,10 +337,16 @@ impl OpGen {
                     rights: self.pick(RIGHTS_POOL).to_string(),
                 }
             }
-            94..=96 => Op::Truncate {
+            94..=95 => Op::Truncate {
                 path: self.pick(FILES).to_string(),
                 size: self.rng.gen_range(0u64..320),
             },
+            96 => {
+                let n = self.rng.gen_range(2usize..7);
+                Op::Burst {
+                    ops: (0..n).map(|_| self.burst_op()).collect(),
+                }
+            }
             97 => Op::Whoami,
             _ => Op::Disconnect,
         }
@@ -301,7 +390,7 @@ mod tests {
     #[test]
     fn pools_cover_every_op_kind() {
         // Across a modest seed range every variant should appear.
-        let mut seen = [false; 16];
+        let mut seen = [false; 19];
         for seed in 0..500 {
             for op in ops_for_seed(seed, "s") {
                 let idx = match op {
@@ -321,10 +410,38 @@ mod tests {
                     Op::Truncate { .. } => 13,
                     Op::Whoami => 14,
                     Op::Disconnect => 15,
+                    Op::GetdirStat { .. } => 16,
+                    Op::StatMulti { .. } => 17,
+                    Op::Burst { .. } => 18,
                 };
                 seen[idx] = true;
             }
         }
         assert!(seen.iter().all(|&s| s), "unreached op kinds: {seen:?}");
+    }
+
+    #[test]
+    fn bursts_mix_op_shapes() {
+        // Bursts must carry every BurstOp kind somewhere in the seed
+        // range, or the pipelined replay never sees mixed reply shapes.
+        let (mut preads, mut pwrites, mut stats) = (0, 0, 0);
+        for seed in 0..2000 {
+            for op in ops_for_seed(seed, "s") {
+                if let Op::Burst { ops } = op {
+                    assert!((2..=6).contains(&ops.len()));
+                    for b in ops {
+                        match b {
+                            BurstOp::Pread { .. } => preads += 1,
+                            BurstOp::Pwrite { .. } => pwrites += 1,
+                            BurstOp::Stat { .. } => stats += 1,
+                        }
+                    }
+                }
+            }
+        }
+        assert!(
+            preads > 0 && pwrites > 0 && stats > 0,
+            "burst shape mix missing: {preads} preads, {pwrites} pwrites, {stats} stats"
+        );
     }
 }

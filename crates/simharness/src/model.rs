@@ -542,6 +542,34 @@ impl ModelServer {
         }
     }
 
+    /// `GETDIRSTAT`: the batched listing — sorted entries, each with
+    /// `(is_dir, size)`. Same rights and error ordering as `GETDIR`;
+    /// the real handler resolves the listing and every entry's
+    /// attributes in one exchange.
+    pub fn getdir_stat(&self, path: &str) -> ChirpResult<Vec<(String, bool, u64)>> {
+        let comps = Self::components(path)?;
+        self.require_rights(&comps, Rights::LIST)?;
+        match self.dir_at(&comps)? {
+            None => Err(ChirpError::NotFound),
+            Some(d) => Ok(d
+                .children
+                .iter()
+                .map(|(name, node)| match node {
+                    Node::File(f) => (name.clone(), false, f.borrow().len() as u64),
+                    Node::Dir(_) => (name.clone(), true, 0),
+                })
+                .collect()),
+        }
+    }
+
+    /// `STATMULTI`: one verdict per path, in request order. A missing
+    /// path settles as its own error without failing the batch — the
+    /// real handler stats each path independently after the session
+    /// check.
+    pub fn stat_multi(&self, paths: &[String]) -> Vec<ChirpResult<(bool, u64)>> {
+        paths.iter().map(|p| self.stat(p)).collect()
+    }
+
     /// `GETACL`: the effective ACL text.
     pub fn getacl(&self, path: &str) -> ChirpResult<String> {
         let comps = Self::components(path)?;
@@ -616,11 +644,33 @@ impl ModelServer {
                 rights,
             } => OpResult::from_unit(self.setacl(path, subject, rights)),
             Op::Truncate { path, size } => OpResult::from_unit(self.truncate(path, *size)),
+            Op::GetdirStat { path } => OpResult::from_entries(self.getdir_stat(path)),
+            Op::StatMulti { paths } => OpResult::Multi(
+                self.stat_multi(paths)
+                    .into_iter()
+                    .map(OpResult::from_stat)
+                    .collect(),
+            ),
+            // The model is sequential, so a burst is just its ops in
+            // send order — which is exactly the pipelining contract:
+            // the n-th reply answers the n-th request.
+            Op::Burst { ops } => OpResult::Multi(ops.iter().map(|b| self.apply_burst(b)).collect()),
             Op::Whoami => OpResult::from_text(self.whoami()),
             Op::Disconnect => {
                 self.disconnect();
                 OpResult::Unit
             }
+        }
+    }
+
+    fn apply_burst(&mut self, op: &crate::gen::BurstOp) -> OpResult {
+        use crate::gen::BurstOp;
+        match op {
+            BurstOp::Pread { fd, len, off } => OpResult::from_data(self.pread(*fd, *len, *off)),
+            BurstOp::Pwrite { fd, data, off } => {
+                OpResult::from_val(self.pwrite(*fd, data, *off).map(|n| n as i32))
+            }
+            BurstOp::Stat { path } => OpResult::from_stat(self.stat(path)),
         }
     }
 }

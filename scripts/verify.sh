@@ -12,18 +12,26 @@
 # release mode over a fixed seed matrix (override with SIM_SEQS=<n>);
 # a divergence prints the failing seed plus the minimized op trace,
 # reproducible stand-alone with SIM_SEED=<seed>.
+# The --pipeline stage (part of the default run; --no-pipeline skips
+# it) checks the pipelined data path: the fixed-seed differential mix
+# including pipelined bursts (override with PIPE_SEQS=<n>) plus the
+# fast-mode rpc_pipeline smoke asserting >=2x small-op throughput at
+# depth 8 vs depth 1.
 set -eu
 cd "$(dirname "$0")/.."
 
 CHAOS=0
 METRICS=0
 SIM=0
+PIPELINE=1
 for arg in "$@"; do
     case "$arg" in
         --chaos) CHAOS=1 ;;
         --metrics) METRICS=1 ;;
         --sim) SIM=1 ;;
-        *) echo "usage: $0 [--chaos] [--metrics] [--sim]" >&2; exit 2 ;;
+        --pipeline) PIPELINE=1 ;;
+        --no-pipeline) PIPELINE=0 ;;
+        *) echo "usage: $0 [--chaos] [--metrics] [--sim] [--pipeline|--no-pipeline]" >&2; exit 2 ;;
     esac
 done
 
@@ -58,6 +66,20 @@ if [ "$SIM" = "1" ]; then
     echo "== cargo test -q --release -p simharness  (SIM_SEQS=$SIM_SEQS)"
     if ! SIM_SEQS="$SIM_SEQS" cargo test -q --release -p simharness; then
         echo "simulation suite FAILED; the log above names the seed -" >&2
+        echo "reproduce with SIM_SEED=<seed> cargo test --release -p simharness" >&2
+        exit 1
+    fi
+fi
+
+if [ "$PIPELINE" = "1" ]; then
+    echo "== cargo test -q -p tss-bench --test pipeline_smoke  (fast-mode rpc_pipeline smoke)"
+    cargo test -q -p tss-bench --test pipeline_smoke
+    # Fixed seed matrix with the pipelined-burst / batched-metadata op
+    # mix, differentially checked real-vs-model in release mode.
+    PIPE_SEQS="${PIPE_SEQS:-2000}"
+    echo "== cargo test -q --release -p simharness --test differential  (SIM_SEQS=$PIPE_SEQS)"
+    if ! SIM_SEQS="$PIPE_SEQS" cargo test -q --release -p simharness --test differential; then
+        echo "pipeline differential mix FAILED; the log above names the seed -" >&2
         echo "reproduce with SIM_SEED=<seed> cargo test --release -p simharness" >&2
         exit 1
     fi

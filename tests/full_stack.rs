@@ -1,9 +1,16 @@
 //! Workspace-level integration tests spanning every crate: catalogs,
 //! file servers, abstractions, adapter, and GEMS working together.
+//!
+//! Scenarios that only need file servers run on the in-memory network
+//! (no ports, no load-dependent timing). Catalog discovery rides real
+//! UDP/TCP by design, and the server-restart test keeps real sockets
+//! on purpose — rebinding a port through TIME_WAIT *is* the scenario —
+//! so those three double as the real-TCP smoke path.
 
 use std::sync::Arc;
 use std::time::Duration;
 
+use simharness::harness::SimTss;
 use tss::catalog::{query, CatalogConfig, CatalogServer};
 use tss::chirp_client::AuthMethod;
 use tss::chirp_proto::testutil::TempDir;
@@ -12,7 +19,7 @@ use tss::chirp_server::acl::Acl;
 use tss::chirp_server::{FileServer, ServerConfig};
 use tss::core::adapter::{Adapter, AdapterConfig, Namespace};
 use tss::core::stubfs::DataServer;
-use tss::core::{Cfs, Dsfs};
+use tss::core::{Cfs, Dsfs, Placement};
 use tss_core::fs::FileSystem;
 
 const TIMEOUT: Duration = Duration::from_secs(5);
@@ -30,11 +37,23 @@ fn open_server_with_catalog(root: &std::path::Path, catalog: Option<&CatalogServ
     FileServer::start(cfg).unwrap()
 }
 
+/// An [`AdapterConfig`] whose connections ride the simulated network
+/// and virtual clock instead of TCP.
+fn sim_adapter_config(sim: &SimTss) -> AdapterConfig {
+    AdapterConfig {
+        timeout: TIMEOUT,
+        dialer: sim.dialer(),
+        clock: sim.clock().clone(),
+        ..AdapterConfig::default()
+    }
+}
+
 #[test]
 fn discover_servers_then_build_an_abstraction_on_them() {
     // The full tactical loop: servers report to a catalog; a user
     // discovers them at runtime and assembles a DSFS from whatever is
-    // available — no administrator anywhere.
+    // available — no administrator anywhere. Catalog reports are UDP
+    // datagrams, so this scenario stays on the real network stack.
     let catalog = CatalogServer::start(CatalogConfig::localhost(Duration::from_secs(30))).unwrap();
     let dirs: Vec<TempDir> = (0..3).map(|_| TempDir::new()).collect();
     let _servers: Vec<FileServer> = dirs
@@ -86,19 +105,23 @@ fn one_server_serves_multiple_abstractions_at_once() {
     // Recursive abstraction: a single file server simultaneously backs
     // a plain CFS for one user and the directory tree of a DSFS for
     // another, each confined to its own subtree.
-    let host = TempDir::new();
-    let data_host = TempDir::new();
-    let server = open_server_with_catalog(host.path(), None);
-    let data_server = open_server_with_catalog(data_host.path(), None);
+    let sim = SimTss::builder().servers(2).build();
 
-    let cfs =
-        Cfs::new(tss::core::cfs::CfsConfig::new(&server.endpoint(), auth()).with_base("/cfs-area"));
-    let root = Cfs::connect(&server.endpoint(), auth());
+    let cfs = Cfs::new(sim.cfs_config(0).with_base("/cfs-area"));
+    let root = Cfs::new(sim.cfs_config(0));
     root.mkdir("/cfs-area", 0o755).unwrap();
     cfs.write_file("/report.txt", b"plain cfs data").unwrap();
 
-    let pool = vec![DataServer::new(&data_server.endpoint(), "/vol", auth())];
-    let dsfs = Dsfs::format(&server.endpoint(), "/dsfs-tree", auth(), pool).unwrap();
+    let pool = vec![sim.data_server(1, "/vol")];
+    let dsfs = Dsfs::format_with_options(
+        &sim.endpoint(0),
+        "/dsfs-tree",
+        auth(),
+        pool,
+        Placement::round_robin(),
+        sim.stubfs_options(),
+    )
+    .unwrap();
     dsfs.write_file("/shared.txt", b"dsfs data").unwrap();
 
     // Both coexist on the same resource; neither sees the other's
@@ -107,35 +130,40 @@ fn one_server_serves_multiple_abstractions_at_once() {
     assert_eq!(dsfs.read_file("/shared.txt").unwrap(), b"dsfs data");
     assert!(cfs.read_file("/shared.txt").is_err());
     // The owner sees both, stored without transformation.
-    assert!(host.path().join("cfs-area/report.txt").exists());
-    assert!(host.path().join("dsfs-tree/shared.txt").exists());
+    assert!(sim.root(0).join("cfs-area/report.txt").exists());
+    assert!(sim.root(0).join("dsfs-tree/shared.txt").exists());
 }
 
 #[test]
 fn adapter_routes_one_namespace_over_many_abstractions() {
-    let cfs_host = TempDir::new();
-    let meta_host = TempDir::new();
-    let data_host = TempDir::new();
-    let cfs_server = open_server_with_catalog(cfs_host.path(), None);
-    let dir_server = open_server_with_catalog(meta_host.path(), None);
-    let data_server = open_server_with_catalog(data_host.path(), None);
+    let sim = SimTss::builder().servers(3).build();
+    let (cfs_srv, dir_srv, data_srv) = (0, 1, 2);
 
-    let pool = vec![DataServer::new(&data_server.endpoint(), "/vol", auth())];
-    let dsfs: Arc<dyn FileSystem> =
-        Arc::new(Dsfs::format(&dir_server.endpoint(), "/tree", auth(), pool).unwrap());
+    let pool = vec![sim.data_server(data_srv, "/vol")];
+    let dsfs: Arc<dyn FileSystem> = Arc::new(
+        Dsfs::format_with_options(
+            &sim.endpoint(dir_srv),
+            "/tree",
+            auth(),
+            pool,
+            Placement::round_robin(),
+            sim.stubfs_options(),
+        )
+        .unwrap(),
+    );
 
-    let mut adapter = Adapter::new(AdapterConfig::default()).unwrap();
+    let mut adapter = Adapter::new(sim_adapter_config(&sim)).unwrap();
     adapter.register("/dsfs/archive", dsfs);
     let mountlist = format!(
         "/usr/local   /cfs/{}/software\n\
          /data        /dsfs/archive/data\n",
-        cfs_server.endpoint()
+        sim.endpoint(cfs_srv)
     );
     adapter.set_namespace(Namespace::parse_mountlist(&mountlist).unwrap());
 
     // Prime both backends through the adapter itself.
     adapter
-        .mkdir(&format!("/cfs/{}/software", cfs_server.endpoint()), 0o755)
+        .mkdir(&format!("/cfs/{}/software", sim.endpoint(cfs_srv)), 0o755)
         .unwrap();
     adapter.mkdir("/dsfs/archive/data", 0o755).unwrap();
     adapter
@@ -146,9 +174,9 @@ fn adapter_routes_one_namespace_over_many_abstractions() {
         .unwrap();
 
     // Logical paths reach the right physical systems.
-    assert!(cfs_host.path().join("software/tool.sh").exists());
+    assert!(sim.root(cfs_srv).join("software/tool.sh").exists());
     assert!(
-        meta_host.path().join("tree/data/results.bin").exists(),
+        sim.root(dir_srv).join("tree/data/results.bin").exists(),
         "stub in tree"
     );
     assert_eq!(
@@ -165,14 +193,13 @@ fn adapter_routes_one_namespace_over_many_abstractions() {
 
 #[test]
 fn sync_writes_switch_applies_o_sync_transparently() {
-    let host = TempDir::new();
-    let server = open_server_with_catalog(host.path(), None);
+    let sim = SimTss::builder().build();
     let config = AdapterConfig {
         sync_writes: true,
-        ..AdapterConfig::default()
+        ..sim_adapter_config(&sim)
     };
     let adapter = Adapter::new(config).unwrap();
-    let path = format!("/cfs/{}/durable.txt", server.endpoint());
+    let path = format!("/cfs/{}/durable.txt", sim.endpoint(0));
     let mut f = adapter
         .open(&path, OpenFlags::WRITE | OpenFlags::CREATE, 0o644)
         .unwrap();
@@ -217,7 +244,9 @@ fn gems_can_run_on_catalog_discovered_storage() {
 fn whole_stack_survives_a_server_restart() {
     // CFS through the adapter keeps working across a full server
     // restart on the same port and root (the tactical pattern: a
-    // borrowed machine reboots, the abstraction reconnects).
+    // borrowed machine reboots, the abstraction reconnects). Stays on
+    // real TCP: rebinding a just-closed port is the behavior under
+    // test, and this doubles as the adapter's loopback smoke path.
     let host = TempDir::new();
     let server = open_server_with_catalog(host.path(), None);
     let addr = server.addr();
@@ -261,22 +290,28 @@ fn whole_stack_survives_a_server_restart() {
 
 #[test]
 fn mount_dsfs_convention_serves_the_paper_namespace() {
-    let meta_host = TempDir::new();
-    let data_host = TempDir::new();
-    let dir_server = open_server_with_catalog(meta_host.path(), None);
-    let data_server = open_server_with_catalog(data_host.path(), None);
+    let sim = SimTss::builder().servers(2).build();
+    let (dir_srv, data_srv) = (0, 1);
 
     // Format the filesystem, then mount it by convention.
-    let pool = vec![DataServer::new(&data_server.endpoint(), "/vol", auth())];
-    Dsfs::format(&dir_server.endpoint(), "/run5", auth(), pool.clone()).unwrap();
+    let pool = vec![sim.data_server(data_srv, "/vol")];
+    Dsfs::format_with_options(
+        &sim.endpoint(dir_srv),
+        "/run5",
+        auth(),
+        pool.clone(),
+        Placement::round_robin(),
+        sim.stubfs_options(),
+    )
+    .unwrap();
 
-    let mut adapter = Adapter::new(AdapterConfig::default()).unwrap();
+    let mut adapter = Adapter::new(sim_adapter_config(&sim)).unwrap();
     let mount_root = adapter
-        .mount_dsfs(&dir_server.endpoint(), "/run5", pool)
+        .mount_dsfs(&sim.endpoint(dir_srv), "/run5", pool)
         .unwrap();
     assert_eq!(
         mount_root,
-        format!("/dsfs/{}@run5", dir_server.endpoint()),
+        format!("/dsfs/{}@run5", sim.endpoint(dir_srv)),
         "the paper's /dsfs/<host>@<volume> convention"
     );
     // And the mountlist form from §6 composes on top.
@@ -285,7 +320,7 @@ fn mount_dsfs_convention_serves_the_paper_namespace() {
     adapter.mkdir("/data", 0o755).unwrap();
     adapter.write_file("/data/events.db", b"indexed").unwrap();
     assert_eq!(adapter.read_file("/data/events.db").unwrap(), b"indexed");
-    assert!(meta_host.path().join("run5/data/events.db").exists());
+    assert!(sim.root(dir_srv).join("run5/data/events.db").exists());
 }
 
 #[test]
@@ -293,24 +328,17 @@ fn extension_abstractions_compose_with_the_adapter() {
     // StripedFs and MirroredFs are FileSystems like any other, so the
     // adapter serves them under the one namespace — recursion all the
     // way up.
+    let sim = SimTss::builder().servers(3).build();
     let meta1 = TempDir::new();
     let meta2 = TempDir::new();
-    let hosts: Vec<TempDir> = (0..3).map(|_| TempDir::new()).collect();
-    let servers: Vec<FileServer> = hosts
-        .iter()
-        .map(|d| open_server_with_catalog(d.path(), None))
-        .collect();
-    let pool: Vec<DataServer> = servers
-        .iter()
-        .map(|s| DataServer::new(&s.endpoint(), "/vol", auth()))
-        .collect();
+    let pool: Vec<DataServer> = (0..3).map(|i| sim.data_server(i, "/vol")).collect();
 
     let striped = tss::core::StripedFs::new(
         Arc::new(tss::core::LocalFs::new(meta1.path()).unwrap()),
         pool.clone(),
         3,
         64 * 1024,
-        tss::core::stubfs::StubFsOptions::default(),
+        sim.stubfs_options(),
     )
     .unwrap();
     striped.ensure_volumes().unwrap();
@@ -318,11 +346,11 @@ fn extension_abstractions_compose_with_the_adapter() {
         Arc::new(tss::core::LocalFs::new(meta2.path()).unwrap()),
         pool,
         2,
-        tss::core::stubfs::StubFsOptions::default(),
+        sim.stubfs_options(),
     )
     .unwrap();
 
-    let adapter = Adapter::new(AdapterConfig::default()).unwrap();
+    let adapter = Adapter::new(sim_adapter_config(&sim)).unwrap();
     adapter.register("/fast", Arc::new(striped));
     adapter.register("/safe", Arc::new(mirrored));
 

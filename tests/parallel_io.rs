@@ -1,11 +1,17 @@
 //! Concurrent data-path end-to-end test: many client threads doing
-//! striped and mirrored I/O against a small pool of real loopback
-//! servers, checking data integrity and the connection-pool invariant
-//! (every checkout is eventually checked back in).
+//! striped and mirrored I/O against a small pool of servers, checking
+//! data integrity and the connection-pool invariant (every checkout is
+//! eventually checked back in).
+//!
+//! The full-size scenario runs on the in-memory network — real accept
+//! loops and handler stacks, no ports, no loopback contention, no
+//! timeout flakiness on a loaded machine. A scaled-down copy of the
+//! same scenario stays on real TCP as the loopback smoke path.
 
 use std::sync::Arc;
 use std::time::Duration;
 
+use simharness::harness::SimTss;
 use tss::chirp_client::AuthMethod;
 use tss::chirp_proto::testutil::TempDir;
 use tss::chirp_server::acl::Acl;
@@ -18,19 +24,6 @@ fn auth() -> Vec<AuthMethod> {
     vec![AuthMethod::Hostname]
 }
 
-fn open_server(root: &std::path::Path) -> FileServer {
-    let cfg = ServerConfig::localhost(root, "parallel-io")
-        .with_root_acl(Acl::single("hostname:*", "rwlda").unwrap());
-    FileServer::start(cfg).unwrap()
-}
-
-fn data_pool(servers: &[FileServer]) -> Vec<DataServer> {
-    servers
-        .iter()
-        .map(|s| DataServer::new(&s.endpoint(), "/vol", auth()))
-        .collect()
-}
-
 /// A deterministic per-thread payload large enough to cross several
 /// stripe boundaries.
 fn payload(thread: usize) -> Vec<u8> {
@@ -39,24 +32,16 @@ fn payload(thread: usize) -> Vec<u8> {
         .collect()
 }
 
-#[test]
-fn concurrent_striped_and_mirrored_io_is_coherent() {
-    // Four real servers on the loopback, eight client threads, every
-    // thread writing and reading back both a striped and a mirrored
-    // file while all the others do the same.
-    let hosts: Vec<TempDir> = (0..4).map(|_| TempDir::new()).collect();
-    let servers: Vec<FileServer> = hosts.iter().map(|d| open_server(d.path())).collect();
-    let options = StubFsOptions {
-        timeout: Duration::from_secs(5),
-        ..StubFsOptions::default()
-    };
-
+/// Drive `threads` writer/reader threads against one striped and one
+/// mirrored abstraction over the given pool, then check the pool
+/// invariants. Shared by the in-memory and real-TCP variants.
+fn exercise_concurrent_io(pool: Vec<DataServer>, options: StubFsOptions, threads: usize) {
     let striped_meta = TempDir::new();
     let striped = Arc::new(
         StripedFs::new(
             Arc::new(LocalFs::new(striped_meta.path()).unwrap()),
-            data_pool(&servers),
-            4,
+            pool.clone(),
+            pool.len(),
             16 * 1024,
             options.clone(),
         )
@@ -68,8 +53,8 @@ fn concurrent_striped_and_mirrored_io_is_coherent() {
     let mirrored = Arc::new(
         MirroredFs::new(
             Arc::new(LocalFs::new(mirrored_meta.path()).unwrap()),
-            data_pool(&servers),
-            3,
+            pool.clone(),
+            pool.len().min(3),
             options,
         )
         .unwrap(),
@@ -77,7 +62,7 @@ fn concurrent_striped_and_mirrored_io_is_coherent() {
     mirrored.ensure_volumes().unwrap();
 
     std::thread::scope(|scope| {
-        for t in 0..8 {
+        for t in 0..threads {
             let striped = Arc::clone(&striped);
             let mirrored = Arc::clone(&mirrored);
             scope.spawn(move || {
@@ -100,7 +85,7 @@ fn concurrent_striped_and_mirrored_io_is_coherent() {
     });
 
     // Everything was deleted by its writer.
-    for t in 0..8 {
+    for t in 0..threads {
         assert!(striped.stat(&format!("/striped-{t}")).is_err());
         assert!(mirrored.stat(&format!("/mirrored-{t}")).is_err());
     }
@@ -113,4 +98,40 @@ fn concurrent_striped_and_mirrored_io_is_coherent() {
         assert_eq!(stats.checkouts, stats.checkins);
         assert_eq!(stats.checkouts, stats.hits + stats.misses);
     }
+}
+
+#[test]
+fn concurrent_striped_and_mirrored_io_is_coherent() {
+    // Four real servers on the in-memory network, eight client
+    // threads, every thread writing and reading back both a striped
+    // and a mirrored file while all the others do the same.
+    let sim = SimTss::builder().servers(4).build();
+    let pool: Vec<DataServer> = (0..4).map(|i| sim.data_server(i, "/vol")).collect();
+    exercise_concurrent_io(pool, sim.stubfs_options(), 8);
+}
+
+#[test]
+fn concurrent_io_smoke_over_real_tcp() {
+    // The same scenario, scaled down, over genuine loopback sockets:
+    // keeps the TCP accept path, Nagle interactions, and socket
+    // shutdown behavior covered without the full-size test's
+    // sensitivity to machine load.
+    let hosts: Vec<TempDir> = (0..2).map(|_| TempDir::new()).collect();
+    let servers: Vec<FileServer> = hosts
+        .iter()
+        .map(|d| {
+            let cfg = ServerConfig::localhost(d.path(), "parallel-io")
+                .with_root_acl(Acl::single("hostname:*", "rwlda").unwrap());
+            FileServer::start(cfg).unwrap()
+        })
+        .collect();
+    let pool: Vec<DataServer> = servers
+        .iter()
+        .map(|s| DataServer::new(&s.endpoint(), "/vol", auth()))
+        .collect();
+    let options = StubFsOptions {
+        timeout: Duration::from_secs(5),
+        ..StubFsOptions::default()
+    };
+    exercise_concurrent_io(pool, options, 2);
 }
