@@ -25,6 +25,10 @@ struct Row {
     p50_us: f64,
     p99_us: f64,
     free: Option<u64>,
+    /// Buffer-cache hit rate and resident bytes, when the server runs
+    /// one (`--cache-bytes`); servers without a cache report neither
+    /// counter and show `-`.
+    cache: Option<(f64, i64)>,
 }
 
 fn fetch(
@@ -95,6 +99,19 @@ fn rows(
                 .histogram("rpc.latency_ns")
                 .map(|h| (h.quantile(0.50) as f64 / 1e3, h.quantile(0.99) as f64 / 1e3))
                 .unwrap_or((0.0, 0.0));
+            let cache = snap.counter("cache.hits").map(|hits| {
+                let misses = snap.counter("cache.misses").unwrap_or(0);
+                let rate = if hits + misses > 0 {
+                    hits as f64 / (hits + misses) as f64
+                } else {
+                    0.0
+                };
+                let resident = match snap.metrics.get("cache.resident_bytes") {
+                    Some(MetricValue::Gauge(b)) => *b,
+                    _ => 0,
+                };
+                (rate, resident)
+            });
             Row {
                 name: name.clone(),
                 address: address.clone(),
@@ -104,24 +121,45 @@ fn rows(
                 p50_us,
                 p99_us,
                 free: free.get(name).copied(),
+                cache,
             }
         })
         .collect()
 }
 
 fn render(rows: &[Row]) {
+    // New columns go at the end: scripts (and the tss_top test)
+    // address existing ones by position.
     println!(
-        "{:<28} {:<22} {:>8} {:>8} {:>6} {:>9} {:>9} {:>10}",
-        "NAME", "ADDRESS", "RPCS", "RPC/S", "ERRS", "P50(us)", "P99(us)", "FREE(MB)"
+        "{:<28} {:<22} {:>8} {:>8} {:>6} {:>9} {:>9} {:>10} {:>7} {:>9}",
+        "NAME",
+        "ADDRESS",
+        "RPCS",
+        "RPC/S",
+        "ERRS",
+        "P50(us)",
+        "P99(us)",
+        "FREE(MB)",
+        "CACHE%",
+        "RES(KB)"
     );
     for r in rows {
         let free = r
             .free
             .map(|f| format!("{}", f / (1 << 20)))
             .unwrap_or_else(|| "-".to_string());
+        let (hit, res) = r
+            .cache
+            .map(|(rate, resident)| {
+                (
+                    format!("{:.1}", rate * 100.0),
+                    format!("{}", resident / 1024),
+                )
+            })
+            .unwrap_or_else(|| ("-".to_string(), "-".to_string()));
         println!(
-            "{:<28} {:<22} {:>8} {:>8.1} {:>6} {:>9.1} {:>9.1} {:>10}",
-            r.name, r.address, r.rpcs, r.rate, r.errors, r.p50_us, r.p99_us, free
+            "{:<28} {:<22} {:>8} {:>8.1} {:>6} {:>9.1} {:>9.1} {:>10} {:>7} {:>9}",
+            r.name, r.address, r.rpcs, r.rate, r.errors, r.p50_us, r.p99_us, free, hit, res
         );
     }
     if rows.is_empty() {

@@ -18,6 +18,7 @@ fn tss_top_renders_live_server_metrics() {
         .with_root_acl(Acl::single("hostname:*", "rwlda").unwrap())
         .with_catalog(cat.udp_addr(), Duration::from_millis(50));
     cfg.server_name = Some("bench-node".to_string());
+    cfg.cache_bytes = Some(1 << 20);
     let server = FileServer::start(cfg).unwrap();
 
     let mut conn = Connection::connect(server.addr(), Duration::from_secs(5)).unwrap();
@@ -26,12 +27,21 @@ fn tss_top_renders_live_server_metrics() {
     for _ in 0..4 {
         conn.stat("/x").unwrap();
     }
+    // Cached reads, so the CACHE% / RES(KB) columns have something to
+    // show: the first read populates, the rest hit.
+    let fd = conn.open("/x", chirp_proto::OpenFlags::READ, 0).unwrap();
+    for _ in 0..4 {
+        conn.pread(fd, 7, 0).unwrap();
+    }
     drop(conn);
 
-    // Wait until the catalog has a report carrying RPC counters.
+    // Wait until the catalog has a report carrying RPC and cache
+    // counters from after the driven traffic.
     for _ in 0..400 {
         let l = cat.listing();
-        if l.first().is_some_and(|r| r.metrics.counter_sum("rpc.") > 0) {
+        if l.first().is_some_and(|r| {
+            r.metrics.counter_sum("rpc.") > 0 && r.metrics.counter("cache.hits").unwrap_or(0) > 0
+        }) {
             break;
         }
         std::thread::sleep(Duration::from_millis(10));
@@ -55,4 +65,14 @@ fn tss_top_renders_live_server_metrics() {
         .expect("server row");
     let rpcs: u64 = row.split_whitespace().nth(2).unwrap().parse().unwrap();
     assert!(rpcs >= 5, "RPC total should cover the driven ops: {row}");
+    let hit_pct: f64 = row.split_whitespace().nth(8).unwrap().parse().unwrap();
+    assert!(
+        hit_pct > 0.0,
+        "CACHE% should reflect the repeated preads: {row}"
+    );
+    let resident_kb: i64 = row.split_whitespace().nth(9).unwrap().parse().unwrap();
+    assert!(
+        resident_kb > 0,
+        "RES(KB) should show the populated page: {row}"
+    );
 }

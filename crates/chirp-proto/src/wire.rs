@@ -136,6 +136,37 @@ pub fn copy_exact<R: Read, W: Write>(reader: &mut R, writer: &mut W, len: u64) -
     Ok(())
 }
 
+/// Write every byte of every buffer, preferring a single vectored
+/// write per round trip to the OS. The scatter-gather reply path uses
+/// this to send cached pages without assembling them into one
+/// contiguous allocation first.
+///
+/// Handles partial progress the hard way: a `write_vectored` may stop
+/// mid-buffer, so the slice list is rebuilt from the first unwritten
+/// byte each round.
+pub fn write_all_vectored<W: Write>(writer: &mut W, bufs: &[&[u8]]) -> io::Result<()> {
+    let mut bufs: Vec<&[u8]> = bufs.iter().filter(|b| !b.is_empty()).copied().collect();
+    while !bufs.is_empty() {
+        let slices: Vec<io::IoSlice> = bufs.iter().map(|b| io::IoSlice::new(b)).collect();
+        let mut n = writer.write_vectored(&slices)?;
+        if n == 0 {
+            return Err(io::ErrorKind::WriteZero.into());
+        }
+        let mut consumed = 0;
+        for b in &mut bufs {
+            if n >= b.len() {
+                n -= b.len();
+                consumed += 1;
+            } else {
+                *b = &b[n..];
+                break;
+            }
+        }
+        bufs.drain(..consumed);
+    }
+    Ok(())
+}
+
 /// Read exactly `len` bytes into a fresh buffer, enforcing
 /// [`crate::MAX_PAYLOAD`].
 pub fn read_payload<R: Read>(reader: &mut R, len: u64) -> Result<Vec<u8>, ChirpError> {
@@ -238,6 +269,40 @@ mod tests {
         let src = [0u8; 10];
         let mut out = Vec::new();
         assert!(copy_exact(&mut &src[..], &mut out, 20).is_err());
+    }
+
+    #[test]
+    fn write_all_vectored_is_identity() {
+        let bufs: Vec<Vec<u8>> = vec![vec![1; 3], vec![], vec![2; 5], vec![3; 1]];
+        let refs: Vec<&[u8]> = bufs.iter().map(|b| b.as_slice()).collect();
+        let mut out = Vec::new();
+        write_all_vectored(&mut out, &refs).unwrap();
+        assert_eq!(out, [vec![1; 3], vec![2; 5], vec![3; 1]].concat());
+        let mut empty = Vec::new();
+        write_all_vectored(&mut empty, &[]).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn write_all_vectored_survives_partial_writes() {
+        // A writer that takes at most 2 bytes per call, exercising the
+        // mid-buffer resumption path.
+        struct Dribble(Vec<u8>);
+        impl Write for Dribble {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                let n = buf.len().min(2);
+                self.0.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let a: Vec<u8> = (0..7).collect();
+        let b: Vec<u8> = (7..10).collect();
+        let mut w = Dribble(Vec::new());
+        write_all_vectored(&mut w, &[&a, &b]).unwrap();
+        assert_eq!(w.0, (0..10).collect::<Vec<u8>>());
     }
 
     #[test]

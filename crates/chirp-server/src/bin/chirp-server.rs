@@ -32,6 +32,7 @@ fn usage() -> ! {
          \x20 --catalog HOST:PORT      report to this catalog (repeatable)\n\
          \x20 --report-interval SECS   seconds between reports (default 300)\n\
          \x20 --capacity BYTES         advertised capacity (default 1 GiB)\n\
+         \x20 --cache-bytes BYTES      server-side buffer cache budget (0 = off, the default)\n\
          \x20 --name NAME              server name in catalog listings",
         chirp_proto::DEFAULT_PORT
     );
@@ -50,6 +51,7 @@ fn main() {
     let mut catalogs: Vec<std::net::SocketAddr> = Vec::new();
     let mut server_name: Option<String> = None;
     let mut unix_dir: Option<String> = None;
+    let mut cache_bytes: Option<u64> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -81,6 +83,10 @@ fn main() {
                 report_interval = Duration::from_secs(val().parse().unwrap_or_else(|_| usage()));
             }
             "--capacity" => capacity = val().parse().unwrap_or_else(|_| usage()),
+            "--cache-bytes" => {
+                let bytes: u64 = val().parse().unwrap_or_else(|_| usage());
+                cache_bytes = (bytes > 0).then_some(bytes);
+            }
             "--name" => server_name = Some(val()),
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -106,6 +112,7 @@ fn main() {
     config.report_interval = report_interval;
     config.server_name = server_name;
     config.unix_challenge_dir = unix_dir.map(Into::into);
+    config.cache_bytes = cache_bytes;
     for f in config_mods {
         config = f(config);
     }

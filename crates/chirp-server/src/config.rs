@@ -90,6 +90,14 @@ pub struct ServerConfig {
     /// pushes data to another server). TCP by default; the simulation
     /// harness points it at the in-memory network.
     pub dialer: Dialer,
+    /// Byte budget for the server-side buffer cache. `None` (the
+    /// default) disables caching entirely: every read goes to the
+    /// filesystem, bit-identically to pre-cache servers. The paper's
+    /// testbed fronted each disk with 512 MB.
+    pub cache_bytes: Option<u64>,
+    /// Buffer-cache page size in bytes (default 8 KiB — small enough
+    /// that cold partial reads stay near the read-through cost).
+    pub cache_page_bytes: usize,
 }
 
 impl ServerConfig {
@@ -116,7 +124,16 @@ impl ServerConfig {
             server_name: None,
             service_delay: None,
             dialer: Dialer::tcp(),
+            cache_bytes: None,
+            cache_page_bytes: 8192,
         }
+    }
+
+    /// Enable the buffer cache with a budget of `bytes` (see
+    /// [`ServerConfig::cache_bytes`]).
+    pub fn with_cache(mut self, bytes: u64) -> ServerConfig {
+        self.cache_bytes = Some(bytes);
+        self
     }
 
     /// Add an artificial per-data-RPC service time (see

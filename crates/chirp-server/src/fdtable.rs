@@ -7,8 +7,11 @@
 //! paper's deliberately simple server-side failure semantics.
 
 use std::fs::File;
+use std::sync::Arc;
 
 use chirp_proto::{ChirpError, ChirpResult};
+
+use crate::cache::{file_key, FileKey, FileState};
 
 /// One open file.
 #[derive(Debug)]
@@ -17,6 +20,40 @@ pub struct OpenFile {
     pub file: File,
     /// Flush to stable storage after every write (`OpenFlags::SYNC`).
     pub sync: bool,
+    /// Writes go to the current EOF (`OpenFlags::APPEND`).
+    pub append: bool,
+    /// Opened with `OpenFlags::READ` (a cache hit on a write-only
+    /// descriptor must still fail the way `read(2)` would).
+    pub readable: bool,
+    /// The file's `(device, inode)` identity — the buffer cache key.
+    pub key: FileKey,
+    /// Size and liveness shared by every descriptor on this inode,
+    /// so the hot write path computes growth without an `fstat`.
+    pub state: Arc<FileState>,
+}
+
+impl OpenFile {
+    /// The current tracked size.
+    pub fn size(&self) -> u64 {
+        self.state.size.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// A plain read-write descriptor on `file` for tests: fstats once
+    /// to seed the key and size, shares no state with other opens.
+    pub fn for_tests(file: File) -> OpenFile {
+        let meta = file.metadata().expect("fstat test file");
+        OpenFile {
+            key: file_key(&meta),
+            state: Arc::new(FileState {
+                size: std::sync::atomic::AtomicU64::new(meta.len()),
+                ..FileState::default()
+            }),
+            file,
+            sync: false,
+            append: false,
+            readable: true,
+        }
+    }
 }
 
 /// A table of open descriptors, bounded by the server's
@@ -81,10 +118,7 @@ mod tests {
     use chirp_proto::testutil::TempDir;
 
     fn open_file(dir: &TempDir, name: &str) -> OpenFile {
-        OpenFile {
-            file: File::create(dir.path().join(name)).unwrap(),
-            sync: false,
-        }
+        OpenFile::for_tests(File::create(dir.path().join(name)).unwrap())
     }
 
     #[test]

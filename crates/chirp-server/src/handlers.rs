@@ -11,9 +11,27 @@ use chirp_proto::{ChirpError, ChirpResult, OpenFlags, Request, StatBuf, StatFs};
 
 use crate::acl::{wildcard_match, Acl, Rights};
 use crate::auth::{AuthOutcome, Authenticator};
+use crate::cache::{file_key, PageReply};
 use crate::fdtable::{FdTable, OpenFile};
 use crate::jail::ACL_FILE;
 use crate::server::Shared;
+
+/// Counted wrapper around descriptor `fstat` calls. The write path's
+/// freedom from per-write metadata syscalls is a performance contract;
+/// routing every fd-level `metadata()` through here lets a regression
+/// test assert the count stays zero across a burst of writes.
+pub mod syscount {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Total fd-level `fstat` calls made by handlers in this process.
+    pub static FSTAT_CALLS: AtomicU64 = AtomicU64::new(0);
+
+    /// `file.metadata()`, counted.
+    pub fn fstat(file: &std::fs::File) -> std::io::Result<std::fs::Metadata> {
+        FSTAT_CALLS.fetch_add(1, Ordering::Relaxed);
+        file.metadata()
+    }
+}
 
 /// What the connection loop should send back for one request.
 #[derive(Debug)]
@@ -31,6 +49,10 @@ pub enum Reply {
     Scratch(usize),
     /// Status = file length, then the file streamed from disk.
     FileStream(File, u64),
+    /// Status = total length, then buffer-cache pages scatter-gathered
+    /// to the socket — a hot read does zero disk I/O and at most one
+    /// copy (into the socket buffer).
+    Pages(PageReply),
 }
 
 /// The state of one client connection.
@@ -61,6 +83,21 @@ impl Session {
     /// The scratch bytes a [`Reply::Scratch`] refers to.
     pub fn scratch(&self) -> &[u8] {
         &self.scratch
+    }
+
+    /// Scratch watermark: a connection's reusable read buffer shrinks
+    /// back to this after serving an oversized reply, so one
+    /// `MAX_PAYLOAD` read doesn't pin 64 MB for the connection's
+    /// lifetime.
+    pub const SCRATCH_WATERMARK: usize = 64 * 1024;
+
+    /// Release scratch memory above [`Session::SCRATCH_WATERMARK`].
+    /// The connection loop calls this after each reply is written.
+    pub fn trim_scratch(&mut self) {
+        if self.scratch.capacity() > Self::SCRATCH_WATERMARK {
+            self.scratch.truncate(Self::SCRATCH_WATERMARK);
+            self.scratch.shrink_to(Self::SCRATCH_WATERMARK);
+        }
     }
 
     /// The authenticated subject, if any.
@@ -96,7 +133,7 @@ impl Session {
             Request::Fstat { fd } => {
                 self.require_subject()?;
                 let f = self.fds.get(fd)?;
-                let meta = f.file.metadata().map_err(|e| ChirpError::from_io(&e))?;
+                let meta = syscount::fstat(&f.file).map_err(|e| ChirpError::from_io(&e))?;
                 Ok(Reply::Words(0, meta_to_stat(&meta).to_words()))
             }
             Request::Fsync { fd } => {
@@ -108,15 +145,17 @@ impl Session {
             Request::Ftruncate { fd, size } => {
                 self.require_subject()?;
                 let f = self.fds.get(fd)?;
-                let old = f
-                    .file
-                    .metadata()
-                    .map_err(|e| ChirpError::from_io(&e))?
-                    .len();
+                let old = f.size();
                 if size > old && self.shared.over_capacity(size - old) {
                     return Err(ChirpError::NoSpace);
                 }
                 f.file.set_len(size).map_err(|e| ChirpError::from_io(&e))?;
+                if let Some(cache) = &self.shared.cache {
+                    cache.truncate(f.key, old, size);
+                }
+                f.state
+                    .size
+                    .store(size, std::sync::atomic::Ordering::Relaxed);
                 self.shared.adjust_usage(size as i64 - old as i64);
                 Ok(Reply::Value(0))
             }
@@ -192,6 +231,15 @@ impl Session {
         )?;
         chirp_proto::wire::copy_exact(reader, &mut file, length)
             .map_err(|e| ChirpError::from_io(&e))?;
+        // The upload truncated and rewrote the inode: stale pages go,
+        // and descriptors already open on it learn the new size.
+        if let Ok(meta) = syscount::fstat(&file) {
+            let key = file_key(&meta);
+            if let Some(cache) = &self.shared.cache {
+                cache.invalidate(key);
+            }
+            self.shared.sizes.set_size(key, length);
+        }
         self.shared.adjust_usage(length as i64 - old_size as i64);
         self.shared.stats.wrote_bytes(length);
         Ok(Reply::Value(0))
@@ -300,9 +348,26 @@ impl Session {
         opts.truncate(flags.contains(OpenFlags::TRUNCATE));
         let file = open_with_mode(&mut opts, &host, mode)?;
         self.shared.adjust_usage(-(truncated_bytes as i64));
+        // One fstat per open seeds the inode key and tracked size;
+        // every later write and ftruncate on the descriptor maintains
+        // the size without touching the kernel again.
+        let meta = syscount::fstat(&file).map_err(|e| ChirpError::from_io(&e))?;
+        let key = file_key(&meta);
+        if truncated_bytes > 0 {
+            // O_TRUNC reused the inode but emptied it.
+            if let Some(cache) = &self.shared.cache {
+                cache.truncate(key, truncated_bytes, 0);
+            }
+            self.shared.sizes.set_size(key, 0);
+        }
+        let state = self.shared.sizes.track(key, meta.len());
         let fd = self.fds.insert(OpenFile {
             file,
             sync: flags.contains(OpenFlags::SYNC),
+            append: flags.contains(OpenFlags::APPEND),
+            readable: flags.contains(OpenFlags::READ),
+            key,
+            state,
         })?;
         Ok(Reply::Value(fd as i64))
     }
@@ -315,10 +380,29 @@ impl Session {
         if let Some(delay) = self.shared.config.service_delay {
             std::thread::sleep(delay);
         }
+        let f = self.fds.get(fd)?;
+        if let Some(cache) = &self.shared.cache {
+            if !cache.bypass(length) {
+                if length == 0 {
+                    // The read loop never consults the kernel for an
+                    // empty buffer — succeeds even on a write-only fd.
+                    return Ok(Reply::Pages(PageReply::default()));
+                }
+                if !f.readable {
+                    // read(2) on a write-only descriptor: EBADF. A
+                    // cache hit must fail exactly like the syscall.
+                    return Err(ChirpError::Io);
+                }
+                let doomed = f.state.doomed.load(std::sync::atomic::Ordering::Relaxed);
+                let reply =
+                    cache.read(&f.file, f.key, offset, length as usize, f.size(), !doomed)?;
+                self.shared.stats.read_bytes(reply.total() as u64);
+                return Ok(Reply::Pages(reply));
+            }
+        }
         if self.scratch.len() < length as usize {
             self.scratch.resize(length as usize, 0);
         }
-        let f = self.fds.get(fd)?;
         let n = read_at(&f.file, &mut self.scratch[..length as usize], offset)?;
         self.shared.stats.read_bytes(n as u64);
         Ok(Reply::Scratch(n))
@@ -331,13 +415,18 @@ impl Session {
         }
         let f = self.fds.get(fd)?;
         // Capacity policy applies to the bytes the write would grow
-        // the file by, not to overwrites in place.
-        let old_size = f
-            .file
-            .metadata()
-            .map_err(|e| ChirpError::from_io(&e))?
-            .len();
-        let new_size = old_size.max(offset + data.len() as u64);
+        // the file by, not to overwrites in place. The size comes
+        // from the shared per-inode tracker: zero syscalls here.
+        let old_size = f.size();
+        // pwrite(2) on an O_APPEND descriptor writes at EOF no matter
+        // the offset; mirror the kernel so the cache patches the
+        // bytes the disk actually took.
+        let eff_off = if f.append { old_size } else { offset };
+        let new_size = if data.is_empty() {
+            old_size
+        } else {
+            old_size.max(eff_off + data.len() as u64)
+        };
         let growth = new_size - old_size;
         if growth > 0 && self.shared.over_capacity(growth) {
             return Err(ChirpError::NoSpace);
@@ -345,6 +434,14 @@ impl Session {
         write_all_at(&f.file, data, offset)?;
         if f.sync {
             f.file.sync_all().map_err(|e| ChirpError::from_io(&e))?;
+        }
+        if !data.is_empty() {
+            if let Some(cache) = &self.shared.cache {
+                cache.write_through(f.key, eff_off, data, old_size);
+            }
+            f.state
+                .size
+                .fetch_max(new_size, std::sync::atomic::Ordering::Relaxed);
         }
         self.shared.adjust_usage(growth as i64);
         self.shared.stats.wrote_bytes(data.len() as u64);
@@ -391,8 +488,20 @@ impl Session {
         if host.is_dir() {
             return Err(ChirpError::IsADirectory);
         }
-        let size = std::fs::metadata(&host).map(|m| m.len()).unwrap_or(0);
+        let meta = std::fs::metadata(&host).ok();
         std::fs::remove_file(&host).map_err(|e| ChirpError::from_io(&e))?;
+        if let Some(meta) = &meta {
+            // Open descriptors keep the inode readable, but once the
+            // last one closes the inode number can be recycled — drop
+            // the pages now and doom the incarnation so nothing
+            // repopulates them (see the cache module docs).
+            let key = file_key(meta);
+            self.shared.sizes.doom(key);
+            if let Some(cache) = &self.shared.cache {
+                cache.invalidate(key);
+            }
+        }
+        let size = meta.map(|m| m.len()).unwrap_or(0);
         self.shared.adjust_usage(-(size as i64));
         Ok(Reply::Value(0))
     }
@@ -406,7 +515,21 @@ impl Session {
         if !src.exists() {
             return Err(ChirpError::NotFound);
         }
-        std::fs::rename(&src, to_dir.join(to_leaf)).map_err(|e| ChirpError::from_io(&e))?;
+        let dst = to_dir.join(to_leaf);
+        let clobbered = std::fs::metadata(&dst).ok().map(|m| file_key(&m));
+        std::fs::rename(&src, &dst).map_err(|e| ChirpError::from_io(&e))?;
+        if let Some(key) = clobbered {
+            // The rename unlinked the old target inode — same
+            // treatment as UNLINK, unless the "target" was the source
+            // itself (rename onto self replaces nothing).
+            let now = std::fs::metadata(&dst).ok().map(|m| file_key(&m));
+            if now != Some(key) {
+                self.shared.sizes.doom(key);
+                if let Some(cache) = &self.shared.cache {
+                    cache.invalidate(key);
+                }
+            }
+        }
         Ok(Reply::Value(0))
     }
 
@@ -526,6 +649,14 @@ impl Session {
             return Err(ChirpError::IsADirectory);
         }
         self.shared.stats.read_bytes(meta.len());
+        if let Some(cache) = &self.shared.cache {
+            // Serve a fully-resident file straight from pages; a
+            // partial miss streams from disk without populating, so a
+            // whole-tree copy can't wipe out the hot working set.
+            if let Some(reply) = cache.probe_file(file_key(&meta), meta.len()) {
+                return Ok(Reply::Pages(reply));
+            }
+        }
         Ok(Reply::FileStream(file, meta.len()))
     }
 
@@ -599,11 +730,17 @@ impl Session {
             .write(true)
             .open(dir.join(leaf))
             .map_err(|e| ChirpError::from_io(&e))?;
-        let old = file.metadata().map_err(|e| ChirpError::from_io(&e))?.len();
+        let meta = syscount::fstat(&file).map_err(|e| ChirpError::from_io(&e))?;
+        let old = meta.len();
         if size > old && self.shared.over_capacity(size - old) {
             return Err(ChirpError::NoSpace);
         }
         file.set_len(size).map_err(|e| ChirpError::from_io(&e))?;
+        let key = file_key(&meta);
+        if let Some(cache) = &self.shared.cache {
+            cache.truncate(key, old, size);
+        }
+        self.shared.sizes.set_size(key, size);
         self.shared.adjust_usage(size as i64 - old as i64);
         Ok(Reply::Value(0))
     }
@@ -754,6 +891,115 @@ mod tests {
         let sub = dir.subdir("s");
         std::fs::write(sub.join("b"), vec![0u8; 50]).unwrap();
         assert_eq!(disk_usage(dir.path()), 150);
+    }
+
+    /// One session, end to end at the handler layer: a burst of
+    /// writes, reads, and ftruncates on an open descriptor must make
+    /// zero `fstat` calls (the fd table tracks the size), and an
+    /// oversized read must not pin its scratch buffer after trimming.
+    ///
+    /// A single combined test because [`syscount::FSTAT_CALLS`] is
+    /// process-global: two tests measuring it in parallel would see
+    /// each other's opens.
+    #[test]
+    fn hot_io_burst_is_fstat_free_and_scratch_shrinks() {
+        use chirp_proto::message::Request;
+        use chirp_proto::OpenFlags;
+
+        let dir = TempDir::new();
+        let cfg = crate::config::ServerConfig::localhost(dir.path(), "o")
+            .with_root_acl(crate::acl::Acl::single("hostname:*", "rwlda").unwrap())
+            .with_cache(64 * 1024);
+        let shared = crate::server::Shared::new(cfg).unwrap();
+        let mut s = Session::new(shared, "127.0.0.1".parse().unwrap());
+        s.handle(
+            Request::Auth {
+                method: "hostname".into(),
+                name: "localhost".into(),
+                credential: String::new(),
+            },
+            None,
+        )
+        .unwrap();
+        let open = s
+            .handle(
+                Request::Open {
+                    path: "/f".into(),
+                    flags: OpenFlags::READ | OpenFlags::WRITE | OpenFlags::CREATE,
+                    mode: 0o644,
+                },
+                None,
+            )
+            .unwrap();
+        let Reply::Value(fd) = open else {
+            panic!("open reply");
+        };
+        let fd = fd as i32;
+
+        let before = syscount::FSTAT_CALLS.load(std::sync::atomic::Ordering::Relaxed);
+        for i in 0..256u64 {
+            s.handle(
+                Request::Pwrite {
+                    fd,
+                    length: 100,
+                    offset: i * 100,
+                },
+                Some(vec![7u8; 100]),
+            )
+            .unwrap();
+        }
+        for i in 0..64u64 {
+            s.handle(
+                Request::Pread {
+                    fd,
+                    length: 400,
+                    offset: i * 400,
+                },
+                None,
+            )
+            .unwrap();
+        }
+        s.handle(Request::Ftruncate { fd, size: 10_000 }, None)
+            .unwrap();
+        s.handle(Request::Ftruncate { fd, size: 40_000 }, None)
+            .unwrap();
+        let after = syscount::FSTAT_CALLS.load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(
+            after - before,
+            0,
+            "the hot read/write/ftruncate path must not fstat"
+        );
+
+        // An oversized read (past the cache bypass threshold) lands in
+        // scratch and grows it; the post-reply trim must release it.
+        let big = 4 << 20;
+        s.handle(
+            Request::Pwrite {
+                fd,
+                length: big,
+                offset: 0,
+            },
+            Some(vec![9u8; big as usize]),
+        )
+        .unwrap();
+        let reply = s
+            .handle(
+                Request::Pread {
+                    fd,
+                    length: big,
+                    offset: 0,
+                },
+                None,
+            )
+            .unwrap();
+        assert!(matches!(reply, Reply::Scratch(n) if n == big as usize));
+        assert!(s.scratch.capacity() >= big as usize);
+        s.trim_scratch();
+        assert!(
+            s.scratch.capacity() <= Session::SCRATCH_WATERMARK,
+            "scratch must shrink to the watermark, got {}",
+            s.scratch.capacity()
+        );
     }
 
     #[test]

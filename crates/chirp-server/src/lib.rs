@@ -26,6 +26,7 @@
 
 pub mod acl;
 pub mod auth;
+pub mod cache;
 pub mod config;
 pub mod fdtable;
 pub mod handlers;
@@ -36,6 +37,7 @@ pub mod stats;
 
 pub use acl::{Acl, AclEntry, Rights};
 pub use auth::{AuthOutcome, Authenticator};
+pub use cache::{PageCache, PageReply};
 pub use config::ServerConfig;
 pub use jail::Jail;
 pub use server::FileServer;

@@ -92,21 +92,10 @@ pub fn report_loop(shared: Arc<Shared>, addr: SocketAddr) {
 mod tests {
     use super::*;
     use crate::config::ServerConfig;
-    use crate::jail::Jail;
-    use crate::stats::ServerStats;
     use chirp_proto::testutil::TempDir;
-    use std::sync::atomic::{AtomicBool, AtomicUsize};
 
-    fn shared(root: &std::path::Path) -> Shared {
-        Shared {
-            config: ServerConfig::localhost(root, "alice"),
-            jail: Jail::new(root).unwrap(),
-            stats: ServerStats::default(),
-            telemetry: crate::stats::ServerTelemetry::default(),
-            active: AtomicUsize::new(0),
-            shutdown: AtomicBool::new(false),
-            used_bytes: std::sync::atomic::AtomicU64::new(0),
-        }
+    fn shared(root: &std::path::Path) -> Arc<Shared> {
+        Shared::new(ServerConfig::localhost(root, "alice")).unwrap()
     }
 
     #[test]

@@ -15,6 +15,7 @@ use chirp_proto::transport::{Listener, Transport};
 use chirp_proto::wire;
 use chirp_proto::{ChirpError, Request};
 
+use crate::cache::{PageCache, PageReply, SizeTable};
 use crate::config::ServerConfig;
 use crate::handlers::{Reply, Session};
 use crate::jail::Jail;
@@ -31,6 +32,13 @@ pub struct Shared {
     /// Per-op metrics, latency histograms, and the RPC trace ring;
     /// folded into every catalog report.
     pub telemetry: ServerTelemetry,
+    /// The server-side buffer cache; `None` (the default) reads
+    /// through to the filesystem on every `PREAD`, bit-identically to
+    /// a cacheless server.
+    pub cache: Option<PageCache>,
+    /// Per-inode size tracking shared across descriptors, so the hot
+    /// write path computes growth without an `fstat`.
+    pub sizes: SizeTable,
     /// Currently active connections.
     pub active: AtomicUsize,
     /// Set when the server is shutting down.
@@ -41,6 +49,42 @@ pub struct Shared {
 }
 
 impl Shared {
+    /// Build the shared server state: create and jail the root,
+    /// install the root ACL if the directory is not already governed,
+    /// size the buffer cache, and take the initial usage walk. This
+    /// is everything [`FileServer::start_on`] does short of spawning
+    /// threads, exposed so benches and tests can drive
+    /// [`Session`](crate::handlers::Session)s directly.
+    pub fn new(config: ServerConfig) -> std::io::Result<Arc<Shared>> {
+        std::fs::create_dir_all(&config.root)?;
+        let jail = Jail::new(&config.root)?;
+        // Install the root ACL only if the directory is not already
+        // governed (exporting existing data must not clobber policy).
+        let acl_path = jail.root().join(crate::jail::ACL_FILE);
+        if !acl_path.exists() && !config.root_acl.entries().is_empty() {
+            config
+                .root_acl
+                .store(jail.root())
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+        }
+        let used = crate::handlers::disk_usage(jail.root());
+        let telemetry = ServerTelemetry::default();
+        let cache = config
+            .cache_bytes
+            .filter(|&b| b > 0)
+            .map(|b| PageCache::new(b, config.cache_page_bytes, telemetry.registry()));
+        Ok(Arc::new(Shared {
+            config,
+            jail,
+            stats: ServerStats::default(),
+            telemetry,
+            cache,
+            sizes: SizeTable::new(),
+            active: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            used_bytes: AtomicU64::new(used),
+        }))
+    }
     /// Record `delta` bytes added (positive) or removed (negative).
     pub fn adjust_usage(&self, delta: i64) {
         if delta >= 0 {
@@ -98,28 +142,8 @@ impl FileServer {
         config: ServerConfig,
         listener: Arc<dyn Listener>,
     ) -> std::io::Result<FileServer> {
-        std::fs::create_dir_all(&config.root)?;
-        let jail = Jail::new(&config.root)?;
-        // Install the root ACL only if the directory is not already
-        // governed (exporting existing data must not clobber policy).
-        let acl_path = jail.root().join(crate::jail::ACL_FILE);
-        if !acl_path.exists() && !config.root_acl.entries().is_empty() {
-            config
-                .root_acl
-                .store(jail.root())
-                .map_err(|e| std::io::Error::other(e.to_string()))?;
-        }
+        let shared = Shared::new(config)?;
         let addr = listener.local_addr()?;
-        let used = crate::handlers::disk_usage(jail.root());
-        let shared = Arc::new(Shared {
-            config,
-            jail,
-            stats: ServerStats::default(),
-            telemetry: ServerTelemetry::default(),
-            active: AtomicUsize::new(0),
-            shutdown: AtomicBool::new(false),
-            used_bytes: AtomicU64::new(used),
-        });
         let accept_shared = shared.clone();
         let accept_listener = listener.clone();
         let accept_thread = std::thread::Builder::new()
@@ -275,6 +299,7 @@ fn serve_connection(
             Ok(Reply::Data(data)) => data.len() as u64,
             Ok(Reply::Scratch(n)) => *n as u64,
             Ok(Reply::FileStream(_, len)) => *len,
+            Ok(Reply::Pages(p)) => p.total() as u64,
             _ => 0,
         };
         let error = reply.as_ref().err().copied();
@@ -293,11 +318,16 @@ fn serve_connection(
                 wire::write_status(&mut writer, len as i64)?;
                 wire::copy_exact(&mut file, &mut writer, len)?;
             }
+            Ok(Reply::Pages(p)) => {
+                wire::write_status(&mut writer, p.total() as i64)?;
+                write_pages(&mut writer, &p)?;
+            }
             Err(e) => {
                 shared.stats.error();
                 wire::write_error(&mut writer, e)?;
             }
         }
+        session.trim_scratch();
         // Pipelining: when a complete next request already sits in the
         // read buffer (a `\n` in buffered bytes means at least one full
         // line — payload bytes are consumed before this point), keep
@@ -317,4 +347,25 @@ fn serve_connection(
             error,
         );
     }
+}
+
+/// Write a [`PageReply`]'s slices. Small replies ride the `BufWriter`
+/// (one copy into its buffer, coalescing with the status line and any
+/// pipelined neighbors); large ones flush it and hand the transport a
+/// single vectored write, so a cache hit never costs more than one
+/// copy of the data.
+fn write_pages(
+    writer: &mut BufWriter<Box<dyn Transport>>,
+    reply: &PageReply,
+) -> std::io::Result<()> {
+    let room = writer.capacity() - writer.buffer().len();
+    if reply.total() <= room {
+        for s in reply.slices() {
+            writer.write_all(s.as_slice())?;
+        }
+        return Ok(());
+    }
+    writer.flush()?;
+    let bufs: Vec<&[u8]> = reply.slices().iter().map(|s| s.as_slice()).collect();
+    wire::write_all_vectored(writer.get_mut(), &bufs)
 }

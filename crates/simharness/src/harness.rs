@@ -31,12 +31,21 @@ pub const SIM_TIMEOUT: Duration = Duration::from_secs(5);
 pub struct SimTssBuilder {
     servers: usize,
     root_acl: Acl,
+    cache_bytes: Option<u64>,
 }
 
 impl SimTssBuilder {
     /// Number of file servers to start (default 1).
     pub fn servers(mut self, n: usize) -> SimTssBuilder {
         self.servers = n;
+        self
+    }
+
+    /// Server-side buffer cache budget, `None` to disable (default:
+    /// 64 KiB, deliberately tiny so every simulated workload crosses
+    /// the hit, miss, *and* eviction paths).
+    pub fn cache_bytes(mut self, bytes: Option<u64>) -> SimTssBuilder {
+        self.cache_bytes = bytes;
         self
     }
 
@@ -61,6 +70,7 @@ impl SimTssBuilder {
                 .with_root_acl(self.root_acl.clone());
             let cfg = ServerConfig {
                 dialer: net.dialer(),
+                cache_bytes: self.cache_bytes,
                 ..cfg
             };
             let listener = net.listen();
@@ -93,6 +103,7 @@ impl SimTss {
         SimTssBuilder {
             servers: 1,
             root_acl: Acl::single("hostname:*", "rwlda").expect("valid rights"),
+            cache_bytes: Some(64 * 1024),
         }
     }
 

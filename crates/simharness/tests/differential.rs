@@ -23,8 +23,21 @@ fn default_count() -> u64 {
 }
 
 fn check_range(first_seed: u64, count: u64) -> Result<(), Divergence> {
+    // The builder default enables a deliberately tiny cache, so the
+    // main suite exercises hits, misses, and evictions throughout.
+    check_range_with_cache(first_seed, count, Some(64 * 1024))
+}
+
+fn check_range_with_cache(
+    first_seed: u64,
+    count: u64,
+    cache: Option<u64>,
+) -> Result<(), Divergence> {
     let root_acl = Acl::single("hostname:*", "rwlda").unwrap();
-    let sim = SimTss::builder().root_acl(root_acl.clone()).build();
+    let sim = SimTss::builder()
+        .root_acl(root_acl.clone())
+        .cache_bytes(cache)
+        .build();
     let mut runner = DiffRunner::new(&sim, root_acl);
     for seed in first_seed..first_seed + count {
         runner.check_seed(seed)?;
@@ -37,6 +50,10 @@ fn check_range(first_seed: u64, count: u64) -> Result<(), Divergence> {
 /// unchanged — a failure still names the seed that reproduces it
 /// stand-alone.
 fn check_sharded(count: u64) -> Result<(), Divergence> {
+    check_sharded_with_cache(count, Some(64 * 1024))
+}
+
+fn check_sharded_with_cache(count: u64, cache: Option<u64>) -> Result<(), Divergence> {
     let shards = std::thread::available_parallelism()
         .map(|n| n.get() as u64)
         .unwrap_or(4)
@@ -51,7 +68,7 @@ fn check_sharded(count: u64) -> Result<(), Divergence> {
                     if n == 0 {
                         Ok(())
                     } else {
-                        check_range(first, n)
+                        check_range_with_cache(first, n, cache)
                     }
                 })
             })
@@ -86,6 +103,29 @@ fn generated_sequences_match_the_model() {
         assert!(
             elapsed < std::time::Duration::from_secs(5),
             "10k sequences took {elapsed:?}, budget is 5s"
+        );
+    }
+}
+
+/// The cache must be invisible at every size: disabled, a pathological
+/// two-page budget (one shard, constant eviction, every access racing
+/// the LRU), and one large enough that whole working sets stay
+/// resident. Same seeds at every size, replayed against the cacheless
+/// model. `SIM_SEQS` scales the per-size count like the main suite.
+#[test]
+fn cache_sizes_are_semantically_invisible() {
+    let count: u64 = std::env::var("SIM_SEQS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(default_count);
+    for cache in [None, Some(2 * 8192), Some(4 << 20)] {
+        let start = std::time::Instant::now();
+        if let Err(d) = check_sharded_with_cache(count, cache) {
+            panic!("cache={cache:?}: {d}");
+        }
+        eprintln!(
+            "differential: {count} sequences, cache={cache:?}, in {:?}",
+            start.elapsed()
         );
     }
 }

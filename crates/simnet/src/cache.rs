@@ -79,6 +79,50 @@ impl LruFileCache {
     }
 }
 
+/// Predicted steady-state hit rate for uniform random accesses over a
+/// working set of `files` files of `file_size` bytes each, against an
+/// [`LruFileCache`] of `capacity` bytes.
+///
+/// Runs the actual LRU model with a deterministic LCG access stream:
+/// one warm-up sweep to fill the cache, then `samples` measured
+/// accesses. The live cache sweep (`tss-bench`'s `cache-sweep`) drives
+/// the real server with the same access law and compares against this
+/// curve — the paper's analytic/experimental loop in miniature. Under
+/// uniform access the curve is the resource fraction itself: hit rate
+/// ≈ min(1, capacity / (files * file_size)).
+pub fn predict_uniform_hit_rate(capacity: u64, files: u64, file_size: u64, samples: u64) -> f64 {
+    assert!(files > 0 && file_size > 0 && samples > 0);
+    let mut cache = LruFileCache::new(capacity);
+    let mut state: u64 = 0x2545_f491_4f6c_dd1d;
+    let mut next = move || {
+        // Same multiplier family the generator crates use; period and
+        // quality are ample for picking uniform file indices.
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        (state >> 33) % files
+    };
+    // Warm-up: give every file a chance to enter; steady state for an
+    // LRU under uniform access is reached within a few working-set
+    // passes.
+    for _ in 0..files.saturating_mul(3) {
+        let f = next();
+        if !cache.contains(f) {
+            cache.insert(f, file_size);
+        }
+    }
+    let mut hits = 0u64;
+    for _ in 0..samples {
+        let f = next();
+        if cache.contains(f) {
+            hits += 1;
+        } else {
+            cache.insert(f, file_size);
+        }
+    }
+    hits as f64 / samples as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +174,37 @@ mod tests {
             assert!(c.used() <= 512, "at i={i}: {}", c.used());
         }
         assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn predicted_hit_rate_tracks_the_resource_fraction() {
+        // 256 files of 8 KiB = 2 MiB working set. Under uniform access
+        // the hit rate is the fraction of the working set that fits.
+        let (files, fsize) = (256, 8 * 1024);
+        for (cap_frac, expect) in [(4u64, 0.25), (2, 0.5), (1, 1.0)] {
+            let cap = files * fsize / cap_frac;
+            let rate = predict_uniform_hit_rate(cap, files, fsize, 50_000);
+            assert!(
+                (rate - expect).abs() < 0.05,
+                "cap={cap}: predicted {rate}, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn predicted_hit_rate_is_monotone_and_plateaus() {
+        let (files, fsize) = (128, 4 * 1024);
+        let ws = files * fsize;
+        let mut last = -1.0f64;
+        for cap in [ws / 8, ws / 4, ws / 2, ws, ws * 2] {
+            let rate = predict_uniform_hit_rate(cap, files, fsize, 20_000);
+            assert!(rate >= last - 0.02, "rate dropped at cap={cap}");
+            last = rate;
+        }
+        // Past the working set, more cache buys nothing.
+        assert!(
+            (last - 1.0).abs() < 0.01,
+            "plateau should be ~1.0, got {last}"
+        );
     }
 }

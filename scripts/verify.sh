@@ -17,6 +17,13 @@
 # including pipelined bursts (override with PIPE_SEQS=<n>) plus the
 # fast-mode rpc_pipeline smoke asserting >=2x small-op throughput at
 # depth 8 vs depth 1.
+# The --cache stage (part of the default run; --no-cache skips it)
+# checks the server-side buffer cache: the coherence suite (two-fd
+# visibility, truncate/extend, unlink-while-open, rename clobber, a
+# randomized mirror under a pathological two-page cache), the release
+# smoke asserting the >=2x hot-read floor with oversized reads near
+# baseline, and the cache-size differential matrix (off / two-page /
+# large) replayed against the cacheless model.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -24,6 +31,7 @@ CHAOS=0
 METRICS=0
 SIM=0
 PIPELINE=1
+CACHE=1
 for arg in "$@"; do
     case "$arg" in
         --chaos) CHAOS=1 ;;
@@ -31,7 +39,9 @@ for arg in "$@"; do
         --sim) SIM=1 ;;
         --pipeline) PIPELINE=1 ;;
         --no-pipeline) PIPELINE=0 ;;
-        *) echo "usage: $0 [--chaos] [--metrics] [--sim] [--pipeline|--no-pipeline]" >&2; exit 2 ;;
+        --cache) CACHE=1 ;;
+        --no-cache) CACHE=0 ;;
+        *) echo "usage: $0 [--chaos] [--metrics] [--sim] [--pipeline|--no-pipeline] [--cache|--no-cache]" >&2; exit 2 ;;
     esac
 done
 
@@ -80,6 +90,22 @@ if [ "$PIPELINE" = "1" ]; then
     echo "== cargo test -q --release -p simharness --test differential  (SIM_SEQS=$PIPE_SEQS)"
     if ! SIM_SEQS="$PIPE_SEQS" cargo test -q --release -p simharness --test differential; then
         echo "pipeline differential mix FAILED; the log above names the seed -" >&2
+        echo "reproduce with SIM_SEED=<seed> cargo test --release -p simharness" >&2
+        exit 1
+    fi
+fi
+
+if [ "$CACHE" = "1" ]; then
+    echo "== cargo test -q -p chirp-server --test cache_coherence  (coherence suite)"
+    cargo test -q -p chirp-server --test cache_coherence
+    # Release mode: the smoke asserts a wall-clock ratio the debug
+    # profile's bookkeeping would distort.
+    echo "== cargo test -q --release -p tss-bench --test cache_smoke  (>=2x hot-read floor)"
+    cargo test -q --release -p tss-bench --test cache_smoke
+    CACHE_SEQS="${CACHE_SEQS:-2000}"
+    echo "== cargo test -q --release -p simharness --test differential cache_sizes  (SIM_SEQS=$CACHE_SEQS)"
+    if ! SIM_SEQS="$CACHE_SEQS" cargo test -q --release -p simharness --test differential cache_sizes; then
+        echo "cache-size differential matrix FAILED; the log above names the seed -" >&2
         echo "reproduce with SIM_SEED=<seed> cargo test --release -p simharness" >&2
         exit 1
     fi
