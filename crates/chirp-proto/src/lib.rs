@@ -25,6 +25,7 @@ pub mod error;
 pub mod escape;
 pub mod flags;
 pub mod message;
+pub mod persist;
 pub mod pipeline;
 pub mod retry;
 pub mod stat;
@@ -38,6 +39,7 @@ pub use clock::{Clock, Tick, VirtualClock};
 pub use error::{ChirpError, ChirpResult, ErrorClass};
 pub use flags::OpenFlags;
 pub use message::Request;
+pub use persist::{CrashPoint, DurabilityPoint, Persist, Persistence};
 pub use pipeline::{PipelinedConn, Reply, ReplyShape, DEFAULT_PIPELINE_DEPTH};
 pub use retry::{RetryPolicy, RetryState};
 pub use stat::{StatBuf, StatFs};

@@ -5,6 +5,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
+use chirp_proto::persist::Persist;
 use chirp_proto::transport::Dialer;
 
 use crate::acl::Acl;
@@ -98,6 +99,11 @@ pub struct ServerConfig {
     /// Buffer-cache page size in bytes (default 8 KiB — small enough
     /// that cold partial reads stay near the read-through cost).
     pub cache_page_bytes: usize,
+    /// Durability-point observer (see [`chirp_proto::persist`]). The
+    /// default no-op handle costs one branch per mutation; the crash
+    /// harness installs an injector that can kill the server at any
+    /// durability point.
+    pub persistence: Persist,
 }
 
 impl ServerConfig {
@@ -126,7 +132,15 @@ impl ServerConfig {
             dialer: Dialer::tcp(),
             cache_bytes: None,
             cache_page_bytes: 8192,
+            persistence: Persist::none(),
         }
+    }
+
+    /// Install a durability-point observer (see
+    /// [`ServerConfig::persistence`]).
+    pub fn with_persistence(mut self, persistence: Persist) -> ServerConfig {
+        self.persistence = persistence;
+        self
     }
 
     /// Enable the buffer cache with a budget of `bytes` (see

@@ -6,6 +6,7 @@ use std::io::BufRead;
 use std::path::{Path, PathBuf};
 
 use chirp_proto::escape::escape;
+use chirp_proto::persist::DurabilityPoint;
 use chirp_proto::stat::FileType;
 use chirp_proto::{ChirpError, ChirpResult, OpenFlags, Request, StatBuf, StatFs};
 
@@ -105,6 +106,17 @@ impl Session {
         self.subject.as_deref()
     }
 
+    /// Announce a durability point to the configured observer, before
+    /// the mutation it names. An error means the simulated process is
+    /// dead: surface it and mutate nothing.
+    fn durability(&self, point: DurabilityPoint, path: &str) -> ChirpResult<()> {
+        self.shared
+            .config
+            .persistence
+            .reached(point, path)
+            .map_err(|e| ChirpError::from_io(&e))
+    }
+
     /// Handle one request. `payload` carries the body of a `PWRITE`.
     /// (`PUTFILE` is streamed through [`Session::handle_putfile`]
     /// instead, so large uploads never sit in memory.)
@@ -138,6 +150,9 @@ impl Session {
             }
             Request::Fsync { fd } => {
                 self.require_subject()?;
+                if self.shared.config.persistence.is_enabled() {
+                    self.durability(DurabilityPoint::Fsync, &format!("fd{fd}"))?;
+                }
                 let f = self.fds.get(fd)?;
                 f.file.sync_all().map_err(|e| ChirpError::from_io(&e))?;
                 Ok(Reply::Value(0))
@@ -148,6 +163,13 @@ impl Session {
                 let old = f.size();
                 if size > old && self.shared.over_capacity(size - old) {
                     return Err(ChirpError::NoSpace);
+                }
+                if self.shared.config.persistence.is_enabled() {
+                    self.shared
+                        .config
+                        .persistence
+                        .reached(DurabilityPoint::Truncate, &format!("fd{fd}"))
+                        .map_err(|e| ChirpError::from_io(&e))?;
                 }
                 f.file.set_len(size).map_err(|e| ChirpError::from_io(&e))?;
                 if let Some(cache) = &self.shared.cache {
@@ -223,6 +245,14 @@ impl Session {
             chirp_proto::wire::discard_exact(reader, length)
                 .map_err(|e| ChirpError::from_io(&e))?;
             return Err(ChirpError::NoSpace);
+        }
+        // One durability point for the whole streamed upload: the crash
+        // harness drives writes through OPEN/PWRITE, where every step
+        // is individually killable.
+        if let Err(e) = self.durability(DurabilityPoint::Create, path) {
+            chirp_proto::wire::discard_exact(reader, length)
+                .map_err(|e| ChirpError::from_io(&e))?;
+            return Err(e);
         }
         let mut file = open_with_mode(
             OpenOptions::new().write(true).create(true).truncate(true),
@@ -346,6 +376,16 @@ impl Session {
             }
         }
         opts.truncate(flags.contains(OpenFlags::TRUNCATE));
+        if self.shared.config.persistence.is_enabled() {
+            // Only existence-probe when observed: the branch costs a
+            // stat that production opens must not pay.
+            let exists = host.exists();
+            if flags.contains(OpenFlags::CREATE) && !exists {
+                self.durability(DurabilityPoint::Create, path)?;
+            } else if flags.contains(OpenFlags::TRUNCATE) && exists {
+                self.durability(DurabilityPoint::Truncate, path)?;
+            }
+        }
         let file = open_with_mode(&mut opts, &host, mode)?;
         self.shared.adjust_usage(-(truncated_bytes as i64));
         // One fstat per open seeds the inode key and tracked size;
@@ -431,6 +471,13 @@ impl Session {
         if growth > 0 && self.shared.over_capacity(growth) {
             return Err(ChirpError::NoSpace);
         }
+        if !data.is_empty() && self.shared.config.persistence.is_enabled() {
+            self.shared
+                .config
+                .persistence
+                .reached(DurabilityPoint::Pwrite, &format!("fd{fd}"))
+                .map_err(|e| ChirpError::from_io(&e))?;
+        }
         write_all_at(&f.file, data, offset)?;
         if f.sync {
             f.file.sync_all().map_err(|e| ChirpError::from_io(&e))?;
@@ -489,6 +536,9 @@ impl Session {
             return Err(ChirpError::IsADirectory);
         }
         let meta = std::fs::metadata(&host).ok();
+        if meta.is_some() {
+            self.durability(DurabilityPoint::Unlink, path)?;
+        }
         std::fs::remove_file(&host).map_err(|e| ChirpError::from_io(&e))?;
         if let Some(meta) = &meta {
             // Open descriptors keep the inode readable, but once the
@@ -517,6 +567,7 @@ impl Session {
         }
         let dst = to_dir.join(to_leaf);
         let clobbered = std::fs::metadata(&dst).ok().map(|m| file_key(&m));
+        self.durability(DurabilityPoint::Rename, from)?;
         std::fs::rename(&src, &dst).map_err(|e| ChirpError::from_io(&e))?;
         if let Some(key) = clobbered {
             // The rename unlinked the old target inode — same
@@ -735,6 +786,7 @@ impl Session {
         if size > old && self.shared.over_capacity(size - old) {
             return Err(ChirpError::NoSpace);
         }
+        self.durability(DurabilityPoint::Truncate, path)?;
         file.set_len(size).map_err(|e| ChirpError::from_io(&e))?;
         let key = file_key(&meta);
         if let Some(cache) = &self.shared.cache {

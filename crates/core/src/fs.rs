@@ -51,6 +51,16 @@ pub trait FileSystem: Send + Sync {
     /// Truncate by path.
     fn truncate(&self, path: &str, size: u64) -> io::Result<()>;
 
+    /// Flush a directory's entry list to stable storage, so entries
+    /// created (or removed) inside it survive a crash. The default is
+    /// a no-op: remote abstractions delegate durability to the far
+    /// side, and only stores backed directly by a host filesystem
+    /// (see [`crate::LocalFs`]) have a real directory to sync.
+    fn sync_dir(&self, path: &str) -> io::Result<()> {
+        let _ = path;
+        Ok(())
+    }
+
     /// Read a whole file (convenience built on open/pread).
     fn read_file(&self, path: &str) -> io::Result<Vec<u8>> {
         let mut h = self.open(path, OpenFlags::READ, 0)?;

@@ -68,6 +68,13 @@ pub fn fsck(fs: &StubFs) -> io::Result<FsckReport> {
                 continue;
             }
             let body = meta.read_file(&path)?;
+            if body.is_empty() {
+                // A zero-length stub is a create that crashed before
+                // the stub write: nothing references data, so it is a
+                // dangling entry, not corruption.
+                report.dangling_stubs.push(path);
+                continue;
+            }
             let Ok(text) = String::from_utf8(body) else {
                 report.corrupt_stubs.push(path);
                 continue;

@@ -43,6 +43,7 @@ pub mod localfs;
 pub mod mirrored;
 pub mod placement;
 pub mod pool;
+pub mod protocol;
 pub mod striped;
 pub mod stub;
 pub mod stubfs;
@@ -59,4 +60,6 @@ pub use localfs::LocalFs;
 pub use mirrored::MirroredFs;
 pub use placement::Placement;
 pub use pool::{PoolStats, PooledConn, ServerPool};
+pub use protocol::{CreateTxn, DeleteTxn};
 pub use striped::StripedFs;
+pub use stubfs::{DataServer, StubFs, StubFsOptions};

@@ -8,6 +8,7 @@ use std::fs::{File, OpenOptions};
 use std::io;
 use std::path::{Path, PathBuf};
 
+use chirp_proto::persist::{DurabilityPoint, Persist};
 use chirp_proto::{OpenFlags, StatBuf};
 
 use crate::fs::{normalize_path, FileHandle, FileSystem};
@@ -16,15 +17,24 @@ use crate::fs::{normalize_path, FileHandle, FileSystem};
 #[derive(Debug, Clone)]
 pub struct LocalFs {
     root: PathBuf,
+    persist: Persist,
 }
 
 impl LocalFs {
     /// A local filesystem view rooted at `root` (created if missing).
     pub fn new(root: impl Into<PathBuf>) -> io::Result<LocalFs> {
+        LocalFs::with_persistence(root, Persist::none())
+    }
+
+    /// Like [`LocalFs::new`], with a durability-point observer (see
+    /// [`chirp_proto::persist`]). The crash harness uses this to make
+    /// the metadata tree of a dsfs killable at every mutation.
+    pub fn with_persistence(root: impl Into<PathBuf>, persist: Persist) -> io::Result<LocalFs> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
         Ok(LocalFs {
             root: root.canonicalize()?,
+            persist,
         })
     }
 
@@ -46,6 +56,8 @@ impl LocalFs {
 struct LocalHandle {
     file: File,
     sync: bool,
+    persist: Persist,
+    path: String,
 }
 
 impl FileHandle for LocalHandle {
@@ -68,6 +80,9 @@ impl FileHandle for LocalHandle {
 
     fn pwrite(&mut self, buf: &[u8], offset: u64) -> io::Result<usize> {
         use std::os::unix::fs::FileExt;
+        if !buf.is_empty() {
+            self.persist.reached(DurabilityPoint::Pwrite, &self.path)?;
+        }
         self.file.write_all_at(buf, offset)?;
         if self.sync {
             self.file.sync_all()?;
@@ -80,10 +95,13 @@ impl FileHandle for LocalHandle {
     }
 
     fn fsync(&mut self) -> io::Result<()> {
+        self.persist.reached(DurabilityPoint::Fsync, &self.path)?;
         self.file.sync_all()
     }
 
     fn ftruncate(&mut self, size: u64) -> io::Result<()> {
+        self.persist
+            .reached(DurabilityPoint::Truncate, &self.path)?;
         self.file.set_len(size)
     }
 }
@@ -113,10 +131,20 @@ impl FileSystem for LocalFs {
         if host.is_dir() {
             return Err(io::ErrorKind::IsADirectory.into());
         }
+        if self.persist.is_enabled() {
+            let exists = host.exists();
+            if flags.contains(OpenFlags::CREATE) && !exists {
+                self.persist.reached(DurabilityPoint::Create, path)?;
+            } else if flags.contains(OpenFlags::TRUNCATE) && exists {
+                self.persist.reached(DurabilityPoint::Truncate, path)?;
+            }
+        }
         let file = opts.open(host)?;
         Ok(Box::new(LocalHandle {
             file,
             sync: flags.contains(OpenFlags::SYNC),
+            persist: self.persist.clone(),
+            path: normalize_path(path),
         }))
     }
 
@@ -125,19 +153,35 @@ impl FileSystem for LocalFs {
     }
 
     fn unlink(&self, path: &str) -> io::Result<()> {
-        std::fs::remove_file(self.host(path))
+        let host = self.host(path);
+        if self.persist.is_enabled() && host.exists() {
+            self.persist.reached(DurabilityPoint::Unlink, path)?;
+        }
+        std::fs::remove_file(host)
     }
 
     fn rename(&self, from: &str, to: &str) -> io::Result<()> {
-        std::fs::rename(self.host(from), self.host(to))
+        let src = self.host(from);
+        if self.persist.is_enabled() && src.exists() {
+            self.persist.reached(DurabilityPoint::Rename, from)?;
+        }
+        std::fs::rename(src, self.host(to))
     }
 
     fn mkdir(&self, path: &str, _mode: u32) -> io::Result<()> {
-        std::fs::create_dir(self.host(path))
+        let host = self.host(path);
+        if self.persist.is_enabled() && !host.exists() {
+            self.persist.reached(DurabilityPoint::Create, path)?;
+        }
+        std::fs::create_dir(host)
     }
 
     fn rmdir(&self, path: &str) -> io::Result<()> {
-        std::fs::remove_dir(self.host(path))
+        let host = self.host(path);
+        if self.persist.is_enabled() && host.exists() {
+            self.persist.reached(DurabilityPoint::Unlink, path)?;
+        }
+        std::fs::remove_dir(host)
     }
 
     fn readdir(&self, path: &str) -> io::Result<Vec<String>> {
@@ -151,7 +195,14 @@ impl FileSystem for LocalFs {
 
     fn truncate(&self, path: &str, size: u64) -> io::Result<()> {
         let f = OpenOptions::new().write(true).open(self.host(path))?;
+        self.persist.reached(DurabilityPoint::Truncate, path)?;
         f.set_len(size)
+    }
+
+    fn sync_dir(&self, path: &str) -> io::Result<()> {
+        let host = self.host(path);
+        self.persist.reached(DurabilityPoint::DirSync, path)?;
+        File::open(host)?.sync_all()
     }
 
     fn read_file(&self, path: &str) -> io::Result<Vec<u8>> {
@@ -159,7 +210,16 @@ impl FileSystem for LocalFs {
     }
 
     fn write_file(&self, path: &str, data: &[u8]) -> io::Result<()> {
-        std::fs::write(self.host(path), data)
+        let host = self.host(path);
+        if self.persist.is_enabled() {
+            if !host.exists() {
+                self.persist.reached(DurabilityPoint::Create, path)?;
+            }
+            if !data.is_empty() {
+                self.persist.reached(DurabilityPoint::Pwrite, path)?;
+            }
+        }
+        std::fs::write(host, data)
     }
 }
 

@@ -1,0 +1,293 @@
+//! The §5 create/delete protocol as session types: crash-safe update
+//! ordering the compiler enforces.
+//!
+//! A stub filesystem updates two stores per file — the directory tree
+//! (the stub) and a file server (the data). Neither pair of updates is
+//! atomic, so the *order* is the whole crash-consistency story:
+//!
+//! ```text
+//! create:  Placed ──write_stub()──▶ StubWritten ──create_data()──▶ handle
+//!          (nothing durable)        (stub fsync'd,                 (data file
+//!                                    dir fsync'd)                   exists)
+//!
+//! delete:  StubLive ──unlink_data()──▶ DataUnlinked ──unlink_stub()──▶ ()
+//!          (stub read)                 (data gone)                    (entry gone)
+//! ```
+//!
+//! Stub-then-data on create and data-then-stub on delete guarantee that
+//! a crash between the two steps leaves at worst a *dangling stub* —
+//! which reads as "file not found" — and never unreferenced data. The
+//! transactions below encode each protocol as a typestate (in the style
+//! of SquirrelFS): `create_data` exists only on a transaction whose
+//! type says the stub is already durable, and `unlink_stub` only on one
+//! whose type says the data is already gone. Misordered protocol code
+//! is not a failing test; it is a type error.
+//!
+//! Creating data before the stub does not compile:
+//!
+//! ```compile_fail,E0599
+//! use chirp_proto::OpenFlags;
+//! use tss_core::StubFs;
+//!
+//! fn data_before_stub(fs: &StubFs) -> std::io::Result<()> {
+//!     let txn = fs.begin_create("/f")?;
+//!     // error[E0599]: no method named `create_data` found for
+//!     // `CreateTxn<'_, Placed>` — the stub is not durable yet.
+//!     let _h = txn.create_data(OpenFlags::WRITE, 0o644)?;
+//!     Ok(())
+//! }
+//! ```
+//!
+//! Removing the stub before the data does not compile either:
+//!
+//! ```compile_fail,E0599
+//! use tss_core::StubFs;
+//!
+//! fn stub_before_data(fs: &StubFs) -> std::io::Result<()> {
+//!     let txn = fs.begin_delete("/f")?;
+//!     // error[E0599]: no method named `unlink_stub` found for
+//!     // `DeleteTxn<'_, StubLive>` — the data file still exists.
+//!     txn.unlink_stub()?;
+//!     Ok(())
+//! }
+//! ```
+//!
+//! And each step consumes the transaction, so a step cannot run twice:
+//!
+//! ```compile_fail,E0382
+//! use tss_core::StubFs;
+//!
+//! fn stub_written_twice(fs: &StubFs) -> std::io::Result<()> {
+//!     let txn = fs.begin_create("/f")?;
+//!     let staged = txn.write_stub()?;
+//!     let _again = txn.write_stub()?; // error[E0382]: use of moved value
+//!     drop(staged);
+//!     Ok(())
+//! }
+//! ```
+
+use std::io;
+use std::marker::PhantomData;
+
+use chirp_proto::persist::DurabilityPoint;
+use chirp_proto::OpenFlags;
+
+use crate::fs::{split_parent, FileHandle, FileSystem};
+use crate::placement::unique_data_name;
+use crate::stub::Stub;
+use crate::stubfs::StubFs;
+
+mod sealed {
+    pub trait Sealed {}
+}
+
+/// A state of the create protocol (sealed: the two states below are
+/// the only ones).
+pub trait CreateState: sealed::Sealed {}
+/// A state of the delete protocol (sealed).
+pub trait DeleteState: sealed::Sealed {}
+
+/// Create state 1: a server and data name are chosen; nothing durable.
+pub enum Placed {}
+/// Create state 2: the stub is durable in the tree (file and parent
+/// directory fsync'd); the data file does not exist yet.
+pub enum StubWritten {}
+/// Delete state 1: the stub has been read; both stores still hold the
+/// file.
+pub enum StubLive {}
+/// Delete state 2: the data file is gone; only the stub remains.
+pub enum DataUnlinked {}
+
+impl sealed::Sealed for Placed {}
+impl sealed::Sealed for StubWritten {}
+impl sealed::Sealed for StubLive {}
+impl sealed::Sealed for DataUnlinked {}
+impl CreateState for Placed {}
+impl CreateState for StubWritten {}
+impl DeleteState for StubLive {}
+impl DeleteState for DataUnlinked {}
+
+/// An in-flight file create, parameterized by protocol state. Obtain
+/// one with [`StubFs::begin_create`]; drive it with
+/// [`CreateTxn::write_stub`] then
+/// [`create_data`](CreateTxn::create_data).
+#[must_use = "a create transaction does nothing until driven through write_stub and create_data"]
+pub struct CreateTxn<'fs, S: CreateState> {
+    fs: &'fs StubFs,
+    path: String,
+    stub: Stub,
+    _state: PhantomData<S>,
+}
+
+impl<'fs, S: CreateState> CreateTxn<'fs, S> {
+    /// The stub this create will (or did) write: chosen endpoint and
+    /// unique data path.
+    pub fn stub(&self) -> &Stub {
+        &self.stub
+    }
+
+    /// The tree path being created.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl<'fs> CreateTxn<'fs, Placed> {
+    /// Step 1: choose a server and a unique data file name. Nothing is
+    /// durable yet; dropping the transaction here abandons nothing.
+    pub(crate) fn begin(fs: &'fs StubFs, path: &str) -> io::Result<CreateTxn<'fs, Placed>> {
+        if fs.pool.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "no data servers in pool",
+            ));
+        }
+        let server = &fs.pool.servers()[fs.placement.choose(fs.pool.len())];
+        let data_path = format!("{}/{}", server.volume, unique_data_name());
+        Ok(CreateTxn {
+            fs,
+            path: path.to_string(),
+            stub: Stub {
+                endpoint: server.endpoint.clone(),
+                data_path,
+            },
+            _state: PhantomData,
+        })
+    }
+
+    /// Step 2: durably create the stub entry — exclusive create (so a
+    /// concurrent create of the same name aborts cleanly), write, fsync
+    /// the stub, fsync the parent directory. Only after all four is the
+    /// stub the paper's "commit point": a crash anywhere inside this
+    /// method leaves either no entry or a dangling one, both of which
+    /// read as "file not found".
+    pub fn write_stub(self) -> io::Result<CreateTxn<'fs, StubWritten>> {
+        let fs = self.fs;
+        fs.persist.reached(DurabilityPoint::StubWrite, &self.path)?;
+        let mut handle = fs.meta.open(
+            &self.path,
+            OpenFlags::WRITE | OpenFlags::CREATE | OpenFlags::EXCLUSIVE,
+            0o644,
+        )?;
+        handle.pwrite(self.stub.render().as_bytes(), 0)?;
+        handle.fsync()?;
+        drop(handle);
+        if let Some((parent, _)) = split_parent(&self.path) {
+            fs.meta.sync_dir(&parent)?;
+        }
+        Ok(CreateTxn {
+            fs,
+            path: self.path,
+            stub: self.stub,
+            _state: PhantomData,
+        })
+    }
+}
+
+impl CreateTxn<'_, StubWritten> {
+    /// Step 3: create the data file the stub points at, exclusively.
+    /// The returned handle owns a pooled connection, so concurrent
+    /// handles never share a stream.
+    ///
+    /// On an *explicit* failure (the server said no — out of space,
+    /// permission) the stub is removed again so a knowable dangling
+    /// entry is not left behind; that removal is itself a durability
+    /// point, because a crashed process cannot clean up.
+    pub fn create_data(self, flags: OpenFlags, mode: u32) -> io::Result<Box<dyn FileHandle>> {
+        let fs = self.fs;
+        fs.persist
+            .reached(DurabilityPoint::DataCreate, &self.stub.data_path)?;
+        let data_flags = flags | OpenFlags::WRITE | OpenFlags::CREATE | OpenFlags::EXCLUSIVE;
+        match fs
+            .pool
+            .open(&self.stub.endpoint, &self.stub.data_path, data_flags, mode)
+        {
+            Ok(h) => Ok(h),
+            Err(e) => {
+                if fs
+                    .persist
+                    .reached(DurabilityPoint::StubUnlink, &self.path)
+                    .is_ok()
+                {
+                    let _ = fs.meta.unlink(&self.path);
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+/// An in-flight file delete, parameterized by protocol state. Obtain
+/// one with [`StubFs::begin_delete`]; drive it with
+/// [`DeleteTxn::unlink_data`] then
+/// [`unlink_stub`](DeleteTxn::unlink_stub).
+#[must_use = "a delete transaction does nothing until driven through unlink_data and unlink_stub"]
+pub struct DeleteTxn<'fs, S: DeleteState> {
+    fs: &'fs StubFs,
+    path: String,
+    stub: Stub,
+    _state: PhantomData<S>,
+}
+
+impl<'fs, S: DeleteState> DeleteTxn<'fs, S> {
+    /// The stub being deleted.
+    pub fn stub(&self) -> &Stub {
+        &self.stub
+    }
+
+    /// The tree path being deleted.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl<'fs> DeleteTxn<'fs, StubLive> {
+    /// Read the live stub; fails with `NotFound` if the entry is
+    /// missing or dangling-from-birth (zero-length stub).
+    pub(crate) fn begin(fs: &'fs StubFs, path: &str) -> io::Result<DeleteTxn<'fs, StubLive>> {
+        let stub = fs.read_stub(path)?;
+        Ok(DeleteTxn {
+            fs,
+            path: path.to_string(),
+            stub,
+            _state: PhantomData,
+        })
+    }
+
+    /// Step 1: remove the data file. A crash after this leaves a
+    /// dangling stub — "file not found", and repairable — never
+    /// unreferenced data. A data file already gone (dangling stub)
+    /// counts as removed.
+    pub fn unlink_data(self) -> io::Result<DeleteTxn<'fs, DataUnlinked>> {
+        let fs = self.fs;
+        fs.persist
+            .reached(DurabilityPoint::DataUnlink, &self.stub.data_path)?;
+        fs.pool.with_conn(&self.stub.endpoint, |cfs| {
+            match cfs.unlink(&self.stub.data_path) {
+                Ok(()) => Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+                Err(e) => Err(e),
+            }
+        })?;
+        Ok(DeleteTxn {
+            fs,
+            path: self.path,
+            stub: self.stub,
+            _state: PhantomData,
+        })
+    }
+}
+
+impl DeleteTxn<'_, DataUnlinked> {
+    /// Step 2: remove the stub entry and flush the parent directory.
+    pub fn unlink_stub(self) -> io::Result<()> {
+        let fs = self.fs;
+        fs.persist
+            .reached(DurabilityPoint::StubUnlink, &self.path)?;
+        fs.meta.unlink(&self.path)?;
+        if let Some((parent, _)) = split_parent(&self.path) {
+            fs.meta.sync_dir(&parent)?;
+        }
+        Ok(())
+    }
+}

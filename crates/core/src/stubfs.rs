@@ -33,13 +33,15 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use chirp_client::AuthMethod;
+use chirp_proto::persist::Persist;
 use chirp_proto::transport::Dialer;
 use chirp_proto::{Clock, OpenFlags, StatBuf};
 
 use crate::cfs::RetryPolicy;
 use crate::fs::{FileHandle, FileSystem};
-use crate::placement::{unique_data_name, Placement};
+use crate::placement::Placement;
 use crate::pool::{PooledConn, ServerPool};
+use crate::protocol::{CreateTxn, DeleteTxn, Placed, StubLive};
 use crate::stub::Stub;
 
 /// One data server in the pool new files may be placed on.
@@ -107,6 +109,11 @@ pub struct StubFsOptions {
     /// are measured on. Wall time by default; virtual under
     /// simulation, making every timing decision deterministic.
     pub clock: Clock,
+    /// Durability-point observer for the stub protocol itself (see
+    /// [`chirp_proto::persist`]): each protocol step announces itself
+    /// before touching the tree or a data server, so the crash harness
+    /// can kill the client between any two steps.
+    pub persist: Persist,
 }
 
 impl Default for StubFsOptions {
@@ -123,15 +130,17 @@ impl Default for StubFsOptions {
             breaker_cooldown: Duration::from_secs(2),
             dialer: Dialer::tcp(),
             clock: Clock::wall(),
+            persist: Persist::none(),
         }
     }
 }
 
 /// A distributed filesystem: metadata tree + pooled data servers.
 pub struct StubFs {
-    meta: Arc<dyn FileSystem>,
-    pool: ServerPool,
-    placement: Placement,
+    pub(crate) meta: Arc<dyn FileSystem>,
+    pub(crate) pool: ServerPool,
+    pub(crate) placement: Placement,
+    pub(crate) persist: Persist,
 }
 
 impl StubFs {
@@ -142,10 +151,12 @@ impl StubFs {
         placement: Placement,
         options: StubFsOptions,
     ) -> StubFs {
+        let persist = options.persist.clone();
         StubFs {
             meta,
             pool: ServerPool::new(pool, options),
             placement,
+            persist,
         }
     }
 
@@ -175,58 +186,47 @@ impl StubFs {
         self.pool.stats()
     }
 
-    fn read_stub(&self, path: &str) -> io::Result<Stub> {
+    pub(crate) fn read_stub(&self, path: &str) -> io::Result<Stub> {
         let text = self.meta.read_file(path)?;
+        if text.is_empty() {
+            // A zero-length stub is the signature of a create that
+            // crashed between the entry's creation and the stub write:
+            // nothing references any data yet, so the paper's mandated
+            // answer for a dangling entry applies.
+            return Err(io::Error::new(io::ErrorKind::NotFound, "file not found"));
+        }
         let text = String::from_utf8(text)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "stub is not utf-8"))?;
         Stub::parse(&text)
     }
 
-    /// The create protocol: place, stub (exclusive), then data file.
+    /// Start the create protocol for `path` (paper §5): the returned
+    /// transaction has chosen a server and a unique data name but made
+    /// nothing durable. The type system forces the remaining steps
+    /// into the crash-safe order — see [`crate::protocol`].
+    pub fn begin_create(&self, path: &str) -> io::Result<CreateTxn<'_, Placed>> {
+        CreateTxn::begin(self, path)
+    }
+
+    /// Start the delete protocol for `path`: reads the live stub. The
+    /// type system forces data-then-stub removal — see
+    /// [`crate::protocol`].
+    pub fn begin_delete(&self, path: &str) -> io::Result<DeleteTxn<'_, StubLive>> {
+        DeleteTxn::begin(self, path)
+    }
+
+    /// The create protocol: place, stub (exclusive), then data file,
+    /// driven through the typestate transaction so the order is
+    /// compiler-checked.
     fn create_file(
         &self,
         path: &str,
         flags: OpenFlags,
         mode: u32,
     ) -> io::Result<Box<dyn FileHandle>> {
-        if self.pool.is_empty() {
-            return Err(io::Error::new(
-                io::ErrorKind::Unsupported,
-                "no data servers in pool",
-            ));
-        }
-        // Step 1: choose a server and a unique data file name.
-        let server = &self.pool.servers()[self.placement.choose(self.pool.len())];
-        let data_path = format!("{}/{}", server.volume, unique_data_name());
-        let stub = Stub {
-            endpoint: server.endpoint.clone(),
-            data_path: data_path.clone(),
-        };
-        // Step 2: create the stub entry exclusively so a concurrent
-        // create of the same name aborts cleanly.
-        let mut stub_handle = self.meta.open(
-            path,
-            OpenFlags::WRITE | OpenFlags::CREATE | OpenFlags::EXCLUSIVE,
-            0o644,
-        )?;
-        let rendered = stub.render();
-        stub_handle.pwrite(rendered.as_bytes(), 0)?;
-        drop(stub_handle);
-        // Step 3: create the data file. The handle owns its pooled
-        // connection, so concurrent handles never share a stream.
-        let data_flags = flags | OpenFlags::WRITE | OpenFlags::CREATE | OpenFlags::EXCLUSIVE;
-        match self
-            .pool
-            .open(&server.endpoint, &data_path, data_flags, mode)
-        {
-            Ok(h) => Ok(h),
-            Err(e) => {
-                // Explicit failure (not a crash): best-effort removal
-                // of the stub to avoid a knowable dangling entry.
-                let _ = self.meta.unlink(path);
-                Err(e)
-            }
-        }
+        self.begin_create(path)?
+            .write_stub()?
+            .create_data(flags, mode)
     }
 
     fn open_existing(
@@ -297,15 +297,9 @@ impl FileSystem for StubFs {
     }
 
     fn unlink(&self, path: &str) -> io::Result<()> {
-        let stub = self.read_stub(path)?;
-        // Data first, then stub, so no unreferenced data survives.
-        self.pool
-            .with_conn(&stub.endpoint, |cfs| match cfs.unlink(&stub.data_path) {
-                Ok(()) => Ok(()),
-                Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()), // dangling already
-                Err(e) => Err(e),
-            })?;
-        self.meta.unlink(path)
+        // Data first, then stub, so no unreferenced data survives —
+        // the order is compiler-checked (see `crate::protocol`).
+        self.begin_delete(path)?.unlink_data()?.unlink_stub()
     }
 
     fn rename(&self, from: &str, to: &str) -> io::Result<()> {
@@ -330,6 +324,11 @@ impl FileSystem for StubFs {
         let stub = self.read_stub(path)?;
         self.pool
             .with_conn(&stub.endpoint, |cfs| cfs.truncate(&stub.data_path, size))
+    }
+
+    fn sync_dir(&self, path: &str) -> io::Result<()> {
+        // Directories exist only in the tree.
+        self.meta.sync_dir(path)
     }
 
     /// The recursive-stub hot path, batched: one listing-with-stats of
@@ -358,7 +357,13 @@ impl FileSystem for StubFs {
                 out.push(Some((name, meta_stat)));
                 continue;
             }
-            let stub = self.read_stub(&child(&name))?;
+            let stub = match self.read_stub(&child(&name)) {
+                Ok(stub) => stub,
+                // A zero-length stub (create crashed before the stub
+                // write) is omitted, like any other dangling entry.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
             let slot = out.len();
             out.push(Some((name, meta_stat)));
             match groups.iter_mut().find(|(e, _)| *e == stub.endpoint) {
@@ -421,6 +426,9 @@ macro_rules! delegate_filesystem {
             }
             fn truncate(&self, path: &str, size: u64) -> std::io::Result<()> {
                 self.$field.truncate(path, size)
+            }
+            fn sync_dir(&self, path: &str) -> std::io::Result<()> {
+                self.$field.sync_dir(path)
             }
             fn readdir_stat(
                 &self,

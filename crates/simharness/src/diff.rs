@@ -256,6 +256,7 @@ impl<'a> DiffRunner<'a> {
                 OpResult::from_val(self.conn.pwrite(*fd, data, *off).map(|n| n as i32))
             }
             Op::Fstat { fd } => OpResult::from_statbuf(self.conn.fstat(*fd)),
+            Op::Fsync { fd } => OpResult::from_unit(self.conn.fsync(*fd)),
             Op::Stat { path } => OpResult::from_statbuf(self.conn.stat(&p(path))),
             Op::Unlink { path } => OpResult::from_unit(self.conn.unlink(&p(path))),
             Op::Rename { from, to } => OpResult::from_unit(self.conn.rename(&p(from), &p(to))),

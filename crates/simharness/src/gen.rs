@@ -61,6 +61,11 @@ pub enum Op {
         /// Descriptor number.
         fd: i32,
     },
+    /// `FSYNC` a raw descriptor number (may be stale or never opened).
+    Fsync {
+        /// Descriptor number.
+        fd: i32,
+    },
     /// `STAT` by path.
     Stat {
         /// Target path.
@@ -285,7 +290,8 @@ impl OpGen {
                     off: self.rng.gen_range(0u64..200),
                 }
             }
-            54..=57 => Op::Fstat { fd: self.fd() },
+            54..=56 => Op::Fstat { fd: self.fd() },
+            57 => Op::Fsync { fd: self.fd() },
             // Stat's rights come from the *parent* of the target, so
             // "/" is excluded: the namespace root's parent lies outside
             // the modeled tree. (Ops that check rights on the target
@@ -390,7 +396,7 @@ mod tests {
     #[test]
     fn pools_cover_every_op_kind() {
         // Across a modest seed range every variant should appear.
-        let mut seen = [false; 19];
+        let mut seen = [false; 20];
         for seed in 0..500 {
             for op in ops_for_seed(seed, "s") {
                 let idx = match op {
@@ -399,6 +405,7 @@ mod tests {
                     Op::Pread { .. } => 2,
                     Op::Pwrite { .. } => 3,
                     Op::Fstat { .. } => 4,
+                    Op::Fsync { .. } => 19,
                     Op::Stat { .. } => 5,
                     Op::Unlink { .. } => 6,
                     Op::Rename { .. } => 7,

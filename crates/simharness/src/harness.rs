@@ -14,6 +14,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use chirp_client::{AuthMethod, Connection};
+use chirp_proto::persist::Persist;
 use chirp_proto::testutil::TempDir;
 use chirp_proto::transport::{Dial, Dialer, Transport};
 use chirp_proto::{Clock, MemNet, VirtualClock};
@@ -32,12 +33,22 @@ pub struct SimTssBuilder {
     servers: usize,
     root_acl: Acl,
     cache_bytes: Option<u64>,
+    persistence: Persist,
 }
 
 impl SimTssBuilder {
     /// Number of file servers to start (default 1).
     pub fn servers(mut self, n: usize) -> SimTssBuilder {
         self.servers = n;
+        self
+    }
+
+    /// Durability-point observer installed on every server (default:
+    /// none). The crash harness passes a shared
+    /// [`chirp_proto::CrashPoint`] here so server-side mutations are
+    /// journaled and killable.
+    pub fn persistence(mut self, persistence: Persist) -> SimTssBuilder {
+        self.persistence = persistence;
         self
     }
 
@@ -71,6 +82,7 @@ impl SimTssBuilder {
             let cfg = ServerConfig {
                 dialer: net.dialer(),
                 cache_bytes: self.cache_bytes,
+                persistence: self.persistence.clone(),
                 ..cfg
             };
             let listener = net.listen();
@@ -104,6 +116,7 @@ impl SimTss {
             servers: 1,
             root_acl: Acl::single("hostname:*", "rwlda").expect("valid rights"),
             cache_bytes: Some(64 * 1024),
+            persistence: Persist::none(),
         }
     }
 
@@ -210,7 +223,7 @@ pub fn auth() -> Vec<AuthMethod> {
 /// inside every simulated RPC both slows the differential suite by an
 /// order of magnitude and adds wall-clock noise the simulation
 /// otherwise excludes.
-fn sim_root() -> TempDir {
+pub(crate) fn sim_root() -> TempDir {
     let shm = std::path::Path::new("/dev/shm");
     if shm.is_dir() {
         TempDir::new_in(shm)

@@ -23,17 +23,26 @@
 //!   the real handler stack and the model, diffing results
 //!   byte-for-byte including error codes, and shrinks any divergence
 //!   to a minimal trace.
+//! * [`crash`] — crash-injection differential testing: every seeded
+//!   sequence is re-run with a simulated kill at *each* durability
+//!   point the golden run journals, and the restarted filesystem is
+//!   checked (`fsck`, repair convergence, byte-level state) against
+//!   the set of post-crash states the paper's stub/data ordering
+//!   argument accepts.
 //!
 //! Reproducing a failure is one number: the checker prints the seed,
-//! and `SIM_SEED=<n> cargo test -p simharness` replays it exactly.
+//! and `SIM_SEED=<n> cargo test -p simharness` replays it exactly
+//! (`CRASH_SEED=<n>` for the crash suite).
 
 #![warn(missing_docs)]
 
+pub mod crash;
 pub mod diff;
 pub mod gen;
 pub mod harness;
 pub mod model;
 
+pub use crash::{CrashDivergence, CrashHarness, CrashOp, CrashStats};
 pub use diff::{run_seed, Divergence, OpResult};
 pub use gen::{Op, OpGen};
 pub use harness::{RouteDialer, SimTss};

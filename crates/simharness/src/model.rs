@@ -365,6 +365,14 @@ impl ModelServer {
         Ok((false, len))
     }
 
+    /// `FSYNC`: durability is invisible to the model (it has no
+    /// volatile/stable distinction), so the semantics are exactly the
+    /// descriptor check — `BadFd` for a stale or never-opened number,
+    /// success otherwise.
+    pub fn fsync(&self, fd: i32) -> ChirpResult<()> {
+        self.fd_get(fd).map(|_| ())
+    }
+
     /// `STAT`: `(is_dir, size)`; rights come from the governing
     /// directory (the parent, or the root for the root itself).
     pub fn stat(&self, path: &str) -> ChirpResult<(bool, u64)> {
@@ -631,6 +639,7 @@ impl ModelServer {
                 OpResult::from_val(self.pwrite(*fd, data, *off).map(|n| n as i32))
             }
             Op::Fstat { fd } => OpResult::from_stat(self.fstat(*fd)),
+            Op::Fsync { fd } => OpResult::from_unit(self.fsync(*fd)),
             Op::Stat { path } => OpResult::from_stat(self.stat(path)),
             Op::Unlink { path } => OpResult::from_unit(self.unlink(path)),
             Op::Rename { from, to } => OpResult::from_unit(self.rename(from, to)),

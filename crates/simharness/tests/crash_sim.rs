@@ -1,0 +1,48 @@
+//! The crash-injection differential suite.
+//!
+//! Each seed generates a short sequence of whole-file operations; the
+//! harness replays it once to journal every durability point, then
+//! once per point with the simulated server killed there, restarting
+//! and checking the surviving state against the model (see
+//! `simharness::crash`).
+//!
+//! Knobs:
+//! * `SIM_SEQS=<n>`  — how many seeds to sweep (default: small in
+//!   debug builds, 1000 in release — the verify.sh `--crash` stage).
+//! * `CRASH_SEED=<n>` — sweep exactly one seed, for reproducing a
+//!   printed failure.
+
+use simharness::crash::{CrashHarness, CrashStats};
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+#[test]
+fn crash_sweep_over_seed_matrix() {
+    let mut harness = CrashHarness::new();
+    let mut totals = CrashStats::default();
+
+    let seeds: Vec<u64> = match env_u64("CRASH_SEED") {
+        Some(seed) => vec![seed],
+        None => {
+            let n = env_u64("SIM_SEQS").unwrap_or(if cfg!(debug_assertions) { 25 } else { 1000 });
+            (0..n).collect()
+        }
+    };
+    for &seed in &seeds {
+        match harness.run_seed(seed) {
+            Ok(stats) => totals.add(stats),
+            Err(div) => panic!("{div}"),
+        }
+    }
+    println!(
+        "crash sweep: {} sequences, {} ops, {} simulated kills, 0 rejected states",
+        totals.sequences, totals.ops, totals.crash_points
+    );
+    assert_eq!(totals.sequences, seeds.len() as u64);
+    assert!(
+        totals.crash_points > totals.sequences,
+        "every sequence must hit multiple durability points"
+    );
+}

@@ -24,6 +24,13 @@
 # smoke asserting the >=2x hot-read floor with oversized reads near
 # baseline, and the cache-size differential matrix (off / two-page /
 # large) replayed against the cacheless model.
+# The --crash stage (part of the default run; --no-crash skips it)
+# sweeps the crash-injection suite in release mode: each seeded op
+# sequence is replayed with a simulated kill at every durability
+# point it journals, and the restarted filesystem must fsck/repair
+# into a state the stub/data ordering argument accepts (override the
+# matrix size with SIM_SEQS=<n>, or replay one printed failure with
+# CRASH_SEED=<u64>).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -32,6 +39,7 @@ METRICS=0
 SIM=0
 PIPELINE=1
 CACHE=1
+CRASH=1
 for arg in "$@"; do
     case "$arg" in
         --chaos) CHAOS=1 ;;
@@ -41,7 +49,9 @@ for arg in "$@"; do
         --no-pipeline) PIPELINE=0 ;;
         --cache) CACHE=1 ;;
         --no-cache) CACHE=0 ;;
-        *) echo "usage: $0 [--chaos] [--metrics] [--sim] [--pipeline|--no-pipeline] [--cache|--no-cache]" >&2; exit 2 ;;
+        --crash) CRASH=1 ;;
+        --no-crash) CRASH=0 ;;
+        *) echo "usage: $0 [--chaos] [--metrics] [--sim] [--pipeline|--no-pipeline] [--cache|--no-cache] [--crash|--no-crash]" >&2; exit 2 ;;
     esac
 done
 
@@ -107,6 +117,19 @@ if [ "$CACHE" = "1" ]; then
     if ! SIM_SEQS="$CACHE_SEQS" cargo test -q --release -p simharness --test differential cache_sizes; then
         echo "cache-size differential matrix FAILED; the log above names the seed -" >&2
         echo "reproduce with SIM_SEED=<seed> cargo test --release -p simharness" >&2
+        exit 1
+    fi
+fi
+
+if [ "$CRASH" = "1" ]; then
+    # Kill the simulated server at every durability point of every
+    # sequence in the seed matrix; release mode keeps the full sweep
+    # in seconds. CRASH_SEED=<u64> replays a single printed failure.
+    CRASH_SEQS="${SIM_SEQS:-1000}"
+    echo "== cargo test -q --release -p simharness --test crash_sim  (SIM_SEQS=$CRASH_SEQS)"
+    if ! SIM_SEQS="$CRASH_SEQS" CRASH_SEED="${CRASH_SEED:-}" cargo test -q --release -p simharness --test crash_sim; then
+        echo "crash-injection sweep FAILED; the log above names the seed -" >&2
+        echo "reproduce with CRASH_SEED=<seed> cargo test --release -p simharness --test crash_sim" >&2
         exit 1
     fi
 fi

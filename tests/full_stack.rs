@@ -24,8 +24,29 @@ use tss_core::fs::FileSystem;
 
 const TIMEOUT: Duration = Duration::from_secs(5);
 
+/// How long the real-TCP scenarios wait for the network to settle.
+/// Generous on purpose: these tests share loopback with whatever else
+/// a CI machine is doing, and a slow catalog report is not a failure.
+const SETTLE: Duration = Duration::from_secs(30);
+
 fn auth() -> Vec<AuthMethod> {
     vec![AuthMethod::Hostname]
+}
+
+/// Poll `check` until it succeeds or [`SETTLE`] elapses. On timeout,
+/// panic with `what` and the last observed state so a CI-only failure
+/// is diagnosable from the log alone (addresses, counts, errors).
+fn wait_for<T>(what: &str, mut check: impl FnMut() -> Result<T, String>) -> T {
+    let start = std::time::Instant::now();
+    let mut last = String::from("never checked");
+    while start.elapsed() < SETTLE {
+        match check() {
+            Ok(v) => return v,
+            Err(state) => last = state,
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("timed out after {SETTLE:?} waiting for {what}; last state: {last}");
 }
 
 fn open_server_with_catalog(root: &std::path::Path, catalog: Option<&CatalogServer>) -> FileServer {
@@ -62,15 +83,20 @@ fn discover_servers_then_build_an_abstraction_on_them() {
         .collect();
 
     // Wait for the first reports.
-    let mut listing = Vec::new();
-    for _ in 0..100 {
-        listing = query(catalog.tcp_addr(), TIMEOUT).unwrap();
-        if listing.len() == 3 {
-            break;
+    let listing = wait_for("3 servers in the catalog", || {
+        let l = query(catalog.tcp_addr(), TIMEOUT)
+            .map_err(|e| format!("query {} failed: {e}", catalog.tcp_addr()))?;
+        if l.len() == 3 {
+            Ok(l)
+        } else {
+            Err(format!(
+                "catalog {} lists {} of 3 servers: {:?}",
+                catalog.tcp_addr(),
+                l.len(),
+                l.iter().map(|r| r.address.as_str()).collect::<Vec<_>>()
+            ))
         }
-        std::thread::sleep(Duration::from_millis(20));
-    }
-    assert_eq!(listing.len(), 3, "all servers discovered");
+    });
 
     // Use the catalogued addresses, never the originals: the catalog
     // is the only source of knowledge here. Pool selection goes
@@ -90,14 +116,15 @@ fn discover_servers_then_build_an_abstraction_on_them() {
     assert_eq!(fs.read_file("/hello").unwrap(), b"from discovered storage");
 
     // The catalog also reflects the space just consumed, eventually.
-    for _ in 0..100 {
-        let l = query(catalog.tcp_addr(), TIMEOUT).unwrap();
+    wait_for("a report showing consumed space", || {
+        let l = query(catalog.tcp_addr(), TIMEOUT)
+            .map_err(|e| format!("query {} failed: {e}", catalog.tcp_addr()))?;
         if l.iter().any(|r| r.free < r.total) {
-            return;
+            Ok(())
+        } else {
+            Err(format!("all {} reports still show free == total", l.len()))
         }
-        std::thread::sleep(Duration::from_millis(20));
-    }
-    panic!("no report ever showed consumed space");
+    });
 }
 
 #[test]
@@ -217,14 +244,19 @@ fn gems_can_run_on_catalog_discovered_storage() {
         .iter()
         .map(|d| open_server_with_catalog(d.path(), Some(&catalog)))
         .collect();
-    let mut listing = Vec::new();
-    for _ in 0..100 {
-        listing = query(catalog.tcp_addr(), TIMEOUT).unwrap();
-        if listing.len() == 3 {
-            break;
+    let listing = wait_for("3 servers in the catalog", || {
+        let l = query(catalog.tcp_addr(), TIMEOUT)
+            .map_err(|e| format!("query {} failed: {e}", catalog.tcp_addr()))?;
+        if l.len() == 3 {
+            Ok(l)
+        } else {
+            Err(format!(
+                "catalog {} lists {} of 3 servers",
+                catalog.tcp_addr(),
+                l.len()
+            ))
         }
-        std::thread::sleep(Duration::from_millis(20));
-    }
+    });
     let pool: Vec<DataServer> = listing
         .iter()
         .map(|r| DataServer::new(&r.address, "/gems", auth()))
@@ -265,20 +297,22 @@ fn whole_stack_survives_a_server_restart() {
     adapter.write_file(&path, b"before restart").unwrap();
 
     drop(server);
-    // Rebind the same port; a short retry loop covers TIME_WAIT.
+    // Rebind the same port; the retry loop covers TIME_WAIT and any
+    // transient squatter that grabbed the just-released port. On a
+    // persistent collision, the panic names the port so the failure
+    // is attributable from the log.
     let server2 = {
-        let mut attempt = 0;
+        let start = std::time::Instant::now();
         loop {
             let mut cfg = ServerConfig::localhost(host.path(), "integration")
                 .with_root_acl(Acl::single("hostname:*", "rwlda").unwrap());
             cfg.bind = addr;
             match FileServer::start(cfg) {
                 Ok(s) => break s,
-                Err(_) if attempt < 50 => {
-                    attempt += 1;
+                Err(_) if start.elapsed() < SETTLE => {
                     std::thread::sleep(Duration::from_millis(100));
                 }
-                Err(e) => panic!("could not rebind {addr}: {e}"),
+                Err(e) => panic!("could not rebind port {addr} within {SETTLE:?}: {e}"),
             }
         }
     };
