@@ -2,6 +2,7 @@
 //! then run the actual binary one iteration against the catalog and
 //! check the rendered table names the server with non-zero activity.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use catalog::{CatalogConfig, CatalogServer};
@@ -9,6 +10,7 @@ use chirp_client::{AuthMethod, Connection};
 use chirp_proto::testutil::TempDir;
 use chirp_server::acl::Acl;
 use chirp_server::{FileServer, ServerConfig};
+use controlplane::{FedCatalog, FedConfig};
 
 #[test]
 fn tss_top_renders_live_server_metrics() {
@@ -75,4 +77,69 @@ fn tss_top_renders_live_server_metrics() {
         resident_kb > 0,
         "RES(KB) should show the populated page: {row}"
     );
+    // Against a classic catalog the federation columns degrade: SHARD
+    // is `-` and no PEERS footer is printed.
+    assert_eq!(row.split_whitespace().nth(10), Some("-"));
+    assert!(!stdout.contains("PEERS"), "no federation footer:\n{stdout}");
+}
+
+#[test]
+fn tss_top_shows_shard_homes_and_federation_footer() {
+    // Two federation shards on real TCP, the transport tss-top uses.
+    let listeners: Vec<std::net::TcpListener> = (0..2)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
+    let peers: Vec<(String, String)> = ["fed-a", "fed-b"]
+        .iter()
+        .zip(&listeners)
+        .map(|(n, l)| (n.to_string(), l.local_addr().unwrap().to_string()))
+        .collect();
+    let shards: Vec<FedCatalog> = peers
+        .clone()
+        .into_iter()
+        .zip(listeners)
+        .map(|((name, endpoint), listener)| {
+            FedCatalog::start(FedConfig::new(&name, &endpoint), Arc::new(listener), &peers).unwrap()
+        })
+        .collect();
+
+    // One real server report, fed to shard 0 and gossiped across.
+    let dir = TempDir::new();
+    let mut cfg = ServerConfig::localhost(dir.path(), "owner")
+        .with_root_acl(Acl::single("hostname:*", "rwlda").unwrap());
+    cfg.server_name = Some("fed-node".to_string());
+    let server = FileServer::start(cfg).unwrap();
+    let mut conn = Connection::connect(server.addr(), Duration::from_secs(5)).unwrap();
+    conn.authenticate(&[AuthMethod::Hostname]).unwrap();
+    conn.putfile("/x", 0o644, b"payload").unwrap();
+    drop(conn);
+    shards[0].ingest(catalog::ServerReport::parse(&server.compose_report()).unwrap());
+    shards[0].gossip_once().unwrap();
+
+    for shard in &shards {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_tss-top"))
+            .arg(shard.endpoint())
+            .args(["--iterations", "1", "--interval", "0.1"])
+            .output()
+            .expect("run tss-top");
+        assert!(out.status.success(), "tss-top exited non-zero");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let row = stdout
+            .lines()
+            .find(|l| l.starts_with("fed-node"))
+            .unwrap_or_else(|| panic!("server row missing:\n{stdout}"));
+        // The SHARD column names the server's home shard — the same
+        // one from either vantage point, since the ring is shared.
+        let home = row.split_whitespace().nth(10).unwrap();
+        assert!(
+            home == "fed-a" || home == "fed-b",
+            "SHARD column should name a shard: {row}"
+        );
+        // The footer lists this shard as `self` plus its peer.
+        assert!(stdout.contains("PEERS"), "federation footer:\n{stdout}");
+        for (name, _) in &peers {
+            assert!(stdout.contains(name.as_str()), "footer lists {name}");
+        }
+        assert!(stdout.contains("self"));
+    }
 }

@@ -4,6 +4,8 @@ use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
+use chirp_proto::transport::Dialer;
+
 use crate::report::ServerReport;
 
 /// Fetch the text-format listing from a catalog and parse it.
@@ -51,6 +53,38 @@ fn query_raw(addr: SocketAddr, timeout: Duration, format: &str) -> std::io::Resu
     stream.set_write_timeout(Some(timeout))?;
     let mut writer = stream.try_clone()?;
     writer.write_all(format!("{format}\n").as_bytes())?;
+    let mut reader = BufReader::new(stream);
+    let mut body = String::new();
+    reader.read_to_string(&mut body)?;
+    Ok(body)
+}
+
+/// Fetch the text-format listing over a [`Dialer`] — the
+/// transport-generic twin of [`query`], usable against catalogs bound
+/// on the in-memory network as well as TCP.
+pub fn query_via(
+    dialer: &Dialer,
+    endpoint: &str,
+    timeout: Duration,
+) -> std::io::Result<Vec<ServerReport>> {
+    query_raw_via(dialer, endpoint, timeout, "text").map(|body| parse_listing(&body))
+}
+
+/// Fetch any listing format over a [`Dialer`], returning the raw body
+/// (the transport-generic twin of the `query_*` helpers; also carries
+/// the federation's extra verbs, e.g. `fed-status`).
+pub fn query_raw_via(
+    dialer: &Dialer,
+    endpoint: &str,
+    timeout: Duration,
+    format: &str,
+) -> std::io::Result<String> {
+    let stream = dialer.dial(endpoint, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(format!("{format}\n").as_bytes())?;
+    writer.flush()?;
     let mut reader = BufReader::new(stream);
     let mut body = String::new();
     reader.read_to_string(&mut body)?;

@@ -229,16 +229,33 @@ fn serve_query(stream: TcpStream, state: &State) -> std::io::Result<()> {
         v.sort_by(|a, b| a.report.name.cmp(&b.report.name));
         v.into_iter().map(|e| &e.report).collect()
     };
-    match format.trim() {
+    writer.write_all(render_listing(format.trim(), &live).as_bytes())?;
+    writer.flush()
+}
+
+/// Render the live listing in one of the published query formats
+/// (`text`, `json`, `html`, `metrics`, `metrics-json`; anything else
+/// falls back to `text`).
+///
+/// This is *the* renderer for catalog faces: the single-process
+/// [`CatalogServer`] and the federated control plane both call it, so
+/// a federated fleet answers every query byte-for-byte like a lone
+/// catalog holding the same live set. Reports must already be
+/// expiry-filtered and sorted by name.
+pub fn render_listing(format: &str, live: &[&ServerReport]) -> String {
+    let mut out = String::new();
+    match format {
         "json" => {
             let body: Vec<String> = live.iter().map(|r| r.to_json()).collect();
-            writeln!(writer, "[{}]", body.join(","))?;
+            out.push('[');
+            out.push_str(&body.join(","));
+            out.push_str("]\n");
         }
         "metrics" => {
             // ClassAd-style records, blank-line separated like `text`.
-            for r in &live {
-                writer.write_all(r.metrics_classad().as_bytes())?;
-                writer.write_all(b"\n")?;
+            for r in live {
+                out.push_str(&r.metrics_classad());
+                out.push('\n');
             }
         }
         "metrics-json" => {
@@ -246,37 +263,37 @@ fn serve_query(stream: TcpStream, state: &State) -> std::io::Result<()> {
                 .iter()
                 .map(|r| r.metrics_json_value().render())
                 .collect();
-            writeln!(writer, "[{}]", body.join(","))?;
+            out.push('[');
+            out.push_str(&body.join(","));
+            out.push_str("]\n");
         }
         "html" => {
             // A browsable listing, as the deployed catalog published.
-            writeln!(
-                writer,
+            out.push_str(
                 "<html><body><h1>Tactical Storage Catalog</h1><table border=1>\
                  <tr><th>name</th><th>owner</th><th>address</th>\
-                 <th>total</th><th>free</th></tr>"
-            )?;
-            for r in &live {
-                writeln!(
-                    writer,
-                    "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+                 <th>total</th><th>free</th></tr>\n",
+            );
+            for r in live {
+                out.push_str(&format!(
+                    "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
                     html_escape(&r.name),
                     html_escape(&r.owner),
                     html_escape(&r.address),
                     r.total,
                     r.free
-                )?;
+                ));
             }
-            writeln!(writer, "</table></body></html>")?;
+            out.push_str("</table></body></html>\n");
         }
         _ => {
-            for r in &live {
-                writer.write_all(r.render().as_bytes())?;
-                writer.write_all(b"\n")?;
+            for r in live {
+                out.push_str(&r.render());
+                out.push('\n');
             }
         }
     }
-    writer.flush()
+    out
 }
 
 #[cfg(test)]

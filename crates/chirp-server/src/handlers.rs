@@ -802,6 +802,12 @@ impl Session {
     /// create on the target is the target's ACL decision, made against
     /// *this server's* hostname identity.
     fn do_thirdput(&self, path: &str, target: &str, target_path: &str) -> ChirpResult<Reply> {
+        // THIRDPUT moves file data like PREAD/PWRITE do, so the
+        // injected service time applies here too — benches that price
+        // replica placement in transfer units depend on it.
+        if let Some(delay) = self.shared.config.service_delay {
+            std::thread::sleep(delay);
+        }
         let (dir, leaf) = self.shared.jail.resolve_parent(path)?;
         self.require_rights(&dir, Rights::READ)?;
         let host = dir.join(leaf);

@@ -193,6 +193,13 @@ impl FileServer {
         self.shared.active.load(Ordering::Relaxed)
     }
 
+    /// The catalog report packet this server would send right now —
+    /// the same bytes the report thread puts on UDP. Harnesses feed
+    /// catalogs (and federations) with this instead of a socket hop.
+    pub fn compose_report(&self) -> String {
+        crate::report::compose_report(&self.shared, self.addr)
+    }
+
     /// Stop accepting connections and wake the accept thread. Existing
     /// connections end when their clients disconnect or on their next
     /// request.
@@ -219,11 +226,21 @@ impl Drop for FileServer {
 
 fn accept_loop(listener: Arc<dyn Listener>, shared: Arc<Shared>) {
     loop {
-        let Ok((stream, peer)) = listener.accept() else {
-            if shared.shutdown.load(Ordering::SeqCst) {
-                return;
+        let accepted = listener.accept();
+        let (stream, peer) = match accepted {
+            Ok(pair) => pair,
+            Err(e) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // A closed listener (the simulated host was unbound
+                // from under us) never accepts again; exit instead of
+                // spinning on the error.
+                if e.kind() == std::io::ErrorKind::NotConnected {
+                    return;
+                }
+                continue;
             }
-            continue;
         };
         if shared.shutdown.load(Ordering::SeqCst) {
             return;

@@ -1,0 +1,126 @@
+//! One shard of a federated catalog, serving over real TCP/UDP.
+//!
+//! ```text
+//! fed-catalog --name cat-a --listen 0.0.0.0:9097 --udp 0.0.0.0:9097 \
+//!             --peer cat-b=host-b:9097 --peer cat-c=host-c:9097 \
+//!             [--expiry 900] [--gossip 30] [--seed N] [--vnodes 128]
+//! ```
+//!
+//! File servers report to any shard (UDP, same packet format the
+//! single catalog takes); the shard forwards each report to its home
+//! shard and gossips full state on an interval, so every shard
+//! answers `text`/`json`/`html`/`metrics`/`metrics-json` queries for
+//! the whole fleet. `fed-status` reports shard identity, ring
+//! parameters, and peer liveness (what `tss-top` renders).
+
+use std::net::{TcpListener, UdpSocket};
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
+
+use catalog::ServerReport;
+use controlplane::FedConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fed-catalog --name NAME --listen HOST:PORT [--udp HOST:PORT] \
+         [--peer NAME=HOST:PORT]... [--expiry SECS] [--gossip SECS] \
+         [--seed N] [--vnodes N]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let mut name = String::new();
+    let mut listen = String::new();
+    let mut udp_bind = String::new();
+    let mut peers: Vec<(String, String)> = Vec::new();
+    let mut config = FedConfig::new("", "");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--name" => name = value("--name"),
+            "--listen" => listen = value("--listen"),
+            "--udp" => udp_bind = value("--udp"),
+            "--peer" => {
+                let spec = value("--peer");
+                let Some((peer_name, endpoint)) = spec.split_once('=') else {
+                    eprintln!("--peer wants NAME=HOST:PORT, got {spec}");
+                    usage();
+                };
+                peers.push((peer_name.to_string(), endpoint.to_string()));
+            }
+            "--expiry" => {
+                config.expiry =
+                    Duration::from_secs(value("--expiry").parse().unwrap_or_else(|_| usage()))
+            }
+            "--gossip" => {
+                config.gossip_interval =
+                    Duration::from_secs(value("--gossip").parse().unwrap_or_else(|_| usage()))
+            }
+            "--seed" => config.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--vnodes" => config.vnodes = value("--vnodes").parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    if name.is_empty() || listen.is_empty() {
+        usage();
+    }
+    if udp_bind.is_empty() {
+        udp_bind.clone_from(&listen);
+    }
+
+    let tcp = TcpListener::bind(&listen).unwrap_or_else(|e| {
+        eprintln!("fed-catalog: cannot bind {listen}: {e}");
+        exit(1);
+    });
+    let udp = UdpSocket::bind(&udp_bind).unwrap_or_else(|e| {
+        eprintln!("fed-catalog: cannot bind udp {udp_bind}: {e}");
+        exit(1);
+    });
+
+    config.name = name;
+    config.endpoint = listen.clone();
+    config.auto_gossip = true;
+    let shard =
+        controlplane::FedCatalog::start(config, Arc::new(tcp), &peers).unwrap_or_else(|e| {
+            eprintln!("fed-catalog: cannot start: {e}");
+            exit(1);
+        });
+    eprintln!(
+        "fed-catalog: shard {} serving on {listen} (udp {udp_bind}), {} peer(s)",
+        shard.name(),
+        peers.len()
+    );
+
+    // On rejoin after a restart, pull state from the first live peer
+    // so queries answer immediately instead of waiting out gossip.
+    if !peers.is_empty() {
+        match shard.resync() {
+            Ok(peer) => eprintln!("fed-catalog: resynced from {peer}"),
+            Err(e) => eprintln!("fed-catalog: resync failed ({e}); waiting for gossip"),
+        }
+    }
+
+    // UDP ingest on the main thread: same packet format the single
+    // catalog takes, so file servers need no reconfiguration.
+    let mut buf = vec![0u8; 64 * 1024];
+    loop {
+        let Ok((n, _peer)) = udp.recv_from(&mut buf) else {
+            continue;
+        };
+        let Ok(text) = std::str::from_utf8(&buf[..n]) else {
+            continue;
+        };
+        if let Some(report) = ServerReport::parse(text) {
+            shard.ingest(report);
+        }
+    }
+}

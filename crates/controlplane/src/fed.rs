@@ -1,0 +1,749 @@
+//! Federated catalog shards: gossip, forwarding, anti-entropy.
+//!
+//! A [`FedCatalog`] is one shard of a catalog federation. Each shard
+//! ingests reports from any file server, *forwards* each report to its
+//! home shard (chosen by the shared [`HashRing`] over server names),
+//! and replicates its whole live set to its peers by periodic
+//! anti-entropy gossip — so **any** shard answers **any** query for
+//! the whole fleet, in exactly the bytes a lone catalog would produce
+//! (the faces are rendered by [`catalog::render_listing`], the same
+//! function the single-process server uses).
+//!
+//! Staleness is carried across the wire as an *age*, not a timestamp:
+//! a shard transmits `now - last_seen` and the receiver reconstructs
+//! `last_seen = now - age` on its own clock, so federation is immune
+//! to clock skew and — under the simulation harness, where every
+//! shard shares one virtual clock — bit-exact: an entry expires at
+//! the same tick on every shard that holds it.
+//!
+//! A restarted shard rejoins empty and pulls the full state from the
+//! first peer that answers (`fed-sync`); until then its peers keep
+//! answering, so killing any one shard never loses the fleet view.
+//!
+//! Everything speaks the [`Transport`] seam: production runs over TCP
+//! (`fed-catalog` binary), the differential and chaos suites run whole
+//! federations on [`MemNet`](chirp_proto::MemNet) with virtual time.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use catalog::{render_listing, ServerReport};
+use chirp_proto::escape::{escape, unescape};
+use chirp_proto::transport::{Dialer, Listener, Transport};
+use chirp_proto::{Clock, Tick};
+use parking_lot::{Mutex, RwLock};
+use telemetry::json::Value;
+use telemetry::{Counter, Gauge, Registry};
+
+use crate::ring::{HashRing, DEFAULT_VNODES};
+
+/// Federation shard configuration.
+#[derive(Debug, Clone)]
+pub struct FedConfig {
+    /// This shard's name (its identity on the ring and in gossip).
+    pub name: String,
+    /// The `host:port` peers and clients dial to reach this shard.
+    pub endpoint: String,
+    /// Reports older than this are dropped from every listing —
+    /// identical semantics to the single-catalog expiry.
+    pub expiry: Duration,
+    /// Nominal interval between gossip rounds. Explicit drivers
+    /// ([`FedCatalog::gossip_once`]) ignore it; the auto-gossip thread
+    /// and observability use it.
+    pub gossip_interval: Duration,
+    /// The clock staleness is measured on (virtual under simulation).
+    pub clock: Clock,
+    /// How this shard dials its peers (TCP in production, MemNet under
+    /// simulation).
+    pub dialer: Dialer,
+    /// Network timeout for peer traffic.
+    pub timeout: Duration,
+    /// Consistent-hash ring seed — every shard and observer must agree.
+    pub seed: u64,
+    /// Virtual points per shard on the ring.
+    pub vnodes: usize,
+    /// Spawn a wall-clock background thread running gossip rounds
+    /// every `gossip_interval` (for the production binary; leave off
+    /// under simulation and drive [`FedCatalog::gossip_once`]).
+    pub auto_gossip: bool,
+}
+
+impl FedConfig {
+    /// A config with library defaults for the given identity.
+    pub fn new(name: &str, endpoint: &str) -> FedConfig {
+        FedConfig {
+            name: name.to_string(),
+            endpoint: endpoint.to_string(),
+            expiry: Duration::from_secs(900),
+            gossip_interval: Duration::from_secs(30),
+            clock: Clock::wall(),
+            dialer: Dialer::tcp(),
+            timeout: Duration::from_secs(10),
+            seed: 0x7E55_CA7A_106F_EDED,
+            vnodes: DEFAULT_VNODES,
+            auto_gossip: false,
+        }
+    }
+}
+
+/// How a report arrived, which decides whether it is forwarded on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportOrigin {
+    /// Straight from a file server (or operator): forwarded to the
+    /// home shard if that is someone else.
+    Direct,
+    /// Forwarded or gossiped from a peer shard: never re-forwarded,
+    /// so a stale ring on one shard cannot start a forwarding loop.
+    Peer,
+}
+
+/// One peer's last known state, as published in `fed-status`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerView {
+    /// Peer shard name.
+    pub name: String,
+    /// Where to dial it.
+    pub endpoint: String,
+    /// Ticks since we last heard from it (gossip in either direction),
+    /// `None` if never.
+    pub heard_age: Option<Duration>,
+    /// The peer's own forwarded-report counter, as last advertised.
+    pub forwarded: u64,
+}
+
+struct Peer {
+    endpoint: String,
+    last_heard: Option<Tick>,
+    forwarded: u64,
+}
+
+struct Entry {
+    report: ServerReport,
+    last_seen: Tick,
+}
+
+struct Metrics {
+    reports_ingested: Counter,
+    reports_forwarded: Counter,
+    forward_failures: Counter,
+    forwards_received: Counter,
+    gossip_rounds: Counter,
+    gossip_failures: Counter,
+    gossip_received: Counter,
+    entries_merged: Counter,
+    resyncs: Counter,
+    entries: Gauge,
+}
+
+impl Metrics {
+    fn new(registry: &Registry) -> Metrics {
+        Metrics {
+            reports_ingested: registry.counter("fed.reports_ingested"),
+            reports_forwarded: registry.counter("fed.reports_forwarded"),
+            forward_failures: registry.counter("fed.forward_failures"),
+            forwards_received: registry.counter("fed.forwards_received"),
+            gossip_rounds: registry.counter("fed.gossip_rounds"),
+            gossip_failures: registry.counter("fed.gossip_failures"),
+            gossip_received: registry.counter("fed.gossip_received"),
+            entries_merged: registry.counter("fed.entries_merged"),
+            resyncs: registry.counter("fed.resyncs"),
+            entries: registry.gauge("fed.entries"),
+        }
+    }
+}
+
+struct State {
+    config: FedConfig,
+    entries: RwLock<HashMap<String, Entry>>,
+    peers: RwLock<BTreeMap<String, Peer>>,
+    ring: RwLock<HashRing>,
+    registry: Registry,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    round_robin: Mutex<usize>,
+}
+
+/// A running federated catalog shard.
+pub struct FedCatalog {
+    state: Arc<State>,
+    accept_thread: Option<JoinHandle<()>>,
+    gossip_thread: Option<JoinHandle<()>>,
+    listener: Arc<dyn Listener>,
+}
+
+impl FedCatalog {
+    /// Start a shard serving on `listener`, knowing `peers` as
+    /// `(name, endpoint)` pairs (self may be included; it is skipped).
+    pub fn start(
+        config: FedConfig,
+        listener: Arc<dyn Listener>,
+        peers: &[(String, String)],
+    ) -> io::Result<FedCatalog> {
+        let registry = Registry::new();
+        let metrics = Metrics::new(&registry);
+        let mut ring = HashRing::new(config.seed, config.vnodes);
+        ring.add_peer(&config.name);
+        let mut peer_map = BTreeMap::new();
+        for (name, endpoint) in peers {
+            if *name == config.name {
+                continue;
+            }
+            ring.add_peer(name);
+            peer_map.insert(
+                name.clone(),
+                Peer {
+                    endpoint: endpoint.clone(),
+                    last_heard: None,
+                    forwarded: 0,
+                },
+            );
+        }
+        let state = Arc::new(State {
+            config,
+            entries: RwLock::new(HashMap::new()),
+            peers: RwLock::new(peer_map),
+            ring: RwLock::new(ring),
+            registry,
+            metrics,
+            shutdown: AtomicBool::new(false),
+            round_robin: Mutex::new(0),
+        });
+        let accept_state = state.clone();
+        let accept_listener = listener.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("fed-{}", state.config.name))
+            .spawn(move || accept_loop(accept_listener, accept_state))?;
+        let gossip_thread = if state.config.auto_gossip {
+            let st = state.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name(format!("fed-gossip-{}", st.config.name))
+                    .spawn(move || auto_gossip_loop(st))?,
+            )
+        } else {
+            None
+        };
+        Ok(FedCatalog {
+            state,
+            accept_thread: Some(accept_thread),
+            gossip_thread,
+            listener,
+        })
+    }
+
+    /// This shard's name.
+    pub fn name(&self) -> &str {
+        &self.state.config.name
+    }
+
+    /// The endpoint peers and clients dial.
+    pub fn endpoint(&self) -> &str {
+        &self.state.config.endpoint
+    }
+
+    /// The telemetry registry (`fed.*` counters).
+    pub fn telemetry(&self) -> &Registry {
+        &self.state.registry
+    }
+
+    /// A snapshot of the shared ring.
+    pub fn ring(&self) -> HashRing {
+        self.state.ring.read().clone()
+    }
+
+    /// Peer views as published by `fed-status`.
+    pub fn peer_views(&self) -> Vec<PeerView> {
+        let now = self.state.config.clock.now();
+        self.state
+            .peers
+            .read()
+            .iter()
+            .map(|(name, p)| PeerView {
+                name: name.clone(),
+                endpoint: p.endpoint.clone(),
+                heard_age: p.last_heard.map(|t| now.duration_since(t)),
+                forwarded: p.forwarded,
+            })
+            .collect()
+    }
+
+    /// Directly ingest a report as if a file server had submitted it
+    /// here (forwards to the home shard when that is a peer).
+    pub fn ingest(&self, report: ServerReport) {
+        ingest(&self.state, report, Duration::ZERO, ReportOrigin::Direct);
+    }
+
+    /// Current non-expired fleet listing, sorted by name — same
+    /// semantics as the single catalog's listing.
+    pub fn listing(&self) -> Vec<ServerReport> {
+        let now = self.state.config.clock.now();
+        let entries = self.state.entries.read();
+        let mut out: Vec<ServerReport> = entries
+            .values()
+            .filter(|e| now.duration_since(e.last_seen) < self.state.config.expiry)
+            .map(|e| e.report.clone())
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Run one gossip round: push this shard's whole live state to the
+    /// next peer in round-robin order. Returns the peer pushed to.
+    pub fn gossip_once(&self) -> io::Result<String> {
+        gossip_once(&self.state)
+    }
+
+    /// Pull full state from the first peer that answers — the
+    /// anti-entropy resync a restarted shard runs to rejoin.
+    pub fn resync(&self) -> io::Result<String> {
+        let peers: Vec<(String, String)> = {
+            let peers = self.state.peers.read();
+            peers
+                .iter()
+                .map(|(n, p)| (n.clone(), p.endpoint.clone()))
+                .collect()
+        };
+        let mut last: io::Error = io::ErrorKind::NotConnected.into();
+        for (name, endpoint) in peers {
+            match pull_sync(&self.state, &endpoint) {
+                Ok(()) => {
+                    self.state.metrics.resyncs.inc();
+                    return Ok(name);
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    /// Stop the service threads.
+    pub fn shutdown(&mut self) {
+        if self.state.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.listener.wake();
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.gossip_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for FedCatalog {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: Arc<dyn Listener>, state: Arc<State>) {
+    loop {
+        let conn = listener.accept();
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let (stream, _peer) = match conn {
+            Ok(pair) => pair,
+            // A closed listener (host unbound) never accepts again.
+            Err(e) if e.kind() == io::ErrorKind::NotConnected => return,
+            Err(_) => continue,
+        };
+        let state = state.clone();
+        let _ = std::thread::Builder::new()
+            .name("fed-conn".into())
+            .spawn(move || {
+                let _ = serve_connection(stream, &state);
+            });
+    }
+}
+
+/// Wall-clock gossip driver for production shards; simulation drives
+/// [`FedCatalog::gossip_once`] explicitly instead.
+fn auto_gossip_loop(state: Arc<State>) {
+    let tick = Duration::from_millis(25);
+    let mut since = Duration::ZERO;
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        std::thread::sleep(tick);
+        since += tick;
+        if since >= state.config.gossip_interval {
+            let _ = gossip_once(&state);
+            since = Duration::ZERO;
+        }
+    }
+}
+
+/// Serve one connection: first line is the verb, the rest depends.
+fn serve_connection(stream: Box<dyn Transport>, state: &State) -> io::Result<()> {
+    stream.set_read_timeout(Some(state.config.timeout))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut verb = String::new();
+    reader.read_line(&mut verb)?;
+    let verb = verb.trim().to_string();
+    let mut words = verb.split(' ');
+    match words.next().unwrap_or("") {
+        "fed-report" => {
+            let age_ns: u64 = words.next().and_then(|w| w.parse().ok()).unwrap_or(0);
+            let origin = match words.next() {
+                Some("fwd") => ReportOrigin::Peer,
+                _ => ReportOrigin::Direct,
+            };
+            let packet = read_packet(&mut reader)?;
+            if let Some(report) = ServerReport::parse(&packet) {
+                if origin == ReportOrigin::Peer {
+                    state.metrics.forwards_received.inc();
+                }
+                ingest(state, report, Duration::from_nanos(age_ns), origin);
+                writer.write_all(b"ok\n")?;
+            } else {
+                writer.write_all(b"error malformed report\n")?;
+            }
+        }
+        "fed-gossip" => {
+            let merged = merge_body(state, &mut reader)?;
+            state.metrics.gossip_received.inc();
+            writer.write_all(format!("ok {merged}\n").as_bytes())?;
+        }
+        "fed-sync" => {
+            writer.write_all(state_body(state).as_bytes())?;
+        }
+        "fed-status" => {
+            writer.write_all((status_json(state).render() + "\n").as_bytes())?;
+        }
+        _ => {
+            // A query face: identical bytes to the single catalog.
+            let now = state.config.clock.now();
+            let entries = state.entries.read();
+            let mut live: Vec<&Entry> = entries
+                .values()
+                .filter(|e| now.duration_since(e.last_seen) < state.config.expiry)
+                .collect();
+            live.sort_by(|a, b| a.report.name.cmp(&b.report.name));
+            let live: Vec<&ServerReport> = live.into_iter().map(|e| &e.report).collect();
+            writer.write_all(render_listing(&verb, &live).as_bytes())?;
+        }
+    }
+    writer.flush()
+}
+
+/// Read a blank-line-terminated report packet (EOF also terminates).
+fn read_packet<R: BufRead>(reader: &mut R) -> io::Result<String> {
+    let mut packet = String::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        if line.trim_end_matches(['\r', '\n']).is_empty() {
+            break;
+        }
+        packet.push_str(&line);
+    }
+    Ok(packet)
+}
+
+/// Merge one report into the local set. Returns true if it was
+/// fresher than what we held. Mirrors the single catalog's ingest:
+/// long-dead entries (4× expiry) are purged opportunistically, and a
+/// report older than the purge window is not admitted at all.
+fn merge_entry(state: &State, report: ServerReport, age: Duration) -> bool {
+    let purge_window = state.config.expiry * 4;
+    if age >= purge_window {
+        return false;
+    }
+    let now = state.config.clock.now();
+    let last_seen = Tick(
+        now.0
+            .saturating_sub(u64::try_from(age.as_nanos()).unwrap_or(u64::MAX)),
+    );
+    let mut entries = state.entries.write();
+    entries.retain(|_, e| now.duration_since(e.last_seen) < purge_window);
+    let fresher = match entries.get(&report.name) {
+        Some(existing) => existing.last_seen < last_seen,
+        None => true,
+    };
+    if fresher {
+        entries.insert(report.name.clone(), Entry { report, last_seen });
+        state.metrics.entries_merged.inc();
+    }
+    state.metrics.entries.set(entries.len() as i64);
+    fresher
+}
+
+fn ingest(state: &State, report: ServerReport, age: Duration, origin: ReportOrigin) {
+    state.metrics.reports_ingested.inc();
+    let name = report.name.clone();
+    let packet = report.render();
+    merge_entry(state, report, age);
+    if origin != ReportOrigin::Direct {
+        return;
+    }
+    // Forward to the home shard so the owner converges immediately
+    // rather than waiting out a gossip interval.
+    let home = state
+        .ring
+        .read()
+        .shard_for(&name)
+        .map(str::to_string)
+        .unwrap_or_default();
+    if home == state.config.name || home.is_empty() {
+        return;
+    }
+    let Some(endpoint) = state.peers.read().get(&home).map(|p| p.endpoint.clone()) else {
+        state.metrics.forward_failures.inc();
+        return;
+    };
+    let age_ns = u64::try_from(age.as_nanos()).unwrap_or(u64::MAX);
+    match send_expect_ok(
+        state,
+        &endpoint,
+        &format!("fed-report {age_ns} fwd\n{packet}\n"),
+    ) {
+        Ok(()) => state.metrics.reports_forwarded.inc(),
+        Err(_) => state.metrics.forward_failures.inc(),
+    }
+}
+
+/// Dial `endpoint`, send `body`, and require an `ok` first reply line.
+fn send_expect_ok(state: &State, endpoint: &str, body: &str) -> io::Result<()> {
+    let stream = state.config.dialer.dial(endpoint, state.config.timeout)?;
+    stream.set_read_timeout(Some(state.config.timeout))?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    if line.starts_with("ok") {
+        Ok(())
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("peer rejected: {}", line.trim()),
+        ))
+    }
+}
+
+/// The full-state body exchanged by gossip and sync: the sender's
+/// identity, its membership view, and every entry with its age.
+fn state_body(state: &State) -> String {
+    let now = state.config.clock.now();
+    let mut out = format!(
+        "shard {} {} {}\n",
+        escape(state.config.name.as_bytes()),
+        escape(state.config.endpoint.as_bytes()),
+        state.metrics.reports_forwarded.get()
+    );
+    {
+        let peers = state.peers.read();
+        for (name, peer) in peers.iter() {
+            out.push_str(&format!(
+                "peer {} {}\n",
+                escape(name.as_bytes()),
+                escape(peer.endpoint.as_bytes())
+            ));
+        }
+    }
+    {
+        let entries = state.entries.read();
+        for entry in entries.values() {
+            let age = now.duration_since(entry.last_seen);
+            if age >= state.config.expiry * 4 {
+                continue;
+            }
+            let age_ns = u64::try_from(age.as_nanos()).unwrap_or(u64::MAX);
+            out.push_str(&format!("entry {age_ns}\n{}\n", entry.report.render()));
+        }
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Merge a full-state body from a peer (gossip push or sync pull).
+fn merge_body<R: BufRead>(state: &State, reader: &mut R) -> io::Result<u64> {
+    let mut merged = 0u64;
+    let unesc = |s: &str| -> String {
+        unescape(s)
+            .and_then(|b| String::from_utf8(b).ok())
+            .unwrap_or_else(|| s.to_string())
+    };
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let line = line.trim_end_matches(['\r', '\n']);
+        let mut words = line.split(' ');
+        match words.next().unwrap_or("") {
+            "shard" => {
+                let (Some(name), Some(endpoint)) = (words.next(), words.next()) else {
+                    continue;
+                };
+                let name = unesc(name);
+                let endpoint = unesc(endpoint);
+                let forwarded: u64 = words.next().and_then(|w| w.parse().ok()).unwrap_or(0);
+                learn_peer(state, &name, &endpoint, true, forwarded);
+            }
+            "peer" => {
+                let (Some(name), Some(endpoint)) = (words.next(), words.next()) else {
+                    continue;
+                };
+                learn_peer(state, &unesc(name), &unesc(endpoint), false, 0);
+            }
+            "entry" => {
+                let age_ns: u64 = words.next().and_then(|w| w.parse().ok()).unwrap_or(0);
+                let packet = read_packet(reader)?;
+                if let Some(report) = ServerReport::parse(&packet) {
+                    if merge_entry(state, report, Duration::from_nanos(age_ns)) {
+                        merged += 1;
+                    }
+                }
+            }
+            "end" => break,
+            _ => {}
+        }
+    }
+    Ok(merged)
+}
+
+/// Fold a peer into membership (and the ring). `heard` marks direct
+/// contact (the peer itself talked to us), which refreshes liveness
+/// and its advertised forwarded counter.
+fn learn_peer(state: &State, name: &str, endpoint: &str, heard: bool, forwarded: u64) {
+    if name == state.config.name || name.is_empty() {
+        return;
+    }
+    let mut peers = state.peers.write();
+    let peer = peers.entry(name.to_string()).or_insert_with(|| Peer {
+        endpoint: endpoint.to_string(),
+        last_heard: None,
+        forwarded: 0,
+    });
+    if !endpoint.is_empty() {
+        peer.endpoint = endpoint.to_string();
+    }
+    if heard {
+        peer.last_heard = Some(state.config.clock.now());
+        peer.forwarded = forwarded;
+    }
+    drop(peers);
+    state.ring.write().add_peer(name);
+}
+
+fn gossip_once(state: &State) -> io::Result<String> {
+    let peers: Vec<(String, String)> = {
+        let peers = state.peers.read();
+        peers
+            .iter()
+            .map(|(n, p)| (n.clone(), p.endpoint.clone()))
+            .collect()
+    };
+    if peers.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::NotFound, "no peers"));
+    }
+    let at = {
+        let mut rr = state.round_robin.lock();
+        let at = *rr % peers.len();
+        *rr = rr.wrapping_add(1);
+        at
+    };
+    let (name, endpoint) = &peers[at];
+    state.metrics.gossip_rounds.inc();
+    let body = format!("fed-gossip\n{}", state_body(state));
+    match send_expect_ok(state, endpoint, &body) {
+        Ok(()) => {
+            if let Some(p) = state.peers.write().get_mut(name) {
+                p.last_heard = Some(state.config.clock.now());
+            }
+            Ok(name.clone())
+        }
+        Err(e) => {
+            state.metrics.gossip_failures.inc();
+            Err(e)
+        }
+    }
+}
+
+/// Pull a peer's full state (`fed-sync`) and merge it.
+fn pull_sync(state: &State, endpoint: &str) -> io::Result<()> {
+    let stream = state.config.dialer.dial(endpoint, state.config.timeout)?;
+    stream.set_read_timeout(Some(state.config.timeout))?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(b"fed-sync\n")?;
+    writer.flush()?;
+    let mut reader = BufReader::new(stream);
+    // Require the body to start with the peer's shard line; an empty
+    // or garbled reply is a failed sync, not a silent no-op.
+    let mut first = String::new();
+    if reader.read_line(&mut first)? == 0 || !first.starts_with("shard ") {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad sync reply"));
+    }
+    merge_body(state, &mut BufReader::new(first.as_bytes().chain(reader)))?;
+    Ok(())
+}
+
+/// The `fed-status` JSON object: this shard's identity, ring
+/// parameters, counters, and per-peer liveness/forwarding — what
+/// `tss-top` renders as the federation table.
+fn status_json(state: &State) -> Value {
+    let now = state.config.clock.now();
+    let entries = {
+        let entries = state.entries.read();
+        entries
+            .values()
+            .filter(|e| now.duration_since(e.last_seen) < state.config.expiry)
+            .count() as u64
+    };
+    let liveness_window = state.config.gossip_interval * 3;
+    let peers: Vec<Value> = state
+        .peers
+        .read()
+        .iter()
+        .map(|(name, p)| {
+            let heard_age = p.last_heard.map(|t| now.duration_since(t));
+            Value::Object(vec![
+                ("name".into(), Value::from(name.as_str())),
+                ("endpoint".into(), Value::from(p.endpoint.as_str())),
+                (
+                    "alive".into(),
+                    Value::Bool(heard_age.is_some_and(|a| a < liveness_window)),
+                ),
+                ("forwarded".into(), Value::Uint(p.forwarded)),
+                (
+                    "heard_age_ns".into(),
+                    match heard_age {
+                        Some(a) => Value::Uint(u64::try_from(a.as_nanos()).unwrap_or(u64::MAX)),
+                        None => Value::Null,
+                    },
+                ),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        ("shard".into(), Value::from(state.config.name.as_str())),
+        (
+            "endpoint".into(),
+            Value::from(state.config.endpoint.as_str()),
+        ),
+        ("seed".into(), Value::Uint(state.config.seed)),
+        ("vnodes".into(), Value::Uint(state.config.vnodes as u64)),
+        ("entries".into(), Value::Uint(entries)),
+        (
+            "forwarded".into(),
+            Value::Uint(state.metrics.reports_forwarded.get()),
+        ),
+        (
+            "gossip_failures".into(),
+            Value::Uint(state.metrics.gossip_failures.get()),
+        ),
+        ("peers".into(), Value::Array(peers)),
+    ])
+}

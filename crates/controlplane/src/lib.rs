@@ -1,0 +1,33 @@
+//! Scale-out control plane for the tactical storage system.
+//!
+//! A single catalog server (PR 1) is a scalability and availability
+//! ceiling: every report lands on one host, and losing it blinds the
+//! whole fleet. This crate removes that ceiling with three pieces
+//! that keep the paper's separation intact — resources stay dumb
+//! file servers; all the smarts live in the (now distributed)
+//! control plane:
+//!
+//! * [`ring`] — the seeded consistent-hash ring that assigns every
+//!   server name a *home shard*, stably under membership churn.
+//! * [`fed`] — federated catalog shards that forward reports to
+//!   their home shard, gossip full state peer-to-peer, and each
+//!   answer any query for the whole fleet in the exact bytes a lone
+//!   catalog would produce.
+//! * [`placement`] — an active GEMS placement engine ranking
+//!   targets by live catalog metrics (load, free space) behind a
+//!   pluggable policy trait, swapped into GEMS via [`gems::Placer`].
+//! * [`tree`] — THIRDPUT distribution trees that fan N replicas out
+//!   depot-to-depot in O(log N) wave-times, re-parenting orphaned
+//!   subtrees when an interior node dies mid-transfer.
+
+#![warn(missing_docs)]
+
+pub mod fed;
+pub mod placement;
+pub mod ring;
+pub mod tree;
+
+pub use fed::{FedCatalog, FedConfig, PeerView, ReportOrigin};
+pub use placement::{Candidate, LocalityFirst, PlacementEngine, PlacementPolicy, SpreadByLoad};
+pub use ring::{HashRing, DEFAULT_VNODES};
+pub use tree::{distribute, ideal_depth, TreeConfig, TreeReport, TreeTarget};

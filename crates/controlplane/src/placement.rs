@@ -1,0 +1,248 @@
+//! Active GEMS placement from live catalog state.
+//!
+//! The classic GEMS placement probes every pool server with a
+//! `statfs` RPC at ingest time — O(pool) round trips per placement,
+//! and blind to load. The placement engine here instead ranks
+//! candidates from the catalog's already-collected reports: free
+//! space and total capacity straight from each report, load from the
+//! `rpc.*.count` counters the servers publish in their metrics
+//! (PR 3). One catalog query prices the whole fleet.
+//!
+//! Policies are pluggable behind [`PlacementPolicy`]; the engine
+//! implements [`gems::Placer`], so `GemsConfig::with_placer` swaps it
+//! into an unmodified GEMS stack.
+
+use std::io;
+use std::sync::Arc;
+use std::time::Duration;
+
+use catalog::client::query_via;
+use catalog::ServerReport;
+use chirp_proto::transport::Dialer;
+
+/// One placement candidate, priced from its latest catalog report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidate {
+    /// Server name, as reported to the catalog.
+    pub name: String,
+    /// Endpoint (`host:port`) clients dial.
+    pub address: String,
+    /// Free bytes at last report.
+    pub free: u64,
+    /// Total bytes at last report.
+    pub total: u64,
+    /// Cumulative RPCs served at last report — the load signal.
+    pub rpcs: u64,
+}
+
+impl Candidate {
+    /// Build from a catalog report; load is the sum of the server's
+    /// `rpc.<op>.count` counters (zero if it reports no metrics).
+    pub fn from_report(r: &ServerReport) -> Candidate {
+        Candidate {
+            name: r.name.clone(),
+            address: r.address.clone(),
+            free: r.free,
+            total: r.total,
+            rpcs: r.metrics.counter_sum("rpc."),
+        }
+    }
+}
+
+/// A pluggable ranking of placement candidates, best first.
+pub trait PlacementPolicy: Send + Sync + std::fmt::Debug {
+    /// Policy name, for logs and status faces.
+    fn name(&self) -> &'static str;
+    /// Reorder `candidates` best-first in place.
+    fn rank(&self, candidates: &mut [Candidate]);
+}
+
+/// Prefer lightly loaded servers; break ties towards free space,
+/// then name (so equal servers rank deterministically).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpreadByLoad;
+
+impl PlacementPolicy for SpreadByLoad {
+    fn name(&self) -> &'static str {
+        "spread-by-load"
+    }
+
+    fn rank(&self, candidates: &mut [Candidate]) {
+        candidates.sort_by(|a, b| {
+            a.rpcs
+                .cmp(&b.rpcs)
+                .then(b.free.cmp(&a.free))
+                .then(a.name.cmp(&b.name))
+        });
+    }
+}
+
+/// Prefer servers whose address shares the longest prefix with a
+/// reference address (same host, then same subnet, then anything);
+/// break ties towards free space, then name.
+#[derive(Debug, Clone)]
+pub struct LocalityFirst {
+    /// The address placements should land near (e.g. the client's
+    /// own endpoint).
+    pub near: String,
+}
+
+impl LocalityFirst {
+    /// Prefer candidates near `near`.
+    pub fn new(near: &str) -> LocalityFirst {
+        LocalityFirst {
+            near: near.to_string(),
+        }
+    }
+}
+
+/// Length of the longest common prefix of two addresses.
+fn common_prefix(a: &str, b: &str) -> usize {
+    a.bytes().zip(b.bytes()).take_while(|(x, y)| x == y).count()
+}
+
+impl PlacementPolicy for LocalityFirst {
+    fn name(&self) -> &'static str {
+        "locality-first"
+    }
+
+    fn rank(&self, candidates: &mut [Candidate]) {
+        candidates.sort_by(|a, b| {
+            common_prefix(&b.address, &self.near)
+                .cmp(&common_prefix(&a.address, &self.near))
+                .then(b.free.cmp(&a.free))
+                .then(a.name.cmp(&b.name))
+        });
+    }
+}
+
+/// A catalog-driven placement engine.
+///
+/// Queries the given catalog endpoints (first answer wins — under
+/// federation any shard carries the whole fleet) and ranks the live
+/// servers with its policy.
+#[derive(Debug)]
+pub struct PlacementEngine {
+    catalogs: Vec<String>,
+    dialer: Dialer,
+    timeout: Duration,
+    policy: Arc<dyn PlacementPolicy>,
+}
+
+impl PlacementEngine {
+    /// An engine querying `catalogs` through `dialer` and ranking
+    /// with `policy`.
+    pub fn new(
+        catalogs: Vec<String>,
+        dialer: Dialer,
+        timeout: Duration,
+        policy: Arc<dyn PlacementPolicy>,
+    ) -> PlacementEngine {
+        PlacementEngine {
+            catalogs,
+            dialer,
+            timeout,
+            policy,
+        }
+    }
+
+    /// The active policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// The live fleet, ranked best-first by the policy.
+    pub fn candidates(&self) -> io::Result<Vec<Candidate>> {
+        let mut last: io::Error = io::Error::new(io::ErrorKind::NotConnected, "no catalogs");
+        for endpoint in &self.catalogs {
+            match query_via(&self.dialer, endpoint, self.timeout) {
+                Ok(reports) => {
+                    let mut candidates: Vec<Candidate> =
+                        reports.iter().map(Candidate::from_report).collect();
+                    self.policy.rank(&mut candidates);
+                    return Ok(candidates);
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    /// The `n` best candidates not in `exclude` (matched by address
+    /// or name — GEMS replica lists hold endpoints).
+    pub fn pick(&self, n: usize, exclude: &[String]) -> io::Result<Vec<Candidate>> {
+        let candidates = self.candidates()?;
+        Ok(candidates
+            .into_iter()
+            .filter(|c| !exclude.iter().any(|x| *x == c.address || *x == c.name))
+            .take(n)
+            .collect())
+    }
+}
+
+impl gems::Placer for PlacementEngine {
+    /// Rank GEMS pool endpoints by live catalog state: candidates
+    /// are matched to the catalog by address; endpoints the catalog
+    /// has no live report for are dropped (GEMS falls back to its
+    /// default policy when nothing ranks).
+    fn rank(&self, pool: &[String]) -> Vec<String> {
+        let Ok(ranked) = self.candidates() else {
+            return Vec::new();
+        };
+        ranked
+            .into_iter()
+            .filter_map(|c| {
+                pool.iter()
+                    .find(|p| **p == c.address || **p == c.name)
+                    .cloned()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidate(name: &str, free: u64, rpcs: u64) -> Candidate {
+        Candidate {
+            name: name.into(),
+            address: format!("{name}:9094"),
+            free,
+            total: 1000,
+            rpcs,
+        }
+    }
+
+    #[test]
+    fn spread_by_load_prefers_idle_then_free() {
+        let mut c = vec![
+            candidate("busy", 900, 500),
+            candidate("idle-small", 100, 2),
+            candidate("idle-big", 800, 2),
+        ];
+        SpreadByLoad.rank(&mut c);
+        assert_eq!(c[0].name, "idle-big", "ties on load break to free space");
+        assert_eq!(c[1].name, "idle-small");
+        assert_eq!(c[2].name, "busy");
+    }
+
+    #[test]
+    fn locality_first_prefers_shared_prefix() {
+        let mut c = vec![candidate("far", 900, 0), candidate("near", 100, 0)];
+        c[0].address = "10.99.0.1:9094".into();
+        c[1].address = "10.77.0.5:9094".into();
+        LocalityFirst::new("10.77.0.9:9094").rank(&mut c);
+        assert_eq!(c[0].name, "near");
+    }
+
+    #[test]
+    fn ranking_is_deterministic_on_full_ties() {
+        let mut a = vec![candidate("b", 10, 1), candidate("a", 10, 1)];
+        let mut b = vec![candidate("a", 10, 1), candidate("b", 10, 1)];
+        SpreadByLoad.rank(&mut a);
+        SpreadByLoad.rank(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(a[0].name, "a");
+    }
+}

@@ -1,0 +1,203 @@
+//! The seeded consistent-hash ring catalogs shard the fleet over.
+//!
+//! Every server name hashes to a point on a ring of `vnodes` virtual
+//! points per shard; the shard owning the first point at or clockwise
+//! of the key's hash is the *home shard* for that server's reports.
+//! Two properties make this the right sharding function for a
+//! federation whose membership changes while servers keep reporting:
+//!
+//! * **Stability** — when a shard joins, the only keys that change
+//!   home are the ones the new shard now owns (about `K/n` of them);
+//!   when a shard leaves, only its own keys move. No key ever moves
+//!   *between* surviving shards (`ring_props.rs` proves this
+//!   structurally, not statistically).
+//! * **Balance** — with enough virtual points the largest shard's
+//!   share stays within a small constant of the smallest's; the
+//!   property suite enforces a 2× bound across 3–16 shards at the
+//!   default `vnodes`.
+//!
+//! The ring is *seeded*: all shards (and observers like `tss-top`)
+//! construct it from the same `(seed, vnodes, member names)` triple
+//! and therefore agree on every key's home without any coordination.
+
+use std::collections::BTreeSet;
+
+/// Default virtual points per shard. High enough that the 2× balance
+/// bound holds comfortably up to 16 shards; cheap enough that ring
+/// rebuilds (membership changes only) stay microseconds.
+pub const DEFAULT_VNODES: usize = 128;
+
+/// SplitMix64 finalizer: a full-avalanche mix of one 64-bit word.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Seeded string hash: fold each byte through the mixer so nearby
+/// names (server-01, server-02) land far apart on the ring.
+fn hash_str(seed: u64, s: &str) -> u64 {
+    let mut h = mix(seed ^ 0xA076_1D64_78BD_642F);
+    for &b in s.as_bytes() {
+        h = mix(h ^ u64::from(b));
+    }
+    h
+}
+
+/// A seeded consistent-hash ring over named shards.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    seed: u64,
+    vnodes: usize,
+    peers: BTreeSet<String>,
+    /// Virtual points sorted by position; each names its shard.
+    points: Vec<(u64, String)>,
+}
+
+impl HashRing {
+    /// An empty ring with the given seed and virtual-point count.
+    pub fn new(seed: u64, vnodes: usize) -> HashRing {
+        HashRing {
+            seed,
+            vnodes: vnodes.max(1),
+            peers: BTreeSet::new(),
+            points: Vec::new(),
+        }
+    }
+
+    /// A ring pre-populated with `names`.
+    pub fn with_peers<I, S>(seed: u64, vnodes: usize, names: I) -> HashRing
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut ring = HashRing::new(seed, vnodes);
+        for name in names {
+            ring.add_peer(&name.into());
+        }
+        ring
+    }
+
+    /// The seed all members must share.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Virtual points per shard.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// Member shard names, sorted.
+    pub fn peers(&self) -> impl Iterator<Item = &str> {
+        self.peers.iter().map(String::as_str)
+    }
+
+    /// Number of member shards.
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// True when no shard is a member.
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// True if `name` is a member.
+    pub fn contains(&self, name: &str) -> bool {
+        self.peers.contains(name)
+    }
+
+    /// Add a shard; returns false if it was already a member.
+    pub fn add_peer(&mut self, name: &str) -> bool {
+        if !self.peers.insert(name.to_string()) {
+            return false;
+        }
+        for i in 0..self.vnodes {
+            let point = hash_str(self.seed, &format!("{name}#{i}"));
+            let at = self
+                .points
+                .binary_search_by(|(p, n)| (*p, n.as_str()).cmp(&(point, name)))
+                .unwrap_err();
+            self.points.insert(at, (point, name.to_string()));
+        }
+        true
+    }
+
+    /// Remove a shard; returns false if it was not a member.
+    pub fn remove_peer(&mut self, name: &str) -> bool {
+        if !self.peers.remove(name) {
+            return false;
+        }
+        self.points.retain(|(_, n)| n != name);
+        true
+    }
+
+    /// The home shard for `key` (a server name): the owner of the
+    /// first virtual point at or clockwise of the key's hash.
+    pub fn shard_for(&self, key: &str) -> Option<&str> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = hash_str(self.seed ^ 0x5151_5151_5151_5151, key);
+        let at = self.points.partition_point(|(p, _)| *p < h);
+        let (_, name) = &self.points[at % self.points.len()];
+        Some(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ring_has_no_home() {
+        let ring = HashRing::new(7, 8);
+        assert!(ring.shard_for("x").is_none());
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn assignment_is_deterministic_across_constructions() {
+        let a = HashRing::with_peers(42, DEFAULT_VNODES, ["c1", "c2", "c3"]);
+        // Same members added in a different order: identical ring.
+        let b = HashRing::with_peers(42, DEFAULT_VNODES, ["c3", "c1", "c2"]);
+        for i in 0..500 {
+            let key = format!("server-{i}");
+            assert_eq!(a.shard_for(&key), b.shard_for(&key));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_rings() {
+        let a = HashRing::with_peers(1, DEFAULT_VNODES, ["c1", "c2", "c3"]);
+        let b = HashRing::with_peers(2, DEFAULT_VNODES, ["c1", "c2", "c3"]);
+        let differing = (0..500)
+            .filter(|i| {
+                let key = format!("server-{i}");
+                a.shard_for(&key) != b.shard_for(&key)
+            })
+            .count();
+        assert!(
+            differing > 100,
+            "only {differing}/500 keys moved with the seed"
+        );
+    }
+
+    #[test]
+    fn add_remove_round_trips() {
+        let mut ring = HashRing::with_peers(9, 16, ["a", "b"]);
+        let before: Vec<_> = (0..100)
+            .map(|i| ring.shard_for(&format!("k{i}")).unwrap().to_string())
+            .collect();
+        assert!(ring.add_peer("c"));
+        assert!(!ring.add_peer("c"), "double add is a no-op");
+        assert!(ring.remove_peer("c"));
+        assert!(!ring.remove_peer("c"), "double remove is a no-op");
+        let after: Vec<_> = (0..100)
+            .map(|i| ring.shard_for(&format!("k{i}")).unwrap().to_string())
+            .collect();
+        assert_eq!(before, after, "join+leave restores every assignment");
+    }
+}

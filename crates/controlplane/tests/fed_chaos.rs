@@ -1,0 +1,193 @@
+//! Federation chaos: gossip killed mid-frame, a shard killed outright
+//! — queries keep answering from survivors, the rejoin resyncs, and
+//! the telemetry ledger ties every injected fault to a counted
+//! failure (satellite b, catalog half).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use catalog::client::query_via;
+use catalog::ServerReport;
+use chirp_proto::{Clock, MemNet, VirtualClock};
+use controlplane::{FedCatalog, FedConfig};
+use faultline::mem::FaultDialer;
+use faultline::{FaultAction, FaultPlan, FaultRule, FaultTrigger};
+
+const EXPIRY: Duration = Duration::from_secs(300);
+const TIMEOUT: Duration = Duration::from_secs(5);
+
+fn report(id: usize) -> ServerReport {
+    ServerReport {
+        kind: "chirp".into(),
+        name: format!("srv-{id:02}"),
+        owner: "chaos".into(),
+        address: format!("10.88.1.{}:9094", id + 1),
+        version: 1,
+        total: 1000,
+        free: 500,
+        topacl: String::new(),
+        metrics: Default::default(),
+        extra: Default::default(),
+    }
+}
+
+#[test]
+fn gossip_killed_mid_frame_is_counted_and_survived() {
+    let clock = Clock::virtual_at(VirtualClock::new());
+    let net = MemNet::new(clock.clone());
+
+    // Shard 0 gossips through a fault dialer that severs its first
+    // two pushes mid-frame; its peers use the clean network.
+    let plan = FaultPlan::new(7).with_rule(
+        FaultRule::new(FaultTrigger::EveryNthRpc(1), FaultAction::KillMidFrame).max_fires(2),
+    );
+    let faulty = FaultDialer::new(net.dialer(), clock.clone(), plan);
+    faulty.set_armed(false);
+
+    let names = ["cat-a", "cat-b", "cat-c"];
+    let listeners: Vec<_> = names.iter().map(|_| net.listen()).collect();
+    let peers: Vec<(String, String)> = names
+        .iter()
+        .zip(&listeners)
+        .map(|(n, l)| (n.to_string(), l.addr().to_string()))
+        .collect();
+    let shards: Vec<FedCatalog> = names
+        .iter()
+        .zip(listeners)
+        .enumerate()
+        .map(|(i, (name, listener))| {
+            let mut cfg = FedConfig::new(name, &listener.addr().to_string());
+            cfg.expiry = EXPIRY;
+            cfg.clock = clock.clone();
+            cfg.dialer = if i == 0 {
+                faulty.dialer()
+            } else {
+                net.dialer()
+            };
+            cfg.timeout = TIMEOUT;
+            FedCatalog::start(cfg, Arc::new(listener), &peers).expect("start shard")
+        })
+        .collect();
+
+    // Clean convergence first: 6 servers spread over the shards.
+    for i in 0..6 {
+        shards[i % 3].ingest(report(i));
+    }
+    for _ in 0..2 {
+        for shard in &shards {
+            shard.gossip_once().expect("clean gossip");
+        }
+    }
+
+    // Arm: shard 0's next two gossip pushes die mid-frame.
+    faulty.set_armed(true);
+    let failures_before = shards[0]
+        .telemetry()
+        .snapshot()
+        .counter("fed.gossip_failures")
+        .unwrap_or(0);
+    assert!(shards[0].gossip_once().is_err(), "killed push must error");
+    assert!(shards[0].gossip_once().is_err(), "killed push must error");
+    faulty.set_armed(false);
+
+    // The ledger ties the injections to the counters exactly: every
+    // fired fault is a counted gossip failure, nothing more.
+    let failures = shards[0]
+        .telemetry()
+        .snapshot()
+        .counter("fed.gossip_failures")
+        .unwrap_or(0)
+        - failures_before;
+    assert_eq!(failures, faulty.fires(), "fault ledger must balance");
+    assert_eq!(faulty.fires(), 2);
+
+    // The federation survived: every shard still answers the whole
+    // fleet, and disarmed gossip heals the round-robin.
+    shards[0].gossip_once().expect("healed gossip");
+    for shard in &shards {
+        let listing = query_via(&net.dialer(), shard.endpoint(), TIMEOUT).expect("query");
+        assert_eq!(listing.len(), 6, "{} lost entries", shard.name());
+    }
+}
+
+#[test]
+fn shard_killed_mid_gossip_rejoins_by_resync() {
+    let clock = Clock::virtual_at(VirtualClock::new());
+    let net = MemNet::new(clock.clone());
+    let names = ["cat-a", "cat-b", "cat-c"];
+    let listeners: Vec<_> = names.iter().map(|_| net.listen()).collect();
+    let peers: Vec<(String, String)> = names
+        .iter()
+        .zip(&listeners)
+        .map(|(n, l)| (n.to_string(), l.addr().to_string()))
+        .collect();
+    let mut shards: Vec<FedCatalog> = names
+        .iter()
+        .zip(listeners)
+        .map(|(name, listener)| {
+            let mut cfg = FedConfig::new(name, &listener.addr().to_string());
+            cfg.expiry = EXPIRY;
+            cfg.clock = clock.clone();
+            cfg.dialer = net.dialer();
+            cfg.timeout = TIMEOUT;
+            FedCatalog::start(cfg, Arc::new(listener), &peers).expect("start shard")
+        })
+        .collect();
+
+    for i in 0..6 {
+        shards[i % 3].ingest(report(i));
+    }
+    for _ in 0..2 {
+        for shard in &shards {
+            shard.gossip_once().expect("gossip");
+        }
+    }
+
+    // Kill shard 2 abruptly — between its peers' gossip rounds, so
+    // their next pushes towards it fail like a host death.
+    let dead_endpoint = shards[2].endpoint().to_string();
+    let dead_addr: std::net::SocketAddr = dead_endpoint.parse().unwrap();
+    let mut dead = shards.pop().expect("three shards");
+    dead.shutdown();
+    net.unbind(dead_addr);
+    drop(dead);
+
+    // Survivors keep gossiping; pushes to the corpse fail and are
+    // counted, pushes between the survivors succeed.
+    let mut failures = 0u64;
+    for _ in 0..2 {
+        for shard in &shards {
+            if shard.gossip_once().is_err() {
+                failures += 1;
+            }
+        }
+    }
+    assert!(failures > 0, "somebody must have tried the dead shard");
+    let counted: u64 = shards
+        .iter()
+        .map(|s| {
+            s.telemetry()
+                .snapshot()
+                .counter("fed.gossip_failures")
+                .unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(counted, failures, "every failure must be on the ledger");
+    for shard in &shards {
+        let listing = query_via(&net.dialer(), shard.endpoint(), TIMEOUT).expect("query");
+        assert_eq!(listing.len(), 6, "survivor {} lost entries", shard.name());
+    }
+
+    // Rejoin at the same address: fresh state, then resync pulls the
+    // fleet view back in one round trip.
+    let listener = net.listen_at(dead_addr).expect("rebind");
+    let mut cfg = FedConfig::new(names[2], &dead_endpoint);
+    cfg.expiry = EXPIRY;
+    cfg.clock = clock.clone();
+    cfg.dialer = net.dialer();
+    cfg.timeout = TIMEOUT;
+    let revived = FedCatalog::start(cfg, Arc::new(listener), &peers).expect("rejoin");
+    revived.resync().expect("resync");
+    let listing = query_via(&net.dialer(), revived.endpoint(), TIMEOUT).expect("query");
+    assert_eq!(listing.len(), 6, "rejoined shard must serve the fleet");
+}

@@ -1,0 +1,142 @@
+//! Seeded differential test: a 3-shard federation must be
+//! observationally identical to one classic catalog.
+//!
+//! A random op sequence — reports to arbitrary shards, virtual-clock
+//! advances across the expiry boundary, gossip rounds — drives the
+//! federation and a single [`CatalogServer`] oracle sharing the same
+//! virtual clock. At every checkpoint (after anti-entropy
+//! convergence) all five query faces of *every* shard must match the
+//! oracle's bytes exactly.
+//!
+//! Reproduce a failure with the printed seed:
+//! `FED_SEED=<n> cargo test -p controlplane --test fed_differential`
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use catalog::client::query_raw_via;
+use catalog::{CatalogConfig, CatalogServer, ServerReport};
+use chirp_proto::transport::Dialer;
+use chirp_proto::{Clock, MemNet, VirtualClock};
+use controlplane::{FedCatalog, FedConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const EXPIRY: Duration = Duration::from_secs(60);
+const TIMEOUT: Duration = Duration::from_secs(5);
+const SERVERS: usize = 12;
+const FACES: [&str; 5] = ["text", "json", "metrics", "metrics-json", "html"];
+
+fn seed() -> u64 {
+    match std::env::var("FED_SEED") {
+        Ok(v) if !v.is_empty() => v.parse().expect("FED_SEED must be a u64"),
+        _ => 0xFEDC_A7A1_0655_EED5,
+    }
+}
+
+fn synthetic_report(id: usize, version: u64, rng: &mut SmallRng) -> ServerReport {
+    ServerReport {
+        kind: "chirp".into(),
+        name: format!("srv-{id:02}"),
+        owner: "differential".into(),
+        address: format!("10.88.0.{}:9094", id + 1),
+        version: version as u32,
+        total: 1_000_000,
+        free: rng.gen_range(0u64..1_000_000),
+        topacl: String::new(),
+        metrics: Default::default(),
+        extra: BTreeMap::new(),
+    }
+}
+
+#[test]
+fn federation_is_bit_for_bit_a_catalog() {
+    let seed = seed();
+    eprintln!("fed differential: FED_SEED={seed} (set FED_SEED to reproduce)");
+    let vclock = VirtualClock::new();
+    let clock = Clock::virtual_at(vclock);
+    let net = MemNet::new(clock.clone());
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    let names = ["cat-a", "cat-b", "cat-c"];
+    let listeners: Vec<_> = names.iter().map(|_| net.listen()).collect();
+    let peers: Vec<(String, String)> = names
+        .iter()
+        .zip(&listeners)
+        .map(|(n, l)| (n.to_string(), l.addr().to_string()))
+        .collect();
+    let shards: Vec<FedCatalog> = names
+        .iter()
+        .zip(listeners)
+        .map(|(name, listener)| {
+            let mut cfg = FedConfig::new(name, &listener.addr().to_string());
+            cfg.expiry = EXPIRY;
+            cfg.clock = clock.clone();
+            cfg.dialer = net.dialer();
+            cfg.timeout = TIMEOUT;
+            FedCatalog::start(cfg, Arc::new(listener), &peers).expect("start shard")
+        })
+        .collect();
+
+    let oracle = CatalogServer::start(CatalogConfig::localhost(EXPIRY).with_clock(clock.clone()))
+        .expect("oracle");
+    let oracle_ep = oracle.tcp_addr().to_string();
+    let tcp = Dialer::tcp();
+
+    let converge_and_compare = |step: usize| {
+        // Two all-pairs pushes guarantee convergence regardless of
+        // where each entry currently lives.
+        for _ in 0..2 {
+            for shard in &shards {
+                shard.gossip_once().expect("gossip");
+            }
+        }
+        for face in FACES {
+            let want = query_raw_via(&tcp, &oracle_ep, TIMEOUT, face).expect("oracle face");
+            for shard in &shards {
+                let got = query_raw_via(&net.dialer(), shard.endpoint(), TIMEOUT, face)
+                    .expect("shard face");
+                assert_eq!(
+                    got,
+                    want,
+                    "step {step}: {face} face of {} diverged (FED_SEED={seed})",
+                    shard.name()
+                );
+            }
+        }
+    };
+
+    let mut version = 0u64;
+    for step in 0..300 {
+        match rng.gen_range(0u32..100) {
+            // Report: a random server, with fresh content, to a
+            // random shard (the oracle sees it directly). The 1 ms
+            // advance keeps last-seen ticks unique, so freshest-wins
+            // merging is unambiguous.
+            0..=59 => {
+                clock.sleep(Duration::from_millis(1));
+                version += 1;
+                let report = synthetic_report(rng.gen_range(0..SERVERS), version, &mut rng);
+                oracle.ingest(report.clone());
+                shards[rng.gen_range(0..shards.len())].ingest(report);
+            }
+            // Advance: up to half the expiry window at a time, so
+            // sequences of advances cross (and re-cross) the expiry
+            // and purge boundaries.
+            60..=74 => {
+                clock.sleep(Duration::from_millis(rng.gen_range(1u64..30_000)));
+            }
+            // A lone gossip round from a random shard.
+            75..=89 => {
+                shards[rng.gen_range(0..shards.len())]
+                    .gossip_once()
+                    .expect("gossip");
+            }
+            // Checkpoint: converge, then compare every face of every
+            // shard against the oracle, byte for byte.
+            _ => converge_and_compare(step),
+        }
+    }
+    converge_and_compare(usize::MAX);
+}

@@ -1,0 +1,247 @@
+//! Federation acceptance: 3 catalog shards, 8 real file servers, one
+//! virtual clock, zero real sockets.
+//!
+//! The ISSUE's acceptance scenario: every server's report — fed to an
+//! arbitrary shard — is answerable from *any* shard; killing one
+//! shard leaves the fleet fully resolvable from the survivors within
+//! a gossip interval; a restarted shard rejoins empty and recovers
+//! the whole view by anti-entropy resync. Plus satellite (c): a
+//! wrong-shard report reaches its home shard before expiry, and the
+//! expiry boundary is bit-for-bit identical to a single catalog
+//! sharing the same virtual clock.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use catalog::client::{query_raw_via, query_via};
+use catalog::{CatalogConfig, CatalogServer};
+use controlplane::{FedCatalog, FedConfig};
+use simharness::harness::{SimTss, SIM_TIMEOUT};
+
+const EXPIRY: Duration = Duration::from_secs(300);
+const GOSSIP: Duration = Duration::from_secs(30);
+const NAMES: [&str; 3] = ["cat-a", "cat-b", "cat-c"];
+
+/// Stand up a 3-shard federation on the sim's in-memory network.
+fn federation(sim: &SimTss) -> Vec<FedCatalog> {
+    let listeners: Vec<_> = (0..NAMES.len()).map(|_| sim.net().listen()).collect();
+    let peers: Vec<(String, String)> = NAMES
+        .iter()
+        .zip(&listeners)
+        .map(|(n, l)| (n.to_string(), l.addr().to_string()))
+        .collect();
+    NAMES
+        .iter()
+        .zip(listeners)
+        .map(|(name, listener)| {
+            let mut cfg = FedConfig::new(name, &listener.addr().to_string());
+            cfg.expiry = EXPIRY;
+            cfg.gossip_interval = GOSSIP;
+            cfg.clock = sim.clock().clone();
+            cfg.dialer = sim.dialer();
+            cfg.timeout = SIM_TIMEOUT;
+            FedCatalog::start(cfg, Arc::new(listener), &peers).expect("start shard")
+        })
+        .collect()
+}
+
+/// One all-pairs round: every shard pushes its state to every peer.
+fn converge(shards: &[FedCatalog]) {
+    for _ in 0..shards.len().saturating_sub(1) {
+        for shard in shards {
+            shard.gossip_once().expect("gossip");
+        }
+    }
+}
+
+fn names_served(sim: &SimTss, endpoint: &str) -> Vec<String> {
+    query_via(&sim.dialer(), endpoint, SIM_TIMEOUT)
+        .expect("query shard")
+        .into_iter()
+        .map(|r| r.name)
+        .collect()
+}
+
+#[test]
+fn any_shard_answers_for_the_whole_fleet() {
+    let sim = SimTss::builder().servers(8).build();
+    // Give the servers some traffic so their reports carry metrics.
+    for i in 0..8 {
+        let mut conn = sim.connect(i);
+        conn.putfile(&format!("/f{i}"), 0o644, b"fleet").unwrap();
+    }
+    let shards = federation(&sim);
+    // Each server reports to an arbitrary shard (round-robin), as if
+    // it only knew one catalog address.
+    for i in 0..8 {
+        shards[i % 3].ingest(sim.server_report(i));
+    }
+    converge(&shards);
+
+    let expected: Vec<String> = (0..8).map(|i| sim.endpoint(i)).collect();
+    let mut expected_sorted = expected.clone();
+    expected_sorted.sort();
+    for shard in &shards {
+        let served = names_served(&sim, shard.endpoint());
+        assert_eq!(
+            served,
+            expected_sorted,
+            "shard {} does not serve the whole fleet",
+            shard.name()
+        );
+    }
+
+    // The aggregated faces answer from any shard too, with every
+    // server's record present.
+    for shard in &shards {
+        for face in ["metrics", "metrics-json", "json", "html"] {
+            let body =
+                query_raw_via(&sim.dialer(), shard.endpoint(), SIM_TIMEOUT, face).expect("face");
+            for name in &expected {
+                assert!(
+                    body.contains(name.as_str()),
+                    "{face} face on {} is missing {name}",
+                    shard.name()
+                );
+            }
+        }
+    }
+
+    // Reports fed to a non-home shard were forwarded to their home
+    // shard synchronously: somebody forwarded, nobody failed.
+    let forwarded: u64 = shards
+        .iter()
+        .map(|s| {
+            s.telemetry()
+                .snapshot()
+                .counter("fed.reports_forwarded")
+                .unwrap_or(0)
+        })
+        .sum();
+    let failures: u64 = shards
+        .iter()
+        .map(|s| {
+            s.telemetry()
+                .snapshot()
+                .counter("fed.forward_failures")
+                .unwrap_or(0)
+        })
+        .sum();
+    assert!(forwarded > 0, "round-robin reporting must cross shards");
+    assert_eq!(failures, 0);
+}
+
+#[test]
+fn killing_one_shard_keeps_the_fleet_resolvable() {
+    let sim = SimTss::builder().servers(8).build();
+    let mut shards = federation(&sim);
+    for i in 0..8 {
+        shards[i % 3].ingest(sim.server_report(i));
+    }
+    converge(&shards);
+
+    // Kill shard 0: service threads stop and its address unbinds, so
+    // peers see dial failures, exactly like a host death.
+    let dead_endpoint = shards[0].endpoint().to_string();
+    let dead_addr: std::net::SocketAddr = dead_endpoint.parse().unwrap();
+    let mut dead = shards.remove(0);
+    dead.shutdown();
+    sim.net().unbind(dead_addr);
+    drop(dead);
+    assert!(
+        query_via(&sim.dialer(), &dead_endpoint, SIM_TIMEOUT).is_err(),
+        "dead shard must stop answering"
+    );
+
+    // Within one gossip interval on the virtual clock, the survivors
+    // still resolve every server; gossip to the dead peer fails but
+    // the round-robin continues past it.
+    sim.clock().sleep(GOSSIP);
+    for shard in &shards {
+        let _ = shard.gossip_once();
+        let _ = shard.gossip_once();
+    }
+    for shard in &shards {
+        let served = names_served(&sim, shard.endpoint());
+        assert_eq!(served.len(), 8, "survivor {} lost entries", shard.name());
+    }
+
+    // Restart the shard at the same address: it rejoins empty, then
+    // one anti-entropy resync recovers the whole fleet view.
+    let listener = sim.net().listen_at(dead_addr).expect("rebind dead address");
+    let mut cfg = FedConfig::new(NAMES[0], &dead_endpoint);
+    cfg.expiry = EXPIRY;
+    cfg.gossip_interval = GOSSIP;
+    cfg.clock = sim.clock().clone();
+    cfg.dialer = sim.dialer();
+    cfg.timeout = SIM_TIMEOUT;
+    let peers: Vec<(String, String)> = shards
+        .iter()
+        .map(|s| (s.name().to_string(), s.endpoint().to_string()))
+        .collect();
+    let revived = FedCatalog::start(cfg, Arc::new(listener), &peers).expect("restart shard");
+    assert_eq!(names_served(&sim, revived.endpoint()).len(), 0);
+    revived.resync().expect("resync from a live peer");
+    assert_eq!(
+        names_served(&sim, revived.endpoint()).len(),
+        8,
+        "resync must recover the whole fleet view"
+    );
+    assert_eq!(
+        revived.telemetry().snapshot().counter("fed.resyncs"),
+        Some(1)
+    );
+}
+
+#[test]
+fn wrong_shard_report_reaches_home_and_expires_bit_for_bit() {
+    let sim = SimTss::builder().servers(2).build();
+    let shards = federation(&sim);
+
+    // The oracle: one classic catalog on the same virtual clock with
+    // the same expiry. Whatever it serves, the federation must serve
+    // byte-identically, at every point of the staleness timeline.
+    let oracle =
+        CatalogServer::start(CatalogConfig::localhost(EXPIRY).with_clock(sim.clock().clone()))
+            .expect("oracle catalog");
+    let oracle_ep = oracle.tcp_addr().to_string();
+    let tcp = chirp_proto::transport::Dialer::tcp();
+
+    let faces = ["text", "json", "metrics", "metrics-json", "html"];
+    let assert_same = |at: &str| {
+        for face in faces {
+            let want = query_raw_via(&tcp, &oracle_ep, SIM_TIMEOUT, face).expect("oracle face");
+            for shard in &shards {
+                let got = query_raw_via(&sim.dialer(), shard.endpoint(), SIM_TIMEOUT, face)
+                    .expect("shard face");
+                assert_eq!(
+                    got,
+                    want,
+                    "{face} face diverged from the single catalog on {} ({at})",
+                    shard.name()
+                );
+            }
+        }
+    };
+
+    // Report both servers through shard 0 only — for at least one of
+    // them that is the wrong shard, so the home copy exists only via
+    // forwarding. The oracle sees the same reports at the same ticks.
+    for i in 0..2 {
+        let report = sim.server_report(i);
+        oracle.ingest(report.clone());
+        shards[0].ingest(report);
+    }
+    converge(&shards);
+    assert_same("fresh");
+
+    // Just before expiry: still listed, everywhere, identically.
+    sim.clock().sleep(EXPIRY - Duration::from_nanos(1));
+    assert_same("1ns before expiry");
+
+    // At the boundary: `age < expiry` fails at exactly age == expiry,
+    // on every shard and the oracle alike.
+    sim.clock().sleep(Duration::from_nanos(1));
+    assert_same("exactly at expiry");
+    assert!(names_served(&sim, shards[1].endpoint()).is_empty());
+}

@@ -1,0 +1,130 @@
+//! Property suite for the consistent-hash ring (satellite a).
+//!
+//! Two families of properties, checked *structurally* rather than
+//! statistically wherever possible:
+//!
+//! * **Stability** — when a shard joins, every key that changes home
+//!   moves *to the joining shard*; when one leaves, every moved key
+//!   was *the leaver's*. No key ever migrates between surviving
+//!   shards, so membership churn invalidates only the unavoidable
+//!   ~K/n of the fleet's home assignments.
+//! * **Balance** — at the default vnode count the busiest shard holds
+//!   at most 2× the keys of the emptiest, for 3–16 shards.
+
+use controlplane::ring::{HashRing, DEFAULT_VNODES};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn keys(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| format!("server-{i:04}.cluster.edu"))
+        .collect()
+}
+
+fn assignments(ring: &HashRing, keys: &[String]) -> Vec<String> {
+    keys.iter()
+        .map(|k| ring.shard_for(k).expect("non-empty ring").to_string())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn join_moves_keys_only_to_the_joiner(
+        seed in 0u64..1_000_000,
+        shards in 3usize..17,
+    ) {
+        let names: Vec<String> = (0..shards).map(|i| format!("cat-{i}")).collect();
+        let ring = HashRing::with_peers(seed, DEFAULT_VNODES, names.clone());
+        let keys = keys(2000);
+        let before = assignments(&ring, &keys);
+
+        let mut grown = ring.clone();
+        grown.add_peer("cat-new");
+        let after = assignments(&grown, &keys);
+
+        let mut moved = 0usize;
+        for (b, a) in before.iter().zip(&after) {
+            if b != a {
+                prop_assert_eq!(
+                    a.as_str(), "cat-new",
+                    "key moved between surviving shards on join"
+                );
+                moved += 1;
+            }
+        }
+        // The joiner takes about K/(n+1); allow 2x for hash variance.
+        let bound = 2 * keys.len() / (shards + 1);
+        prop_assert!(
+            moved <= bound,
+            "join moved {moved} of {} keys (bound {bound})", keys.len()
+        );
+    }
+
+    #[test]
+    fn leave_moves_only_the_leavers_keys(
+        seed in 0u64..1_000_000,
+        shards in 3usize..17,
+        victim in 0usize..16usize,
+    ) {
+        let victim = victim % shards;
+        let names: Vec<String> = (0..shards).map(|i| format!("cat-{i}")).collect();
+        let ring = HashRing::with_peers(seed, DEFAULT_VNODES, names.clone());
+        let keys = keys(2000);
+        let before = assignments(&ring, &keys);
+
+        let mut shrunk = ring.clone();
+        shrunk.remove_peer(&names[victim]);
+        let after = assignments(&shrunk, &keys);
+
+        for (b, a) in before.iter().zip(&after) {
+            if b != a {
+                prop_assert_eq!(
+                    b.as_str(), names[victim].as_str(),
+                    "a surviving shard's key moved on leave"
+                );
+                prop_assert!(a.as_str() != names[victim].as_str());
+            }
+        }
+    }
+
+    #[test]
+    fn load_is_within_2x_across_3_to_16_shards(
+        seed in 0u64..1_000_000,
+        shards in 3usize..17,
+    ) {
+        let names: Vec<String> = (0..shards).map(|i| format!("cat-{i}")).collect();
+        let ring = HashRing::with_peers(seed, DEFAULT_VNODES, names.clone());
+        let keys = keys(4000);
+        let mut counts: HashMap<String, usize> =
+            names.iter().map(|n| (n.clone(), 0)).collect();
+        for key in &keys {
+            *counts.get_mut(ring.shard_for(key).unwrap()).unwrap() += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        let min = *counts.values().min().unwrap();
+        prop_assert!(min > 0, "a shard owns no keys at all");
+        prop_assert!(
+            max <= 2 * min,
+            "imbalance {max}/{min} exceeds 2x across {shards} shards"
+        );
+    }
+
+    #[test]
+    fn assignment_agrees_between_independent_observers(
+        seed in 0u64..1_000_000,
+        shards in 3usize..17,
+    ) {
+        // A shard and tss-top build the ring independently from the
+        // same (seed, vnodes, members); they must agree everywhere.
+        let names: Vec<String> = (0..shards).map(|i| format!("cat-{i}")).collect();
+        let a = HashRing::with_peers(seed, DEFAULT_VNODES, names.clone());
+        let mut rev = names.clone();
+        rev.reverse();
+        let b = HashRing::with_peers(seed, DEFAULT_VNODES, rev);
+        for key in keys(500) {
+            prop_assert_eq!(a.shard_for(&key), b.shard_for(&key));
+        }
+    }
+}

@@ -41,4 +41,4 @@ pub use db::{DbClient, DbServer};
 pub use rebuild::{rebuild, RebuildReport};
 pub use record::FileRecord;
 pub use replicator::{replicate_once, ReplicationReport};
-pub use system::{Gems, GemsConfig, GemsPool};
+pub use system::{Gems, GemsConfig, GemsPool, Placer};

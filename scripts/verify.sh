@@ -31,6 +31,14 @@
 # into a state the stub/data ordering argument accepts (override the
 # matrix size with SIM_SEQS=<n>, or replay one printed failure with
 # CRASH_SEED=<u64>).
+# The --fed stage (part of the default run; --no-fed skips it) checks
+# the scale-out control plane in release mode: the consistent-hash
+# ring properties, the 3-shard federation acceptance + shard/tree
+# chaos suites on the in-memory network, the seeded federation-vs-
+# single-catalog differential (override the seed with FED_SEED=<u64>;
+# a divergence prints the reproducing seed), and the live THIRDPUT
+# distribution-tree smoke asserting the 8-replica tree lands within
+# 4x of one direct push.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -40,6 +48,7 @@ SIM=0
 PIPELINE=1
 CACHE=1
 CRASH=1
+FED=1
 for arg in "$@"; do
     case "$arg" in
         --chaos) CHAOS=1 ;;
@@ -51,7 +60,9 @@ for arg in "$@"; do
         --no-cache) CACHE=0 ;;
         --crash) CRASH=1 ;;
         --no-crash) CRASH=0 ;;
-        *) echo "usage: $0 [--chaos] [--metrics] [--sim] [--pipeline|--no-pipeline] [--cache|--no-cache] [--crash|--no-crash]" >&2; exit 2 ;;
+        --fed) FED=1 ;;
+        --no-fed) FED=0 ;;
+        *) echo "usage: $0 [--chaos] [--metrics] [--sim] [--pipeline|--no-pipeline] [--cache|--no-cache] [--crash|--no-crash] [--fed|--no-fed]" >&2; exit 2 ;;
     esac
 done
 
@@ -132,6 +143,25 @@ if [ "$CRASH" = "1" ]; then
         echo "reproduce with CRASH_SEED=<seed> cargo test --release -p simharness --test crash_sim" >&2
         exit 1
     fi
+fi
+
+if [ "$FED" = "1" ]; then
+    # Ring properties, federation acceptance, shard/tree chaos, and
+    # the seeded federation-vs-single-catalog differential. Release
+    # mode keeps the 300-op differential and the chaos convergence
+    # loops in tenths of a second. 0xFEDCA7A10655EED5 is the
+    # differential's default seed.
+    FED_SEED="${FED_SEED:-}"
+    echo "== cargo test -q --release -p controlplane  (FED_SEED=${FED_SEED:-default})"
+    if ! FED_SEED="$FED_SEED" cargo test -q --release -p controlplane; then
+        echo "control-plane suite FAILED; the log above names the seed -" >&2
+        echo "reproduce with FED_SEED=<seed> cargo test --release -p controlplane --test fed_differential" >&2
+        exit 1
+    fi
+    # Live THIRDPUT tree smoke: release mode, the assertion is a
+    # wall-clock ratio (8-replica tree <= 4x one direct push).
+    echo "== cargo test -q --release -p tss-bench --test tree_smoke  (<=4x tree floor)"
+    cargo test -q --release -p tss-bench --test tree_smoke
 fi
 
 echo "== cargo clippy --workspace -- -D warnings"
