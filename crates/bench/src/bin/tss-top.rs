@@ -33,6 +33,9 @@ struct Row {
     /// Home catalog shard when the queried catalog is federated; `-`
     /// against a classic single catalog.
     shard: Option<String>,
+    /// Reactor slow-reader backpressure events; `-` for servers that
+    /// predate the reactor core and report no `reactor.*` counters.
+    backpressure: Option<u64>,
 }
 
 /// A federated catalog's `fed-status` self-description: enough to
@@ -181,6 +184,7 @@ fn rows(
                 free: free.get(name).copied(),
                 cache,
                 shard: fed.and_then(|f| f.ring.shard_for(name).map(str::to_string)),
+                backpressure: snap.counter("reactor.backpressure"),
             }
         })
         .collect()
@@ -190,7 +194,7 @@ fn render(rows: &[Row]) {
     // New columns go at the end: scripts (and the tss_top test)
     // address existing ones by position.
     println!(
-        "{:<28} {:<22} {:>8} {:>8} {:>6} {:>9} {:>9} {:>10} {:>7} {:>9} {:<12}",
+        "{:<28} {:<22} {:>8} {:>8} {:>6} {:>9} {:>9} {:>10} {:>7} {:>9} {:<12} {:>6}",
         "NAME",
         "ADDRESS",
         "RPCS",
@@ -201,7 +205,8 @@ fn render(rows: &[Row]) {
         "FREE(MB)",
         "CACHE%",
         "RES(KB)",
-        "SHARD"
+        "SHARD",
+        "BACKP"
     );
     for r in rows {
         let free = r
@@ -218,9 +223,24 @@ fn render(rows: &[Row]) {
             })
             .unwrap_or_else(|| ("-".to_string(), "-".to_string()));
         let shard = r.shard.as_deref().unwrap_or("-");
+        let backp = r
+            .backpressure
+            .map(|b| b.to_string())
+            .unwrap_or_else(|| "-".to_string());
         println!(
-            "{:<28} {:<22} {:>8} {:>8.1} {:>6} {:>9.1} {:>9.1} {:>10} {:>7} {:>9} {:<12}",
-            r.name, r.address, r.rpcs, r.rate, r.errors, r.p50_us, r.p99_us, free, hit, res, shard
+            "{:<28} {:<22} {:>8} {:>8.1} {:>6} {:>9.1} {:>9.1} {:>10} {:>7} {:>9} {:<12} {:>6}",
+            r.name,
+            r.address,
+            r.rpcs,
+            r.rate,
+            r.errors,
+            r.p50_us,
+            r.p99_us,
+            free,
+            hit,
+            res,
+            shard,
+            backp
         );
     }
     if rows.is_empty() {

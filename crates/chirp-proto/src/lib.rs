@@ -27,6 +27,7 @@ pub mod flags;
 pub mod message;
 pub mod persist;
 pub mod pipeline;
+pub mod ready;
 pub mod retry;
 pub mod stat;
 #[doc(hidden)]
@@ -39,8 +40,9 @@ pub use clock::{Clock, Tick, VirtualClock};
 pub use error::{ChirpError, ChirpResult, ErrorClass};
 pub use flags::OpenFlags;
 pub use message::Request;
-pub use persist::{CrashPoint, DurabilityPoint, Persist, Persistence};
+pub use persist::{CrashPoint, DurabilityPoint, Persist, Persistence, WriteFate};
 pub use pipeline::{PipelinedConn, Reply, ReplyShape, DEFAULT_PIPELINE_DEPTH};
+pub use ready::{ReadyWatcher, Token, Watcher};
 pub use retry::{RetryPolicy, RetryState};
 pub use stat::{StatBuf, StatFs};
 pub use transport::{Dial, Dialer, Listener, MemListener, MemNet, MemStream, Transport};

@@ -86,6 +86,20 @@ impl fmt::Display for DurabilityPoint {
     }
 }
 
+/// How much of a write reaches stable storage when its durability
+/// point fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFate {
+    /// The full buffer becomes durable; proceed normally.
+    Full,
+    /// The process dies *mid-write*: exactly this strict prefix of the
+    /// buffer reaches stable storage (a torn sector). The caller must
+    /// persist the prefix and then fail with [`crash_error`] without
+    /// mutating anything else — the rest of the buffer was lost with
+    /// the process.
+    Torn(usize),
+}
+
 /// An observer of durability points.
 ///
 /// Implementations must be cheap: the hook sits on the hot write path.
@@ -94,6 +108,20 @@ impl fmt::Display for DurabilityPoint {
 pub trait Persistence: Send + Sync {
     /// A durability point is about to be committed for `path`.
     fn reached(&self, point: DurabilityPoint, path: &str) -> io::Result<()>;
+
+    /// Like [`Persistence::reached`], for a write of `len` bytes whose
+    /// durability can be *partial*: a crash injector may answer
+    /// [`WriteFate::Torn`], instructing the caller to persist only a
+    /// prefix before dying. The default forwards to `reached` — plain
+    /// observers never tear writes.
+    fn reached_write(
+        &self,
+        point: DurabilityPoint,
+        path: &str,
+        _len: usize,
+    ) -> io::Result<WriteFate> {
+        self.reached(point, path).map(|()| WriteFate::Full)
+    }
 }
 
 /// A cloneable handle to an optional [`Persistence`] observer.
@@ -129,6 +157,22 @@ impl Persist {
         match &self.0 {
             None => Ok(()),
             Some(p) => p.reached(point, path),
+        }
+    }
+
+    /// Announce a write of `len` bytes that the observer may tear (see
+    /// [`WriteFate`]). Callers that can persist a prefix — sector-level
+    /// writers — use this instead of [`Persist::reached`].
+    #[inline]
+    pub fn reached_write(
+        &self,
+        point: DurabilityPoint,
+        path: &str,
+        len: usize,
+    ) -> io::Result<WriteFate> {
+        match &self.0 {
+            None => Ok(WriteFate::Full),
+            Some(p) => p.reached_write(point, path, len),
         }
     }
 }
@@ -242,6 +286,12 @@ pub struct CrashPoint {
     fired: AtomicBool,
     /// Whether points are currently counted and journaled at all.
     armed: AtomicBool,
+    /// Partial-sector mode: when the budget lands on a tearable write,
+    /// the firing call answers [`WriteFate::Torn`] instead of a plain
+    /// crash, leaving a seeded strict prefix of the buffer on disk.
+    torn: AtomicBool,
+    /// Seed for the torn-prefix draw.
+    torn_seed: AtomicU64,
     journal: Journal,
 }
 
@@ -258,9 +308,21 @@ impl CrashPoint {
         self.journal.clear();
         self.count.store(0, Ordering::SeqCst);
         self.fired.store(false, Ordering::SeqCst);
+        self.torn.store(false, Ordering::SeqCst);
         self.budget
             .store(budget.unwrap_or(u64::MAX), Ordering::SeqCst);
         self.armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Like [`CrashPoint::arm`], in partial-sector mode: if the budget
+    /// lands on a tearable write, the process dies *mid-write*, leaving
+    /// a strict prefix of the buffer (drawn deterministically from
+    /// `seed` and the point's index) on stable storage. A budget
+    /// landing on a non-write point behaves exactly as under `arm`.
+    pub fn arm_torn(&self, budget: Option<u64>, seed: u64) {
+        self.arm(budget);
+        self.torn_seed.store(seed, Ordering::SeqCst);
+        self.torn.store(true, Ordering::SeqCst);
     }
 
     /// Stop counting; every point passes silently (setup, restart,
@@ -301,6 +363,41 @@ impl Persistence for CrashPoint {
         self.journal.push(point, path);
         Ok(())
     }
+
+    fn reached_write(
+        &self,
+        point: DurabilityPoint,
+        path: &str,
+        len: usize,
+    ) -> io::Result<WriteFate> {
+        if !self.armed.load(Ordering::SeqCst) {
+            return Ok(WriteFate::Full);
+        }
+        let budget = self.budget.load(Ordering::SeqCst);
+        let n = self.count.fetch_add(1, Ordering::SeqCst);
+        if n >= budget {
+            // Only the *firing* call tears (later points come from a
+            // process that is already dead and writes nothing).
+            let first = !self.fired.swap(true, Ordering::SeqCst);
+            if first && self.torn.load(Ordering::SeqCst) && len > 0 {
+                let seed = self.torn_seed.load(Ordering::SeqCst);
+                let k = (splitmix64(seed ^ n) % len as u64) as usize;
+                return Ok(WriteFate::Torn(k));
+            }
+            return Err(crash_error());
+        }
+        self.journal.push(point, path);
+        Ok(WriteFate::Full)
+    }
+}
+
+/// SplitMix64 — one multiply-xor-shift round, enough to decorrelate
+/// per-point torn-prefix draws without an RNG dependency.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -341,6 +438,39 @@ mod tests {
         assert!(c.reached(DurabilityPoint::Unlink, "/b").is_err());
         assert_eq!(c.journal().len(), 2);
         assert_eq!(c.points(), 2);
+    }
+
+    #[test]
+    fn torn_mode_tears_only_the_firing_write() {
+        let c = CrashPoint::new();
+        c.arm_torn(Some(1), 42);
+        assert_eq!(
+            c.reached_write(DurabilityPoint::Pwrite, "/a", 100).unwrap(),
+            WriteFate::Full
+        );
+        let WriteFate::Torn(k) = c
+            .reached_write(DurabilityPoint::StubWrite, "/b", 64)
+            .unwrap()
+        else {
+            panic!("firing write in torn mode must tear");
+        };
+        assert!(k < 64, "torn prefix must be strict");
+        // Dead is dead: later writes fail outright, untorn.
+        assert!(c.reached_write(DurabilityPoint::Pwrite, "/c", 10).is_err());
+        assert!(c.reached(DurabilityPoint::Unlink, "/d").is_err());
+        // Same budget and seed draw the same prefix.
+        c.arm_torn(Some(1), 42);
+        c.reached_write(DurabilityPoint::Pwrite, "/a", 100).unwrap();
+        assert_eq!(
+            c.reached_write(DurabilityPoint::StubWrite, "/b", 64)
+                .unwrap(),
+            WriteFate::Torn(k)
+        );
+        // Plain arm never tears, and zero-length writes cannot tear.
+        c.arm(Some(0));
+        assert!(c.reached_write(DurabilityPoint::Pwrite, "/e", 10).is_err());
+        c.arm_torn(Some(0), 7);
+        assert!(c.reached_write(DurabilityPoint::Pwrite, "/f", 0).is_err());
     }
 
     #[test]

@@ -1,0 +1,48 @@
+//! The readiness seam: how an event-driven server core watches a
+//! [`Transport`](crate::transport::Transport) without knowing what it
+//! is made of.
+//!
+//! A nonblocking reactor needs to learn "this stream has bytes to
+//! read" / "this stream can accept bytes again" without blocking in
+//! `read`/`write`. For OS sockets the kernel provides that through
+//! `epoll`; for the in-memory network there is no kernel, so the
+//! stream itself must tell us. This module defines the portable half
+//! of that contract:
+//!
+//! * A transport that is backed by a file descriptor exposes it via
+//!   [`Transport::readiness_fd`](crate::transport::Transport::readiness_fd)
+//!   and the poller registers the fd with the OS.
+//! * A transport that is a pure in-process object (a
+//!   [`MemStream`](crate::transport::MemStream)) instead accepts a
+//!   [`ReadyWatcher`] via
+//!   [`Transport::register_ready`](crate::transport::Transport::register_ready)
+//!   and invokes it whenever its readiness *changes*: bytes appended,
+//!   buffer space freed, either direction closed, and once at
+//!   registration with the current state.
+//!
+//! Both paths feed the same per-connection state machine, which is how
+//! the simulation harness drives the production reactor
+//! deterministically: the only nondeterminism a `MemStream` adds is
+//! the order of notifications, and the reactor treats notifications as
+//! level-triggered hints (it always reads to `WouldBlock`), so
+//! coalesced or duplicated wakeups cannot change observable behavior.
+
+use std::sync::Arc;
+
+/// Identifies one registered stream inside a poller. Chosen by the
+/// registering side; echoed back verbatim in every notification.
+pub type Token = usize;
+
+/// The callback half of the readiness contract (see the module docs).
+///
+/// Implementations must be cheap and must not call back into the
+/// transport that is notifying them: a watcher typically just inserts
+/// the token into a ready-set and kicks the poller awake.
+pub trait ReadyWatcher: Send + Sync {
+    /// `token` may have become readable and/or writable. Spurious
+    /// notifications are allowed; missed *changes* are not.
+    fn notify(&self, token: Token, readable: bool, writable: bool);
+}
+
+/// A shared handle to a watcher, as stored by transports.
+pub type Watcher = Arc<dyn ReadyWatcher>;

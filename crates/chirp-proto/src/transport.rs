@@ -24,10 +24,12 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::clock::Clock;
+use crate::ready::{Token, Watcher};
 
 /// One established bidirectional byte stream between two parties.
 ///
@@ -54,6 +56,40 @@ pub trait Transport: Read + Write + Send + fmt::Debug {
     /// Sever both directions, for every clone of this stream. Blocked
     /// and future reads observe end-of-stream or an error.
     fn shutdown(&self) -> io::Result<()>;
+
+    // ---- readiness extension (see [`crate::ready`]) -----------------
+    //
+    // Default implementations make every existing transport (including
+    // fault-injection wrappers) "blocking only": a reactor that finds
+    // neither a pollable fd nor watcher support falls back to serving
+    // the connection on a dedicated thread.
+
+    /// Switch the stream between blocking and nonblocking mode. In
+    /// nonblocking mode reads and writes that would wait return
+    /// [`io::ErrorKind::WouldBlock`] instead. Unsupported by default.
+    fn set_nonblocking(&self, _nonblocking: bool) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "transport has no nonblocking mode",
+        ))
+    }
+
+    /// The raw file descriptor an OS poller can watch, if the stream
+    /// is backed by one.
+    fn readiness_fd(&self) -> Option<i32> {
+        None
+    }
+
+    /// Register a readiness watcher (in-process transports). Returns
+    /// `false` when the transport does not support watchers. On
+    /// success the watcher is notified once immediately with the
+    /// stream's current readiness and then on every change.
+    fn register_ready(&self, _token: Token, _watcher: Watcher) -> bool {
+        false
+    }
+
+    /// Remove a previously registered watcher, if any.
+    fn deregister_ready(&self) {}
 }
 
 /// A bound accept point producing [`Transport`]s.
@@ -137,6 +173,20 @@ impl Transport for TcpStream {
     fn shutdown(&self) -> io::Result<()> {
         TcpStream::shutdown(self, Shutdown::Both)
     }
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        TcpStream::set_nonblocking(self, nonblocking)
+    }
+    fn readiness_fd(&self) -> Option<i32> {
+        #[cfg(unix)]
+        {
+            use std::os::fd::AsRawFd;
+            Some(self.as_raw_fd())
+        }
+        #[cfg(not(unix))]
+        {
+            None
+        }
+    }
 }
 
 impl Listener for TcpListener {
@@ -200,6 +250,7 @@ struct MemNetInner {
     listeners: Mutex<HashMap<SocketAddr, Arc<AcceptQueue>>>,
     next_host: Mutex<u32>,
     next_client_port: Mutex<u16>,
+    stream_capacity: Mutex<Option<usize>>,
 }
 
 struct AcceptQueue {
@@ -222,6 +273,7 @@ impl MemNet {
                 listeners: Mutex::new(HashMap::new()),
                 next_host: Mutex::new(0),
                 next_client_port: Mutex::new(40_000),
+                stream_capacity: Mutex::new(None),
             }),
             clock,
         }
@@ -293,6 +345,14 @@ impl MemNet {
         Dialer::from_arc(Arc::new(self.clone()))
     }
 
+    /// Bound per-direction in-flight bytes on streams created by
+    /// *future* dials (existing streams keep their capacity). `None`
+    /// restores the unbounded default. This is how backpressure tests
+    /// model a slow reader with a finite socket buffer.
+    pub fn set_stream_capacity(&self, capacity: Option<usize>) {
+        *self.inner.stream_capacity.lock().unwrap() = capacity;
+    }
+
     /// Drop a listener's registration so new dials are refused, as if
     /// the host vanished. Established streams are unaffected; sever
     /// those via [`Transport::shutdown`] on their endpoints.
@@ -334,7 +394,9 @@ impl Dial for MemNet {
             *port = port.wrapping_add(1).max(40_000);
             SocketAddr::new(IpAddr::V4(Ipv4Addr::new(10, 77, 255, 254)), *port)
         };
-        let (client_end, server_end) = MemStream::pair(client_addr, addr, self.clock.clone());
+        let capacity = *self.inner.stream_capacity.lock().unwrap();
+        let (client_end, server_end) =
+            MemStream::pair_with_capacity(client_addr, addr, self.clock.clone(), capacity);
         let mut st = queue.state.lock().unwrap();
         if st.closed {
             return Err(io::ErrorKind::ConnectionRefused.into());
@@ -411,23 +473,41 @@ impl Drop for MemListener {
     }
 }
 
-/// One direction of an in-memory stream: an unbounded byte queue with
-/// a writer-gone flag.
+/// One direction of an in-memory stream: a byte queue (unbounded by
+/// default, optionally capacity-bounded) with a writer-gone flag and
+/// readiness watcher slots for the reactor seam.
 struct Pipe {
     state: Mutex<PipeState>,
     cond: Condvar,
+}
+
+/// A registered readiness watcher on one side of a pipe.
+#[derive(Clone)]
+struct Watch {
+    token: Token,
+    watcher: Watcher,
 }
 
 #[derive(Default)]
 struct PipeState {
     buf: VecDeque<u8>,
     closed: bool,
+    /// `Some(n)`: writers block (or `WouldBlock`) once `buf` holds `n`
+    /// bytes — how tests model a peer with a finite socket buffer.
+    capacity: Option<usize>,
+    /// Watcher interested in this pipe becoming readable (its reader).
+    reader: Option<Watch>,
+    /// Watcher interested in this pipe accepting bytes (its writer).
+    writer: Option<Watch>,
 }
 
 impl Pipe {
-    fn new() -> Arc<Pipe> {
+    fn new(capacity: Option<usize>) -> Arc<Pipe> {
         Arc::new(Pipe {
-            state: Mutex::new(PipeState::default()),
+            state: Mutex::new(PipeState {
+                capacity,
+                ..PipeState::default()
+            }),
             cond: Condvar::new(),
         })
     }
@@ -435,7 +515,18 @@ impl Pipe {
     fn close(&self) {
         let mut st = self.state.lock().unwrap();
         st.closed = true;
+        let reader = st.reader.clone();
+        let writer = st.writer.clone();
+        drop(st);
         self.cond.notify_all();
+        // Close is both "readable" (EOF is delivered by a read) and
+        // "writable" (a blocked writer must wake to observe the break).
+        if let Some(w) = reader {
+            w.watcher.notify(w.token, true, false);
+        }
+        if let Some(w) = writer {
+            w.watcher.notify(w.token, false, true);
+        }
     }
 }
 
@@ -454,6 +545,7 @@ struct StreamEnd {
     peer: SocketAddr,
     clock: Clock,
     read_timeout: Mutex<Option<Duration>>,
+    nonblocking: AtomicBool,
 }
 
 impl Drop for StreamEnd {
@@ -467,8 +559,21 @@ impl MemStream {
     /// A connected pair of endpoints (used by [`MemNet`]; public so
     /// tests can fabricate a lone duplex stream without a network).
     pub fn pair(a_addr: SocketAddr, b_addr: SocketAddr, clock: Clock) -> (MemStream, MemStream) {
-        let a_to_b = Pipe::new();
-        let b_to_a = Pipe::new();
+        MemStream::pair_with_capacity(a_addr, b_addr, clock, None)
+    }
+
+    /// Like [`MemStream::pair`], but each direction holds at most
+    /// `capacity` in-flight bytes — the in-memory analogue of a finite
+    /// socket buffer, used to exercise backpressure paths
+    /// deterministically.
+    pub fn pair_with_capacity(
+        a_addr: SocketAddr,
+        b_addr: SocketAddr,
+        clock: Clock,
+        capacity: Option<usize>,
+    ) -> (MemStream, MemStream) {
+        let a_to_b = Pipe::new(capacity);
+        let b_to_a = Pipe::new(capacity);
         let a = MemStream {
             end: Arc::new(StreamEnd {
                 read_pipe: b_to_a.clone(),
@@ -477,6 +582,7 @@ impl MemStream {
                 peer: b_addr,
                 clock: clock.clone(),
                 read_timeout: Mutex::new(None),
+                nonblocking: AtomicBool::new(false),
             }),
         };
         let b = MemStream {
@@ -487,6 +593,7 @@ impl MemStream {
                 peer: a_addr,
                 clock,
                 read_timeout: Mutex::new(None),
+                nonblocking: AtomicBool::new(false),
             }),
         };
         (a, b)
@@ -514,10 +621,26 @@ impl Read for MemStream {
                 for slot in buf.iter_mut().take(n) {
                     *slot = st.buf.pop_front().expect("checked non-empty");
                 }
+                // Draining a bounded pipe frees writer room; tell a
+                // registered writer-side watcher (and any blocked
+                // writer thread) outside the lock.
+                let writer = if st.capacity.is_some() {
+                    st.writer.clone()
+                } else {
+                    None
+                };
+                drop(st);
+                self.end.read_pipe.cond.notify_all();
+                if let Some(w) = writer {
+                    w.watcher.notify(w.token, false, true);
+                }
                 return Ok(n);
             }
             if st.closed {
                 return Ok(0);
+            }
+            if self.end.nonblocking.load(Ordering::Relaxed) {
+                return Err(io::ErrorKind::WouldBlock.into());
             }
             let elapsed = start.elapsed();
             if elapsed >= budget {
@@ -547,13 +670,49 @@ impl Read for MemStream {
 
 impl Write for MemStream {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        let mut st = self.end.write_pipe.state.lock().unwrap();
-        if st.closed {
-            return Err(io::ErrorKind::BrokenPipe.into());
+        if buf.is_empty() {
+            return Ok(0);
         }
-        st.buf.extend(buf.iter().copied());
-        self.end.write_pipe.cond.notify_all();
-        Ok(buf.len())
+        let start = Instant::now();
+        let mut st = self.end.write_pipe.state.lock().unwrap();
+        loop {
+            if st.closed {
+                return Err(io::ErrorKind::BrokenPipe.into());
+            }
+            let room = match st.capacity {
+                Some(cap) => cap.saturating_sub(st.buf.len()),
+                None => usize::MAX,
+            };
+            if room == 0 {
+                if self.end.nonblocking.load(Ordering::Relaxed) {
+                    return Err(io::ErrorKind::WouldBlock.into());
+                }
+                let elapsed = start.elapsed();
+                if elapsed >= MEM_DEADLOCK_CAP {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "in-memory write exceeded the deadlock cap",
+                    ));
+                }
+                let (next, _timed_out) = self
+                    .end
+                    .write_pipe
+                    .cond
+                    .wait_timeout(st, MEM_DEADLOCK_CAP - elapsed)
+                    .unwrap();
+                st = next;
+                continue;
+            }
+            let n = buf.len().min(room);
+            st.buf.extend(buf[..n].iter().copied());
+            let reader = st.reader.clone();
+            drop(st);
+            self.end.write_pipe.cond.notify_all();
+            if let Some(w) = reader {
+                w.watcher.notify(w.token, true, false);
+            }
+            return Ok(n);
+        }
     }
     fn flush(&mut self) -> io::Result<()> {
         Ok(())
@@ -586,6 +745,40 @@ impl Transport for MemStream {
         self.end.read_pipe.close();
         self.end.write_pipe.close();
         Ok(())
+    }
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        self.end.nonblocking.store(nonblocking, Ordering::Relaxed);
+        Ok(())
+    }
+    fn register_ready(&self, token: Token, watcher: Watcher) -> bool {
+        let watch = Watch { token, watcher };
+        // Our read side watches the read pipe for bytes; our write side
+        // watches the write pipe for room. Capture current readiness
+        // under the locks, then notify outside them so a watcher that
+        // re-enters the poller cannot deadlock against us.
+        let readable = {
+            let mut st = self.end.read_pipe.state.lock().unwrap();
+            st.reader = Some(watch.clone());
+            !st.buf.is_empty() || st.closed
+        };
+        let writable = {
+            let mut st = self.end.write_pipe.state.lock().unwrap();
+            st.writer = Some(watch.clone());
+            st.closed
+                || match st.capacity {
+                    Some(cap) => st.buf.len() < cap,
+                    None => true,
+                }
+        };
+        // The initial notification seeds the reactor's ready-set with
+        // the state that existed before registration (bytes may already
+        // be queued by a fast client).
+        watch.watcher.notify(watch.token, readable, writable);
+        true
+    }
+    fn deregister_ready(&self) {
+        self.end.read_pipe.state.lock().unwrap().reader = None;
+        self.end.write_pipe.state.lock().unwrap().writer = None;
     }
 }
 

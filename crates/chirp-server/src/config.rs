@@ -33,6 +33,24 @@ pub struct Ticket {
     pub secret: String,
 }
 
+/// Which connection-serving core a [`crate::FileServer`] runs.
+///
+/// Both cores speak the identical wire protocol through the identical
+/// [`crate::handlers::Session`] — the differential oracle replays the
+/// same op sequences against each and demands byte-identical replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoreKind {
+    /// Sharded nonblocking event loops multiplexing many connections
+    /// per thread (the default; scales to tens of thousands of idle
+    /// connections at flat memory).
+    #[default]
+    Reactor,
+    /// One blocking thread per connection (the original core; also
+    /// what `service_delay` forces, since an artificial per-RPC sleep
+    /// would serialize every connection sharing a reactor worker).
+    Threads,
+}
+
 /// Configuration for a [`crate::FileServer`].
 #[derive(Clone)]
 pub struct ServerConfig {
@@ -104,6 +122,17 @@ pub struct ServerConfig {
     /// harness installs an injector that can kill the server at any
     /// durability point.
     pub persistence: Persist,
+    /// Connection-serving core (see [`CoreKind`]). `Reactor` by
+    /// default; `service_delay` overrides to `Threads` at startup.
+    pub core: CoreKind,
+    /// Reactor worker (event-loop shard) count; `0` (the default)
+    /// sizes from available parallelism, clamped to `2..=8`.
+    pub reactor_workers: usize,
+    /// Per-connection queued-reply byte cap under the reactor. A
+    /// connection whose untransmitted replies exceed this stops having
+    /// further requests read — backpressure for slow readers — until
+    /// the queue drains below the cap.
+    pub reactor_write_cap: usize,
 }
 
 impl ServerConfig {
@@ -133,7 +162,16 @@ impl ServerConfig {
             cache_bytes: None,
             cache_page_bytes: 8192,
             persistence: Persist::none(),
+            core: CoreKind::default(),
+            reactor_workers: 0,
+            reactor_write_cap: 1 << 20,
         }
+    }
+
+    /// Select the connection-serving core (see [`CoreKind`]).
+    pub fn with_core(mut self, core: CoreKind) -> ServerConfig {
+        self.core = core;
+        self
     }
 
     /// Install a durability-point observer (see

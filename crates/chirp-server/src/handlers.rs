@@ -56,6 +56,48 @@ pub enum Reply {
     Pages(PageReply),
 }
 
+/// An in-progress streamed `PUTFILE` payload (see
+/// [`Session::begin_putfile`]). The blocking core pumps it from its
+/// `BufRead` in one call; the reactor core feeds it chunks as they
+/// arrive off the wire.
+#[derive(Debug)]
+pub struct PutfileUpload {
+    /// Payload bytes the connection still owes.
+    remaining: u64,
+    /// Total payload length named on the request line.
+    length: u64,
+    fate: UploadFate,
+}
+
+#[derive(Debug)]
+enum UploadFate {
+    /// Pre-checks failed: the payload is still consumed (the stream
+    /// owes `length` bytes of framing), then the error is reported.
+    Discard(ChirpError),
+    /// Checks passed: bytes stream straight into the opened file.
+    Write {
+        file: File,
+        /// Size the path held before the upload, for capacity
+        /// accounting (a replaced file frees its old bytes).
+        old_size: u64,
+    },
+}
+
+impl PutfileUpload {
+    fn discard(length: u64, e: ChirpError) -> PutfileUpload {
+        PutfileUpload {
+            remaining: length,
+            length,
+            fate: UploadFate::Discard(e),
+        }
+    }
+
+    /// Payload bytes not yet delivered via [`Session::feed_putfile`].
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
 /// The state of one client connection.
 pub struct Session {
     shared: std::sync::Arc<Shared>,
@@ -214,6 +256,92 @@ impl Session {
         }
     }
 
+    /// Start a `PUTFILE`: run every pre-payload check and open the
+    /// target. `Ok` always consumes the payload — either into the file
+    /// or down the drain (a rejected upload still owes the stream
+    /// `length` bytes of framing). `Err` means the open itself failed
+    /// *after* the checks passed; no payload has been consumed, which
+    /// replicates the historical blocking-path behavior exactly.
+    pub fn begin_putfile(
+        &mut self,
+        path: &str,
+        mode: u32,
+        length: u64,
+    ) -> ChirpResult<PutfileUpload> {
+        let checked = (|| -> ChirpResult<PathBuf> {
+            self.require_subject()?;
+            let (dir, leaf) = self.shared.jail.resolve_parent(path)?;
+            self.require_rights(&dir, Rights::WRITE)?;
+            Ok(dir.join(leaf))
+        })();
+        let host = match checked {
+            Ok(p) => p,
+            Err(e) => return Ok(PutfileUpload::discard(length, e)),
+        };
+        // Capacity policy: a replaced file frees its old bytes first.
+        let old_size = std::fs::metadata(&host).map(|m| m.len()).unwrap_or(0);
+        let growth = length.saturating_sub(old_size);
+        if self.shared.over_capacity(growth) {
+            return Ok(PutfileUpload::discard(length, ChirpError::NoSpace));
+        }
+        // One durability point for the whole streamed upload: the crash
+        // harness drives writes through OPEN/PWRITE, where every step
+        // is individually killable.
+        if let Err(e) = self.durability(DurabilityPoint::Create, path) {
+            return Ok(PutfileUpload::discard(length, e));
+        }
+        let file = open_with_mode(
+            OpenOptions::new().write(true).create(true).truncate(true),
+            &host,
+            mode,
+        )?;
+        Ok(PutfileUpload {
+            remaining: length,
+            length,
+            fate: UploadFate::Write { file, old_size },
+        })
+    }
+
+    /// Deliver the next payload chunk of an upload started by
+    /// [`Session::begin_putfile`]. Consumes at most
+    /// [`PutfileUpload::remaining`] bytes of `buf`; returns how many.
+    pub fn feed_putfile(&mut self, upload: &mut PutfileUpload, buf: &[u8]) -> ChirpResult<usize> {
+        let n = (upload.remaining.min(buf.len() as u64)) as usize;
+        if let UploadFate::Write { file, .. } = &mut upload.fate {
+            use std::io::Write;
+            file.write_all(&buf[..n])
+                .map_err(|e| ChirpError::from_io(&e))?;
+        }
+        upload.remaining -= n as u64;
+        Ok(n)
+    }
+
+    /// Complete a fully-fed upload: settle caches, sizes, usage, and
+    /// stats, and produce the reply (the deferred rejection for a
+    /// drained upload).
+    pub fn finish_putfile(&mut self, upload: PutfileUpload) -> ChirpResult<Reply> {
+        debug_assert_eq!(upload.remaining, 0, "finish before payload fully fed");
+        let length = upload.length;
+        match upload.fate {
+            UploadFate::Discard(e) => Err(e),
+            UploadFate::Write { file, old_size } => {
+                // The upload truncated and rewrote the inode: stale
+                // pages go, and descriptors already open on it learn
+                // the new size.
+                if let Ok(meta) = syscount::fstat(&file) {
+                    let key = file_key(&meta);
+                    if let Some(cache) = &self.shared.cache {
+                        cache.invalidate(key);
+                    }
+                    self.shared.sizes.set_size(key, length);
+                }
+                self.shared.adjust_usage(length as i64 - old_size as i64);
+                self.shared.stats.wrote_bytes(length);
+                Ok(Reply::Value(0))
+            }
+        }
+    }
+
     /// Handle a `PUTFILE`, streaming `length` bytes from `reader`
     /// straight into the created file. On an authorization failure the
     /// payload is drained so the stream stays framed.
@@ -224,55 +352,19 @@ impl Session {
         length: u64,
         reader: &mut R,
     ) -> ChirpResult<Reply> {
-        let checked = (|| -> ChirpResult<PathBuf> {
-            self.require_subject()?;
-            let (dir, leaf) = self.shared.jail.resolve_parent(path)?;
-            self.require_rights(&dir, Rights::WRITE)?;
-            Ok(dir.join(leaf))
-        })();
-        let host = match checked {
-            Ok(p) => p,
-            Err(e) => {
+        let mut upload = self.begin_putfile(path, mode, length)?;
+        match &mut upload.fate {
+            UploadFate::Discard(_) => {
                 chirp_proto::wire::discard_exact(reader, length)
                     .map_err(|e| ChirpError::from_io(&e))?;
-                return Err(e);
             }
-        };
-        // Capacity policy: a replaced file frees its old bytes first.
-        let old_size = std::fs::metadata(&host).map(|m| m.len()).unwrap_or(0);
-        let growth = length.saturating_sub(old_size);
-        if self.shared.over_capacity(growth) {
-            chirp_proto::wire::discard_exact(reader, length)
-                .map_err(|e| ChirpError::from_io(&e))?;
-            return Err(ChirpError::NoSpace);
-        }
-        // One durability point for the whole streamed upload: the crash
-        // harness drives writes through OPEN/PWRITE, where every step
-        // is individually killable.
-        if let Err(e) = self.durability(DurabilityPoint::Create, path) {
-            chirp_proto::wire::discard_exact(reader, length)
-                .map_err(|e| ChirpError::from_io(&e))?;
-            return Err(e);
-        }
-        let mut file = open_with_mode(
-            OpenOptions::new().write(true).create(true).truncate(true),
-            &host,
-            mode,
-        )?;
-        chirp_proto::wire::copy_exact(reader, &mut file, length)
-            .map_err(|e| ChirpError::from_io(&e))?;
-        // The upload truncated and rewrote the inode: stale pages go,
-        // and descriptors already open on it learn the new size.
-        if let Ok(meta) = syscount::fstat(&file) {
-            let key = file_key(&meta);
-            if let Some(cache) = &self.shared.cache {
-                cache.invalidate(key);
+            UploadFate::Write { file, .. } => {
+                chirp_proto::wire::copy_exact(reader, file, length)
+                    .map_err(|e| ChirpError::from_io(&e))?;
             }
-            self.shared.sizes.set_size(key, length);
         }
-        self.shared.adjust_usage(length as i64 - old_size as i64);
-        self.shared.stats.wrote_bytes(length);
-        Ok(Reply::Value(0))
+        upload.remaining = 0;
+        self.finish_putfile(upload)
     }
 
     // ---- authentication -------------------------------------------------

@@ -31,6 +31,7 @@ pub mod config;
 pub mod fdtable;
 pub mod handlers;
 pub mod jail;
+mod reactor;
 pub mod report;
 pub mod server;
 pub mod stats;

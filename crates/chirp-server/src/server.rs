@@ -16,9 +16,10 @@ use chirp_proto::wire;
 use chirp_proto::{ChirpError, Request};
 
 use crate::cache::{PageCache, PageReply, SizeTable};
-use crate::config::ServerConfig;
+use crate::config::{CoreKind, ServerConfig};
 use crate::handlers::{Reply, Session};
 use crate::jail::Jail;
+use crate::reactor::Reactor;
 use crate::stats::{ServerStats, ServerTelemetry};
 
 /// State shared by every connection of one server.
@@ -126,6 +127,7 @@ pub struct FileServer {
     listener: Arc<dyn Listener>,
     accept_thread: Option<JoinHandle<()>>,
     report_thread: Option<JoinHandle<()>>,
+    reactor: Option<Arc<Reactor>>,
 }
 
 impl FileServer {
@@ -144,11 +146,16 @@ impl FileServer {
     ) -> std::io::Result<FileServer> {
         let shared = Shared::new(config)?;
         let addr = listener.local_addr()?;
+        let reactor = match Reactor::effective_core(&shared.config) {
+            CoreKind::Reactor => Some(Arc::new(Reactor::start(&shared)?)),
+            CoreKind::Threads => None,
+        };
         let accept_shared = shared.clone();
         let accept_listener = listener.clone();
+        let accept_reactor = reactor.clone();
         let accept_thread = std::thread::Builder::new()
             .name(format!("chirp-accept-{}", addr.port()))
-            .spawn(move || accept_loop(accept_listener, accept_shared))?;
+            .spawn(move || accept_loop(accept_listener, accept_shared, accept_reactor))?;
         let report_thread = if shared.config.catalogs.is_empty() {
             None
         } else {
@@ -165,6 +172,7 @@ impl FileServer {
             listener,
             accept_thread: Some(accept_thread),
             report_thread,
+            reactor,
         })
     }
 
@@ -212,6 +220,11 @@ impl FileServer {
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
+        // The reactor workers observe the shutdown flag when woken,
+        // tear down their connections, and exit.
+        if let Some(r) = self.reactor.take() {
+            r.join();
+        }
         if let Some(h) = self.report_thread.take() {
             let _ = h.join();
         }
@@ -224,7 +237,7 @@ impl Drop for FileServer {
     }
 }
 
-fn accept_loop(listener: Arc<dyn Listener>, shared: Arc<Shared>) {
+fn accept_loop(listener: Arc<dyn Listener>, shared: Arc<Shared>, reactor: Option<Arc<Reactor>>) {
     loop {
         let accepted = listener.accept();
         let (stream, peer) = match accepted {
@@ -255,20 +268,32 @@ fn accept_loop(listener: Arc<dyn Listener>, shared: Arc<Shared>) {
         }
         shared.active.fetch_add(1, Ordering::Relaxed);
         shared.stats.connection();
-        let conn_shared = shared.clone();
-        let _ = std::thread::Builder::new()
-            .name("chirp-conn".to_string())
-            .spawn(move || {
-                let _ = serve_connection(stream, peer, &conn_shared);
-                conn_shared.active.fetch_sub(1, Ordering::Relaxed);
-            });
+        match &reactor {
+            // The reactor shard adopts the connection (or spawns a
+            // dedicated thread itself for transports with no readiness
+            // support) and owns the `active` decrement.
+            Some(r) => r.dispatch(stream, peer),
+            None => {
+                let conn_shared = shared.clone();
+                let _ = std::thread::Builder::new()
+                    .name("chirp-conn".to_string())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, peer, &conn_shared);
+                        conn_shared.active.fetch_sub(1, Ordering::Relaxed);
+                    });
+            }
+        }
     }
 }
 
 /// Serve one connection until the client disconnects or violates the
 /// protocol. All per-connection resources (open files, auth state) are
 /// freed on return — the paper's failure semantics.
-fn serve_connection(
+///
+/// This is the blocking core's loop body; the reactor replays the same
+/// contract op-for-op and also uses it directly (on a dedicated
+/// thread) for transports with no readiness support.
+pub(crate) fn serve_connection(
     stream: Box<dyn Transport>,
     peer: SocketAddr,
     shared: &Arc<Shared>,

@@ -7,7 +7,7 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use telemetry::{Counter, Histogram, Outcome, Registry, TraceEvent};
+use telemetry::{Counter, Gauge, Histogram, Outcome, Registry, TraceEvent};
 
 /// Per-server observability: a [`Registry`] of per-op request counts,
 /// RPC latency histograms, byte counters, and error/ACL-denial
@@ -24,6 +24,10 @@ pub struct ServerTelemetry {
     bytes_out: Counter,
     latency: Histogram,
     data_latency: Histogram,
+    reactor_loops: Counter,
+    reactor_wakeups: Counter,
+    reactor_backpressure: Counter,
+    reactor_wq_peak: Gauge,
 }
 
 impl Default for ServerTelemetry {
@@ -41,6 +45,10 @@ impl Default for ServerTelemetry {
             bytes_out: registry.counter("rpc.bytes_out"),
             latency: registry.histogram("rpc.latency_ns"),
             data_latency: registry.histogram("rpc.data.latency_ns"),
+            reactor_loops: registry.counter("reactor.loop_iterations"),
+            reactor_wakeups: registry.counter("reactor.wakeups"),
+            reactor_backpressure: registry.counter("reactor.backpressure"),
+            reactor_wq_peak: registry.gauge("reactor.wq_peak_bytes"),
             registry,
         }
     }
@@ -50,6 +58,29 @@ impl ServerTelemetry {
     /// The backing registry (snapshot it for catalog reports).
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// One reactor event-loop iteration completed.
+    pub fn reactor_loop(&self) {
+        self.reactor_loops.inc();
+    }
+
+    /// One readiness event batch woke a reactor worker.
+    pub fn reactor_wakeup(&self, events: u64) {
+        self.reactor_wakeups.add(events);
+    }
+
+    /// A connection hit its queued-reply cap and stopped being read.
+    pub fn reactor_backpressure(&self) {
+        self.reactor_backpressure.inc();
+    }
+
+    /// Track the largest per-connection reply queue seen, in bytes —
+    /// the observable ceiling the backpressure cap enforces.
+    pub fn reactor_wq_high_water(&self, bytes: u64) {
+        if (self.reactor_wq_peak.get() as u64) < bytes {
+            self.reactor_wq_peak.set(bytes as i64);
+        }
     }
 
     /// Record one served RPC.

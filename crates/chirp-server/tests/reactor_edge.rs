@@ -1,0 +1,191 @@
+//! Reactor edge cases, driven deterministically over the in-memory
+//! network: slow-reader backpressure (the write-buffer cap bounds
+//! server memory, not client behavior), mid-pipeline disconnect with
+//! requests in flight (settled work kept, nothing corrupted), and a
+//! listener close over a crowd of idle connections (clean shutdown,
+//! every client sees EOF).
+
+use std::io::Read;
+use std::io::Write;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use chirp_proto::testutil::TempDir;
+use chirp_proto::transport::Transport;
+use chirp_proto::{Clock, MemNet, VirtualClock};
+use chirp_server::acl::Acl;
+use chirp_server::{FileServer, ServerConfig};
+
+/// A server on a fresh in-memory network, with the config tweaked by
+/// `tweak` before start.
+fn mem_server(tweak: impl FnOnce(&mut ServerConfig)) -> (TempDir, MemNet, FileServer) {
+    let clock = Clock::virtual_at(VirtualClock::new());
+    let net = MemNet::new(clock);
+    let dir = TempDir::new();
+    let mut cfg = ServerConfig::localhost(dir.path(), "owner")
+        .with_root_acl(Acl::single("hostname:*", "rwlda").unwrap());
+    cfg.dialer = net.dialer();
+    tweak(&mut cfg);
+    let listener = net.listen();
+    let server = FileServer::start_on(cfg, Arc::new(listener)).unwrap();
+    (dir, net, server)
+}
+
+fn dial(net: &MemNet, server: &FileServer) -> Box<dyn Transport> {
+    net.dialer()
+        .dial(&server.endpoint(), Duration::from_secs(5))
+        .unwrap()
+}
+
+/// Read one `\n`-terminated reply line off a raw transport.
+fn read_line(t: &mut dyn Transport) -> String {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        assert_eq!(t.read(&mut byte).unwrap(), 1, "EOF inside a reply line");
+        if byte[0] == b'\n' {
+            break;
+        }
+        line.push(byte[0]);
+    }
+    String::from_utf8(line).unwrap()
+}
+
+fn auth(t: &mut dyn Transport) {
+    t.write_all(b"AUTH hostname x x\n").unwrap();
+    let reply = read_line(t);
+    assert!(reply.starts_with("0 "), "auth failed: {reply:?}");
+}
+
+/// Spin until `cond` holds (real time; the reactor threads run on the
+/// host scheduler even when the protocol clock is virtual).
+fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// A reader that refuses to drain must not make the server buffer
+/// replies without bound: once the connection's write queue passes
+/// `reactor_write_cap`, the reactor parks the *read* side (stops
+/// consuming requests) until the client catches up. The queue may
+/// overshoot by at most the one reply that crossed the cap.
+#[test]
+fn slow_reader_backpressure_caps_the_write_queue() {
+    const CAP: usize = 64 * 1024;
+    const FILE: usize = 256 * 1024;
+    const REQUESTS: usize = 16;
+    let (dir, net, server) = mem_server(|cfg| {
+        cfg.reactor_write_cap = CAP;
+    });
+    std::fs::write(dir.path().join("big"), vec![0x5a; FILE]).unwrap();
+
+    // A 1 KiB pipe: the server sees WouldBlock almost immediately, so
+    // replies pile up in its write queue, not in the transport.
+    net.set_stream_capacity(Some(1024));
+    let mut t = dial(&net, &server);
+    auth(t.as_mut());
+    for _ in 0..REQUESTS {
+        t.write_all(b"GETFILE /big\n").unwrap();
+    }
+
+    // The server must stop reading instead of queueing all 16 replies.
+    let reg = server.telemetry().registry();
+    let backpressure = reg.counter("reactor.backpressure");
+    let wq_peak = reg.gauge("reactor.wq_peak_bytes");
+    wait_for("backpressure to engage", || backpressure.get() >= 1);
+    assert!(
+        (wq_peak.get() as usize) <= CAP + FILE + 4096,
+        "write queue peaked at {} bytes; cap {CAP} allows at most one \
+         reply of overshoot",
+        wq_peak.get()
+    );
+
+    // Now drain: every reply arrives whole and in order.
+    let header = format!("{FILE}\n");
+    let mut expected = 0usize;
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut got = 0usize;
+    for _ in 0..REQUESTS {
+        expected += header.len() + FILE;
+    }
+    while got < expected {
+        let n = t.read(&mut buf).unwrap();
+        assert!(n > 0, "EOF after {got}/{expected} reply bytes");
+        got += n;
+    }
+    assert_eq!(got, expected);
+    assert!(
+        (wq_peak.get() as usize) <= CAP + FILE + 4096,
+        "cap held through the full drain: {}",
+        wq_peak.get()
+    );
+
+    // The connection is still a working session.
+    t.write_all(b"WHOAMI\n").unwrap();
+    assert!(read_line(t.as_mut()).starts_with("0 "));
+}
+
+/// A client that fires a pipeline and vanishes: requests the server
+/// already consumed are settled in order (effects form a prefix), the
+/// connection slot is reclaimed, and the server keeps serving others —
+/// the PR-5 chaos contract, now under the reactor.
+#[test]
+fn mid_pipeline_disconnect_with_three_in_flight() {
+    let (dir, net, server) = mem_server(|_| {});
+    let mut t = dial(&net, &server);
+    auth(t.as_mut());
+    t.write_all(b"MKDIR /p0 493\nMKDIR /p1 493\nMKDIR /p2 493\n")
+        .unwrap();
+    drop(t); // vanish with all three in flight
+
+    wait_for("the dead connection to be reaped", || {
+        server.active_connections() == 0
+    });
+    // Settled ops are kept and form a send-order prefix: p1 without
+    // p0 (or p2 without p1) would mean replies were settled out of
+    // order or a queued op ran after an earlier one was dropped.
+    let exists = |i: usize| dir.path().join(format!("p{i}")).is_dir();
+    for i in 1..3 {
+        if exists(i) {
+            assert!(exists(i - 1), "/p{i} settled but /p{} did not", i - 1);
+        }
+    }
+    // The server is unharmed and fully functional for the next client.
+    let mut t2 = dial(&net, &server);
+    auth(t2.as_mut());
+    t2.write_all(b"MKDIR /after 493\n").unwrap();
+    assert_eq!(read_line(t2.as_mut()), "0");
+    assert!(dir.path().join("after").is_dir());
+}
+
+/// Closing the listener over a crowd of idle connections: shutdown
+/// returns promptly, every shard retires its connections, and every
+/// idle client reads EOF rather than hanging.
+#[test]
+fn listener_close_with_idle_crowd_shuts_down_cleanly() {
+    const CROWD: usize = 300;
+    let (_dir, net, mut server) = mem_server(|cfg| {
+        cfg.max_connections = CROWD + 8;
+    });
+    let mut conns: Vec<Box<dyn Transport>> = Vec::with_capacity(CROWD);
+    for _ in 0..CROWD {
+        conns.push(dial(&net, &server));
+    }
+    wait_for("every connection to be adopted", || {
+        server.active_connections() == CROWD
+    });
+
+    server.shutdown();
+    assert_eq!(server.active_connections(), 0, "all slots reclaimed");
+    let mut byte = [0u8; 1];
+    for (i, conn) in conns.iter_mut().enumerate() {
+        match conn.read(&mut byte) {
+            Ok(0) => {}
+            Ok(n) => panic!("idle conn {i} read {n} bytes after shutdown"),
+            Err(_) => {} // reset is as good as EOF
+        }
+    }
+}

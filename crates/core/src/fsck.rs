@@ -17,6 +17,7 @@ use std::collections::{HashMap, HashSet};
 use std::io;
 
 use crate::fs::FileSystem;
+use crate::striped::{StripeLayout, StripedFs};
 use crate::stub::Stub;
 use crate::stubfs::StubFs;
 
@@ -121,6 +122,94 @@ pub fn fsck(fs: &StubFs) -> io::Result<FsckReport> {
     Ok(report)
 }
 
+/// Scan a striped filesystem: walk the stub tree, verify every part
+/// of every layout, and cross-check the pool volumes for orphans.
+///
+/// Classification per logical file: an unparseable or torn stripe stub
+/// is corrupt; a parsed layout with any part missing is dangling (the
+/// create protocol writes the stub before the parts, so a crash leaves
+/// exactly this); a layout whose parts all answer is healthy. A part
+/// whose server cannot be reached concludes nothing (failure
+/// coherence: unreachable is not lost).
+pub fn fsck_striped(fs: &StripedFs) -> io::Result<FsckReport> {
+    let mut report = FsckReport::default();
+    let mut referenced: HashMap<String, HashSet<String>> = HashMap::new();
+
+    let meta = fs.meta().clone();
+    let mut stack = vec!["/".to_string()];
+    while let Some(dir) = stack.pop() {
+        for name in meta.readdir(&dir)? {
+            let path = if dir == "/" {
+                format!("/{name}")
+            } else {
+                format!("{dir}/{name}")
+            };
+            let st = meta.stat(&path)?;
+            if st.is_dir() {
+                stack.push(path);
+                continue;
+            }
+            let body = meta.read_file(&path)?;
+            if body.is_empty() {
+                report.dangling_stubs.push(path);
+                continue;
+            }
+            let Ok(text) = String::from_utf8(body) else {
+                report.corrupt_stubs.push(path);
+                continue;
+            };
+            let Ok(layout) = StripeLayout::parse(&text) else {
+                report.corrupt_stubs.push(path);
+                continue;
+            };
+            let mut missing = false;
+            let mut unreachable = false;
+            for (endpoint, part) in &layout.parts {
+                referenced
+                    .entry(endpoint.clone())
+                    .or_default()
+                    .insert(part.clone());
+                let conn = fs.data_conn(endpoint)?;
+                match conn.stat(part) {
+                    Ok(_) => {}
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => missing = true,
+                    Err(_) => unreachable = true,
+                }
+            }
+            if unreachable {
+                report.unreachable.push(path);
+            } else if missing {
+                report.dangling_stubs.push(path);
+            } else {
+                report.healthy.push(path);
+            }
+        }
+    }
+
+    for server in fs.pool() {
+        let conn = fs.data_conn(&server.endpoint)?;
+        let names = match conn.readdir(&server.volume) {
+            Ok(n) => n,
+            Err(_) => continue, // unreachable server: no conclusions
+        };
+        let refs = referenced.get(&server.endpoint);
+        for name in names {
+            let data_path = format!("{}/{name}", server.volume);
+            if refs.is_none_or(|r| !r.contains(&data_path)) {
+                report
+                    .orphaned_data
+                    .push((server.endpoint.clone(), data_path));
+            }
+        }
+    }
+    report.healthy.sort();
+    report.dangling_stubs.sort();
+    report.corrupt_stubs.sort();
+    report.orphaned_data.sort();
+    report.unreachable.sort();
+    Ok(report)
+}
+
 /// Repair options for [`repair`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RepairOptions {
@@ -135,6 +224,36 @@ pub struct RepairOptions {
 /// Apply repairs for the problems a scan reported. Returns the number
 /// of items removed.
 pub fn repair(fs: &StubFs, report: &FsckReport, options: RepairOptions) -> io::Result<u64> {
+    let mut removed = 0;
+    if options.remove_dangling_stubs {
+        for path in report.dangling_stubs.iter().chain(&report.corrupt_stubs) {
+            fs.meta().unlink(path)?;
+            removed += 1;
+        }
+    }
+    if options.remove_orphans {
+        for (endpoint, data_path) in &report.orphaned_data {
+            let conn = fs.data_conn(endpoint)?;
+            match conn.unlink(data_path) {
+                Ok(()) => removed += 1,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(removed)
+}
+
+/// [`repair`] for striped filesystems. Removing a dangling or corrupt
+/// stripe stub surfaces its surviving parts as orphans on the *next*
+/// scan (the removed stub no longer references them), so a full clean
+/// takes at most two scan/repair rounds — callers should iterate
+/// `fsck_striped` → `repair_striped` to a fixed point.
+pub fn repair_striped(
+    fs: &StripedFs,
+    report: &FsckReport,
+    options: RepairOptions,
+) -> io::Result<u64> {
     let mut removed = 0;
     if options.remove_dangling_stubs {
         for path in report.dangling_stubs.iter().chain(&report.corrupt_stubs) {

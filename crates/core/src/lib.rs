@@ -55,7 +55,7 @@ pub use discovery::{discover_pool, PoolPolicy};
 pub use dpfs::Dpfs;
 pub use dsfs::Dsfs;
 pub use fs::{FileHandle, FileSystem, OpenedFile};
-pub use fsck::{fsck, FsckReport, RepairOptions};
+pub use fsck::{fsck, fsck_striped, repair_striped, FsckReport, RepairOptions};
 pub use localfs::LocalFs;
 pub use mirrored::MirroredFs;
 pub use placement::Placement;

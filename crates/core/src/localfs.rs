@@ -8,7 +8,7 @@ use std::fs::{File, OpenOptions};
 use std::io;
 use std::path::{Path, PathBuf};
 
-use chirp_proto::persist::{DurabilityPoint, Persist};
+use chirp_proto::persist::{crash_error, DurabilityPoint, Persist, WriteFate};
 use chirp_proto::{OpenFlags, StatBuf};
 
 use crate::fs::{normalize_path, FileHandle, FileSystem};
@@ -81,7 +81,19 @@ impl FileHandle for LocalHandle {
     fn pwrite(&mut self, buf: &[u8], offset: u64) -> io::Result<usize> {
         use std::os::unix::fs::FileExt;
         if !buf.is_empty() {
-            self.persist.reached(DurabilityPoint::Pwrite, &self.path)?;
+            match self
+                .persist
+                .reached_write(DurabilityPoint::Pwrite, &self.path, buf.len())?
+            {
+                WriteFate::Full => {}
+                WriteFate::Torn(k) => {
+                    // The process dies mid-write: a prefix lands on
+                    // disk, then nothing — not even the error reaches
+                    // a client, but the bytes are what fsck will see.
+                    self.file.write_all_at(&buf[..k], offset)?;
+                    return Err(crash_error());
+                }
+            }
         }
         self.file.write_all_at(buf, offset)?;
         if self.sync {
@@ -216,7 +228,19 @@ impl FileSystem for LocalFs {
                 self.persist.reached(DurabilityPoint::Create, path)?;
             }
             if !data.is_empty() {
-                self.persist.reached(DurabilityPoint::Pwrite, path)?;
+                match self
+                    .persist
+                    .reached_write(DurabilityPoint::Pwrite, path, data.len())?
+                {
+                    WriteFate::Full => {}
+                    WriteFate::Torn(k) => {
+                        // Torn whole-file write: the truncate-and-
+                        // rewrite got as far as a prefix when the
+                        // process died.
+                        std::fs::write(host, &data[..k])?;
+                        return Err(crash_error());
+                    }
+                }
             }
         }
         std::fs::write(host, data)

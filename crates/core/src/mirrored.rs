@@ -30,9 +30,11 @@ pub struct MirrorSet {
 }
 
 impl MirrorSet {
-    /// Render to the stub format.
+    /// Render to the stub format. The header carries the replica count
+    /// so a torn (prefix-truncated) stub can never parse as a healthy
+    /// set that silently lost redundancy.
     pub fn render(&self) -> String {
-        let mut out = format!("{MIRROR_MAGIC}\n");
+        let mut out = format!("{MIRROR_MAGIC}\n{}\n", self.replicas.len());
         for (endpoint, path) in &self.replicas {
             out.push_str(&format!("{endpoint} {path}\n"));
         }
@@ -40,12 +42,24 @@ impl MirrorSet {
     }
 
     /// Parse a mirror stub.
+    ///
+    /// Strict: the final newline is required and the replica list must
+    /// match the declared count, so every strict prefix of a rendered
+    /// set — what a crash mid-write leaves behind — is invalid.
     pub fn parse(text: &str) -> io::Result<MirrorSet> {
         let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+        if !text.ends_with('\n') {
+            return Err(bad("mirror stub truncated"));
+        }
         let mut lines = text.lines();
         if lines.next() != Some(MIRROR_MAGIC) {
             return Err(bad("not a mirror stub"));
         }
+        let count: usize = lines
+            .next()
+            .and_then(|l| l.parse().ok())
+            .filter(|&c| c > 0)
+            .ok_or_else(|| bad("bad replica count"))?;
         let mut replicas = Vec::new();
         for line in lines {
             let (endpoint, path) = line
@@ -54,8 +68,8 @@ impl MirrorSet {
                 .ok_or_else(|| bad("bad replica line"))?;
             replicas.push((endpoint.to_string(), path.to_string()));
         }
-        if replicas.is_empty() {
-            return Err(bad("no replicas"));
+        if replicas.len() != count {
+            return Err(bad("replica count mismatch"));
         }
         Ok(MirrorSet { replicas })
     }
@@ -104,6 +118,12 @@ impl MirroredFs {
 
     fn read_set(&self, path: &str) -> io::Result<MirrorSet> {
         let text = self.meta.read_file(path)?;
+        if text.is_empty() {
+            // A zero-length stub is a create that died before the
+            // replica-set write: mandated to read as "file not
+            // found", like the plain dsfs.
+            return Err(io::Error::new(io::ErrorKind::NotFound, "file not found"));
+        }
         let text = String::from_utf8(text)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "stub not utf-8"))?;
         MirrorSet::parse(&text)
@@ -466,5 +486,27 @@ mod tests {
         assert!(MirrorSet::parse("#tss-mirror-v1\n").is_err());
         assert!(MirrorSet::parse("#tss-mirror-v1\nnospace\n").is_err());
         assert!(MirrorSet::parse("#tss-stripe-v1\nh /p\n").is_err());
+        // Declared count must match the replica list exactly.
+        assert!(MirrorSet::parse("#tss-mirror-v1\n2\nh /p\n").is_err());
+        assert!(MirrorSet::parse("#tss-mirror-v1\n1\nh /p\nh2 /q\n").is_err());
+    }
+
+    #[test]
+    fn every_torn_prefix_is_invalid() {
+        // A torn stub write must never leave a parseable set that
+        // silently lost replicas.
+        let full = MirrorSet {
+            replicas: vec![
+                ("h1:9094".into(), "/vol/a".into()),
+                ("h2:9094".into(), "/vol/b".into()),
+            ],
+        }
+        .render();
+        for k in 0..full.len() {
+            assert!(
+                MirrorSet::parse(&full[..k]).is_err(),
+                "torn prefix of {k} bytes parsed as healthy"
+            );
+        }
     }
 }

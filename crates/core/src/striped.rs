@@ -38,9 +38,15 @@ pub struct StripeLayout {
 }
 
 impl StripeLayout {
-    /// Render to the stub format.
+    /// Render to the stub format. The header carries the part count so
+    /// a torn (prefix-truncated) stub can never parse as a healthy
+    /// narrower layout.
     pub fn render(&self) -> String {
-        let mut out = format!("{STRIPE_MAGIC}\n{}\n", self.stripe_size);
+        let mut out = format!(
+            "{STRIPE_MAGIC}\n{} {}\n",
+            self.stripe_size,
+            self.parts.len()
+        );
         for (endpoint, path) in &self.parts {
             out.push_str(&format!("{endpoint} {path}\n"));
         }
@@ -48,16 +54,25 @@ impl StripeLayout {
     }
 
     /// Parse a stripe stub.
+    ///
+    /// Strict: the final newline is required and the part list must
+    /// match the declared count, so every strict prefix of a rendered
+    /// layout — what a crash mid-write leaves behind — is invalid
+    /// rather than a plausible layout missing stripes.
     pub fn parse(text: &str) -> io::Result<StripeLayout> {
         let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+        if !text.ends_with('\n') {
+            return Err(bad("stripe stub truncated"));
+        }
         let mut lines = text.lines();
         if lines.next() != Some(STRIPE_MAGIC) {
             return Err(bad("not a stripe stub"));
         }
-        let stripe_size: u64 = lines
+        let (stripe_size, count) = lines
             .next()
-            .and_then(|l| l.parse().ok())
-            .filter(|&s| s > 0)
+            .and_then(|l| l.split_once(' '))
+            .and_then(|(s, c)| Some((s.parse::<u64>().ok()?, c.parse::<usize>().ok()?)))
+            .filter(|&(s, c)| s > 0 && c > 0)
             .ok_or_else(|| bad("bad stripe size"))?;
         let mut parts = Vec::new();
         for line in lines {
@@ -67,8 +82,8 @@ impl StripeLayout {
                 .ok_or_else(|| bad("bad part line"))?;
             parts.push((endpoint.to_string(), path.to_string()));
         }
-        if parts.is_empty() {
-            return Err(bad("no parts"));
+        if parts.len() != count {
+            return Err(bad("stripe part count mismatch"));
         }
         Ok(StripeLayout { stripe_size, parts })
     }
@@ -138,8 +153,30 @@ impl StripedFs {
         self.pool.stats()
     }
 
+    /// The metadata filesystem holding the stripe stubs.
+    pub fn meta(&self) -> &Arc<dyn FileSystem> {
+        &self.meta
+    }
+
+    /// The data pool.
+    pub fn pool(&self) -> &[DataServer] {
+        self.pool.servers()
+    }
+
+    /// Check out a pooled data connection to `endpoint` (fsck and
+    /// other maintenance walks).
+    pub fn data_conn(&self, endpoint: &str) -> io::Result<crate::pool::PooledConn> {
+        Ok(self.pool.checkout(endpoint))
+    }
+
     fn read_layout(&self, path: &str) -> io::Result<StripeLayout> {
         let text = self.meta.read_file(path)?;
+        if text.is_empty() {
+            // A zero-length stub is a create that died before the
+            // layout write: mandated to read as "file not found",
+            // like the plain dsfs.
+            return Err(io::Error::new(io::ErrorKind::NotFound, "file not found"));
+        }
         let text = String::from_utf8(text)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "stub not utf-8"))?;
         StripeLayout::parse(&text)
@@ -679,9 +716,33 @@ mod tests {
     #[test]
     fn layout_rejects_garbage() {
         assert!(StripeLayout::parse("").is_err());
-        assert!(StripeLayout::parse("#tss-stripe-v1\n0\nh /p\n").is_err());
+        assert!(StripeLayout::parse("#tss-stripe-v1\n0 1\nh /p\n").is_err());
         assert!(StripeLayout::parse("#tss-stripe-v1\n64\n").is_err());
-        assert!(StripeLayout::parse("#tss-stripe-v1\n64\nnospacepath\n").is_err());
+        assert!(StripeLayout::parse("#tss-stripe-v1\n64 1\nnospacepath\n").is_err());
+        // Declared width must match the part list exactly.
+        assert!(StripeLayout::parse("#tss-stripe-v1\n64 2\nh /p\n").is_err());
+        assert!(StripeLayout::parse("#tss-stripe-v1\n64 1\nh /p\nh2 /q\n").is_err());
+    }
+
+    #[test]
+    fn every_torn_prefix_is_invalid() {
+        // A torn stub write leaves a strict prefix; none may parse.
+        // In particular a 2-part layout cut after its first part line
+        // must NOT parse as a healthy 1-part layout.
+        let full = StripeLayout {
+            stripe_size: 65536,
+            parts: vec![
+                ("h1:9094".into(), "/vol/a".into()),
+                ("h2:9094".into(), "/vol/b".into()),
+            ],
+        }
+        .render();
+        for k in 0..full.len() {
+            assert!(
+                StripeLayout::parse(&full[..k]).is_err(),
+                "torn prefix of {k} bytes parsed as healthy"
+            );
+        }
     }
 
     #[test]

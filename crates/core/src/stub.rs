@@ -28,7 +28,19 @@ impl Stub {
     }
 
     /// Parse a stub file's contents.
+    ///
+    /// Strict: the final newline is part of the format. A torn write
+    /// that truncates a stub mid-line would otherwise parse "healthy"
+    /// with a wrong (prefix) data path — silently pointing at data
+    /// that does not exist. Requiring the terminator makes every
+    /// strict prefix of a rendered stub invalid.
     pub fn parse(text: &str) -> io::Result<Stub> {
+        if !text.ends_with('\n') {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "stub truncated (missing final newline)",
+            ));
+        }
         let mut lines = text.lines();
         if lines.next() != Some(STUB_MAGIC) {
             return Err(io::Error::new(
@@ -73,6 +85,26 @@ mod tests {
         assert!(Stub::parse("#tss-stub-v1\nhost:1\nrelative/path\n").is_err());
         // Regular file contents must never parse as a stub.
         assert!(Stub::parse("The quick brown fox\njumps over\n/the lazy dog\n").is_err());
+    }
+
+    #[test]
+    fn every_torn_prefix_is_invalid() {
+        // A crash mid-write leaves a strict prefix of the rendered
+        // stub; none may parse (a prefix data path would silently
+        // point at the wrong data).
+        let full = Stub {
+            endpoint: "host5:9094".into(),
+            data_path: "/mydpfs/file596".into(),
+        }
+        .render();
+        for k in 0..full.len() {
+            if full.is_char_boundary(k) {
+                assert!(
+                    Stub::parse(&full[..k]).is_err(),
+                    "torn prefix of {k} bytes parsed as healthy"
+                );
+            }
+        }
     }
 
     proptest! {

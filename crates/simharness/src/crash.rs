@@ -36,6 +36,16 @@
 //!
 //! A failure prints the seed, the crash budget, and a delta-debugged
 //! minimal op trace, reproducible with `CRASH_SEED=<seed>`.
+//!
+//! **Torn-write mode** ([`CrashHarness::run_seed_torn`]) repeats the
+//! sweep with the injector in partial-sector mode: the killing write
+//! persists a seeded strict prefix of its bytes before the process
+//! dies, modeling a power cut mid-sector instead of a clean kill. Only
+//! the stub writes tear (the metadata tree is the only `LocalFs` in
+//! the loop); the acceptance relaxes exactly one clause: a *corrupt*
+//! stub — one fsck cannot parse — is allowed iff it names the crashed
+//! op's own target, reads as an error (never as garbage data), and is
+//! removed by the same repair pass that removes dangling stubs.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -181,6 +191,11 @@ enum State {
     File(Vec<u8>),
     Dir,
     Absent,
+    /// A stub the filesystem refuses to follow (`InvalidData`): the
+    /// remains of a torn stub write. Never produced by the model; only
+    /// torn-mode acceptance may admit it, and only on the crashed
+    /// op's own target.
+    Torn,
 }
 
 impl fmt::Display for State {
@@ -189,6 +204,7 @@ impl fmt::Display for State {
             State::File(b) => write!(f, "file[{} bytes]", b.len()),
             State::Dir => write!(f, "dir"),
             State::Absent => write!(f, "absent"),
+            State::Torn => write!(f, "torn stub"),
         }
     }
 }
@@ -384,17 +400,34 @@ impl CrashHarness {
     /// point. On failure the trace is delta-debug shrunk first.
     pub fn run_seed(&mut self, seed: u64) -> Result<CrashStats, CrashDivergence> {
         let ops = crash_ops_for_seed(seed);
-        match self.sweep(seed, &ops) {
+        match self.sweep(seed, &ops, false) {
             Ok(stats) => Ok(stats),
-            Err(div) => Err(self.shrink(seed, ops, div)),
+            Err(div) => Err(self.shrink(seed, ops, div, false)),
+        }
+    }
+
+    /// [`CrashHarness::run_seed`] with the injector in torn-write
+    /// mode: the killing write persists a seeded strict prefix of its
+    /// bytes before dying, so stub writes can leave *corrupt* (not
+    /// just dangling) stubs for fsck to classify and repair.
+    pub fn run_seed_torn(&mut self, seed: u64) -> Result<CrashStats, CrashDivergence> {
+        let ops = crash_ops_for_seed(seed);
+        match self.sweep(seed, &ops, true) {
+            Ok(stats) => Ok(stats),
+            Err(div) => Err(self.shrink(seed, ops, div, true)),
         }
     }
 
     /// Golden run plus full budget sweep over `ops`.
-    fn sweep(&mut self, seed: u64, ops: &[CrashOp]) -> Result<CrashStats, CrashDivergence> {
-        let total = self.run_once(seed, ops, None)?;
+    fn sweep(
+        &mut self,
+        seed: u64,
+        ops: &[CrashOp],
+        torn: bool,
+    ) -> Result<CrashStats, CrashDivergence> {
+        let total = self.run_once(seed, ops, None, torn)?;
         for k in 0..total {
-            self.run_once(seed, ops, Some(k))?;
+            self.run_once(seed, ops, Some(k), torn)?;
         }
         Ok(CrashStats {
             sequences: 1,
@@ -409,6 +442,7 @@ impl CrashHarness {
         seed: u64,
         ops: Vec<CrashOp>,
         original: CrashDivergence,
+        torn: bool,
     ) -> CrashDivergence {
         let mut best_ops = ops;
         let mut best = original;
@@ -424,7 +458,7 @@ impl CrashHarness {
                     i += chunk;
                     continue;
                 }
-                match self.sweep(seed, &candidate) {
+                match self.sweep(seed, &candidate, torn) {
                     Err(d) => {
                         best_ops = candidate;
                         best = d;
@@ -450,6 +484,7 @@ impl CrashHarness {
         seed: u64,
         ops: &[CrashOp],
         budget: Option<u64>,
+        torn: bool,
     ) -> Result<u64, CrashDivergence> {
         let run = self.run;
         self.run += 1;
@@ -478,7 +513,11 @@ impl CrashHarness {
         fs.ensure_volumes().expect("create volume");
 
         // The killable region: exactly the generated ops.
-        self.injector.arm(budget);
+        if torn {
+            self.injector.arm_torn(budget, seed);
+        } else {
+            self.injector.arm(budget);
+        }
         let mut model = CrashModel::new();
         let mut crashed: Option<usize> = None;
         for (i, op) in ops.iter().enumerate() {
@@ -518,7 +557,7 @@ impl CrashHarness {
             },
         );
         let crashed_op = crashed.map(|i| &ops[i]);
-        let verdict = verify_post_state(&rfs, &model, crashed_op);
+        let verdict = verify_post_state(&rfs, &model, crashed_op, torn);
         drop(rfs);
         self.cleanup(&volume);
         verdict.map_err(|detail| fail(detail, crashed))?;
@@ -560,31 +599,26 @@ fn real_state(fs: &StubFs, path: &str) -> Result<State, String> {
             Err(e) => Err(format!("read {path}: unexpected error {e}")),
         },
         Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(State::Absent),
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => Ok(State::Torn),
         Err(e) => Err(format!("stat {path}: unexpected error {e}")),
     }
 }
 
 /// Check a restarted filesystem against the model. `crashed_op` is the
 /// op the crash landed in (`None` for the golden run, where the state
-/// must match the model exactly).
+/// must match the model exactly). `torn` marks a torn-write run, the
+/// only mode in which a corrupt stub is an acceptable crash remnant.
 fn verify_post_state(
     fs: &StubFs,
     pre: &CrashModel,
     crashed_op: Option<&CrashOp>,
+    torn: bool,
 ) -> Result<(), String> {
     let report = fsck(fs).map_err(|e| format!("fsck failed: {e}"))?;
     if !report.unreachable.is_empty() {
         return Err(format!(
             "unreachable paths after crash: {:?}",
             report.unreachable
-        ));
-    }
-    // Stubs are written in a single pwrite, so a process crash leaves
-    // them whole or empty (= dangling), never torn.
-    if !report.corrupt_stubs.is_empty() {
-        return Err(format!(
-            "corrupt stubs after crash: {:?}",
-            report.corrupt_stubs
         ));
     }
 
@@ -603,6 +637,18 @@ fn verify_post_state(
             return Err(format!(
                 "dangling stub {d} outside the crashed op's targets"
             ));
+        }
+    }
+    // A clean kill leaves stubs whole or empty (= dangling), never
+    // torn: every stub lands in a single pwrite. Only a torn-write
+    // run may leave a corrupt stub, and then only on the crashed op's
+    // own target.
+    for c in &report.corrupt_stubs {
+        if !torn {
+            return Err(format!("corrupt stub {c} from a clean (non-torn) kill"));
+        }
+        if !targets.contains(c) {
+            return Err(format!("corrupt stub {c} outside the crashed op's targets"));
         }
     }
     // Every healthy file must be one the model knows (no phantoms).
@@ -640,7 +686,10 @@ fn verify_post_state(
             crashed_op,
             Some(CrashOp::Write { path, .. }) if path == p
         ) && got == State::File(Vec::new());
-        if got != s_pre && got != s_post && !in_flight_write {
+        // A torn stub reads as an error (InvalidData), never as
+        // garbage bytes; acceptable only where the crash landed.
+        let torn_target = torn && targets.contains(p) && got == State::Torn;
+        if got != s_pre && got != s_post && !in_flight_write && !torn_target {
             return Err(format!(
                 "{p}: found {got}, accepted states are pre={s_pre} / post={s_post}"
             ));
@@ -826,6 +875,89 @@ mod tests {
     }
 
     #[test]
+    fn torn_stub_write_is_classified_corrupt_and_repaired() {
+        let h = CrashHarness::new();
+        let (_meta, fs) = fixture(&h, "/torn", true);
+        // Golden pass to learn where the stub's pwrite point sits in a
+        // create's durability sequence (same shape for every root
+        // path).
+        h.injector.arm(None);
+        apply_real(
+            &fs,
+            &CrashOp::Write {
+                path: "/probe".into(),
+                data: b"payload".to_vec(),
+            },
+        )
+        .unwrap();
+        let pos = h
+            .injector
+            .journal()
+            .entries()
+            .iter()
+            .position(|e| e.point == DurabilityPoint::Pwrite)
+            .expect("stub pwrite journaled") as u64;
+        fs.unlink("/probe").unwrap();
+
+        // Tear the stub write of eight creates with distinct seeds.
+        // The torn prefix length is `seed`-dependent; a zero-length
+        // tear leaves a dangling (empty) stub, any other length a
+        // corrupt one — never a healthy file.
+        let paths: Vec<String> = (0..8).map(|i| format!("/f{i}")).collect();
+        for (i, path) in paths.iter().enumerate() {
+            h.injector.arm_torn(Some(pos), i as u64);
+            let err = apply_real(
+                &fs,
+                &CrashOp::Write {
+                    path: path.clone(),
+                    data: b"payload".to_vec(),
+                },
+            )
+            .expect_err("create must die at the stub write");
+            assert!(h.injector.fired(), "injector fired for {path}");
+            assert!(chirp_proto::persist::is_crash(&err) || err.kind() == io::ErrorKind::Other);
+            h.injector.disarm();
+            // The mandated read-side behavior: an error, never
+            // garbage bytes.
+            let e = fs.read_file(path).expect_err("torn stub must not read");
+            assert!(
+                matches!(
+                    e.kind(),
+                    io::ErrorKind::NotFound | io::ErrorKind::InvalidData
+                ),
+                "torn stub read gave {e}"
+            );
+        }
+        let report = fsck(&fs).unwrap();
+        let mut flagged: Vec<String> = report
+            .dangling_stubs
+            .iter()
+            .chain(&report.corrupt_stubs)
+            .cloned()
+            .collect();
+        flagged.sort();
+        assert_eq!(flagged, paths, "every torn create flagged: {report:?}");
+        assert!(
+            !report.corrupt_stubs.is_empty(),
+            "some seed must tear mid-stub (non-empty prefix): {report:?}"
+        );
+        assert!(
+            report.orphaned_data.is_empty(),
+            "stub-first create cannot orphan data"
+        );
+        // One repair pass removes them all; a second is a no-op.
+        let all = RepairOptions {
+            remove_dangling_stubs: true,
+            remove_orphans: true,
+        };
+        assert_eq!(repair(&fs, &report, all).unwrap(), paths.len() as u64);
+        let clean = fsck(&fs).unwrap();
+        assert!(clean.is_clean(), "{clean:?}");
+        assert_eq!(repair(&fs, &clean, all).unwrap(), 0);
+        h.cleanup("/torn");
+    }
+
+    #[test]
     fn checker_rejects_planted_orphan() {
         let h = CrashHarness::new();
         let (_meta, fs) = fixture(&h, "/teeth1", false);
@@ -836,7 +968,7 @@ mod tests {
         };
         apply_real(&fs, &op).unwrap();
         assert!(model.apply(&op));
-        verify_post_state(&fs, &model, None).expect("clean state accepted");
+        verify_post_state(&fs, &model, None, false).expect("clean state accepted");
         // Plant a data file no stub references, behind the fs's back.
         let mut conn = h.sim.connect(0);
         let fd = conn
@@ -847,7 +979,7 @@ mod tests {
             )
             .unwrap();
         conn.close(fd).unwrap();
-        let err = verify_post_state(&fs, &model, None).expect_err("orphan must be rejected");
+        let err = verify_post_state(&fs, &model, None, false).expect_err("orphan must be rejected");
         assert!(err.contains("orphaned"), "unexpected detail: {err}");
         h.cleanup("/teeth1");
     }
@@ -866,7 +998,8 @@ mod tests {
             },
         )
         .unwrap();
-        let err = verify_post_state(&fs, &model, None).expect_err("phantom must be rejected");
+        let err =
+            verify_post_state(&fs, &model, None, false).expect_err("phantom must be rejected");
         assert!(err.contains("phantom"), "unexpected detail: {err}");
         h.cleanup("/teeth2");
     }

@@ -19,6 +19,7 @@ use chirp_proto::testutil::TempDir;
 use chirp_proto::transport::{Dial, Dialer, Transport};
 use chirp_proto::{Clock, MemNet, VirtualClock};
 use chirp_server::acl::Acl;
+use chirp_server::config::CoreKind;
 use chirp_server::{FileServer, ServerConfig};
 use tss_core::cfs::{CfsConfig, RetryPolicy};
 use tss_core::stubfs::{DataServer, StubFsOptions};
@@ -34,6 +35,8 @@ pub struct SimTssBuilder {
     root_acl: Acl,
     cache_bytes: Option<u64>,
     persistence: Persist,
+    core: CoreKind,
+    max_connections: Option<usize>,
 }
 
 impl SimTssBuilder {
@@ -68,6 +71,22 @@ impl SimTssBuilder {
         self
     }
 
+    /// Connection-serving core for every server (default:
+    /// [`CoreKind::Reactor`]). The differential oracle runs the same
+    /// op sequence under both cores and demands identical replies.
+    pub fn core(mut self, core: CoreKind) -> SimTssBuilder {
+        self.core = core;
+        self
+    }
+
+    /// Per-server connection limit (default: the production default).
+    /// The idle-connection soak raises it to hold thousands of
+    /// simultaneous clients on one simulated server.
+    pub fn max_connections(mut self, n: usize) -> SimTssBuilder {
+        self.max_connections = Some(n);
+        self
+    }
+
     /// Start the instance.
     pub fn build(self) -> SimTss {
         let vclock = VirtualClock::new();
@@ -79,12 +98,16 @@ impl SimTssBuilder {
             let root = sim_root();
             let cfg = ServerConfig::localhost(root.path(), "sim-owner")
                 .with_root_acl(self.root_acl.clone());
-            let cfg = ServerConfig {
+            let mut cfg = ServerConfig {
                 dialer: net.dialer(),
                 cache_bytes: self.cache_bytes,
                 persistence: self.persistence.clone(),
+                core: self.core,
                 ..cfg
             };
+            if let Some(n) = self.max_connections {
+                cfg.max_connections = n;
+            }
             let listener = net.listen();
             let server = FileServer::start_on(cfg, Arc::new(listener)).expect("start sim server");
             servers.push(server);
@@ -117,6 +140,8 @@ impl SimTss {
             root_acl: Acl::single("hostname:*", "rwlda").expect("valid rights"),
             cache_bytes: Some(64 * 1024),
             persistence: Persist::none(),
+            core: CoreKind::default(),
+            max_connections: None,
         }
     }
 

@@ -46,3 +46,32 @@ fn crash_sweep_over_seed_matrix() {
         "every sequence must hit multiple durability points"
     );
 }
+
+/// The same matrix with the injector in torn-write mode: the killing
+/// write persists a seeded strict prefix, so stub writes can leave
+/// *corrupt* stubs. Acceptance additionally requires fsck to classify
+/// them and repair to remove them (see `simharness::crash`).
+#[test]
+fn torn_crash_sweep_over_seed_matrix() {
+    let mut harness = CrashHarness::new();
+    let mut totals = CrashStats::default();
+
+    let seeds: Vec<u64> = match env_u64("CRASH_SEED") {
+        Some(seed) => vec![seed],
+        None => {
+            let n = env_u64("SIM_SEQS").unwrap_or(if cfg!(debug_assertions) { 25 } else { 1000 });
+            (0..n).collect()
+        }
+    };
+    for &seed in &seeds {
+        match harness.run_seed_torn(seed) {
+            Ok(stats) => totals.add(stats),
+            Err(div) => panic!("{div}"),
+        }
+    }
+    println!(
+        "torn crash sweep: {} sequences, {} ops, {} simulated kills, 0 rejected states",
+        totals.sequences, totals.ops, totals.crash_points
+    );
+    assert_eq!(totals.sequences, seeds.len() as u64);
+}

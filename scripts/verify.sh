@@ -31,6 +31,14 @@
 # into a state the stub/data ordering argument accepts (override the
 # matrix size with SIM_SEQS=<n>, or replay one printed failure with
 # CRASH_SEED=<u64>).
+# The --reactor stage (part of the default run; --no-reactor skips
+# it) proves the event-driven connection core: the reactor edge-case
+# suite (slow-reader backpressure, mid-pipeline disconnect, idle-crowd
+# shutdown), then release mode for the reactor-vs-threads differential
+# matrix (both cores against the model oracle; REACTOR_SEED=<u64>
+# replays one printed failure), the 2k idle-connection soak at flat
+# memory (REACTOR_SOAK=<n> scales it), and the unbound-listener
+# terminality check.
 # The --fed stage (part of the default run; --no-fed skips it) checks
 # the scale-out control plane in release mode: the consistent-hash
 # ring properties, the 3-shard federation acceptance + shard/tree
@@ -49,6 +57,7 @@ PIPELINE=1
 CACHE=1
 CRASH=1
 FED=1
+REACTOR=1
 for arg in "$@"; do
     case "$arg" in
         --chaos) CHAOS=1 ;;
@@ -62,7 +71,9 @@ for arg in "$@"; do
         --no-crash) CRASH=0 ;;
         --fed) FED=1 ;;
         --no-fed) FED=0 ;;
-        *) echo "usage: $0 [--chaos] [--metrics] [--sim] [--pipeline|--no-pipeline] [--cache|--no-cache] [--crash|--no-crash] [--fed|--no-fed]" >&2; exit 2 ;;
+        --reactor) REACTOR=1 ;;
+        --no-reactor) REACTOR=0 ;;
+        *) echo "usage: $0 [--chaos] [--metrics] [--sim] [--pipeline|--no-pipeline] [--cache|--no-cache] [--crash|--no-crash] [--fed|--no-fed] [--reactor|--no-reactor]" >&2; exit 2 ;;
     esac
 done
 
@@ -162,6 +173,24 @@ if [ "$FED" = "1" ]; then
     # wall-clock ratio (8-replica tree <= 4x one direct push).
     echo "== cargo test -q --release -p tss-bench --test tree_smoke  (<=4x tree floor)"
     cargo test -q --release -p tss-bench --test tree_smoke
+fi
+
+if [ "$REACTOR" = "1" ]; then
+    echo "== cargo test -q -p chirp-server --test reactor_edge  (reactor edge cases)"
+    cargo test -q -p chirp-server --test reactor_edge
+    # Both cores replayed against the model oracle over the seed
+    # matrix, the 2k idle-connection soak at flat memory, and the
+    # unbound-listener terminality check. Release mode keeps the
+    # matrix plus the soak in seconds; REACTOR_SEED replays one
+    # failing sequence, REACTOR_SOAK scales the crowd (50000 is the
+    # headline run recorded in EXPERIMENTS.md).
+    REACTOR_SEQS="${SIM_SEQS:-400}"
+    echo "== cargo test -q --release -p simharness --test reactor_sim  (SIM_SEQS=$REACTOR_SEQS)"
+    if ! SIM_SEQS="$REACTOR_SEQS" REACTOR_SOAK="${REACTOR_SOAK:-}" cargo test -q --release -p simharness --test reactor_sim; then
+        echo "reactor suite FAILED; the log above names the seed -" >&2
+        echo "reproduce with REACTOR_SEED=<seed> cargo test --release -p simharness --test reactor_sim" >&2
+        exit 1
+    fi
 fi
 
 echo "== cargo clippy --workspace -- -D warnings"
