@@ -8,8 +8,10 @@
 //! connection-scaling claim behind the reactor PR. EXPERIMENTS.md
 //! records a run.
 //!
-//! Env knobs: `CONN_SCALE_CLIENTS` (comma list, default `64,256,1000`),
-//! `CONN_SCALE_SECS` (measurement window per cell, default 2).
+//! Env knobs: `CONN_SCALE_CLIENTS` (comma list, default `64,256,1000`
+//! scaled by `SCENARIO_SCALE` — the same knob that resizes the
+//! scenario suite and the idle soak), `CONN_SCALE_SECS` (measurement
+//! window per cell, default 2).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
@@ -113,7 +115,13 @@ fn measure(core: CoreKind, clients: usize, window: Duration) -> (f64, usize) {
 }
 
 fn main() {
-    let counts = env_csv("CONN_SCALE_CLIENTS", &[64, 256, 1000]);
+    // The default fleet sizes ride the shared SCENARIO_SCALE knob via
+    // fleet_size; an explicit CONN_SCALE_CLIENTS list still wins.
+    let default: Vec<usize> = [64, 256, 1000]
+        .iter()
+        .map(|&n| simharness::scenario::fleet_size(n, n))
+        .collect();
+    let counts = env_csv("CONN_SCALE_CLIENTS", &default);
     let secs: u64 = std::env::var("CONN_SCALE_SECS")
         .ok()
         .and_then(|v| v.parse().ok())

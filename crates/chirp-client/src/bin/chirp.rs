@@ -20,7 +20,7 @@
 //!   thirdput PATH TARGET TPATH  server-to-server copy
 //!
 //! auth options (tried in order given; default: hostname):
-//!   --hostname  --unix  --ticket METHOD:SUBJECT:SECRET
+//!   --hostname  --unix  --key METHOD:SUBJECT:KEY
 //! ```
 
 use std::io::Write;
@@ -29,7 +29,7 @@ use std::time::Duration;
 use chirp_client::{AuthMethod, Connection};
 
 fn usage() -> ! {
-    eprintln!("usage: chirp HOST:PORT [--hostname|--unix|--ticket M:S:SECRET]... COMMAND [ARGS]");
+    eprintln!("usage: chirp HOST:PORT [--hostname|--unix|--key M:S:KEY]... COMMAND [ARGS]");
     eprintln!("run with --help for the command list");
     std::process::exit(2);
 }
@@ -48,14 +48,14 @@ fn main() {
         match arg.as_str() {
             "--hostname" => methods.push(AuthMethod::Hostname),
             "--unix" => methods.push(AuthMethod::Unix),
-            "--ticket" => {
+            "--key" => {
                 let Some(spec) = it.next() else { usage() };
                 let mut parts = spec.splitn(3, ':');
-                let (Some(m), Some(s), Some(secret)) = (parts.next(), parts.next(), parts.next())
+                let (Some(m), Some(s), Some(key)) = (parts.next(), parts.next(), parts.next())
                 else {
                     usage()
                 };
-                methods.push(AuthMethod::ticket(m, s, secret));
+                methods.push(AuthMethod::key(m, s, key.as_bytes()));
             }
             _ => {
                 rest.push(arg);
@@ -161,7 +161,7 @@ usage: chirp HOST:PORT [auth options] COMMAND [ARGS]
 auth options (tried in order; default --hostname):
   --hostname                identify as the connecting host
   --unix                    filesystem challenge/response
-  --ticket M:SUBJECT:SECRET shared-secret credential (e.g. globus:...)
+  --key M:SUBJECT:KEY       challenge-response key credential (e.g. globus:...)
 
 commands:
   whoami | ls [-l] [PATH] | stat PATH | cat PATH

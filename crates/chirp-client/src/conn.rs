@@ -17,33 +17,51 @@ pub type ConnPipeline<'a> =
 
 /// An authentication method the client can offer, in the order given.
 /// The first method the server accepts fixes the session subject.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub enum AuthMethod {
     /// Identify as the connecting host's name (server-resolved).
     Hostname,
     /// Filesystem challenge/response proving a shared local account
     /// namespace; claims the identity `uid<N>` of the calling process.
     Unix,
-    /// Shared-secret ticket under an arbitrary method label
-    /// (`globus`, `kerberos`, ...) carrying a free-form subject name.
-    Ticket {
+    /// Challenge–response under an arbitrary method label (`globus`,
+    /// `kerberos`, ...) carrying a free-form subject name. The server
+    /// issues a nonce; the client answers with an HMAC-SHA256 over the
+    /// handshake transcript under a key registered with the server —
+    /// the key itself never crosses the wire.
+    Key {
         /// Method label, e.g. `globus`.
         method: String,
         /// Registered subject name, e.g. an X.509 DN. May be empty to
-        /// accept whatever name the secret is registered under.
+        /// accept whatever name the key is registered under.
         name: String,
-        /// The shared secret.
-        secret: String,
+        /// The secret key shared with the server's key ring.
+        key: Vec<u8>,
     },
 }
 
 impl AuthMethod {
-    /// Convenience constructor for ticket credentials.
-    pub fn ticket(method: &str, name: &str, secret: &str) -> AuthMethod {
-        AuthMethod::Ticket {
+    /// Convenience constructor for key credentials.
+    pub fn key(method: &str, name: &str, key: &[u8]) -> AuthMethod {
+        AuthMethod::Key {
             method: method.to_string(),
             name: name.to_string(),
-            secret: secret.to_string(),
+            key: key.to_vec(),
+        }
+    }
+}
+
+impl std::fmt::Debug for AuthMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuthMethod::Hostname => f.write_str("Hostname"),
+            AuthMethod::Unix => f.write_str("Unix"),
+            AuthMethod::Key { method, name, key } => f
+                .debug_struct("Key")
+                .field("method", method)
+                .field("name", name)
+                .field("key_id", &chirp_proto::crypto::key_fingerprint(key))
+                .finish(),
         }
     }
 }
@@ -243,11 +261,7 @@ impl Connection {
     fn try_method(&mut self, method: &AuthMethod) -> ChirpResult<String> {
         match method {
             AuthMethod::Hostname => self.auth_round("hostname", "", ""),
-            AuthMethod::Ticket {
-                method,
-                name,
-                secret,
-            } => self.auth_round(method, name, secret),
+            AuthMethod::Key { method, name, key } => self.auth_key(method, name, key),
             AuthMethod::Unix => self.auth_unix(),
         }
     }
@@ -266,6 +280,25 @@ impl Connection {
             }
             _ => Err(ChirpError::AuthFailed),
         }
+    }
+
+    /// A key method: request a nonce challenge, MAC the handshake
+    /// transcript under the key, present `<key_id>:<hex_mac>` back.
+    /// The key never leaves the process.
+    fn auth_key(&mut self, method: &str, name: &str, key: &[u8]) -> ChirpResult<String> {
+        use chirp_proto::crypto::{auth_mac, key_fingerprint};
+        let st = self.rpc(&Request::Auth {
+            method: method.to_string(),
+            name: name.to_string(),
+            credential: String::new(),
+        })?;
+        if st.value != 1 {
+            return Err(ChirpError::AuthFailed);
+        }
+        let nonce = Self::decode_word(&st.words, 0)?;
+        let key_id = key_fingerprint(key);
+        let mac = auth_mac(key, method, name, &key_id, &nonce);
+        self.auth_round(method, name, &format!("{key_id}:{mac}"))
     }
 
     /// The `unix` method: request a challenge path, create the file,

@@ -76,12 +76,12 @@ fn cli_round_trip() {
 }
 
 #[test]
-fn cli_acl_management_and_tickets() {
+fn cli_acl_management_and_keys() {
     let dir = TempDir::new();
     let server = FileServer::start(
         ServerConfig::localhost(dir.path(), "cli-test")
             .with_root_acl(Acl::single("admin:root", "rwlda").unwrap())
-            .with_ticket("admin", "root", "topsecret"),
+            .with_key("admin", "root", b"topsecret"),
     )
     .unwrap();
     let addr = server.endpoint();
@@ -91,11 +91,11 @@ fn cli_acl_management_and_tickets() {
     assert!(!ok);
     assert!(err.contains("not authorized"), "{err}");
 
-    // Ticket auth works and can grant hostname visitors access.
+    // Key auth works and can grant hostname visitors access.
     let (ok, _, err) = chirp(
         &addr,
         &[
-            "--ticket",
+            "--key",
             "admin:root:topsecret",
             "setacl",
             "/",
@@ -104,7 +104,7 @@ fn cli_acl_management_and_tickets() {
         ],
     );
     assert!(ok, "{err}");
-    let (ok, out, _) = chirp(&addr, &["--ticket", "admin:root:topsecret", "getacl", "/"]);
+    let (ok, out, _) = chirp(&addr, &["--key", "admin:root:topsecret", "getacl", "/"]);
     assert!(ok);
     assert!(out.contains("hostname:* rl"), "{out}");
     // Now the plain visitor can list.

@@ -158,7 +158,7 @@ fn truncate_and_utime() {
 }
 
 #[test]
-fn ticket_auth_and_acl_enforcement() {
+fn key_auth_and_acl_enforcement() {
     let dir = TempDir::new();
     let cfg = ServerConfig::localhost(dir.path(), "owner")
         .with_root_acl(
@@ -168,13 +168,13 @@ fn ticket_auth_and_acl_enforcement() {
             )
             .unwrap(),
         )
-        .with_ticket("globus", "/O=NotreDame/CN=alice", "alicesecret");
+        .with_key("globus", "/O=NotreDame/CN=alice", b"alice-key");
     let server = FileServer::start(cfg).unwrap();
 
     // Alice (grid credential) can write.
     let mut alice = Connection::connect(server.addr(), TIMEOUT).unwrap();
     let subject = alice
-        .authenticate(&[AuthMethod::ticket("globus", "", "alicesecret")])
+        .authenticate(&[AuthMethod::key("globus", "", b"alice-key")])
         .unwrap();
     assert_eq!(subject, "globus:/O=NotreDame/CN=alice");
     alice.putfile("/data", 0o644, b"payload").unwrap();
@@ -203,18 +203,18 @@ fn ticket_auth_and_acl_enforcement() {
 }
 
 #[test]
-fn wrong_ticket_fails_then_fallback_succeeds() {
+fn wrong_key_fails_then_fallback_succeeds() {
     let dir = TempDir::new();
     let cfg = ServerConfig::localhost(dir.path(), "owner")
         .with_root_acl(Acl::single("hostname:*", "rl").unwrap())
-        .with_ticket("globus", "/O=ND/CN=a", "rightsecret");
+        .with_key("globus", "/O=ND/CN=a", b"right-key");
     let server = FileServer::start(cfg).unwrap();
     let mut conn = Connection::connect(server.addr(), TIMEOUT).unwrap();
     // The paper: a client may attempt any number of methods in any
     // order; the first success wins.
     let subject = conn
         .authenticate(&[
-            AuthMethod::ticket("globus", "", "wrongsecret"),
+            AuthMethod::key("globus", "", b"wrong-key"),
             AuthMethod::Hostname,
         ])
         .unwrap();
@@ -226,13 +226,13 @@ fn only_one_credential_set_per_session() {
     let dir = TempDir::new();
     let cfg = ServerConfig::localhost(dir.path(), "owner")
         .with_root_acl(Acl::single("hostname:*", "rl").unwrap())
-        .with_ticket("globus", "/O=ND/CN=a", "s");
+        .with_key("globus", "/O=ND/CN=a", b"some-key");
     let server = FileServer::start(cfg).unwrap();
     let mut conn = Connection::connect(server.addr(), TIMEOUT).unwrap();
     conn.authenticate(&[AuthMethod::Hostname]).unwrap();
     // A second authentication on the same session is refused.
     assert!(conn
-        .authenticate(&[AuthMethod::ticket("globus", "", "s")])
+        .authenticate(&[AuthMethod::key("globus", "", b"some-key")])
         .is_err());
     assert_eq!(conn.whoami().unwrap(), "hostname:localhost");
 }
@@ -270,13 +270,13 @@ fn reserve_with_admin_allows_extending_access() {
     let dir = TempDir::new();
     let cfg = ServerConfig::localhost(dir.path(), "owner")
         .with_root_acl(Acl::single("globus:/O=ND/*", "v(rwla)").unwrap())
-        .with_ticket("globus", "/O=ND/CN=alice", "sa")
-        .with_ticket("globus", "/O=ND/CN=bob", "sb");
+        .with_key("globus", "/O=ND/CN=alice", b"alice-key")
+        .with_key("globus", "/O=ND/CN=bob", b"bob-key");
     let server = FileServer::start(cfg).unwrap();
 
     let mut alice = Connection::connect(server.addr(), TIMEOUT).unwrap();
     alice
-        .authenticate(&[AuthMethod::ticket("globus", "", "sa")])
+        .authenticate(&[AuthMethod::key("globus", "", b"alice-key")])
         .unwrap();
     alice.mkdir("/shared", 0o755).unwrap();
     // Alice holds A inside her reserved directory and can admit Bob.
@@ -285,7 +285,7 @@ fn reserve_with_admin_allows_extending_access() {
         .unwrap();
 
     let mut bob = Connection::connect(server.addr(), TIMEOUT).unwrap();
-    bob.authenticate(&[AuthMethod::ticket("globus", "", "sb")])
+    bob.authenticate(&[AuthMethod::key("globus", "", b"bob-key")])
         .unwrap();
     bob.putfile("/shared/from-bob", 0o644, b"hi").unwrap();
     assert_eq!(alice.getfile("/shared/from-bob").unwrap(), b"hi");
@@ -296,7 +296,7 @@ fn owner_superuser_can_evict_data() {
     let dir = TempDir::new();
     let cfg = ServerConfig::localhost(dir.path(), "owner")
         .with_root_acl(Acl::single("hostname:*", "v(rwl)").unwrap())
-        .with_ticket("admin", "owner", "ownersecret")
+        .with_key("admin", "owner", b"owner-key")
         .with_superuser("admin:owner");
     let server = FileServer::start(cfg).unwrap();
 
@@ -308,7 +308,7 @@ fn owner_superuser_can_evict_data() {
     // The owner retains access to all data and may evict it at will.
     let mut owner = Connection::connect(server.addr(), TIMEOUT).unwrap();
     owner
-        .authenticate(&[AuthMethod::ticket("admin", "", "ownersecret")])
+        .authenticate(&[AuthMethod::key("admin", "", b"owner-key")])
         .unwrap();
     assert_eq!(owner.getfile("/private/secret").unwrap(), b"data");
     owner.unlink("/private/secret").unwrap();
@@ -323,11 +323,11 @@ fn delete_right_allows_delete_but_not_write() {
     let dir = TempDir::new();
     let cfg = ServerConfig::localhost(dir.path(), "owner")
         .with_root_acl(Acl::parse("hostname:* rld\nglobus:/O=ND/* rwl\n").unwrap())
-        .with_ticket("globus", "/O=ND/CN=w", "ws");
+        .with_key("globus", "/O=ND/CN=w", b"writer-key");
     let server = FileServer::start(cfg).unwrap();
     let mut writer = Connection::connect(server.addr(), TIMEOUT).unwrap();
     writer
-        .authenticate(&[AuthMethod::ticket("globus", "", "ws")])
+        .authenticate(&[AuthMethod::key("globus", "", b"writer-key")])
         .unwrap();
     writer.putfile("/doomed", 0o644, b"x").unwrap();
 

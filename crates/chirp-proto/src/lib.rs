@@ -21,6 +21,7 @@
 
 pub mod checksum;
 pub mod clock;
+pub mod crypto;
 pub mod error;
 pub mod escape;
 pub mod flags;

@@ -20,7 +20,8 @@ pub enum Request {
     /// Authenticate with `method`, claiming identity `name`, proving it
     /// with `credential` (method-specific).
     Auth {
-        /// Authentication method name (`hostname`, `unix`, `ticket`).
+        /// Authentication method name (`hostname`, `unix`, or a key
+        /// method label such as `globus`).
         method: String,
         /// Claimed identity within the method's namespace.
         name: String,

@@ -4,7 +4,7 @@
 //! chirp-server --root /data/export
 //! chirp-server --root . --port 9094 --owner alice \
 //!     --acl 'hostname:*.cse.nd.edu v(rwl)' \
-//!     --ticket globus:/O=ND/CN=alice:s3cret \
+//!     --key globus:/O=ND/CN=alice:s3cret-key \
 //!     --superuser globus:/O=ND/CN=alice \
 //!     --catalog catalog.cse.nd.edu:9097 --report-interval 300
 //! ```
@@ -26,7 +26,7 @@ fn usage() -> ! {
          \x20 --port N                 TCP port (default {}; 0 = ephemeral)\n\
          \x20 --owner NAME             owner string for catalog reports\n\
          \x20 --acl 'SUBJECT RIGHTS'   root ACL entry (repeatable)\n\
-         \x20 --ticket M:SUBJECT:SECRET  register a shared-secret credential\n\
+         \x20 --key M:SUBJECT:KEY      register a challenge-response key credential\n\
          \x20 --superuser PATTERN      subject pattern with all rights (repeatable)\n\
          \x20 --unix-challenge-dir DIR enable the unix auth method via DIR\n\
          \x20 --catalog HOST:PORT      report to this catalog (repeatable)\n\
@@ -61,15 +61,15 @@ fn main() {
             "--port" => port = val().parse().unwrap_or_else(|_| usage()),
             "--owner" => owner = val(),
             "--acl" => acl_entries.push(val()),
-            "--ticket" => {
+            "--key" => {
                 let spec = val();
                 let mut parts = spec.splitn(3, ':');
-                let (Some(m), Some(s), Some(secret)) = (parts.next(), parts.next(), parts.next())
+                let (Some(m), Some(s), Some(key)) = (parts.next(), parts.next(), parts.next())
                 else {
                     usage()
                 };
-                let (m, s, secret) = (m.to_string(), s.to_string(), secret.to_string());
-                config_mods.push(Box::new(move |c| c.with_ticket(&m, &s, &secret)));
+                let (m, s, key) = (m.to_string(), s.to_string(), key.to_string());
+                config_mods.push(Box::new(move |c| c.with_key(&m, &s, key.as_bytes())));
             }
             "--superuser" => {
                 let p = val();

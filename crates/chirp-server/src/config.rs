@@ -2,9 +2,10 @@
 
 use std::net::{IpAddr, SocketAddr};
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
+use chirp_proto::crypto::key_fingerprint;
 use chirp_proto::persist::Persist;
 use chirp_proto::transport::Dialer;
 
@@ -17,20 +18,107 @@ use crate::acl::Acl;
 /// without a name service.
 pub type HostnameResolver = Arc<dyn Fn(IpAddr) -> String + Send + Sync>;
 
-/// A shared-secret credential standing in for an external
-/// authentication system (GSI certificates, Kerberos tickets).
+/// A registered challenge–response credential standing in for an
+/// external authentication system (GSI certificates, Kerberos
+/// tickets).
 ///
-/// Presenting `secret` yields the subject `method:subject_name`, e.g.
-/// `globus:/O=NotreDame/CN=alice` — the same free-form subject shape
-/// the paper's ACL examples use.
-#[derive(Debug, Clone)]
-pub struct Ticket {
+/// Proving possession of `key` — by MACing a server-issued nonce,
+/// never by sending the key — yields the subject
+/// `method:subject_name`, e.g. `globus:/O=NotreDame/CN=alice`: the
+/// same free-form subject shape the paper's ACL examples use.
+#[derive(Clone)]
+pub struct KeyCredential {
     /// Method label the subject is formed under (`globus`, `kerberos`).
     pub method: String,
-    /// Identity granted on successful presentation.
+    /// Identity granted on successful proof of possession.
     pub subject_name: String,
-    /// The shared secret.
-    pub secret: String,
+    /// The secret key bytes (never sent on the wire).
+    pub key: Vec<u8>,
+}
+
+impl std::fmt::Debug for KeyCredential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyCredential")
+            .field("method", &self.method)
+            .field("subject_name", &self.subject_name)
+            .field("key_id", &key_fingerprint(&self.key))
+            .finish()
+    }
+}
+
+/// The server's registered credentials: a shared, rotatable ring.
+///
+/// Cloning a `KeyRing` clones the *handle*, not the contents, so a
+/// test (or an operator task) holding the same ring as a running
+/// server can rotate keys under live connections — in-flight
+/// handshakes resolve against whatever the ring holds at
+/// verification time, and rotated-out keys stop verifying
+/// immediately.
+#[derive(Debug, Clone, Default)]
+pub struct KeyRing {
+    inner: Arc<RwLock<Vec<KeyCredential>>>,
+}
+
+impl KeyRing {
+    /// An empty ring.
+    pub fn new() -> KeyRing {
+        KeyRing::default()
+    }
+
+    /// Register a credential. The key's public id is its
+    /// [`key_fingerprint`]; clients present that id with their MAC so
+    /// the server can select the credential without a trial pass.
+    pub fn register(&self, method: &str, subject_name: &str, key: &[u8]) {
+        let mut ring = self.inner.write().expect("keyring poisoned");
+        ring.push(KeyCredential {
+            method: method.to_string(),
+            subject_name: subject_name.to_string(),
+            key: key.to_vec(),
+        });
+    }
+
+    /// Replace the key for `(method, subject_name)` with `new_key`,
+    /// changing its fingerprint — the old key stops verifying the
+    /// moment this returns. Returns `false` if no such credential is
+    /// registered.
+    pub fn rotate(&self, method: &str, subject_name: &str, new_key: &[u8]) -> bool {
+        let mut ring = self.inner.write().expect("keyring poisoned");
+        for cred in ring.iter_mut() {
+            if cred.method == method && cred.subject_name == subject_name {
+                cred.key = new_key.to_vec();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Remove the credential for `(method, subject_name)`. Returns
+    /// `false` if none was registered.
+    pub fn remove(&self, method: &str, subject_name: &str) -> bool {
+        let mut ring = self.inner.write().expect("keyring poisoned");
+        let before = ring.len();
+        ring.retain(|c| !(c.method == method && c.subject_name == subject_name));
+        ring.len() != before
+    }
+
+    /// Find the credential registered under `method` whose key
+    /// fingerprint is `key_id`.
+    pub fn lookup(&self, method: &str, key_id: &str) -> Option<KeyCredential> {
+        let ring = self.inner.read().expect("keyring poisoned");
+        ring.iter()
+            .find(|c| c.method == method && key_fingerprint(&c.key) == key_id)
+            .cloned()
+    }
+
+    /// Number of registered credentials.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("keyring poisoned").len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// Which connection-serving core a [`crate::FileServer`] runs.
@@ -67,8 +155,10 @@ pub struct ServerConfig {
     pub superuser: Vec<String>,
     /// ACL installed at the root directory on startup if none exists.
     pub root_acl: Acl,
-    /// Registered shared-secret tickets (see [`Ticket`]).
-    pub tickets: Vec<Ticket>,
+    /// Registered challenge–response credentials (see [`KeyRing`]).
+    /// The ring is a shared handle: clone it before building the
+    /// server to rotate keys while it runs.
+    pub keys: KeyRing,
     /// Maps peer IPs to hostnames for the `hostname` method.
     pub hostname_resolver: HostnameResolver,
     /// Directory for `unix` method challenge files; `None` disables the
@@ -146,7 +236,7 @@ impl ServerConfig {
             owner: owner.to_string(),
             superuser: Vec::new(),
             root_acl: Acl::new(),
-            tickets: Vec::new(),
+            keys: KeyRing::new(),
             hostname_resolver: Arc::new(default_resolver),
             unix_challenge_dir: None,
             capacity_bytes: 1 << 30,
@@ -201,13 +291,9 @@ impl ServerConfig {
         self
     }
 
-    /// Register a ticket credential.
-    pub fn with_ticket(mut self, method: &str, subject_name: &str, secret: &str) -> ServerConfig {
-        self.tickets.push(Ticket {
-            method: method.to_string(),
-            subject_name: subject_name.to_string(),
-            secret: secret.to_string(),
-        });
+    /// Register a challenge–response key credential.
+    pub fn with_key(self, method: &str, subject_name: &str, key: &[u8]) -> ServerConfig {
+        self.keys.register(method, subject_name, key);
         self
     }
 
@@ -269,12 +355,40 @@ mod tests {
     #[test]
     fn builders_accumulate() {
         let cfg = ServerConfig::localhost("/tmp/x", "o")
-            .with_ticket("globus", "/O=ND/CN=a", "s3cret")
+            .with_key("globus", "/O=ND/CN=a", b"k3y-material")
             .with_superuser("unix:owner")
             .with_catalog("127.0.0.1:9097".parse().unwrap(), Duration::from_secs(5));
-        assert_eq!(cfg.tickets.len(), 1);
+        assert_eq!(cfg.keys.len(), 1);
         assert_eq!(cfg.superuser.len(), 1);
         assert_eq!(cfg.catalogs.len(), 1);
         assert_eq!(cfg.report_interval, Duration::from_secs(5));
+    }
+
+    #[test]
+    fn keyring_is_a_shared_handle() {
+        let ring = KeyRing::new();
+        let cfg = ServerConfig::localhost("/tmp/x", "o");
+        let cfg = ServerConfig {
+            keys: ring.clone(),
+            ..cfg
+        };
+        ring.register("globus", "/O=ND/CN=a", b"first");
+        assert_eq!(cfg.keys.len(), 1);
+
+        let id = key_fingerprint(b"first");
+        assert!(cfg.keys.lookup("globus", &id).is_some());
+        assert!(cfg.keys.lookup("kerberos", &id).is_none());
+
+        // Rotation changes the fingerprint through every handle.
+        assert!(ring.rotate("globus", "/O=ND/CN=a", b"second"));
+        assert!(cfg.keys.lookup("globus", &id).is_none());
+        assert!(cfg
+            .keys
+            .lookup("globus", &key_fingerprint(b"second"))
+            .is_some());
+
+        assert!(ring.remove("globus", "/O=ND/CN=a"));
+        assert!(cfg.keys.is_empty());
+        assert!(!ring.rotate("globus", "/O=ND/CN=a", b"third"));
     }
 }

@@ -371,18 +371,28 @@ impl Session {
 
     fn do_auth(&mut self, method: &str, name: &str, credential: &str) -> ChirpResult<Reply> {
         if self.subject.is_some() {
-            // Only one set of credentials per session.
+            // Only one set of credentials per session (the
+            // authenticator enforces this too; failing here keeps the
+            // telemetry split between refusals and failures clean).
             return Err(ChirpError::InvalidRequest);
         }
         match self
             .auth
-            .attempt(&self.shared.config, method, name, credential)?
+            .attempt(&self.shared.config, method, name, credential)
         {
-            AuthOutcome::Subject(s) => {
+            Ok(AuthOutcome::Subject(s)) => {
+                self.shared.telemetry.auth_success();
                 self.subject = Some(s.clone());
                 Ok(Reply::Words(0, escape(s.as_bytes())))
             }
-            AuthOutcome::Challenge(path) => Ok(Reply::Words(1, escape(path.as_bytes()))),
+            Ok(AuthOutcome::Challenge(challenge)) => {
+                self.shared.telemetry.auth_challenge();
+                Ok(Reply::Words(1, escape(challenge.as_bytes())))
+            }
+            Err(e) => {
+                self.shared.telemetry.auth_failure();
+                Err(e)
+            }
         }
     }
 

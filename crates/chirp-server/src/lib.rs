@@ -39,7 +39,7 @@ pub mod stats;
 pub use acl::{Acl, AclEntry, Rights};
 pub use auth::{AuthOutcome, Authenticator};
 pub use cache::{PageCache, PageReply};
-pub use config::ServerConfig;
+pub use config::{KeyCredential, KeyRing, ServerConfig};
 pub use jail::Jail;
 pub use server::FileServer;
 pub use stats::{ServerStats, ServerTelemetry};

@@ -28,6 +28,9 @@ pub struct ServerTelemetry {
     reactor_wakeups: Counter,
     reactor_backpressure: Counter,
     reactor_wq_peak: Gauge,
+    auth_success: Counter,
+    auth_failure: Counter,
+    auth_challenge: Counter,
 }
 
 impl Default for ServerTelemetry {
@@ -49,6 +52,9 @@ impl Default for ServerTelemetry {
             reactor_wakeups: registry.counter("reactor.wakeups"),
             reactor_backpressure: registry.counter("reactor.backpressure"),
             reactor_wq_peak: registry.gauge("reactor.wq_peak_bytes"),
+            auth_success: registry.counter("auth.success"),
+            auth_failure: registry.counter("auth.failure"),
+            auth_challenge: registry.counter("auth.challenge"),
             registry,
         }
     }
@@ -81,6 +87,22 @@ impl ServerTelemetry {
         if (self.reactor_wq_peak.get() as u64) < bytes {
             self.reactor_wq_peak.set(bytes as i64);
         }
+    }
+
+    /// An authentication attempt fixed a subject.
+    pub fn auth_success(&self) {
+        self.auth_success.inc();
+    }
+
+    /// An authentication attempt was refused.
+    pub fn auth_failure(&self) {
+        self.auth_failure.inc();
+    }
+
+    /// An authentication round answered with a challenge (the nonce
+    /// of a key handshake or the file path of the `unix` method).
+    pub fn auth_challenge(&self) {
+        self.auth_challenge.inc();
     }
 
     /// Record one served RPC.

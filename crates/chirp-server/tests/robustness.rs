@@ -134,10 +134,10 @@ fn rename_needs_rights_on_both_parents() {
     // /public is writable by visitors; /vault only readable.
     let cfg = ServerConfig::localhost(dir.path(), "owner")
         .with_root_acl(Acl::single("admin:boss", "rwlda").unwrap())
-        .with_ticket("admin", "boss", "bosskey");
+        .with_key("admin", "boss", b"boss-key");
     let server = FileServer::start(cfg).unwrap();
     let mut boss = Connection::connect(server.addr(), Duration::from_secs(5)).unwrap();
-    boss.authenticate(&[AuthMethod::ticket("admin", "", "bosskey")])
+    boss.authenticate(&[AuthMethod::key("admin", "", b"boss-key")])
         .unwrap();
     boss.mkdir("/public", 0o755).unwrap();
     boss.setacl("/public", "hostname:*", "rwl").unwrap();

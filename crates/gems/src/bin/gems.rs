@@ -15,7 +15,7 @@
 //!   daemon SECS                       run maintenance every SECS
 //! ```
 //!
-//! Authentication: `--hostname` (default) or `--ticket M:S:SECRET`,
+//! Authentication: `--hostname` (default) or `--key M:S:KEY`,
 //! applied to every pool server. Database server: `gems::DbServer`
 //! (e.g. started by another `gems daemon` deployment or a test rig).
 
@@ -30,7 +30,7 @@ use tss_core::stubfs::DataServer;
 fn usage() -> ! {
     eprintln!(
         "usage: gems --db HOST:PORT --pool H:P/VOL[,H:P/VOL...] \\\n\
-         \x20      [--target N] [--hostname|--ticket M:S:SECRET] COMMAND [ARGS]\n\
+         \x20      [--target N] [--hostname|--key M:S:KEY] COMMAND [ARGS]\n\
          commands: ingest NAME FILE [k=v...] | get NAME FILE | ls |\n\
          \x20         query KEY PATTERN | show NAME | rm NAME |\n\
          \x20         audit | repair | rebuild | daemon SECS"
@@ -64,14 +64,14 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                     .unwrap_or_else(|| usage())
             }
             "--hostname" => auth.push(AuthMethod::Hostname),
-            "--ticket" => {
+            "--key" => {
                 let spec = it.next().unwrap_or_else(|| usage());
                 let mut parts = spec.splitn(3, ':');
-                let (Some(m), Some(s), Some(secret)) = (parts.next(), parts.next(), parts.next())
+                let (Some(m), Some(s), Some(key)) = (parts.next(), parts.next(), parts.next())
                 else {
                     usage()
                 };
-                auth.push(AuthMethod::ticket(m, s, secret));
+                auth.push(AuthMethod::key(m, s, key.as_bytes()));
             }
             "--help" | "-h" => usage(),
             _ => {

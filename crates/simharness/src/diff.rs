@@ -363,29 +363,39 @@ impl<'a> DiffRunner<'a> {
     /// divergence persists. Each candidate replays in a fresh
     /// namespace, so candidates cannot contaminate each other.
     fn shrink(&mut self, ops: Vec<Op>) -> Vec<Op> {
-        let mut cur = ops;
-        loop {
-            let mut reduced = false;
-            for chunk in [8usize, 4, 2, 1] {
-                let mut i = 0;
-                while i < cur.len() && cur.len() > 1 {
-                    let mut cand = cur.clone();
-                    cand.drain(i..(i + chunk).min(cand.len()));
-                    if cand.is_empty() {
-                        i += chunk;
-                        continue;
-                    }
-                    if self.first_divergence(&cand).is_some() {
-                        cur = cand;
-                        reduced = true;
-                    } else {
-                        i += chunk;
-                    }
+        ddmin(ops, &mut |cand| self.first_divergence(cand).is_some())
+    }
+}
+
+/// Generic delta-debugging minimizer: drop chunks of decreasing size
+/// (8, 4, 2, 1) from `items` while `still_fails` keeps holding, until
+/// no single drop preserves the failure. The predicate must be a
+/// function of the candidate alone — re-runs with stale shared state
+/// produce unsound minima. Shared by the differential checker (op
+/// traces) and the scenario runner (client fleets).
+pub fn ddmin<T: Clone>(items: Vec<T>, still_fails: &mut dyn FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut cur = items;
+    loop {
+        let mut reduced = false;
+        for chunk in [8usize, 4, 2, 1] {
+            let mut i = 0;
+            while i < cur.len() && cur.len() > 1 {
+                let mut cand = cur.clone();
+                cand.drain(i..(i + chunk).min(cand.len()));
+                if cand.is_empty() {
+                    i += chunk;
+                    continue;
+                }
+                if still_fails(&cand) {
+                    cur = cand;
+                    reduced = true;
+                } else {
+                    i += chunk;
                 }
             }
-            if !reduced {
-                return cur;
-            }
+        }
+        if !reduced {
+            return cur;
         }
     }
 }

@@ -20,7 +20,7 @@ use chirp_proto::transport::{Dial, Dialer, Transport};
 use chirp_proto::{Clock, MemNet, VirtualClock};
 use chirp_server::acl::Acl;
 use chirp_server::config::CoreKind;
-use chirp_server::{FileServer, ServerConfig};
+use chirp_server::{FileServer, KeyRing, ServerConfig};
 use tss_core::cfs::{CfsConfig, RetryPolicy};
 use tss_core::stubfs::{DataServer, StubFsOptions};
 
@@ -37,6 +37,7 @@ pub struct SimTssBuilder {
     persistence: Persist,
     core: CoreKind,
     max_connections: Option<usize>,
+    keys: Option<KeyRing>,
 }
 
 impl SimTssBuilder {
@@ -87,6 +88,16 @@ impl SimTssBuilder {
         self
     }
 
+    /// Key ring installed on every server (default: empty). Handing the
+    /// same [`KeyRing`] to the builder and keeping a clone lets a
+    /// scenario rotate credentials under live simulated load — the
+    /// ring is a shared handle, so rotation is visible to the servers
+    /// instantly.
+    pub fn keys(mut self, ring: KeyRing) -> SimTssBuilder {
+        self.keys = Some(ring);
+        self
+    }
+
     /// Start the instance.
     pub fn build(self) -> SimTss {
         let vclock = VirtualClock::new();
@@ -107,6 +118,9 @@ impl SimTssBuilder {
             };
             if let Some(n) = self.max_connections {
                 cfg.max_connections = n;
+            }
+            if let Some(ring) = &self.keys {
+                cfg.keys = ring.clone();
             }
             let listener = net.listen();
             let server = FileServer::start_on(cfg, Arc::new(listener)).expect("start sim server");
@@ -142,6 +156,7 @@ impl SimTss {
             persistence: Persist::none(),
             core: CoreKind::default(),
             max_connections: None,
+            keys: None,
         }
     }
 

@@ -29,10 +29,15 @@
 //!   checked (`fsck`, repair convergence, byte-level state) against
 //!   the set of post-crash states the paper's stub/data ordering
 //!   argument accepts.
+//! * [`scenario`] — declarative mass-tenant scenarios: fleets of
+//!   weighted client roles over phased load schedules, with named
+//!   telemetry *envelopes* (latency quantiles, throughput, failure
+//!   and RSS bounds) asserted over the run's metric deltas.
 //!
 //! Reproducing a failure is one number: the checker prints the seed,
 //! and `SIM_SEED=<n> cargo test -p simharness` replays it exactly
-//! (`CRASH_SEED=<n>` for the crash suite).
+//! (`CRASH_SEED=<n>` for the crash suite, `SCENARIO_SEED=<n>` for the
+//! scenario suite).
 
 #![warn(missing_docs)]
 
@@ -41,9 +46,14 @@ pub mod diff;
 pub mod gen;
 pub mod harness;
 pub mod model;
+pub mod scenario;
 
 pub use crash::{CrashDivergence, CrashHarness, CrashOp, CrashStats};
-pub use diff::{run_seed, Divergence, OpResult};
+pub use diff::{ddmin, run_seed, Divergence, OpResult};
 pub use gen::{Op, OpGen};
 pub use harness::{RouteDialer, SimTss};
 pub use model::ModelServer;
+pub use scenario::{
+    fleet_size, scenario_seed, standard_setup, ClientSpec, Phase, Role, Scenario, ScenarioFailure,
+    ScenarioReport,
+};

@@ -10,7 +10,9 @@
 //!   per-connection thread stacks, no buffer creep), the server must
 //!   stay responsive through the crowd, and shutdown must retire every
 //!   connection cleanly. `REACTOR_SOAK=50000` scales it to the
-//!   headline 50k; the default 2000 is the verify.sh gate.
+//!   headline 50k; the default 2000 is the verify.sh gate and rides
+//!   the shared `SCENARIO_SCALE` knob with the rest of the
+//!   mass-client workloads.
 //! * **Listener-closed-is-terminal** — unbinding the address under a
 //!   live server (the simulated host death the federation tests
 //!   inflict) must stop the accept loop without spinning, keep
@@ -69,7 +71,9 @@ fn rss_bytes() -> u64 {
 
 #[test]
 fn idle_connection_soak_holds_flat_memory() {
-    let n = env_u64("REACTOR_SOAK").unwrap_or(2000) as usize;
+    let n = env_u64("REACTOR_SOAK")
+        .map(|n| n as usize)
+        .unwrap_or_else(|| simharness::scenario::fleet_size(2000, 2000));
     // Room for the crowd plus the probe client.
     let sim = SimTss::builder().max_connections(n + 8).build();
     let mut conns = Vec::with_capacity(n);

@@ -68,6 +68,26 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Bucket-wise difference from an `earlier` observation of the
+    /// same histogram: what was recorded between the two snapshots.
+    /// Saturating subtraction keeps a reset (or unrelated) earlier
+    /// snapshot from underflowing — the delta clamps at zero.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            ..HistogramSnapshot::default()
+        };
+        for (o, (now, then)) in out
+            .buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(earlier.buckets.iter()))
+        {
+            *o = now.saturating_sub(*then);
+        }
+        out
+    }
+
     /// Approximate quantile `q` in `[0, 1]`: the upper bound of the
     /// first bucket at which the cumulative count reaches `q × count`.
     /// Returns 0 for an empty histogram.
@@ -184,6 +204,22 @@ impl MetricValue {
             (MetricValue::Counter(a), MetricValue::Counter(b)) => *a = a.saturating_add(*b),
             (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
             (slot, other) => *slot = other.clone(),
+        }
+    }
+
+    /// Difference from an `earlier` observation of the same metric:
+    /// counters subtract (saturating), histograms subtract bucket-wise,
+    /// gauges keep the later (self) level — a gauge is a reading, not
+    /// an accumulation. A kind mismatch keeps the later value.
+    pub fn delta(&self, earlier: &MetricValue) -> MetricValue {
+        match (self, earlier) {
+            (MetricValue::Counter(now), MetricValue::Counter(then)) => {
+                MetricValue::Counter(now.saturating_sub(*then))
+            }
+            (MetricValue::Histogram(now), MetricValue::Histogram(then)) => {
+                MetricValue::Histogram(now.delta(then))
+            }
+            (later, _) => later.clone(),
         }
     }
 
@@ -323,6 +359,26 @@ impl MetricsSnapshot {
                 .and_modify(|v| v.merge(value))
                 .or_insert_with(|| value.clone());
         }
+    }
+
+    /// What happened between `earlier` and this snapshot, per metric
+    /// (see [`MetricValue::delta`]): counters and histograms subtract,
+    /// gauges keep this snapshot's reading. Metrics absent from
+    /// `earlier` pass through whole (they were born in the window);
+    /// metrics only in `earlier` are dropped — nothing about them
+    /// happened in the window. Scenario envelopes assert on this:
+    /// `before.merge(&after.delta(&before))` restores `after` for
+    /// every counter and histogram, which the property suite pins.
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut metrics = BTreeMap::new();
+        for (name, now) in &self.metrics {
+            let v = match earlier.metrics.get(name) {
+                Some(then) => now.delta(then),
+                None => now.clone(),
+            };
+            metrics.insert(name.clone(), v);
+        }
+        MetricsSnapshot { metrics }
     }
 
     /// This snapshot as a JSON object value.

@@ -90,6 +90,74 @@ proptest! {
         prop_assert_eq!(left, hist(&all));
     }
 
+    // Delta inverts merge only away from the saturating rails, so the
+    // inversion properties generate bounded values (real histograms hold
+    // latencies and byte counts, far from u64::MAX).
+    #[test]
+    fn histogram_delta_inverts_merge(
+        before in proptest::collection::vec(0u64..1_000_000_000, 0..16),
+        window in proptest::collection::vec(0u64..1_000_000_000, 0..16),
+    ) {
+        let hist = |values: &[u64]| {
+            let mut h = HistogramSnapshot::default();
+            for v in values { h.record(*v); }
+            h
+        };
+        let (hb, hw) = (hist(&before), hist(&window));
+        let mut after = hb.clone();
+        after.merge(&hw);
+        // What merged in is exactly what the delta reports...
+        prop_assert_eq!(after.delta(&hb), hw.clone());
+        // ...and re-merging the delta restores the later snapshot.
+        let mut rebuilt = hb.clone();
+        rebuilt.merge(&after.delta(&hb));
+        prop_assert_eq!(rebuilt, after);
+    }
+
+    #[test]
+    fn snapshot_delta_inverts_merge_for_monotonic_metrics(
+        before in proptest::collection::vec(
+            ("[a-z][a-z0-9._]{0,12}", any::<u8>(), 0u64..1_000_000_000, any::<i64>(),
+             proptest::collection::vec(0u64..1_000_000_000, 0..6)),
+            0..5),
+        window in proptest::collection::vec(
+            ("[a-z][a-z0-9._]{0,12}", any::<u8>(), 0u64..1_000_000_000, any::<i64>(),
+             proptest::collection::vec(0u64..1_000_000_000, 0..6)),
+            0..5),
+    ) {
+        let b = snapshot(&before);
+        let w = snapshot(&window);
+        let mut after = b.clone();
+        after.merge(&w);
+        let delta = after.delta(&b);
+        // Counters and histograms reconstruct the later snapshot when
+        // the delta is merged back; gauges report the later reading.
+        let mut rebuilt = b.clone();
+        rebuilt.merge(&delta);
+        for (name, v) in &after.metrics {
+            match v {
+                MetricValue::Gauge(_) => {
+                    prop_assert_eq!(delta.metrics.get(name), Some(v),
+                        "gauge delta keeps the later reading");
+                }
+                _ => {
+                    prop_assert_eq!(rebuilt.metrics.get(name), Some(v),
+                        "merge(before, delta) restores {}", name);
+                }
+            }
+        }
+        // A quiet window reports an all-zero delta for counters.
+        let quiet = after.delta(&after);
+        for (name, v) in &quiet.metrics {
+            if let MetricValue::Counter(n) = v {
+                prop_assert_eq!(*n, 0, "counter {} moved in an empty window", name);
+            }
+            if let MetricValue::Histogram(h) = v {
+                prop_assert_eq!(h.count, 0, "histogram {} moved in an empty window", name);
+            }
+        }
+    }
+
     #[test]
     fn quantiles_bound_recorded_values(
         values in proptest::collection::vec(0u64..1_000_000, 1..64),

@@ -32,7 +32,7 @@ fn main() -> std::io::Result<()> {
     let server = FileServer::start(
         ServerConfig::localhost(home.path(), "babar-lab")
             .with_root_acl(Acl::single("globus:/O=BaBar/*", "rwl").unwrap())
-            .with_ticket("globus", "/O=BaBar/CN=worker17", "worker-credential"),
+            .with_key("globus", "/O=BaBar/CN=worker17", b"worker-credential-key"),
     )?;
     println!("home storage at {}", server.endpoint());
 
@@ -43,10 +43,10 @@ fn main() -> std::io::Result<()> {
         let mut setup =
             tss::chirp_client::Connection::connect(server.addr(), Duration::from_secs(5))?;
         setup
-            .authenticate(&[tss::chirp_client::AuthMethod::ticket(
+            .authenticate(&[tss::chirp_client::AuthMethod::key(
                 "globus",
                 "",
-                "worker-credential",
+                b"worker-credential-key",
             )])
             .map_err(std::io::Error::from)?;
         setup.mkdir("/sp5", 0o755).map_err(std::io::Error::from)?;
@@ -80,10 +80,10 @@ fn main() -> std::io::Result<()> {
     let endpoint = server.endpoint();
     let grid_job = std::thread::spawn(move || -> std::io::Result<u64> {
         let config = AdapterConfig {
-            auth: vec![tss::chirp_client::AuthMethod::ticket(
+            auth: vec![tss::chirp_client::AuthMethod::key(
                 "globus",
                 "",
-                "worker-credential",
+                b"worker-credential-key",
             )],
             retry: RetryPolicy::default(),
             ..AdapterConfig::default()
@@ -137,10 +137,10 @@ fn main() -> std::io::Result<()> {
     let mut home_view =
         tss::chirp_client::Connection::connect(server.addr(), Duration::from_secs(5))?;
     home_view
-        .authenticate(&[tss::chirp_client::AuthMethod::ticket(
+        .authenticate(&[tss::chirp_client::AuthMethod::key(
             "globus",
             "",
-            "worker-credential",
+            b"worker-credential-key",
         )])
         .map_err(std::io::Error::from)?;
     let out = home_view

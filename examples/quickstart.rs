@@ -26,7 +26,7 @@ fn main() -> std::io::Result<()> {
 
     // -- the resource layer: one command deploys a file server --------
     // The owner exports a directory. No root, no kernel modules, no
-    // configuration files: a root ACL and a ticket for themselves.
+    // configuration files: a root ACL and a key for themselves.
     let storage = TempDir::new();
     let server = FileServer::start(
         ServerConfig::localhost(storage.path(), "alice")
@@ -40,7 +40,7 @@ fn main() -> std::io::Result<()> {
                 )
                 .unwrap(),
             )
-            .with_ticket("globus", "/O=Demo/CN=alice", "alice-secret")
+            .with_key("globus", "/O=Demo/CN=alice", b"alice-secret-key")
             // The owner retains access to all data on her server.
             .with_superuser("globus:/O=Demo/CN=alice")
             .with_catalog(catalog.udp_addr(), Duration::from_millis(100)),
@@ -50,7 +50,7 @@ fn main() -> std::io::Result<()> {
     // -- the owner uses her own server ---------------------------------
     let mut alice = Connection::connect(server.addr(), timeout)?;
     let subject = alice
-        .authenticate(&[AuthMethod::ticket("globus", "", "alice-secret")])
+        .authenticate(&[AuthMethod::key("globus", "", b"alice-secret-key")])
         .map_err(std::io::Error::from)?;
     println!("alice authenticated as: {subject}");
     alice

@@ -39,6 +39,14 @@
 # replays one printed failure), the 2k idle-connection soak at flat
 # memory (REACTOR_SOAK=<n> scales it), and the unbound-listener
 # terminality check.
+# The --scenarios stage (part of the default run; --no-scenarios
+# skips it) runs the mass-tenant scenario suite in release mode: the
+# SP5 init stampede (>=1000 virtual clients cold-opening one tree),
+# the CI-artifact THIRDPUT fan-out, mass ACL churn, the mixed-fleet
+# soak, the challenge-response auth storm, key rotation under load,
+# and the pinned-seed regression corpus — each with asserted telemetry
+# envelopes. A violation prints SCENARIO_SEED=<n>; SCENARIO_SCALE=<f>
+# resizes every fleet (and the idle soak and conn-scale defaults).
 # The --fed stage (part of the default run; --no-fed skips it) checks
 # the scale-out control plane in release mode: the consistent-hash
 # ring properties, the 3-shard federation acceptance + shard/tree
@@ -58,6 +66,7 @@ CACHE=1
 CRASH=1
 FED=1
 REACTOR=1
+SCENARIOS=1
 for arg in "$@"; do
     case "$arg" in
         --chaos) CHAOS=1 ;;
@@ -73,7 +82,9 @@ for arg in "$@"; do
         --no-fed) FED=0 ;;
         --reactor) REACTOR=1 ;;
         --no-reactor) REACTOR=0 ;;
-        *) echo "usage: $0 [--chaos] [--metrics] [--sim] [--pipeline|--no-pipeline] [--cache|--no-cache] [--crash|--no-crash] [--fed|--no-fed] [--reactor|--no-reactor]" >&2; exit 2 ;;
+        --scenarios) SCENARIOS=1 ;;
+        --no-scenarios) SCENARIOS=0 ;;
+        *) echo "usage: $0 [--chaos] [--metrics] [--sim] [--pipeline|--no-pipeline] [--cache|--no-cache] [--crash|--no-crash] [--fed|--no-fed] [--reactor|--no-reactor] [--scenarios|--no-scenarios]" >&2; exit 2 ;;
     esac
 done
 
@@ -189,6 +200,21 @@ if [ "$REACTOR" = "1" ]; then
     if ! SIM_SEQS="$REACTOR_SEQS" REACTOR_SOAK="${REACTOR_SOAK:-}" cargo test -q --release -p simharness --test reactor_sim; then
         echo "reactor suite FAILED; the log above names the seed -" >&2
         echo "reproduce with REACTOR_SEED=<seed> cargo test --release -p simharness --test reactor_sim" >&2
+        exit 1
+    fi
+fi
+
+if [ "$SCENARIOS" = "1" ]; then
+    # Mass-tenant scenarios with asserted envelopes. Release mode is
+    # where the fleets get their headline widths (the stampede must
+    # cross 1000 virtual clients); a violated envelope prints its
+    # SCENARIO_SEED repro line and, for small fleets, the ddmin-
+    # minimized client set.
+    echo "== cargo test -q --release -p simharness --test scenarios_sim  (SCENARIO_SCALE=${SCENARIO_SCALE:-1})"
+    if ! SCENARIO_SEED="${SCENARIO_SEED:-}" SCENARIO_SCALE="${SCENARIO_SCALE:-}" \
+        cargo test -q --release -p simharness --test scenarios_sim; then
+        echo "scenario suite FAILED; the log above names the seed -" >&2
+        echo "reproduce with SCENARIO_SEED=<seed> cargo test --release -p simharness --test scenarios_sim" >&2
         exit 1
     fi
 fi

@@ -8,7 +8,7 @@
 //! scripts invoking other tools) reach their home storage.
 //!
 //! ```text
-//! tss-run [--ticket M:S:SECRET] \
+//! tss-run [--key M:S:KEY] \
 //!     --in  /cfs/host:9094/sp5/etc/run.conf=run.conf \
 //!     --in  /cfs/host:9094/data/events.in=events.in \
 //!     --out events.out=/cfs/host:9094/data/events.out \
@@ -33,7 +33,7 @@ fn usage() -> ! {
         "usage: tss-run [options] -- COMMAND [ARGS...]\n\
          \x20 --in  NAMESPACE=LOCAL    stage a file in before running (repeatable)\n\
          \x20 --out LOCAL=NAMESPACE    stage a file out after success (repeatable)\n\
-         \x20 --ticket M:SUBJECT:SECRET  credential offered to every server\n\
+         \x20 --key M:SUBJECT:KEY      credential offered to every server\n\
          \x20 --mountlist FILE         private namespace mapping\n\
          \x20 --scratch DIR            working directory (default: a temp dir)"
     );
@@ -71,14 +71,14 @@ fn main() {
                 let (from, to) = split_spec(&it.next().unwrap_or_else(|| usage()));
                 stage_out.push(Stage { from, to });
             }
-            "--ticket" => {
+            "--key" => {
                 let spec = it.next().unwrap_or_else(|| usage());
                 let mut parts = spec.splitn(3, ':');
-                let (Some(m), Some(s), Some(secret)) = (parts.next(), parts.next(), parts.next())
+                let (Some(m), Some(s), Some(key)) = (parts.next(), parts.next(), parts.next())
                 else {
                     usage()
                 };
-                config.auth.insert(0, AuthMethod::ticket(m, s, secret));
+                config.auth.insert(0, AuthMethod::key(m, s, key.as_bytes()));
             }
             "--mountlist" => mountlist = it.next(),
             "--scratch" => scratch = it.next(),

@@ -8,7 +8,7 @@
 //! a mountlist would.
 //!
 //! ```text
-//! $ tss-shell [--ticket M:S:SECRET] [--sync]
+//! $ tss-shell [--key M:S:KEY] [--sync]
 //! tss> mount /data /cfs/127.0.0.1:9094/experiment
 //! tss> cd /data
 //! tss> put /local/tmp/results.csv results.csv
@@ -155,15 +155,14 @@ fn main() {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--sync" => config.sync_writes = true,
-            "--ticket" => {
+            "--key" => {
                 let Some(spec) = it.next() else {
-                    eprintln!("--ticket needs M:SUBJECT:SECRET");
+                    eprintln!("--key needs M:SUBJECT:KEY");
                     std::process::exit(2);
                 };
                 let mut parts = spec.splitn(3, ':');
-                if let (Some(m), Some(s), Some(secret)) = (parts.next(), parts.next(), parts.next())
-                {
-                    config.auth.insert(0, AuthMethod::ticket(m, s, secret));
+                if let (Some(m), Some(s), Some(key)) = (parts.next(), parts.next(), parts.next()) {
+                    config.auth.insert(0, AuthMethod::key(m, s, key.as_bytes()));
                 }
             }
             other => {
